@@ -1,0 +1,62 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts.  The
+corpus image size defaults to a value that keeps the whole suite to a couple
+of minutes of pure-Python coding; export ``REPRO_BENCH_SIZE=512`` (and a lot
+of patience) to reproduce the paper's exact geometry.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+def _size_from_env(variable: str, default: int) -> int:
+    value = os.environ.get(variable)
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        return default
+    return max(32, parsed)
+
+
+@pytest.fixture(scope="session")
+def table1_size() -> int:
+    """Corpus size for the Table 1 comparison (paper: 512)."""
+    return _size_from_env("REPRO_BENCH_SIZE", 128)
+
+
+@pytest.fixture(scope="session")
+def figure4_size() -> int:
+    """Corpus size for the Figure 4 sweep (paper: 512)."""
+    return _size_from_env("REPRO_BENCH_SIZE", 96)
+
+
+@pytest.fixture(scope="session")
+def ablation_size() -> int:
+    """Corpus size for the in-text ablations."""
+    return _size_from_env("REPRO_BENCH_SIZE", 96)
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Persist a benchmark's formatted table under ``benchmarks/results/``.
+
+    pytest captures stdout, so the regenerated tables would otherwise only be
+    visible with ``-s``; writing them to files makes every run's artefacts
+    inspectable (and is what EXPERIMENTS.md references).
+    """
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> Path:
+        path = results_dir / ("%s.txt" % name)
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _record

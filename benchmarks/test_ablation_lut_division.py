@@ -1,0 +1,44 @@
+"""Ablation benchmark: the 1 KByte LUT division (Section III).
+
+The paper bounds the dividend to 10 bits and performs the error-feedback
+division with a 1 KByte lookup table, claiming the approximation "does not
+affect the compression performance".  The benchmark measures the codec with
+the LUT divider and with exact division and checks that the average bit-rate
+difference over the corpus is negligible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_division_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation(ablation_size):
+    return run_division_ablation(size=ablation_size)
+
+
+def test_lut_division_ablation(benchmark, ablation_size, record_report):
+    result = benchmark.pedantic(
+        lambda: run_division_ablation(size=ablation_size), rounds=1, iterations=1
+    )
+    record_report("ablation_lut_division", result.format_report())
+    print()
+    print(result.format_report())
+
+
+class TestLutDivisionShape:
+    def test_approximation_is_harmless(self, ablation):
+        """The paper's claim: LUT division does not change the bit rate."""
+        assert abs(ablation.delta_bpp) < 0.01
+
+    def test_per_image_differences_are_tiny(self, ablation):
+        for image in ablation.per_image_baseline:
+            difference = abs(
+                ablation.per_image_baseline[image] - ablation.per_image_variant[image]
+            )
+            assert difference < 0.03, image
+
+    def test_every_corpus_image_measured(self, ablation):
+        assert len(ablation.per_image_baseline) == 7

@@ -1,0 +1,42 @@
+"""Ablation benchmark: the Overflow Guard's aging effect (Section III).
+
+The paper states that halving the per-context count and sum when the 5-bit
+counter saturates "slightly improves the compression ratio by aging the
+observed data".  The benchmark measures both arms and checks that disabling
+aging never helps by more than a hair — i.e. the rescaling hardware is at
+worst free and usually beneficial, which is the paper's claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_overflow_guard_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation(ablation_size):
+    return run_overflow_guard_ablation(size=ablation_size)
+
+
+def test_overflow_guard_ablation(benchmark, ablation_size, record_report):
+    result = benchmark.pedantic(
+        lambda: run_overflow_guard_ablation(size=ablation_size), rounds=1, iterations=1
+    )
+    record_report("ablation_overflow_guard", result.format_report())
+    print()
+    print(result.format_report())
+
+
+class TestOverflowGuardShape:
+    def test_aging_does_not_hurt(self, ablation):
+        """Disabling aging must not improve the average rate by more than noise."""
+        assert ablation.delta_bpp > -0.01
+
+    def test_both_arms_are_plausible(self, ablation):
+        assert 3.0 < ablation.baseline_bpp < 8.0
+        assert 3.0 < ablation.variant_bpp < 8.0
+
+    def test_every_corpus_image_measured(self, ablation):
+        assert len(ablation.per_image_baseline) == 7
+        assert set(ablation.per_image_baseline) == set(ablation.per_image_variant)

@@ -1,0 +1,55 @@
+"""Extension benchmark: the multi-core scale-up remark of Section V.
+
+The paper's last performance statement is that "the low complexity means
+that a multi-core solution could be used to scale up the performance".  The
+benchmark quantifies that option: predicted aggregate throughput and device
+area for 1-8 stripe-parallel cores, plus the measured compression penalty of
+coding stripes with independent adaptive state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.blocks import default_blocks
+from repro.hardware.multicore import MulticoreModel, measure_stripe_penalty
+from repro.hardware.resources import summarize_blocks
+from repro.imaging.synthetic import generate_image
+
+CORE_COUNTS = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def scaling_points():
+    model = MulticoreModel(summarize_blocks(default_blocks()), clock_mhz=123.0)
+    return model.scaling(512, 512, CORE_COUNTS)
+
+
+def test_multicore_scaling(benchmark, scaling_points, record_report):
+    model = MulticoreModel(summarize_blocks(default_blocks()), clock_mhz=123.0)
+    points = benchmark.pedantic(
+        lambda: model.scaling(512, 512, CORE_COUNTS), rounds=1, iterations=1
+    )
+    penalty = measure_stripe_penalty(generate_image("lena", size=96), cores=4)
+    report = (
+        "Multi-core scaling (512x512 image, 123 MHz per core):\n"
+        + model.format_table(points)
+        + "\nstripe-parallel penalty on lena (4 cores): %.4f bpp" % penalty["penalty_bpp"]
+    )
+    record_report("multicore_scaling", report)
+    print()
+    print(report)
+
+
+class TestMulticoreShape:
+    def test_eight_cores_clear_gigabit(self, scaling_points):
+        by_cores = {p.cores: p for p in scaling_points}
+        assert by_cores[8].aggregate_megabits_per_second > 900.0
+
+    def test_speedup_is_monotone(self, scaling_points):
+        speedups = [p.speedup for p in scaling_points]
+        assert speedups == sorted(speedups)
+
+    def test_area_cost_is_linear(self, scaling_points):
+        by_cores = {p.cores: p for p in scaling_points}
+        assert by_cores[8].total_slices == 8 * by_cores[1].total_slices

@@ -1,0 +1,83 @@
+"""Benchmark: regenerate Table 1 (bit-rate comparison of the four codecs).
+
+The paper's Table 1 reports bits per pixel of JPEG-LS, SLP(M0), CALIC and
+the proposed codec on seven 512x512 grey-scale images.  This benchmark runs
+the same comparison on the synthetic corpus (smaller by default — see
+``conftest.py``) and checks the *shape* of the result:
+
+* every codec is lossless on every corpus image (verified inside the harness);
+* textured images cost more bits than smooth ones for every codec;
+* the proposed codec outperforms the two Golomb-Rice schemes on average;
+* the proposed codec lands within a small margin of CALIC (the paper reports
+  it slightly behind).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_result(table1_size):
+    return run_table1(size=table1_size)
+
+
+def test_table1_bitrates(benchmark, table1_size, record_report):
+    """Time one full Table 1 regeneration and record the resulting table."""
+    result = benchmark.pedantic(
+        lambda: run_table1(size=table1_size), rounds=1, iterations=1
+    )
+    report = "Table 1 (synthetic corpus, %dx%d):\n%s" % (
+        table1_size,
+        table1_size,
+        result.format_table(include_paper=True),
+    )
+    record_report("table1_bitrates", report)
+    print()
+    print(report)
+
+
+class TestTable1Shape:
+    def test_all_seven_images_present(self, table1_result):
+        assert [row.image for row in table1_result.rows] == [
+            "barb",
+            "boat",
+            "goldhill",
+            "lena",
+            "mandrill",
+            "peppers",
+            "zelda",
+        ]
+
+    def test_mandrill_is_hardest_for_every_codec(self, table1_result):
+        for name in table1_result.codec_names:
+            rates = {row.image: row.bits_per_pixel[name] for row in table1_result.rows}
+            assert max(rates, key=rates.get) == "mandrill"
+
+    def test_zelda_is_among_the_easiest(self, table1_result):
+        for name in table1_result.codec_names:
+            rates = {row.image: row.bits_per_pixel[name] for row in table1_result.rows}
+            ranked = sorted(rates, key=rates.get)
+            assert "zelda" in ranked[:2]
+
+    def test_proposed_beats_golomb_schemes_on_average(self, table1_result):
+        averages = table1_result.averages()
+        assert averages["proposed"] < averages["jpeg-ls"]
+        assert averages["proposed"] < averages["slp"]
+
+    def test_proposed_is_close_to_calic(self, table1_result):
+        averages = table1_result.averages()
+        # The paper reports CALIC 4.50 vs proposed 4.55 (a 0.05 bpp gap); our
+        # CALIC reimplementation is slightly weaker, so allow the gap to go
+        # either way but stay small.
+        assert abs(averages["proposed"] - averages["calic"]) < 0.15
+
+    def test_average_rates_in_the_papers_band(self, table1_result):
+        # The paper's averages span 4.50-4.66 bpp on the original 512x512
+        # images; the synthetic corpus is tuned to land in the same region
+        # (within ~1 bpp), which keeps relative comparisons meaningful.
+        for name, value in table1_result.averages().items():
+            paper_value = PAPER_TABLE1["average"][name]
+            assert abs(value - paper_value) < 1.0, (name, value, paper_value)

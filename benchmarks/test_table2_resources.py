@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Table 2 (device utilisation) and the memory budgets.
+
+The analytical hardware model replaces the paper's ISE synthesis run (see
+DESIGN.md).  The benchmark prints the estimate next to the published table
+and asserts the structural properties that must hold for the reproduction to
+be meaningful: block ordering, memory budgets and a clock estimate in the
+Virtex-4 technology band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import PAPER_MEMORY_BYTES, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2()
+
+
+def test_table2_resources(benchmark, record_report):
+    """Time the hardware-model evaluation and record the full report."""
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    record_report("table2_resources", result.format_report())
+    print()
+    print(result.format_report())
+
+
+class TestTable2Shape:
+    def test_block_ordering_matches_paper(self, table2_result):
+        summary = table2_result.summary
+        coder = summary.block("arithmetic_coder")
+        modeling = summary.block("modeling")
+        estimator = summary.block("probability_estimator")
+        assert coder.slices > modeling.slices > estimator.slices
+        assert coder.lut4 > modeling.lut4 > estimator.lut4
+
+    def test_estimates_within_factor_two_of_paper(self, table2_result):
+        for name, published in table2_result.paper_table2.items():
+            estimated = table2_result.summary.block(name)
+            assert published["slices"] / 2 <= estimated.slices <= published["slices"] * 2
+            assert published["lut4"] / 2 <= estimated.lut4 <= published["lut4"] * 2
+
+    def test_modeling_memory_budget(self, table2_result):
+        assert abs(table2_result.memory.modeling_bytes - PAPER_MEMORY_BYTES["modeling"]) < 200
+
+    def test_estimator_memory_budget(self, table2_result):
+        assert (
+            abs(table2_result.memory.estimator_bytes - PAPER_MEMORY_BYTES["probability_estimator"])
+            < 600
+        )
+
+    def test_clock_estimate_in_technology_band(self, table2_result):
+        assert 80.0 <= table2_result.timing.clock_mhz <= 250.0
+
+    def test_design_fits_mid_range_virtex4(self, table2_result):
+        assert table2_result.summary.slice_utilisation_percent() < 50.0

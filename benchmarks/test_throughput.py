@@ -1,0 +1,66 @@
+"""Benchmark: the clock/throughput claim (123 MHz -> 123 Mbit/s) plus the
+measured software encode/decode speed of the functional model.
+
+Two very different numbers are produced here:
+
+* the *hardware* throughput predicted by the pipeline model at the paper's
+  clock — this is the reproduction of the 123 Mbit/s claim;
+* the *software* throughput of this pure-Python functional model, measured
+  with pytest-benchmark — reported for completeness (it is orders of
+  magnitude slower; the paper's point is precisely that the algorithm needs
+  hardware to run at line rate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.experiments.throughput import run_throughput
+from repro.imaging.synthetic import generate_image
+
+
+@pytest.fixture(scope="module")
+def throughput_result():
+    return run_throughput(size=96, estimated_clock_mhz=140.0)
+
+
+def test_hardware_throughput_model(benchmark, throughput_result, record_report):
+    """Time the throughput-model evaluation and record the report."""
+    result = benchmark.pedantic(
+        lambda: run_throughput(size=96, estimated_clock_mhz=140.0), rounds=1, iterations=1
+    )
+    record_report("throughput", result.format_report())
+    print()
+    print(result.format_report())
+
+
+class TestThroughputShape:
+    def test_paper_rate_reproduced_at_paper_clock(self, throughput_result):
+        assert throughput_result.at_paper_clock.megabits_per_second == pytest.approx(123.0, abs=3.0)
+
+    def test_two_line_pipeline_roughly_doubles_throughput(self, throughput_result):
+        gain = (
+            throughput_result.at_paper_clock.megabits_per_second
+            / throughput_result.without_pipelining.megabits_per_second
+        )
+        assert 1.5 <= gain <= 2.5
+
+    def test_escape_rate_is_small_on_natural_content(self, throughput_result):
+        assert throughput_result.escape_rate < 0.05
+
+
+class TestSoftwareSpeed:
+    def test_encode_speed(self, benchmark):
+        image = generate_image("lena", size=96)
+        codec = ProposedCodec(CodecConfig.hardware())
+        stream = benchmark.pedantic(lambda: codec.encode(image), rounds=3, iterations=1)
+        assert len(stream) > 0
+
+    def test_decode_speed(self, benchmark):
+        image = generate_image("lena", size=96)
+        codec = ProposedCodec(CodecConfig.hardware())
+        stream = codec.encode(image)
+        decoded = benchmark.pedantic(lambda: codec.decode(stream), rounds=3, iterations=1)
+        assert decoded == image

@@ -1,0 +1,26 @@
+"""Reproduce Table 2 and the performance claims of Section V.
+
+Run with::
+
+    python examples/hardware_report.py
+
+The script runs the analytical hardware model: per-block device utilisation
+(compared against the published synthesis results), the memory budgets
+(3.7 KB modelling / 4 KB probability estimator), the static-timing clock
+estimate and the pipeline throughput at the paper's 123 MHz.
+"""
+
+from repro.experiments.table2 import run_table2
+from repro.experiments.throughput import run_throughput
+
+
+def main() -> None:
+    table2 = run_table2()
+    print(table2.format_report())
+    print()
+    print("Throughput model (escape rate measured on a real encode):")
+    print(run_throughput(size=128, estimated_clock_mhz=table2.timing.clock_mhz).format_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Demonstrate the reconfigurable universal compressor of Figure 1.
+
+Run with::
+
+    python examples/universal_compression.py
+
+A mixed stream — telemetry-like text, a grey-scale image, binary data,
+another image — is pushed through the universal compressor.  The dispatcher
+switches the modelling front-end whenever the block type changes (the
+"Dynamic Modelling Reconfiguration" of Figure 1) and the report shows the
+per-block ratios plus the reconfiguration overhead.
+"""
+
+from repro.imaging.synthetic import generate_image, generate_text_like_image
+from repro.system import UniversalCompressor
+
+
+def main() -> None:
+    telemetry = ("T+%06d temp=%+06.2fC volt=%05.2fV status=NOMINAL\n" % (t, 21.5 + (t % 7) * 0.25, 27.9)
+                 for t in range(0, 4000, 10))
+    text_block = "".join(telemetry).encode("ascii")
+    image_block = generate_image("peppers", size=96)
+    binary_block = bytes((i * 37 + (i >> 3)) % 251 for i in range(8192))
+    document_block = generate_text_like_image(96)
+
+    compressor = UniversalCompressor(data_order=3)
+    blocks = [text_block, image_block, binary_block, document_block]
+    compressed, report = compressor.compress_stream(blocks)
+
+    print("universal compression of a mixed stream:")
+    for original, block in zip(blocks, compressed):
+        size = block.original_size_bytes
+        label = "image" if block.block_type.value == "image" else "data"
+        marker = " (front-end reconfigured)" if block.reconfigured else ""
+        print(
+            "  %-5s %6d -> %6d bytes (ratio %.2f)%s"
+            % (label, size, len(block.payload), size / len(block.payload), marker)
+        )
+        restored = compressor.decompress_block(block)
+        assert restored == original, "lossless reconstruction failed"
+    print(report.format_summary())
+    print("all blocks reconstructed exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of Chen et al., "Hardware Architecture for Lossless Image
+Compression Based on Context-based Modeling and Arithmetic Coding"
+(IEEE SOCC 2007).
+
+The package is organised as follows:
+
+* :mod:`repro.core` — the proposed codec (prediction, context modelling,
+  error feedback, probability estimation, binary arithmetic coding).
+* :mod:`repro.baselines` — the comparison codecs of Table 1 (JPEG-LS, SLP,
+  CALIC).
+* :mod:`repro.entropy` — entropy-coding substrate shared by all codecs.
+* :mod:`repro.imaging` — image containers, PGM I/O, the synthetic test
+  corpus and metrics.
+* :mod:`repro.hardware` — the FPGA resource, timing and pipeline models that
+  regenerate Table 2 and the throughput claims.
+* :mod:`repro.system` — the reconfigurable universal compressor of Figure 1.
+* :mod:`repro.experiments` — the table/figure regeneration harness used by
+  the benchmarks, examples and the CLI.
+"""
+
+from repro.core import CodecConfig, ProposedCodec, decode_image, encode_image
+from repro.imaging import GrayImage, generate_corpus, generate_image
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodecConfig",
+    "ProposedCodec",
+    "encode_image",
+    "decode_image",
+    "GrayImage",
+    "generate_image",
+    "generate_corpus",
+    "__version__",
+]

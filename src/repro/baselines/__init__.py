@@ -1,0 +1,24 @@
+"""Baseline codecs the paper compares against in Table 1.
+
+* :mod:`repro.baselines.jpegls` — JPEG-LS / LOCO-I (Weinberger et al.),
+  the low-complexity standard with MED prediction, 365 contexts, bias
+  correction, limited-length Golomb coding and run mode.
+* :mod:`repro.baselines.slp` — Switched Linear Prediction with an adaptive
+  Golomb-Rice coder (the "SLP(M0)" column of Table 1).
+* :mod:`repro.baselines.calic` — a functional reimplementation of CALIC's
+  continuous-tone mode (Wu & Memon), the upper bound the paper approaches.
+
+All three implement :class:`repro.core.interface.LosslessImageCodec`, so the
+Table 1 harness treats them exactly like the proposed codec.
+"""
+
+from repro.baselines.calic import CalicCodec
+from repro.baselines.jpegls import JpegLsCodec
+from repro.baselines.slp import SlpCodec
+
+__all__ = ["JpegLsCodec", "SlpCodec", "CalicCodec"]
+
+
+def all_baselines():
+    """Return one instance of every baseline codec (Table 1 order)."""
+    return [JpegLsCodec(), SlpCodec(), CalicCodec()]

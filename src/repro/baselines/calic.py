@@ -1,0 +1,289 @@
+"""CALIC baseline codec (functional reimplementation).
+
+CALIC (Context-based, Adaptive, Lossless Image Codec; Wu & Memon 1997) is
+the state-of-the-art reference against which the paper positions its
+hardware-amenable simplification.  This module reimplements the
+continuous-tone mode closely enough for the Table 1 comparison:
+
+* the full **GAP** predictor (the same gradient-adjusted prediction the
+  proposed codec simplifies);
+* an **8-bit texture pattern** — the six causal neighbours *plus* the two
+  second-order terms ``2N − NN`` and ``2W − WW`` compared against the
+  prediction — combined with a quantised error-energy level into a large set
+  of compound contexts used for bias cancellation (CALIC quotes 576
+  contexts; we keep the full 8-bit pattern × 4 energy levels = 1024, a
+  functional superset with the same behaviour and slightly more memory);
+* **error feedback** with exact division (CALIC is a software algorithm, so
+  no hardware approximations are applied);
+* mapped prediction errors coded with an **adaptive multi-symbol arithmetic
+  coder** conditioned on 8 quantised error-energy classes.
+
+Differences from the original (documented here and in DESIGN.md): the binary
+(two-value) mode for synthetic/graphic regions and the histogram tail
+truncation ("sign flipping") are omitted; both affect mainly compound
+documents, not the continuous-tone corpus of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bitstream import CodecId, pack_stream, unpack_stream
+from repro.core.interface import LosslessImageCodec
+from repro.core.mapping import map_error, unmap_error
+from repro.core.neighborhood import Neighborhood, ThreeRowWindow
+from repro.entropy.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.models import AdaptiveModel
+from repro.exceptions import CodecMismatchError, ConfigError
+from repro.imaging.image import GrayImage
+from repro.utils.bitio import BitReader, BitWriter
+
+__all__ = ["CalicCodec", "CalicParameters"]
+
+
+@dataclass(frozen=True)
+class CalicParameters:
+    """Tunables of the CALIC reimplementation."""
+
+    bit_depth: int = 8
+    #: GAP decision thresholds.
+    sharp_threshold: int = 80
+    strong_threshold: int = 32
+    weak_threshold: int = 8
+    #: Error-energy quantiser for the 8 coding contexts.
+    coding_thresholds: tuple = (5, 15, 25, 42, 60, 85, 140)
+    #: Error-energy quantiser for the compound (bias) contexts.
+    bias_energy_thresholds: tuple = (15, 42, 85)
+    #: Adaptation speed of the arithmetic-coder models.
+    model_increment: int = 24
+    #: Rescale bound of the arithmetic-coder models.
+    model_max_total: int = 1 << 16
+
+    @property
+    def maxval(self) -> int:
+        return (1 << self.bit_depth) - 1
+
+    @property
+    def alphabet_size(self) -> int:
+        return 1 << self.bit_depth
+
+    @property
+    def texture_patterns(self) -> int:
+        return 256  # 8 comparison bits
+
+    @property
+    def bias_contexts(self) -> int:
+        return self.texture_patterns * (len(self.bias_energy_thresholds) + 1)
+
+    @property
+    def coding_contexts(self) -> int:
+        return len(self.coding_thresholds) + 1
+
+
+class _BiasState:
+    """Per-compound-context error statistics with exact division."""
+
+    def __init__(self, contexts: int) -> None:
+        self.sums = [0] * contexts
+        self.counts = [0] * contexts
+
+    def mean(self, context: int) -> int:
+        count = self.counts[context]
+        if count == 0:
+            return 0
+        total = self.sums[context]
+        magnitude = abs(total) // count
+        return -magnitude if total < 0 else magnitude
+
+    def update(self, context: int, error: int) -> None:
+        # CALIC ages its statistics by halving at a moderate count; 128 keeps
+        # the estimate responsive without the hardware's 5-bit constraint.
+        if self.counts[context] >= 128:
+            self.counts[context] >>= 1
+            total = self.sums[context]
+            self.sums[context] = -((-total) >> 1) if total < 0 else total >> 1
+        self.counts[context] += 1
+        self.sums[context] += error
+
+
+class CalicCodec(LosslessImageCodec):
+    """Functional reimplementation of CALIC's continuous-tone mode."""
+
+    name = "calic"
+
+    def __init__(self, parameters: Optional[CalicParameters] = None) -> None:
+        self.parameters = parameters if parameters is not None else CalicParameters()
+
+    # ------------------------------------------------------------------ #
+    # modelling helpers (identical on both sides)
+    # ------------------------------------------------------------------ #
+
+    def _predict(self, nb: Neighborhood) -> tuple:
+        """Full GAP prediction; returns (prediction, dh, dv)."""
+        params = self.parameters
+        w, ww, n, nn, ne, nw, nne = nb.as_tuple()
+        dh = abs(w - ww) + abs(n - nw) + abs(n - ne)
+        dv = abs(w - nw) + abs(n - nn) + abs(ne - nne)
+        if dv - dh > params.sharp_threshold:
+            predicted = w
+        elif dh - dv > params.sharp_threshold:
+            predicted = n
+        else:
+            predicted = ((w + n) >> 1) + ((ne - nw) >> 2)
+            if dv - dh > params.strong_threshold:
+                predicted = (predicted + w) >> 1
+            elif dv - dh > params.weak_threshold:
+                predicted = (3 * predicted + w) >> 2
+            elif dh - dv > params.strong_threshold:
+                predicted = (predicted + n) >> 1
+            elif dh - dv > params.weak_threshold:
+                predicted = (3 * predicted + n) >> 2
+        predicted = min(max(predicted, 0), params.maxval)
+        return predicted, dh, dv
+
+    @staticmethod
+    def _texture_pattern(nb: Neighborhood, predicted: int) -> int:
+        """CALIC's 8-event texture pattern (6 neighbours + 2 derived terms)."""
+        events = (
+            nb.n,
+            nb.w,
+            nb.nw,
+            nb.ne,
+            nb.nn,
+            nb.ww,
+            2 * nb.n - nb.nn,
+            2 * nb.w - nb.ww,
+        )
+        pattern = 0
+        for bit, event in enumerate(events):
+            if event < predicted:
+                pattern |= 1 << bit
+        return pattern
+
+    def _quantize(self, value: int, thresholds: tuple) -> int:
+        for level, threshold in enumerate(thresholds):
+            if value <= threshold:
+                return level
+        return len(thresholds)
+
+    def _bias_context(self, pattern: int, energy: int) -> int:
+        return pattern * (len(self.parameters.bias_energy_thresholds) + 1) + energy
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def encode(self, image: GrayImage) -> bytes:
+        params = self.parameters
+        if image.bit_depth != params.bit_depth:
+            raise ConfigError(
+                "CALIC codec configured for %d-bit samples, image has %d"
+                % (params.bit_depth, image.bit_depth)
+            )
+        writer = BitWriter()
+        coder = ArithmeticEncoder(writer)
+        models = [
+            AdaptiveModel(
+                params.alphabet_size,
+                max_total=params.model_max_total,
+                increment=params.model_increment,
+            )
+            for _ in range(params.coding_contexts)
+        ]
+        bias = _BiasState(params.bias_contexts)
+        window = ThreeRowWindow(image.width, default=(params.maxval + 1) // 2)
+
+        previous_error = 0
+        for y in range(image.height):
+            row = image.row(y)
+            for x in range(image.width):
+                value = row[x]
+                nb = window.neighborhood(x)
+                predicted, dh, dv = self._predict(nb)
+                pattern = self._texture_pattern(nb, predicted)
+                energy = dh + dv + 2 * abs(previous_error)
+                bias_ctx = self._bias_context(
+                    pattern, self._quantize(energy, params.bias_energy_thresholds)
+                )
+                adjusted = min(max(predicted + bias.mean(bias_ctx), 0), params.maxval)
+                coding_ctx = self._quantize(energy, params.coding_thresholds)
+
+                symbol, wrapped = map_error(value, adjusted, params.bit_depth)
+                model = models[coding_ctx]
+                low, high, total = model.interval(symbol)
+                coder.encode(low, high, total)
+                model.update(symbol)
+
+                bias.update(bias_ctx, wrapped)
+                previous_error = wrapped
+                window.push(value)
+            window.end_row()
+            previous_error = 0
+
+        coder.finish()
+        payload = writer.getvalue()
+        return pack_stream(
+            CodecId.CALIC,
+            image.width,
+            image.height,
+            image.bit_depth,
+            payload,
+            parameter=params.model_increment,
+        )
+
+    def decode(self, data: bytes) -> GrayImage:
+        header, payload = unpack_stream(data)
+        if header.codec != CodecId.CALIC:
+            raise CodecMismatchError(
+                "stream was produced by %s, not CALIC" % header.codec.name
+            )
+        params = self.parameters
+        if header.bit_depth != params.bit_depth:
+            raise CodecMismatchError(
+                "stream bit depth %d does not match codec configuration %d"
+                % (header.bit_depth, params.bit_depth)
+            )
+        reader = BitReader(payload)
+        coder = ArithmeticDecoder(reader)
+        models = [
+            AdaptiveModel(
+                params.alphabet_size,
+                max_total=params.model_max_total,
+                increment=params.model_increment,
+            )
+            for _ in range(params.coding_contexts)
+        ]
+        bias = _BiasState(params.bias_contexts)
+        window = ThreeRowWindow(header.width, default=(params.maxval + 1) // 2)
+
+        pixels: List[int] = []
+        previous_error = 0
+        for _y in range(header.height):
+            for x in range(header.width):
+                nb = window.neighborhood(x)
+                predicted, dh, dv = self._predict(nb)
+                pattern = self._texture_pattern(nb, predicted)
+                energy = dh + dv + 2 * abs(previous_error)
+                bias_ctx = self._bias_context(
+                    pattern, self._quantize(energy, params.bias_energy_thresholds)
+                )
+                adjusted = min(max(predicted + bias.mean(bias_ctx), 0), params.maxval)
+                coding_ctx = self._quantize(energy, params.coding_thresholds)
+
+                model = models[coding_ctx]
+                target = coder.decode_target(model.total)
+                symbol = model.symbol_from_target(target)
+                low, high, total = model.interval(symbol)
+                coder.consume(low, high, total)
+                model.update(symbol)
+
+                value, wrapped = unmap_error(symbol, adjusted, params.bit_depth)
+                bias.update(bias_ctx, wrapped)
+                previous_error = wrapped
+                window.push(value)
+                pixels.append(value)
+            window.end_row()
+            previous_error = 0
+
+        return GrayImage(header.width, header.height, pixels, header.bit_depth)

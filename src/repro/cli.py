@@ -1,0 +1,213 @@
+"""Command-line entry points.
+
+Three console scripts are installed (see ``pyproject.toml``):
+
+``repro-compress``
+    Compress a PGM image (or an arbitrary file with ``--data``) to a
+    ``.rplc`` container using the proposed codec or any baseline.
+
+``repro-decompress``
+    Reconstruct the original image/file from a ``.rplc`` container; the
+    codec is auto-detected from the container header.
+
+``repro-bench``
+    Regenerate any of the paper's tables/figures from the command line
+    (``table1``, ``figure4``, ``table2``, ``throughput``, ``ablations``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.baselines.calic import CalicCodec
+from repro.baselines.jpegls import JpegLsCodec
+from repro.baselines.slp import SlpCodec
+from repro.core.bitstream import CodecId, unpack_stream
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.exceptions import ReproError
+from repro.imaging.pnm import read_pgm, write_pgm
+from repro.system.datamodel import GeneralDataCodec
+
+__all__ = ["compress_main", "decompress_main", "bench_main"]
+
+_IMAGE_CODECS = {
+    "proposed": lambda: ProposedCodec(),
+    "proposed-reference": lambda: ProposedCodec.reference(),
+    "jpeg-ls": lambda: JpegLsCodec(),
+    "slp": lambda: SlpCodec(),
+    "calic": lambda: CalicCodec(),
+}
+
+
+def _codec_for_stream(data: bytes):
+    """Instantiate the right decoder for a container, from its header."""
+    header, _ = unpack_stream(data)
+    if header.codec in (CodecId.PROPOSED, CodecId.PROPOSED_HARDWARE):
+        return None, "image"  # decode_image reconstructs its own config
+    if header.codec == CodecId.JPEG_LS:
+        return JpegLsCodec(), "image"
+    if header.codec == CodecId.SLP:
+        return SlpCodec(), "image"
+    if header.codec == CodecId.CALIC:
+        return CalicCodec(), "image"
+    if header.codec == CodecId.GENERAL_DATA:
+        return GeneralDataCodec(order=header.parameter), "data"
+    raise ReproError("cannot decode streams of codec %s" % header.codec.name)
+
+
+def compress_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-compress``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-compress",
+        description="Losslessly compress a PGM image (or raw file) into a .rplc container.",
+    )
+    parser.add_argument("input", help="input PGM image (or any file with --data)")
+    parser.add_argument("output", help="output .rplc container")
+    parser.add_argument(
+        "--codec",
+        choices=sorted(_IMAGE_CODECS),
+        default="proposed",
+        help="image codec to use (default: proposed)",
+    )
+    parser.add_argument(
+        "--count-bits",
+        type=int,
+        default=14,
+        help="frequency-count width of the proposed codec (default 14)",
+    )
+    parser.add_argument(
+        "--data",
+        action="store_true",
+        help="treat the input as general data instead of an image",
+    )
+    parser.add_argument(
+        "--order", type=int, default=2, help="context order for --data (default 2)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.data:
+            payload = Path(args.input).read_bytes()
+            stream = GeneralDataCodec(order=args.order).encode(payload)
+            original_size = len(payload)
+        else:
+            image = read_pgm(args.input)
+            if args.codec.startswith("proposed"):
+                config = (
+                    CodecConfig.hardware(count_bits=args.count_bits)
+                    if args.codec == "proposed"
+                    else CodecConfig.reference(count_bits=args.count_bits)
+                )
+                codec = ProposedCodec(config)
+            else:
+                codec = _IMAGE_CODECS[args.codec]()
+            stream = codec.encode(image)
+            original_size = image.pixel_count * ((image.bit_depth + 7) // 8)
+        Path(args.output).write_bytes(stream)
+    except (ReproError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+    ratio = original_size / len(stream) if stream else 0.0
+    print(
+        "%s -> %s: %d -> %d bytes (ratio %.3f)"
+        % (args.input, args.output, original_size, len(stream), ratio)
+    )
+    return 0
+
+
+def decompress_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-decompress``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-decompress",
+        description="Reconstruct the original image/file from a .rplc container.",
+    )
+    parser.add_argument("input", help="input .rplc container")
+    parser.add_argument("output", help="output PGM image (or raw file for data streams)")
+    args = parser.parse_args(argv)
+
+    try:
+        stream = Path(args.input).read_bytes()
+        codec, kind = _codec_for_stream(stream)
+        if kind == "data":
+            Path(args.output).write_bytes(codec.decode(stream))
+        else:
+            if codec is None:
+                from repro.core.decoder import decode_image
+
+                image = decode_image(stream)
+            else:
+                image = codec.decode(stream)
+            write_pgm(image, args.output)
+    except (ReproError, OSError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+    print("%s -> %s" % (args.input, args.output))
+    return 0
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "figure4", "table2", "throughput", "ablations"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument("--size", type=int, default=None, help="corpus image size in pixels")
+    parser.add_argument("--seed", type=int, default=2007, help="corpus random seed")
+    parser.add_argument(
+        "--full", action="store_true", help="use the paper's 512x512 geometry (slow)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.experiment == "table1":
+            from repro.experiments.table1 import run_table1
+
+            size = args.size or (512 if args.full else 256)
+            result = run_table1(size=size, seed=args.seed)
+            print("Table 1 (synthetic corpus, %dx%d):" % (size, size))
+            print(result.format_table(include_paper=True))
+        elif args.experiment == "figure4":
+            from repro.experiments.figure4 import run_figure4
+
+            size = args.size or (512 if args.full else 128)
+            result = run_figure4(size=size, seed=args.seed)
+            print("Figure 4 (synthetic corpus, %dx%d):" % (size, size))
+            print(result.format_table())
+        elif args.experiment == "table2":
+            from repro.experiments.table2 import run_table2
+
+            print(run_table2().format_report())
+        elif args.experiment == "throughput":
+            from repro.experiments.throughput import run_throughput
+
+            size = args.size or 128
+            print(run_throughput(size=size).format_report())
+        else:
+            from repro.experiments.ablations import (
+                run_division_ablation,
+                run_overflow_guard_ablation,
+            )
+
+            size = args.size or 128
+            print(run_overflow_guard_ablation(size=size, seed=args.seed).format_report())
+            print()
+            print(run_division_ablation(size=size, seed=args.seed).format_report())
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(bench_main())

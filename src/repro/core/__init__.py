@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the context-based lossless image codec.
+
+The public surface of this package is:
+
+* :class:`~repro.core.config.CodecConfig` — every tunable of the algorithm
+  (frequency-count width, context layout, hardware approximations).
+* :class:`~repro.core.codec.ProposedCodec` — the encoder/decoder pair, in
+  either the *reference* configuration (exact arithmetic) or the
+  *hardware-faithful* configuration (narrow registers, LUT division,
+  overflow guard) described in Section III of the paper.
+* :func:`~repro.core.encoder.encode_image` /
+  :func:`~repro.core.decoder.decode_image` — functional entry points.
+
+The internal pipeline mirrors the paper's architecture one block per module:
+``neighborhood`` (Fig. 2) → ``predictor`` (GAP) → ``context`` (texture +
+coding context) → ``bias`` (error feedback with Overflow Guard and LUT
+division) → ``mapping`` (error folding) → ``probability`` (8 dynamic trees +
+static escape tree, Fig. 4) → binary arithmetic coder.
+"""
+
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.core.decoder import decode_image
+from repro.core.encoder import EncodeStatistics, encode_image, encode_image_with_statistics
+from repro.core.interface import LosslessImageCodec
+
+__all__ = [
+    "CodecConfig",
+    "ProposedCodec",
+    "LosslessImageCodec",
+    "encode_image",
+    "encode_image_with_statistics",
+    "EncodeStatistics",
+    "decode_image",
+]

@@ -1,0 +1,182 @@
+"""Error feedback / bias cancellation (Section III of the paper).
+
+Each of the 512 compound contexts keeps the running ``sum`` and ``count`` of
+the prediction errors observed in that context.  The mean error
+``ē = sum / count`` (Equation 1) is the most probable prediction error in
+the context and is added to the primary prediction to remove its systematic
+bias: ``X̃ = X̂ + ē``.
+
+The paper's hardware constraints are modelled explicitly:
+
+* **Overflow Guard** — the count is a 5-bit register; when it reaches 31 both
+  the count and the sum are halved, "aging" the statistics (the paper notes
+  this slightly *improves* compression).  The sum is stored as 13 magnitude
+  bits plus a sign.
+* **LUT division** — a 1 KByte reciprocal table (512 entries × 16 bits)
+  replaces the divider: the dividend is bounded to 10 bits (values larger
+  than 1023 occur on well under 0.001 % of pixels and do not reflect typical
+  context behaviour), and the mean is obtained with one multiply and one
+  shift.  The exact-division path is kept for the ablation benchmark that
+  verifies the approximation does not change the compression ratio.
+
+Both paths are selected through :class:`~repro.core.config.CodecConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import CodecConfig
+from repro.exceptions import ModelStateError
+
+__all__ = ["ReciprocalDivider", "BiasCorrector"]
+
+
+class ReciprocalDivider:
+    """Fixed-point division by small integers through a reciprocal ROM.
+
+    The ROM holds ``entries`` 16-bit words: ``rom[c] = round(2**shift / c)``.
+    A division ``dividend / c`` becomes ``(dividend * rom[c]) >> shift``.
+    With ``entries = 512`` the ROM occupies exactly the paper's 1 KByte.
+    """
+
+    def __init__(self, entries: int = 512, shift: int = 15) -> None:
+        if entries < 2:
+            raise ModelStateError("reciprocal ROM needs at least 2 entries")
+        if not 8 <= shift <= 30:
+            raise ModelStateError("reciprocal shift must be in [8, 30], got %d" % shift)
+        self.entries = entries
+        self.shift = shift
+        self._rom: List[int] = [0] * entries
+        for divisor in range(1, entries):
+            self._rom[divisor] = round((1 << shift) / divisor)
+
+    @property
+    def rom_bytes(self) -> int:
+        """ROM size in bytes (16-bit entries)."""
+        return self.entries * 2
+
+    def rom_entry(self, divisor: int) -> int:
+        """Raw ROM word for ``divisor`` (useful for the hardware model)."""
+        if not 0 <= divisor < self.entries:
+            raise ModelStateError("divisor %d outside ROM range" % divisor)
+        return self._rom[divisor]
+
+    def divide(self, dividend: int, divisor: int) -> int:
+        """Approximate ``dividend / divisor`` (signed, magnitude-rounded).
+
+        The half-LSB offset before the shift is free in hardware and keeps
+        exact multiples (e.g. ``80 / 20``) from being truncated one short.
+        """
+        if divisor <= 0 or divisor >= self.entries:
+            raise ModelStateError("divisor %d outside (0, %d)" % (divisor, self.entries))
+        rounding = 1 << (self.shift - 1)
+        magnitude = (abs(dividend) * self._rom[divisor] + rounding) >> self.shift
+        return -magnitude if dividend < 0 else magnitude
+
+
+class BiasCorrector:
+    """Per-context error statistics and prediction adjustment."""
+
+    def __init__(self, config: CodecConfig) -> None:
+        self._config = config
+        contexts = config.compound_contexts
+        self._sums: List[int] = [0] * contexts
+        self._counts: List[int] = [0] * contexts
+        self._count_max = config.bias_count_max
+        self._sum_max = (1 << config.bias_sum_magnitude_bits) - 1
+        self._dividend_max = config.bias_dividend_max
+        self._divider = ReciprocalDivider() if config.use_lut_division else None
+        self.rescale_events = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def context_count(self) -> int:
+        return len(self._sums)
+
+    def statistics(self, context: int) -> Tuple[int, int]:
+        """Return ``(sum, count)`` for a compound context."""
+        self._check_context(context)
+        return self._sums[context], self._counts[context]
+
+    def mean_error(self, context: int) -> int:
+        """The feedback value ``ē`` for ``context`` (0 when no history)."""
+        self._check_context(context)
+        count = self._counts[context]
+        if count == 0:
+            return 0
+        total = self._sums[context]
+        # Bound the dividend as the hardware does (Section III).
+        if total > self._dividend_max:
+            total = self._dividend_max
+        elif total < -self._dividend_max:
+            total = -self._dividend_max
+        if self._divider is not None:
+            return self._divider.divide(total, count)
+        # Exact reference division with the same round-to-nearest-magnitude
+        # semantics as the LUT path.
+        magnitude = (abs(total) + count // 2) // count
+        return -magnitude if total < 0 else magnitude
+
+    def adjusted_prediction(self, context: int, predicted: int) -> int:
+        """Apply the error feedback: ``X̃ = clamp(X̂ + ē)``."""
+        if not self._config.use_error_feedback:
+            return predicted
+        adjusted = predicted + self.mean_error(context)
+        if adjusted < 0:
+            return 0
+        if adjusted > self._config.max_sample:
+            return self._config.max_sample
+        return adjusted
+
+    def memory_bits(self) -> int:
+        """Context-memory size in bits (sum + sign + count per context)."""
+        per_context = self._config.bias_sum_magnitude_bits + 1 + self._config.bias_count_bits
+        return self.context_count * per_context
+
+    # ------------------------------------------------------------------ #
+    # adaptation
+    # ------------------------------------------------------------------ #
+
+    def update(self, context: int, error: int) -> None:
+        """Fold the new prediction ``error`` into the context statistics.
+
+        Implements the Overflow Guard: when the 5-bit count saturates both
+        the count and the sum are halved before the new sample is added, so
+        the stored mean is preserved while old data is aged out.
+        """
+        self._check_context(context)
+        count = self._counts[context]
+        total = self._sums[context]
+
+        if count >= self._count_max:
+            if self._config.use_overflow_guard_aging:
+                count >>= 1
+                total = -((-total) >> 1) if total < 0 else total >> 1
+            else:
+                # Ablation: freeze the statistics instead of aging them.
+                return
+
+        count += 1
+        total += error
+        if total > self._sum_max:
+            total = self._sum_max
+        elif total < -self._sum_max:
+            total = -self._sum_max
+
+        if count > self._count_max:
+            raise ModelStateError("overflow guard failed to bound the context count")
+
+        self._counts[context] = count
+        self._sums[context] = total
+        if count == self._count_max:
+            self.rescale_events += 1
+
+    def _check_context(self, context: int) -> None:
+        if not 0 <= context < len(self._sums):
+            raise ModelStateError(
+                "compound context %d outside [0, %d)" % (context, len(self._sums))
+            )

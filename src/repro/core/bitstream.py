@@ -1,0 +1,139 @@
+"""Compressed-stream container format.
+
+Every codec in this package wraps its entropy-coded payload in the same tiny
+container so that streams are self-describing: the decoder can recover the
+image geometry, the codec that produced the stream and the configuration
+fields it needs to rebuild its adaptive models identically.
+
+Layout (big-endian)::
+
+    offset  size  field
+    0       4     magic "RPLC" (RePro Lossless Container)
+    4       1     container version (currently 1)
+    5       1     codec id (see CodecId)
+    6       4     image width in pixels
+    10      4     image height in pixels
+    14      1     bit depth
+    15      1     codec parameter byte (meaning depends on the codec; the
+                  proposed codec stores the frequency-count width here)
+    16      1     flags byte (bit 0: hardware-faithful path)
+    17      4     payload length in bytes
+    21      ...   payload
+
+A truncated or corrupted header raises
+:class:`~repro.exceptions.HeaderError`; a payload shorter than the declared
+length raises :class:`~repro.exceptions.BitstreamError`.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.exceptions import BitstreamError, HeaderError
+
+__all__ = ["CodecId", "StreamHeader", "pack_stream", "unpack_stream"]
+
+MAGIC = b"RPLC"
+CONTAINER_VERSION = 1
+_HEADER_STRUCT = struct.Struct(">4sBBIIBBBI")
+
+
+class CodecId(enum.IntEnum):
+    """Identifies which codec produced a stream."""
+
+    PROPOSED = 1
+    PROPOSED_HARDWARE = 2
+    JPEG_LS = 3
+    SLP = 4
+    CALIC = 5
+    GENERAL_DATA = 6
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Decoded container header."""
+
+    codec: CodecId
+    width: int
+    height: int
+    bit_depth: int
+    parameter: int
+    flags: int
+    payload_length: int
+
+    @property
+    def pixel_count(self) -> int:
+        return self.width * self.height
+
+
+def pack_stream(
+    codec: CodecId,
+    width: int,
+    height: int,
+    bit_depth: int,
+    payload: bytes,
+    parameter: int = 0,
+    flags: int = 0,
+) -> bytes:
+    """Assemble a complete container around ``payload``."""
+    if width <= 0 or height <= 0:
+        raise HeaderError("image dimensions must be positive, got %dx%d" % (width, height))
+    if not 1 <= bit_depth <= 16:
+        raise HeaderError("bit depth must be in [1, 16], got %d" % bit_depth)
+    if not 0 <= parameter <= 255:
+        raise HeaderError("parameter byte must fit in 8 bits, got %d" % parameter)
+    if not 0 <= flags <= 255:
+        raise HeaderError("flags byte must fit in 8 bits, got %d" % flags)
+    header = _HEADER_STRUCT.pack(
+        MAGIC,
+        CONTAINER_VERSION,
+        int(codec),
+        width,
+        height,
+        bit_depth,
+        parameter,
+        flags,
+        len(payload),
+    )
+    return header + payload
+
+
+def unpack_stream(data: bytes) -> tuple:
+    """Split a container into its :class:`StreamHeader` and payload bytes."""
+    if len(data) < _HEADER_STRUCT.size:
+        raise HeaderError(
+            "stream too short for a container header (%d bytes)" % len(data)
+        )
+    magic, version, codec_raw, width, height, bit_depth, parameter, flags, length = (
+        _HEADER_STRUCT.unpack_from(data)
+    )
+    if magic != MAGIC:
+        raise HeaderError("bad container magic %r" % magic)
+    if version != CONTAINER_VERSION:
+        raise HeaderError("unsupported container version %d" % version)
+    try:
+        codec = CodecId(codec_raw)
+    except ValueError as exc:
+        raise HeaderError("unknown codec id %d" % codec_raw) from exc
+    if width <= 0 or height <= 0:
+        raise HeaderError("corrupt dimensions %dx%d" % (width, height))
+    if not 1 <= bit_depth <= 16:
+        raise HeaderError("corrupt bit depth %d" % bit_depth)
+    payload = data[_HEADER_STRUCT.size :]
+    if len(payload) < length:
+        raise BitstreamError(
+            "payload truncated: header declares %d bytes, %d present"
+            % (length, len(payload))
+        )
+    header = StreamHeader(
+        codec=codec,
+        width=width,
+        height=height,
+        bit_depth=bit_depth,
+        parameter=parameter,
+        flags=flags,
+        payload_length=length,
+    )
+    return header, payload[:length]

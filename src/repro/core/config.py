@@ -1,0 +1,203 @@
+"""Configuration of the proposed codec.
+
+Every algorithmic constant the paper mentions is a field of
+:class:`CodecConfig` so the benchmark harness can sweep it:
+
+* ``count_bits`` — the probability-estimator frequency-count width swept in
+  Figure 4 (10/12/14/16, the paper selects 14);
+* ``texture_bits`` + ``energy_levels`` — the 6-bit texture pattern and 3-bit
+  coding-context index that form the 512 compound contexts;
+* ``bias_count_bits`` / ``bias_sum_magnitude_bits`` / ``bias_dividend_bits``
+  — the Overflow-Guard register widths (5, 13 and 10 bits in the paper);
+* ``use_lut_division`` — replace the exact mean computation by the 1 KByte
+  reciprocal-LUT division of Section III;
+* ``use_overflow_guard_aging`` — the count/sum halving that "ages" the
+  statistics (the paper reports it slightly improves compression).
+
+Two named presets exist: :meth:`CodecConfig.reference` (exact arithmetic,
+used to isolate algorithmic behaviour) and :meth:`CodecConfig.hardware`
+(every approximation the FPGA implementation makes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.exceptions import ConfigError
+
+__all__ = ["CodecConfig", "DEFAULT_ENERGY_THRESHOLDS"]
+
+#: Quantiser thresholds for the error-energy / coding-context index QE.
+#: These are the CALIC-style activity thresholds; the paper quantises the
+#: coding context "into 8 levels" without listing the boundaries, so we use
+#: the standard CALIC values.
+DEFAULT_ENERGY_THRESHOLDS: Tuple[int, ...] = (5, 15, 25, 42, 60, 85, 140)
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Complete parameterisation of the proposed codec.
+
+    The defaults reproduce the configuration evaluated in the paper:
+    8-bit pixels, 512 compound contexts (64 texture patterns x 8 coding
+    contexts), 14-bit frequency counts and all hardware approximations
+    enabled.
+    """
+
+    #: Bits per pixel sample of the input image.
+    bit_depth: int = 8
+    #: Frequency-count width of the probability estimator (Figure 4 sweep).
+    count_bits: int = 14
+    #: Number of texture-pattern bits (six neighbours compared with the
+    #: prediction gives 64 patterns).
+    texture_bits: int = 6
+    #: Number of quantised error-energy levels (the 3-bit coding context QE).
+    energy_levels: int = 8
+    #: Quantiser thresholds separating the energy levels (len == levels - 1).
+    energy_thresholds: Tuple[int, ...] = field(default=DEFAULT_ENERGY_THRESHOLDS)
+    #: GAP sharp-edge threshold.
+    gap_sharp_threshold: int = 80
+    #: GAP strong-edge threshold.
+    gap_strong_threshold: int = 32
+    #: GAP weak-edge threshold.
+    gap_weak_threshold: int = 8
+    #: Enable the per-context error feedback (bias cancellation).
+    use_error_feedback: bool = True
+    #: Width of the per-context error counter (Overflow Guard halves at max).
+    bias_count_bits: int = 5
+    #: Magnitude width of the per-context error sum (plus one sign bit).
+    bias_sum_magnitude_bits: int = 13
+    #: Bound on the dividend fed to the division (the paper uses 10 bits).
+    bias_dividend_bits: int = 10
+    #: Use the 1 KByte reciprocal LUT instead of exact division.
+    use_lut_division: bool = True
+    #: Halve sum and count when the count saturates ("aging"); disabling this
+    #: is the ablation the paper mentions in Section III.
+    use_overflow_guard_aging: bool = True
+    #: Adaptation increment of the probability estimator trees.  The paper
+    #: does not state the increment its coder IP uses; 16 gives the fast
+    #: adaptation a hardware counter update can provide at no extra cost and
+    #: is what the evaluation harness uses (see DESIGN.md).
+    estimator_increment: int = 16
+    #: Register precision of the binary arithmetic coder.
+    coder_precision: int = 32
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of distinct pixel / mapped-error values."""
+        return 1 << self.bit_depth
+
+    @property
+    def max_sample(self) -> int:
+        """Largest pixel value."""
+        return self.alphabet_size - 1
+
+    @property
+    def texture_patterns(self) -> int:
+        """Number of texture patterns (2**texture_bits)."""
+        return 1 << self.texture_bits
+
+    @property
+    def compound_contexts(self) -> int:
+        """Number of compound contexts used by the error feedback (512)."""
+        return self.texture_patterns * self.energy_levels
+
+    @property
+    def energy_index_bits(self) -> int:
+        """Bits of the coding-context index QE."""
+        return (self.energy_levels - 1).bit_length()
+
+    @property
+    def bias_count_max(self) -> int:
+        """Maximum value of the per-context error counter (31 in the paper)."""
+        return (1 << self.bias_count_bits) - 1
+
+    @property
+    def bias_dividend_max(self) -> int:
+        """Maximum dividend magnitude accepted by the division (1023)."""
+        return (1 << self.bias_dividend_bits) - 1
+
+    # ------------------------------------------------------------------ #
+    # presets
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def reference(cls, **overrides) -> "CodecConfig":
+        """Exact-arithmetic configuration (no hardware approximations)."""
+        config = cls(
+            use_lut_division=False,
+            bias_count_bits=16,
+            bias_sum_magnitude_bits=24,
+            bias_dividend_bits=24,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    @classmethod
+    def hardware(cls, **overrides) -> "CodecConfig":
+        """The configuration of the paper's FPGA implementation."""
+        config = cls()
+        return replace(config, **overrides) if overrides else config
+
+    def with_count_bits(self, count_bits: int) -> "CodecConfig":
+        """Return a copy with a different frequency-count width (Figure 4)."""
+        return replace(self, count_bits=count_bits)
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bit_depth <= 16:
+            raise ConfigError("bit_depth must be in [1, 16], got %d" % self.bit_depth)
+        if not 2 <= self.count_bits <= 30:
+            raise ConfigError("count_bits must be in [2, 30], got %d" % self.count_bits)
+        if not 1 <= self.texture_bits <= 8:
+            raise ConfigError("texture_bits must be in [1, 8], got %d" % self.texture_bits)
+        if self.energy_levels < 2 or self.energy_levels & (self.energy_levels - 1):
+            raise ConfigError(
+                "energy_levels must be a power of two >= 2, got %d" % self.energy_levels
+            )
+        if len(self.energy_thresholds) != self.energy_levels - 1:
+            raise ConfigError(
+                "need %d energy thresholds for %d levels, got %d"
+                % (self.energy_levels - 1, self.energy_levels, len(self.energy_thresholds))
+            )
+        if list(self.energy_thresholds) != sorted(self.energy_thresholds):
+            raise ConfigError("energy_thresholds must be non-decreasing")
+        if not self.gap_sharp_threshold >= self.gap_strong_threshold >= self.gap_weak_threshold >= 0:
+            raise ConfigError("GAP thresholds must satisfy sharp >= strong >= weak >= 0")
+        if not 1 <= self.bias_count_bits <= 24:
+            raise ConfigError(
+                "bias_count_bits must be in [1, 24], got %d" % self.bias_count_bits
+            )
+        if not 1 <= self.bias_sum_magnitude_bits <= 32:
+            raise ConfigError(
+                "bias_sum_magnitude_bits must be in [1, 32], got %d"
+                % self.bias_sum_magnitude_bits
+            )
+        if not 1 <= self.bias_dividend_bits <= self.bias_sum_magnitude_bits:
+            raise ConfigError(
+                "bias_dividend_bits must be in [1, %d], got %d"
+                % (self.bias_sum_magnitude_bits, self.bias_dividend_bits)
+            )
+        if self.estimator_increment <= 0:
+            raise ConfigError(
+                "estimator_increment must be positive, got %d" % self.estimator_increment
+            )
+        if not 16 <= self.coder_precision <= 62:
+            raise ConfigError(
+                "coder_precision must be in [16, 62], got %d" % self.coder_precision
+            )
+        # The arithmetic coder requires every model total to stay below a
+        # quarter of its register range; check the worst-case tree total.
+        worst_tree_total = (1 << self.count_bits) * (self.alphabet_size + 1)
+        if worst_tree_total >= 1 << (self.coder_precision - 2):
+            raise ConfigError(
+                "count_bits=%d with bit_depth=%d overflows a %d-bit coder"
+                % (self.count_bits, self.bit_depth, self.coder_precision)
+            )

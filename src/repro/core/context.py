@@ -1,0 +1,112 @@
+"""Context modelling (Section II of the paper).
+
+Two pieces of context are formed for every pixel:
+
+* a **texture pattern** ``t`` — six causal neighbours are compared with the
+  primary prediction; each comparison contributes one bit, giving
+  ``2**6 = 64`` local texture classes;
+* a **coding context index** ``QE`` — the local error activity
+  ``dh + dv + 2*|e_W|`` (gradients plus the previous prediction error) is
+  quantised into 8 levels.
+
+Their concatenation — 6 + 3 = 9 bits — selects one of the **512 compound
+contexts** used by the error-feedback stage, while ``QE`` alone selects which
+of the 8 dynamic probability-estimator trees codes the mapped error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.config import CodecConfig
+from repro.core.neighborhood import Neighborhood
+
+__all__ = ["ContextDescriptor", "ContextModeler"]
+
+
+@dataclass(frozen=True)
+class ContextDescriptor:
+    """Everything the later stages need to know about the current context."""
+
+    #: 6-bit texture pattern.
+    texture: int
+    #: 3-bit quantised error-energy level (the coding context index QE).
+    energy: int
+    #: Compound context index = texture * energy_levels + energy (0..511).
+    compound: int
+
+
+class ContextModeler:
+    """Builds texture patterns, energy levels and compound context indices."""
+
+    def __init__(self, config: CodecConfig) -> None:
+        self._config = config
+        self._thresholds: Tuple[int, ...] = config.energy_thresholds
+        self._energy_levels = config.energy_levels
+
+    # ------------------------------------------------------------------ #
+    # texture pattern
+    # ------------------------------------------------------------------ #
+
+    def texture_pattern(self, neighbors: Neighborhood, predicted: int) -> int:
+        """Compare six neighbours with the prediction to form the pattern.
+
+        Bit ``i`` is set when the corresponding neighbour is strictly below
+        the predicted value; the neighbour order (N, W, NW, NE, NN, WW) is
+        fixed so encoder and decoder agree.
+        """
+        pattern = 0
+        if neighbors.n < predicted:
+            pattern |= 0b000001
+        if neighbors.w < predicted:
+            pattern |= 0b000010
+        if neighbors.nw < predicted:
+            pattern |= 0b000100
+        if neighbors.ne < predicted:
+            pattern |= 0b001000
+        if neighbors.nn < predicted:
+            pattern |= 0b010000
+        if neighbors.ww < predicted:
+            pattern |= 0b100000
+        return pattern & ((1 << self._config.texture_bits) - 1)
+
+    # ------------------------------------------------------------------ #
+    # coding context (error energy)
+    # ------------------------------------------------------------------ #
+
+    def error_energy(self, dh: int, dv: int, previous_error: int) -> int:
+        """Local activity measure: gradients plus the previous error at W."""
+        return dh + dv + 2 * abs(previous_error)
+
+    def quantize_energy(self, energy: int) -> int:
+        """Quantise the activity measure into the coding-context index QE."""
+        for level, threshold in enumerate(self._thresholds):
+            if energy <= threshold:
+                return level
+        return self._energy_levels - 1
+
+    # ------------------------------------------------------------------ #
+    # compound context
+    # ------------------------------------------------------------------ #
+
+    def compound_index(self, texture: int, energy: int) -> int:
+        """Combine texture pattern and QE into the compound context index."""
+        return texture * self._energy_levels + energy
+
+    def describe(
+        self,
+        neighbors: Neighborhood,
+        predicted: int,
+        dh: int,
+        dv: int,
+        previous_error: int,
+    ) -> ContextDescriptor:
+        """Build the full context descriptor for the current pixel."""
+        texture = self.texture_pattern(neighbors, predicted)
+        energy = self.quantize_energy(self.error_energy(dh, dv, previous_error))
+        return ContextDescriptor(
+            texture=texture,
+            energy=energy,
+            compound=self.compound_index(texture, energy),
+        )

@@ -1,0 +1,85 @@
+"""Decoder of the proposed codec.
+
+The decoder mirrors :mod:`repro.core.encoder` step for step: it derives the
+same prediction, context and adjusted prediction from the already-decoded
+causal pixels, asks the probability estimator to decode the mapped error
+symbol, un-maps it into the pixel value and commits that value to the same
+adaptive state the encoder updated.  Because every model update depends only
+on data both sides share, the models remain synchronised for the whole
+image.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bitstream import CodecId, unpack_stream
+from repro.core.config import CodecConfig
+from repro.core.mapping import unmap_error
+from repro.core.modeling import ImageModeler
+from repro.core.probability import ProbabilityEstimator
+from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder
+from repro.exceptions import CodecMismatchError
+from repro.imaging.image import GrayImage
+from repro.utils.bitio import BitReader
+
+__all__ = ["decode_image"]
+
+
+def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage:
+    """Reconstruct the image from a stream produced by
+    :func:`repro.core.encoder.encode_image`.
+
+    Parameters
+    ----------
+    data:
+        The complete container (header + payload).
+    config:
+        Optional codec configuration.  When omitted, the configuration is
+        reconstructed from the container header (count-bits parameter and
+        hardware flag); when provided it must be consistent with the header.
+    """
+    header, payload = unpack_stream(data)
+    if header.codec not in (CodecId.PROPOSED, CodecId.PROPOSED_HARDWARE):
+        raise CodecMismatchError(
+            "stream was produced by %s, not the proposed codec" % header.codec.name
+        )
+
+    if config is None:
+        if header.flags & 1:
+            config = CodecConfig.hardware(count_bits=header.parameter)
+        else:
+            config = CodecConfig.reference(count_bits=header.parameter)
+    else:
+        if config.count_bits != header.parameter:
+            raise CodecMismatchError(
+                "stream was encoded with count_bits=%d but decoder is configured "
+                "with count_bits=%d" % (header.parameter, config.count_bits)
+            )
+        if bool(header.flags & 1) != config.use_lut_division:
+            raise CodecMismatchError(
+                "stream hardware flag does not match decoder configuration"
+            )
+    if config.bit_depth != header.bit_depth:
+        raise CodecMismatchError(
+            "stream bit depth %d does not match configuration %d"
+            % (header.bit_depth, config.bit_depth)
+        )
+
+    modeler = ImageModeler(header.width, config)
+    estimator = ProbabilityEstimator(config)
+    reader = BitReader(payload)
+    coder = BinaryArithmeticDecoder(reader, precision=config.coder_precision)
+
+    bit_depth = config.bit_depth
+    pixels = []
+    for _y in range(header.height):
+        for x in range(header.width):
+            model = modeler.model_pixel(x)
+            symbol = estimator.decode_symbol(coder, model.context.energy)
+            value, wrapped_error = unmap_error(symbol, model.adjusted, bit_depth)
+            modeler.commit_pixel(value, wrapped_error, model)
+            pixels.append(value)
+        modeler.end_row()
+
+    return GrayImage(header.width, header.height, pixels, header.bit_depth)

@@ -1,0 +1,124 @@
+"""Encoder of the proposed codec.
+
+The per-pixel loop follows the architecture of Figure 3: model the pixel
+from causal data (prediction, contexts, error feedback), map the prediction
+error to a non-negative symbol, hand the symbol to the probability estimator
+which drives the binary arithmetic coder, then commit the pixel to the
+adaptive state.  The decoder performs the mirror image of every step, which
+is what makes the scheme lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.bitstream import CodecId, pack_stream
+from repro.core.config import CodecConfig
+from repro.core.mapping import map_error
+from repro.core.modeling import ImageModeler
+from repro.core.probability import ProbabilityEstimator
+from repro.entropy.binary_arithmetic import BinaryArithmeticEncoder
+from repro.exceptions import ConfigError
+from repro.imaging.image import GrayImage
+from repro.utils.bitio import BitWriter
+
+__all__ = ["EncodeStatistics", "encode_image", "encode_image_with_statistics"]
+
+
+@dataclass
+class EncodeStatistics:
+    """Diagnostics gathered while encoding one image."""
+
+    #: Compressed payload size in bytes (excluding the container header).
+    payload_bytes: int = 0
+    #: Compressed size including the container header.
+    total_bytes: int = 0
+    #: Bits per pixel of the complete stream.
+    bits_per_pixel: float = 0.0
+    #: Number of escape events in the probability estimator.
+    escapes: int = 0
+    #: Number of dynamic-tree halving rescales.
+    tree_rescales: int = 0
+    #: Number of binary decisions handed to the arithmetic coder.
+    binary_decisions: int = 0
+    #: Histogram of coding-context usage (index = QE).
+    context_usage: Dict[int, int] = field(default_factory=dict)
+    #: Overflow-guard saturation events in the bias corrector.
+    bias_saturations: int = 0
+
+
+def _encode_payload(image: GrayImage, config: CodecConfig) -> tuple:
+    """Run the modelling + coding pipeline; return (payload, statistics)."""
+    modeler = ImageModeler(image.width, config)
+    estimator = ProbabilityEstimator(config)
+    writer = BitWriter()
+    coder = BinaryArithmeticEncoder(writer, precision=config.coder_precision)
+
+    bit_depth = config.bit_depth
+    width = image.width
+    height = image.height
+    pixels = image.pixels()
+
+    index = 0
+    for _y in range(height):
+        for x in range(width):
+            value = pixels[index]
+            index += 1
+            model = modeler.model_pixel(x)
+            symbol, wrapped_error = map_error(value, model.adjusted, bit_depth)
+            estimator.encode_symbol(coder, model.context.energy, symbol)
+            modeler.commit_pixel(value, wrapped_error, model)
+        modeler.end_row()
+
+    coder.finish()
+    payload = writer.getvalue()
+
+    statistics = EncodeStatistics(
+        payload_bytes=len(payload),
+        escapes=estimator.statistics.escapes,
+        tree_rescales=estimator.statistics.tree_rescales,
+        binary_decisions=estimator.statistics.binary_decisions,
+        context_usage={
+            context: count
+            for context, count in enumerate(estimator.statistics.symbols_per_context)
+            if count
+        },
+        bias_saturations=modeler.bias.rescale_events,
+    )
+    return payload, statistics
+
+
+def encode_image(image: GrayImage, config: Optional[CodecConfig] = None) -> bytes:
+    """Compress ``image`` with the proposed codec and return the container."""
+    compressed, _ = encode_image_with_statistics(image, config)
+    return compressed
+
+
+def encode_image_with_statistics(
+    image: GrayImage, config: Optional[CodecConfig] = None
+) -> tuple:
+    """Compress ``image`` and also return :class:`EncodeStatistics`."""
+    if config is None:
+        config = CodecConfig.hardware()
+    if image.bit_depth != config.bit_depth:
+        raise ConfigError(
+            "image bit depth %d does not match codec bit depth %d"
+            % (image.bit_depth, config.bit_depth)
+        )
+
+    payload, statistics = _encode_payload(image, config)
+    codec_id = CodecId.PROPOSED_HARDWARE if config.use_lut_division else CodecId.PROPOSED
+    flags = 1 if config.use_lut_division else 0
+    stream = pack_stream(
+        codec_id,
+        image.width,
+        image.height,
+        image.bit_depth,
+        payload,
+        parameter=config.count_bits,
+        flags=flags,
+    )
+    statistics.total_bytes = len(stream)
+    statistics.bits_per_pixel = 8.0 * len(stream) / image.pixel_count
+    return stream, statistics

@@ -1,0 +1,43 @@
+"""Abstract interface shared by every lossless image codec in the package.
+
+The proposed codec and all three baselines (JPEG-LS, SLP, CALIC) implement
+this interface, which is what allows the Table 1 benchmark harness, the CLI
+and the universal compressor to treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.imaging.image import GrayImage
+
+__all__ = ["LosslessImageCodec"]
+
+
+class LosslessImageCodec(abc.ABC):
+    """A lossless grey-scale image codec.
+
+    Implementations must guarantee that ``decode(encode(image)) == image``
+    for every image whose bit depth they support; the integration test-suite
+    enforces this for every registered codec.
+    """
+
+    #: Short machine-readable identifier (used by the bitstream container and
+    #: the benchmark tables).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode(self, image: GrayImage) -> bytes:
+        """Compress ``image`` into a self-contained byte string."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes) -> GrayImage:
+        """Reconstruct the exact image from :meth:`encode` output."""
+
+    def bits_per_pixel(self, image: GrayImage) -> float:
+        """Convenience helper: compress ``image`` and return the bit rate."""
+        compressed = self.encode(image)
+        return 8.0 * len(compressed) / image.pixel_count
+
+    def __repr__(self) -> str:
+        return "<%s name=%r>" % (type(self).__name__, self.name)

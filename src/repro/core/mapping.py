@@ -1,0 +1,100 @@
+"""Prediction-error remapping (Section II of the paper).
+
+The raw prediction error ``e = X - X̃`` of an ``n``-bit image lies in
+``[-(2^n - 1), 2^n - 1]``.  Because both encoder and decoder know the
+adjusted prediction ``X̃``, the error can first be reduced modulo ``2^n``
+into the signed range ``[-2^(n-1), 2^(n-1) - 1]`` without losing
+information, and then folded into the unsigned range ``[0, 2^n - 1]`` — the
+paper's "remapped from the range −2^(n−1) to 2^(n−1), to the range 0 to
+2^n − 1 to reduce the alphabet size".
+
+The folding interleaves positive and negative errors (0, −1, +1, −2, +2, …)
+so that small-magnitude errors — by far the most common — receive small
+symbol indices, which keeps the probability-estimator trees well shaped.
+
+All functions here are exact inverses of each other; a property-based test
+checks the bijection over the full range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import ModelStateError
+
+__all__ = ["map_error", "unmap_error", "fold_signed", "unfold_signed"]
+
+
+def fold_signed(error: int, bit_depth: int) -> int:
+    """Fold a signed error in ``[-2^(n-1), 2^(n-1) - 1]`` to ``[0, 2^n - 1]``.
+
+    Non-negative errors map to even codes (``2e``), negative errors to odd
+    codes (``-2e - 1``).
+    """
+    half = 1 << (bit_depth - 1)
+    if not -half <= error <= half - 1:
+        raise ModelStateError(
+            "signed error %d outside [-%d, %d]" % (error, half, half - 1)
+        )
+    if error >= 0:
+        return 2 * error
+    return -2 * error - 1
+
+
+def unfold_signed(code: int, bit_depth: int) -> int:
+    """Inverse of :func:`fold_signed`."""
+    size = 1 << bit_depth
+    if not 0 <= code < size:
+        raise ModelStateError("folded code %d outside [0, %d)" % (code, size))
+    if code % 2 == 0:
+        return code // 2
+    return -(code + 1) // 2
+
+
+def map_error(actual: int, predicted: int, bit_depth: int) -> Tuple[int, int]:
+    """Map the prediction error of one pixel to its coded symbol.
+
+    Parameters
+    ----------
+    actual:
+        The true pixel value ``X``.
+    predicted:
+        The adjusted prediction ``X̃`` known to both encoder and decoder.
+    bit_depth:
+        Bits per sample ``n``.
+
+    Returns
+    -------
+    (symbol, wrapped_error):
+        ``symbol`` is the value handed to the probability estimator
+        (``0 .. 2^n − 1``); ``wrapped_error`` is the modulo-reduced signed
+        error, which the error-feedback stage accumulates.
+    """
+    size = 1 << bit_depth
+    half = size >> 1
+    max_value = size - 1
+    if not 0 <= actual <= max_value:
+        raise ModelStateError("pixel value %d outside [0, %d]" % (actual, max_value))
+    if not 0 <= predicted <= max_value:
+        raise ModelStateError("prediction %d outside [0, %d]" % (predicted, max_value))
+
+    error = (actual - predicted) % size
+    if error >= half:
+        error -= size
+    return fold_signed(error, bit_depth), error
+
+
+def unmap_error(symbol: int, predicted: int, bit_depth: int) -> Tuple[int, int]:
+    """Reconstruct the pixel value from a coded symbol.
+
+    Returns ``(actual, wrapped_error)`` where ``wrapped_error`` matches the
+    value produced by :func:`map_error` on the encoder side (needed so the
+    decoder updates its error-feedback state identically).
+    """
+    size = 1 << bit_depth
+    max_value = size - 1
+    if not 0 <= predicted <= max_value:
+        raise ModelStateError("prediction %d outside [0, %d]" % (predicted, max_value))
+    error = unfold_signed(symbol, bit_depth)
+    actual = (predicted + error) % size
+    return actual, error

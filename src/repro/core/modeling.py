@@ -1,0 +1,126 @@
+"""The image modelling module (Section III, Figure 3 of the paper).
+
+This module ties the prediction, context-modelling and error-feedback stages
+together into the per-pixel operation both the encoder and the decoder
+perform.  Keeping it in one class guarantees the two sides derive exactly the
+same prediction, context index and adjusted prediction from the same causal
+data — which is what makes the codec lossless.
+
+The hardware splits the work into two pipelined "lines" (Line 1 works on the
+current symbol, Line 2 pre-computes the prediction and context of the next
+symbol).  Functionally the split does not change the result, only the
+schedule, so the software model exposes a single :meth:`model_pixel` step;
+the cycle-level behaviour of the two lines is modelled separately by
+:mod:`repro.hardware.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bias import BiasCorrector
+from repro.core.config import CodecConfig
+from repro.core.context import ContextDescriptor, ContextModeler
+from repro.core.neighborhood import Neighborhood, ThreeRowWindow
+from repro.core.predictor import GradientAdjustedPredictor
+
+__all__ = ["PixelModel", "ImageModeler"]
+
+
+@dataclass(frozen=True)
+class PixelModel:
+    """Everything the modelling stage derives for one pixel position."""
+
+    #: Causal neighbourhood used for this pixel.
+    neighbors: Neighborhood
+    #: Primary (GAP) prediction X̂.
+    predicted: int
+    #: Adjusted prediction X̃ = X̂ + ē after error feedback.
+    adjusted: int
+    #: Full context descriptor (texture, QE, compound index).
+    context: ContextDescriptor
+    #: Horizontal and vertical gradient magnitudes.
+    dh: int
+    dv: int
+
+
+class ImageModeler:
+    """Stateful per-image modelling pipeline shared by encoder and decoder.
+
+    Usage pattern (identical on both sides)::
+
+        modeler = ImageModeler(width, config)
+        for each pixel in raster order:
+            model = modeler.model_pixel(x)        # uses only causal data
+            ... code or decode the mapped error in context model.context ...
+            modeler.commit_pixel(value, wrapped_error, model)
+        modeler.end_row()                          # after each row
+    """
+
+    def __init__(self, width: int, config: CodecConfig) -> None:
+        self._config = config
+        self._window = ThreeRowWindow(width, default=(config.max_sample + 1) // 2)
+        self._predictor = GradientAdjustedPredictor(config)
+        self._contexts = ContextModeler(config)
+        self._bias = BiasCorrector(config)
+        self._previous_error = 0
+
+    # ------------------------------------------------------------------ #
+    # per-pixel pipeline
+    # ------------------------------------------------------------------ #
+
+    def model_pixel(self, x: int) -> PixelModel:
+        """Derive prediction, context and adjusted prediction for column ``x``."""
+        neighbors = self._window.neighborhood(x)
+        prediction = self._predictor.predict(neighbors)
+        descriptor = self._contexts.describe(
+            neighbors,
+            prediction.predicted,
+            prediction.dh,
+            prediction.dv,
+            self._previous_error,
+        )
+        adjusted = self._bias.adjusted_prediction(descriptor.compound, prediction.predicted)
+        return PixelModel(
+            neighbors=neighbors,
+            predicted=prediction.predicted,
+            adjusted=adjusted,
+            context=descriptor,
+            dh=prediction.dh,
+            dv=prediction.dv,
+        )
+
+    def commit_pixel(self, value: int, wrapped_error: int, model: PixelModel) -> None:
+        """Fold the (de)coded pixel back into the adaptive state."""
+        self._bias.update(model.context.compound, wrapped_error)
+        self._previous_error = wrapped_error
+        self._window.push(value)
+
+    def end_row(self) -> None:
+        """Rotate the line buffers and reset the previous-error register."""
+        self._window.end_row()
+        self._previous_error = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection (used by the hardware model and the benchmarks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bias(self) -> BiasCorrector:
+        return self._bias
+
+    @property
+    def window(self) -> ThreeRowWindow:
+        return self._window
+
+    def modeling_memory_bytes(self) -> int:
+        """Modelling memory: line buffers + context statistics + division ROM.
+
+        The paper quotes 3.7 KBytes for a 512-pixel-wide image: three line
+        buffers (1.5 KB), 512 contexts x (13+1+5) bits (~1.2 KB) and the
+        1 KB division ROM.
+        """
+        line_buffer = self._window.memory_bytes(self._config.bit_depth)
+        context_memory = (self._bias.memory_bits() + 7) // 8
+        division_rom = 1024 if self._config.use_lut_division else 0
+        return line_buffer + context_memory + division_rom

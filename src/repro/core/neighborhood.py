@@ -1,0 +1,167 @@
+"""Causal neighbourhood handling (Figure 2 of the paper).
+
+The predictor and the context modeller look at seven causal neighbours of the
+current pixel ``X``::
+
+            NN  NNE
+        NW  N   NE
+    WW  W   X
+
+Only pixels that have already been (de)coded may be referenced, so the
+neighbourhood is built exclusively from the three most recent image rows —
+exactly the three-row rotating line buffer the hardware keeps (Section III:
+"we need to store 3 lines of image pixel values in memory ... 3 pointers ...
+rotated ... so that the oldest line will be discarded").
+
+Two window implementations are provided:
+
+:class:`ThreeRowWindow`
+    The hardware organisation: three row buffers plus rotation at the end of
+    each line.  This is the default used by the codec.
+
+Boundary policy (identical on encoder and decoder, so any deterministic
+choice is lossless):
+
+* first pixel of the image: all neighbours read mid-grey (half of the range);
+* first row: the "north" neighbours fall back to ``W``;
+* first/last column: missing west/east neighbours fall back to their nearest
+  available causal neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ModelStateError
+
+__all__ = ["Neighborhood", "ThreeRowWindow"]
+
+
+@dataclass(frozen=True)
+class Neighborhood:
+    """The seven causal neighbours of the current pixel (Figure 2)."""
+
+    w: int
+    ww: int
+    n: int
+    nn: int
+    ne: int
+    nw: int
+    nne: int
+
+    def as_tuple(self) -> tuple:
+        """Return ``(W, WW, N, NN, NE, NW, NNE)``."""
+        return (self.w, self.ww, self.n, self.nn, self.ne, self.nw, self.nne)
+
+
+class ThreeRowWindow:
+    """Three-row rotating causal window over an image being (de)coded.
+
+    The window stores the current row (being produced) and the two rows above
+    it.  :meth:`push` appends the just-(de)coded pixel to the current row;
+    :meth:`end_row` rotates the buffers exactly like the hardware rotates its
+    three line pointers.
+
+    Parameters
+    ----------
+    width:
+        Image width in pixels.
+    default:
+        Value returned for neighbours that fall outside the image (mid-grey).
+    """
+
+    def __init__(self, width: int, default: int) -> None:
+        if width <= 0:
+            raise ModelStateError("window width must be positive, got %d" % width)
+        self.width = width
+        self.default = default
+        # row_above2 = row y-2, row_above1 = row y-1, current = row y (partial).
+        self._row_above2: Optional[List[int]] = None
+        self._row_above1: Optional[List[int]] = None
+        self._current: List[int] = []
+        self._rows_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # state updates
+    # ------------------------------------------------------------------ #
+
+    def push(self, value: int) -> None:
+        """Record the pixel just (de)coded at the current position."""
+        if len(self._current) >= self.width:
+            raise ModelStateError("row overflow: call end_row() before pushing more pixels")
+        self._current.append(value)
+
+    def end_row(self) -> None:
+        """Rotate the line buffers at the end of a row."""
+        if len(self._current) != self.width:
+            raise ModelStateError(
+                "end_row() called after %d of %d pixels" % (len(self._current), self.width)
+            )
+        self._row_above2 = self._row_above1
+        self._row_above1 = self._current
+        self._current = []
+        self._rows_completed += 1
+
+    # ------------------------------------------------------------------ #
+    # neighbourhood queries
+    # ------------------------------------------------------------------ #
+
+    def neighborhood(self, x: int) -> Neighborhood:
+        """Return the causal neighbourhood of column ``x`` of the current row."""
+        if not 0 <= x < self.width:
+            raise ModelStateError("column %d outside row of width %d" % (x, self.width))
+        if x != len(self._current):
+            raise ModelStateError(
+                "neighbourhood requested for column %d but %d pixels pushed"
+                % (x, len(self._current))
+            )
+
+        current = self._current
+        above1 = self._row_above1
+        above2 = self._row_above2
+        default = self.default
+        width = self.width
+
+        # West neighbours come from the current row.
+        if x >= 1:
+            w = current[x - 1]
+        elif above1 is not None:
+            w = above1[0]
+        else:
+            w = default
+        ww = current[x - 2] if x >= 2 else w
+
+        # North neighbours come from the row above (fall back to W on row 0).
+        if above1 is not None:
+            n = above1[x]
+            nw = above1[x - 1] if x >= 1 else n
+            ne = above1[x + 1] if x + 1 < width else n
+        else:
+            n = w
+            nw = w
+            ne = w
+
+        # Row y-2 neighbours (fall back to the row-above values).
+        if above2 is not None:
+            nn = above2[x]
+            nne = above2[x + 1] if x + 1 < width else nn
+        else:
+            nn = n
+            nne = ne
+
+        return Neighborhood(w=w, ww=ww, n=n, nn=nn, ne=ne, nw=nw, nne=nne)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rows_completed(self) -> int:
+        """Number of fully (de)coded rows so far."""
+        return self._rows_completed
+
+    def memory_bytes(self, bit_depth: int = 8) -> int:
+        """Line-buffer storage in bytes (three rows of ``width`` samples)."""
+        bytes_per_sample = (bit_depth + 7) // 8
+        return 3 * self.width * bytes_per_sample

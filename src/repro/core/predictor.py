@@ -1,0 +1,88 @@
+"""Gradient-adjusted prediction (Section II of the paper).
+
+The predictor estimates the local edge direction from the vertical and
+horizontal gradient magnitudes ``dv`` and ``dh`` (sums of absolute
+differences of causal neighbours) and blends the west and north neighbours
+accordingly.  It is the hardware-amenable simplification of CALIC's GAP: the
+only operations are additions, subtractions, comparisons and shifts — no
+multiplication or division — which is exactly the constraint Section II
+states.
+
+The three decision thresholds (80 / 32 / 8 by default) and the blending
+shifts follow the published GAP formulation; they are exposed through
+:class:`~repro.core.config.CodecConfig` so the ablation benchmarks can vary
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CodecConfig
+from repro.core.neighborhood import Neighborhood
+
+__all__ = ["GradientPrediction", "GradientAdjustedPredictor"]
+
+
+@dataclass(frozen=True)
+class GradientPrediction:
+    """Output of the prediction stage for one pixel."""
+
+    #: Primary predicted value (before error feedback), clamped to the range.
+    predicted: int
+    #: Horizontal gradient magnitude dh.
+    dh: int
+    #: Vertical gradient magnitude dv.
+    dv: int
+
+
+class GradientAdjustedPredictor:
+    """The simplified GAP predictor of the proposed codec.
+
+    The predictor is stateless: everything it needs is in the causal
+    neighbourhood, so one instance can be shared by encoder and decoder.
+    """
+
+    def __init__(self, config: CodecConfig) -> None:
+        self._config = config
+        self._max_value = config.max_sample
+
+    def predict(self, neighbors: Neighborhood) -> GradientPrediction:
+        """Compute the primary prediction and the local gradients.
+
+        The gradient estimates follow the paper: ``dh`` sums horizontal
+        differences of the context symbols, ``dv`` sums vertical ones.
+        """
+        w, ww, n, nn, ne, nw, nne = neighbors.as_tuple()
+
+        dh = abs(w - ww) + abs(n - nw) + abs(n - ne)
+        dv = abs(w - nw) + abs(n - nn) + abs(ne - nne)
+
+        sharp = self._config.gap_sharp_threshold
+        strong = self._config.gap_strong_threshold
+        weak = self._config.gap_weak_threshold
+
+        if dv - dh > sharp:
+            # Sharp horizontal edge: the west neighbour is the best guess.
+            predicted = w
+        elif dh - dv > sharp:
+            # Sharp vertical edge: the north neighbour is the best guess.
+            predicted = n
+        else:
+            # Smooth area: blend W and N, nudged by the NE/NW difference.
+            predicted = ((w + n) >> 1) + ((ne - nw) >> 2)
+            if dv - dh > strong:
+                predicted = (predicted + w) >> 1
+            elif dv - dh > weak:
+                predicted = (3 * predicted + w) >> 2
+            elif dh - dv > strong:
+                predicted = (predicted + n) >> 1
+            elif dh - dv > weak:
+                predicted = (3 * predicted + n) >> 2
+
+        if predicted < 0:
+            predicted = 0
+        elif predicted > self._max_value:
+            predicted = self._max_value
+
+        return GradientPrediction(predicted=predicted, dh=dh, dv=dv)

@@ -1,0 +1,154 @@
+"""Probability estimator (Section IV of the paper).
+
+The estimator owns one adaptive ("dynamic") frequency tree per coding
+context — eight trees selected by the 3-bit index ``QE`` — plus a single
+static tree used to transmit *escape* symbols.
+
+Escapes occur because the frequency counts have finite width: when any count
+reaches its maximum the whole tree is halved, and symbols that had count 1
+drop to 0.  The next time such a symbol occurs it cannot be coded by the
+dynamic tree, so an escape is signalled (by coding the dedicated escape
+leaf) and the symbol is sent through the uniform static tree.
+
+The per-pixel interface is :meth:`ProbabilityEstimator.encode_symbol` /
+:meth:`ProbabilityEstimator.decode_symbol`; both also perform the adaptive
+update so encoder and decoder models stay in lock-step by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.config import CodecConfig
+from repro.entropy.binary_arithmetic import (
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+)
+from repro.entropy.freqtree import FrequencyTree, StaticTree
+from repro.exceptions import ModelStateError
+
+__all__ = ["EstimatorStatistics", "ProbabilityEstimator"]
+
+
+@dataclass
+class EstimatorStatistics:
+    """Counters the benchmark harness reports (escapes, rescales, decisions)."""
+
+    symbols_coded: int = 0
+    escapes: int = 0
+    tree_rescales: int = 0
+    binary_decisions: int = 0
+    symbols_per_context: List[int] = field(default_factory=list)
+
+    def escape_rate(self) -> float:
+        """Fraction of symbols that had to be escaped."""
+        if self.symbols_coded == 0:
+            return 0.0
+        return self.escapes / self.symbols_coded
+
+
+class ProbabilityEstimator:
+    """Eight dynamic frequency trees plus one static escape tree."""
+
+    def __init__(self, config: CodecConfig) -> None:
+        self._config = config
+        self._trees = [
+            FrequencyTree(
+                alphabet_size=config.alphabet_size,
+                count_bits=config.count_bits,
+                with_escape=True,
+                increment=config.estimator_increment,
+            )
+            for _ in range(config.energy_levels)
+        ]
+        self._static_tree = StaticTree(config.alphabet_size)
+        self.statistics = EstimatorStatistics(
+            symbols_per_context=[0] * config.energy_levels
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def context_count(self) -> int:
+        """Number of dynamic coding contexts (8 in the paper)."""
+        return len(self._trees)
+
+    def tree(self, context: int) -> FrequencyTree:
+        """Expose the tree of one coding context (used by tests/benchmarks)."""
+        self._check_context(context)
+        return self._trees[context]
+
+    def memory_bits(self) -> int:
+        """Total estimator storage in bits (all dynamic trees)."""
+        return sum(tree.memory_bits() for tree in self._trees)
+
+    # ------------------------------------------------------------------ #
+    # coding
+    # ------------------------------------------------------------------ #
+
+    def encode_symbol(
+        self, encoder: BinaryArithmeticEncoder, context: int, symbol: int
+    ) -> None:
+        """Encode ``symbol`` in coding context ``context`` and adapt."""
+        self._check_context(context)
+        self._check_symbol(symbol)
+        tree = self._trees[context]
+        stats = self.statistics
+
+        if tree.can_encode(symbol):
+            stats.binary_decisions += tree.encode_symbol(encoder, symbol)
+        else:
+            # Escape: code the escape leaf, then the raw symbol uniformly.
+            escape_index = tree.escape_index
+            if escape_index is None:
+                raise ModelStateError("dynamic tree has no escape leaf configured")
+            stats.binary_decisions += tree.encode_symbol(encoder, escape_index)
+            stats.binary_decisions += self._static_tree.encode_symbol(encoder, symbol)
+            stats.escapes += 1
+
+        if tree.update(symbol):
+            stats.tree_rescales += 1
+        stats.symbols_coded += 1
+        stats.symbols_per_context[context] += 1
+
+    def decode_symbol(self, decoder: BinaryArithmeticDecoder, context: int) -> int:
+        """Decode the next symbol in coding context ``context`` and adapt."""
+        self._check_context(context)
+        tree = self._trees[context]
+        stats = self.statistics
+
+        symbol = tree.decode_symbol(decoder)
+        stats.binary_decisions += tree.depth
+        if symbol == tree.escape_index:
+            symbol = self._static_tree.decode_symbol(decoder)
+            stats.binary_decisions += self._static_tree.depth
+            stats.escapes += 1
+        elif symbol >= self._config.alphabet_size:
+            raise ModelStateError(
+                "decoded padding leaf %d; bitstream is corrupt" % symbol
+            )
+
+        if tree.update(symbol):
+            stats.tree_rescales += 1
+        stats.symbols_coded += 1
+        stats.symbols_per_context[context] += 1
+        return symbol
+
+    # ------------------------------------------------------------------ #
+    # validation helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_context(self, context: int) -> None:
+        if not 0 <= context < len(self._trees):
+            raise ModelStateError(
+                "coding context %d outside [0, %d)" % (context, len(self._trees))
+            )
+
+    def _check_symbol(self, symbol: int) -> None:
+        if not 0 <= symbol < self._config.alphabet_size:
+            raise ModelStateError(
+                "symbol %d outside alphabet of %d" % (symbol, self._config.alphabet_size)
+            )

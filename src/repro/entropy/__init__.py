@@ -1,0 +1,42 @@
+"""Entropy-coding substrate.
+
+This package contains every entropy coder the reproduction needs:
+
+* :mod:`repro.entropy.binary_arithmetic` — the binary arithmetic coder that
+  the paper drives with tree-walk decisions (after Nunez-Yanez & Chouliaras,
+  reference [7] of the paper).
+* :mod:`repro.entropy.arithmetic` — a multi-symbol arithmetic coder used by
+  the CALIC baseline.
+* :mod:`repro.entropy.golomb` — Golomb-Rice codes (plain and JPEG-LS
+  limited-length variant) used by the JPEG-LS and SLP baselines.
+* :mod:`repro.entropy.freqtree` — the balanced binary frequency tree that
+  implements the paper's probability estimator.
+* :mod:`repro.entropy.models` — simple adaptive frequency models shared by
+  the multi-symbol coder and the universal compressor.
+"""
+
+from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder, BinaryArithmeticEncoder
+from repro.entropy.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.freqtree import FrequencyTree, StaticTree
+from repro.entropy.golomb import (
+    golomb_rice_decode,
+    golomb_rice_encode,
+    limited_golomb_decode,
+    limited_golomb_encode,
+)
+from repro.entropy.models import AdaptiveByteModel, AdaptiveModel
+
+__all__ = [
+    "BinaryArithmeticEncoder",
+    "BinaryArithmeticDecoder",
+    "ArithmeticEncoder",
+    "ArithmeticDecoder",
+    "FrequencyTree",
+    "StaticTree",
+    "golomb_rice_encode",
+    "golomb_rice_decode",
+    "limited_golomb_encode",
+    "limited_golomb_decode",
+    "AdaptiveModel",
+    "AdaptiveByteModel",
+]

@@ -1,0 +1,166 @@
+"""Multi-symbol arithmetic coder.
+
+The proposed codec only ever codes *binary* decisions (see
+:mod:`repro.entropy.binary_arithmetic`), but the CALIC baseline and the
+general-data path of the universal compressor code whole symbols against a
+cumulative-frequency model.  This module provides the classic
+Witten–Neal–Cleary integer arithmetic coder for that purpose.
+
+The coder interface is expressed in cumulative counts so it can be shared by
+any model that can answer "what is the cumulative range of symbol *s*?":
+
+* :meth:`ArithmeticEncoder.encode` takes ``(cum_low, cum_high, total)``.
+* :meth:`ArithmeticDecoder.decode_target` returns a value the model converts
+  back into a symbol, after which :meth:`ArithmeticDecoder.consume` advances
+  the decoder state.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BitstreamError, ModelStateError
+from repro.utils.bitio import BitReader, BitWriter
+
+__all__ = ["ArithmeticEncoder", "ArithmeticDecoder"]
+
+DEFAULT_PRECISION = 32
+
+
+class _Geometry:
+    def __init__(self, precision: int) -> None:
+        if not 8 <= precision <= 62:
+            raise ModelStateError(
+                "arithmetic-coder precision must be in [8, 62], got %d" % precision
+            )
+        self.precision = precision
+        self.top = (1 << precision) - 1
+        self.half = 1 << (precision - 1)
+        self.quarter = 1 << (precision - 2)
+        self.three_quarters = self.half + self.quarter
+        self.max_total = self.quarter - 1
+
+
+class ArithmeticEncoder:
+    """Encode symbols described by cumulative-frequency ranges."""
+
+    def __init__(self, writer: BitWriter, precision: int = DEFAULT_PRECISION) -> None:
+        self._geometry = _Geometry(precision)
+        self._writer = writer
+        self._low = 0
+        self._high = self._geometry.top
+        self._pending = 0
+        self._finished = False
+
+    def encode(self, cum_low: int, cum_high: int, total: int) -> None:
+        """Encode a symbol occupying ``[cum_low, cum_high)`` out of ``total``."""
+        if self._finished:
+            raise ModelStateError("encode called after finish()")
+        geometry = self._geometry
+        if total <= 0 or total > geometry.max_total:
+            raise ModelStateError(
+                "model total %d outside (0, %d]" % (total, geometry.max_total)
+            )
+        if not 0 <= cum_low < cum_high <= total:
+            raise ModelStateError(
+                "invalid cumulative range [%d, %d) of %d" % (cum_low, cum_high, total)
+            )
+        span = self._high - self._low + 1
+        self._high = self._low + (span * cum_high) // total - 1
+        self._low = self._low + (span * cum_low) // total
+        self._renormalise()
+
+    def finish(self) -> None:
+        """Flush the terminating bits.  Must be called exactly once."""
+        if self._finished:
+            raise ModelStateError("finish() called twice")
+        self._finished = True
+        self._pending += 1
+        if self._low < self._geometry.quarter:
+            self._emit(0)
+        else:
+            self._emit(1)
+
+    def _renormalise(self) -> None:
+        geometry = self._geometry
+        while True:
+            if self._high < geometry.half:
+                self._emit(0)
+            elif self._low >= geometry.half:
+                self._emit(1)
+                self._low -= geometry.half
+                self._high -= geometry.half
+            elif self._low >= geometry.quarter and self._high < geometry.three_quarters:
+                self._pending += 1
+                self._low -= geometry.quarter
+                self._high -= geometry.quarter
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+        while self._pending:
+            self._writer.write_bit(1 - bit)
+            self._pending -= 1
+
+
+class ArithmeticDecoder:
+    """Decode a stream produced by :class:`ArithmeticEncoder`."""
+
+    def __init__(self, reader: BitReader, precision: int = DEFAULT_PRECISION) -> None:
+        self._geometry = _Geometry(precision)
+        self._reader = reader
+        self._low = 0
+        self._high = self._geometry.top
+        self._code = 0
+        for _ in range(precision):
+            self._code = (self._code << 1) | reader.read_bit_or_zero()
+
+    def decode_target(self, total: int) -> int:
+        """Return a cumulative-count target in ``[0, total)``.
+
+        The caller's model maps the target back to a symbol whose cumulative
+        range contains it, then calls :meth:`consume` with that range.
+        """
+        geometry = self._geometry
+        if total <= 0 or total > geometry.max_total:
+            raise ModelStateError(
+                "model total %d outside (0, %d]" % (total, geometry.max_total)
+            )
+        span = self._high - self._low + 1
+        target = ((self._code - self._low + 1) * total - 1) // span
+        if not 0 <= target < total:
+            raise BitstreamError(
+                "arithmetic decoder target %d outside model range %d" % (target, total)
+            )
+        return target
+
+    def consume(self, cum_low: int, cum_high: int, total: int) -> None:
+        """Advance the decoder past the symbol with range ``[cum_low, cum_high)``."""
+        if not 0 <= cum_low < cum_high <= total:
+            raise ModelStateError(
+                "invalid cumulative range [%d, %d) of %d" % (cum_low, cum_high, total)
+            )
+        span = self._high - self._low + 1
+        self._high = self._low + (span * cum_high) // total - 1
+        self._low = self._low + (span * cum_low) // total
+        self._renormalise()
+
+    def _renormalise(self) -> None:
+        geometry = self._geometry
+        while True:
+            if self._high < geometry.half:
+                pass
+            elif self._low >= geometry.half:
+                self._low -= geometry.half
+                self._high -= geometry.half
+                self._code -= geometry.half
+            elif self._low >= geometry.quarter and self._high < geometry.three_quarters:
+                self._low -= geometry.quarter
+                self._high -= geometry.quarter
+                self._code -= geometry.quarter
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._code = (self._code << 1) | self._reader.read_bit_or_zero()

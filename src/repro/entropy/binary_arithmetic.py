@@ -1,0 +1,238 @@
+"""Binary arithmetic coder.
+
+The paper's probability estimator walks a balanced binary tree from the root
+to the leaf of the current symbol; every level produces one *binary decision*
+(left or right) together with the probability of taking the left branch
+(``left_count / node_total``).  Those decisions drive a binary arithmetic
+coder — in the paper the configurable coder IP of Nunez-Yanez & Chouliaras
+(reference [7]).
+
+This module implements a functionally equivalent coder: an integer binary
+arithmetic coder with configurable register precision and the classic
+follow-bit (E3 scaling) treatment of carry propagation.  The encoder and
+decoder stay in lock-step as long as they are fed the same probability
+sequence, which is guaranteed by construction because both sides derive the
+probabilities from identical adaptive models.
+
+The coder is exact for probabilities expressed as integer counts
+``(zero_count, total)`` with ``total`` bounded by a quarter of the register
+range, which comfortably covers the 14-bit frequency counts the paper uses.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BitstreamError, ModelStateError
+from repro.utils.bitio import BitReader, BitWriter
+
+__all__ = ["BinaryArithmeticEncoder", "BinaryArithmeticDecoder"]
+
+#: Default register width.  32 bits keeps the coding loss negligible while
+#: staying far below Python's unbounded-integer costs.
+DEFAULT_PRECISION = 32
+
+
+class _RegisterGeometry:
+    """Shared register-bound bookkeeping for the encoder and the decoder."""
+
+    def __init__(self, precision: int) -> None:
+        if not 8 <= precision <= 62:
+            raise ModelStateError(
+                "arithmetic-coder precision must be in [8, 62], got %d" % precision
+            )
+        self.precision = precision
+        self.top = (1 << precision) - 1
+        self.half = 1 << (precision - 1)
+        self.quarter = 1 << (precision - 2)
+        self.three_quarters = self.half + self.quarter
+        #: Largest model total for which the range split cannot collapse.
+        self.max_total = self.quarter - 1
+
+    def check_total(self, total: int) -> None:
+        if total <= 0:
+            raise ModelStateError("probability total must be positive, got %d" % total)
+        if total > self.max_total:
+            raise ModelStateError(
+                "probability total %d exceeds coder capacity %d"
+                % (total, self.max_total)
+            )
+
+
+class BinaryArithmeticEncoder:
+    """Encode a stream of binary decisions with integer-count probabilities.
+
+    Parameters
+    ----------
+    writer:
+        The :class:`~repro.utils.bitio.BitWriter` (or compatible sink) that
+        receives the code bits.
+    precision:
+        Register width in bits.
+
+    Notes
+    -----
+    Call :meth:`encode_bit` once per decision and :meth:`finish` exactly once
+    at the end of the stream; the terminating bits emitted by ``finish`` are
+    required for the decoder to resolve the final symbols.
+    """
+
+    def __init__(self, writer: BitWriter, precision: int = DEFAULT_PRECISION) -> None:
+        self._geometry = _RegisterGeometry(precision)
+        self._writer = writer
+        self._low = 0
+        self._high = self._geometry.top
+        self._pending = 0
+        self._finished = False
+        self._decisions = 0
+
+    @property
+    def decisions_encoded(self) -> int:
+        """Number of binary decisions encoded so far."""
+        return self._decisions
+
+    def encode_bit(self, bit: int, zero_count: int, total: int) -> None:
+        """Encode one binary decision.
+
+        Parameters
+        ----------
+        bit:
+            The decision to encode (0 or 1).
+        zero_count:
+            Model count associated with the decision value 0.  Must be
+            positive when ``bit == 0`` and strictly less than ``total`` when
+            ``bit == 1``.
+        total:
+            Sum of the counts of both decision values.
+        """
+        if self._finished:
+            raise ModelStateError("encode_bit called after finish()")
+        geometry = self._geometry
+        geometry.check_total(total)
+        if bit not in (0, 1):
+            raise ModelStateError("binary decision must be 0 or 1, got %r" % bit)
+        if bit == 0 and zero_count <= 0:
+            raise ModelStateError("cannot encode bit 0 with zero probability")
+        if bit == 1 and zero_count >= total:
+            raise ModelStateError("cannot encode bit 1 with zero probability")
+        if not 0 <= zero_count <= total:
+            raise ModelStateError(
+                "zero_count %d outside [0, %d]" % (zero_count, total)
+            )
+
+        span = self._high - self._low + 1
+        split = self._low + (span * zero_count) // total - 1
+        if bit == 0:
+            self._high = split
+        else:
+            self._low = split + 1
+        self._renormalise()
+        self._decisions += 1
+
+    def finish(self) -> None:
+        """Flush the terminating bits.  Must be called exactly once."""
+        if self._finished:
+            raise ModelStateError("finish() called twice")
+        self._finished = True
+        geometry = self._geometry
+        self._pending += 1
+        if self._low < geometry.quarter:
+            self._emit(0)
+        else:
+            self._emit(1)
+
+    def _renormalise(self) -> None:
+        geometry = self._geometry
+        while True:
+            if self._high < geometry.half:
+                self._emit(0)
+            elif self._low >= geometry.half:
+                self._emit(1)
+                self._low -= geometry.half
+                self._high -= geometry.half
+            elif (
+                self._low >= geometry.quarter
+                and self._high < geometry.three_quarters
+            ):
+                self._pending += 1
+                self._low -= geometry.quarter
+                self._high -= geometry.quarter
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+
+    def _emit(self, bit: int) -> None:
+        self._writer.write_bit(bit)
+        while self._pending:
+            self._writer.write_bit(1 - bit)
+            self._pending -= 1
+
+
+class BinaryArithmeticDecoder:
+    """Decode a stream produced by :class:`BinaryArithmeticEncoder`.
+
+    The decoder must be driven with exactly the same probability sequence the
+    encoder saw; the adaptive models on both sides guarantee this as long as
+    they are updated with the decoded decisions in the same order.
+    """
+
+    def __init__(self, reader: BitReader, precision: int = DEFAULT_PRECISION) -> None:
+        self._geometry = _RegisterGeometry(precision)
+        self._reader = reader
+        self._low = 0
+        self._high = self._geometry.top
+        self._code = 0
+        for _ in range(precision):
+            self._code = (self._code << 1) | reader.read_bit_or_zero()
+        self._decisions = 0
+
+    @property
+    def decisions_decoded(self) -> int:
+        """Number of binary decisions decoded so far."""
+        return self._decisions
+
+    def decode_bit(self, zero_count: int, total: int) -> int:
+        """Decode and return the next binary decision."""
+        geometry = self._geometry
+        geometry.check_total(total)
+        if not 0 <= zero_count <= total:
+            raise ModelStateError(
+                "zero_count %d outside [0, %d]" % (zero_count, total)
+            )
+
+        span = self._high - self._low + 1
+        split = self._low + (span * zero_count) // total - 1
+        if self._code <= split:
+            if zero_count <= 0:
+                raise BitstreamError("decoded a decision the model deems impossible")
+            bit = 0
+            self._high = split
+        else:
+            if zero_count >= total:
+                raise BitstreamError("decoded a decision the model deems impossible")
+            bit = 1
+            self._low = split + 1
+        self._renormalise()
+        self._decisions += 1
+        return bit
+
+    def _renormalise(self) -> None:
+        geometry = self._geometry
+        while True:
+            if self._high < geometry.half:
+                pass
+            elif self._low >= geometry.half:
+                self._low -= geometry.half
+                self._high -= geometry.half
+                self._code -= geometry.half
+            elif (
+                self._low >= geometry.quarter
+                and self._high < geometry.three_quarters
+            ):
+                self._low -= geometry.quarter
+                self._high -= geometry.quarter
+                self._code -= geometry.quarter
+            else:
+                break
+            self._low <<= 1
+            self._high = (self._high << 1) | 1
+            self._code = (self._code << 1) | self._reader.read_bit_or_zero()

@@ -1,0 +1,288 @@
+"""Balanced binary frequency trees (the paper's probability estimator core).
+
+Section IV of the paper describes the probability estimator as follows: each
+coding context owns *a balanced binary tree with 2^n nodes*, one leaf per
+symbol of the alphabet; every leaf stores a frequency count of configurable
+width (Fig. 4 sweeps 10/12/14/16 bits and selects 14).  Encoding a symbol
+walks the tree from the root to the symbol's leaf, and every left/right
+decision is handed to the binary arithmetic coder together with the
+probability of the left branch (``left_subtree_count / node_count``).
+
+When any leaf count reaches its maximum all counts in the tree are halved;
+counts that were 1 become 0, and a symbol with count 0 can no longer be coded
+by the dynamic tree — it *escapes* to a static (uniform) tree and is sent
+as-is.
+
+This module implements both trees:
+
+:class:`FrequencyTree`
+    The adaptive ("dynamic") tree with width-limited counts, halving rescale
+    and a dedicated escape leaf (pinned at count ≥ 1) used to signal escapes
+    to the decoder.
+
+:class:`StaticTree`
+    The non-adaptive uniform tree used to transmit escaped symbols verbatim
+    through the same arithmetic coder (so the bitstream remains a single
+    arithmetic-coded sequence).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.entropy.binary_arithmetic import (
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+)
+from repro.exceptions import ModelStateError
+from repro.utils.validation import require_in_range, require_positive
+
+__all__ = ["FrequencyTree", "StaticTree"]
+
+
+def _next_power_of_two(value: int) -> int:
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+class FrequencyTree:
+    """Adaptive balanced binary frequency tree with width-limited counts.
+
+    Parameters
+    ----------
+    alphabet_size:
+        Number of real symbols (256 for 8-bit pixels).
+    count_bits:
+        Width of each leaf counter; a leaf reaching ``2**count_bits - 1``
+        triggers a halving rescale of the whole tree.
+    with_escape:
+        Reserve an extra leaf for the escape symbol.  Its count is pinned at
+        one or above so an escape can always be signalled.
+    increment:
+        Amount added to a leaf count per observation.
+
+    Notes
+    -----
+    The tree is stored as an implicit heap: ``counts[i]`` for
+    ``i >= num_leaves`` are the leaves, and every internal node holds the sum
+    of its two children, so the left-branch probability at any node is
+    available in O(1) and an update touches O(log n) nodes.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        count_bits: int = 14,
+        with_escape: bool = True,
+        increment: int = 1,
+    ) -> None:
+        require_positive("alphabet_size", alphabet_size)
+        require_in_range("count_bits", count_bits, 2, 30)
+        require_positive("increment", increment)
+        if alphabet_size < 2:
+            raise ModelStateError("alphabet_size must be at least 2")
+
+        self.alphabet_size = alphabet_size
+        self.count_bits = count_bits
+        self.with_escape = with_escape
+        self.increment = increment
+        self.max_count = (1 << count_bits) - 1
+
+        symbol_slots = alphabet_size + (1 if with_escape else 0)
+        self.num_leaves = _next_power_of_two(symbol_slots)
+        self.depth = self.num_leaves.bit_length() - 1
+        self.escape_index: Optional[int] = alphabet_size if with_escape else None
+
+        # counts[1] is the root; counts[num_leaves + s] is the leaf of symbol s.
+        self._counts: List[int] = [0] * (2 * self.num_leaves)
+        for symbol in range(alphabet_size):
+            self._counts[self.num_leaves + symbol] = 1
+        if with_escape:
+            self._counts[self.num_leaves + alphabet_size] = 1
+        self._rebuild_internal()
+        self.rescale_count = 0
+        self.escape_capable = with_escape
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total(self) -> int:
+        """Total count over all leaves (the root value)."""
+        return self._counts[1]
+
+    def count(self, symbol: int) -> int:
+        """Current count of ``symbol`` (the escape leaf included)."""
+        self._check_symbol(symbol, allow_escape=True)
+        return self._counts[self.num_leaves + symbol]
+
+    def can_encode(self, symbol: int) -> bool:
+        """True when ``symbol`` has non-zero probability in this tree."""
+        return self.count(symbol) > 0
+
+    def memory_bits(self) -> int:
+        """Storage the hardware needs for this tree (all node counters).
+
+        Internal nodes hold sums of up to ``num_leaves`` leaf counts, so they
+        are wider than the leaves; this mirrors the SRAM sizing of the paper's
+        probability-estimator block (4 KBytes for eight 256-leaf trees).
+        """
+        bits = 0
+        for level in range(self.depth + 1):
+            nodes_at_level = 1 << level
+            width = self.count_bits + (self.depth - level)
+            bits += nodes_at_level * width
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # coding
+    # ------------------------------------------------------------------ #
+
+    def encode_symbol(self, encoder: BinaryArithmeticEncoder, symbol: int) -> int:
+        """Encode the root-to-leaf path of ``symbol``; return decisions used.
+
+        The symbol must currently have a non-zero count (callers escape to the
+        static tree otherwise).
+        """
+        self._check_symbol(symbol, allow_escape=True)
+        leaf = self.num_leaves + symbol
+        if self._counts[leaf] <= 0:
+            raise ModelStateError(
+                "symbol %d has zero count; encode the escape symbol instead" % symbol
+            )
+        decisions = 0
+        node = 1
+        for level in range(self.depth - 1, -1, -1):
+            direction = (symbol >> level) & 1
+            left = self._counts[2 * node]
+            total = self._counts[node]
+            encoder.encode_bit(direction, left, total)
+            node = 2 * node + direction
+            decisions += 1
+        return decisions
+
+    def decode_symbol(self, decoder: BinaryArithmeticDecoder) -> int:
+        """Decode one root-to-leaf path and return the leaf's symbol index."""
+        node = 1
+        symbol = 0
+        for _ in range(self.depth):
+            left = self._counts[2 * node]
+            total = self._counts[node]
+            bit = decoder.decode_bit(left, total)
+            node = 2 * node + bit
+            symbol = (symbol << 1) | bit
+        return symbol
+
+    def code_length_bits(self, symbol: int) -> float:
+        """Ideal code length (in bits) the tree currently assigns to ``symbol``.
+
+        Used by the bit-rate estimation tools; it is the sum of the per-level
+        decision entropies along the path.
+        """
+        import math
+
+        self._check_symbol(symbol, allow_escape=True)
+        length = 0.0
+        node = 1
+        for level in range(self.depth - 1, -1, -1):
+            direction = (symbol >> level) & 1
+            left = self._counts[2 * node]
+            total = self._counts[node]
+            branch = left if direction == 0 else total - left
+            if branch <= 0:
+                raise ModelStateError("zero-probability branch on path")
+            length += math.log2(total / branch)
+            node = 2 * node + direction
+        return length
+
+    # ------------------------------------------------------------------ #
+    # adaptation
+    # ------------------------------------------------------------------ #
+
+    def update(self, symbol: int) -> bool:
+        """Record one occurrence of ``symbol``.
+
+        Returns ``True`` when the update triggered a halving rescale (the
+        event that can create zero counts and hence future escapes).
+        """
+        self._check_symbol(symbol, allow_escape=True)
+        rescaled = False
+        leaf = self.num_leaves + symbol
+        if self._counts[leaf] + self.increment > self.max_count:
+            self._rescale()
+            rescaled = True
+        self._counts[leaf] += self.increment
+        node = leaf >> 1
+        while node:
+            self._counts[node] += self.increment
+            node >>= 1
+        return rescaled
+
+    def _rescale(self) -> None:
+        """Halve every leaf count (pinning the escape leaf at ≥ 1)."""
+        for leaf in range(self.num_leaves, 2 * self.num_leaves):
+            self._counts[leaf] >>= 1
+        if self.with_escape:
+            escape_leaf = self.num_leaves + self.alphabet_size
+            if self._counts[escape_leaf] < 1:
+                self._counts[escape_leaf] = 1
+        self._rebuild_internal()
+        self.rescale_count += 1
+
+    def _rebuild_internal(self) -> None:
+        for node in range(self.num_leaves - 1, 0, -1):
+            self._counts[node] = self._counts[2 * node] + self._counts[2 * node + 1]
+        if self._counts[1] <= 0:
+            raise ModelStateError("frequency tree total collapsed to zero")
+
+    def _check_symbol(self, symbol: int, allow_escape: bool) -> None:
+        limit = self.alphabet_size
+        if allow_escape and self.with_escape:
+            limit += 1
+        if not 0 <= symbol < limit:
+            raise ModelStateError(
+                "symbol %d outside tree range [0, %d)" % (symbol, limit)
+            )
+
+
+class StaticTree:
+    """Uniform, non-adaptive tree used to transmit escaped symbols.
+
+    Every decision on the root-to-leaf path has probability one half, so an
+    escaped symbol costs exactly ``log2(alphabet_size)`` bits — the paper's
+    "sent as it is".  Routing those bits through the arithmetic coder (rather
+    than writing them raw) keeps the output a single arithmetic-coded stream,
+    which is what the hardware does.
+    """
+
+    def __init__(self, alphabet_size: int) -> None:
+        require_positive("alphabet_size", alphabet_size)
+        self.alphabet_size = alphabet_size
+        self.num_leaves = _next_power_of_two(alphabet_size)
+        self.depth = self.num_leaves.bit_length() - 1
+
+    def encode_symbol(self, encoder: BinaryArithmeticEncoder, symbol: int) -> int:
+        """Encode ``symbol`` with uniform per-level decisions."""
+        if not 0 <= symbol < self.alphabet_size:
+            raise ModelStateError(
+                "symbol %d outside static tree range [0, %d)"
+                % (symbol, self.alphabet_size)
+            )
+        for level in range(self.depth - 1, -1, -1):
+            encoder.encode_bit((symbol >> level) & 1, 1, 2)
+        return self.depth
+
+    def decode_symbol(self, decoder: BinaryArithmeticDecoder) -> int:
+        """Decode a symbol written by :meth:`encode_symbol`."""
+        symbol = 0
+        for _ in range(self.depth):
+            symbol = (symbol << 1) | decoder.decode_bit(1, 2)
+        if symbol >= self.alphabet_size:
+            raise ModelStateError(
+                "static tree decoded %d outside alphabet of %d"
+                % (symbol, self.alphabet_size)
+            )
+        return symbol

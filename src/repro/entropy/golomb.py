@@ -1,0 +1,115 @@
+"""Golomb-Rice codes.
+
+Both low-complexity baselines the paper compares against (JPEG-LS / LOCO-I
+and SLP) use Golomb-Rice coding of mapped prediction errors.  Two variants
+are provided:
+
+``golomb_rice_encode`` / ``golomb_rice_decode``
+    The plain Rice code GR(k): the value is split into a quotient coded in
+    unary and ``k`` remainder bits.
+
+``limited_golomb_encode`` / ``limited_golomb_decode``
+    The length-limited variant used by JPEG-LS (ITU-T T.87 §A.5.3): when the
+    unary quotient would exceed ``limit - qbpp - 1`` bits the value is
+    escaped and written verbatim in ``qbpp`` bits.  This bounds the worst-case
+    code length per sample, which matters for a hardware implementation.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BitstreamError
+from repro.utils.bitio import BitReader, BitWriter
+
+__all__ = [
+    "golomb_rice_encode",
+    "golomb_rice_decode",
+    "limited_golomb_encode",
+    "limited_golomb_decode",
+    "golomb_rice_code_length",
+]
+
+#: Safety bound on unary runs while decoding plain Rice codes.
+_MAX_UNARY_RUN = 1 << 16
+
+
+def golomb_rice_encode(writer: BitWriter, value: int, k: int) -> None:
+    """Encode a non-negative ``value`` with Rice parameter ``k``.
+
+    The quotient ``value >> k`` is written in unary (zeros terminated by a
+    one), followed by the ``k`` low-order remainder bits.
+    """
+    if value < 0:
+        raise ValueError("Golomb-Rice values must be non-negative, got %d" % value)
+    if k < 0:
+        raise ValueError("Rice parameter must be non-negative, got %d" % k)
+    quotient = value >> k
+    writer.write_unary(quotient)
+    if k:
+        writer.write_bits(value & ((1 << k) - 1), k)
+
+
+def golomb_rice_decode(reader: BitReader, k: int) -> int:
+    """Decode a value encoded by :func:`golomb_rice_encode`."""
+    if k < 0:
+        raise ValueError("Rice parameter must be non-negative, got %d" % k)
+    quotient = reader.read_unary(limit=_MAX_UNARY_RUN)
+    remainder = reader.read_bits(k) if k else 0
+    return (quotient << k) | remainder
+
+
+def golomb_rice_code_length(value: int, k: int) -> int:
+    """Return the number of bits :func:`golomb_rice_encode` would emit."""
+    if value < 0:
+        raise ValueError("Golomb-Rice values must be non-negative, got %d" % value)
+    if k < 0:
+        raise ValueError("Rice parameter must be non-negative, got %d" % k)
+    return (value >> k) + 1 + k
+
+
+def limited_golomb_encode(
+    writer: BitWriter, value: int, k: int, limit: int, qbpp: int
+) -> None:
+    """Encode ``value`` with the JPEG-LS length-limited Golomb code LG(k, limit).
+
+    Parameters
+    ----------
+    writer:
+        Destination bit sink.
+    value:
+        Non-negative mapped error value.
+    k:
+        Golomb-Rice parameter.
+    limit:
+        Maximum code length in bits (JPEG-LS uses ``2 * (bpp + max(8, bpp))``
+        by default; 32 for 8-bit samples).
+    qbpp:
+        Number of bits needed to represent a mapped error verbatim.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative, got %d" % value)
+    if limit <= qbpp + 1:
+        raise ValueError("limit %d too small for qbpp %d" % (limit, qbpp))
+    quotient = value >> k
+    if quotient < limit - qbpp - 1:
+        writer.write_unary(quotient)
+        if k:
+            writer.write_bits(value & ((1 << k) - 1), k)
+    else:
+        # Escape: limit - qbpp - 1 zeros, a one, then the value - 1 verbatim.
+        writer.write_unary(limit - qbpp - 1)
+        writer.write_bits(value - 1, qbpp)
+
+
+def limited_golomb_decode(reader: BitReader, k: int, limit: int, qbpp: int) -> int:
+    """Decode a value encoded by :func:`limited_golomb_encode`."""
+    if limit <= qbpp + 1:
+        raise ValueError("limit %d too small for qbpp %d" % (limit, qbpp))
+    quotient = reader.read_unary(limit=limit)
+    if quotient < limit - qbpp - 1:
+        remainder = reader.read_bits(k) if k else 0
+        return (quotient << k) | remainder
+    if quotient != limit - qbpp - 1:
+        raise BitstreamError(
+            "limited Golomb code escape marker corrupted (run of %d)" % quotient
+        )
+    return reader.read_bits(qbpp) + 1

@@ -1,0 +1,218 @@
+"""Adaptive frequency models for the multi-symbol arithmetic coder.
+
+These models back the CALIC baseline's error coder and the general-data path
+of the universal compressor (Figure 1 of the paper).  They answer cumulative
+frequency queries and adapt by incrementing the count of each coded symbol,
+halving all counts when the total would exceed the coder's capacity.
+
+Two flavours exist:
+
+:class:`AdaptiveModel`
+    A flat adaptive model over an arbitrary alphabet.  Cumulative counts are
+    maintained in a Fenwick (binary indexed) tree so both queries and updates
+    are ``O(log n)`` — important because the CALIC baseline queries it once
+    per pixel over a 256+ symbol alphabet.
+
+:class:`AdaptiveByteModel`
+    An order-*k* context-mixing wrapper used for general (non-image) data:
+    one :class:`AdaptiveModel` per context hash of the previous ``k`` bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ModelStateError
+
+__all__ = ["AdaptiveModel", "AdaptiveByteModel"]
+
+
+class _FenwickTree:
+    """A Fenwick tree over non-negative integer counts."""
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of counts for positions ``0 .. index - 1``."""
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def find(self, target: int) -> int:
+        """Return the smallest index whose prefix sum exceeds ``target``."""
+        position = 0
+        remaining = target
+        bit = 1
+        while bit << 1 <= self._size:
+            bit <<= 1
+        while bit:
+            nxt = position + bit
+            if nxt <= self._size and self._tree[nxt] <= remaining:
+                position = nxt
+                remaining -= self._tree[nxt]
+            bit >>= 1
+        return position
+
+
+class AdaptiveModel:
+    """Flat adaptive frequency model over ``alphabet_size`` symbols.
+
+    Parameters
+    ----------
+    alphabet_size:
+        Number of distinct symbols.
+    max_total:
+        When the total count would exceed this bound all counts are halved
+        (never below one), mirroring the frequency-count rescaling of the
+        paper's probability estimator.
+    increment:
+        Count added to a symbol each time it is observed.  A larger increment
+        makes the model adapt faster at the cost of coarser probabilities.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        max_total: int = 1 << 16,
+        increment: int = 32,
+    ) -> None:
+        if alphabet_size <= 1:
+            raise ModelStateError(
+                "alphabet_size must be at least 2, got %d" % alphabet_size
+            )
+        if max_total < 2 * alphabet_size:
+            raise ModelStateError(
+                "max_total %d too small for alphabet of %d" % (max_total, alphabet_size)
+            )
+        if increment <= 0:
+            raise ModelStateError("increment must be positive, got %d" % increment)
+        self.alphabet_size = alphabet_size
+        self.max_total = max_total
+        self.increment = increment
+        self._counts = [1] * alphabet_size
+        self._fenwick = _FenwickTree(alphabet_size)
+        for symbol in range(alphabet_size):
+            self._fenwick.add(symbol, 1)
+        self._total = alphabet_size
+
+    @property
+    def total(self) -> int:
+        """Current total count over the whole alphabet."""
+        return self._total
+
+    def count(self, symbol: int) -> int:
+        """Current count of ``symbol``."""
+        self._check_symbol(symbol)
+        return self._counts[symbol]
+
+    def interval(self, symbol: int) -> Tuple[int, int, int]:
+        """Return ``(cum_low, cum_high, total)`` for ``symbol``."""
+        self._check_symbol(symbol)
+        low = self._fenwick.prefix_sum(symbol)
+        return low, low + self._counts[symbol], self._total
+
+    def symbol_from_target(self, target: int) -> int:
+        """Map a decoder target (cumulative count) back to its symbol."""
+        if not 0 <= target < self._total:
+            raise ModelStateError(
+                "target %d outside cumulative total %d" % (target, self._total)
+            )
+        return self._fenwick.find(target)
+
+    def update(self, symbol: int) -> None:
+        """Record one occurrence of ``symbol`` (with rescaling)."""
+        self._check_symbol(symbol)
+        if self._total + self.increment > self.max_total:
+            self._rescale()
+        self._counts[symbol] += self.increment
+        self._fenwick.add(symbol, self.increment)
+        self._total += self.increment
+
+    def _rescale(self) -> None:
+        counts = [(c + 1) >> 1 for c in self._counts]
+        self._counts = counts
+        self._fenwick = _FenwickTree(self.alphabet_size)
+        for symbol, count in enumerate(counts):
+            self._fenwick.add(symbol, count)
+        self._total = sum(counts)
+
+    def _check_symbol(self, symbol: int) -> None:
+        if not 0 <= symbol < self.alphabet_size:
+            raise ModelStateError(
+                "symbol %d outside alphabet of size %d" % (symbol, self.alphabet_size)
+            )
+
+
+class AdaptiveByteModel:
+    """Order-*k* adaptive byte model for general data.
+
+    This is the "Lossless Data Modelling" front-end of the paper's Figure 1:
+    a context model over raw bytes that shares the arithmetic-coder back-end
+    with the image path.  Contexts are the previous ``order`` bytes; unseen
+    contexts lazily allocate a fresh :class:`AdaptiveModel`.
+
+    A small ``max_contexts`` bound keeps memory predictable (hardware would
+    hash into a fixed SRAM); when the bound is hit new contexts fall back to
+    the order-0 model.
+    """
+
+    def __init__(
+        self,
+        order: int = 2,
+        max_total: int = 1 << 14,
+        increment: int = 24,
+        max_contexts: int = 1 << 16,
+    ) -> None:
+        if order < 0:
+            raise ModelStateError("order must be non-negative, got %d" % order)
+        self.order = order
+        self.max_total = max_total
+        self.increment = increment
+        self.max_contexts = max_contexts
+        self._contexts: Dict[Tuple[int, ...], AdaptiveModel] = {}
+        self._order0 = AdaptiveModel(256, max_total=max_total, increment=increment)
+        self._history: List[int] = []
+
+    @property
+    def context_count(self) -> int:
+        """Number of higher-order contexts allocated so far."""
+        return len(self._contexts)
+
+    def current_model(self) -> AdaptiveModel:
+        """Return the model conditioned on the current history."""
+        if self.order == 0 or len(self._history) < self.order:
+            return self._order0
+        key = tuple(self._history[-self.order:])
+        model = self._contexts.get(key)
+        if model is None:
+            if len(self._contexts) >= self.max_contexts:
+                return self._order0
+            model = AdaptiveModel(
+                256, max_total=self.max_total, increment=self.increment
+            )
+            self._contexts[key] = model
+        return model
+
+    def observe(self, byte: int) -> None:
+        """Update the conditioned model and the history with ``byte``."""
+        if not 0 <= byte <= 255:
+            raise ModelStateError("byte value %d outside [0, 255]" % byte)
+        self.current_model().update(byte)
+        self._order0.update(byte)
+        self._history.append(byte)
+        if len(self._history) > self.order:
+            del self._history[: len(self._history) - self.order]
+
+    def reset_history(self) -> None:
+        """Forget the byte history (used at block boundaries)."""
+        self._history.clear()

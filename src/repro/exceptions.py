@@ -1,0 +1,45 @@
+"""Typed exceptions raised across the :mod:`repro` package.
+
+Every error condition that a caller may reasonably want to catch has its own
+exception class.  All of them derive from :class:`ReproError` so that a
+blanket ``except ReproError`` catches anything this library raises on purpose
+while letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class BitstreamError(ReproError):
+    """A compressed bitstream is malformed, truncated or inconsistent."""
+
+
+class HeaderError(BitstreamError):
+    """A container header is missing, corrupted or of an unsupported version."""
+
+
+class ConfigError(ReproError):
+    """A configuration object holds values outside their legal range."""
+
+
+class ImageFormatError(ReproError):
+    """An image file or buffer cannot be parsed or has unsupported properties."""
+
+
+class CodecMismatchError(ReproError):
+    """Decoder configuration does not match the configuration used to encode."""
+
+
+class ModelStateError(ReproError):
+    """An adaptive model reached an internal state that violates an invariant."""
+
+
+class HardwareModelError(ReproError):
+    """The hardware resource/timing model was asked for something impossible."""
+
+
+class CorpusError(ReproError):
+    """A synthetic-corpus request referenced an unknown image or bad parameters."""

@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module reproduces one evaluation artefact:
+
+* :mod:`repro.experiments.table1` — the bit-rate comparison (Table 1);
+* :mod:`repro.experiments.figure4` — the frequency-count-bit sweep (Fig. 4);
+* :mod:`repro.experiments.table2` — the device-utilisation summary (Table 2)
+  plus the memory budgets quoted in Section V;
+* :mod:`repro.experiments.throughput` — the 123 MHz / 123 Mbit/s claim;
+* :mod:`repro.experiments.ablations` — the two in-text ablations (overflow-
+  guard aging and LUT division).
+
+The benchmarks under ``benchmarks/``, the examples under ``examples/`` and
+the ``repro-bench`` CLI all delegate to these functions, so the numbers in
+EXPERIMENTS.md can be regenerated from any of the three entry points.
+"""
+
+from repro.experiments.table1 import Table1Result, Table1Row, run_table1
+from repro.experiments.figure4 import Figure4Point, Figure4Result, run_figure4
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.throughput import ThroughputResult, run_throughput
+from repro.experiments.ablations import AblationResult, run_division_ablation, run_overflow_guard_ablation
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "Table1Row",
+    "run_figure4",
+    "Figure4Result",
+    "Figure4Point",
+    "run_table2",
+    "Table2Result",
+    "run_throughput",
+    "ThroughputResult",
+    "run_overflow_guard_ablation",
+    "run_division_ablation",
+    "AblationResult",
+]

@@ -1,0 +1,128 @@
+"""In-text ablations of Section III.
+
+The paper makes two experimental claims about its hardware approximations:
+
+1. *Overflow-guard aging helps*: "this rescaling technique slightly improves
+   the compression ratio by 'aging' the observed data."
+2. *LUT division is harmless*: "although the result of division is only an
+   approximation, it does not affect the compression performance in our
+   experiments."
+
+``run_overflow_guard_ablation`` and ``run_division_ablation`` re-run the
+proposed codec with the corresponding feature toggled and report the average
+bit-rate difference over the corpus, so both claims can be checked
+quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import CodecConfig
+from repro.core.encoder import encode_image_with_statistics
+from repro.imaging.synthetic import CORPUS_IMAGE_NAMES, generate_image
+
+__all__ = ["AblationResult", "run_overflow_guard_ablation", "run_division_ablation"]
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Average bit rates of the two arms of an ablation."""
+
+    name: str
+    baseline_label: str
+    variant_label: str
+    baseline_bpp: float
+    variant_bpp: float
+    per_image_baseline: Dict[str, float]
+    per_image_variant: Dict[str, float]
+
+    @property
+    def delta_bpp(self) -> float:
+        """variant minus baseline (positive = the variant is worse)."""
+        return self.variant_bpp - self.baseline_bpp
+
+    def format_report(self) -> str:
+        lines = [
+            "%s: %s %.4f bpp vs %s %.4f bpp (delta %+0.4f bpp)"
+            % (
+                self.name,
+                self.baseline_label,
+                self.baseline_bpp,
+                self.variant_label,
+                self.variant_bpp,
+                self.delta_bpp,
+            )
+        ]
+        for image in self.per_image_baseline:
+            lines.append(
+                "  %-10s %8.3f -> %8.3f"
+                % (image, self.per_image_baseline[image], self.per_image_variant[image])
+            )
+        return "\n".join(lines)
+
+
+def _average_bpp(
+    config: CodecConfig, images: Sequence[str], size: int, seed: int
+) -> Dict[str, float]:
+    rates: Dict[str, float] = {}
+    for name in images:
+        image = generate_image(name, size=size, seed=seed)
+        stream, _ = encode_image_with_statistics(image, config)
+        rates[name] = 8.0 * len(stream) / image.pixel_count
+    return rates
+
+
+def _build_result(
+    name: str,
+    baseline_label: str,
+    variant_label: str,
+    baseline: Dict[str, float],
+    variant: Dict[str, float],
+) -> AblationResult:
+    return AblationResult(
+        name=name,
+        baseline_label=baseline_label,
+        variant_label=variant_label,
+        baseline_bpp=sum(baseline.values()) / len(baseline),
+        variant_bpp=sum(variant.values()) / len(variant),
+        per_image_baseline=baseline,
+        per_image_variant=variant,
+    )
+
+
+def run_overflow_guard_ablation(
+    size: int = 128,
+    seed: int = 2007,
+    images: Optional[Sequence[str]] = None,
+) -> AblationResult:
+    """Compare overflow-guard aging enabled (paper) vs disabled."""
+    selected: List[str] = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+    with_aging = CodecConfig.hardware(use_overflow_guard_aging=True)
+    without_aging = CodecConfig.hardware(use_overflow_guard_aging=False)
+    return _build_result(
+        "overflow-guard aging",
+        "aging enabled",
+        "aging disabled",
+        _average_bpp(with_aging, selected, size, seed),
+        _average_bpp(without_aging, selected, size, seed),
+    )
+
+
+def run_division_ablation(
+    size: int = 128,
+    seed: int = 2007,
+    images: Optional[Sequence[str]] = None,
+) -> AblationResult:
+    """Compare the 1 KB reciprocal-LUT division (paper) with exact division."""
+    selected: List[str] = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+    lut_division = CodecConfig.hardware(use_lut_division=True)
+    exact_division = CodecConfig.hardware(use_lut_division=False)
+    return _build_result(
+        "LUT division",
+        "LUT division",
+        "exact division",
+        _average_bpp(lut_division, selected, size, seed),
+        _average_bpp(exact_division, selected, size, seed),
+    )

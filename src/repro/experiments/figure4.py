@@ -1,0 +1,117 @@
+"""Figure 4 — average bit rate as a function of the frequency-count width.
+
+The probability estimator's frequency counters have a configurable width;
+the paper sweeps 10, 12, 14 and 16 bits, finds a shallow minimum at 14 and
+explains the two failure directions: too few bits cause frequent rescaling
+and therefore escapes, too many bits let the distribution become so skewed
+that rare symbols get very long codes.
+
+``run_figure4`` re-runs that sweep on the synthetic corpus and also records
+the escape and rescale counts, which make the mechanism behind the curve
+visible in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CodecConfig
+from repro.core.encoder import encode_image_with_statistics
+from repro.exceptions import ConfigError
+from repro.imaging.synthetic import CORPUS_IMAGE_NAMES, generate_image
+
+__all__ = ["Figure4Point", "Figure4Result", "run_figure4", "PAPER_FIGURE4"]
+
+#: Approximate values read off the paper's Figure 4 (bits per pixel).
+PAPER_FIGURE4: Dict[int, float] = {10: 4.68, 12: 4.58, 14: 4.50, 16: 4.53}
+
+
+@dataclass(frozen=True)
+class Figure4Point:
+    """One point of the sweep: a count width and the resulting statistics."""
+
+    count_bits: int
+    average_bits_per_pixel: float
+    per_image_bits_per_pixel: Dict[str, float]
+    total_escapes: int
+    total_rescales: int
+
+
+@dataclass
+class Figure4Result:
+    """Complete sweep result."""
+
+    size: int
+    seed: int
+    points: List[Figure4Point] = field(default_factory=list)
+
+    def best_count_bits(self) -> int:
+        """Count width with the lowest average bit rate."""
+        if not self.points:
+            raise ConfigError("figure 4 sweep produced no points")
+        return min(self.points, key=lambda p: p.average_bits_per_pixel).count_bits
+
+    def as_series(self) -> Tuple[List[int], List[float]]:
+        """Return (count_bits, average_bpp) series for plotting."""
+        return (
+            [point.count_bits for point in self.points],
+            [point.average_bits_per_pixel for point in self.points],
+        )
+
+    def format_table(self, include_paper: bool = True) -> str:
+        lines = ["%-18s%14s%12s%12s" % ("Frequency bits", "Bit rate", "Escapes", "Rescales")]
+        for point in self.points:
+            lines.append(
+                "%-18d%14.3f%12d%12d"
+                % (
+                    point.count_bits,
+                    point.average_bits_per_pixel,
+                    point.total_escapes,
+                    point.total_rescales,
+                )
+            )
+        if include_paper:
+            lines.append("")
+            lines.append("Paper (512x512 corpus): " + ", ".join(
+                "%d bits -> %.2f bpp" % (bits, bpp) for bits, bpp in sorted(PAPER_FIGURE4.items())
+            ))
+        return "\n".join(lines)
+
+
+def run_figure4(
+    count_bits_values: Sequence[int] = (10, 12, 14, 16),
+    size: int = 128,
+    seed: int = 2007,
+    images: Optional[Sequence[str]] = None,
+    base_config: Optional[CodecConfig] = None,
+) -> Figure4Result:
+    """Sweep the probability-estimator count width over the corpus."""
+    if not count_bits_values:
+        raise ConfigError("figure 4 sweep needs at least one count width")
+    selected_images = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+    base = base_config if base_config is not None else CodecConfig.hardware()
+
+    result = Figure4Result(size=size, seed=seed)
+    corpus = {name: generate_image(name, size=size, seed=seed) for name in selected_images}
+    for count_bits in count_bits_values:
+        config = base.with_count_bits(count_bits)
+        per_image: Dict[str, float] = {}
+        escapes = 0
+        rescales = 0
+        for name, image in corpus.items():
+            stream, statistics = encode_image_with_statistics(image, config)
+            per_image[name] = 8.0 * len(stream) / image.pixel_count
+            escapes += statistics.escapes
+            rescales += statistics.tree_rescales
+        average = sum(per_image.values()) / len(per_image)
+        result.points.append(
+            Figure4Point(
+                count_bits=count_bits,
+                average_bits_per_pixel=average,
+                per_image_bits_per_pixel=per_image,
+                total_escapes=escapes,
+                total_rescales=rescales,
+            )
+        )
+    return result

@@ -1,0 +1,153 @@
+"""Table 1 — bit-rate comparison of JPEG-LS, SLP, CALIC and the proposed codec.
+
+The paper evaluates seven 512×512 grey-scale images and reports bits per
+pixel for each codec plus the column averages.  This module re-runs that
+comparison on the synthetic stand-in corpus (see DESIGN.md for the
+substitution) at a configurable image size: the default of 256×256 keeps the
+full four-codec comparison under a couple of minutes of pure-Python coding,
+while ``size=512`` reproduces the paper's geometry exactly when more time is
+available.
+
+The paper's published numbers are included (``PAPER_TABLE1``) so reports can
+show measured and published values side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.calic import CalicCodec
+from repro.baselines.jpegls import JpegLsCodec
+from repro.baselines.slp import SlpCodec
+from repro.core.codec import ProposedCodec
+from repro.core.interface import LosslessImageCodec
+from repro.exceptions import ConfigError
+from repro.imaging.metrics import images_identical
+from repro.imaging.synthetic import CORPUS_IMAGE_NAMES, generate_image
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "default_codecs", "PAPER_TABLE1"]
+
+#: Bit rates published in Table 1 of the paper (bits per pixel).
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    "barb": {"jpeg-ls": 4.86, "slp": 4.79, "calic": 4.59, "proposed": 4.68},
+    "boat": {"jpeg-ls": 4.25, "slp": 4.28, "calic": 4.12, "proposed": 4.18},
+    "goldhill": {"jpeg-ls": 4.71, "slp": 4.74, "calic": 4.61, "proposed": 4.65},
+    "lena": {"jpeg-ls": 4.24, "slp": 4.17, "calic": 4.09, "proposed": 4.14},
+    "mandrill": {"jpeg-ls": 6.04, "slp": 5.99, "calic": 5.90, "proposed": 5.93},
+    "peppers": {"jpeg-ls": 4.49, "slp": 4.49, "calic": 4.35, "proposed": 4.39},
+    "zelda": {"jpeg-ls": 4.01, "slp": 3.97, "calic": 3.84, "proposed": 3.90},
+    "average": {"jpeg-ls": 4.66, "slp": 4.63, "calic": 4.50, "proposed": 4.55},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured bit rates for one corpus image."""
+
+    image: str
+    bits_per_pixel: Dict[str, float]
+
+
+@dataclass
+class Table1Result:
+    """Complete Table 1 run: per-image rows plus averages."""
+
+    size: int
+    seed: int
+    codec_names: List[str]
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def averages(self) -> Dict[str, float]:
+        """Column averages (the paper's bottom row)."""
+        if not self.rows:
+            return {name: 0.0 for name in self.codec_names}
+        return {
+            name: sum(row.bits_per_pixel[name] for row in self.rows) / len(self.rows)
+            for name in self.codec_names
+        }
+
+    def winner(self, image: str) -> str:
+        """Codec with the lowest bit rate on ``image``."""
+        for row in self.rows:
+            if row.image == image:
+                return min(row.bits_per_pixel, key=row.bits_per_pixel.get)
+        raise KeyError("image %r not in the result" % image)
+
+    def format_table(self, include_paper: bool = False) -> str:
+        """Render the result like the paper's Table 1."""
+        header = "%-10s" % "Image" + "".join("%11s" % name for name in self.codec_names)
+        lines = [header]
+        for row in self.rows:
+            lines.append(
+                "%-10s" % row.image
+                + "".join("%11.3f" % row.bits_per_pixel[name] for name in self.codec_names)
+            )
+        averages = self.averages()
+        lines.append(
+            "%-10s" % "average"
+            + "".join("%11.3f" % averages[name] for name in self.codec_names)
+        )
+        if include_paper:
+            lines.append("")
+            lines.append("%-10s" % "(paper)" + "".join("%11s" % name for name in self.codec_names))
+            for image, published in PAPER_TABLE1.items():
+                lines.append(
+                    "%-10s" % image
+                    + "".join(
+                        "%11.2f" % published.get(name, float("nan"))
+                        for name in self.codec_names
+                    )
+                )
+        return "\n".join(lines)
+
+
+def default_codecs() -> List[LosslessImageCodec]:
+    """The four codecs of Table 1, in column order."""
+    return [JpegLsCodec(), SlpCodec(), CalicCodec(), ProposedCodec()]
+
+
+def run_table1(
+    size: int = 256,
+    seed: int = 2007,
+    codecs: Optional[Sequence[LosslessImageCodec]] = None,
+    images: Optional[Sequence[str]] = None,
+    verify_roundtrip: bool = True,
+) -> Table1Result:
+    """Regenerate Table 1 on the synthetic corpus.
+
+    Parameters
+    ----------
+    size:
+        Image width/height in pixels (the paper uses 512).
+    seed:
+        Corpus random seed (results are deterministic given size + seed).
+    codecs:
+        Codecs to compare; defaults to the paper's four columns.
+    images:
+        Corpus image names; defaults to the paper's seven rows.
+    verify_roundtrip:
+        Also decode every stream and assert exact reconstruction (slower but
+        guarantees the reported rates describe *lossless* streams).
+    """
+    if size < 16:
+        raise ConfigError("table 1 image size must be at least 16, got %d" % size)
+    selected_codecs = list(codecs) if codecs is not None else default_codecs()
+    selected_images = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+    names = [codec.name for codec in selected_codecs]
+    if len(set(names)) != len(names):
+        raise ConfigError("codec names must be unique, got %r" % names)
+
+    result = Table1Result(size=size, seed=seed, codec_names=names)
+    for image_name in selected_images:
+        image = generate_image(image_name, size=size, seed=seed)
+        rates: Dict[str, float] = {}
+        for codec in selected_codecs:
+            stream = codec.encode(image)
+            if verify_roundtrip and not images_identical(codec.decode(stream), image):
+                raise AssertionError(
+                    "codec %s failed to losslessly reconstruct %s" % (codec.name, image_name)
+                )
+            rates[codec.name] = 8.0 * len(stream) / image.pixel_count
+        result.rows.append(Table1Row(image=image_name, bits_per_pixel=rates))
+    return result

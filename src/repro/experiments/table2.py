@@ -1,0 +1,106 @@
+"""Table 2 — device utilisation, memory budgets and clock estimate.
+
+This experiment runs the analytical hardware model: it builds the three
+architectural blocks (Modelling, Probability Estimator, Arithmetic Coder),
+sums their primitive costs into the slice / flip-flop / LUT / IOB summary of
+Table 2, derives the memory budgets quoted in Section V (3.7 KB modelling,
+4 KB probability estimator), and estimates the achievable clock with the
+static-timing model.
+
+The published Table 2 values are attached to every result so reports can put
+the estimate and the synthesis result side by side; the model is analytical,
+so exact agreement is not expected (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import CodecConfig
+from repro.hardware.blocks import PAPER_TABLE2, default_blocks
+from repro.hardware.device import VIRTEX4_LX60, FpgaDevice
+from repro.hardware.memory import MemoryInventory, build_memory_inventory
+from repro.hardware.resources import UtilizationSummary, summarize_blocks
+from repro.hardware.timing import TimingModel, TimingReport
+
+__all__ = ["Table2Result", "run_table2", "PAPER_MEMORY_BYTES", "PAPER_CLOCK_MHZ"]
+
+#: Memory budgets quoted in Section V of the paper.
+PAPER_MEMORY_BYTES: Dict[str, int] = {
+    "modeling": int(3.7 * 1024),
+    "probability_estimator": 4 * 1024,
+}
+
+#: Clock frequency and throughput reported in Section V.
+PAPER_CLOCK_MHZ = 123.0
+PAPER_THROUGHPUT_MBITS = 123.0
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Everything the hardware-model experiment produces."""
+
+    summary: UtilizationSummary
+    memory: MemoryInventory
+    timing: TimingReport
+    paper_table2: Dict[str, Dict[str, int]]
+    paper_memory_bytes: Dict[str, int]
+    paper_clock_mhz: float
+
+    def format_report(self) -> str:
+        lines = ["Estimated device utilisation (analytical model):", self.summary.format_table(), ""]
+        lines.append("Published Table 2 (Xilinx ISE 8.1 synthesis):")
+        header = "%-26s" % "" + "".join("%23s" % name for name in self.paper_table2)
+        lines.append(header)
+        for metric, label in (
+            ("slices", "No. of Slices"),
+            ("flipflops", "No. of Slice Flip-flops"),
+            ("lut4", "No. of 4 input LUT"),
+            ("iobs", "No. of bonded IOBs"),
+            ("gclk", "No. of GCLK"),
+        ):
+            lines.append(
+                "%-26s" % label
+                + "".join("%23d" % self.paper_table2[name][metric] for name in self.paper_table2)
+            )
+        lines.append("")
+        lines.append("Memory model: " + self.memory.format_summary())
+        lines.append(
+            "Paper memory: modelling %.1f KB, probability estimator %.1f KB"
+            % (
+                self.paper_memory_bytes["modeling"] / 1024.0,
+                self.paper_memory_bytes["probability_estimator"] / 1024.0,
+            )
+        )
+        lines.append(
+            "Clock estimate: %.1f MHz (critical path %s, %.2f ns); paper: %.1f MHz"
+            % (
+                self.timing.clock_mhz,
+                self.timing.critical_block,
+                self.timing.critical_path_ns,
+                self.paper_clock_mhz,
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_table2(
+    config: Optional[CodecConfig] = None,
+    image_width: int = 512,
+    device: FpgaDevice = VIRTEX4_LX60,
+) -> Table2Result:
+    """Run the hardware model and assemble the Table 2 comparison."""
+    config = config if config is not None else CodecConfig.hardware()
+    blocks = default_blocks(config=config, image_width=image_width, device=device)
+    summary = summarize_blocks(blocks, device=device)
+    memory = build_memory_inventory(config=config, image_width=image_width)
+    timing = TimingModel(device=device).analyse(blocks)
+    return Table2Result(
+        summary=summary,
+        memory=memory,
+        timing=timing,
+        paper_table2=PAPER_TABLE2,
+        paper_memory_bytes=PAPER_MEMORY_BYTES,
+        paper_clock_mhz=PAPER_CLOCK_MHZ,
+    )

@@ -1,0 +1,93 @@
+"""Throughput experiment — the 123 MHz / 123 Mbit/s claim of Section V.
+
+The pipeline model turns a clock frequency into a sustained input-data rate.
+At the paper's 123 MHz, the bit-serial coder (one tree level per cycle, 8+1
+levels per 8-bit pixel) is the bottleneck and the sustained rate lands at
+one uncompressed input bit per clock — the paper's 123 Mbit/s.
+
+The experiment reports three variants:
+
+* the pipelined design at the paper's clock (the headline number);
+* the pipelined design at the clock our timing model estimates;
+* a non-pipelined modelling front-end (Line 1 and Line 2 serialised), the
+  ablation that shows what the two-line pipeline of Figure 3 buys.
+
+It also measures the escape rate of a real encode so the coder-cycle model
+uses a realistic value instead of zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import CodecConfig
+from repro.core.encoder import encode_image_with_statistics
+from repro.exceptions import ConfigError
+from repro.hardware.pipeline import PipelineModel, PipelineReport
+from repro.imaging.synthetic import generate_image
+
+__all__ = ["ThroughputResult", "run_throughput", "PAPER_CLOCK_MHZ", "PAPER_THROUGHPUT_MBITS"]
+
+PAPER_CLOCK_MHZ = 123.0
+PAPER_THROUGHPUT_MBITS = 123.0
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Pipeline-model reports for the three variants."""
+
+    escape_rate: float
+    at_paper_clock: PipelineReport
+    at_estimated_clock: PipelineReport
+    without_pipelining: PipelineReport
+    paper_clock_mhz: float
+    paper_throughput_mbits: float
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "measured escape rate: %.4f%%" % (100.0 * self.escape_rate),
+                "pipelined @ paper clock:      " + self.at_paper_clock.format_summary(),
+                "pipelined @ estimated clock:  " + self.at_estimated_clock.format_summary(),
+                "no two-line pipeline:         " + self.without_pipelining.format_summary(),
+                "paper claim: %.0f MHz clock, %.0f Mbit/s throughput"
+                % (self.paper_clock_mhz, self.paper_throughput_mbits),
+            ]
+        )
+
+
+def run_throughput(
+    size: int = 128,
+    image_name: str = "lena",
+    estimated_clock_mhz: Optional[float] = None,
+    config: Optional[CodecConfig] = None,
+) -> ThroughputResult:
+    """Run the throughput experiment on one corpus image."""
+    config = config if config is not None else CodecConfig.hardware()
+    if size < 16:
+        raise ConfigError("image size must be at least 16, got %d" % size)
+
+    image = generate_image(image_name, size=size)
+    _, statistics = encode_image_with_statistics(image, config)
+    pixels = image.pixel_count
+    escape_rate = min(1.0, statistics.escapes / max(1, pixels))
+
+    if estimated_clock_mhz is None:
+        # Derive the estimate from the hardware timing model.
+        from repro.experiments.table2 import run_table2
+
+        estimated_clock_mhz = run_table2(config=config).timing.clock_mhz
+
+    paper_model = PipelineModel(config=config, clock_mhz=PAPER_CLOCK_MHZ, pipelined=True)
+    estimated_model = PipelineModel(config=config, clock_mhz=estimated_clock_mhz, pipelined=True)
+    serial_model = PipelineModel(config=config, clock_mhz=PAPER_CLOCK_MHZ, pipelined=False)
+
+    return ThroughputResult(
+        escape_rate=escape_rate,
+        at_paper_clock=paper_model.analyse(image.width, image.height, escape_rate),
+        at_estimated_clock=estimated_model.analyse(image.width, image.height, escape_rate),
+        without_pipelining=serial_model.analyse(image.width, image.height, escape_rate),
+        paper_clock_mhz=PAPER_CLOCK_MHZ,
+        paper_throughput_mbits=PAPER_THROUGHPUT_MBITS,
+    )

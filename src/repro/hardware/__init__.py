@@ -1,0 +1,63 @@
+"""Hardware model: FPGA resources, timing, memory and pipeline behaviour.
+
+The paper's contribution is an *architecture*, so reproducing its evaluation
+needs more than the algorithm: Table 2 reports device utilisation on a
+Xilinx Virtex-4, the text quotes 3.7 KB / 4 KB of memory for the modelling
+and probability-estimator blocks, and the headline performance claim is a
+123 MHz clock sustaining 123 Mbit/s.
+
+No synthesis tools are available offline, so this package provides an
+analytical model (see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.hardware.device` — the Virtex-4 slice/LUT/BRAM geometry;
+* :mod:`repro.hardware.primitives` — LUT/FF/BRAM costs and delays of RTL
+  primitives (adders, comparators, muxes, shifters, RAMs, ROMs);
+* :mod:`repro.hardware.blocks` — the three architectural blocks of the
+  design (Modelling, Probability Estimator, Arithmetic Coder) composed from
+  those primitives;
+* :mod:`repro.hardware.resources` — aggregation into the slice / flip-flop /
+  LUT / IOB summary of Table 2;
+* :mod:`repro.hardware.timing` — a static-timing estimate of the achievable
+  clock frequency;
+* :mod:`repro.hardware.pipeline` — a cycle-level simulator of the two-line
+  modelling pipeline and the bit-serial coder that turns a clock frequency
+  into a throughput figure;
+* :mod:`repro.hardware.memory` — the memory inventory (line buffers, context
+  statistics, division ROM, estimator SRAM).
+"""
+
+from repro.hardware.blocks import (
+    ArithmeticCoderBlock,
+    ModelingBlock,
+    ProbabilityEstimatorBlock,
+    default_blocks,
+)
+from repro.hardware.device import FpgaDevice, VIRTEX4_LX60
+from repro.hardware.memory import MemoryInventory, build_memory_inventory
+from repro.hardware.multicore import MulticoreModel, measure_stripe_penalty, split_into_stripes
+from repro.hardware.pipeline import PipelineModel, PipelineReport
+from repro.hardware.primitives import ResourceCount
+from repro.hardware.resources import BlockUtilization, UtilizationSummary, summarize_blocks
+from repro.hardware.timing import TimingModel, TimingReport
+
+__all__ = [
+    "FpgaDevice",
+    "VIRTEX4_LX60",
+    "ResourceCount",
+    "ModelingBlock",
+    "ProbabilityEstimatorBlock",
+    "ArithmeticCoderBlock",
+    "default_blocks",
+    "BlockUtilization",
+    "UtilizationSummary",
+    "summarize_blocks",
+    "TimingModel",
+    "TimingReport",
+    "PipelineModel",
+    "PipelineReport",
+    "MemoryInventory",
+    "build_memory_inventory",
+    "MulticoreModel",
+    "split_into_stripes",
+    "measure_stripe_penalty",
+]

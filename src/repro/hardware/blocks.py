@@ -1,0 +1,313 @@
+"""Architectural blocks of the paper's design, composed from primitives.
+
+Table 2 of the paper splits the design into three blocks — *Modelling*,
+*Probability Estimator* and *Arithmetic Coder* — and reports the slice /
+flip-flop / LUT / IOB counts of each after synthesis with Xilinx ISE 8.1.
+Without a synthesis flow we re-derive those numbers analytically: each block
+lists the RTL primitives its datapath needs (straight from the architecture
+description in Sections III and IV) and sums their costs from
+:class:`~repro.hardware.primitives.PrimitiveLibrary`.
+
+An analytical model cannot capture every piece of glue logic a real netlist
+contains, so the absolute numbers differ from the paper's (the comparison —
+estimate vs. published — is exactly what ``benchmarks/test_table2_resources``
+and EXPERIMENTS.md report).  What the model does preserve is the *structure*
+of Table 2: the arithmetic coder is by far the largest block, the
+probability estimator the smallest, the modelling block sits in between, and
+the memory budgets (3.7 KB modelling / 4 KB estimator) follow directly from
+the algorithm's data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import CodecConfig
+from repro.hardware.device import VIRTEX4_LX60, FpgaDevice
+from repro.hardware.primitives import Primitive, PrimitiveLibrary, ResourceCount
+
+__all__ = [
+    "HardwareBlock",
+    "ModelingBlock",
+    "ProbabilityEstimatorBlock",
+    "ArithmeticCoderBlock",
+    "default_blocks",
+    "PAPER_TABLE2",
+]
+
+#: The utilisation figures published in Table 2 of the paper, for comparison.
+PAPER_TABLE2: Dict[str, Dict[str, int]] = {
+    "modeling": {"slices": 508, "flipflops": 224, "lut4": 912, "iobs": 31, "gclk": 1},
+    "probability_estimator": {"slices": 297, "flipflops": 124, "lut4": 561, "iobs": 60, "gclk": 1},
+    "arithmetic_coder": {"slices": 1123, "flipflops": 283, "lut4": 2131, "iobs": 53, "gclk": 1},
+}
+
+
+@dataclass
+class HardwareBlock:
+    """A named block: its primitives, IOB budget and memory contents."""
+
+    name: str
+    device: FpgaDevice
+    primitives: List[Primitive] = field(default_factory=list)
+    memories_bits: Dict[str, int] = field(default_factory=dict)
+    iob_count: int = 0
+    gclk_count: int = 1
+
+    def add(self, primitive: Primitive, copies: int = 1) -> None:
+        """Add ``copies`` instances of ``primitive`` to the block."""
+        for _ in range(copies):
+            self.primitives.append(primitive)
+
+    def add_memory(self, name: str, bits: int, use_bram: bool = True) -> None:
+        """Register an on-chip memory (BRAM by default, distributed otherwise)."""
+        self.memories_bits[name] = self.memories_bits.get(name, 0) + bits
+        library = PrimitiveLibrary(self.device)
+        if use_bram:
+            self.add(library.block_ram(bits, name=name))
+        else:
+            self.add(library.distributed_rom(bits, name=name))
+
+    # ------------------------------------------------------------------ #
+    # aggregate queries
+    # ------------------------------------------------------------------ #
+
+    def resources(self) -> ResourceCount:
+        """Total LUT / FF / BRAM / IOB count of the block."""
+        total = ResourceCount(iobs=self.iob_count)
+        for primitive in self.primitives:
+            total = total + primitive.resources
+        return total
+
+    def slices(self) -> int:
+        """Estimated slice count after packing."""
+        total = self.resources()
+        return self.device.slices_for(total.luts, total.ffs)
+
+    def critical_path_ns(self) -> float:
+        """Longest single-primitive delay plus register overhead.
+
+        The architecture registers every stage boundary (that is the point of
+        the two-line pipeline), so the combinational depth per cycle is one
+        primitive group; the slowest one sets the clock.
+        """
+        if not self.primitives:
+            return self.device.register_overhead_ns
+        slowest = max(primitive.delay_ns for primitive in self.primitives)
+        return slowest + self.device.register_overhead_ns
+
+    def memory_bytes(self) -> int:
+        """Total on-chip memory of the block in bytes."""
+        return sum(bits for bits in self.memories_bits.values()) // 8
+
+
+# --------------------------------------------------------------------------- #
+# Block builders
+# --------------------------------------------------------------------------- #
+
+
+class ModelingBlock(HardwareBlock):
+    """The image-modelling module of Figure 3 (prediction + context + bias).
+
+    Parameters
+    ----------
+    config:
+        Codec configuration (register widths follow it).
+    image_width:
+        Line-buffer length; the paper evaluates 512-pixel-wide images.
+    device:
+        Target FPGA.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CodecConfig] = None,
+        image_width: int = 512,
+        device: FpgaDevice = VIRTEX4_LX60,
+    ) -> None:
+        super().__init__(name="modeling", device=device)
+        config = config if config is not None else CodecConfig.hardware()
+        self.config = config
+        self.image_width = image_width
+        library = PrimitiveLibrary(device)
+        pixel_bits = config.bit_depth
+        gradient_bits = pixel_bits + 3          # sums of three absolute differences
+        energy_bits = gradient_bits + 2         # dh + dv + 2|e_W|
+        sum_bits = config.bias_sum_magnitude_bits + 1
+        count_bits = config.bias_count_bits
+
+        # --- Line 2: gradients, GAP, texture pattern, QE --------------------
+        self.add(library.absolute_difference(pixel_bits, "gradient-absdiff"), copies=6)
+        self.add(library.adder(gradient_bits, "gradient-sum"), copies=4)
+        self.add(library.subtractor(gradient_bits + 1, "gap-dv-dh"), copies=1)
+        self.add(library.comparator(gradient_bits + 1, "gap-threshold"), copies=5)
+        self.add(library.adder(pixel_bits + 1, "gap-average"), copies=2)
+        self.add(library.adder(pixel_bits + 2, "gap-blend"), copies=2)
+        self.add(library.mux_n(pixel_bits, 6, "gap-select"))
+        self.add(library.comparator(pixel_bits, "texture-compare"), copies=6)
+        self.add(library.adder(energy_bits, "energy-sum"), copies=2)
+        self.add(library.comparator(energy_bits, "qe-quantiser"), copies=config.energy_levels - 1)
+        self.add(library.register(pixel_bits + config.texture_bits + config.energy_index_bits,
+                                  "line2-pipeline"), copies=2)
+
+        # --- Line 1: error, mapping, context update, error feedback ---------
+        self.add(library.subtractor(pixel_bits + 1, "prediction-error"))
+        self.add(library.adder(pixel_bits + 1, "error-remap"))
+        self.add(library.mux2(pixel_bits, "error-remap-select"))
+        self.add(library.adder(sum_bits, "context-sum-update"))
+        self.add(library.counter(count_bits, "context-count-update"))
+        self.add(library.comparator(count_bits, "overflow-guard-compare"))
+        self.add(library.mux2(sum_bits + count_bits, "overflow-guard-halve"))
+        self.add(library.comparator(config.bias_dividend_bits + 1, "dividend-bound"))
+        self.add(library.mux2(config.bias_dividend_bits, "dividend-clamp"))
+        self.add(library.multiplier(config.bias_dividend_bits, 16, "reciprocal-multiply"))
+        self.add(library.adder(pixel_bits + 1, "feedback-add"))
+        self.add(library.register(sum_bits + count_bits, "line1-pipeline"), copies=2)
+
+        # --- Address generation and line-pointer rotation -------------------
+        address_bits = max(1, (image_width - 1).bit_length())
+        self.add(library.counter(address_bits, "column-counter"))
+        self.add(library.register(address_bits, "line-pointer"), copies=3)
+        self.add(library.mux_n(address_bits, 3, "line-pointer-rotate"))
+        self.add(library.counter(6, "control-fsm"))
+        self.add(library.register(32, "control-state"))
+
+        # --- Memories --------------------------------------------------------
+        self.add_memory("line-buffer", 3 * image_width * pixel_bits, use_bram=True)
+        self.add_memory(
+            "context-statistics",
+            config.compound_contexts * (sum_bits + count_bits),
+            use_bram=True,
+        )
+        if config.use_lut_division:
+            self.add_memory("division-rom", 512 * 16, use_bram=True)
+
+        # --- External interface ----------------------------------------------
+        # pixel in (8), mapped error out (8), QE out (3), handshake/clock/reset.
+        self.iob_count = pixel_bits + pixel_bits + config.energy_index_bits + 12
+
+
+class ProbabilityEstimatorBlock(HardwareBlock):
+    """The tree-based probability estimator of Section IV."""
+
+    def __init__(
+        self,
+        config: Optional[CodecConfig] = None,
+        device: FpgaDevice = VIRTEX4_LX60,
+    ) -> None:
+        super().__init__(name="probability_estimator", device=device)
+        config = config if config is not None else CodecConfig.hardware()
+        self.config = config
+        library = PrimitiveLibrary(device)
+        count_bits = config.count_bits
+        node_bits = count_bits + config.bit_depth  # internal nodes hold subtree sums
+
+        # Tree walk datapath: fetch node, compare against the arithmetic
+        # coder's probability request, update the count, write back.
+        self.add(library.adder(node_bits, "node-increment"))
+        self.add(library.comparator(node_bits, "branch-compare"))
+        self.add(library.subtractor(node_bits, "right-count"))
+        self.add(library.barrel_shifter(node_bits, 4, "rescale-shift"))
+        self.add(library.comparator(count_bits, "saturation-detect"))
+        self.add(library.mux_n(node_bits, config.energy_levels, "context-select"))
+        self.add(library.counter(config.bit_depth + 1, "level-counter"))
+        self.add(library.counter(config.bit_depth + 2, "rescale-address"))
+        self.add(library.register(node_bits, "node-pipeline"), copies=3)
+        self.add(library.register(config.bit_depth + config.energy_index_bits, "symbol-latch"))
+        self.add(library.comparator(config.bit_depth, "escape-detect"))
+        self.add(library.counter(5, "control-fsm"))
+        self.add(library.register(24, "control-state"))
+
+        # Frequency-count SRAM: one leaf counter per symbol per dynamic tree.
+        tree_bits = config.energy_levels * config.alphabet_size * count_bits
+        self.add_memory("frequency-counts", tree_bits, use_bram=True)
+        # Static (escape) tree needs no storage: its probabilities are constant.
+
+        # Interface: symbol in (8) + QE (3), probability out (count_bits + total),
+        # binary decision out, handshake.
+        self.iob_count = (
+            config.bit_depth
+            + config.energy_index_bits
+            + count_bits
+            + count_bits
+            + 2
+            + 8
+        )
+
+
+class ArithmeticCoderBlock(HardwareBlock):
+    """The binary arithmetic coder back-end (after Nunez-Yanez & Chouliaras).
+
+    The coder is the largest block in Table 2: it holds the wide low/high/
+    code registers, the range-scaling datapath, the renormalisation shifter,
+    carry (follow-bit) resolution and the output bit packer.
+    """
+
+    def __init__(
+        self,
+        precision: int = 32,
+        count_bits: int = 14,
+        device: FpgaDevice = VIRTEX4_LX60,
+    ) -> None:
+        super().__init__(name="arithmetic_coder", device=device)
+        self.precision = precision
+        library = PrimitiveLibrary(device)
+
+        # --- Encoder datapath -------------------------------------------------
+        # Range split: span * zero_count / total.  The product is a shift-add
+        # array of the probability width; the division by the model total is a
+        # restoring divider array, which dominates the block's area (and is why
+        # the coder is the largest block of Table 2).
+        self.add(library.multiplier(count_bits + 2, precision // 2, "range-scale"))
+        self.add(library.multiplier(count_bits + 2, precision // 2, "total-divide"))
+        self.add(library.adder(precision, "low-update"))
+        self.add(library.adder(precision, "high-update"))
+        self.add(library.subtractor(precision, "span"))
+        self.add(library.comparator(precision, "interval-compare"), copies=3)
+        self.add(library.barrel_shifter(precision, 5, "renormalise"))
+        self.add(library.counter(precision // 4, "pending-bits"))
+        self.add(library.counter(6, "bit-counter"))
+        self.add(library.register(precision, "low-register"))
+        self.add(library.register(precision, "high-register"))
+        self.add(library.mux_n(8, 4, "byte-packer"))
+        self.add(library.register(64, "output-fifo-regs"))
+
+        # --- Decoder datapath -------------------------------------------------
+        # The coder IP of reference [7] is a full codec core: the decoder side
+        # mirrors the encoder's interval arithmetic and adds the target search.
+        self.add(library.multiplier(count_bits + 2, precision // 2, "decode-target"))
+        self.add(library.adder(precision, "decode-low-update"))
+        self.add(library.adder(precision, "decode-high-update"))
+        self.add(library.comparator(precision, "decode-compare"), copies=2)
+        self.add(library.barrel_shifter(precision, 5, "decode-renormalise"))
+        self.add(library.register(precision, "code-register"))
+        self.add(library.register(precision, "decode-low-register"))
+        self.add(library.register(precision, "decode-high-register"))
+        self.add(library.mux_n(8, 4, "byte-unpacker"))
+
+        # --- Control and buffering -------------------------------------------
+        self.add(library.counter(5, "control-fsm"))
+        self.add(library.register(32, "control-state"))
+        self.add(library.counter(6, "handshake-counters"), copies=2)
+        # Output staging FIFO in distributed RAM.
+        self.add_memory("output-fifo", 64 * 8, use_bram=False)
+
+        # Interface: probability in, decision in, byte stream out, handshake.
+        self.iob_count = count_bits + count_bits + 1 + 8 + 2 + 6
+
+
+def default_blocks(
+    config: Optional[CodecConfig] = None,
+    image_width: int = 512,
+    device: FpgaDevice = VIRTEX4_LX60,
+) -> List[HardwareBlock]:
+    """The three blocks of Table 2 with default parameters."""
+    config = config if config is not None else CodecConfig.hardware()
+    return [
+        ModelingBlock(config=config, image_width=image_width, device=device),
+        ProbabilityEstimatorBlock(config=config, device=device),
+        ArithmeticCoderBlock(
+            precision=config.coder_precision, count_bits=config.count_bits, device=device
+        ),
+    ]

@@ -1,0 +1,113 @@
+"""FPGA device descriptions.
+
+The paper targets a Xilinx Virtex-4; the relevant geometry for the resource
+model is how many 4-input LUTs and flip-flops a slice provides, how large
+the block RAMs are, and the typical logic/routing delays used by the timing
+model.  The values below are taken from the public Virtex-4 data sheet
+(DS302) and user guide and are deliberately conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import HardwareModelError
+
+__all__ = ["FpgaDevice", "VIRTEX4_LX60", "VIRTEX4_LX25"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Geometry and timing characteristics of one FPGA family member."""
+
+    name: str
+    #: 4-input LUTs per slice (2 on Virtex-4).
+    luts_per_slice: int
+    #: Flip-flops per slice (2 on Virtex-4).
+    ffs_per_slice: int
+    #: LUT input count (4 on Virtex-4).
+    lut_inputs: int
+    #: Total slices available on the device.
+    total_slices: int
+    #: Block RAM capacity in kilobits per block (18 kbit on Virtex-4).
+    bram_kbits: int
+    #: Total block RAMs on the device.
+    total_brams: int
+    #: Available bonded I/O blocks.
+    total_iobs: int
+    #: Global clock buffers.
+    total_gclks: int
+    #: Typical LUT propagation delay in nanoseconds.
+    lut_delay_ns: float
+    #: Typical net (routing) delay per hop in nanoseconds.
+    routing_delay_ns: float
+    #: Flip-flop clock-to-out plus setup in nanoseconds.
+    register_overhead_ns: float
+    #: Block RAM access time in nanoseconds.
+    bram_access_ns: float
+    #: Carry-chain delay per bit in nanoseconds.
+    carry_delay_ns: float
+
+    def slices_for(self, luts: int, ffs: int, packing_efficiency: float = 0.85) -> int:
+        """Slices needed for ``luts`` LUTs and ``ffs`` flip-flops.
+
+        ``packing_efficiency`` models the fact that place-and-route rarely
+        packs unrelated logic into the same slice; 0.85 matches the
+        LUT-to-slice ratios reported in Table 2 of the paper (roughly 1.8
+        LUTs per slice out of the theoretical 2).
+        """
+        if luts < 0 or ffs < 0:
+            raise HardwareModelError("resource counts must be non-negative")
+        if not 0.1 <= packing_efficiency <= 1.0:
+            raise HardwareModelError(
+                "packing efficiency must be in [0.1, 1.0], got %f" % packing_efficiency
+            )
+        lut_slices = luts / (self.luts_per_slice * packing_efficiency)
+        ff_slices = ffs / (self.ffs_per_slice * packing_efficiency)
+        return max(1, int(round(max(lut_slices, ff_slices))))
+
+    def brams_for(self, bits: int) -> int:
+        """Number of block RAMs needed to hold ``bits`` of storage."""
+        if bits < 0:
+            raise HardwareModelError("memory size must be non-negative")
+        if bits == 0:
+            return 0
+        capacity = self.bram_kbits * 1024
+        return (bits + capacity - 1) // capacity
+
+
+#: The mid-range Virtex-4 used as the default synthesis target.
+VIRTEX4_LX60 = FpgaDevice(
+    name="Xilinx Virtex-4 LX60",
+    luts_per_slice=2,
+    ffs_per_slice=2,
+    lut_inputs=4,
+    total_slices=26624,
+    bram_kbits=18,
+    total_brams=160,
+    total_iobs=448,
+    total_gclks=32,
+    lut_delay_ns=0.37,
+    routing_delay_ns=0.55,
+    register_overhead_ns=0.65,
+    bram_access_ns=1.65,
+    carry_delay_ns=0.055,
+)
+
+#: A smaller family member (useful for utilisation-percentage reports).
+VIRTEX4_LX25 = FpgaDevice(
+    name="Xilinx Virtex-4 LX25",
+    luts_per_slice=2,
+    ffs_per_slice=2,
+    lut_inputs=4,
+    total_slices=10752,
+    bram_kbits=18,
+    total_brams=72,
+    total_iobs=448,
+    total_gclks=32,
+    lut_delay_ns=0.37,
+    routing_delay_ns=0.55,
+    register_overhead_ns=0.65,
+    bram_access_ns=1.65,
+    carry_delay_ns=0.055,
+)

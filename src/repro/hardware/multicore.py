@@ -1,0 +1,165 @@
+"""Multi-core scaling model (Section V: "a multi-core solution could be used
+to scale up the performance").
+
+The paper closes its evaluation by noting that the design's low complexity
+allows several codec cores to be instantiated side by side to scale
+throughput.  This module models that claim quantitatively:
+
+* the image is partitioned into horizontal stripes, one per core;
+* every core is an independent instance of the pipeline (its own modelling
+  front-end, probability estimator and arithmetic coder), so stripes are
+  coded with *independent adaptive state* — exactly what hardware
+  replication gives you;
+* each stripe pays a context "warm-up" penalty because its adaptive models
+  restart cold, so compression degrades slightly as the core count grows;
+* aggregate throughput scales with the number of cores (bounded by the
+  stripe imbalance), and device utilisation scales linearly.
+
+The model therefore captures the real trade-off of the multi-core option:
+throughput and area scale linearly while the compression ratio degrades
+gently.  ``estimate_scaling`` produces the summary; the companion benchmark
+(`benchmarks/test_multicore_scaling.py`) measures the bit-rate penalty with
+the actual codec by splitting corpus images into stripes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.exceptions import HardwareModelError
+from repro.hardware.pipeline import PipelineModel
+from repro.hardware.resources import UtilizationSummary
+from repro.imaging.image import GrayImage
+
+__all__ = ["CoreScalingPoint", "MulticoreModel", "split_into_stripes", "measure_stripe_penalty"]
+
+
+@dataclass(frozen=True)
+class CoreScalingPoint:
+    """Predicted behaviour of an ``n``-core instantiation."""
+
+    cores: int
+    aggregate_megabits_per_second: float
+    speedup: float
+    total_slices: int
+    total_brams: int
+    stripe_rows: int
+
+    def format_row(self) -> str:
+        return "%2d cores | %8.1f Mbit/s | speedup %5.2fx | %6d slices | %3d BRAMs" % (
+            self.cores,
+            self.aggregate_megabits_per_second,
+            self.speedup,
+            self.total_slices,
+            self.total_brams,
+        )
+
+
+class MulticoreModel:
+    """Throughput/area scaling of stripe-parallel codec cores."""
+
+    def __init__(
+        self,
+        single_core_summary: UtilizationSummary,
+        clock_mhz: float = 123.0,
+        config: Optional[CodecConfig] = None,
+    ) -> None:
+        self.summary = single_core_summary
+        self.clock_mhz = clock_mhz
+        self.config = config if config is not None else CodecConfig.hardware()
+
+    def scaling(
+        self, image_width: int, image_height: int, core_counts: List[int], escape_rate: float = 0.002
+    ) -> List[CoreScalingPoint]:
+        """Predict throughput and area for each core count.
+
+        The image is split into equal horizontal stripes (the last stripe
+        absorbs the remainder); the slowest stripe bounds the wall-clock, so
+        the speedup is ``height / ceil(height / cores)`` rather than exactly
+        ``cores``.
+        """
+        if image_width <= 0 or image_height <= 0:
+            raise HardwareModelError("image dimensions must be positive")
+        points: List[CoreScalingPoint] = []
+        single_totals = self.summary.totals()
+        pipeline = PipelineModel(config=self.config, clock_mhz=self.clock_mhz)
+        baseline = pipeline.analyse(image_width, image_height, escape_rate=escape_rate)
+        for cores in core_counts:
+            if cores <= 0:
+                raise HardwareModelError("core count must be positive, got %d" % cores)
+            if cores > image_height:
+                raise HardwareModelError(
+                    "cannot split %d rows across %d cores" % (image_height, cores)
+                )
+            stripe_rows = -(-image_height // cores)  # ceiling division
+            stripe_report = pipeline.analyse(image_width, stripe_rows, escape_rate=escape_rate)
+            # All cores run concurrently; the largest stripe finishes last.
+            wall_clock_seconds = stripe_report.total_cycles / (self.clock_mhz * 1e6)
+            total_bits = image_width * image_height * self.config.bit_depth
+            aggregate_mbps = total_bits / wall_clock_seconds / 1e6
+            speedup = aggregate_mbps / baseline.megabits_per_second
+            points.append(
+                CoreScalingPoint(
+                    cores=cores,
+                    aggregate_megabits_per_second=aggregate_mbps,
+                    speedup=speedup,
+                    total_slices=single_totals.slices * cores,
+                    total_brams=single_totals.brams * cores,
+                    stripe_rows=stripe_rows,
+                )
+            )
+        return points
+
+    def format_table(self, points: List[CoreScalingPoint]) -> str:
+        return "\n".join(point.format_row() for point in points)
+
+
+def split_into_stripes(image: GrayImage, cores: int) -> List[GrayImage]:
+    """Split an image into ``cores`` horizontal stripes (last one may be taller)."""
+    if cores <= 0:
+        raise HardwareModelError("core count must be positive, got %d" % cores)
+    if cores > image.height:
+        raise HardwareModelError("cannot split %d rows across %d cores" % (image.height, cores))
+    stripe_rows = image.height // cores
+    stripes: List[GrayImage] = []
+    start = 0
+    for index in range(cores):
+        end = image.height if index == cores - 1 else start + stripe_rows
+        rows = [image.row(y) for y in range(start, end)]
+        stripes.append(
+            GrayImage.from_rows(rows, bit_depth=image.bit_depth, name="%s-stripe%d" % (image.name, index))
+        )
+        start = end
+    return stripes
+
+
+def measure_stripe_penalty(
+    image: GrayImage, cores: int, config: Optional[CodecConfig] = None
+) -> dict:
+    """Measure the bit-rate cost of coding an image as independent stripes.
+
+    Returns a dict with the single-core bit rate, the multi-core bit rate
+    (stripes coded independently, sizes summed) and the penalty in bpp.
+    Every stripe is also round-trip verified.
+    """
+    config = config if config is not None else CodecConfig.hardware()
+    codec = ProposedCodec(config)
+    whole = codec.encode(image)
+    single_bpp = 8.0 * len(whole) / image.pixel_count
+
+    total_bytes = 0
+    for stripe in split_into_stripes(image, cores):
+        stream = codec.encode(stripe)
+        if codec.decode(stream) != stripe:
+            raise AssertionError("stripe round-trip failed")
+        total_bytes += len(stream)
+    multi_bpp = 8.0 * total_bytes / image.pixel_count
+    return {
+        "cores": cores,
+        "single_core_bpp": single_bpp,
+        "multi_core_bpp": multi_bpp,
+        "penalty_bpp": multi_bpp - single_bpp,
+    }

@@ -1,0 +1,183 @@
+"""Cycle-level model of the two-line pipeline and the bit-serial coder.
+
+Section III describes two "lines" of work per pixel that the hardware
+executes in parallel: Line 1 codes the *current* symbol (error, context
+update, mapping) while Line 2 prepares the *next* symbol (neighbourhood,
+gradients, prediction, texture, QE, error feedback).  With the two lines
+overlapped the modelling front-end sustains one pixel per clock cycle.
+
+The back-end, however, is bit-serial: the probability estimator walks one
+tree level per cycle and the binary arithmetic coder consumes one decision
+per cycle, so a ``2^n``-symbol alphabet costs ``n`` cycles per pixel (plus
+``n`` more when the symbol escapes to the static tree).  The throughput of
+the whole design is therefore::
+
+    pixels/s = clock / max(modelling cycles per pixel, coder cycles per pixel)
+    bits/s   = pixels/s * bits per pixel
+
+which with an 8-bit alphabet and a 123 MHz clock gives the paper's
+123 Mbit/s: 8 coder cycles per 8-bit pixel means the input-bit rate equals
+the clock rate.
+
+The model also exposes a *non-pipelined* variant (Line 1 and Line 2 executed
+back to back) so the ablation benchmark can quantify what the two-line
+pipeline buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import CodecConfig
+from repro.core.encoder import EncodeStatistics
+from repro.exceptions import HardwareModelError
+
+__all__ = ["PipelineReport", "PipelineModel"]
+
+#: Stages executed by Line 2 (next-symbol preparation), in dataflow order.
+LINE2_STAGES = (
+    "update-context-window",
+    "gradients",
+    "primary-prediction",
+    "texture-and-qe",
+    "error-feedback",
+)
+
+#: Stages executed by Line 1 (current-symbol coding), in dataflow order.
+LINE1_STAGES = (
+    "prediction-error",
+    "context-statistics-update",
+    "error-mapping",
+    "qe-update",
+)
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Throughput estimate for one image (or one image's statistics)."""
+
+    clock_mhz: float
+    pixel_count: int
+    total_cycles: int
+    cycles_per_pixel: float
+    pixels_per_second: float
+    megabits_per_second: float
+    frames_per_second: float
+    bottleneck: str
+
+    def format_summary(self) -> str:
+        return (
+            "clock %.1f MHz | %.2f cycles/pixel (%s bound) | "
+            "%.2f Mpixel/s | %.1f Mbit/s | %.2f frames/s"
+            % (
+                self.clock_mhz,
+                self.cycles_per_pixel,
+                self.bottleneck,
+                self.pixels_per_second / 1e6,
+                self.megabits_per_second,
+                self.frames_per_second,
+            )
+        )
+
+
+class PipelineModel:
+    """Throughput model of the modelling front-end + bit-serial back-end."""
+
+    def __init__(
+        self,
+        config: Optional[CodecConfig] = None,
+        clock_mhz: float = 123.0,
+        pipelined: bool = True,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise HardwareModelError("clock must be positive, got %f MHz" % clock_mhz)
+        self.config = config if config is not None else CodecConfig.hardware()
+        self.clock_mhz = clock_mhz
+        self.pipelined = pipelined
+
+    # ------------------------------------------------------------------ #
+    # per-pixel cycle counts
+    # ------------------------------------------------------------------ #
+
+    def modeling_cycles_per_pixel(self) -> float:
+        """Cycles the modelling front-end needs per pixel.
+
+        With the two-line pipeline every stage is busy every cycle, so the
+        initiation interval is one.  Without it the two lines execute
+        sequentially and the initiation interval is the total stage count.
+        """
+        if self.pipelined:
+            return 1.0
+        return float(len(LINE1_STAGES) + len(LINE2_STAGES))
+
+    def coder_cycles_per_pixel(self, escape_rate: float = 0.0) -> float:
+        """Cycles the estimator/coder pair needs per pixel.
+
+        One tree level (= one binary decision) per cycle, so a ``2^n`` symbol
+        alphabet costs ``n`` cycles; an escaped symbol additionally walks the
+        static tree (another ``n`` cycles).  The hardware signals escapes with
+        a dedicated tree decision, so they are accounted through
+        ``escape_rate`` rather than by deepening every walk.
+        """
+        if not 0.0 <= escape_rate <= 1.0:
+            raise HardwareModelError("escape rate must be in [0, 1], got %f" % escape_rate)
+        depth = self.config.bit_depth
+        return depth + escape_rate * (self.config.bit_depth + 1)
+
+    def pipeline_fill_latency(self) -> int:
+        """Cycles before the first coded bit emerges (pipeline fill)."""
+        return len(LINE1_STAGES) + len(LINE2_STAGES) + self.config.bit_depth
+
+    # ------------------------------------------------------------------ #
+    # reports
+    # ------------------------------------------------------------------ #
+
+    def analyse(
+        self,
+        width: int,
+        height: int,
+        escape_rate: float = 0.0,
+    ) -> PipelineReport:
+        """Estimate the throughput for a ``width`` x ``height`` image."""
+        if width <= 0 or height <= 0:
+            raise HardwareModelError("image dimensions must be positive")
+        pixel_count = width * height
+        modeling = self.modeling_cycles_per_pixel()
+        coder = self.coder_cycles_per_pixel(escape_rate)
+        if self.pipelined:
+            # Modelling, estimator and coder overlap: the slowest stage wins.
+            per_pixel = max(modeling, coder)
+            bottleneck = "modelling" if modeling >= coder else "coder"
+        else:
+            # Without pipelining the front-end and the coder alternate.
+            per_pixel = modeling + coder
+            bottleneck = "serialised modelling + coder"
+        # Row changeover costs one cycle per row (line-pointer rotation).
+        total_cycles = int(round(pixel_count * per_pixel)) + height + self.pipeline_fill_latency()
+        cycles_per_pixel = total_cycles / pixel_count
+        clock_hz = self.clock_mhz * 1e6
+        pixels_per_second = clock_hz / cycles_per_pixel
+        megabits_per_second = pixels_per_second * self.config.bit_depth / 1e6
+        frames_per_second = pixels_per_second / pixel_count
+        return PipelineReport(
+            clock_mhz=self.clock_mhz,
+            pixel_count=pixel_count,
+            total_cycles=total_cycles,
+            cycles_per_pixel=cycles_per_pixel,
+            pixels_per_second=pixels_per_second,
+            megabits_per_second=megabits_per_second,
+            frames_per_second=frames_per_second,
+            bottleneck=bottleneck,
+        )
+
+    def analyse_statistics(
+        self, width: int, height: int, statistics: EncodeStatistics
+    ) -> PipelineReport:
+        """Throughput estimate using the measured escape rate of a real encode."""
+        pixel_count = width * height
+        if pixel_count <= 0:
+            raise HardwareModelError("image dimensions must be positive")
+        symbols = max(1, pixel_count)
+        escape_rate = statistics.escapes / symbols
+        return self.analyse(width, height, escape_rate=min(1.0, escape_rate))

@@ -1,0 +1,203 @@
+"""Resource and delay costs of RTL primitives on a 4-LUT FPGA fabric.
+
+The paper's design avoids multipliers and dividers, so the architectural
+blocks decompose into a small set of primitives: ripple-carry adders and
+subtractors, magnitude comparators, two-input multiplexers, fixed and barrel
+shifters, registers, distributed-RAM ROMs and block RAMs.  This module gives
+each primitive a LUT / flip-flop / BRAM cost and a combinational delay so
+:mod:`repro.hardware.blocks` can compose whole blocks and
+:mod:`repro.hardware.timing` can estimate the critical path.
+
+The cost formulas are the standard first-order estimates for the Virtex-4
+fabric (one LUT per result bit for add/sub using the carry chain, one LUT
+per 2:1 mux bit, one LUT per 16×1 bits of distributed ROM, …).  They are
+estimates, not synthesis results; the calibration against the paper's
+Table 2 is discussed in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.device import FpgaDevice
+
+__all__ = ["ResourceCount", "Primitive", "PrimitiveLibrary"]
+
+
+@dataclass
+class ResourceCount:
+    """LUT / flip-flop / BRAM / IOB totals of a primitive or a block."""
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    iobs: int = 0
+
+    def __add__(self, other: "ResourceCount") -> "ResourceCount":
+        return ResourceCount(
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            brams=self.brams + other.brams,
+            iobs=self.iobs + other.iobs,
+        )
+
+    def scaled(self, factor: int) -> "ResourceCount":
+        """Return this count replicated ``factor`` times."""
+        if factor < 0:
+            raise HardwareModelError("replication factor must be non-negative")
+        return ResourceCount(
+            luts=self.luts * factor,
+            ffs=self.ffs * factor,
+            brams=self.brams * factor,
+            iobs=self.iobs * factor,
+        )
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One instantiated primitive: a name, its resources and its delay."""
+
+    name: str
+    resources: ResourceCount
+    delay_ns: float
+
+
+class PrimitiveLibrary:
+    """Factory of primitives costed for a particular device."""
+
+    def __init__(self, device: FpgaDevice) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+
+    def adder(self, width: int, name: str = "adder") -> Primitive:
+        """Ripple-carry adder/subtractor of ``width`` bits (carry chain)."""
+        self._check_width(width)
+        delay = (
+            self.device.lut_delay_ns
+            + self.device.routing_delay_ns
+            + width * self.device.carry_delay_ns
+        )
+        return Primitive(name, ResourceCount(luts=width), delay)
+
+    def subtractor(self, width: int, name: str = "subtractor") -> Primitive:
+        """Same cost as an adder on LUT fabric."""
+        return self.adder(width, name)
+
+    def absolute_difference(self, width: int, name: str = "absdiff") -> Primitive:
+        """|a - b|: a subtractor plus a conditional negation stage."""
+        self._check_width(width)
+        sub = self.adder(width, name)
+        negate = self.mux2(width, name)
+        return Primitive(
+            name,
+            sub.resources + negate.resources,
+            sub.delay_ns + negate.delay_ns,
+        )
+
+    def comparator(self, width: int, name: str = "comparator") -> Primitive:
+        """Magnitude comparator (carry-chain based, ~width/2 LUTs)."""
+        self._check_width(width)
+        luts = max(1, (width + 1) // 2)
+        delay = (
+            self.device.lut_delay_ns
+            + self.device.routing_delay_ns
+            + width * self.device.carry_delay_ns
+        )
+        return Primitive(name, ResourceCount(luts=luts), delay)
+
+    def multiplier(self, width_a: int, width_b: int, name: str = "multiplier") -> Primitive:
+        """LUT-fabric array multiplier (only the coder's range scaling uses one)."""
+        self._check_width(width_a)
+        self._check_width(width_b)
+        luts = width_a * width_b
+        delay = (
+            2 * (self.device.lut_delay_ns + self.device.routing_delay_ns)
+            + (width_a + width_b) * self.device.carry_delay_ns
+        )
+        return Primitive(name, ResourceCount(luts=luts), delay)
+
+    # ------------------------------------------------------------------ #
+    # steering logic
+    # ------------------------------------------------------------------ #
+
+    def mux2(self, width: int, name: str = "mux2") -> Primitive:
+        """2:1 multiplexer, one LUT per bit."""
+        self._check_width(width)
+        return Primitive(
+            name,
+            ResourceCount(luts=width),
+            self.device.lut_delay_ns + self.device.routing_delay_ns,
+        )
+
+    def mux_n(self, width: int, inputs: int, name: str = "muxN") -> Primitive:
+        """N:1 multiplexer built from a tree of 2:1 muxes."""
+        self._check_width(width)
+        if inputs < 2:
+            raise HardwareModelError("mux needs at least 2 inputs, got %d" % inputs)
+        levels = (inputs - 1).bit_length()
+        luts = width * (inputs - 1)
+        delay = levels * (self.device.lut_delay_ns + self.device.routing_delay_ns)
+        return Primitive(name, ResourceCount(luts=luts), delay)
+
+    def barrel_shifter(self, width: int, stages: int, name: str = "barrel") -> Primitive:
+        """Logarithmic barrel shifter: one mux layer per stage."""
+        self._check_width(width)
+        if stages <= 0:
+            raise HardwareModelError("shifter needs at least 1 stage, got %d" % stages)
+        luts = width * stages
+        delay = stages * (self.device.lut_delay_ns + self.device.routing_delay_ns)
+        return Primitive(name, ResourceCount(luts=luts), delay)
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+
+    def register(self, width: int, name: str = "register") -> Primitive:
+        """Pipeline register: flip-flops only."""
+        self._check_width(width)
+        return Primitive(name, ResourceCount(ffs=width), self.device.register_overhead_ns)
+
+    def counter(self, width: int, name: str = "counter") -> Primitive:
+        """Loadable counter: an adder plus a register."""
+        add = self.adder(width, name)
+        reg = self.register(width, name)
+        return Primitive(name, add.resources + reg.resources, add.delay_ns)
+
+    def distributed_rom(self, bits: int, name: str = "dist-rom") -> Primitive:
+        """ROM in distributed (LUT) RAM: one LUT per 16 bits on a 4-LUT fabric."""
+        if bits < 0:
+            raise HardwareModelError("ROM size must be non-negative")
+        luts = (bits + 15) // 16
+        return Primitive(
+            name,
+            ResourceCount(luts=luts),
+            self.device.lut_delay_ns + self.device.routing_delay_ns,
+        )
+
+    def block_ram(self, bits: int, name: str = "bram") -> Primitive:
+        """Dedicated block RAM storage."""
+        return Primitive(
+            name,
+            ResourceCount(brams=self.device.brams_for(bits)),
+            self.device.bram_access_ns,
+        )
+
+    def io_pins(self, count: int, name: str = "io") -> Primitive:
+        """Bonded IOBs for a block-level interface."""
+        if count < 0:
+            raise HardwareModelError("IOB count must be non-negative")
+        return Primitive(name, ResourceCount(iobs=count), 0.0)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _check_width(width: int) -> None:
+        if width <= 0:
+            raise HardwareModelError("primitive width must be positive, got %d" % width)

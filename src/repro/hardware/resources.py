@@ -1,0 +1,125 @@
+"""Aggregation of block resources into a Table 2 style utilisation summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hardware.blocks import PAPER_TABLE2, HardwareBlock
+from repro.hardware.device import FpgaDevice
+
+__all__ = ["BlockUtilization", "UtilizationSummary", "summarize_blocks"]
+
+
+@dataclass(frozen=True)
+class BlockUtilization:
+    """Utilisation of one architectural block (one column of Table 2)."""
+
+    name: str
+    slices: int
+    flipflops: int
+    lut4: int
+    iobs: int
+    gclk: int
+    brams: int
+    memory_bytes: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "slices": self.slices,
+            "flipflops": self.flipflops,
+            "lut4": self.lut4,
+            "iobs": self.iobs,
+            "gclk": self.gclk,
+            "brams": self.brams,
+            "memory_bytes": self.memory_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """The whole Table 2: one entry per block plus device totals."""
+
+    device: FpgaDevice
+    blocks: List[BlockUtilization]
+
+    def block(self, name: str) -> BlockUtilization:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError("no block named %r in the summary" % name)
+
+    def totals(self) -> BlockUtilization:
+        """Sum over all blocks (the full design)."""
+        return BlockUtilization(
+            name="total",
+            slices=sum(b.slices for b in self.blocks),
+            flipflops=sum(b.flipflops for b in self.blocks),
+            lut4=sum(b.lut4 for b in self.blocks),
+            iobs=sum(b.iobs for b in self.blocks),
+            gclk=max((b.gclk for b in self.blocks), default=0),
+            brams=sum(b.brams for b in self.blocks),
+            memory_bytes=sum(b.memory_bytes for b in self.blocks),
+        )
+
+    def slice_utilisation_percent(self) -> float:
+        """Fraction of the target device's slices used by the full design."""
+        return 100.0 * self.totals().slices / self.device.total_slices
+
+    def comparison_with_paper(self) -> Dict[str, Dict[str, Dict[str, Optional[int]]]]:
+        """Per-block comparison of the model's estimate with Table 2."""
+        comparison: Dict[str, Dict[str, Dict[str, Optional[int]]]] = {}
+        for block in self.blocks:
+            published = PAPER_TABLE2.get(block.name)
+            comparison[block.name] = {
+                "estimated": {
+                    "slices": block.slices,
+                    "flipflops": block.flipflops,
+                    "lut4": block.lut4,
+                    "iobs": block.iobs,
+                    "gclk": block.gclk,
+                },
+                "paper": dict(published) if published else {},
+            }
+        return comparison
+
+    def format_table(self) -> str:
+        """Render the summary as a fixed-width text table (Table 2 layout)."""
+        headers = ["", *[b.name for b in self.blocks]]
+        rows = [
+            ("No. of Slices", [b.slices for b in self.blocks]),
+            ("No. of Slice Flip-flops", [b.flipflops for b in self.blocks]),
+            ("No. of 4 input LUT", [b.lut4 for b in self.blocks]),
+            ("No. of bonded IOBs", [b.iobs for b in self.blocks]),
+            ("No. of GCLK", [b.gclk for b in self.blocks]),
+            ("Block RAMs", [b.brams for b in self.blocks]),
+            ("Memory (bytes)", [b.memory_bytes for b in self.blocks]),
+        ]
+        width = max(len(h) for h in headers[1:]) + 2
+        lines = ["%-26s" % headers[0] + "".join("%*s" % (width, h) for h in headers[1:])]
+        for label, values in rows:
+            lines.append("%-26s" % label + "".join("%*d" % (width, v) for v in values))
+        return "\n".join(lines)
+
+
+def summarize_blocks(blocks: List[HardwareBlock], device: Optional[FpgaDevice] = None) -> UtilizationSummary:
+    """Build the utilisation summary for a list of architectural blocks."""
+    if not blocks:
+        raise ValueError("summarize_blocks needs at least one block")
+    device = device if device is not None else blocks[0].device
+    utilizations = []
+    for block in blocks:
+        resources = block.resources()
+        utilizations.append(
+            BlockUtilization(
+                name=block.name,
+                slices=block.slices(),
+                flipflops=resources.ffs,
+                lut4=resources.luts,
+                iobs=resources.iobs,
+                gclk=block.gclk_count,
+                brams=resources.brams,
+                memory_bytes=block.memory_bytes(),
+            )
+        )
+    return UtilizationSummary(device=device, blocks=utilizations)

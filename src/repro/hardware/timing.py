@@ -1,0 +1,74 @@
+"""Static-timing estimate of the achievable clock frequency.
+
+The paper reports that the design "was synthesized and optimized using
+Xilinx ISE 8.1 and achieved a clock frequency of 123 MHz".  The analytical
+equivalent is a static-timing estimate: every pipeline stage's combinational
+depth is bounded by its slowest primitive (the architecture registers every
+stage boundary), so the achievable clock period is the slowest stage delay
+plus register overhead plus a routing/clock-distribution margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.blocks import HardwareBlock
+from repro.hardware.device import VIRTEX4_LX60, FpgaDevice
+
+__all__ = ["TimingReport", "TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Outcome of the timing estimate."""
+
+    critical_block: str
+    critical_path_ns: float
+    clock_period_ns: float
+    clock_mhz: float
+    per_block_ns: dict
+
+    def meets(self, target_mhz: float) -> bool:
+        """True when the estimated clock reaches ``target_mhz``."""
+        return self.clock_mhz >= target_mhz
+
+
+class TimingModel:
+    """Estimate the clock frequency of a set of pipelined blocks."""
+
+    def __init__(
+        self,
+        device: FpgaDevice = VIRTEX4_LX60,
+        routing_margin: float = 0.35,
+    ) -> None:
+        """``routing_margin`` adds a fraction of the logic delay for global
+        routing and clock skew (35 % is a typical post-place-and-route figure
+        for a moderately full Virtex-4)."""
+        if routing_margin < 0:
+            raise HardwareModelError("routing margin must be non-negative")
+        self.device = device
+        self.routing_margin = routing_margin
+
+    def analyse(self, blocks: List[HardwareBlock]) -> TimingReport:
+        """Return the timing report for ``blocks`` (the slowest one governs)."""
+        if not blocks:
+            raise HardwareModelError("timing analysis needs at least one block")
+        per_block = {}
+        critical_block: Optional[str] = None
+        critical_ns = 0.0
+        for block in blocks:
+            path = block.critical_path_ns()
+            per_block[block.name] = path
+            if path > critical_ns:
+                critical_ns = path
+                critical_block = block.name
+        period = critical_ns * (1.0 + self.routing_margin)
+        return TimingReport(
+            critical_block=critical_block or blocks[0].name,
+            critical_path_ns=critical_ns,
+            clock_period_ns=period,
+            clock_mhz=1000.0 / period,
+            per_block_ns=per_block,
+        )

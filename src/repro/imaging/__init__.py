@@ -1,0 +1,41 @@
+"""Imaging substrate: containers, file I/O, synthetic corpus and metrics.
+
+* :mod:`repro.imaging.image` — the :class:`~repro.imaging.image.GrayImage`
+  container every codec consumes and produces.
+* :mod:`repro.imaging.pnm` — PGM (P2/P5) reading and writing so the CLI can
+  operate on real files.
+* :mod:`repro.imaging.synthetic` — the deterministic synthetic corpus that
+  stands in for the paper's seven 512×512 test images (see DESIGN.md for the
+  substitution rationale).
+* :mod:`repro.imaging.metrics` — entropy, bits-per-pixel and comparison
+  helpers used by the benchmark harness.
+"""
+
+from repro.imaging.image import GrayImage
+from repro.imaging.metrics import (
+    bits_per_pixel,
+    compression_ratio,
+    first_order_entropy,
+    images_identical,
+    mean_absolute_error,
+)
+from repro.imaging.pnm import read_pgm, write_pgm
+from repro.imaging.synthetic import (
+    CORPUS_IMAGE_NAMES,
+    generate_corpus,
+    generate_image,
+)
+
+__all__ = [
+    "GrayImage",
+    "read_pgm",
+    "write_pgm",
+    "generate_corpus",
+    "generate_image",
+    "CORPUS_IMAGE_NAMES",
+    "first_order_entropy",
+    "bits_per_pixel",
+    "compression_ratio",
+    "images_identical",
+    "mean_absolute_error",
+]

@@ -1,0 +1,202 @@
+"""Grey-scale image container.
+
+All codecs in this package operate on :class:`GrayImage`: a small, immutable
+wrapper around a row-major list of integer pixel values with an explicit bit
+depth.  The container deliberately stores plain Python integers (not a numpy
+array) in its accessor API because the codecs are integer-exact, but it can
+be constructed from and converted to numpy arrays for the synthetic
+generators and the metrics code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ImageFormatError
+
+__all__ = ["GrayImage"]
+
+
+class GrayImage:
+    """An immutable grey-scale image of ``height`` x ``width`` pixels.
+
+    Parameters
+    ----------
+    width, height:
+        Image dimensions in pixels; both must be positive.
+    pixels:
+        Row-major sequence of ``width * height`` integer samples.
+    bit_depth:
+        Bits per sample (1-16).  All samples must lie in
+        ``[0, 2**bit_depth - 1]``.
+    name:
+        Optional label used in reports (e.g. the corpus image name).
+    """
+
+    __slots__ = ("_width", "_height", "_pixels", "_bit_depth", "_name")
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        pixels: Sequence[int],
+        bit_depth: int = 8,
+        name: str = "",
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ImageFormatError(
+                "image dimensions must be positive, got %dx%d" % (width, height)
+            )
+        if not 1 <= bit_depth <= 16:
+            raise ImageFormatError("bit_depth must be in [1, 16], got %d" % bit_depth)
+        pixel_list = [int(p) for p in pixels]
+        if len(pixel_list) != width * height:
+            raise ImageFormatError(
+                "expected %d pixels for %dx%d image, got %d"
+                % (width * height, width, height, len(pixel_list))
+            )
+        max_value = (1 << bit_depth) - 1
+        for value in pixel_list:
+            if not 0 <= value <= max_value:
+                raise ImageFormatError(
+                    "pixel value %d outside [0, %d] for bit depth %d"
+                    % (value, max_value, bit_depth)
+                )
+        self._width = width
+        self._height = height
+        self._pixels = pixel_list
+        self._bit_depth = bit_depth
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, bit_depth: int = 8, name: str = "") -> "GrayImage":
+        """Build an image from a 2-D numpy array (values are clipped)."""
+        if array.ndim != 2:
+            raise ImageFormatError(
+                "expected a 2-D array, got %d dimensions" % array.ndim
+            )
+        max_value = (1 << bit_depth) - 1
+        clipped = np.clip(np.rint(array), 0, max_value).astype(np.int64)
+        height, width = clipped.shape
+        return cls(width, height, clipped.reshape(-1).tolist(), bit_depth, name)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Sequence[int]], bit_depth: int = 8, name: str = "") -> "GrayImage":
+        """Build an image from a list of equal-length rows."""
+        if not rows:
+            raise ImageFormatError("cannot build an image from zero rows")
+        width = len(rows[0])
+        flat: List[int] = []
+        for row in rows:
+            if len(row) != width:
+                raise ImageFormatError("rows have inconsistent lengths")
+            flat.extend(int(v) for v in row)
+        return cls(width, len(rows), flat, bit_depth, name)
+
+    @classmethod
+    def constant(cls, width: int, height: int, value: int, bit_depth: int = 8, name: str = "") -> "GrayImage":
+        """Build an image filled with a single value."""
+        return cls(width, height, [value] * (width * height), bit_depth, name)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def bit_depth(self) -> int:
+        return self._bit_depth
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable sample value."""
+        return (1 << self._bit_depth) - 1
+
+    @property
+    def pixel_count(self) -> int:
+        return self._width * self._height
+
+    def get(self, x: int, y: int) -> int:
+        """Return the sample at column ``x``, row ``y`` (bounds-checked)."""
+        if not 0 <= x < self._width or not 0 <= y < self._height:
+            raise ImageFormatError(
+                "pixel (%d, %d) outside %dx%d image"
+                % (x, y, self._width, self._height)
+            )
+        return self._pixels[y * self._width + x]
+
+    def row(self, y: int) -> List[int]:
+        """Return row ``y`` as a list."""
+        if not 0 <= y < self._height:
+            raise ImageFormatError("row %d outside image of height %d" % (y, self._height))
+        start = y * self._width
+        return self._pixels[start : start + self._width]
+
+    def pixels(self) -> List[int]:
+        """Return a copy of the row-major pixel list."""
+        return list(self._pixels)
+
+    def iter_pixels(self) -> Iterable[int]:
+        """Iterate over pixels in raster order without copying."""
+        return iter(self._pixels)
+
+    def to_array(self) -> np.ndarray:
+        """Return the image as a 2-D numpy array of int64."""
+        return np.array(self._pixels, dtype=np.int64).reshape(self._height, self._width)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the raw samples (big-endian 16-bit when depth > 8)."""
+        if self._bit_depth <= 8:
+            return bytes(self._pixels)
+        out = bytearray()
+        for value in self._pixels:
+            out.append(value >> 8)
+            out.append(value & 0xFF)
+        return bytes(out)
+
+    def with_name(self, name: str) -> "GrayImage":
+        """Return a copy of this image carrying a different label."""
+        return GrayImage(self._width, self._height, self._pixels, self._bit_depth, name)
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GrayImage):
+            return NotImplemented
+        return (
+            self._width == other._width
+            and self._height == other._height
+            and self._bit_depth == other._bit_depth
+            and self._pixels == other._pixels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._height, self._bit_depth, tuple(self._pixels)))
+
+    def __repr__(self) -> str:
+        label = " %r" % self._name if self._name else ""
+        return "<GrayImage%s %dx%d depth=%d>" % (
+            label,
+            self._width,
+            self._height,
+            self._bit_depth,
+        )

@@ -1,0 +1,124 @@
+"""PGM (portable greymap) reading and writing.
+
+The command-line tools operate on PGM files because the format is trivial,
+self-describing and supported by every image viewer.  Both the binary (P5)
+and ASCII (P2) variants are handled; 16-bit samples are stored big-endian as
+the Netpbm specification requires.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO, List, Tuple, Union
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import GrayImage
+
+__all__ = ["read_pgm", "write_pgm"]
+
+_PathOrFile = Union[str, Path, BinaryIO]
+
+
+def _tokenise_header(stream: BinaryIO) -> Tuple[bytes, int, int, int]:
+    """Read magic, width, height, maxval, skipping whitespace and comments."""
+    tokens: List[bytes] = []
+    magic = stream.read(2)
+    if magic not in (b"P2", b"P5"):
+        raise ImageFormatError("not a PGM file (magic %r)" % magic)
+    while len(tokens) < 3:
+        char = stream.read(1)
+        if not char:
+            raise ImageFormatError("truncated PGM header")
+        if char == b"#":
+            while char not in (b"\n", b""):
+                char = stream.read(1)
+            continue
+        if char.isspace():
+            continue
+        token = bytearray(char)
+        while True:
+            char = stream.read(1)
+            if not char or char.isspace():
+                break
+            if char == b"#":
+                while char not in (b"\n", b""):
+                    char = stream.read(1)
+                break
+            token.extend(char)
+        tokens.append(bytes(token))
+    try:
+        width, height, maxval = (int(t) for t in tokens)
+    except ValueError as exc:
+        raise ImageFormatError("non-numeric PGM header field: %r" % tokens) from exc
+    return magic, width, height, maxval
+
+
+def read_pgm(source: _PathOrFile) -> GrayImage:
+    """Read a PGM file (P2 or P5) into a :class:`GrayImage`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_pgm(handle)
+
+    magic, width, height, maxval = _tokenise_header(source)
+    if width <= 0 or height <= 0:
+        raise ImageFormatError("invalid PGM dimensions %dx%d" % (width, height))
+    if not 1 <= maxval <= 65535:
+        raise ImageFormatError("invalid PGM maxval %d" % maxval)
+    bit_depth = max(1, maxval.bit_length())
+    count = width * height
+
+    if magic == b"P5":
+        if maxval <= 255:
+            raw = source.read(count)
+            if len(raw) != count:
+                raise ImageFormatError(
+                    "truncated PGM payload: expected %d bytes, got %d" % (count, len(raw))
+                )
+            pixels = list(raw)
+        else:
+            raw = source.read(2 * count)
+            if len(raw) != 2 * count:
+                raise ImageFormatError(
+                    "truncated 16-bit PGM payload: expected %d bytes, got %d"
+                    % (2 * count, len(raw))
+                )
+            pixels = [
+                (raw[2 * i] << 8) | raw[2 * i + 1] for i in range(count)
+            ]
+    else:  # P2: ASCII samples
+        text = source.read().decode("ascii", errors="strict")
+        values = text.split()
+        if len(values) < count:
+            raise ImageFormatError(
+                "truncated ASCII PGM: expected %d samples, got %d" % (count, len(values))
+            )
+        try:
+            pixels = [int(v) for v in values[:count]]
+        except ValueError as exc:
+            raise ImageFormatError("non-numeric sample in ASCII PGM") from exc
+
+    for value in pixels:
+        if value > maxval:
+            raise ImageFormatError("sample %d exceeds PGM maxval %d" % (value, maxval))
+    return GrayImage(width, height, pixels, bit_depth)
+
+
+def write_pgm(image: GrayImage, destination: _PathOrFile, binary: bool = True) -> None:
+    """Write ``image`` as a PGM file (P5 when ``binary`` else P2)."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            write_pgm(image, handle, binary=binary)
+        return
+
+    maxval = image.max_value
+    header = "%s\n%d %d\n%d\n" % ("P5" if binary else "P2", image.width, image.height, maxval)
+    destination.write(header.encode("ascii"))
+    if binary:
+        destination.write(image.to_bytes())
+    else:
+        text = io.StringIO()
+        for y in range(image.height):
+            text.write(" ".join(str(v) for v in image.row(y)))
+            text.write("\n")
+        destination.write(text.getvalue().encode("ascii"))

@@ -1,0 +1,25 @@
+"""The reconfigurable universal lossless compression system of Figure 1.
+
+The paper positions the image codec as one front-end of a dynamically
+reconfigurable compressor that time-multiplexes *data*, *image* and *video*
+modelling modules in front of a shared probability estimator and arithmetic
+coder.  This package models that system:
+
+* :mod:`repro.system.datamodel` — the "Lossless Data Modelling" front-end: an
+  order-k context model over raw bytes that drives the same arithmetic-coder
+  back-end as the image path.
+* :mod:`repro.system.universal` — the dispatcher: classifies each input block
+  (general data vs. grey-scale image), reconfigures the modelling front-end
+  accordingly, and tracks the reconfiguration events the way the
+  time-multiplexing hardware would.
+"""
+
+from repro.system.datamodel import GeneralDataCodec
+from repro.system.universal import BlockType, UniversalCompressor, UniversalReport
+
+__all__ = [
+    "GeneralDataCodec",
+    "UniversalCompressor",
+    "UniversalReport",
+    "BlockType",
+]

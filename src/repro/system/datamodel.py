@@ -1,0 +1,112 @@
+"""General-data compression front-end ("Lossless Data Modelling" of Fig. 1).
+
+The universal compressor needs a path for data that is not an image.  The
+paper's companion work (Nunez-Yanez & Chouliaras, reference [7]) uses a
+variable-order Markov byte model feeding the same arithmetic coder as the
+image path; this module implements that front-end as an order-``k`` adaptive
+context model (:class:`repro.entropy.models.AdaptiveByteModel`) driving the
+multi-symbol arithmetic coder.
+
+The codec is self-contained (it wraps its payload in the shared container)
+so it can also be used directly for file compression from the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bitstream import CodecId, pack_stream, unpack_stream
+from repro.entropy.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.models import AdaptiveByteModel
+from repro.exceptions import CodecMismatchError, ConfigError
+from repro.utils.bitio import BitReader, BitWriter
+
+__all__ = ["GeneralDataCodec"]
+
+
+class GeneralDataCodec:
+    """Order-``k`` context-modelling byte compressor.
+
+    Parameters
+    ----------
+    order:
+        Number of previous bytes used as context (0-4 are practical).
+    increment / max_total:
+        Adaptation parameters of the per-context frequency models.
+    """
+
+    name = "general-data"
+
+    def __init__(self, order: int = 2, increment: int = 24, max_total: int = 1 << 14) -> None:
+        if not 0 <= order <= 8:
+            raise ConfigError("context order must be in [0, 8], got %d" % order)
+        self.order = order
+        self.increment = increment
+        self.max_total = max_total
+
+    def _new_model(self) -> AdaptiveByteModel:
+        return AdaptiveByteModel(
+            order=self.order, increment=self.increment, max_total=self.max_total
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def encode(self, data: bytes) -> bytes:
+        """Compress a byte string into a self-contained container."""
+        model = self._new_model()
+        writer = BitWriter()
+        coder = ArithmeticEncoder(writer)
+        for byte in data:
+            conditioned = model.current_model()
+            low, high, total = conditioned.interval(byte)
+            coder.encode(low, high, total)
+            model.observe(byte)
+        coder.finish()
+        payload = writer.getvalue()
+        # Width carries the byte count; height 1 keeps the container schema.
+        return pack_stream(
+            CodecId.GENERAL_DATA,
+            max(1, len(data)),
+            1,
+            8,
+            payload,
+            parameter=self.order,
+            flags=1 if len(data) == 0 else 0,
+        )
+
+    def decode(self, stream: bytes) -> bytes:
+        """Reconstruct the exact byte string from :meth:`encode` output."""
+        header, payload = unpack_stream(stream)
+        if header.codec != CodecId.GENERAL_DATA:
+            raise CodecMismatchError(
+                "stream was produced by %s, not the general-data codec" % header.codec.name
+            )
+        if header.parameter != self.order:
+            raise CodecMismatchError(
+                "stream was encoded with order %d, decoder configured with %d"
+                % (header.parameter, self.order)
+            )
+        if header.flags & 1:
+            return b""
+        length = header.width
+        model = self._new_model()
+        reader = BitReader(payload)
+        coder = ArithmeticDecoder(reader)
+        out = bytearray()
+        for _ in range(length):
+            conditioned = model.current_model()
+            target = coder.decode_target(conditioned.total)
+            byte = conditioned.symbol_from_target(target)
+            low, high, total = conditioned.interval(byte)
+            coder.consume(low, high, total)
+            model.observe(byte)
+            out.append(byte)
+        return bytes(out)
+
+    def compression_ratio(self, data: bytes) -> float:
+        """Uncompressed size over compressed size for ``data``."""
+        if not data:
+            raise ConfigError("cannot compute a ratio for empty input")
+        return len(data) / len(self.encode(data))

@@ -1,0 +1,42 @@
+"""Low-level utilities shared by the codecs and the hardware model.
+
+The sub-modules are intentionally tiny and dependency-free:
+
+* :mod:`repro.utils.bitio` — MSB-first bit-level readers and writers.
+* :mod:`repro.utils.fixedpoint` — bounded hardware-style registers and
+  counters (saturation, wrapping, halving rescale).
+* :mod:`repro.utils.validation` — argument-checking helpers used by public
+  entry points.
+"""
+
+from repro.utils.bitio import BitReader, BitWriter, BitCounter
+from repro.utils.fixedpoint import (
+    SaturatingCounter,
+    SignedRegister,
+    UnsignedRegister,
+    clamp,
+    signed_width,
+    unsigned_width,
+)
+from repro.utils.validation import (
+    require_in_range,
+    require_positive,
+    require_power_of_two,
+    require_type,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "BitCounter",
+    "SaturatingCounter",
+    "SignedRegister",
+    "UnsignedRegister",
+    "clamp",
+    "signed_width",
+    "unsigned_width",
+    "require_in_range",
+    "require_positive",
+    "require_power_of_two",
+    "require_type",
+]

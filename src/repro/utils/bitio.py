@@ -1,0 +1,266 @@
+"""MSB-first bit-level I/O.
+
+Every entropy coder in this package (binary arithmetic coder, multi-symbol
+arithmetic coder, Golomb-Rice coder) reads and writes individual bits.  The
+classes in this module provide a single, well-tested implementation of that
+machinery so the coders themselves only deal with coding decisions.
+
+Bit order is *most significant bit first* inside every byte, which matches the
+conventional presentation of arithmetic-coded and Rice-coded bitstreams and
+makes the streams easy to inspect in a hex dump.
+
+The three classes are:
+
+``BitWriter``
+    accumulates bits and exposes the result as :class:`bytes`.
+
+``BitReader``
+    consumes bits from a :class:`bytes`-like object and raises
+    :class:`~repro.exceptions.BitstreamError` on over-read (decoders must
+    never silently read past the end of a truncated stream).
+
+``BitCounter``
+    a sink with the same interface as ``BitWriter`` that only counts bits.
+    It is used by the bit-rate estimation paths of the benchmark harness where
+    the actual bytes are irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import BitstreamError
+
+__all__ = ["BitWriter", "BitReader", "BitCounter"]
+
+
+class BitWriter:
+    """Accumulate bits MSB-first and return them as bytes.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write_bit(1)
+    >>> w.write_bits(0b0101, 4)
+    >>> w.align_to_byte()
+    >>> w.getvalue().hex()
+    'a8'
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+        self._bit_count = 0
+
+    @property
+    def bit_count(self) -> int:
+        """Total number of bits written so far (before any alignment padding)."""
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (anything truthy counts as 1)."""
+        self._current = (self._current << 1) | (1 if bit else 0)
+        self._filled += 1
+        self._bit_count += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant bit first."""
+        if width < 0:
+            raise ValueError("width must be non-negative, got %d" % width)
+        if value < 0:
+            raise ValueError("value must be non-negative, got %d" % value)
+        if width and value >> width:
+            raise ValueError(
+                "value %d does not fit in %d bits" % (value, width)
+            )
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` zero bits followed by a single one bit."""
+        if value < 0:
+            raise ValueError("unary value must be non-negative, got %d" % value)
+        for _ in range(value):
+            self.write_bit(0)
+        self.write_bit(1)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes (the writer need not be byte-aligned)."""
+        for byte in data:
+            self.write_bits(byte, 8)
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append an iterable of individual bits."""
+        for bit in bits:
+            self.write_bit(bit)
+
+    def align_to_byte(self, fill_bit: int = 0) -> int:
+        """Pad with ``fill_bit`` until byte-aligned; return number of pad bits."""
+        padded = 0
+        while self._filled:
+            self.write_bit(fill_bit)
+            padded += 1
+        self._bit_count -= padded  # padding is framing, not payload
+        return padded
+
+    def getvalue(self) -> bytes:
+        """Return the bytes written so far, padding the last byte with zeros.
+
+        The writer remains usable afterwards; the padding is not committed to
+        the internal buffer.
+        """
+        if self._filled == 0:
+            return bytes(self._buffer)
+        tail = self._current << (8 - self._filled)
+        return bytes(self._buffer) + bytes([tail])
+
+    def __len__(self) -> int:
+        return len(self.getvalue())
+
+
+class BitReader:
+    """Consume bits MSB-first from a bytes-like object.
+
+    Parameters
+    ----------
+    data:
+        The buffer to read from.
+
+    Raises
+    ------
+    BitstreamError
+        when more bits are requested than the buffer contains.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._byte_pos = 0
+        self._bit_pos = 0
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits handed out so far."""
+        return self._byte_pos * 8 + self._bit_pos
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of bits still available."""
+        return len(self._data) * 8 - self.bits_consumed
+
+    def read_bit(self) -> int:
+        """Return the next bit (0 or 1)."""
+        if self._byte_pos >= len(self._data):
+            raise BitstreamError(
+                "bitstream exhausted after %d bits" % self.bits_consumed
+            )
+        byte = self._data[self._byte_pos]
+        bit = (byte >> (7 - self._bit_pos)) & 1
+        self._bit_pos += 1
+        if self._bit_pos == 8:
+            self._bit_pos = 0
+            self._byte_pos += 1
+        return bit
+
+    def read_bit_or_zero(self) -> int:
+        """Return the next bit, or 0 once the stream is exhausted.
+
+        Arithmetic decoders legitimately read a handful of bits past the last
+        payload bit while flushing their registers; those phantom bits are
+        zero by convention.
+        """
+        if self._byte_pos >= len(self._data):
+            return 0
+        return self.read_bit()
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits MSB-first and return them as an unsigned int."""
+        if width < 0:
+            raise ValueError("width must be non-negative, got %d" % width)
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self, limit: int = 1 << 20) -> int:
+        """Read a unary code (count of zeros before the terminating one).
+
+        ``limit`` bounds the number of zero bits so a corrupted stream cannot
+        spin forever; exceeding it raises :class:`BitstreamError`.
+        """
+        count = 0
+        while True:
+            if self.read_bit():
+                return count
+            count += 1
+            if count > limit:
+                raise BitstreamError(
+                    "unary run exceeded limit of %d bits" % limit
+                )
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes (reader need not be byte-aligned)."""
+        return bytes(self.read_bits(8) for _ in range(count))
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary."""
+        if self._bit_pos:
+            self._bit_pos = 0
+            self._byte_pos += 1
+
+
+class BitCounter:
+    """A write-only sink that counts bits instead of storing them.
+
+    It implements the subset of the :class:`BitWriter` interface the entropy
+    coders use, so a coder can be pointed at a ``BitCounter`` to measure a
+    code length without materialising the bytes.
+    """
+
+    def __init__(self) -> None:
+        self._bit_count = 0
+
+    @property
+    def bit_count(self) -> int:
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:  # noqa: ARG002 - value irrelevant
+        self._bit_count += 1
+
+    def write_bits(self, value: int, width: int) -> None:  # noqa: ARG002
+        if width < 0:
+            raise ValueError("width must be non-negative, got %d" % width)
+        self._bit_count += width
+
+    def write_unary(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("unary value must be non-negative, got %d" % value)
+        self._bit_count += value + 1
+
+    def write_bytes(self, data: bytes) -> None:
+        self._bit_count += 8 * len(data)
+
+    def align_to_byte(self, fill_bit: int = 0) -> int:  # noqa: ARG002
+        pad = (-self._bit_count) % 8
+        self._bit_count += pad
+        return pad
+
+    def getvalue(self) -> bytes:
+        raise NotImplementedError("BitCounter does not store bytes")
+
+
+def bits_to_bytes(bits: List[int]) -> bytes:
+    """Pack a list of bits (MSB-first) into bytes, zero-padding the tail."""
+    writer = BitWriter()
+    writer.extend(bits)
+    return writer.getvalue()
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """Unpack bytes into a list of bits, MSB-first."""
+    reader = BitReader(data)
+    return [reader.read_bit() for _ in range(8 * len(data))]

@@ -1,0 +1,179 @@
+"""Hardware-style bounded integer registers.
+
+The paper's architecture stores its adaptive state in narrow registers:
+
+* the per-context error *count* is a 5-bit counter that is halved when it
+  saturates at 31 (the "Overflow Guard"),
+* the per-context error *sum* is a 13-bit magnitude plus a sign bit,
+* the probability-estimator frequency counts are 10-16 bit counters that are
+  halved when they reach their maximum.
+
+These classes model that behaviour explicitly so the hardware-faithful codec
+path manipulates the same quantities the RTL would, and so the resource
+estimator can ask a register for its width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "clamp",
+    "unsigned_width",
+    "signed_width",
+    "UnsignedRegister",
+    "SignedRegister",
+    "SaturatingCounter",
+]
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into the inclusive range ``[low, high]``."""
+    if low > high:
+        raise ValueError("empty clamp range [%d, %d]" % (low, high))
+    if value < low:
+        return low
+    if value > high:
+        return high
+    return value
+
+
+def unsigned_width(max_value: int) -> int:
+    """Number of bits needed to store values ``0 .. max_value``."""
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative, got %d" % max_value)
+    return max(1, max_value.bit_length())
+
+
+def signed_width(min_value: int, max_value: int) -> int:
+    """Number of bits (two's complement) needed for ``min_value .. max_value``."""
+    if min_value > max_value:
+        raise ValueError("min_value %d exceeds max_value %d" % (min_value, max_value))
+    width = 1
+    while not (-(1 << (width - 1)) <= min_value and max_value <= (1 << (width - 1)) - 1):
+        width += 1
+    return width
+
+
+@dataclass
+class UnsignedRegister:
+    """An unsigned register of fixed ``width`` bits with saturating writes.
+
+    Attributes
+    ----------
+    width:
+        Register width in bits.
+    value:
+        Current contents, always in ``[0, 2**width - 1]``.
+    """
+
+    width: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("register width must be positive, got %d" % self.width)
+        self.value = clamp(self.value, 0, self.max_value)
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+    def load(self, value: int) -> None:
+        """Store ``value``, saturating at the register bounds."""
+        self.value = clamp(value, 0, self.max_value)
+
+    def add(self, delta: int) -> None:
+        """Add ``delta``, saturating at the register bounds."""
+        self.load(self.value + delta)
+
+    def halve(self) -> None:
+        """Arithmetic right shift by one bit (the rescale operation)."""
+        self.value >>= 1
+
+    def is_saturated(self) -> bool:
+        return self.value >= self.max_value
+
+
+@dataclass
+class SignedRegister:
+    """A sign-magnitude register: ``magnitude_bits`` plus one sign bit.
+
+    The paper stores the per-context error sum this way (13 bits + sign).
+    Writes saturate at plus/minus the maximum magnitude.
+    """
+
+    magnitude_bits: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.magnitude_bits <= 0:
+            raise ValueError(
+                "magnitude_bits must be positive, got %d" % self.magnitude_bits
+            )
+        self.value = clamp(self.value, -self.max_magnitude, self.max_magnitude)
+
+    @property
+    def max_magnitude(self) -> int:
+        return (1 << self.magnitude_bits) - 1
+
+    @property
+    def width(self) -> int:
+        """Total storage width including the sign bit."""
+        return self.magnitude_bits + 1
+
+    def load(self, value: int) -> None:
+        self.value = clamp(value, -self.max_magnitude, self.max_magnitude)
+
+    def add(self, delta: int) -> None:
+        self.load(self.value + delta)
+
+    def halve(self) -> None:
+        """Halve the magnitude, preserving the sign (truncating towards zero)."""
+        sign = -1 if self.value < 0 else 1
+        self.value = sign * (abs(self.value) >> 1)
+
+
+@dataclass
+class SaturatingCounter:
+    """An unsigned counter that halves itself when it reaches its maximum.
+
+    This is the behaviour of both the Overflow Guard (5-bit error counts) and
+    the probability-estimator frequency counts (10-16 bits): incrementing a
+    counter that already holds its maximum value triggers a rescale instead of
+    wrapping.
+
+    The ``rescaled`` flag of :meth:`increment` lets the caller halve any
+    companion state (the error *sum*, the sibling tree counts) in the same
+    cycle, which is exactly what the hardware does.
+    """
+
+    width: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("counter width must be positive, got %d" % self.width)
+        self.value = clamp(self.value, 0, self.max_value)
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+    def increment(self, step: int = 1) -> bool:
+        """Add ``step``; halve first if that would exceed the maximum.
+
+        Returns ``True`` when a rescale (halving) happened so companion state
+        can be halved too.
+        """
+        if step < 0:
+            raise ValueError("step must be non-negative, got %d" % step)
+        rescaled = False
+        if self.value + step > self.max_value:
+            self.value >>= 1
+            rescaled = True
+        self.value = min(self.value + step, self.max_value)
+        return rescaled
+
+    def halve(self) -> None:
+        self.value >>= 1

@@ -1,0 +1,55 @@
+"""Argument-validation helpers used at the public API boundary.
+
+The internal per-pixel loops avoid re-validating their inputs (they run
+hundreds of thousands of times per image); instead every public entry point
+checks its arguments once with these helpers and raises
+:class:`~repro.exceptions.ConfigError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "require_type",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+]
+
+
+def require_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise ConfigError(
+            "%s must be %s, got %s" % (name, expected, type(value).__name__)
+        )
+
+
+def require_positive(name: str, value: int) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a positive integer."""
+    require_type(name, value, int)
+    if isinstance(value, bool) or value <= 0:
+        raise ConfigError("%s must be a positive integer, got %r" % (name, value))
+
+
+def require_in_range(name: str, value: int, low: int, high: int) -> None:
+    """Raise :class:`ConfigError` unless ``low <= value <= high``."""
+    require_type(name, value, int)
+    if isinstance(value, bool) or not low <= value <= high:
+        raise ConfigError(
+            "%s must be in [%d, %d], got %r" % (name, low, high, value)
+        )
+
+
+def require_power_of_two(name: str, value: int) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a positive power of two."""
+    require_positive(name, value)
+    if value & (value - 1):
+        raise ConfigError("%s must be a power of two, got %d" % (name, value))

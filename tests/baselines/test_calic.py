@@ -1,0 +1,89 @@
+"""Tests for the CALIC baseline."""
+
+import pytest
+
+from repro.baselines.calic import CalicCodec, CalicParameters
+from repro.core.neighborhood import Neighborhood
+from repro.exceptions import CodecMismatchError, ConfigError
+from repro.imaging.image import GrayImage
+from repro.imaging.metrics import first_order_entropy
+
+
+def _nb(**kwargs):
+    values = dict(w=0, ww=0, n=0, nn=0, ne=0, nw=0, nne=0)
+    values.update(kwargs)
+    return Neighborhood(**values)
+
+
+class TestModelling:
+    def test_texture_pattern_has_eight_events(self):
+        codec = CalicCodec()
+        nb = _nb(w=10, ww=10, n=10, nn=10, ne=10, nw=10, nne=10)
+        assert codec._texture_pattern(nb, predicted=200) == 0b11111111
+        assert codec._texture_pattern(nb, predicted=0) == 0
+
+    def test_second_order_events_change_the_pattern(self):
+        codec = CalicCodec()
+        flat = _nb(w=100, ww=100, n=100, nn=100, ne=100, nw=100, nne=100)
+        # 2N - NN == 100 (not below 100); raise NN so 2N - NN drops below.
+        bent = _nb(w=100, ww=100, n=100, nn=150, ne=100, nw=100, nne=100)
+        assert codec._texture_pattern(flat, 100) != codec._texture_pattern(bent, 100)
+
+    def test_prediction_in_range(self):
+        codec = CalicCodec()
+        prediction, dh, dv = codec._predict(_nb(w=255, ww=0, n=0, nn=255, ne=255, nw=0, nne=0))
+        assert 0 <= prediction <= 255
+        assert dh >= 0 and dv >= 0
+
+    def test_flat_region_predicts_flat(self):
+        codec = CalicCodec()
+        prediction, _, _ = codec._predict(_nb(w=77, ww=77, n=77, nn=77, ne=77, nw=77, nne=77))
+        assert prediction == 77
+
+    def test_bias_context_count(self):
+        params = CalicParameters()
+        assert params.bias_contexts == 256 * 4
+        assert params.coding_contexts == 8
+
+
+class TestRoundtrip:
+    def test_all_standard_images(self, roundtrip_images):
+        codec = CalicCodec()
+        for image in roundtrip_images:
+            stream = codec.encode(image)
+            assert codec.decode(stream) == image, image.name
+
+    def test_non_square_geometry(self):
+        image = GrayImage(11, 23, [(x * x + y) % 256 for y in range(23) for x in range(11)])
+        codec = CalicCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_custom_parameters(self, tiny_image):
+        codec = CalicCodec(CalicParameters(model_increment=8))
+        assert codec.decode(codec.encode(tiny_image)) == tiny_image
+
+
+class TestCompression:
+    def test_beats_entropy_on_smooth_content(self, zelda_small):
+        assert CalicCodec().bits_per_pixel(zelda_small) < first_order_entropy(zelda_small)
+
+    def test_smooth_better_than_texture(self, zelda_small, mandrill_small):
+        codec = CalicCodec()
+        assert codec.bits_per_pixel(zelda_small) < codec.bits_per_pixel(mandrill_small)
+
+    def test_gradient_nearly_free(self, gradient_image):
+        assert CalicCodec().bits_per_pixel(gradient_image) < 1.5
+
+
+class TestErrors:
+    def test_bit_depth_mismatch(self):
+        image = GrayImage(2, 2, [0, 1, 2, 3], bit_depth=4)
+        with pytest.raises(ConfigError):
+            CalicCodec().encode(image)
+
+    def test_decoding_foreign_stream_rejected(self, tiny_image):
+        from repro.baselines.slp import SlpCodec
+
+        stream = SlpCodec().encode(tiny_image)
+        with pytest.raises(CodecMismatchError):
+            CalicCodec().decode(stream)

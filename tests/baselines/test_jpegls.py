@@ -1,0 +1,136 @@
+"""Tests for the JPEG-LS (LOCO-I) baseline."""
+
+import pytest
+
+from repro.baselines.jpegls import JpegLsCodec, JpegLsParameters, _context_index, _med_predict, _quantize_gradient
+from repro.exceptions import CodecMismatchError, ConfigError
+from repro.imaging.image import GrayImage
+from repro.imaging.metrics import first_order_entropy
+
+
+class TestComponents:
+    def test_med_predictor_edges(self):
+        # Horizontal edge: c >= max(a, b) -> min(a, b).
+        assert _med_predict(10, 50, 60) == 10
+        # Vertical edge: c <= min(a, b) -> max(a, b).
+        assert _med_predict(10, 50, 5) == 50
+        # Smooth area: plane prediction.
+        assert _med_predict(10, 50, 30) == 30
+
+    def test_gradient_quantiser_is_symmetric(self):
+        params = JpegLsParameters()
+        for value in range(-255, 256):
+            assert _quantize_gradient(-value, params) == -_quantize_gradient(value, params)
+
+    def test_gradient_quantiser_levels(self):
+        params = JpegLsParameters()
+        assert _quantize_gradient(0, params) == 0
+        assert _quantize_gradient(1, params) == 1
+        assert _quantize_gradient(3, params) == 2
+        assert _quantize_gradient(7, params) == 3
+        assert _quantize_gradient(21, params) == 4
+        assert _quantize_gradient(-21, params) == -4
+
+    def test_context_index_folding(self):
+        index_pos, sign_pos = _context_index(1, 2, 3)
+        index_neg, sign_neg = _context_index(-1, -2, -3)
+        assert index_pos == index_neg
+        assert sign_pos == -sign_neg
+
+    def test_context_index_range(self):
+        seen = set()
+        for q1 in range(-4, 5):
+            for q2 in range(-4, 5):
+                for q3 in range(-4, 5):
+                    if (q1, q2, q3) == (0, 0, 0):
+                        continue
+                    index, _ = _context_index(q1, q2, q3)
+                    assert 0 <= index < 405
+                    seen.add(index)
+        # Exactly the standard's 364 regular contexts (the all-zero triple is
+        # run mode; the folding halves the signed space).
+        assert len(seen) == 364
+
+    def test_parameter_properties(self):
+        params = JpegLsParameters()
+        assert params.maxval == 255
+        assert params.range == 256
+        assert params.limit == 32
+        assert params.qbpp == 8
+
+
+class TestRoundtrip:
+    def test_all_standard_images(self, roundtrip_images):
+        codec = JpegLsCodec()
+        for image in roundtrip_images:
+            stream = codec.encode(image)
+            assert codec.decode(stream) == image, image.name
+
+    def test_constant_image_uses_run_mode_efficiently(self, constant_image):
+        codec = JpegLsCodec()
+        stream = codec.encode(constant_image)
+        assert codec.decode(stream) == constant_image
+        # A constant image must compress to a tiny fraction of a bit per pixel.
+        assert 8.0 * len(stream) / constant_image.pixel_count < 1.0
+
+    def test_horizontal_stripes_trigger_runs(self):
+        # Rows of constant value exercise run mode including end-of-line runs.
+        rows = [[v] * 23 for v in (10, 10, 200, 200, 10, 90, 90, 90)]
+        image = GrayImage.from_rows(rows)
+        codec = JpegLsCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_run_interrupted_mid_line(self):
+        rows = [[50] * 10 + [200] + [50] * 10 for _ in range(6)]
+        image = GrayImage.from_rows(rows)
+        codec = JpegLsCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_runs_of_every_length(self):
+        # Each row has a run of a different length followed by a disturbance.
+        rows = []
+        for length in range(1, 17):
+            row = [77] * length + [200] + [77] * (17 - length)
+            rows.append(row[:17])
+        image = GrayImage.from_rows(rows)
+        codec = JpegLsCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_single_pixel_and_single_row(self):
+        codec = JpegLsCodec()
+        one = GrayImage(1, 1, [99])
+        assert codec.decode(codec.encode(one)) == one
+        row = GrayImage(19, 1, [5] * 10 + list(range(9)))
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_alternating_extremes(self):
+        image = GrayImage(16, 8, [0 if (x + y) % 2 else 255 for y in range(8) for x in range(16)])
+        codec = JpegLsCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+
+class TestCompression:
+    def test_beats_entropy_on_smooth_content(self, zelda_small):
+        bpp = JpegLsCodec().bits_per_pixel(zelda_small)
+        assert bpp < first_order_entropy(zelda_small)
+
+    def test_text_image_compresses_strongly(self, text_image):
+        assert JpegLsCodec().bits_per_pixel(text_image) < 2.0
+
+    def test_smooth_better_than_texture(self, zelda_small, mandrill_small):
+        codec = JpegLsCodec()
+        assert codec.bits_per_pixel(zelda_small) < codec.bits_per_pixel(mandrill_small)
+
+
+class TestErrors:
+    def test_bit_depth_mismatch(self):
+        image = GrayImage(2, 2, [0, 1, 2, 3], bit_depth=4)
+        with pytest.raises(ConfigError):
+            JpegLsCodec().encode(image)
+
+    def test_decoding_foreign_stream_rejected(self, tiny_image):
+        from repro.core.codec import ProposedCodec
+
+        stream = ProposedCodec().encode(tiny_image)
+        with pytest.raises(CodecMismatchError):
+            JpegLsCodec().decode(stream)

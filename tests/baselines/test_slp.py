@@ -1,0 +1,81 @@
+"""Tests for the SLP (switched linear prediction) baseline."""
+
+import pytest
+
+from repro.baselines.slp import SlpCodec, SlpParameters
+from repro.exceptions import CodecMismatchError, ConfigError
+from repro.imaging.image import GrayImage
+from repro.imaging.metrics import first_order_entropy
+from repro.imaging.synthetic import generate_gradient_image
+
+
+class TestRoundtrip:
+    def test_all_standard_images(self, roundtrip_images):
+        codec = SlpCodec()
+        for image in roundtrip_images:
+            stream = codec.encode(image)
+            assert codec.decode(stream) == image, image.name
+
+    def test_non_square_geometry(self):
+        image = GrayImage(7, 31, [(3 * x + 5 * y) % 256 for y in range(31) for x in range(7)])
+        codec = SlpCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_single_pixel(self):
+        codec = SlpCodec()
+        image = GrayImage(1, 1, [3])
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_custom_parameters_roundtrip(self, lena_small):
+        codec = SlpCodec(SlpParameters(switch_threshold=6, activity_thresholds=(4, 16, 48)))
+        assert codec.decode(codec.encode(lena_small)) == lena_small
+
+
+class TestPrediction:
+    def test_ramps_are_nearly_free(self):
+        # 64-pixel ramps step by ~2 grey levels per pixel, which the plane
+        # predictor tracks almost exactly in every direction.
+        codec = SlpCodec()
+        for direction in ("horizontal", "vertical", "diagonal"):
+            image = generate_gradient_image(64, direction=direction)
+            assert codec.bits_per_pixel(image) < 2.5, direction
+
+    def test_switching_favours_direction_of_edge(self):
+        # Vertical stripes: horizontal gradient is huge, vertical is zero, so
+        # the predictor should lock onto the N (previous row) samples and the
+        # image should compress very well after the first row.
+        rows = [[0, 255] * 16 for _ in range(32)]
+        image = GrayImage.from_rows(rows)
+        assert SlpCodec().bits_per_pixel(image) < 2.0
+
+    def test_activity_classes_cover_range(self):
+        codec = SlpCodec()
+        classes = {codec._activity_class(value) for value in range(0, 600, 7)}
+        assert classes == {0, 1, 2, 3}
+
+    def test_fold_unfold_inverse(self):
+        for error in range(-128, 128):
+            assert SlpCodec._unfold(SlpCodec._fold(error)) == error
+
+
+class TestCompression:
+    def test_beats_entropy_on_smooth_content(self, zelda_small):
+        assert SlpCodec().bits_per_pixel(zelda_small) < first_order_entropy(zelda_small)
+
+    def test_smooth_better_than_texture(self, zelda_small, mandrill_small):
+        codec = SlpCodec()
+        assert codec.bits_per_pixel(zelda_small) < codec.bits_per_pixel(mandrill_small)
+
+
+class TestErrors:
+    def test_bit_depth_mismatch(self):
+        image = GrayImage(2, 2, [0, 1, 2, 3], bit_depth=2)
+        with pytest.raises(ConfigError):
+            SlpCodec().encode(image)
+
+    def test_decoding_foreign_stream_rejected(self, tiny_image):
+        from repro.baselines.jpegls import JpegLsCodec
+
+        stream = JpegLsCodec().encode(tiny_image)
+        with pytest.raises(CodecMismatchError):
+            SlpCodec().decode(stream)

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test-suite.
+
+The codecs are pure Python, so the fixtures keep images small (16-64 pixels
+per side); the integration tests that need statistically richer content use
+the 64-pixel corpus images, everything else uses tiny synthetic patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.imaging.image import GrayImage
+from repro.imaging.synthetic import (
+    generate_gradient_image,
+    generate_image,
+    generate_noise_image,
+    generate_text_like_image,
+)
+
+
+@pytest.fixture(scope="session")
+def lena_small() -> GrayImage:
+    """A 64x64 'lena'-class corpus image (smooth with a few edges)."""
+    return generate_image("lena", size=64)
+
+
+@pytest.fixture(scope="session")
+def mandrill_small() -> GrayImage:
+    """A 64x64 'mandrill'-class corpus image (heavy texture)."""
+    return generate_image("mandrill", size=64)
+
+
+@pytest.fixture(scope="session")
+def zelda_small() -> GrayImage:
+    """A 64x64 'zelda'-class corpus image (the smoothest of the corpus)."""
+    return generate_image("zelda", size=64)
+
+
+@pytest.fixture(scope="session")
+def gradient_image() -> GrayImage:
+    """A noiseless diagonal ramp (trivially predictable)."""
+    return generate_gradient_image(32, direction="diagonal")
+
+
+@pytest.fixture(scope="session")
+def noise_image() -> GrayImage:
+    """Uniform white noise (incompressible)."""
+    return generate_noise_image(32, seed=7)
+
+
+@pytest.fixture(scope="session")
+def text_image() -> GrayImage:
+    """A bi-level text-like image (exercises run modes and escapes)."""
+    return generate_text_like_image(48, seed=3)
+
+
+@pytest.fixture(scope="session")
+def constant_image() -> GrayImage:
+    """A constant mid-grey image with awkward (non-square) geometry."""
+    return GrayImage.constant(37, 19, 200)
+
+
+@pytest.fixture(scope="session")
+def tiny_image() -> GrayImage:
+    """A deliberately tiny 5x4 image with a mix of values."""
+    rows = [
+        [0, 255, 128, 17, 200],
+        [3, 250, 131, 20, 199],
+        [5, 240, 140, 25, 190],
+        [9, 235, 142, 30, 180],
+    ]
+    return GrayImage.from_rows(rows)
+
+
+@pytest.fixture(scope="session")
+def roundtrip_images(
+    lena_small, gradient_image, noise_image, text_image, constant_image, tiny_image
+):
+    """The standard set every codec must reconstruct exactly."""
+    return [lena_small, gradient_image, noise_image, text_image, constant_image, tiny_image]

@@ -1,0 +1,176 @@
+"""Tests for the error-feedback stage (bias corrector and LUT divider)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bias import BiasCorrector, ReciprocalDivider
+from repro.core.config import CodecConfig
+from repro.exceptions import ModelStateError
+
+
+class TestReciprocalDivider:
+    def test_rom_size_matches_paper(self):
+        divider = ReciprocalDivider()
+        assert divider.entries == 512
+        assert divider.rom_bytes == 1024  # the paper's 1 KByte
+
+    def test_round_to_nearest_for_powers_of_two(self):
+        divider = ReciprocalDivider()
+        for divisor in (1, 2, 4, 8, 16):
+            for dividend in (-1000, -17, 0, 5, 1023):
+                expected = (abs(dividend) + divisor // 2) // divisor
+                expected = -expected if dividend < 0 else expected
+                assert divider.divide(dividend, divisor) == expected
+
+    def test_close_to_exact_for_all_divisors(self):
+        divider = ReciprocalDivider()
+        for divisor in range(1, 32):
+            for dividend in range(-1023, 1024, 37):
+                approx = divider.divide(dividend, divisor)
+                exact = (abs(dividend) + divisor // 2) // divisor
+                exact = -exact if dividend < 0 else exact
+                assert abs(approx - exact) <= 1
+
+    def test_sign_symmetry(self):
+        divider = ReciprocalDivider()
+        assert divider.divide(-300, 7) == -divider.divide(300, 7)
+
+    def test_rom_entry_accessor(self):
+        divider = ReciprocalDivider()
+        assert divider.rom_entry(1) == 1 << 15
+        assert divider.rom_entry(2) == 1 << 14
+        with pytest.raises(ModelStateError):
+            divider.rom_entry(512)
+
+    def test_divisor_out_of_range(self):
+        divider = ReciprocalDivider()
+        with pytest.raises(ModelStateError):
+            divider.divide(10, 0)
+        with pytest.raises(ModelStateError):
+            divider.divide(10, 512)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelStateError):
+            ReciprocalDivider(entries=1)
+        with pytest.raises(ModelStateError):
+            ReciprocalDivider(shift=40)
+
+    @given(st.integers(min_value=-1023, max_value=1023), st.integers(min_value=1, max_value=31))
+    @settings(max_examples=200, deadline=None)
+    def test_error_bounded_by_one(self, dividend, divisor):
+        divider = ReciprocalDivider()
+        exact = (abs(dividend) + divisor // 2) // divisor
+        exact = -exact if dividend < 0 else exact
+        assert abs(divider.divide(dividend, divisor) - exact) <= 1
+
+
+class TestBiasCorrector:
+    def test_initial_state_gives_zero_feedback(self):
+        bias = BiasCorrector(CodecConfig.hardware())
+        assert bias.mean_error(0) == 0
+        assert bias.adjusted_prediction(0, 100) == 100
+
+    def test_mean_converges_to_constant_error(self):
+        bias = BiasCorrector(CodecConfig.hardware())
+        for _ in range(20):
+            bias.update(5, 4)
+        assert bias.mean_error(5) == 4
+        assert bias.adjusted_prediction(5, 100) == 104
+
+    def test_negative_bias(self):
+        bias = BiasCorrector(CodecConfig.hardware())
+        for _ in range(16):
+            bias.update(7, -6)
+        assert bias.mean_error(7) == -6
+        assert bias.adjusted_prediction(7, 100) == 94
+
+    def test_adjusted_prediction_clamped(self):
+        config = CodecConfig.hardware()
+        bias = BiasCorrector(config)
+        for _ in range(16):
+            bias.update(1, 120)
+        assert bias.adjusted_prediction(1, 250) == config.max_sample
+        for _ in range(30):
+            bias.update(2, -120)
+        assert bias.adjusted_prediction(2, 3) == 0
+
+    def test_overflow_guard_halves_count_and_sum(self):
+        config = CodecConfig.hardware()
+        bias = BiasCorrector(config)
+        for _ in range(31):
+            bias.update(9, 2)
+        total, count = bias.statistics(9)
+        assert count == 31
+        assert total == 62
+        bias.update(9, 2)  # triggers the halving
+        total, count = bias.statistics(9)
+        assert count == 16  # 31 >> 1 == 15, then +1
+        assert total == 33  # 62 >> 1 == 31, then +2
+        # The mean is preserved through the rescale.
+        assert bias.mean_error(9) == 2
+
+    def test_count_never_exceeds_register_width(self):
+        config = CodecConfig.hardware()
+        bias = BiasCorrector(config)
+        for _ in range(500):
+            bias.update(0, 1)
+            _, count = bias.statistics(0)
+            assert count <= config.bias_count_max
+
+    def test_sum_is_saturated_at_register_bounds(self):
+        config = CodecConfig.hardware(use_overflow_guard_aging=False, bias_count_bits=16)
+        bias = BiasCorrector(config)
+        for _ in range(200):
+            bias.update(0, 120)
+        total, _ = bias.statistics(0)
+        assert total <= (1 << config.bias_sum_magnitude_bits) - 1
+
+    def test_aging_disabled_freezes_statistics(self):
+        config = CodecConfig.hardware(use_overflow_guard_aging=False)
+        bias = BiasCorrector(config)
+        for _ in range(100):
+            bias.update(3, 1)
+        _, count = bias.statistics(3)
+        assert count == config.bias_count_max
+
+    def test_dividend_bound_limits_feedback(self):
+        # Huge accumulated sums are clamped to 10 bits before the division.
+        config = CodecConfig.hardware(use_overflow_guard_aging=False, bias_count_bits=16)
+        bias = BiasCorrector(config)
+        for _ in range(40):
+            bias.update(0, 127)
+        assert bias.mean_error(0) <= config.bias_dividend_max
+
+    def test_error_feedback_disabled(self):
+        config = CodecConfig.hardware(use_error_feedback=False)
+        bias = BiasCorrector(config)
+        for _ in range(16):
+            bias.update(0, 10)
+        assert bias.adjusted_prediction(0, 50) == 50
+
+    def test_lut_and_exact_division_agree_within_one(self):
+        lut = BiasCorrector(CodecConfig.hardware(use_lut_division=True))
+        exact = BiasCorrector(CodecConfig.hardware(use_lut_division=False))
+        import random
+
+        rng = random.Random(4)
+        for _ in range(500):
+            context = rng.randrange(512)
+            error = rng.randint(-40, 40)
+            lut.update(context, error)
+            exact.update(context, error)
+        for context in range(512):
+            assert abs(lut.mean_error(context) - exact.mean_error(context)) <= 1
+
+    def test_context_out_of_range(self):
+        bias = BiasCorrector(CodecConfig.hardware())
+        with pytest.raises(ModelStateError):
+            bias.update(512, 0)
+        with pytest.raises(ModelStateError):
+            bias.mean_error(-1)
+
+    def test_memory_bits_matches_paper_budget(self):
+        bias = BiasCorrector(CodecConfig.hardware())
+        # 512 contexts x (13 + 1 + 5) bits = 9728 bits ~ 1.19 KB
+        assert bias.memory_bits() == 512 * 19

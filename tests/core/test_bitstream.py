@@ -1,0 +1,91 @@
+"""Tests for the compressed-stream container."""
+
+import pytest
+
+from repro.core.bitstream import CodecId, pack_stream, unpack_stream
+from repro.exceptions import BitstreamError, HeaderError
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        payload = b"\x01\x02\x03\x04"
+        stream = pack_stream(CodecId.PROPOSED, 640, 480, 8, payload, parameter=14, flags=1)
+        header, recovered = unpack_stream(stream)
+        assert header.codec == CodecId.PROPOSED
+        assert header.width == 640
+        assert header.height == 480
+        assert header.bit_depth == 8
+        assert header.parameter == 14
+        assert header.flags == 1
+        assert header.payload_length == len(payload)
+        assert header.pixel_count == 640 * 480
+        assert recovered == payload
+
+    def test_empty_payload(self):
+        stream = pack_stream(CodecId.SLP, 1, 1, 8, b"")
+        header, payload = unpack_stream(stream)
+        assert payload == b""
+        assert header.payload_length == 0
+
+    def test_every_codec_id_roundtrips(self):
+        for codec in CodecId:
+            header, _ = unpack_stream(pack_stream(codec, 2, 2, 8, b"xy"))
+            assert header.codec == codec
+
+    def test_trailing_garbage_is_ignored(self):
+        stream = pack_stream(CodecId.CALIC, 2, 2, 8, b"abcd") + b"GARBAGE"
+        _, payload = unpack_stream(stream)
+        assert payload == b"abcd"
+
+
+class TestPackValidation:
+    def test_bad_dimensions(self):
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 0, 10, 8, b"")
+
+    def test_bad_bit_depth(self):
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 1, 1, 0, b"")
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 1, 1, 17, b"")
+
+    def test_parameter_and_flags_must_fit_in_a_byte(self):
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 1, 1, 8, b"", parameter=256)
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 1, 1, 8, b"", flags=-1)
+
+
+class TestUnpackValidation:
+    def test_too_short_for_header(self):
+        with pytest.raises(HeaderError):
+            unpack_stream(b"RP")
+
+    def test_bad_magic(self):
+        stream = bytearray(pack_stream(CodecId.PROPOSED, 1, 1, 8, b"x"))
+        stream[0:4] = b"XXXX"
+        with pytest.raises(HeaderError):
+            unpack_stream(bytes(stream))
+
+    def test_bad_version(self):
+        stream = bytearray(pack_stream(CodecId.PROPOSED, 1, 1, 8, b"x"))
+        stream[4] = 99
+        with pytest.raises(HeaderError):
+            unpack_stream(bytes(stream))
+
+    def test_unknown_codec_id(self):
+        stream = bytearray(pack_stream(CodecId.PROPOSED, 1, 1, 8, b"x"))
+        stream[5] = 200
+        with pytest.raises(HeaderError):
+            unpack_stream(bytes(stream))
+
+    def test_truncated_payload_detected(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"0123456789")
+        with pytest.raises(BitstreamError):
+            unpack_stream(stream[:-3])
+
+    def test_corrupt_bit_depth(self):
+        stream = bytearray(pack_stream(CodecId.PROPOSED, 1, 1, 8, b"x"))
+        stream[14] = 0
+        with pytest.raises(HeaderError):
+            unpack_stream(bytes(stream))

@@ -1,0 +1,126 @@
+"""End-to-end tests for the proposed codec."""
+
+import pytest
+
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.core.decoder import decode_image
+from repro.core.encoder import encode_image, encode_image_with_statistics
+from repro.exceptions import BitstreamError, CodecMismatchError, ConfigError, HeaderError
+from repro.imaging.image import GrayImage
+from repro.imaging.metrics import first_order_entropy
+
+
+class TestRoundtrip:
+    def test_all_standard_images(self, roundtrip_images):
+        codec = ProposedCodec()
+        for image in roundtrip_images:
+            stream = codec.encode(image)
+            assert codec.decode(stream) == image, image.name
+
+    def test_reference_configuration(self, lena_small):
+        codec = ProposedCodec.reference()
+        assert codec.decode(codec.encode(lena_small)) == lena_small
+
+    def test_functional_entry_points(self, lena_small):
+        stream = encode_image(lena_small)
+        assert decode_image(stream) == lena_small
+
+    def test_decoder_rebuilds_config_from_header(self, tiny_image):
+        for count_bits in (10, 12, 16):
+            stream = encode_image(tiny_image, CodecConfig.hardware(count_bits=count_bits))
+            assert decode_image(stream) == tiny_image
+
+    def test_single_pixel_image(self):
+        image = GrayImage(1, 1, [137])
+        codec = ProposedCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_single_row_and_single_column(self):
+        codec = ProposedCodec()
+        row = GrayImage(17, 1, list(range(0, 255, 15)))
+        column = GrayImage(1, 17, list(range(0, 255, 15)))
+        assert codec.decode(codec.encode(row)) == row
+        assert codec.decode(codec.encode(column)) == column
+
+    def test_extreme_values_image(self):
+        pixels = [0, 255] * 32
+        image = GrayImage(8, 8, pixels)
+        codec = ProposedCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_non_square_images(self):
+        codec = ProposedCodec()
+        image = GrayImage(13, 29, [(x * 7 + y * 3) % 256 for y in range(29) for x in range(13)])
+        assert codec.decode(codec.encode(image)) == image
+
+
+class TestCompressionQuality:
+    def test_compresses_natural_content(self, lena_small):
+        codec = ProposedCodec()
+        bpp = codec.bits_per_pixel(lena_small)
+        assert bpp < first_order_entropy(lena_small)
+        assert bpp < 7.0
+
+    def test_smooth_image_compresses_better_than_texture(self, zelda_small, mandrill_small):
+        codec = ProposedCodec()
+        assert codec.bits_per_pixel(zelda_small) < codec.bits_per_pixel(mandrill_small)
+
+    def test_gradient_compresses_strongly(self, gradient_image):
+        assert ProposedCodec().bits_per_pixel(gradient_image) < 2.5
+
+    def test_noise_does_not_expand_catastrophically(self, noise_image):
+        # Incompressible content may expand slightly but must stay below
+        # 9.5 bpp (8 bits + modest coding overhead).
+        assert ProposedCodec().bits_per_pixel(noise_image) < 9.5
+
+    def test_statistics_populated(self, lena_small):
+        stream, stats = encode_image_with_statistics(lena_small)
+        assert stats.total_bytes == len(stream)
+        assert stats.payload_bytes < stats.total_bytes
+        assert stats.bits_per_pixel > 0
+        assert stats.binary_decisions >= lena_small.pixel_count * 8
+        assert sum(stats.context_usage.values()) == lena_small.pixel_count
+
+    def test_hardware_and_reference_paths_close(self, lena_small):
+        hardware_bpp = ProposedCodec.hardware().bits_per_pixel(lena_small)
+        reference_bpp = ProposedCodec.reference().bits_per_pixel(lena_small)
+        # The paper's claim: the hardware approximations do not change the
+        # compression ratio materially.
+        assert abs(hardware_bpp - reference_bpp) < 0.1
+
+
+class TestErrors:
+    def test_bit_depth_mismatch_rejected(self):
+        image = GrayImage(4, 4, list(range(16)), bit_depth=4)
+        with pytest.raises(ConfigError):
+            encode_image(image, CodecConfig.hardware())
+
+    def test_decode_other_codec_stream_rejected(self, tiny_image):
+        from repro.baselines.jpegls import JpegLsCodec
+
+        stream = JpegLsCodec().encode(tiny_image)
+        with pytest.raises(CodecMismatchError):
+            decode_image(stream)
+
+    def test_decode_with_wrong_count_bits_rejected(self, tiny_image):
+        stream = encode_image(tiny_image, CodecConfig.hardware(count_bits=10))
+        with pytest.raises(CodecMismatchError):
+            decode_image(stream, CodecConfig.hardware(count_bits=14))
+
+    def test_decode_with_wrong_division_flag_rejected(self, tiny_image):
+        stream = encode_image(tiny_image, CodecConfig.hardware())
+        with pytest.raises(CodecMismatchError):
+            decode_image(stream, CodecConfig.reference(count_bits=14))
+
+    def test_truncated_stream_detected(self, tiny_image):
+        stream = encode_image(tiny_image)
+        with pytest.raises((BitstreamError, HeaderError)):
+            decode_image(stream[: len(stream) // 2])
+
+    def test_garbage_input_detected(self):
+        with pytest.raises((HeaderError, BitstreamError)):
+            decode_image(b"this is not a compressed image")
+
+    def test_repr_contains_name(self):
+        assert "proposed" in repr(ProposedCodec())

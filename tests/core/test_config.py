@@ -1,0 +1,101 @@
+"""Tests for the codec configuration."""
+
+import pytest
+
+from repro.core.config import DEFAULT_ENERGY_THRESHOLDS, CodecConfig
+from repro.exceptions import ConfigError
+
+
+class TestDefaults:
+    def test_paper_configuration(self):
+        config = CodecConfig()
+        assert config.bit_depth == 8
+        assert config.count_bits == 14
+        assert config.compound_contexts == 512
+        assert config.texture_patterns == 64
+        assert config.energy_levels == 8
+        assert config.energy_index_bits == 3
+        assert config.bias_count_max == 31
+        assert config.bias_dividend_max == 1023
+        assert config.use_lut_division is True
+
+    def test_alphabet_and_max_sample(self):
+        config = CodecConfig(bit_depth=8)
+        assert config.alphabet_size == 256
+        assert config.max_sample == 255
+
+    def test_hardware_preset_is_default(self):
+        assert CodecConfig.hardware() == CodecConfig()
+
+    def test_reference_preset_disables_approximations(self):
+        config = CodecConfig.reference()
+        assert config.use_lut_division is False
+        assert config.bias_count_bits > CodecConfig().bias_count_bits
+
+    def test_presets_accept_overrides(self):
+        config = CodecConfig.hardware(count_bits=10)
+        assert config.count_bits == 10
+        reference = CodecConfig.reference(count_bits=12)
+        assert reference.count_bits == 12 and reference.use_lut_division is False
+
+    def test_with_count_bits(self):
+        config = CodecConfig().with_count_bits(16)
+        assert config.count_bits == 16
+        assert CodecConfig().count_bits == 14  # original unchanged
+
+    def test_default_thresholds_are_sorted(self):
+        assert list(DEFAULT_ENERGY_THRESHOLDS) == sorted(DEFAULT_ENERGY_THRESHOLDS)
+        assert len(DEFAULT_ENERGY_THRESHOLDS) == 7
+
+
+class TestValidation:
+    def test_bad_bit_depth(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(bit_depth=0)
+        with pytest.raises(ConfigError):
+            CodecConfig(bit_depth=20)
+
+    def test_bad_count_bits(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(count_bits=1)
+        with pytest.raises(ConfigError):
+            CodecConfig(count_bits=31)
+
+    def test_bad_texture_bits(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(texture_bits=0)
+        with pytest.raises(ConfigError):
+            CodecConfig(texture_bits=9)
+
+    def test_energy_levels_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(energy_levels=6, energy_thresholds=(1, 2, 3, 4, 5))
+
+    def test_threshold_count_must_match_levels(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(energy_levels=8, energy_thresholds=(1, 2, 3))
+
+    def test_thresholds_must_be_sorted(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(energy_thresholds=(5, 3, 25, 42, 60, 85, 140))
+
+    def test_gap_threshold_ordering(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(gap_sharp_threshold=10, gap_strong_threshold=32, gap_weak_threshold=8)
+
+    def test_dividend_bits_bounded_by_sum_bits(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(bias_sum_magnitude_bits=10, bias_dividend_bits=12)
+
+    def test_estimator_increment_positive(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(estimator_increment=0)
+
+    def test_count_bits_must_fit_coder_precision(self):
+        with pytest.raises(ConfigError):
+            CodecConfig(count_bits=22, coder_precision=16)
+
+    def test_smaller_energy_quantiser_allowed(self):
+        config = CodecConfig(energy_levels=4, energy_thresholds=(15, 42, 85))
+        assert config.compound_contexts == 64 * 4
+        assert config.energy_index_bits == 2

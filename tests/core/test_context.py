@@ -1,0 +1,105 @@
+"""Tests for the context modeller (texture pattern + coding context)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CodecConfig
+from repro.core.context import ContextModeler
+from repro.core.neighborhood import Neighborhood
+
+
+def _nb(w=0, ww=0, n=0, nn=0, ne=0, nw=0, nne=0):
+    return Neighborhood(w=w, ww=ww, n=n, nn=nn, ne=ne, nw=nw, nne=nne)
+
+
+@pytest.fixture()
+def modeler():
+    return ContextModeler(CodecConfig.hardware())
+
+
+class TestTexturePattern:
+    def test_all_below_prediction_sets_all_bits(self, modeler):
+        nb = _nb(w=10, ww=10, n=10, nn=10, ne=10, nw=10, nne=10)
+        assert modeler.texture_pattern(nb, predicted=200) == 0b111111
+
+    def test_all_above_prediction_clears_all_bits(self, modeler):
+        nb = _nb(w=210, ww=210, n=210, nn=210, ne=210, nw=210, nne=210)
+        assert modeler.texture_pattern(nb, predicted=100) == 0
+
+    def test_equal_values_count_as_not_below(self, modeler):
+        nb = _nb(w=100, ww=100, n=100, nn=100, ne=100, nw=100, nne=100)
+        assert modeler.texture_pattern(nb, predicted=100) == 0
+
+    def test_individual_bits(self, modeler):
+        base = dict(w=200, ww=200, n=200, nn=200, ne=200, nw=200, nne=200)
+        # Neighbour order: N, W, NW, NE, NN, WW -> bits 0..5.
+        for bit, key in enumerate(["n", "w", "nw", "ne", "nn", "ww"]):
+            values = dict(base)
+            values[key] = 5
+            assert modeler.texture_pattern(_nb(**values), predicted=100) == 1 << bit
+
+    @given(
+        st.tuples(*[st.integers(min_value=0, max_value=255) for _ in range(7)]),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pattern_fits_in_six_bits(self, values, predicted):
+        pattern = ContextModeler(CodecConfig.hardware()).texture_pattern(
+            Neighborhood(*values), predicted
+        )
+        assert 0 <= pattern < 64
+
+
+class TestEnergyQuantiser:
+    def test_energy_formula(self, modeler):
+        assert modeler.error_energy(dh=10, dv=20, previous_error=-3) == 36
+
+    def test_quantiser_level_boundaries(self, modeler):
+        thresholds = CodecConfig.hardware().energy_thresholds
+        for level, threshold in enumerate(thresholds):
+            assert modeler.quantize_energy(threshold) == level
+            assert modeler.quantize_energy(threshold + 1) == level + 1
+
+    def test_zero_energy_is_level_zero(self, modeler):
+        assert modeler.quantize_energy(0) == 0
+
+    def test_huge_energy_is_top_level(self, modeler):
+        assert modeler.quantize_energy(10_000) == 7
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=200, deadline=None)
+    def test_levels_in_range(self, energy):
+        level = ContextModeler(CodecConfig.hardware()).quantize_energy(energy)
+        assert 0 <= level < 8
+
+    def test_quantiser_is_monotone(self, modeler):
+        levels = [modeler.quantize_energy(e) for e in range(0, 400)]
+        assert levels == sorted(levels)
+
+
+class TestCompoundContext:
+    def test_compound_index_formula(self, modeler):
+        assert modeler.compound_index(texture=0, energy=0) == 0
+        assert modeler.compound_index(texture=63, energy=7) == 511
+        assert modeler.compound_index(texture=1, energy=0) == 8
+
+    def test_describe_combines_everything(self, modeler):
+        nb = _nb(w=100, ww=90, n=110, nn=120, ne=115, nw=95, nne=118)
+        descriptor = modeler.describe(nb, predicted=105, dh=12, dv=20, previous_error=2)
+        assert 0 <= descriptor.texture < 64
+        assert 0 <= descriptor.energy < 8
+        assert descriptor.compound == descriptor.texture * 8 + descriptor.energy
+
+    @given(
+        st.tuples(*[st.integers(min_value=0, max_value=255) for _ in range(7)]),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=800),
+        st.integers(min_value=0, max_value=800),
+        st.integers(min_value=-255, max_value=255),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_compound_always_below_512(self, values, predicted, dh, dv, previous_error):
+        modeler = ContextModeler(CodecConfig.hardware())
+        descriptor = modeler.describe(Neighborhood(*values), predicted, dh, dv, previous_error)
+        assert 0 <= descriptor.compound < 512

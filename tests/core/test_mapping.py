@@ -1,0 +1,104 @@
+"""Tests for the error remapping (fold / unfold and modulo reduction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import fold_signed, map_error, unfold_signed, unmap_error
+from repro.exceptions import ModelStateError
+
+
+class TestFolding:
+    def test_fold_interleaves_signs(self):
+        assert fold_signed(0, 8) == 0
+        assert fold_signed(-1, 8) == 1
+        assert fold_signed(1, 8) == 2
+        assert fold_signed(-2, 8) == 3
+        assert fold_signed(2, 8) == 4
+
+    def test_fold_extremes(self):
+        assert fold_signed(127, 8) == 254
+        assert fold_signed(-128, 8) == 255
+
+    def test_fold_range_checked(self):
+        with pytest.raises(ModelStateError):
+            fold_signed(128, 8)
+        with pytest.raises(ModelStateError):
+            fold_signed(-129, 8)
+
+    def test_unfold_range_checked(self):
+        with pytest.raises(ModelStateError):
+            unfold_signed(256, 8)
+        with pytest.raises(ModelStateError):
+            unfold_signed(-1, 8)
+
+    def test_fold_unfold_exhaustive_8bit(self):
+        for error in range(-128, 128):
+            assert unfold_signed(fold_signed(error, 8), 8) == error
+
+    def test_unfold_fold_exhaustive_8bit(self):
+        for code in range(256):
+            assert fold_signed(unfold_signed(code, 8), 8) == code
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_fold_is_bijection_for_any_depth(self, bit_depth, data):
+        half = 1 << (bit_depth - 1)
+        error = data.draw(st.integers(min_value=-half, max_value=half - 1))
+        code = fold_signed(error, bit_depth)
+        assert 0 <= code < (1 << bit_depth)
+        assert unfold_signed(code, bit_depth) == error
+
+
+class TestMapUnmap:
+    def test_exact_prediction_maps_to_zero(self):
+        symbol, wrapped = map_error(100, 100, 8)
+        assert symbol == 0
+        assert wrapped == 0
+
+    def test_small_positive_error(self):
+        symbol, wrapped = map_error(103, 100, 8)
+        assert wrapped == 3
+        assert symbol == 6
+
+    def test_small_negative_error(self):
+        symbol, wrapped = map_error(97, 100, 8)
+        assert wrapped == -3
+        assert symbol == 5
+
+    def test_wraparound_error_uses_short_path(self):
+        # Actual 255, predicted 0: the direct error +255 wraps to -1.
+        symbol, wrapped = map_error(255, 0, 8)
+        assert wrapped == -1
+        assert symbol == 1
+
+    def test_unmap_reverses_map_exhaustively(self):
+        for predicted in (0, 1, 127, 128, 254, 255):
+            for actual in range(256):
+                symbol, wrapped = map_error(actual, predicted, 8)
+                recovered, wrapped_back = unmap_error(symbol, predicted, 8)
+                assert recovered == actual
+                assert wrapped_back == wrapped
+
+    def test_out_of_range_inputs_rejected(self):
+        with pytest.raises(ModelStateError):
+            map_error(256, 0, 8)
+        with pytest.raises(ModelStateError):
+            map_error(0, 256, 8)
+        with pytest.raises(ModelStateError):
+            unmap_error(0, 300, 8)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property_any_depth(self, bit_depth, data):
+        max_value = (1 << bit_depth) - 1
+        actual = data.draw(st.integers(min_value=0, max_value=max_value))
+        predicted = data.draw(st.integers(min_value=0, max_value=max_value))
+        symbol, wrapped = map_error(actual, predicted, bit_depth)
+        assert 0 <= symbol <= max_value
+        recovered, wrapped_back = unmap_error(symbol, predicted, bit_depth)
+        assert recovered == actual
+        assert wrapped_back == wrapped

@@ -1,0 +1,96 @@
+"""Tests for the image modelling pipeline (encoder/decoder shared stage)."""
+
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.core.mapping import map_error
+from repro.core.modeling import ImageModeler
+from repro.exceptions import ModelStateError
+from repro.imaging.synthetic import generate_image
+
+
+class TestPipelineProtocol:
+    def test_model_then_commit_sequence(self):
+        config = CodecConfig.hardware()
+        modeler = ImageModeler(width=4, config=config)
+        for value in [10, 20, 30, 40]:
+            x = len(modeler.window._current)
+            model = modeler.model_pixel(x)
+            symbol, wrapped = map_error(value, model.adjusted, config.bit_depth)
+            modeler.commit_pixel(value, wrapped, model)
+        modeler.end_row()
+        assert modeler.window.rows_completed == 1
+
+    def test_descriptor_fields_in_range(self):
+        config = CodecConfig.hardware()
+        modeler = ImageModeler(width=16, config=config)
+        image = generate_image("boat", size=16)
+        for y in range(16):
+            row = image.row(y)
+            for x in range(16):
+                model = modeler.model_pixel(x)
+                assert 0 <= model.predicted <= 255
+                assert 0 <= model.adjusted <= 255
+                assert 0 <= model.context.compound < config.compound_contexts
+                assert 0 <= model.context.energy < config.energy_levels
+                _, wrapped = map_error(row[x], model.adjusted, config.bit_depth)
+                modeler.commit_pixel(row[x], wrapped, model)
+            modeler.end_row()
+
+    def test_identical_runs_produce_identical_state(self):
+        """Determinism: running the same pixels twice gives the same contexts."""
+        config = CodecConfig.hardware()
+        image = generate_image("lena", size=16)
+
+        def run():
+            modeler = ImageModeler(width=16, config=config)
+            trace = []
+            for y in range(16):
+                row = image.row(y)
+                for x in range(16):
+                    model = modeler.model_pixel(x)
+                    trace.append((model.predicted, model.adjusted, model.context.compound))
+                    _, wrapped = map_error(row[x], model.adjusted, config.bit_depth)
+                    modeler.commit_pixel(row[x], wrapped, model)
+                modeler.end_row()
+            return trace
+
+        assert run() == run()
+
+    def test_bias_feedback_changes_adjusted_prediction(self):
+        """After observing a systematic error, the adjusted prediction moves."""
+        config = CodecConfig.hardware()
+        modeler = ImageModeler(width=2, config=config)
+        # Feed rows whose actual values are consistently 10 above a flat
+        # prediction to build up a positive bias.
+        deltas = []
+        value = 100
+        for _row in range(30):
+            for x in range(2):
+                model = modeler.model_pixel(x)
+                deltas.append(model.adjusted - model.predicted)
+                actual = min(255, model.predicted + 10)
+                _, wrapped = map_error(actual, model.adjusted, config.bit_depth)
+                modeler.commit_pixel(actual, wrapped, model)
+            modeler.end_row()
+        assert max(deltas) > 0  # feedback kicked in at some point
+
+    def test_modeling_memory_budget(self):
+        config = CodecConfig.hardware()
+        modeler = ImageModeler(width=512, config=config)
+        memory = modeler.modeling_memory_bytes()
+        # The paper quotes 3.7 KB for a 512-wide image.
+        assert 3300 <= memory <= 4200
+
+    def test_memory_without_lut_division_is_smaller(self):
+        with_lut = ImageModeler(512, CodecConfig.hardware()).modeling_memory_bytes()
+        without_lut = ImageModeler(
+            512, CodecConfig.hardware(use_lut_division=False)
+        ).modeling_memory_bytes()
+        assert with_lut - without_lut == 1024  # exactly the 1 KB division ROM
+
+    def test_wrong_column_order_rejected(self):
+        modeler = ImageModeler(width=4, config=CodecConfig.hardware())
+        modeler.model_pixel(0)
+        with pytest.raises(ModelStateError):
+            modeler.model_pixel(2)

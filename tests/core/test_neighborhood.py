@@ -1,0 +1,131 @@
+"""Tests for the three-row causal window (Figure 2 neighbourhood)."""
+
+import pytest
+
+from repro.core.neighborhood import Neighborhood, ThreeRowWindow
+from repro.exceptions import ModelStateError
+
+
+def _fill_rows(window, rows):
+    for row in rows:
+        for value in row:
+            window.push(value)
+        window.end_row()
+
+
+class TestNeighborhood:
+    def test_as_tuple_order(self):
+        nb = Neighborhood(w=1, ww=2, n=3, nn=4, ne=5, nw=6, nne=7)
+        assert nb.as_tuple() == (1, 2, 3, 4, 5, 6, 7)
+
+
+class TestFirstPixel:
+    def test_everything_defaults_to_mid_grey(self):
+        window = ThreeRowWindow(width=4, default=128)
+        nb = window.neighborhood(0)
+        assert nb.as_tuple() == (128,) * 7
+
+
+class TestFirstRow:
+    def test_north_neighbours_fall_back_to_west(self):
+        window = ThreeRowWindow(width=4, default=128)
+        window.push(10)
+        nb = window.neighborhood(1)
+        assert nb.w == 10
+        assert nb.n == 10
+        assert nb.nw == 10
+        assert nb.ne == 10
+        assert nb.nn == 10
+
+    def test_ww_falls_back_to_w(self):
+        window = ThreeRowWindow(width=4, default=128)
+        window.push(10)
+        assert window.neighborhood(1).ww == 10
+        window.push(20)
+        nb = window.neighborhood(2)
+        assert nb.w == 20 and nb.ww == 10
+
+
+class TestInteriorPixels:
+    def test_full_neighbourhood(self):
+        window = ThreeRowWindow(width=4, default=0)
+        _fill_rows(window, [[1, 2, 3, 4], [5, 6, 7, 8]])
+        window.push(9)  # current row, column 0
+        nb = window.neighborhood(1)
+        # Rows: y-2 = [1,2,3,4], y-1 = [5,6,7,8], current = [9, ?]
+        assert nb.w == 9
+        assert nb.ww == 9      # x-2 out of row, falls back to w
+        assert nb.n == 6
+        assert nb.nw == 5
+        assert nb.ne == 7
+        assert nb.nn == 2
+        assert nb.nne == 3
+
+    def test_first_column_uses_row_above(self):
+        window = ThreeRowWindow(width=3, default=0)
+        _fill_rows(window, [[1, 2, 3], [4, 5, 6]])
+        nb = window.neighborhood(0)
+        assert nb.w == 4       # W falls back to the first sample of the row above
+        assert nb.n == 4
+        assert nb.nw == 4
+        assert nb.ne == 5
+        assert nb.nn == 1
+        assert nb.nne == 2
+
+    def test_last_column_clamps_ne(self):
+        window = ThreeRowWindow(width=3, default=0)
+        _fill_rows(window, [[1, 2, 3], [4, 5, 6]])
+        window.push(7)
+        window.push(8)
+        nb = window.neighborhood(2)
+        assert nb.ne == 6      # no column to the right: falls back to n
+        assert nb.nne == 3
+
+    def test_second_row_uses_first_row_for_nn(self):
+        window = ThreeRowWindow(width=3, default=0)
+        _fill_rows(window, [[1, 2, 3]])
+        window.push(4)
+        nb = window.neighborhood(1)
+        assert nb.n == 2
+        assert nb.nn == 2      # no row y-2 yet: falls back to n
+        assert nb.nne == 3     # falls back to ne
+
+
+class TestProtocolErrors:
+    def test_push_overflow(self):
+        window = ThreeRowWindow(width=2, default=0)
+        window.push(1)
+        window.push(2)
+        with pytest.raises(ModelStateError):
+            window.push(3)
+
+    def test_end_row_too_early(self):
+        window = ThreeRowWindow(width=3, default=0)
+        window.push(1)
+        with pytest.raises(ModelStateError):
+            window.end_row()
+
+    def test_neighborhood_requires_current_column(self):
+        window = ThreeRowWindow(width=3, default=0)
+        window.push(1)
+        with pytest.raises(ModelStateError):
+            window.neighborhood(0)  # column 0 already pushed; expected column 1
+
+    def test_neighborhood_out_of_range(self):
+        window = ThreeRowWindow(width=3, default=0)
+        with pytest.raises(ModelStateError):
+            window.neighborhood(3)
+
+    def test_invalid_width(self):
+        with pytest.raises(ModelStateError):
+            ThreeRowWindow(width=0, default=0)
+
+    def test_rows_completed_counter(self):
+        window = ThreeRowWindow(width=2, default=0)
+        _fill_rows(window, [[1, 2], [3, 4], [5, 6]])
+        assert window.rows_completed == 3
+
+    def test_memory_bytes(self):
+        window = ThreeRowWindow(width=512, default=0)
+        assert window.memory_bytes(bit_depth=8) == 3 * 512
+        assert window.memory_bytes(bit_depth=16) == 3 * 512 * 2

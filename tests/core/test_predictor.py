@@ -1,0 +1,80 @@
+"""Tests for the gradient-adjusted predictor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CodecConfig
+from repro.core.neighborhood import Neighborhood
+from repro.core.predictor import GradientAdjustedPredictor
+
+
+def _nb(w=0, ww=0, n=0, nn=0, ne=0, nw=0, nne=0):
+    return Neighborhood(w=w, ww=ww, n=n, nn=nn, ne=ne, nw=nw, nne=nne)
+
+
+def _predictor():
+    return GradientAdjustedPredictor(CodecConfig.hardware())
+
+
+class TestFlatRegions:
+    def test_constant_neighbourhood_predicts_the_constant(self):
+        prediction = _predictor().predict(_nb(w=90, ww=90, n=90, nn=90, ne=90, nw=90, nne=90))
+        assert prediction.predicted == 90
+        assert prediction.dh == 0
+        assert prediction.dv == 0
+
+    def test_horizontal_ramp_is_predicted_well(self):
+        # Pixel values increase by 4 per column: W=96, N=100 (same column).
+        nb = _nb(w=96, ww=92, n=100, nn=100, ne=104, nw=96, nne=104)
+        prediction = _predictor().predict(nb)
+        assert abs(prediction.predicted - 100) <= 2
+
+
+class TestEdges:
+    def test_sharp_horizontal_edge_uses_west(self):
+        # Huge vertical gradient (row above very different), no horizontal one.
+        nb = _nb(w=200, ww=200, n=10, nn=200, ne=10, nw=10, nne=10)
+        config = CodecConfig.hardware()
+        prediction = GradientAdjustedPredictor(config).predict(nb)
+        if prediction.dv - prediction.dh > config.gap_sharp_threshold:
+            assert prediction.predicted == nb.w
+
+    def test_sharp_vertical_edge_uses_north(self):
+        nb = _nb(w=10, ww=200, n=200, nn=200, ne=200, nw=10, nne=200)
+        config = CodecConfig.hardware()
+        prediction = GradientAdjustedPredictor(config).predict(nb)
+        if prediction.dh - prediction.dv > config.gap_sharp_threshold:
+            assert prediction.predicted == nb.n
+
+    def test_gradients_are_sums_of_absolute_differences(self):
+        nb = _nb(w=10, ww=20, n=30, nn=40, ne=50, nw=60, nne=70)
+        prediction = _predictor().predict(nb)
+        assert prediction.dh == abs(10 - 20) + abs(30 - 60) + abs(30 - 50)
+        assert prediction.dv == abs(10 - 60) + abs(30 - 40) + abs(50 - 70)
+
+
+class TestBounds:
+    @given(
+        st.tuples(*[st.integers(min_value=0, max_value=255) for _ in range(7)])
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_prediction_always_in_range(self, values):
+        nb = Neighborhood(*values)
+        prediction = _predictor().predict(nb)
+        assert 0 <= prediction.predicted <= 255
+        assert prediction.dh >= 0
+        assert prediction.dv >= 0
+
+    @given(
+        st.tuples(*[st.integers(min_value=0, max_value=255) for _ in range(7)])
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_prediction_is_deterministic(self, values):
+        nb = Neighborhood(*values)
+        assert _predictor().predict(nb) == _predictor().predict(nb)
+
+    def test_16bit_configuration(self):
+        config = CodecConfig.hardware(bit_depth=12, count_bits=12)
+        predictor = GradientAdjustedPredictor(config)
+        nb = _nb(w=4000, ww=4000, n=4000, nn=4000, ne=4000, nw=4000, nne=4000)
+        assert predictor.predict(nb).predicted == 4000

@@ -1,0 +1,113 @@
+"""Tests for the probability estimator (8 dynamic trees + static escape tree)."""
+
+import random
+
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.core.probability import ProbabilityEstimator
+from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder, BinaryArithmeticEncoder
+from repro.exceptions import ModelStateError
+from repro.utils.bitio import BitReader, BitWriter
+
+
+def _roundtrip(config, stream):
+    """Encode (context, symbol) pairs then decode them back."""
+    writer = BitWriter()
+    encoder = BinaryArithmeticEncoder(writer)
+    estimator = ProbabilityEstimator(config)
+    for context, symbol in stream:
+        estimator.encode_symbol(encoder, context, symbol)
+    encoder.finish()
+    encode_stats = estimator.statistics
+
+    decoder = BinaryArithmeticDecoder(BitReader(writer.getvalue()))
+    estimator = ProbabilityEstimator(config)
+    decoded = [estimator.decode_symbol(decoder, context) for context, _ in stream]
+    return decoded, encode_stats, estimator.statistics
+
+
+class TestRoundtrip:
+    def test_single_context(self):
+        config = CodecConfig.hardware()
+        stream = [(0, s) for s in [1, 2, 3, 255, 0, 128] * 20]
+        decoded, _, _ = _roundtrip(config, stream)
+        assert decoded == [s for _, s in stream]
+
+    def test_multiple_contexts(self):
+        config = CodecConfig.hardware()
+        rng = random.Random(2)
+        stream = [(rng.randrange(8), rng.randrange(256)) for _ in range(400)]
+        decoded, _, _ = _roundtrip(config, stream)
+        assert decoded == [s for _, s in stream]
+
+    def test_escape_path_roundtrip(self):
+        # Narrow counters force rescales, which zero unseen symbols and make
+        # later occurrences escape; the decoder must follow.
+        config = CodecConfig.hardware(count_bits=6, estimator_increment=4)
+        rng = random.Random(3)
+        stream = [(0, 7)] * 200 + [(0, rng.randrange(256)) for _ in range(100)]
+        decoded, encode_stats, decode_stats = _roundtrip(config, stream)
+        assert decoded == [s for _, s in stream]
+        assert encode_stats.escapes > 0
+        assert encode_stats.escapes == decode_stats.escapes
+        assert encode_stats.tree_rescales == decode_stats.tree_rescales
+
+    def test_statistics_track_context_usage(self):
+        config = CodecConfig.hardware()
+        stream = [(3, 10)] * 5 + [(6, 20)] * 7
+        _, encode_stats, _ = _roundtrip(config, stream)
+        assert encode_stats.symbols_per_context[3] == 5
+        assert encode_stats.symbols_per_context[6] == 7
+        assert encode_stats.symbols_coded == 12
+
+    def test_escape_rate_helper(self):
+        config = CodecConfig.hardware()
+        _, stats, _ = _roundtrip(config, [(0, 1)] * 10)
+        assert stats.escape_rate() == 0.0
+
+
+class TestAdaptation:
+    def test_repeated_symbol_gets_shorter_codes(self):
+        config = CodecConfig.hardware()
+        estimator = ProbabilityEstimator(config)
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        for _ in range(100):
+            estimator.encode_symbol(encoder, 0, 42)
+        first_phase_bits = writer.bit_count
+        for _ in range(100):
+            estimator.encode_symbol(encoder, 0, 42)
+        second_phase_bits = writer.bit_count - first_phase_bits
+        assert second_phase_bits < first_phase_bits
+
+    def test_contexts_are_independent(self):
+        config = CodecConfig.hardware()
+        estimator = ProbabilityEstimator(config)
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        for _ in range(50):
+            estimator.encode_symbol(encoder, 0, 10)
+        assert estimator.tree(0).count(10) > estimator.tree(1).count(10)
+
+    def test_memory_bits_positive(self):
+        estimator = ProbabilityEstimator(CodecConfig.hardware())
+        assert estimator.memory_bits() > 0
+
+    def test_context_count(self):
+        assert ProbabilityEstimator(CodecConfig.hardware()).context_count == 8
+
+
+class TestValidation:
+    def test_context_out_of_range(self):
+        estimator = ProbabilityEstimator(CodecConfig.hardware())
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            estimator.encode_symbol(encoder, 8, 0)
+        with pytest.raises(ModelStateError):
+            estimator.tree(-1)
+
+    def test_symbol_out_of_range(self):
+        estimator = ProbabilityEstimator(CodecConfig.hardware())
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            estimator.encode_symbol(encoder, 0, 256)

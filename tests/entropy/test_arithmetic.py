@@ -1,0 +1,105 @@
+"""Tests for the multi-symbol arithmetic coder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.models import AdaptiveModel
+from repro.exceptions import ModelStateError
+from repro.utils.bitio import BitReader, BitWriter
+
+
+def _roundtrip_with_model(symbols, alphabet_size, increment=16):
+    """Code a symbol stream against an adaptive model, then decode it back."""
+    writer = BitWriter()
+    encoder = ArithmeticEncoder(writer)
+    model = AdaptiveModel(alphabet_size, increment=increment)
+    for symbol in symbols:
+        low, high, total = model.interval(symbol)
+        encoder.encode(low, high, total)
+        model.update(symbol)
+    encoder.finish()
+
+    decoder = ArithmeticDecoder(BitReader(writer.getvalue()))
+    model = AdaptiveModel(alphabet_size, increment=increment)
+    decoded = []
+    for _ in symbols:
+        target = decoder.decode_target(model.total)
+        symbol = model.symbol_from_target(target)
+        low, high, total = model.interval(symbol)
+        decoder.consume(low, high, total)
+        model.update(symbol)
+        decoded.append(symbol)
+    return decoded, len(writer.getvalue())
+
+
+class TestRoundtrip:
+    def test_small_alphabet(self):
+        symbols = [0, 1, 2, 3, 2, 1, 0, 0, 0, 3] * 20
+        decoded, _ = _roundtrip_with_model(symbols, 4)
+        assert decoded == symbols
+
+    def test_byte_alphabet(self):
+        rng = random.Random(3)
+        symbols = [rng.randint(0, 255) for _ in range(400)]
+        decoded, _ = _roundtrip_with_model(symbols, 256)
+        assert decoded == symbols
+
+    def test_skewed_source_compresses(self):
+        symbols = [7] * 3000 + [1, 2, 3] * 5
+        decoded, size = _roundtrip_with_model(symbols, 16)
+        assert decoded == symbols
+        assert size < len(symbols) // 4
+
+    def test_single_symbol_stream(self):
+        decoded, _ = _roundtrip_with_model([5], 8)
+        assert decoded == [5]
+
+
+class TestValidation:
+    def test_invalid_cumulative_range(self):
+        encoder = ArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            encoder.encode(5, 5, 10)
+
+    def test_range_beyond_total(self):
+        encoder = ArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            encoder.encode(0, 11, 10)
+
+    def test_total_too_large(self):
+        encoder = ArithmeticEncoder(BitWriter(), precision=16)
+        with pytest.raises(ModelStateError):
+            encoder.encode(0, 1, 1 << 15)
+
+    def test_double_finish(self):
+        encoder = ArithmeticEncoder(BitWriter())
+        encoder.finish()
+        with pytest.raises(ModelStateError):
+            encoder.finish()
+
+    def test_encode_after_finish(self):
+        encoder = ArithmeticEncoder(BitWriter())
+        encoder.finish()
+        with pytest.raises(ModelStateError):
+            encoder.encode(0, 1, 2)
+
+    def test_decoder_total_validation(self):
+        decoder = ArithmeticDecoder(BitReader(b"\x00\x00\x00\x00"), precision=16)
+        with pytest.raises(ModelStateError):
+            decoder.decode_target(1 << 15)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_streams_roundtrip(self, alphabet, raw_symbols):
+        symbols = [s % alphabet for s in raw_symbols]
+        decoded, _ = _roundtrip_with_model(symbols, alphabet)
+        assert decoded == symbols

@@ -1,0 +1,166 @@
+"""Tests for the binary arithmetic coder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder, BinaryArithmeticEncoder
+from repro.exceptions import ModelStateError
+from repro.utils.bitio import BitReader, BitWriter
+
+
+def _roundtrip(decisions):
+    """Encode then decode a list of (bit, zero_count, total) decisions."""
+    writer = BitWriter()
+    encoder = BinaryArithmeticEncoder(writer)
+    for bit, zero_count, total in decisions:
+        encoder.encode_bit(bit, zero_count, total)
+    encoder.finish()
+    decoder = BinaryArithmeticDecoder(BitReader(writer.getvalue()))
+    return [decoder.decode_bit(zero_count, total) for _, zero_count, total in decisions]
+
+
+class TestRoundtrip:
+    def test_uniform_probabilities(self):
+        decisions = [(i % 2, 1, 2) for i in range(200)]
+        assert _roundtrip(decisions) == [bit for bit, _, _ in decisions]
+
+    def test_skewed_probabilities(self):
+        decisions = [(0, 999, 1000)] * 50 + [(1, 999, 1000)] * 3 + [(0, 999, 1000)] * 50
+        assert _roundtrip(decisions) == [bit for bit, _, _ in decisions]
+
+    def test_alternating_models(self):
+        decisions = []
+        rng = random.Random(5)
+        for _ in range(500):
+            total = rng.randint(2, 4000)
+            zero = rng.randint(1, total - 1)
+            bit = rng.randint(0, 1)
+            decisions.append((bit, zero, total))
+        assert _roundtrip(decisions) == [bit for bit, _, _ in decisions]
+
+    def test_empty_stream(self):
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        encoder.finish()
+        # Decoding nothing from the empty stream is fine; the decoder just
+        # initialises its registers from phantom zero bits.
+        BinaryArithmeticDecoder(BitReader(writer.getvalue()))
+
+    def test_single_decision(self):
+        assert _roundtrip([(1, 1, 3)]) == [1]
+
+    def test_compression_of_skewed_source_beats_raw(self):
+        # 2000 highly predictable bits should compress far below 2000 bits.
+        decisions = [(0, 4000, 4096)] * 2000
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        for bit, zero, total in decisions:
+            encoder.encode_bit(bit, zero, total)
+        encoder.finish()
+        assert len(writer.getvalue()) * 8 < 400
+
+    def test_code_length_close_to_entropy(self):
+        import math
+
+        p_zero = 0.9
+        total = 1000
+        zero = int(p_zero * total)
+        rng = random.Random(11)
+        bits = [0 if rng.random() < p_zero else 1 for _ in range(4000)]
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        for bit in bits:
+            encoder.encode_bit(bit, zero, total)
+        encoder.finish()
+        entropy = -(p_zero * math.log2(p_zero) + (1 - p_zero) * math.log2(1 - p_zero))
+        measured = len(writer.getvalue()) * 8 / len(bits)
+        assert measured < entropy * 1.10 + 0.05
+
+
+class TestValidation:
+    def test_zero_probability_zero_bit_rejected(self):
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            encoder.encode_bit(0, 0, 10)
+
+    def test_zero_probability_one_bit_rejected(self):
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            encoder.encode_bit(1, 10, 10)
+
+    def test_invalid_bit_value_rejected(self):
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            encoder.encode_bit(2, 1, 2)
+
+    def test_total_too_large_rejected(self):
+        encoder = BinaryArithmeticEncoder(BitWriter(), precision=16)
+        with pytest.raises(ModelStateError):
+            encoder.encode_bit(0, 1, 1 << 15)
+
+    def test_encode_after_finish_rejected(self):
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        encoder.finish()
+        with pytest.raises(ModelStateError):
+            encoder.encode_bit(0, 1, 2)
+
+    def test_double_finish_rejected(self):
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        encoder.finish()
+        with pytest.raises(ModelStateError):
+            encoder.finish()
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ModelStateError):
+            BinaryArithmeticEncoder(BitWriter(), precision=4)
+
+    def test_decisions_counter(self):
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        for _ in range(7):
+            encoder.encode_bit(0, 1, 2)
+        assert encoder.decisions_encoded == 7
+
+
+class TestPrecisionVariants:
+    @pytest.mark.parametrize("precision", [16, 24, 32, 48])
+    def test_roundtrip_at_various_precisions(self, precision):
+        rng = random.Random(precision)
+        decisions = []
+        max_total = min(4000, (1 << (precision - 2)) - 1)
+        for _ in range(300):
+            total = rng.randint(2, max_total)
+            zero = rng.randint(1, total - 1)
+            decisions.append((rng.randint(0, 1), zero, total))
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer, precision=precision)
+        for bit, zero, total in decisions:
+            encoder.encode_bit(bit, zero, total)
+        encoder.finish()
+        decoder = BinaryArithmeticDecoder(BitReader(writer.getvalue()), precision=precision)
+        decoded = [decoder.decode_bit(zero, total) for _, zero, total in decisions]
+        assert decoded == [bit for bit, _, _ in decisions]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=1, max_value=5000),
+                st.integers(min_value=2, max_value=5001),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_decision_streams_roundtrip(self, raw):
+        decisions = []
+        for bit, zero, total in raw:
+            total = max(2, total)
+            zero = min(max(1, zero), total - 1)
+            decisions.append((bit, zero, total))
+        assert _roundtrip(decisions) == [bit for bit, _, _ in decisions]

@@ -1,0 +1,193 @@
+"""Tests for the balanced frequency tree (the probability estimator core)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder, BinaryArithmeticEncoder
+from repro.entropy.freqtree import FrequencyTree, StaticTree
+from repro.exceptions import ModelStateError
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestConstruction:
+    def test_initial_counts_are_uniform(self):
+        tree = FrequencyTree(alphabet_size=256, count_bits=14)
+        assert all(tree.count(s) == 1 for s in range(256))
+        assert tree.count(tree.escape_index) == 1
+        assert tree.total == 257
+
+    def test_tree_without_escape(self):
+        tree = FrequencyTree(alphabet_size=8, with_escape=False)
+        assert tree.escape_index is None
+        assert tree.total == 8
+
+    def test_leaves_padded_to_power_of_two(self):
+        tree = FrequencyTree(alphabet_size=256, with_escape=True)
+        assert tree.num_leaves == 512
+        assert tree.depth == 9
+
+    def test_small_alphabet_depth(self):
+        tree = FrequencyTree(alphabet_size=4, with_escape=False)
+        assert tree.num_leaves == 4
+        assert tree.depth == 2
+
+    def test_invalid_alphabet(self):
+        with pytest.raises(Exception):
+            FrequencyTree(alphabet_size=1)
+
+    def test_invalid_count_bits(self):
+        with pytest.raises(Exception):
+            FrequencyTree(alphabet_size=8, count_bits=1)
+
+
+class TestInvariants:
+    def _check_internal_sums(self, tree):
+        counts = tree._counts
+        for node in range(1, tree.num_leaves):
+            assert counts[node] == counts[2 * node] + counts[2 * node + 1]
+
+    def test_root_equals_sum_of_leaves_after_updates(self):
+        tree = FrequencyTree(alphabet_size=16, count_bits=8, increment=3)
+        rng = random.Random(1)
+        for _ in range(500):
+            tree.update(rng.randint(0, 15))
+        assert tree.total == sum(tree.count(s) for s in range(16)) + tree.count(tree.escape_index)
+        self._check_internal_sums(tree)
+
+    def test_counts_never_exceed_maximum(self):
+        tree = FrequencyTree(alphabet_size=4, count_bits=5, increment=1)
+        for _ in range(500):
+            tree.update(2)
+            assert tree.count(2) <= tree.max_count
+
+    def test_rescale_creates_zero_counts(self):
+        tree = FrequencyTree(alphabet_size=8, count_bits=4, increment=1)
+        # Symbol 0 gets hammered until the tree rescales; the never-seen
+        # symbols (count 1) must drop to 0 - the escape-producing situation.
+        rescaled = False
+        for _ in range(40):
+            rescaled |= tree.update(0)
+        assert rescaled
+        assert tree.rescale_count >= 1
+        assert any(tree.count(s) == 0 for s in range(1, 8))
+
+    def test_escape_leaf_pinned_after_rescale(self):
+        tree = FrequencyTree(alphabet_size=8, count_bits=4, increment=1)
+        for _ in range(100):
+            tree.update(0)
+        assert tree.count(tree.escape_index) >= 1
+
+    def test_update_returns_rescale_flag(self):
+        tree = FrequencyTree(alphabet_size=4, count_bits=3, increment=1)
+        flags = [tree.update(1) for _ in range(20)]
+        assert any(flags)
+
+    def test_memory_bits_positive_and_scales_with_count_bits(self):
+        small = FrequencyTree(alphabet_size=256, count_bits=10).memory_bits()
+        large = FrequencyTree(alphabet_size=256, count_bits=16).memory_bits()
+        assert 0 < small < large
+
+
+class TestCoding:
+    def _roundtrip(self, tree_args, symbols):
+        encode_tree = FrequencyTree(**tree_args)
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        for symbol in symbols:
+            encode_tree.encode_symbol(encoder, symbol)
+            encode_tree.update(symbol)
+        encoder.finish()
+
+        decode_tree = FrequencyTree(**tree_args)
+        decoder = BinaryArithmeticDecoder(BitReader(writer.getvalue()))
+        decoded = []
+        for _ in symbols:
+            symbol = decode_tree.decode_symbol(decoder)
+            decode_tree.update(symbol)
+            decoded.append(symbol)
+        return decoded
+
+    def test_roundtrip_small_alphabet(self):
+        symbols = [0, 3, 3, 3, 1, 2, 0, 0, 3] * 30
+        decoded = self._roundtrip(dict(alphabet_size=4, count_bits=8, with_escape=False), symbols)
+        assert decoded == symbols
+
+    def test_roundtrip_with_escape_leaf_present(self):
+        rng = random.Random(9)
+        symbols = [rng.randint(0, 255) for _ in range(300)]
+        decoded = self._roundtrip(dict(alphabet_size=256, count_bits=14), symbols)
+        assert decoded == symbols
+
+    def test_adaptive_tree_compresses_skewed_source(self):
+        tree = FrequencyTree(alphabet_size=256, count_bits=14, increment=16)
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        for _ in range(2000):
+            tree.encode_symbol(encoder, 42)
+            tree.update(42)
+        encoder.finish()
+        # A constant source must compress far below 8 bits/symbol.
+        assert len(writer.getvalue()) * 8 / 2000 < 0.5
+
+    def test_encode_zero_count_symbol_rejected(self):
+        tree = FrequencyTree(alphabet_size=8, count_bits=4, increment=1)
+        for _ in range(100):
+            tree.update(0)
+        zero_symbols = [s for s in range(8) if tree.count(s) == 0]
+        assert zero_symbols
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        with pytest.raises(ModelStateError):
+            tree.encode_symbol(encoder, zero_symbols[0])
+
+    def test_decisions_match_tree_depth(self):
+        tree = FrequencyTree(alphabet_size=256, count_bits=14)
+        encoder = BinaryArithmeticEncoder(BitWriter())
+        assert tree.encode_symbol(encoder, 17) == tree.depth
+
+    def test_code_length_estimate_positive(self):
+        tree = FrequencyTree(alphabet_size=16, count_bits=10)
+        for _ in range(50):
+            tree.update(3)
+        assert 0 < tree.code_length_bits(3) < tree.code_length_bits(9)
+
+    def test_symbol_out_of_range_rejected(self):
+        tree = FrequencyTree(alphabet_size=8, count_bits=6)
+        with pytest.raises(ModelStateError):
+            tree.count(100)
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=250))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, symbols):
+        decoded = self._roundtrip(dict(alphabet_size=32, count_bits=9, increment=4), symbols)
+        assert decoded == symbols
+
+
+class TestStaticTree:
+    def test_roundtrip(self):
+        static = StaticTree(256)
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        symbols = [0, 255, 128, 7, 200]
+        for symbol in symbols:
+            static.encode_symbol(encoder, symbol)
+        encoder.finish()
+        decoder = BinaryArithmeticDecoder(BitReader(writer.getvalue()))
+        assert [static.decode_symbol(decoder) for _ in symbols] == symbols
+
+    def test_cost_is_log2_alphabet(self):
+        static = StaticTree(256)
+        writer = BitWriter()
+        encoder = BinaryArithmeticEncoder(writer)
+        for symbol in range(0, 256, 17):
+            static.encode_symbol(encoder, symbol)
+        encoder.finish()
+        symbols_coded = len(range(0, 256, 17))
+        assert abs(len(writer.getvalue()) * 8 / symbols_coded - 8.0) < 0.7
+
+    def test_out_of_range_symbol_rejected(self):
+        static = StaticTree(16)
+        with pytest.raises(ModelStateError):
+            static.encode_symbol(BinaryArithmeticEncoder(BitWriter()), 16)

@@ -1,0 +1,117 @@
+"""Tests for the Golomb-Rice coders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.golomb import (
+    golomb_rice_code_length,
+    golomb_rice_decode,
+    golomb_rice_encode,
+    limited_golomb_decode,
+    limited_golomb_encode,
+)
+from repro.exceptions import BitstreamError
+from repro.utils.bitio import BitReader, BitWriter
+
+
+class TestPlainGolombRice:
+    @pytest.mark.parametrize("value,k", [(0, 0), (1, 0), (5, 1), (100, 3), (1000, 5), (7, 7)])
+    def test_single_value_roundtrip(self, value, k):
+        writer = BitWriter()
+        golomb_rice_encode(writer, value, k)
+        assert golomb_rice_decode(BitReader(writer.getvalue()), k) == value
+
+    def test_sequence_roundtrip(self):
+        values = [0, 1, 2, 3, 10, 100, 31, 7, 0, 0, 255]
+        writer = BitWriter()
+        for v in values:
+            golomb_rice_encode(writer, v, 2)
+        reader = BitReader(writer.getvalue())
+        assert [golomb_rice_decode(reader, 2) for _ in values] == values
+
+    def test_code_length_matches_actual(self):
+        for value in (0, 1, 5, 63, 64, 1000):
+            for k in (0, 1, 3, 5):
+                writer = BitWriter()
+                golomb_rice_encode(writer, value, k)
+                assert writer.bit_count == golomb_rice_code_length(value, k)
+
+    def test_k_zero_is_unary(self):
+        writer = BitWriter()
+        golomb_rice_encode(writer, 4, 0)
+        assert writer.bit_count == 5
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_rice_encode(BitWriter(), -1, 2)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            golomb_rice_encode(BitWriter(), 1, -2)
+        with pytest.raises(ValueError):
+            golomb_rice_decode(BitReader(b"\xff"), -1)
+
+    def test_corrupt_unary_run_detected(self):
+        # A stream of only zero bits never terminates its unary prefix.
+        reader = BitReader(b"\x00" * 16)
+        with pytest.raises(BitstreamError):
+            golomb_rice_decode(reader, 0)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, value, k):
+        writer = BitWriter()
+        golomb_rice_encode(writer, value, k)
+        assert golomb_rice_decode(BitReader(writer.getvalue()), k) == value
+
+
+class TestLimitedGolomb:
+    LIMIT = 32
+    QBPP = 8
+
+    @pytest.mark.parametrize("value", [0, 1, 17, 200, 255])
+    @pytest.mark.parametrize("k", [0, 2, 4, 7])
+    def test_roundtrip(self, value, k):
+        writer = BitWriter()
+        limited_golomb_encode(writer, value, k, self.LIMIT, self.QBPP)
+        decoded = limited_golomb_decode(BitReader(writer.getvalue()), k, self.LIMIT, self.QBPP)
+        assert decoded == value
+
+    def test_escape_path_used_for_large_quotients(self):
+        # With k = 0 the quotient equals the value, so 200 >> limit threshold
+        # and must use the escape encoding; the code length is bounded.
+        writer = BitWriter()
+        limited_golomb_encode(writer, 200, 0, self.LIMIT, self.QBPP)
+        assert writer.bit_count <= self.LIMIT
+        decoded = limited_golomb_decode(BitReader(writer.getvalue()), 0, self.LIMIT, self.QBPP)
+        assert decoded == 200
+
+    def test_code_length_never_exceeds_limit(self):
+        for value in range(256):
+            for k in (0, 1, 3, 6):
+                writer = BitWriter()
+                limited_golomb_encode(writer, value, k, self.LIMIT, self.QBPP)
+                assert writer.bit_count <= self.LIMIT
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            limited_golomb_encode(BitWriter(), 3, 0, 8, 8)
+        with pytest.raises(ValueError):
+            limited_golomb_decode(BitReader(b"\x00"), 0, 8, 8)
+
+    def test_sequence_roundtrip_mixed_parameters(self):
+        values_and_k = [(0, 0), (255, 0), (3, 2), (90, 1), (255, 7), (1, 5)]
+        writer = BitWriter()
+        for value, k in values_and_k:
+            limited_golomb_encode(writer, value, k, self.LIMIT, self.QBPP)
+        reader = BitReader(writer.getvalue())
+        for value, k in values_and_k:
+            assert limited_golomb_decode(reader, k, self.LIMIT, self.QBPP) == value
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, value, k):
+        writer = BitWriter()
+        limited_golomb_encode(writer, value, k, self.LIMIT, self.QBPP)
+        assert limited_golomb_decode(BitReader(writer.getvalue()), k, self.LIMIT, self.QBPP) == value

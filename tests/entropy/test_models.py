@@ -1,0 +1,128 @@
+"""Tests for the adaptive frequency models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy.models import AdaptiveByteModel, AdaptiveModel
+from repro.exceptions import ModelStateError
+
+
+class TestAdaptiveModel:
+    def test_initial_uniform_distribution(self):
+        model = AdaptiveModel(8)
+        assert model.total == 8
+        assert all(model.count(s) == 1 for s in range(8))
+
+    def test_interval_is_consistent_with_counts(self):
+        model = AdaptiveModel(4, increment=2)
+        model.update(2)
+        low, high, total = model.interval(2)
+        assert high - low == model.count(2)
+        assert total == model.total
+
+    def test_intervals_partition_the_total(self):
+        model = AdaptiveModel(16, increment=5)
+        rng = random.Random(0)
+        for _ in range(200):
+            model.update(rng.randint(0, 15))
+        edges = [model.interval(s) for s in range(16)]
+        assert edges[0][0] == 0
+        for previous, current in zip(edges, edges[1:]):
+            assert previous[1] == current[0]
+        assert edges[-1][1] == model.total
+
+    def test_symbol_from_target_inverts_interval(self):
+        model = AdaptiveModel(32, increment=7)
+        rng = random.Random(1)
+        for _ in range(300):
+            model.update(rng.randint(0, 31))
+        for symbol in range(32):
+            low, high, _ = model.interval(symbol)
+            for target in (low, high - 1):
+                assert model.symbol_from_target(target) == symbol
+
+    def test_rescaling_bounds_total(self):
+        model = AdaptiveModel(4, max_total=64, increment=16)
+        for _ in range(1000):
+            model.update(1)
+            assert model.total <= 64
+
+    def test_rescale_keeps_counts_positive(self):
+        model = AdaptiveModel(8, max_total=64, increment=16)
+        for _ in range(500):
+            model.update(3)
+        assert all(model.count(s) >= 1 for s in range(8))
+
+    def test_invalid_symbol_rejected(self):
+        model = AdaptiveModel(4)
+        with pytest.raises(ModelStateError):
+            model.update(4)
+        with pytest.raises(ModelStateError):
+            model.interval(-1)
+        with pytest.raises(ModelStateError):
+            model.symbol_from_target(model.total)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelStateError):
+            AdaptiveModel(1)
+        with pytest.raises(ModelStateError):
+            AdaptiveModel(256, max_total=100)
+        with pytest.raises(ModelStateError):
+            AdaptiveModel(4, increment=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_total_always_equals_sum_of_counts(self, symbols):
+        model = AdaptiveModel(16, max_total=2048, increment=9)
+        for symbol in symbols:
+            model.update(symbol)
+            assert model.total == sum(model.count(s) for s in range(16))
+
+
+class TestAdaptiveByteModel:
+    def test_order_zero_uses_single_model(self):
+        model = AdaptiveByteModel(order=0)
+        model.observe(65)
+        model.observe(66)
+        assert model.context_count == 0
+
+    def test_contexts_allocated_lazily(self):
+        model = AdaptiveByteModel(order=2)
+        for byte in b"abcabcabc":
+            model.observe(byte)
+        assert model.context_count > 0
+
+    def test_context_bound_respected(self):
+        model = AdaptiveByteModel(order=1, max_contexts=4)
+        for byte in bytes(range(100)):
+            model.observe(byte)
+        assert model.context_count <= 4
+
+    def test_conditioning_prefers_seen_continuations(self):
+        model = AdaptiveByteModel(order=1, increment=32)
+        for _ in range(50):
+            model.observe(ord("q"))
+            model.observe(ord("u"))
+        model.reset_history()
+        model.observe(ord("q"))
+        conditioned = model.current_model()
+        assert conditioned.count(ord("u")) > conditioned.count(ord("z"))
+
+    def test_invalid_byte_rejected(self):
+        model = AdaptiveByteModel(order=1)
+        with pytest.raises(ModelStateError):
+            model.observe(256)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ModelStateError):
+            AdaptiveByteModel(order=-1)
+
+    def test_reset_history(self):
+        model = AdaptiveByteModel(order=2)
+        model.observe(1)
+        model.observe(2)
+        model.reset_history()
+        assert model.current_model() is model._order0

@@ -1,0 +1,112 @@
+"""Tests for the architectural blocks and the Table 2 structure."""
+
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.hardware.blocks import (
+    PAPER_TABLE2,
+    ArithmeticCoderBlock,
+    ModelingBlock,
+    ProbabilityEstimatorBlock,
+    default_blocks,
+)
+from repro.hardware.resources import summarize_blocks
+
+
+class TestBlockComposition:
+    def test_default_blocks_are_the_three_of_table2(self):
+        names = [block.name for block in default_blocks()]
+        assert names == ["modeling", "probability_estimator", "arithmetic_coder"]
+        assert set(names) == set(PAPER_TABLE2)
+
+    def test_modeling_block_has_memories(self):
+        block = ModelingBlock()
+        assert "line-buffer" in block.memories_bits
+        assert "context-statistics" in block.memories_bits
+        assert "division-rom" in block.memories_bits
+
+    def test_modeling_without_lut_division_drops_the_rom(self):
+        block = ModelingBlock(config=CodecConfig.hardware(use_lut_division=False))
+        assert "division-rom" not in block.memories_bits
+
+    def test_modeling_memory_tracks_the_paper(self):
+        block = ModelingBlock(image_width=512)
+        assert 3300 <= block.memory_bytes() <= 4200  # paper: 3.7 KB
+
+    def test_estimator_memory_tracks_the_paper(self):
+        block = ProbabilityEstimatorBlock()
+        assert 3000 <= block.memory_bytes() <= 4608  # paper: 4 KB
+
+    def test_estimator_memory_scales_with_count_bits(self):
+        narrow = ProbabilityEstimatorBlock(config=CodecConfig.hardware(count_bits=10))
+        wide = ProbabilityEstimatorBlock(config=CodecConfig.hardware(count_bits=16))
+        assert narrow.memory_bytes() < wide.memory_bytes()
+
+    def test_line_buffer_scales_with_image_width(self):
+        narrow = ModelingBlock(image_width=256)
+        wide = ModelingBlock(image_width=1024)
+        assert narrow.memory_bytes() < wide.memory_bytes()
+
+    def test_resources_are_positive(self):
+        for block in default_blocks():
+            resources = block.resources()
+            assert resources.luts > 0
+            assert resources.ffs > 0
+            assert block.slices() > 0
+            assert block.critical_path_ns() > 0
+
+    def test_every_block_has_io_and_a_clock(self):
+        for block in default_blocks():
+            assert block.iob_count > 0
+            assert block.gclk_count == 1
+
+
+class TestTable2Structure:
+    """The analytical model must reproduce the *structure* of Table 2."""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return summarize_blocks(default_blocks())
+
+    def test_arithmetic_coder_is_the_largest_block(self, summary):
+        coder = summary.block("arithmetic_coder")
+        assert coder.slices > summary.block("modeling").slices
+        assert coder.slices > summary.block("probability_estimator").slices
+        assert coder.lut4 > summary.block("modeling").lut4
+
+    def test_probability_estimator_is_the_smallest_block(self, summary):
+        estimator = summary.block("probability_estimator")
+        assert estimator.slices < summary.block("modeling").slices
+
+    def test_estimates_within_a_factor_of_two_of_the_paper(self, summary):
+        for name, published in PAPER_TABLE2.items():
+            estimated = summary.block(name)
+            assert published["slices"] / 2 <= estimated.slices <= published["slices"] * 2, name
+            assert published["lut4"] / 2 <= estimated.lut4 <= published["lut4"] * 2, name
+
+    def test_modeling_iob_count_matches_paper(self, summary):
+        assert summary.block("modeling").iobs == PAPER_TABLE2["modeling"]["iobs"]
+
+    def test_design_fits_the_target_device(self, summary):
+        assert summary.slice_utilisation_percent() < 50.0
+
+    def test_totals_sum_blocks(self, summary):
+        totals = summary.totals()
+        assert totals.slices == sum(b.slices for b in summary.blocks)
+        assert totals.lut4 == sum(b.lut4 for b in summary.blocks)
+
+    def test_comparison_with_paper_structure(self, summary):
+        comparison = summary.comparison_with_paper()
+        assert set(comparison) == set(PAPER_TABLE2)
+        for name in comparison:
+            assert comparison[name]["paper"]["slices"] == PAPER_TABLE2[name]["slices"]
+            assert comparison[name]["estimated"]["slices"] == summary.block(name).slices
+
+    def test_format_table_lists_every_metric(self, summary):
+        text = summary.format_table()
+        for label in ("Slices", "Flip-flops", "4 input LUT", "IOBs", "GCLK"):
+            assert label in text
+
+    def test_unknown_block_lookup_rejected(self, summary):
+        with pytest.raises(KeyError):
+            summary.block("dsp-farm")

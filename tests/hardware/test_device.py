@@ -1,0 +1,56 @@
+"""Tests for the FPGA device model."""
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.device import VIRTEX4_LX25, VIRTEX4_LX60
+
+
+class TestGeometry:
+    def test_virtex4_slice_layout(self):
+        assert VIRTEX4_LX60.luts_per_slice == 2
+        assert VIRTEX4_LX60.ffs_per_slice == 2
+        assert VIRTEX4_LX60.lut_inputs == 4
+        assert VIRTEX4_LX60.bram_kbits == 18
+
+    def test_family_members_differ_in_capacity(self):
+        assert VIRTEX4_LX60.total_slices > VIRTEX4_LX25.total_slices
+        assert VIRTEX4_LX60.total_brams > VIRTEX4_LX25.total_brams
+
+
+class TestSliceEstimation:
+    def test_lut_bound_design(self):
+        # 900 LUTs at 85% packing of 2 LUTs/slice -> ~529 slices.
+        slices = VIRTEX4_LX60.slices_for(luts=900, ffs=100)
+        assert 500 <= slices <= 560
+
+    def test_ff_bound_design(self):
+        assert VIRTEX4_LX60.slices_for(luts=10, ffs=400) > VIRTEX4_LX60.slices_for(luts=10, ffs=40)
+
+    def test_minimum_one_slice(self):
+        assert VIRTEX4_LX60.slices_for(luts=0, ffs=0) == 1
+
+    def test_packing_efficiency_bounds(self):
+        with pytest.raises(HardwareModelError):
+            VIRTEX4_LX60.slices_for(10, 10, packing_efficiency=0.0)
+        with pytest.raises(HardwareModelError):
+            VIRTEX4_LX60.slices_for(10, 10, packing_efficiency=1.5)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(HardwareModelError):
+            VIRTEX4_LX60.slices_for(-1, 0)
+
+
+class TestBramEstimation:
+    def test_exact_fit(self):
+        assert VIRTEX4_LX60.brams_for(18 * 1024) == 1
+
+    def test_rounding_up(self):
+        assert VIRTEX4_LX60.brams_for(18 * 1024 + 1) == 2
+
+    def test_zero(self):
+        assert VIRTEX4_LX60.brams_for(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareModelError):
+            VIRTEX4_LX60.brams_for(-8)

@@ -1,0 +1,87 @@
+"""Tests for the multi-core scaling model (Section V's scale-up remark)."""
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.blocks import default_blocks
+from repro.hardware.multicore import MulticoreModel, measure_stripe_penalty, split_into_stripes
+from repro.hardware.resources import summarize_blocks
+from repro.imaging.synthetic import generate_image
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MulticoreModel(summarize_blocks(default_blocks()), clock_mhz=123.0)
+
+
+class TestScalingModel:
+    def test_throughput_scales_with_cores(self, model):
+        points = model.scaling(512, 512, [1, 2, 4, 8])
+        rates = [p.aggregate_megabits_per_second for p in points]
+        assert rates == sorted(rates)
+        assert points[-1].speedup > 6.0  # 8 cores must give most of 8x
+
+    def test_single_core_matches_baseline(self, model):
+        point = model.scaling(512, 512, [1])[0]
+        assert point.speedup == pytest.approx(1.0, abs=0.02)
+        assert abs(point.aggregate_megabits_per_second - 123.0) < 3.0
+
+    def test_area_scales_linearly(self, model):
+        one, four = model.scaling(512, 512, [1, 4])
+        assert four.total_slices == 4 * one.total_slices
+        assert four.total_brams == 4 * one.total_brams
+
+    def test_uneven_stripes_bound_the_speedup(self, model):
+        # 100 rows over 3 cores -> stripes of 34 rows: speedup < 3.
+        point = model.scaling(64, 100, [3])[0]
+        assert point.stripe_rows == 34
+        assert point.speedup < 3.0
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(HardwareModelError):
+            model.scaling(0, 10, [1])
+        with pytest.raises(HardwareModelError):
+            model.scaling(10, 10, [0])
+        with pytest.raises(HardwareModelError):
+            model.scaling(10, 4, [8])
+
+    def test_format_table(self, model):
+        text = model.format_table(model.scaling(512, 512, [1, 2]))
+        assert "Mbit/s" in text and "slices" in text
+
+
+class TestStripePartitioning:
+    def test_stripes_cover_the_image(self):
+        image = generate_image("boat", size=48)
+        stripes = split_into_stripes(image, 3)
+        assert sum(s.height for s in stripes) == image.height
+        assert all(s.width == image.width for s in stripes)
+        reassembled = [row for stripe in stripes for y in range(stripe.height) for row in [stripe.row(y)]]
+        assert reassembled == [image.row(y) for y in range(image.height)]
+
+    def test_remainder_goes_to_last_stripe(self):
+        image = generate_image("boat", size=50)
+        stripes = split_into_stripes(image, 4)
+        assert [s.height for s in stripes] == [12, 12, 12, 14]
+
+    def test_invalid_core_counts(self):
+        image = generate_image("boat", size=32)
+        with pytest.raises(HardwareModelError):
+            split_into_stripes(image, 0)
+        with pytest.raises(HardwareModelError):
+            split_into_stripes(image, 64)
+
+
+class TestStripePenalty:
+    def test_penalty_is_small_and_positive(self):
+        image = generate_image("lena", size=64)
+        result = measure_stripe_penalty(image, cores=4)
+        # Independent adaptive state costs something, but not much.
+        assert -0.05 <= result["penalty_bpp"] < 1.0
+        assert result["multi_core_bpp"] >= result["single_core_bpp"] - 0.05
+
+    def test_more_cores_cost_more(self):
+        image = generate_image("peppers", size=64)
+        two = measure_stripe_penalty(image, cores=2)["multi_core_bpp"]
+        eight = measure_stripe_penalty(image, cores=8)["multi_core_bpp"]
+        assert eight >= two - 0.02

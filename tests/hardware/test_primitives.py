@@ -1,0 +1,94 @@
+"""Tests for the RTL primitive cost library."""
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware.device import VIRTEX4_LX60
+from repro.hardware.primitives import PrimitiveLibrary, ResourceCount
+
+
+@pytest.fixture()
+def library():
+    return PrimitiveLibrary(VIRTEX4_LX60)
+
+
+class TestResourceCount:
+    def test_addition(self):
+        total = ResourceCount(luts=2, ffs=3) + ResourceCount(luts=5, ffs=7, brams=1)
+        assert (total.luts, total.ffs, total.brams) == (7, 10, 1)
+
+    def test_scaling(self):
+        scaled = ResourceCount(luts=3, ffs=1).scaled(4)
+        assert (scaled.luts, scaled.ffs) == (12, 4)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(HardwareModelError):
+            ResourceCount(luts=1).scaled(-1)
+
+
+class TestArithmeticPrimitives:
+    def test_adder_costs_one_lut_per_bit(self, library):
+        assert library.adder(8).resources.luts == 8
+        assert library.adder(13).resources.luts == 13
+
+    def test_adder_delay_grows_with_width(self, library):
+        assert library.adder(32).delay_ns > library.adder(8).delay_ns
+
+    def test_absolute_difference_costs_more_than_adder(self, library):
+        assert library.absolute_difference(8).resources.luts > library.adder(8).resources.luts
+
+    def test_comparator_cheaper_than_adder(self, library):
+        assert library.comparator(8).resources.luts <= library.adder(8).resources.luts
+
+    def test_multiplier_cost_is_product_of_widths(self, library):
+        assert library.multiplier(8, 8).resources.luts == 64
+
+    def test_invalid_width_rejected(self, library):
+        with pytest.raises(HardwareModelError):
+            library.adder(0)
+        with pytest.raises(HardwareModelError):
+            library.comparator(-3)
+
+
+class TestSteeringPrimitives:
+    def test_mux2_one_lut_per_bit(self, library):
+        assert library.mux2(16).resources.luts == 16
+
+    def test_mux_n_grows_with_inputs(self, library):
+        assert library.mux_n(8, 8).resources.luts > library.mux_n(8, 2).resources.luts
+
+    def test_mux_needs_two_inputs(self, library):
+        with pytest.raises(HardwareModelError):
+            library.mux_n(8, 1)
+
+    def test_barrel_shifter_cost(self, library):
+        assert library.barrel_shifter(32, 5).resources.luts == 160
+        with pytest.raises(HardwareModelError):
+            library.barrel_shifter(8, 0)
+
+
+class TestStoragePrimitives:
+    def test_register_is_ff_only(self, library):
+        register = library.register(24)
+        assert register.resources.ffs == 24
+        assert register.resources.luts == 0
+
+    def test_counter_combines_adder_and_register(self, library):
+        counter = library.counter(9)
+        assert counter.resources.ffs == 9
+        assert counter.resources.luts == 9
+
+    def test_distributed_rom_packing(self, library):
+        assert library.distributed_rom(16).resources.luts == 1
+        assert library.distributed_rom(17).resources.luts == 2
+        assert library.distributed_rom(0).resources.luts == 0
+
+    def test_block_ram_sizing(self, library):
+        assert library.block_ram(0).resources.brams == 0
+        assert library.block_ram(18 * 1024).resources.brams == 1
+        assert library.block_ram(18 * 1024 + 1).resources.brams == 2
+
+    def test_io_pins(self, library):
+        assert library.io_pins(12).resources.iobs == 12
+        with pytest.raises(HardwareModelError):
+            library.io_pins(-1)

@@ -1,0 +1,115 @@
+"""Tests for the timing model, the pipeline model and the memory inventory."""
+
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.core.encoder import encode_image_with_statistics
+from repro.exceptions import HardwareModelError
+from repro.hardware.blocks import default_blocks
+from repro.hardware.memory import build_memory_inventory
+from repro.hardware.pipeline import PipelineModel
+from repro.hardware.timing import TimingModel
+from repro.imaging.synthetic import generate_image
+
+
+class TestTimingModel:
+    def test_clock_in_plausible_band(self):
+        report = TimingModel().analyse(default_blocks())
+        # The paper achieves 123 MHz on a Virtex-4; an analytical estimate
+        # should land in the same technology band (80-250 MHz).
+        assert 80.0 <= report.clock_mhz <= 250.0
+
+    def test_meets_helper(self):
+        report = TimingModel().analyse(default_blocks())
+        assert report.meets(50.0)
+        assert not report.meets(1000.0)
+
+    def test_per_block_delays_reported(self):
+        report = TimingModel().analyse(default_blocks())
+        assert set(report.per_block_ns) == {"modeling", "probability_estimator", "arithmetic_coder"}
+        assert report.critical_path_ns == max(report.per_block_ns.values())
+
+    def test_routing_margin_lowers_the_clock(self):
+        blocks = default_blocks()
+        tight = TimingModel(routing_margin=0.0).analyse(blocks)
+        loose = TimingModel(routing_margin=0.8).analyse(blocks)
+        assert loose.clock_mhz < tight.clock_mhz
+
+    def test_empty_block_list_rejected(self):
+        with pytest.raises(HardwareModelError):
+            TimingModel().analyse([])
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(HardwareModelError):
+            TimingModel(routing_margin=-0.1)
+
+
+class TestPipelineModel:
+    def test_paper_throughput_reproduced(self):
+        """123 MHz with an 8-bit alphabet sustains ~123 Mbit/s of input data."""
+        report = PipelineModel(clock_mhz=123.0).analyse(512, 512, escape_rate=0.0)
+        assert abs(report.megabits_per_second - 123.0) < 2.0
+        assert report.bottleneck == "coder"
+
+    def test_escapes_reduce_throughput(self):
+        model = PipelineModel(clock_mhz=123.0)
+        clean = model.analyse(256, 256, escape_rate=0.0)
+        noisy = model.analyse(256, 256, escape_rate=0.05)
+        assert noisy.megabits_per_second < clean.megabits_per_second
+
+    def test_pipelining_ablation(self):
+        pipelined = PipelineModel(clock_mhz=123.0, pipelined=True).analyse(256, 256)
+        serial = PipelineModel(clock_mhz=123.0, pipelined=False).analyse(256, 256)
+        assert serial.megabits_per_second < pipelined.megabits_per_second
+        assert serial.cycles_per_pixel > pipelined.cycles_per_pixel
+
+    def test_statistics_driven_analysis(self):
+        image = generate_image("lena", size=32)
+        _, stats = encode_image_with_statistics(image, CodecConfig.hardware())
+        report = PipelineModel(clock_mhz=123.0).analyse_statistics(32, 32, stats)
+        assert report.pixel_count == 32 * 32
+        assert report.megabits_per_second > 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(HardwareModelError):
+            PipelineModel(clock_mhz=0.0)
+        model = PipelineModel()
+        with pytest.raises(HardwareModelError):
+            model.analyse(0, 10)
+        with pytest.raises(HardwareModelError):
+            model.analyse(10, 10, escape_rate=1.5)
+
+    def test_format_summary_mentions_clock_and_rate(self):
+        text = PipelineModel(clock_mhz=123.0).analyse(64, 64).format_summary()
+        assert "123.0 MHz" in text
+        assert "Mbit/s" in text
+
+
+class TestMemoryInventory:
+    def test_paper_budgets_reproduced(self):
+        inventory = build_memory_inventory(image_width=512)
+        assert abs(inventory.modeling_bytes - 3.7 * 1024) < 150
+        assert abs(inventory.estimator_bytes - 4 * 1024) < 600
+
+    def test_division_rom_follows_configuration(self):
+        with_rom = build_memory_inventory(CodecConfig.hardware())
+        without_rom = build_memory_inventory(CodecConfig.hardware(use_lut_division=False))
+        assert with_rom.division_rom_bytes == 1024
+        assert without_rom.division_rom_bytes == 0
+
+    def test_line_buffer_scales_with_width(self):
+        assert (
+            build_memory_inventory(image_width=1024).line_buffer_bytes
+            == 2 * build_memory_inventory(image_width=512).line_buffer_bytes
+        )
+
+    def test_estimator_scales_with_count_bits(self):
+        narrow = build_memory_inventory(CodecConfig.hardware(count_bits=10))
+        wide = build_memory_inventory(CodecConfig.hardware(count_bits=16))
+        assert narrow.estimator_bytes < wide.estimator_bytes
+
+    def test_as_dict_and_format(self):
+        inventory = build_memory_inventory()
+        data = inventory.as_dict()
+        assert data["total_bytes"] == inventory.total_bytes
+        assert "KB" in inventory.format_summary()

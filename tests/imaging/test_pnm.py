@@ -1,0 +1,84 @@
+"""Tests for PGM reading and writing."""
+
+import io
+
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import GrayImage
+from repro.imaging.pnm import read_pgm, write_pgm
+
+
+class TestWriteRead:
+    def test_binary_roundtrip(self, tmp_path):
+        image = GrayImage.from_rows([[0, 128, 255], [1, 2, 3]])
+        path = tmp_path / "test.pgm"
+        write_pgm(image, path)
+        assert read_pgm(path) == image
+
+    def test_ascii_roundtrip(self, tmp_path):
+        image = GrayImage.from_rows([[10, 20], [30, 40], [50, 60]])
+        path = tmp_path / "test_ascii.pgm"
+        write_pgm(image, path, binary=False)
+        assert read_pgm(path) == image
+
+    def test_16bit_roundtrip(self, tmp_path):
+        image = GrayImage(2, 2, [0, 1000, 65535, 42], bit_depth=16)
+        path = tmp_path / "deep.pgm"
+        write_pgm(image, path)
+        assert read_pgm(path) == image
+
+    def test_roundtrip_via_file_objects(self):
+        image = GrayImage.from_rows([[7, 8], [9, 10]])
+        buffer = io.BytesIO()
+        write_pgm(image, buffer)
+        buffer.seek(0)
+        assert read_pgm(buffer) == image
+
+    def test_comment_lines_are_skipped(self):
+        payload = b"P5\n# a comment line\n2 2\n255\n" + bytes([1, 2, 3, 4])
+        assert read_pgm(io.BytesIO(payload)).pixels() == [1, 2, 3, 4]
+
+    def test_p2_whitespace_layout_is_free_form(self):
+        payload = b"P2\n3 1\n255\n1   2\n3\n"
+        assert read_pgm(io.BytesIO(payload)).pixels() == [1, 2, 3]
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P6\n1 1\n255\n\x00\x00\x00"))
+
+    def test_truncated_header(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P5\n2 2"))
+
+    def test_truncated_payload(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P5\n2 2\n255\n\x00\x00"))
+
+    def test_truncated_16bit_payload(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P5\n2 1\n65535\n\x00\x01\x00"))
+
+    def test_non_numeric_header(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P5\nx 2\n255\n\x00\x00"))
+
+    def test_invalid_maxval(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P5\n1 1\n0\n\x00"))
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P5\n1 1\n70000\n\x00\x00"))
+
+    def test_ascii_sample_overflow(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P2\n1 1\n255\n300\n"))
+
+    def test_ascii_non_numeric_sample(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P2\n1 1\n255\nabc\n"))
+
+    def test_ascii_truncated_samples(self):
+        with pytest.raises(ImageFormatError):
+            read_pgm(io.BytesIO(b"P2\n2 2\n255\n1 2 3\n"))

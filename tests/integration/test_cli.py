@@ -1,0 +1,67 @@
+"""Integration tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import bench_main, compress_main, decompress_main
+from repro.imaging.pnm import read_pgm, write_pgm
+from repro.imaging.synthetic import generate_image
+
+
+@pytest.fixture()
+def pgm_path(tmp_path):
+    image = generate_image("boat", size=32)
+    path = tmp_path / "input.pgm"
+    write_pgm(image, path)
+    return path, image
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("codec", ["proposed", "jpeg-ls", "slp", "calic"])
+    def test_image_roundtrip_via_cli(self, tmp_path, pgm_path, codec):
+        path, image = pgm_path
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.pgm"
+        assert compress_main([str(path), str(compressed), "--codec", codec]) == 0
+        assert compressed.exists() and compressed.stat().st_size > 0
+        assert decompress_main([str(compressed), str(restored)]) == 0
+        assert read_pgm(restored) == image
+
+    def test_proposed_with_custom_count_bits(self, tmp_path, pgm_path):
+        path, image = pgm_path
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.pgm"
+        assert compress_main([str(path), str(compressed), "--count-bits", "10"]) == 0
+        assert decompress_main([str(compressed), str(restored)]) == 0
+        assert read_pgm(restored) == image
+
+    def test_data_mode_roundtrip(self, tmp_path):
+        source = tmp_path / "telemetry.txt"
+        source.write_bytes(b"frame %d OK\n" * 1 % 0 + b"payload " * 500)
+        compressed = tmp_path / "telemetry.rplc"
+        restored = tmp_path / "restored.bin"
+        assert compress_main([str(source), str(compressed), "--data", "--order", "2"]) == 0
+        assert decompress_main([str(compressed), str(restored)]) == 0
+        assert restored.read_bytes() == source.read_bytes()
+
+    def test_missing_input_reports_error(self, tmp_path):
+        assert compress_main([str(tmp_path / "missing.pgm"), str(tmp_path / "out.rplc")]) == 1
+
+    def test_corrupt_container_reports_error(self, tmp_path):
+        bad = tmp_path / "bad.rplc"
+        bad.write_bytes(b"not a container at all")
+        assert decompress_main([str(bad), str(tmp_path / "out.pgm")]) == 1
+
+
+class TestBench:
+    def test_table2_runs(self, capsys):
+        assert bench_main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Published Table 2" in output
+
+    def test_throughput_runs(self, capsys):
+        assert bench_main(["throughput", "--size", "32"]) == 0
+        assert "Mbit/s" in capsys.readouterr().out
+
+    def test_figure4_runs_small(self, capsys):
+        assert bench_main(["figure4", "--size", "32"]) == 0
+        assert "Frequency bits" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Integration tests for the experiment harness (tables, figures, ablations)."""
+
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.experiments.ablations import run_division_ablation, run_overflow_guard_ablation
+from repro.experiments.figure4 import PAPER_FIGURE4, run_figure4
+from repro.experiments.table1 import PAPER_TABLE1, default_codecs, run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.throughput import run_throughput
+from repro.exceptions import ConfigError
+
+
+class TestTable1Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Two images at 48x48 keeps the four-codec comparison fast while still
+        # exercising the complete harness (including round-trip verification).
+        return run_table1(size=48, images=("zelda", "mandrill"))
+
+    def test_rows_and_columns(self, result):
+        assert [row.image for row in result.rows] == ["zelda", "mandrill"]
+        assert result.codec_names == [codec.name for codec in default_codecs()]
+        for row in result.rows:
+            assert set(row.bits_per_pixel) == set(result.codec_names)
+
+    def test_rates_are_plausible(self, result):
+        for row in result.rows:
+            for rate in row.bits_per_pixel.values():
+                assert 0.5 < rate < 9.0
+
+    def test_averages(self, result):
+        averages = result.averages()
+        for name in result.codec_names:
+            expected = sum(row.bits_per_pixel[name] for row in result.rows) / len(result.rows)
+            assert abs(averages[name] - expected) < 1e-12
+
+    def test_texture_harder_than_smooth_for_every_codec(self, result):
+        zelda = result.rows[0].bits_per_pixel
+        mandrill = result.rows[1].bits_per_pixel
+        for name in result.codec_names:
+            assert zelda[name] < mandrill[name]
+
+    def test_winner_helper(self, result):
+        assert result.winner("zelda") in result.codec_names
+        with pytest.raises(KeyError):
+            result.winner("unknown")
+
+    def test_format_table_mentions_every_codec(self, result):
+        text = result.format_table(include_paper=True)
+        for name in result.codec_names:
+            assert name in text
+        assert "average" in text
+
+    def test_paper_reference_values_present(self):
+        assert set(PAPER_TABLE1) >= {"barb", "lena", "zelda", "average"}
+        assert PAPER_TABLE1["average"]["proposed"] == 4.55
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            run_table1(size=4)
+
+    def test_duplicate_codec_names_rejected(self):
+        from repro.core.codec import ProposedCodec
+
+        with pytest.raises(ConfigError):
+            run_table1(size=48, codecs=[ProposedCodec(), ProposedCodec()], images=("zelda",))
+
+
+class TestFigure4Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(count_bits_values=(8, 14), size=32, images=("lena", "barb"))
+
+    def test_points_cover_requested_widths(self, result):
+        assert [point.count_bits for point in result.points] == [8, 14]
+
+    def test_per_image_rates_present(self, result):
+        for point in result.points:
+            assert set(point.per_image_bits_per_pixel) == {"lena", "barb"}
+            assert point.average_bits_per_pixel == pytest.approx(
+                sum(point.per_image_bits_per_pixel.values()) / 2
+            )
+
+    def test_narrow_counters_rescale_more(self, result):
+        narrow, wide = result.points
+        assert narrow.total_rescales >= wide.total_rescales
+
+    def test_best_count_bits(self, result):
+        assert result.best_count_bits() in (8, 14)
+
+    def test_series_and_format(self, result):
+        bits, rates = result.as_series()
+        assert bits == [8, 14]
+        assert len(rates) == 2
+        assert "Frequency bits" in result.format_table()
+
+    def test_paper_reference_curve_minimum_at_14(self):
+        assert min(PAPER_FIGURE4, key=PAPER_FIGURE4.get) == 14
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            run_figure4(count_bits_values=())
+
+
+class TestTable2Harness:
+    def test_report_structure(self):
+        result = run_table2()
+        assert {b.name for b in result.summary.blocks} == {
+            "modeling",
+            "probability_estimator",
+            "arithmetic_coder",
+        }
+        text = result.format_report()
+        assert "Estimated device utilisation" in text
+        assert "Published Table 2" in text
+        assert "Clock estimate" in text
+
+    def test_memory_matches_paper_budgets(self):
+        result = run_table2()
+        assert abs(result.memory.modeling_bytes - result.paper_memory_bytes["modeling"]) < 200
+        assert abs(result.memory.estimator_bytes - result.paper_memory_bytes["probability_estimator"]) < 600
+
+
+class TestThroughputHarness:
+    def test_report(self):
+        result = run_throughput(size=32, estimated_clock_mhz=140.0)
+        assert result.at_paper_clock.megabits_per_second == pytest.approx(123.0, abs=3.0)
+        assert result.without_pipelining.megabits_per_second < result.at_paper_clock.megabits_per_second
+        assert "Mbit/s" in result.format_report()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            run_throughput(size=4)
+
+
+class TestAblationHarness:
+    def test_overflow_guard_ablation(self):
+        result = run_overflow_guard_ablation(size=32, images=("lena", "zelda"))
+        assert result.baseline_bpp > 0 and result.variant_bpp > 0
+        assert set(result.per_image_baseline) == {"lena", "zelda"}
+        assert "overflow-guard" in result.format_report()
+
+    def test_division_ablation_validates_paper_claim(self):
+        """LUT division must not change the bit rate by more than ~0.02 bpp."""
+        result = run_division_ablation(size=48, images=("lena", "boat"))
+        assert abs(result.delta_bpp) < 0.02

@@ -1,0 +1,148 @@
+"""Cross-codec integration tests: every codec must be lossless on every image.
+
+These are the highest-value tests in the suite: they exercise the complete
+encode -> container -> decode path of all four image codecs on content that
+stresses different mechanisms (texture, edges, noise, runs, tiny geometry)
+and include a hypothesis-driven sweep over random images.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.calic import CalicCodec
+from repro.baselines.jpegls import JpegLsCodec
+from repro.baselines.slp import SlpCodec
+from repro.core.codec import ProposedCodec
+from repro.imaging.image import GrayImage
+
+ALL_CODECS = [
+    pytest.param(ProposedCodec, id="proposed"),
+    pytest.param(ProposedCodec.reference, id="proposed-reference"),
+    pytest.param(JpegLsCodec, id="jpeg-ls"),
+    pytest.param(SlpCodec, id="slp"),
+    pytest.param(CalicCodec, id="calic"),
+]
+
+
+@pytest.mark.parametrize("codec_factory", ALL_CODECS)
+class TestLosslessness:
+    def test_standard_image_set(self, codec_factory, roundtrip_images):
+        codec = codec_factory()
+        for image in roundtrip_images:
+            stream = codec.encode(image)
+            reconstructed = codec.decode(stream)
+            assert reconstructed == image, "%s failed on %s" % (codec.name, image.name)
+
+    def test_corpus_images(self, codec_factory, lena_small, mandrill_small, zelda_small):
+        codec = codec_factory()
+        for image in (lena_small, mandrill_small, zelda_small):
+            assert codec.decode(codec.encode(image)) == image
+
+    def test_awkward_geometries(self, codec_factory):
+        codec = codec_factory()
+        for width, height in ((1, 1), (1, 13), (13, 1), (2, 2), (3, 7), (64, 3)):
+            pixels = [(x * 31 + y * 17) % 256 for y in range(height) for x in range(width)]
+            image = GrayImage(width, height, pixels)
+            assert codec.decode(codec.encode(image)) == image, (width, height)
+
+    def test_pathological_patterns(self, codec_factory):
+        codec = codec_factory()
+        checker = GrayImage(16, 16, [255 if (x + y) % 2 else 0 for y in range(16) for x in range(16)])
+        stripes = GrayImage(16, 16, [255 if y % 2 else 0 for y in range(16) for x in range(16)])
+        staircase = GrayImage(16, 16, [min(255, 16 * max(x, y)) for y in range(16) for x in range(16)])
+        for image in (checker, stripes, staircase):
+            assert codec.decode(codec.encode(image)) == image
+
+    def test_compression_on_natural_content(self, codec_factory, lena_small):
+        """Every codec must actually compress smooth natural-like content."""
+        codec = codec_factory()
+        assert codec.bits_per_pixel(lena_small) < 7.5
+
+
+class TestRandomImagesProperty:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_proposed_codec_on_random_images(self, width, height, rng):
+        pixels = [rng.randint(0, 255) for _ in range(width * height)]
+        image = GrayImage(width, height, pixels)
+        codec = ProposedCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_jpegls_on_random_images(self, width, height, rng):
+        pixels = [rng.randint(0, 255) for _ in range(width * height)]
+        image = GrayImage(width, height, pixels)
+        codec = JpegLsCodec()
+        assert codec.decode(codec.encode(image)) == image
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_calic_and_slp_on_random_images(self, width, height, rng):
+        pixels = [rng.randint(0, 255) for _ in range(width * height)]
+        image = GrayImage(width, height, pixels)
+        for codec in (CalicCodec(), SlpCodec()):
+            assert codec.decode(codec.encode(image)) == image
+
+    @given(st.randoms(use_true_random=False))
+    @settings(max_examples=10, deadline=None)
+    def test_low_entropy_random_images(self, rng):
+        """Images drawn from a tiny value set exercise runs and escapes."""
+        palette = [0, 1, 254, 255]
+        pixels = [palette[rng.randint(0, 3)] for _ in range(20 * 9)]
+        image = GrayImage(20, 9, pixels)
+        for codec in (ProposedCodec(), JpegLsCodec(), SlpCodec(), CalicCodec()):
+            assert codec.decode(codec.encode(image)) == image
+
+
+class TestCrossCodecBehaviour:
+    def test_streams_are_not_interchangeable(self, tiny_image):
+        """Every codec refuses streams produced by the others."""
+        from repro.exceptions import CodecMismatchError
+
+        codecs = [ProposedCodec(), JpegLsCodec(), SlpCodec(), CalicCodec()]
+        streams = {codec.name: codec.encode(tiny_image) for codec in codecs}
+        for producer in codecs:
+            for consumer in codecs:
+                if producer.name == consumer.name:
+                    continue
+                with pytest.raises(CodecMismatchError):
+                    consumer.decode(streams[producer.name])
+
+    def test_proposed_beats_golomb_baselines_on_smooth_content(self):
+        """The paper's headline: better ratios than JPEG-LS / SLP on smooth images.
+
+        The adaptive trees need a few thousand pixels to converge, so the
+        comparison uses a 96x96 image (the full-corpus comparison lives in
+        ``benchmarks/test_table1_bitrates.py``).
+        """
+        from repro.imaging.synthetic import generate_image
+
+        image = generate_image("zelda", size=96)
+        proposed = ProposedCodec().bits_per_pixel(image)
+        jpegls = JpegLsCodec().bits_per_pixel(image)
+        slp = SlpCodec().bits_per_pixel(image)
+        assert proposed < max(jpegls, slp) + 0.02
+
+    def test_relative_ordering_is_stable_across_seeds(self):
+        """Smooth images stay cheaper than textured ones for every codec."""
+        from repro.imaging.synthetic import generate_image
+
+        for seed in (1, 99):
+            smooth = generate_image("zelda", size=48, seed=seed)
+            textured = generate_image("mandrill", size=48, seed=seed)
+            for codec in (ProposedCodec(), JpegLsCodec(), SlpCodec(), CalicCodec()):
+                assert codec.bits_per_pixel(smooth) < codec.bits_per_pixel(textured)

@@ -1,0 +1,82 @@
+"""Tests for the general-data codec (the Figure 1 data path)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CodecMismatchError, ConfigError
+from repro.system.datamodel import GeneralDataCodec
+
+
+class TestRoundtrip:
+    def test_text(self):
+        codec = GeneralDataCodec(order=2)
+        data = b"the quick brown fox jumps over the lazy dog " * 40
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_binary(self):
+        codec = GeneralDataCodec(order=1)
+        data = bytes((i * 7) % 256 for i in range(5000))
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_empty_input(self):
+        codec = GeneralDataCodec()
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_single_byte(self):
+        codec = GeneralDataCodec()
+        assert codec.decode(codec.encode(b"\x7f")) == b"\x7f"
+
+    def test_all_byte_values(self):
+        codec = GeneralDataCodec(order=0)
+        data = bytes(range(256)) * 4
+        assert codec.decode(codec.encode(data)) == data
+
+    @pytest.mark.parametrize("order", [0, 1, 2, 3])
+    def test_orders(self, order):
+        codec = GeneralDataCodec(order=order)
+        data = b"abcabcabc" * 50
+        assert codec.decode(codec.encode(data)) == data
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_payloads(self, data):
+        codec = GeneralDataCodec(order=1)
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestCompression:
+    def test_repetitive_text_compresses_well(self):
+        codec = GeneralDataCodec(order=3)
+        data = b"status=NOMINAL temperature=21.5C voltage=27.9V\n" * 300
+        assert codec.compression_ratio(data) > 4.0
+
+    def test_higher_order_helps_on_structured_text(self):
+        data = b"abcdefgh" * 400
+        order0 = len(GeneralDataCodec(order=0).encode(data))
+        order2 = len(GeneralDataCodec(order=2).encode(data))
+        assert order2 < order0
+
+    def test_ratio_of_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            GeneralDataCodec().compression_ratio(b"")
+
+
+class TestErrors:
+    def test_order_bounds(self):
+        with pytest.raises(ConfigError):
+            GeneralDataCodec(order=-1)
+        with pytest.raises(ConfigError):
+            GeneralDataCodec(order=9)
+
+    def test_decode_with_wrong_order_rejected(self):
+        stream = GeneralDataCodec(order=2).encode(b"hello world")
+        with pytest.raises(CodecMismatchError):
+            GeneralDataCodec(order=3).decode(stream)
+
+    def test_decode_foreign_stream_rejected(self, tiny_image):
+        from repro.core.codec import ProposedCodec
+
+        stream = ProposedCodec().encode(tiny_image)
+        with pytest.raises(CodecMismatchError):
+            GeneralDataCodec().decode(stream)

@@ -1,0 +1,66 @@
+"""Tests for the universal compressor (Figure 1 dispatcher)."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.imaging.synthetic import generate_image
+from repro.system.universal import BlockType, UniversalCompressor
+
+
+class TestClassification:
+    def test_bytes_are_data(self):
+        assert UniversalCompressor.classify(b"abc") == BlockType.DATA
+        assert UniversalCompressor.classify(bytearray(b"abc")) == BlockType.DATA
+
+    def test_images_are_images(self, tiny_image):
+        assert UniversalCompressor.classify(tiny_image) == BlockType.IMAGE
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            UniversalCompressor.classify(12345)
+
+
+class TestCompression:
+    def test_mixed_stream_roundtrip(self, tiny_image):
+        compressor = UniversalCompressor()
+        image = generate_image("boat", size=32)
+        blocks = [b"header " * 100, image, b"\x00" * 500, tiny_image]
+        compressed, report = compressor.compress_stream(blocks)
+        assert len(compressed) == 4
+        for original, block in zip(blocks, compressed):
+            assert compressor.decompress_block(block) == original
+        assert report.original_bytes > report.compressed_bytes
+        assert report.compression_ratio > 1.0
+
+    def test_reconfiguration_counting(self, tiny_image):
+        compressor = UniversalCompressor(reconfiguration_cycles=100)
+        blocks = [b"a" * 200, b"b" * 200, tiny_image, tiny_image, b"c" * 200]
+        _, report = compressor.compress_stream(blocks)
+        # data -> (reconfig) data, data (no), image (reconfig), image (no), data (reconfig)
+        assert report.reconfigurations == 3
+        assert report.reconfiguration_cycles == 300
+        flags = [block.reconfigured for block in report.blocks]
+        assert flags == [True, False, True, False, True]
+
+    def test_active_front_end_persists_across_calls(self, tiny_image):
+        compressor = UniversalCompressor()
+        compressor.compress_stream([tiny_image])
+        _, report = compressor.compress_stream([tiny_image])
+        assert report.reconfigurations == 0
+
+    def test_empty_stream(self):
+        _, report = UniversalCompressor().compress_stream([])
+        assert report.reconfigurations == 0
+        assert report.blocks == []
+        assert report.compression_ratio == 0.0
+
+    def test_report_summary_format(self, tiny_image):
+        compressor = UniversalCompressor()
+        _, report = compressor.compress_stream([b"xyz" * 100, tiny_image])
+        text = report.format_summary()
+        assert "blocks" in text
+        assert "reconfigurations" in text
+
+    def test_negative_reconfiguration_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            UniversalCompressor(reconfiguration_cycles=-1)

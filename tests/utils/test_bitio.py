@@ -1,0 +1,219 @@
+"""Tests for the bit-level I/O substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BitstreamError
+from repro.utils.bitio import BitCounter, BitReader, BitWriter, bits_to_bytes, bytes_to_bits
+
+
+class TestBitWriter:
+    def test_single_bits_msb_first(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 0, 1, 0, 0, 0):
+            writer.write_bit(bit)
+        assert writer.getvalue() == bytes([0b10101000])
+
+    def test_partial_byte_is_zero_padded(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == bytes([0b10000000])
+
+    def test_write_bits_width_and_value(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b0001, 4)
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_write_bits_rejects_overflowing_value(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(16, 4)
+
+    def test_write_bits_rejects_negative_value(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(-1, 4)
+
+    def test_write_bits_rejects_negative_width(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(0, -1)
+
+    def test_zero_width_writes_nothing(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.bit_count == 0
+        assert writer.getvalue() == b""
+
+    def test_write_unary(self):
+        writer = BitWriter()
+        writer.write_unary(3)
+        assert writer.getvalue() == bytes([0b00010000])
+
+    def test_write_unary_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+    def test_write_bytes_unaligned(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bytes(b"\xff")
+        value = writer.getvalue()
+        assert value[0] == 0xFF
+        assert value[1] & 0x80 == 0x80
+
+    def test_align_to_byte_returns_padding(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        padded = writer.align_to_byte()
+        assert padded == 5
+        assert len(writer.getvalue()) == 1
+
+    def test_align_when_already_aligned(self):
+        writer = BitWriter()
+        writer.write_bits(0xAB, 8)
+        assert writer.align_to_byte() == 0
+
+    def test_bit_count_tracks_payload_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0x3, 2)
+        writer.write_unary(2)
+        assert writer.bit_count == 5
+
+    def test_len_matches_getvalue(self):
+        writer = BitWriter()
+        writer.write_bits(0xFFFF, 16)
+        writer.write_bit(1)
+        assert len(writer) == len(writer.getvalue()) == 3
+
+    def test_extend(self):
+        writer = BitWriter()
+        writer.extend([1, 1, 1, 1, 0, 0, 0, 0])
+        assert writer.getvalue() == bytes([0xF0])
+
+
+class TestBitReader:
+    def test_reads_bits_msb_first(self):
+        reader = BitReader(bytes([0b10110000]))
+        assert [reader.read_bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_read_bits_value(self):
+        reader = BitReader(bytes([0xAB, 0xCD]))
+        assert reader.read_bits(16) == 0xABCD
+
+    def test_over_read_raises(self):
+        reader = BitReader(b"\x00")
+        reader.read_bits(8)
+        with pytest.raises(BitstreamError):
+            reader.read_bit()
+
+    def test_read_bit_or_zero_after_end(self):
+        reader = BitReader(b"")
+        assert reader.read_bit_or_zero() == 0
+
+    def test_read_unary(self):
+        reader = BitReader(bytes([0b00010000]))
+        assert reader.read_unary() == 3
+
+    def test_read_unary_limit(self):
+        reader = BitReader(bytes([0x00, 0x00]))
+        with pytest.raises(BitstreamError):
+            reader.read_unary(limit=4)
+
+    def test_bits_remaining_and_consumed(self):
+        reader = BitReader(b"\xff\x00")
+        assert reader.bits_remaining == 16
+        reader.read_bits(5)
+        assert reader.bits_consumed == 5
+        assert reader.bits_remaining == 11
+
+    def test_read_bytes_unaligned(self):
+        reader = BitReader(bytes([0b01111111, 0b10000000]))
+        reader.read_bit()
+        assert reader.read_bytes(1) == b"\xff"
+
+    def test_align_to_byte(self):
+        reader = BitReader(bytes([0xFF, 0xAA]))
+        reader.read_bit()
+        reader.align_to_byte()
+        assert reader.read_bits(8) == 0xAA
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read_bits(-1)
+
+
+class TestBitCounter:
+    def test_counts_all_write_kinds(self):
+        counter = BitCounter()
+        counter.write_bit(1)
+        counter.write_bits(0, 7)
+        counter.write_unary(3)
+        counter.write_bytes(b"ab")
+        assert counter.bit_count == 1 + 7 + 4 + 16
+
+    def test_align_pads_to_byte(self):
+        counter = BitCounter()
+        counter.write_bits(0, 3)
+        pad = counter.align_to_byte()
+        assert pad == 5
+        assert counter.bit_count == 8
+
+    def test_getvalue_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            BitCounter().getvalue()
+
+    def test_matches_bitwriter_length(self):
+        writer, counter = BitWriter(), BitCounter()
+        for sink in (writer, counter):
+            sink.write_bits(0x1F, 5)
+            sink.write_unary(9)
+            sink.write_bytes(b"xyz")
+        assert counter.bit_count == writer.bit_count
+
+
+class TestHelpers:
+    def test_bits_to_bytes_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 1, 1]
+        packed = bits_to_bytes(bits)
+        assert bytes_to_bits(packed)[: len(bits)] == bits
+
+
+class TestRoundtripProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=600))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_sequence_roundtrip(self, bits):
+        writer = BitWriter()
+        writer.extend(bits)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2**20 - 1), st.integers(min_value=0, max_value=20)),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_value_width_roundtrip(self, pairs):
+        writer = BitWriter()
+        widths = []
+        values = []
+        for value, width in pairs:
+            value &= (1 << width) - 1 if width else 0
+            writer.write_bits(value, width)
+            values.append(value)
+            widths.append(width)
+        reader = BitReader(writer.getvalue())
+        for value, width in zip(values, widths):
+            assert reader.read_bits(width) == value
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_roundtrip(self, payload):
+        writer = BitWriter()
+        writer.write_bytes(payload)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bytes(len(payload)) == payload

@@ -1,0 +1,132 @@
+"""Tests for the hardware-style bounded registers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.fixedpoint import (
+    SaturatingCounter,
+    SignedRegister,
+    UnsignedRegister,
+    clamp,
+    signed_width,
+    unsigned_width,
+)
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below_range(self):
+        assert clamp(-3, 0, 10) == 0
+
+    def test_above_range(self):
+        assert clamp(42, 0, 10) == 10
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 4)
+
+
+class TestWidths:
+    @pytest.mark.parametrize(
+        "value,width", [(0, 1), (1, 1), (2, 2), (3, 2), (31, 5), (32, 6), (255, 8), (1023, 10)]
+    )
+    def test_unsigned_width(self, value, width):
+        assert unsigned_width(value) == width
+
+    def test_unsigned_width_rejects_negative(self):
+        with pytest.raises(ValueError):
+            unsigned_width(-1)
+
+    @pytest.mark.parametrize(
+        "low,high,width",
+        [(0, 0, 1), (-1, 0, 1), (-1, 1, 2), (-128, 127, 8), (-129, 127, 9), (0, 255, 9)],
+    )
+    def test_signed_width(self, low, high, width):
+        assert signed_width(low, high) == width
+
+    def test_signed_width_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            signed_width(3, 2)
+
+
+class TestUnsignedRegister:
+    def test_saturating_add(self):
+        reg = UnsignedRegister(width=4)
+        reg.add(100)
+        assert reg.value == 15
+        assert reg.is_saturated()
+
+    def test_load_clamps_low(self):
+        reg = UnsignedRegister(width=4)
+        reg.load(-7)
+        assert reg.value == 0
+
+    def test_halve(self):
+        reg = UnsignedRegister(width=5, value=21)
+        reg.halve()
+        assert reg.value == 10
+
+    def test_initial_value_clamped(self):
+        assert UnsignedRegister(width=3, value=200).value == 7
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            UnsignedRegister(width=0)
+
+
+class TestSignedRegister:
+    def test_width_includes_sign(self):
+        assert SignedRegister(magnitude_bits=13).width == 14
+
+    def test_saturates_both_directions(self):
+        reg = SignedRegister(magnitude_bits=4)
+        reg.add(1000)
+        assert reg.value == 15
+        reg.load(-1000)
+        assert reg.value == -15
+
+    def test_halve_truncates_toward_zero(self):
+        positive = SignedRegister(magnitude_bits=8, value=9)
+        positive.halve()
+        assert positive.value == 4
+        negative = SignedRegister(magnitude_bits=8, value=-9)
+        negative.halve()
+        assert negative.value == -4
+
+    def test_invalid_magnitude(self):
+        with pytest.raises(ValueError):
+            SignedRegister(magnitude_bits=0)
+
+
+class TestSaturatingCounter:
+    def test_increment_below_max(self):
+        counter = SaturatingCounter(width=5)
+        assert counter.increment() is False
+        assert counter.value == 1
+
+    def test_increment_at_max_halves_first(self):
+        counter = SaturatingCounter(width=5, value=31)
+        rescaled = counter.increment()
+        assert rescaled is True
+        assert counter.value == 16  # 31 >> 1 == 15, then + 1
+
+    def test_never_exceeds_max(self):
+        counter = SaturatingCounter(width=3)
+        for _ in range(100):
+            counter.increment()
+            assert counter.value <= counter.max_value
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(width=3).increment(-1)
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_bound_invariant(self, width, steps):
+        counter = SaturatingCounter(width=width)
+        for _ in range(steps):
+            counter.increment()
+            assert 0 <= counter.value <= (1 << width) - 1

@@ -1,0 +1,64 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.utils.validation import (
+    require_in_range,
+    require_positive,
+    require_power_of_two,
+    require_type,
+)
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        require_type("x", 3, int)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigError, match="must be int"):
+            require_type("x", "3", int)
+
+    def test_tuple_of_types_in_message(self):
+        with pytest.raises(ConfigError, match="int or float"):
+            require_type("x", "3", (int, float))
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive("count", 5)
+
+    @pytest.mark.parametrize("value", [0, -1, True])
+    def test_rejects_non_positive_and_bool(self, value):
+        with pytest.raises(ConfigError):
+            require_positive("count", value)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigError):
+            require_positive("count", 1.5)
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        require_in_range("bits", 10, 10, 16)
+        require_in_range("bits", 16, 10, 16)
+
+    @pytest.mark.parametrize("value", [9, 17])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigError):
+            require_in_range("bits", value, 10, 16)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigError):
+            require_in_range("bits", True, 0, 5)
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 256, 1024])
+    def test_accepts_powers(self, value):
+        require_power_of_two("size", value)
+
+    @pytest.mark.parametrize("value", [0, 3, 6, 255, -4])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ConfigError):
+            require_power_of_two("size", value)
