@@ -1,0 +1,105 @@
+"""Extension benchmark: measured stripe-parallel scaling of the software codec.
+
+`test_multicore_scaling` models the paper's multi-core option analytically;
+this benchmark exercises the real stripe-parallel subsystem
+(:mod:`repro.parallel`): the bit-rate overhead of striped version-2 streams
+versus core count, validated against the hardware model's prediction, and
+the measured wall-clock speedup of a process-pool encode of a megapixel
+image on multi-core runners.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.hardware.multicore import format_validation_table, validate_scaling
+from repro.imaging.synthetic import generate_image
+from repro.parallel import ParallelCodec
+
+CORE_COUNTS = [1, 2, 4, 8]
+
+
+def _effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def parallel_size() -> int:
+    """Corpus size for the stripe-penalty trajectory."""
+    value = os.environ.get("REPRO_BENCH_SIZE")
+    try:
+        return max(32, int(value)) if value else 256
+    except ValueError:
+        return 256
+
+
+def test_parallel_scaling(benchmark, parallel_size, record_report):
+    """Bit-rate overhead of striped streams: predicted vs measured, 1-8 cores."""
+    image = generate_image("lena", size=parallel_size)
+    rows = benchmark.pedantic(
+        lambda: validate_scaling(image, CORE_COUNTS), rounds=1, iterations=1
+    )
+    report = (
+        "Stripe-parallel penalty, predicted vs measured (%dx%d lena):\n"
+        % (parallel_size, parallel_size)
+        + format_validation_table(rows)
+    )
+    record_report("parallel_scaling", report)
+    print()
+    print(report)
+
+    penalties = [row["measured_penalty_bpp"] for row in rows]
+    assert penalties[0] >= 0.0
+    # More cold stripes cost more bits...
+    assert penalties == sorted(penalties)
+    # ...but the warm-up penalty stays small on the trajectory image.
+    assert penalties[-1] < 0.5
+    # The analytic model tracks the measurement to within a factor of ~2.
+    for row in rows[1:]:
+        assert row["measured_penalty_bpp"] < 2.5 * row["predicted_penalty_bpp"] + 0.01
+
+
+@pytest.mark.skipif(
+    _effective_cpus() < 2, reason="speedup is only observable with 2+ CPUs"
+)
+def test_parallel_speedup_megapixel(record_report):
+    """A 2-core striped encode of a >=1 Mpixel image beats the 1-core encode."""
+    image = generate_image("lena", size=1024)
+    assert image.pixel_count >= 1_000_000
+
+    start = time.perf_counter()
+    single = ParallelCodec(cores=1).encode(image)
+    single_seconds = time.perf_counter() - start
+
+    dual_codec = ParallelCodec(cores=2)
+    start = time.perf_counter()
+    dual = dual_codec.encode(image)
+    dual_seconds = time.perf_counter() - start
+
+    assert dual_codec.decode(dual) == image
+    report = (
+        "Stripe-parallel wall-clock on a %dx%d image (%d CPUs available):\n"
+        "1 core : %6.2f s (%d bytes)\n"
+        "2 cores: %6.2f s (%d bytes, speedup %.2fx)"
+        % (
+            image.width,
+            image.height,
+            _effective_cpus(),
+            single_seconds,
+            len(single),
+            dual_seconds,
+            len(dual),
+            single_seconds / dual_seconds,
+        )
+    )
+    record_report("parallel_speedup", report)
+    print()
+    print(report)
+    assert dual_seconds < single_seconds * 0.9

@@ -14,18 +14,23 @@ The package is organised as follows:
 * :mod:`repro.hardware` — the FPGA resource, timing and pipeline models that
   regenerate Table 2 and the throughput claims.
 * :mod:`repro.system` — the reconfigurable universal compressor of Figure 1.
+* :mod:`repro.parallel` — the stripe-parallel codec subsystem (the paper's
+  multi-core option in software: balanced stripe partitioning, a process
+  pool with serial fallback and the :class:`ParallelCodec` facade).
 * :mod:`repro.experiments` — the table/figure regeneration harness used by
   the benchmarks, examples and the CLI.
 """
 
 from repro.core import CodecConfig, ProposedCodec, decode_image, encode_image
 from repro.imaging import GrayImage, generate_corpus, generate_image
+from repro.parallel import ParallelCodec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CodecConfig",
     "ProposedCodec",
+    "ParallelCodec",
     "encode_image",
     "decode_image",
     "GrayImage",

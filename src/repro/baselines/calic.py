@@ -33,7 +33,7 @@ from repro.core.bitstream import CodecId, pack_stream, unpack_stream
 from repro.core.interface import LosslessImageCodec
 from repro.core.mapping import map_error, unmap_error
 from repro.core.neighborhood import Neighborhood, ThreeRowWindow
-from repro.entropy.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.arithmetic import DEFAULT_PRECISION, ArithmeticDecoder, ArithmeticEncoder
 from repro.entropy.models import AdaptiveModel
 from repro.exceptions import CodecMismatchError, ConfigError
 from repro.imaging.image import GrayImage
@@ -244,7 +244,9 @@ class CalicCodec(LosslessImageCodec):
                 "stream bit depth %d does not match codec configuration %d"
                 % (header.bit_depth, params.bit_depth)
             )
-        reader = BitReader(payload)
+        # Bound phantom reads so a corrupt length field raises instead of
+        # decoding forever from zero bits past the end of the payload.
+        reader = BitReader(payload, max_phantom_bits=4 * DEFAULT_PRECISION)
         coder = ArithmeticDecoder(reader)
         models = [
             AdaptiveModel(

@@ -12,7 +12,19 @@ Three console scripts are installed (see ``pyproject.toml``):
 
 ``repro-bench``
     Regenerate any of the paper's tables/figures from the command line
-    (``table1``, ``figure4``, ``table2``, ``throughput``, ``ablations``).
+    (``table1``, ``figure4``, ``table2``, ``throughput``, ``ablations``,
+    ``parallel``).
+
+``repro-compress``/``repro-decompress`` accept ``--cores N`` to run the
+stripe-parallel codec: the image is coded as ``N`` independent stripes
+(version-2 container) by a pool of worker processes, mirroring the paper's
+multi-core hardware option.  ``repro-bench parallel --cores N`` validates
+the hardware model's predicted stripe penalty against actual striped
+encodes.
+
+Errors are reported as a single ``ExceptionName: message`` line on stderr
+with a non-zero exit status; corrupt or truncated containers surface as
+``HeaderError``/``BitstreamError`` instead of a traceback.
 """
 
 from __future__ import annotations
@@ -41,6 +53,11 @@ _IMAGE_CODECS = {
     "slp": lambda: SlpCodec(),
     "calic": lambda: CalicCodec(),
 }
+
+
+def _print_error(error: BaseException) -> None:
+    """One-line ``ExceptionName: message`` report on stderr."""
+    print("%s: %s" % (type(error).__name__, error), file=sys.stderr)
 
 
 def _codec_for_stream(data: bytes):
@@ -87,7 +104,18 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--order", type=int, default=2, help="context order for --data (default 2)"
     )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="encode as N independent stripes in parallel (proposed codecs only)",
+    )
     args = parser.parse_args(argv)
+    if args.cores is not None and args.cores < 1:
+        parser.error("--cores must be a positive integer")
+    if args.cores is not None and (args.data or not args.codec.startswith("proposed")):
+        parser.error("--cores is only supported with the proposed image codecs")
 
     try:
         if args.data:
@@ -102,14 +130,17 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
                     if args.codec == "proposed"
                     else CodecConfig.reference(count_bits=args.count_bits)
                 )
-                codec = ProposedCodec(config)
+                if args.cores is not None:
+                    codec = ProposedCodec.parallel(cores=args.cores, config=config)
+                else:
+                    codec = ProposedCodec(config)
             else:
                 codec = _IMAGE_CODECS[args.codec]()
             stream = codec.encode(image)
             original_size = image.pixel_count * ((image.bit_depth + 7) // 8)
         Path(args.output).write_bytes(stream)
     except (ReproError, OSError) as error:
-        print("error: %s" % error, file=sys.stderr)
+        _print_error(error)
         return 1
 
     ratio = original_size / len(stream) if stream else 0.0
@@ -128,7 +159,16 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("input", help="input .rplc container")
     parser.add_argument("output", help="output PGM image (or raw file for data streams)")
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="decode striped streams with up to N worker processes",
+    )
     args = parser.parse_args(argv)
+    if args.cores is not None and args.cores < 1:
+        parser.error("--cores must be a positive integer")
 
     try:
         stream = Path(args.input).read_bytes()
@@ -137,14 +177,17 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
             Path(args.output).write_bytes(codec.decode(stream))
         else:
             if codec is None:
-                from repro.core.decoder import decode_image
+                if args.cores is not None:
+                    image = ProposedCodec.parallel(cores=args.cores).decode(stream)
+                else:
+                    from repro.core.decoder import decode_image
 
-                image = decode_image(stream)
+                    image = decode_image(stream)
             else:
                 image = codec.decode(stream)
             write_pgm(image, args.output)
     except (ReproError, OSError) as error:
-        print("error: %s" % error, file=sys.stderr)
+        _print_error(error)
         return 1
 
     print("%s -> %s" % (args.input, args.output))
@@ -159,7 +202,7 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "figure4", "table2", "throughput", "ablations"],
+        choices=["table1", "figure4", "table2", "throughput", "ablations", "parallel"],
         help="which artefact to regenerate",
     )
     parser.add_argument("--size", type=int, default=None, help="corpus image size in pixels")
@@ -167,7 +210,16 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="use the paper's 512x512 geometry (slow)"
     )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=4,
+        metavar="N",
+        help="maximum core count for the parallel experiment (default 4)",
+    )
     args = parser.parse_args(argv)
+    if args.cores < 1:
+        parser.error("--cores must be a positive integer")
 
     try:
         if args.experiment == "table1":
@@ -193,6 +245,26 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
 
             size = args.size or 128
             print(run_throughput(size=size).format_report())
+        elif args.experiment == "parallel":
+            from repro.hardware.multicore import (
+                estimate_scaling,
+                format_validation_table,
+                validate_scaling,
+            )
+            from repro.imaging.synthetic import generate_image
+
+            size = args.size or (512 if args.full else 128)
+            # --cores is a maximum: clamp to the image height like the codec does.
+            max_cores = min(args.cores, size)
+            core_counts = sorted({1, max_cores} | {2**k for k in range(1, 16) if 2**k < max_cores})
+            image = generate_image("lena", size=size, seed=args.seed)
+            points = estimate_scaling(size, size, core_counts)
+            print("Predicted multi-core scaling (%dx%d image, 123 MHz per core):" % (size, size))
+            for point in points:
+                print(point.format_row())
+            print()
+            print("Measured stripe penalty (parallel striped encodes, %dx%d lena):" % (size, size))
+            print(format_validation_table(validate_scaling(image, core_counts, parallel=True)))
         else:
             from repro.experiments.ablations import (
                 run_division_ablation,
@@ -203,8 +275,8 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             print(run_overflow_guard_ablation(size=size, seed=args.seed).format_report())
             print()
             print(run_division_ablation(size=size, seed=args.seed).format_report())
-    except ReproError as error:
-        print("error: %s" % error, file=sys.stderr)
+    except (ReproError, OSError) as error:
+        _print_error(error)
         return 1
     return 0
 

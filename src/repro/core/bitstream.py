@@ -5,11 +5,11 @@ container so that streams are self-describing: the decoder can recover the
 image geometry, the codec that produced the stream and the configuration
 fields it needs to rebuild its adaptive models identically.
 
-Layout (big-endian)::
+Fixed header layout, shared by both container versions (big-endian)::
 
     offset  size  field
     0       4     magic "RPLC" (RePro Lossless Container)
-    4       1     container version (currently 1)
+    4       1     container version (1 or 2)
     5       1     codec id (see CodecId)
     6       4     image width in pixels
     10      4     image height in pixels
@@ -17,12 +17,35 @@ Layout (big-endian)::
     15      1     codec parameter byte (meaning depends on the codec; the
                   proposed codec stores the frequency-count width here)
     16      1     flags byte (bit 0: hardware-faithful path)
-    17      4     payload length in bytes
+    17      4     payload length in bytes (total across all stripes)
+    21      ...   version-dependent, see below
+
+Version 1 — single payload::
+
     21      ...   payload
+
+Version 2 — striped payload.  The image is split into horizontal stripes
+(the balanced partition of :func:`repro.parallel.partition.plan_stripes`),
+each stripe coded with *independent* adaptive state so stripes can be
+encoded and decoded in parallel, mirroring the paper's multi-core hardware
+option.  A stripe table follows the fixed header::
+
+    21      2     stripe count S (1 <= S <= 65535, S <= image height)
+    23      4*S   per-stripe payload length in bytes
+    23+4S   ...   S concatenated stripe payloads
+
+The payload-length field at offset 17 always holds the total payload size
+(the sum of the stripe table entries in version 2), so generic tooling can
+skip the payload without understanding the stripe table.
+
+Version-1 streams remain fully readable: :func:`unpack_stream` accepts both
+versions and :func:`pack_stream` emits version 1 unless ``stripe_lengths``
+is given.
 
 A truncated or corrupted header raises
 :class:`~repro.exceptions.HeaderError`; a payload shorter than the declared
-length raises :class:`~repro.exceptions.BitstreamError`.
+length (or an inconsistent stripe table) raises
+:class:`~repro.exceptions.BitstreamError`.
 """
 
 from __future__ import annotations
@@ -30,14 +53,29 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import BitstreamError, HeaderError
 
-__all__ = ["CodecId", "StreamHeader", "pack_stream", "unpack_stream"]
+__all__ = [
+    "CodecId",
+    "StreamHeader",
+    "pack_stream",
+    "unpack_stream",
+    "split_stripe_payloads",
+]
 
 MAGIC = b"RPLC"
+#: Version written for single-payload streams (and the only version
+#: pre-stripe-table readers understand).
 CONTAINER_VERSION = 1
+#: Version written when a stripe table is present.
+STRIPED_CONTAINER_VERSION = 2
+SUPPORTED_VERSIONS = (CONTAINER_VERSION, STRIPED_CONTAINER_VERSION)
 _HEADER_STRUCT = struct.Struct(">4sBBIIBBBI")
+_STRIPE_COUNT_STRUCT = struct.Struct(">H")
+_STRIPE_LENGTH_STRUCT = struct.Struct(">I")
+MAX_STRIPES = 0xFFFF
 
 
 class CodecId(enum.IntEnum):
@@ -62,10 +100,19 @@ class StreamHeader:
     parameter: int
     flags: int
     payload_length: int
+    #: Container version the stream was written with (1 or 2).
+    version: int = CONTAINER_VERSION
+    #: Per-stripe payload lengths; empty for version-1 streams.
+    stripe_lengths: Tuple[int, ...] = ()
 
     @property
     def pixel_count(self) -> int:
         return self.width * self.height
+
+    @property
+    def stripe_count(self) -> int:
+        """Number of independently coded stripes (1 for version-1 streams)."""
+        return len(self.stripe_lengths) if self.stripe_lengths else 1
 
 
 def pack_stream(
@@ -76,8 +123,15 @@ def pack_stream(
     payload: bytes,
     parameter: int = 0,
     flags: int = 0,
+    stripe_lengths: Optional[Sequence[int]] = None,
 ) -> bytes:
-    """Assemble a complete container around ``payload``."""
+    """Assemble a complete container around ``payload``.
+
+    When ``stripe_lengths`` is ``None`` a version-1 container is produced
+    (byte-identical to the historical format).  Otherwise a version-2
+    container is produced whose stripe table lists the given per-stripe
+    payload lengths; they must sum to ``len(payload)``.
+    """
     if width <= 0 or height <= 0:
         raise HeaderError("image dimensions must be positive, got %dx%d" % (width, height))
     if not 1 <= bit_depth <= 16:
@@ -86,9 +140,33 @@ def pack_stream(
         raise HeaderError("parameter byte must fit in 8 bits, got %d" % parameter)
     if not 0 <= flags <= 255:
         raise HeaderError("flags byte must fit in 8 bits, got %d" % flags)
+    version = CONTAINER_VERSION
+    stripe_table = b""
+    if stripe_lengths is not None:
+        lengths = [int(length) for length in stripe_lengths]
+        if not 1 <= len(lengths) <= MAX_STRIPES:
+            raise HeaderError(
+                "stripe count must be in [1, %d], got %d" % (MAX_STRIPES, len(lengths))
+            )
+        if len(lengths) > height:
+            raise HeaderError(
+                "cannot describe %d stripes for %d image rows" % (len(lengths), height)
+            )
+        for length in lengths:
+            if length < 0:
+                raise HeaderError("stripe payload length must be non-negative")
+        if sum(lengths) != len(payload):
+            raise HeaderError(
+                "stripe table sums to %d bytes but payload holds %d"
+                % (sum(lengths), len(payload))
+            )
+        version = STRIPED_CONTAINER_VERSION
+        stripe_table = _STRIPE_COUNT_STRUCT.pack(len(lengths)) + b"".join(
+            _STRIPE_LENGTH_STRUCT.pack(length) for length in lengths
+        )
     header = _HEADER_STRUCT.pack(
         MAGIC,
-        CONTAINER_VERSION,
+        version,
         int(codec),
         width,
         height,
@@ -97,11 +175,17 @@ def pack_stream(
         flags,
         len(payload),
     )
-    return header + payload
+    return header + stripe_table + payload
 
 
 def unpack_stream(data: bytes) -> tuple:
-    """Split a container into its :class:`StreamHeader` and payload bytes."""
+    """Split a container into its :class:`StreamHeader` and payload bytes.
+
+    Both container versions are accepted; for version-2 streams the stripe
+    table is validated and exposed as ``header.stripe_lengths`` while the
+    returned payload is the concatenation of all stripe payloads (use
+    :func:`split_stripe_payloads` to slice it).
+    """
     if len(data) < _HEADER_STRUCT.size:
         raise HeaderError(
             "stream too short for a container header (%d bytes)" % len(data)
@@ -111,7 +195,7 @@ def unpack_stream(data: bytes) -> tuple:
     )
     if magic != MAGIC:
         raise HeaderError("bad container magic %r" % magic)
-    if version != CONTAINER_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise HeaderError("unsupported container version %d" % version)
     try:
         codec = CodecId(codec_raw)
@@ -121,7 +205,36 @@ def unpack_stream(data: bytes) -> tuple:
         raise HeaderError("corrupt dimensions %dx%d" % (width, height))
     if not 1 <= bit_depth <= 16:
         raise HeaderError("corrupt bit depth %d" % bit_depth)
-    payload = data[_HEADER_STRUCT.size :]
+
+    offset = _HEADER_STRUCT.size
+    stripe_lengths: Tuple[int, ...] = ()
+    if version == STRIPED_CONTAINER_VERSION:
+        if len(data) < offset + _STRIPE_COUNT_STRUCT.size:
+            raise HeaderError("stream truncated inside the stripe table")
+        (stripe_count,) = _STRIPE_COUNT_STRUCT.unpack_from(data, offset)
+        offset += _STRIPE_COUNT_STRUCT.size
+        if stripe_count < 1:
+            raise HeaderError("stripe table declares zero stripes")
+        if stripe_count > height:
+            raise HeaderError(
+                "stripe table declares %d stripes for %d image rows"
+                % (stripe_count, height)
+            )
+        table_size = stripe_count * _STRIPE_LENGTH_STRUCT.size
+        if len(data) < offset + table_size:
+            raise HeaderError("stream truncated inside the stripe table")
+        stripe_lengths = tuple(
+            _STRIPE_LENGTH_STRUCT.unpack_from(data, offset + i * _STRIPE_LENGTH_STRUCT.size)[0]
+            for i in range(stripe_count)
+        )
+        offset += table_size
+        if sum(stripe_lengths) != length:
+            raise BitstreamError(
+                "stripe table sums to %d bytes but header declares %d"
+                % (sum(stripe_lengths), length)
+            )
+
+    payload = data[offset:]
     if len(payload) < length:
         raise BitstreamError(
             "payload truncated: header declares %d bytes, %d present"
@@ -135,5 +248,28 @@ def unpack_stream(data: bytes) -> tuple:
         parameter=parameter,
         flags=flags,
         payload_length=length,
+        version=version,
+        stripe_lengths=stripe_lengths,
     )
     return header, payload[:length]
+
+
+def split_stripe_payloads(header: StreamHeader, payload: bytes) -> List[bytes]:
+    """Slice the concatenated payload of ``header`` into per-stripe payloads.
+
+    For version-1 headers (no stripe table) the whole payload is returned as
+    a single stripe.
+    """
+    if not header.stripe_lengths:
+        return [payload]
+    if len(payload) != sum(header.stripe_lengths):
+        raise BitstreamError(
+            "payload holds %d bytes but the stripe table sums to %d"
+            % (len(payload), sum(header.stripe_lengths))
+        )
+    stripes: List[bytes] = []
+    offset = 0
+    for length in header.stripe_lengths:
+        stripes.append(payload[offset : offset + length])
+        offset += length
+    return stripes

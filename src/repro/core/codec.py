@@ -56,6 +56,19 @@ class ProposedCodec(LosslessImageCodec):
         """Hardware-faithful variant (the paper's FPGA configuration)."""
         return cls(CodecConfig.hardware(**overrides))
 
+    @classmethod
+    def parallel(cls, cores: Optional[int] = None, config: Optional[CodecConfig] = None):
+        """Stripe-parallel variant: ``cores`` pipeline instances side by side.
+
+        Returns a :class:`~repro.parallel.codec.ParallelCodec`, the software
+        equivalent of the paper's multi-core hardware option.  Its streams
+        use the version-2 (striped) container; they decode through this
+        class's :meth:`decode` as well, just without the parallel fan-out.
+        """
+        from repro.parallel.codec import ParallelCodec
+
+        return ParallelCodec(cores=cores, config=config)
+
     def encode(self, image: GrayImage) -> bytes:
         """Compress ``image``; statistics are kept in :attr:`last_statistics`."""
         stream, statistics = encode_image_with_statistics(image, self.config)

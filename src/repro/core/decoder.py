@@ -7,44 +7,47 @@ symbol, un-maps it into the pixel value and commits that value to the same
 adaptive state the encoder updated.  Because every model update depends only
 on data both sides share, the models remain synchronised for the whole
 image.
+
+Version-2 (striped) containers are decoded stripe by stripe: every stripe
+payload is an independent stream with fresh adaptive state, so the stripes
+can also be decoded concurrently — that parallel path lives in
+:mod:`repro.parallel.codec`; this module provides the serial reference
+implementation used by :func:`decode_image`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
-from repro.core.bitstream import CodecId, unpack_stream
+from repro.core.bitstream import (
+    CodecId,
+    StreamHeader,
+    split_stripe_payloads,
+    unpack_stream,
+)
 from repro.core.config import CodecConfig
 from repro.core.mapping import unmap_error
 from repro.core.modeling import ImageModeler
 from repro.core.probability import ProbabilityEstimator
 from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder
-from repro.exceptions import CodecMismatchError
+from repro.exceptions import BitstreamError, CodecMismatchError, StripingError
 from repro.imaging.image import GrayImage
 from repro.utils.bitio import BitReader
 
-__all__ = ["decode_image"]
+__all__ = ["decode_image", "decode_payload", "resolve_stream_config"]
 
 
-def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage:
-    """Reconstruct the image from a stream produced by
-    :func:`repro.core.encoder.encode_image`.
+def resolve_stream_config(header: StreamHeader, config: Optional[CodecConfig]) -> CodecConfig:
+    """Return the codec configuration to decode a proposed-codec stream with.
 
-    Parameters
-    ----------
-    data:
-        The complete container (header + payload).
-    config:
-        Optional codec configuration.  When omitted, the configuration is
-        reconstructed from the container header (count-bits parameter and
-        hardware flag); when provided it must be consistent with the header.
+    When ``config`` is omitted it is reconstructed from the container header
+    (count-bits parameter and hardware flag); when provided it must be
+    consistent with the header.
     """
-    header, payload = unpack_stream(data)
     if header.codec not in (CodecId.PROPOSED, CodecId.PROPOSED_HARDWARE):
         raise CodecMismatchError(
             "stream was produced by %s, not the proposed codec" % header.codec.name
         )
-
     if config is None:
         if header.flags & 1:
             config = CodecConfig.hardware(count_bits=header.parameter)
@@ -65,21 +68,65 @@ def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage
             "stream bit depth %d does not match configuration %d"
             % (header.bit_depth, config.bit_depth)
         )
+    return config
 
-    modeler = ImageModeler(header.width, config)
+
+def decode_payload(payload: bytes, width: int, height: int, config: CodecConfig) -> List[int]:
+    """Decode one container-less payload into its row-major pixel list.
+
+    This is the inner decoder matching :func:`repro.core.encoder.encode_payload`:
+    it assumes fresh adaptive state, so it decodes exactly one stripe (or a
+    whole single-stripe image).  The bit reader is bounded so a corrupt or
+    truncated payload raises :class:`~repro.exceptions.BitstreamError`
+    instead of decoding garbage from an endless run of phantom zero bits.
+    """
+    modeler = ImageModeler(width, config)
     estimator = ProbabilityEstimator(config)
-    reader = BitReader(payload)
+    reader = BitReader(payload, max_phantom_bits=4 * config.coder_precision)
     coder = BinaryArithmeticDecoder(reader, precision=config.coder_precision)
 
     bit_depth = config.bit_depth
-    pixels = []
-    for _y in range(header.height):
-        for x in range(header.width):
+    pixels: List[int] = []
+    for _y in range(height):
+        for x in range(width):
             model = modeler.model_pixel(x)
             symbol = estimator.decode_symbol(coder, model.context.energy)
             value, wrapped_error = unmap_error(symbol, model.adjusted, bit_depth)
             modeler.commit_pixel(value, wrapped_error, model)
             pixels.append(value)
         modeler.end_row()
+    return pixels
 
+
+def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage:
+    """Reconstruct the image from a stream produced by
+    :func:`repro.core.encoder.encode_image` or by the stripe-parallel codec.
+
+    Parameters
+    ----------
+    data:
+        The complete container (header + payload).  Both container versions
+        are accepted; striped (version-2) streams are decoded stripe by
+        stripe, serially.
+    config:
+        Optional codec configuration.  When omitted, the configuration is
+        reconstructed from the container header (count-bits parameter and
+        hardware flag); when provided it must be consistent with the header.
+    """
+    header, payload = unpack_stream(data)
+    config = resolve_stream_config(header, config)
+
+    if not header.stripe_lengths:
+        pixels = decode_payload(payload, header.width, header.height, config)
+        return GrayImage(header.width, header.height, pixels, header.bit_depth)
+
+    from repro.parallel.partition import plan_stripes
+
+    try:
+        plan = plan_stripes(header.height, len(header.stripe_lengths))
+    except StripingError as exc:
+        raise BitstreamError("invalid stripe table: %s" % exc) from exc
+    pixels = []
+    for spec, stripe_payload in zip(plan, split_stripe_payloads(header, payload)):
+        pixels.extend(decode_payload(stripe_payload, header.width, spec.row_count, config))
     return GrayImage(header.width, header.height, pixels, header.bit_depth)

@@ -23,7 +23,13 @@ from repro.exceptions import ConfigError
 from repro.imaging.image import GrayImage
 from repro.utils.bitio import BitWriter
 
-__all__ = ["EncodeStatistics", "encode_image", "encode_image_with_statistics"]
+__all__ = [
+    "EncodeStatistics",
+    "encode_image",
+    "encode_image_with_statistics",
+    "encode_payload",
+    "merge_statistics",
+]
 
 
 @dataclass
@@ -48,8 +54,34 @@ class EncodeStatistics:
     bias_saturations: int = 0
 
 
-def _encode_payload(image: GrayImage, config: CodecConfig) -> tuple:
-    """Run the modelling + coding pipeline; return (payload, statistics)."""
+def merge_statistics(parts: "list[EncodeStatistics]") -> EncodeStatistics:
+    """Aggregate the statistics of independently coded stripes.
+
+    Byte totals and counters sum; the context-usage histograms merge.  The
+    rate fields (``total_bytes``, ``bits_per_pixel``) are left at zero for
+    the caller to fill in once the container size is known.
+    """
+    merged = EncodeStatistics()
+    for part in parts:
+        merged.payload_bytes += part.payload_bytes
+        merged.escapes += part.escapes
+        merged.tree_rescales += part.tree_rescales
+        merged.binary_decisions += part.binary_decisions
+        merged.bias_saturations += part.bias_saturations
+        for context, count in part.context_usage.items():
+            merged.context_usage[context] = merged.context_usage.get(context, 0) + count
+    return merged
+
+
+def encode_payload(image: GrayImage, config: CodecConfig) -> tuple:
+    """Run the modelling + coding pipeline; return (payload, statistics).
+
+    This is the container-less inner encoder: it codes ``image`` (which may
+    be a single stripe of a larger image) with fresh adaptive state and
+    returns only the entropy-coded payload.  The stripe-parallel subsystem
+    calls it once per stripe; :func:`encode_image_with_statistics` calls it
+    once for the whole image.
+    """
     modeler = ImageModeler(image.width, config)
     estimator = ProbabilityEstimator(config)
     writer = BitWriter()
@@ -107,7 +139,7 @@ def encode_image_with_statistics(
             % (image.bit_depth, config.bit_depth)
         )
 
-    payload, statistics = _encode_payload(image, config)
+    payload, statistics = encode_payload(image, config)
     codec_id = CodecId.PROPOSED_HARDWARE if config.use_lut_division else CodecId.PROPOSED
     flags = 1 if config.use_lut_division else 0
     stream = pack_stream(

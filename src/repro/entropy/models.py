@@ -20,7 +20,7 @@ Two flavours exist:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.exceptions import ModelStateError
 

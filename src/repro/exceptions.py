@@ -41,5 +41,9 @@ class HardwareModelError(ReproError):
     """The hardware resource/timing model was asked for something impossible."""
 
 
+class StripingError(ReproError):
+    """A stripe-parallel partition request cannot be satisfied."""
+
+
 class CorpusError(ReproError):
     """A synthetic-corpus request referenced an unknown image or bad parameters."""

@@ -19,7 +19,7 @@ uses a realistic value instead of zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.config import CodecConfig
 from repro.core.encoder import encode_image_with_statistics

@@ -23,7 +23,9 @@ analytical model (see DESIGN.md for the substitution rationale):
   modelling pipeline and the bit-serial coder that turns a clock frequency
   into a throughput figure;
 * :mod:`repro.hardware.memory` — the memory inventory (line buffers, context
-  statistics, division ROM, estimator SRAM).
+  statistics, division ROM, estimator SRAM);
+* :mod:`repro.hardware.multicore` — the Section V multi-core scaling model,
+  validated against real striped encodes from :mod:`repro.parallel`.
 """
 
 from repro.hardware.blocks import (
@@ -34,7 +36,14 @@ from repro.hardware.blocks import (
 )
 from repro.hardware.device import FpgaDevice, VIRTEX4_LX60
 from repro.hardware.memory import MemoryInventory, build_memory_inventory
-from repro.hardware.multicore import MulticoreModel, measure_stripe_penalty, split_into_stripes
+from repro.hardware.multicore import (
+    MulticoreModel,
+    estimate_scaling,
+    measure_stripe_penalty,
+    predict_stripe_penalty_bpp,
+    split_into_stripes,
+    validate_scaling,
+)
 from repro.hardware.pipeline import PipelineModel, PipelineReport
 from repro.hardware.primitives import ResourceCount
 from repro.hardware.resources import BlockUtilization, UtilizationSummary, summarize_blocks

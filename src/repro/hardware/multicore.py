@@ -29,12 +29,31 @@ from typing import List, Optional
 
 from repro.core.codec import ProposedCodec
 from repro.core.config import CodecConfig
-from repro.exceptions import HardwareModelError
+from repro.exceptions import HardwareModelError, StripingError
 from repro.hardware.pipeline import PipelineModel
 from repro.hardware.resources import UtilizationSummary
 from repro.imaging.image import GrayImage
 
-__all__ = ["CoreScalingPoint", "MulticoreModel", "split_into_stripes", "measure_stripe_penalty"]
+__all__ = [
+    "CoreScalingPoint",
+    "MulticoreModel",
+    "split_into_stripes",
+    "measure_stripe_penalty",
+    "estimate_scaling",
+    "validate_scaling",
+    "predict_stripe_penalty_bpp",
+    "format_validation_table",
+    "DEFAULT_WARMUP_BITS_PER_STRIPE",
+]
+
+#: Calibrated adaptive-model warm-up cost of one additional stripe, in bits.
+#: Every extra stripe restarts the context models and the probability
+#: estimator cold and pays one extra arithmetic-coder flush; measured across
+#: the synthetic corpus this costs on the order of 1.2 kbit per stripe
+#: (see ``validate_scaling``, which compares this prediction with actual
+#: striped encodes).  The version-2 stripe-table overhead (4 bytes per
+#: stripe) is negligible next to it and folded into the same constant.
+DEFAULT_WARMUP_BITS_PER_STRIPE = 1200.0
 
 
 @dataclass(frozen=True)
@@ -47,14 +66,21 @@ class CoreScalingPoint:
     total_slices: int
     total_brams: int
     stripe_rows: int
+    #: Predicted compression penalty of coding ``cores`` independent stripes.
+    predicted_penalty_bpp: float = 0.0
 
     def format_row(self) -> str:
-        return "%2d cores | %8.1f Mbit/s | speedup %5.2fx | %6d slices | %3d BRAMs" % (
-            self.cores,
-            self.aggregate_megabits_per_second,
-            self.speedup,
-            self.total_slices,
-            self.total_brams,
+        return (
+            "%2d cores | %8.1f Mbit/s | speedup %5.2fx | %6d slices | %3d BRAMs"
+            " | +%.4f bpp"
+            % (
+                self.cores,
+                self.aggregate_megabits_per_second,
+                self.speedup,
+                self.total_slices,
+                self.total_brams,
+                self.predicted_penalty_bpp,
+            )
         )
 
 
@@ -109,6 +135,9 @@ class MulticoreModel:
                     total_slices=single_totals.slices * cores,
                     total_brams=single_totals.brams * cores,
                     stripe_rows=stripe_rows,
+                    predicted_penalty_bpp=predict_stripe_penalty_bpp(
+                        image_width, image_height, cores
+                    ),
                 )
             )
         return points
@@ -117,23 +146,129 @@ class MulticoreModel:
         return "\n".join(point.format_row() for point in points)
 
 
-def split_into_stripes(image: GrayImage, cores: int) -> List[GrayImage]:
-    """Split an image into ``cores`` horizontal stripes (last one may be taller)."""
+def predict_stripe_penalty_bpp(
+    width: int,
+    height: int,
+    cores: int,
+    warmup_bits_per_stripe: float = DEFAULT_WARMUP_BITS_PER_STRIPE,
+) -> float:
+    """Predicted bit-rate penalty (bpp) of coding ``cores`` independent stripes.
+
+    Each stripe beyond the first restarts the adaptive models cold, costing
+    roughly ``warmup_bits_per_stripe`` extra bits; the penalty therefore
+    grows linearly with the stripe count and vanishes as the image grows.
+    """
+    if width <= 0 or height <= 0:
+        raise HardwareModelError("image dimensions must be positive")
     if cores <= 0:
         raise HardwareModelError("core count must be positive, got %d" % cores)
-    if cores > image.height:
-        raise HardwareModelError("cannot split %d rows across %d cores" % (image.height, cores))
-    stripe_rows = image.height // cores
-    stripes: List[GrayImage] = []
-    start = 0
-    for index in range(cores):
-        end = image.height if index == cores - 1 else start + stripe_rows
-        rows = [image.row(y) for y in range(start, end)]
-        stripes.append(
-            GrayImage.from_rows(rows, bit_depth=image.bit_depth, name="%s-stripe%d" % (image.name, index))
+    stripes = min(cores, height)
+    return (stripes - 1) * warmup_bits_per_stripe / (width * height)
+
+
+def estimate_scaling(
+    width: int,
+    height: int,
+    core_counts: List[int],
+    clock_mhz: float = 123.0,
+    config: Optional[CodecConfig] = None,
+) -> List[CoreScalingPoint]:
+    """Predict throughput, area and compression penalty for each core count.
+
+    Convenience wrapper that instantiates :class:`MulticoreModel` with the
+    paper's default resource summary; use the class directly to model a
+    different device or block mix.
+    """
+    from repro.hardware.blocks import default_blocks
+    from repro.hardware.resources import summarize_blocks
+
+    model = MulticoreModel(
+        summarize_blocks(default_blocks()), clock_mhz=clock_mhz, config=config
+    )
+    return model.scaling(width, height, core_counts)
+
+
+def validate_scaling(
+    image: GrayImage,
+    core_counts: List[int],
+    config: Optional[CodecConfig] = None,
+    parallel: bool = False,
+) -> List[dict]:
+    """Validate the predicted stripe penalty against actual striped encodes.
+
+    For every core count the image is encoded with the stripe-parallel codec
+    (serially by default, so the validation is deterministic and cheap) and
+    the measured penalty versus the single-payload stream is compared with
+    :func:`predict_stripe_penalty_bpp`.  Every striped stream is round-trip
+    verified.  Returns one dict per core count with the keys ``cores``,
+    ``predicted_penalty_bpp``, ``measured_penalty_bpp``,
+    ``prediction_error_bpp``, ``single_stream_bytes`` and
+    ``striped_stream_bytes``.
+    """
+    from repro.parallel.codec import ParallelCodec
+    from repro.parallel.executor import SerialExecutor
+
+    config = config if config is not None else CodecConfig.hardware()
+    baseline = ProposedCodec(config).encode(image)
+    rows: List[dict] = []
+    for cores in core_counts:
+        codec = ParallelCodec(
+            cores=cores,
+            config=config,
+            executor=None if parallel else SerialExecutor(),
         )
-        start = end
-    return stripes
+        striped = codec.encode(image)
+        if codec.decode(striped) != image:
+            raise AssertionError("striped round-trip failed at %d cores" % cores)
+        measured = 8.0 * (len(striped) - len(baseline)) / image.pixel_count
+        predicted = predict_stripe_penalty_bpp(image.width, image.height, cores)
+        rows.append(
+            {
+                "cores": cores,
+                "predicted_penalty_bpp": predicted,
+                "measured_penalty_bpp": measured,
+                "prediction_error_bpp": predicted - measured,
+                "single_stream_bytes": len(baseline),
+                "striped_stream_bytes": len(striped),
+            }
+        )
+    return rows
+
+
+def format_validation_table(rows: List[dict]) -> str:
+    """Render :func:`validate_scaling` rows as an aligned text table."""
+    lines = ["cores | predicted bpp | measured bpp | error bpp"]
+    for row in rows:
+        lines.append(
+            "%5d | %+13.4f | %+12.4f | %+9.4f"
+            % (
+                row["cores"],
+                row["predicted_penalty_bpp"],
+                row["measured_penalty_bpp"],
+                row["prediction_error_bpp"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def split_into_stripes(image: GrayImage, cores: int) -> List[GrayImage]:
+    """Split an image into ``cores`` horizontal stripes.
+
+    Thin wrapper over the canonical balanced partitioner of
+    :mod:`repro.parallel.partition`, so the hardware model and the
+    stripe-parallel codec always agree on stripe geometry (heights differ by
+    at most one row, taller stripes first).  Unlike the codec's
+    ``plan_for_cores`` this does not clamp: asking for more stripes than
+    rows raises :class:`HardwareModelError`, as replicating more hardware
+    cores than image rows is a modelling mistake.
+    """
+    from repro.parallel.partition import extract_stripe, plan_stripes
+
+    try:
+        plan = plan_stripes(image.height, cores)
+    except StripingError as exc:
+        raise HardwareModelError(str(exc)) from exc
+    return [extract_stripe(image, spec) for spec in plan]
 
 
 def measure_stripe_penalty(
@@ -142,21 +277,22 @@ def measure_stripe_penalty(
     """Measure the bit-rate cost of coding an image as independent stripes.
 
     Returns a dict with the single-core bit rate, the multi-core bit rate
-    (stripes coded independently, sizes summed) and the penalty in bpp.
-    Every stripe is also round-trip verified.
+    (one striped version-2 container produced by the stripe-parallel codec)
+    and the penalty in bpp.  The striped stream is round-trip verified.
     """
+    from repro.parallel.codec import ParallelCodec
+    from repro.parallel.executor import SerialExecutor
+
     config = config if config is not None else CodecConfig.hardware()
     codec = ProposedCodec(config)
     whole = codec.encode(image)
     single_bpp = 8.0 * len(whole) / image.pixel_count
 
-    total_bytes = 0
-    for stripe in split_into_stripes(image, cores):
-        stream = codec.encode(stripe)
-        if codec.decode(stream) != stripe:
-            raise AssertionError("stripe round-trip failed")
-        total_bytes += len(stream)
-    multi_bpp = 8.0 * total_bytes / image.pixel_count
+    striped_codec = ParallelCodec(cores=cores, config=config, executor=SerialExecutor())
+    striped = striped_codec.encode(image)
+    if striped_codec.decode(striped) != image:
+        raise AssertionError("stripe round-trip failed")
+    multi_bpp = 8.0 * len(striped) / image.pixel_count
     return {
         "cores": cores,
         "single_core_bpp": single_bpp,

@@ -17,8 +17,7 @@ Table 2 is discussed in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
 
 from repro.exceptions import HardwareModelError
 from repro.hardware.device import FpgaDevice

@@ -1,0 +1,39 @@
+"""Stripe-parallel codec subsystem.
+
+The paper's multi-core hardware option — several codec cores side by side,
+one horizontal stripe each — realised in software:
+
+* :mod:`repro.parallel.partition` — the deterministic balanced stripe
+  partitioner shared by the encoder and the decoder;
+* :mod:`repro.parallel.executor` — the process-pool executor with a
+  deterministic serial fallback;
+* :mod:`repro.parallel.codec` — :class:`ParallelCodec`, the facade that
+  mirrors :class:`~repro.core.codec.ProposedCodec` and produces/consumes
+  version-2 (striped) containers.
+"""
+
+from repro.parallel.codec import ParallelCodec
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    process_pool_available,
+    resolve_executor,
+)
+from repro.parallel.partition import (
+    StripeSpec,
+    extract_stripe,
+    plan_for_cores,
+    plan_stripes,
+)
+
+__all__ = [
+    "ParallelCodec",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "StripeSpec",
+    "extract_stripe",
+    "plan_for_cores",
+    "plan_stripes",
+    "process_pool_available",
+    "resolve_executor",
+]

@@ -1,0 +1,110 @@
+"""Stripe execution backends: a process pool with a serial fallback.
+
+The stripe-parallel codec maps one task per stripe over an executor.  Two
+interchangeable backends exist:
+
+``SerialExecutor``
+    runs the tasks in order in the calling process.  It is the deterministic
+    reference backend, the ``cores=1`` fast path, and the fallback on
+    platforms where process pools are unavailable (no ``fork``/``spawn``
+    support, sandboxed interpreters without working semaphores, ...).
+
+``ProcessExecutor``
+    fans the tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+    Results are returned in task order, so the assembled stream is
+    byte-identical to the serial backend's — parallelism never changes the
+    bits, only the wall-clock.
+
+``resolve_executor`` picks the right backend for a requested core count and
+degrades gracefully: any failure to stand up a pool yields a
+``SerialExecutor`` instead of an exception.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+__all__ = [
+    "SerialExecutor",
+    "ProcessExecutor",
+    "process_pool_available",
+    "resolve_executor",
+]
+
+
+class SerialExecutor:
+    """Run stripe tasks one after the other in the calling process."""
+
+    #: Number of worker processes ("1" — the calling process).
+    cores = 1
+    #: True when tasks run in worker processes (never, for this backend).
+    is_parallel = False
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> List[_R]:
+        """Apply ``fn`` to every task, in order."""
+        return [fn(task) for task in tasks]
+
+
+class ProcessExecutor:
+    """Fan stripe tasks out over a process pool.
+
+    Parameters
+    ----------
+    cores:
+        Number of worker processes.  The pool is created lazily on the first
+        :meth:`map` call and torn down again afterwards, so no worker
+        processes linger between encodes.
+    """
+
+    is_parallel = True
+
+    def __init__(self, cores: int) -> None:
+        if cores < 2:
+            raise ValueError("ProcessExecutor needs at least 2 cores, got %d" % cores)
+        self.cores = cores
+
+    def map(self, fn: Callable[[_T], _R], tasks: Sequence[_T]) -> List[_R]:
+        """Apply ``fn`` to every task across the pool; results keep task order."""
+        import concurrent.futures
+
+        workers = min(self.cores, len(tasks)) or 1
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks))
+
+
+def process_pool_available() -> bool:
+    """Whether this platform can stand up a working process pool.
+
+    ``multiprocessing`` may be importable yet unusable (missing ``sem_open``
+    on some BSDs and sandboxes, no start method at all on bare interpreters),
+    so probe the pieces a pool actually needs instead of the import alone.
+    """
+    try:
+        import multiprocessing
+        import multiprocessing.synchronize  # noqa: F401  (probes sem_open support)
+
+        return bool(multiprocessing.get_all_start_methods())
+    except (ImportError, OSError):
+        return False
+
+
+def resolve_executor(cores: Optional[int]):
+    """Pick an executor for ``cores`` workers.
+
+    ``None`` means "all available cores".  ``cores <= 1`` — or any platform
+    where a process pool cannot be created — yields the deterministic
+    :class:`SerialExecutor`.
+    """
+    if cores is None:
+        import os
+
+        cores = os.cpu_count() or 1
+    if cores <= 1 or not process_pool_available():
+        return SerialExecutor()
+    try:
+        return ProcessExecutor(cores)
+    except (ValueError, OSError):
+        return SerialExecutor()

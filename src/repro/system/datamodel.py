@@ -13,10 +13,9 @@ so it can also be used directly for file compression from the CLI.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.bitstream import CodecId, pack_stream, unpack_stream
-from repro.entropy.arithmetic import ArithmeticDecoder, ArithmeticEncoder
+from repro.entropy.arithmetic import DEFAULT_PRECISION, ArithmeticDecoder, ArithmeticEncoder
 from repro.entropy.models import AdaptiveByteModel
 from repro.exceptions import CodecMismatchError, ConfigError
 from repro.utils.bitio import BitReader, BitWriter
@@ -92,7 +91,9 @@ class GeneralDataCodec:
             return b""
         length = header.width
         model = self._new_model()
-        reader = BitReader(payload)
+        # Bound phantom reads so a corrupt length field raises instead of
+        # decoding forever from zero bits past the end of the payload.
+        reader = BitReader(payload, max_phantom_bits=4 * DEFAULT_PRECISION)
         coder = ArithmeticDecoder(reader)
         out = bytearray()
         for _ in range(length):

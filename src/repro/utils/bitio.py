@@ -27,7 +27,7 @@ The three classes are:
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.exceptions import BitstreamError
 
@@ -130,6 +130,13 @@ class BitReader:
     ----------
     data:
         The buffer to read from.
+    max_phantom_bits:
+        Upper bound on the number of phantom zero bits
+        :meth:`read_bit_or_zero` may serve past the end of the buffer.
+        ``None`` (the default) keeps the historical unlimited behaviour;
+        decoders of untrusted streams should pass a small multiple of their
+        register width so a corrupt header cannot make them decode from an
+        endless supply of phantom zeros.
 
     Raises
     ------
@@ -137,10 +144,12 @@ class BitReader:
         when more bits are requested than the buffer contains.
     """
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: bytes, max_phantom_bits: Optional[int] = None) -> None:
         self._data = bytes(data)
         self._byte_pos = 0
         self._bit_pos = 0
+        self._phantom_bits = 0
+        self._max_phantom_bits = max_phantom_bits
 
     @property
     def bits_consumed(self) -> int:
@@ -171,9 +180,21 @@ class BitReader:
 
         Arithmetic decoders legitimately read a handful of bits past the last
         payload bit while flushing their registers; those phantom bits are
-        zero by convention.
+        zero by convention.  When ``max_phantom_bits`` was given, exceeding it
+        raises :class:`BitstreamError` — a decoder that keeps asking for data
+        long after the stream ended is decoding a corrupt stream.
         """
         if self._byte_pos >= len(self._data):
+            self._phantom_bits += 1
+            if (
+                self._max_phantom_bits is not None
+                and self._phantom_bits > self._max_phantom_bits
+            ):
+                raise BitstreamError(
+                    "read %d bits past the end of a %d-byte bitstream; "
+                    "the stream is truncated or corrupt"
+                    % (self._phantom_bits, len(self._data))
+                )
             return 0
         return self.read_bit()
 

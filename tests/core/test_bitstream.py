@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.bitstream import CodecId, pack_stream, unpack_stream
+from repro.core.bitstream import (
+    CodecId,
+    pack_stream,
+    split_stripe_payloads,
+    unpack_stream,
+)
 from repro.exceptions import BitstreamError, HeaderError
 
 
@@ -89,3 +94,87 @@ class TestUnpackValidation:
         stream[14] = 0
         with pytest.raises(HeaderError):
             unpack_stream(bytes(stream))
+
+
+class TestStripedContainer:
+    def test_version1_roundtrip_unchanged(self):
+        stream = pack_stream(CodecId.PROPOSED, 8, 8, 8, b"payload")
+        header, payload = unpack_stream(stream)
+        assert header.version == 1
+        assert header.stripe_lengths == ()
+        assert header.stripe_count == 1
+        assert split_stripe_payloads(header, payload) == [b"payload"]
+
+    def test_version2_roundtrip(self):
+        stripes = [b"aaa", b"bb", b"cccc"]
+        stream = pack_stream(
+            CodecId.PROPOSED_HARDWARE,
+            16,
+            9,
+            8,
+            b"".join(stripes),
+            parameter=14,
+            flags=1,
+            stripe_lengths=[len(s) for s in stripes],
+        )
+        header, payload = unpack_stream(stream)
+        assert header.version == 2
+        assert header.stripe_lengths == (3, 2, 4)
+        assert header.stripe_count == 3
+        assert header.payload_length == 9
+        assert split_stripe_payloads(header, payload) == stripes
+
+    def test_single_stripe_version2(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"xyz", stripe_lengths=[3])
+        header, payload = unpack_stream(stream)
+        assert header.version == 2
+        assert header.stripe_count == 1
+        assert split_stripe_payloads(header, payload) == [b"xyz"]
+
+    def test_empty_stripe_payload_allowed(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 2, 8, b"ab", stripe_lengths=[2, 0])
+        header, payload = unpack_stream(stream)
+        assert split_stripe_payloads(header, payload) == [b"ab", b""]
+
+    def test_trailing_garbage_is_ignored(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcd", stripe_lengths=[2, 2])
+        header, payload = unpack_stream(stream + b"GARBAGE")
+        assert split_stripe_payloads(header, payload) == [b"ab", b"cd"]
+
+    def test_stripe_table_must_sum_to_payload(self):
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcd", stripe_lengths=[2, 3])
+
+    def test_more_stripes_than_rows_rejected_on_pack(self):
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 4, 2, 8, b"abc", stripe_lengths=[1, 1, 1])
+
+    def test_more_stripes_than_rows_rejected_on_unpack(self):
+        stream = bytearray(
+            pack_stream(CodecId.PROPOSED, 4, 2, 8, b"ab", stripe_lengths=[1, 1])
+        )
+        stream[13] = 1  # shrink height to 1 row below the 2-stripe table
+        with pytest.raises(HeaderError):
+            unpack_stream(bytes(stream))
+
+    def test_zero_stripes_rejected(self):
+        with pytest.raises(HeaderError):
+            pack_stream(CodecId.PROPOSED, 4, 4, 8, b"", stripe_lengths=[])
+
+    def test_truncated_stripe_table(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcd", stripe_lengths=[2, 2])
+        with pytest.raises(HeaderError):
+            unpack_stream(stream[:25])  # cut inside the length entries
+
+    def test_corrupt_stripe_length_detected(self):
+        stream = bytearray(
+            pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcd", stripe_lengths=[2, 2])
+        )
+        stream[26] += 1  # first length entry no longer matches the total
+        with pytest.raises(BitstreamError):
+            unpack_stream(bytes(stream))
+
+    def test_truncated_striped_payload(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcdef", stripe_lengths=[3, 3])
+        with pytest.raises(BitstreamError):
+            unpack_stream(stream[:-2])

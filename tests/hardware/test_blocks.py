@@ -5,7 +5,6 @@ import pytest
 from repro.core.config import CodecConfig
 from repro.hardware.blocks import (
     PAPER_TABLE2,
-    ArithmeticCoderBlock,
     ModelingBlock,
     ProbabilityEstimatorBlock,
     default_blocks,

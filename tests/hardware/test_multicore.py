@@ -59,10 +59,12 @@ class TestStripePartitioning:
         reassembled = [row for stripe in stripes for y in range(stripe.height) for row in [stripe.row(y)]]
         assert reassembled == [image.row(y) for y in range(image.height)]
 
-    def test_remainder_goes_to_last_stripe(self):
+    def test_remainder_rows_go_to_the_first_stripes(self):
+        # Balanced partition (shared with repro.parallel): heights differ by
+        # at most one row, the taller stripes coming first.
         image = generate_image("boat", size=50)
         stripes = split_into_stripes(image, 4)
-        assert [s.height for s in stripes] == [12, 12, 12, 14]
+        assert [s.height for s in stripes] == [13, 13, 12, 12]
 
     def test_invalid_core_counts(self):
         image = generate_image("boat", size=32)
@@ -85,3 +87,51 @@ class TestStripePenalty:
         two = measure_stripe_penalty(image, cores=2)["multi_core_bpp"]
         eight = measure_stripe_penalty(image, cores=8)["multi_core_bpp"]
         assert eight >= two - 0.02
+
+
+class TestEstimateScaling:
+    def test_points_carry_predicted_penalty(self):
+        from repro.hardware.multicore import estimate_scaling
+
+        points = estimate_scaling(128, 128, [1, 2, 4])
+        assert points[0].predicted_penalty_bpp == 0.0
+        penalties = [p.predicted_penalty_bpp for p in points]
+        assert penalties == sorted(penalties)
+        assert penalties[-1] > 0.0
+
+    def test_predict_penalty_clamps_to_height(self):
+        from repro.hardware.multicore import predict_stripe_penalty_bpp
+
+        assert predict_stripe_penalty_bpp(64, 4, 100) == predict_stripe_penalty_bpp(64, 4, 4)
+
+    def test_predict_penalty_rejects_bad_input(self):
+        from repro.hardware.multicore import predict_stripe_penalty_bpp
+
+        with pytest.raises(HardwareModelError):
+            predict_stripe_penalty_bpp(0, 8, 2)
+        with pytest.raises(HardwareModelError):
+            predict_stripe_penalty_bpp(8, 8, 0)
+
+
+class TestValidateScaling:
+    def test_prediction_tracks_measurement(self):
+        from repro.hardware.multicore import validate_scaling
+
+        image = generate_image("lena", size=64)
+        rows = validate_scaling(image, [1, 2, 4])
+        assert [row["cores"] for row in rows] == [1, 2, 4]
+        # cores=1 still pays the (tiny) version-2 container overhead.
+        assert 0.0 <= rows[0]["measured_penalty_bpp"] < 0.05
+        for row in rows[1:]:
+            # Model and measurement agree on the order of magnitude.
+            assert row["measured_penalty_bpp"] < 3.0 * row["predicted_penalty_bpp"] + 0.02
+            assert row["measured_penalty_bpp"] > 0.0
+
+    def test_format_validation_table(self):
+        from repro.hardware.multicore import format_validation_table, validate_scaling
+
+        image = generate_image("boat", size=64)
+        table = format_validation_table(validate_scaling(image, [1, 2]))
+        lines = table.splitlines()
+        assert lines[0].startswith("cores")
+        assert len(lines) == 3

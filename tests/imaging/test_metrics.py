@@ -1,7 +1,5 @@
 """Tests for the image/bitstream metrics."""
 
-import math
-
 import pytest
 
 from repro.exceptions import ImageFormatError

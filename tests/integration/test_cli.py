@@ -52,6 +52,72 @@ class TestCompressDecompress:
         assert decompress_main([str(bad), str(tmp_path / "out.pgm")]) == 1
 
 
+class TestParallelCores:
+    @pytest.mark.parametrize("cores", [1, 3])
+    def test_striped_roundtrip_via_cli(self, tmp_path, pgm_path, cores):
+        path, image = pgm_path
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.pgm"
+        assert compress_main([str(path), str(compressed), "--cores", str(cores)]) == 0
+        assert decompress_main([str(compressed), str(restored), "--cores", str(cores)]) == 0
+        assert read_pgm(restored) == image
+
+    def test_striped_stream_decodes_without_cores_flag(self, tmp_path, pgm_path):
+        path, image = pgm_path
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.pgm"
+        assert compress_main([str(path), str(compressed), "--cores", "4"]) == 0
+        assert decompress_main([str(compressed), str(restored)]) == 0
+        assert read_pgm(restored) == image
+
+    def test_cores_rejected_for_baseline_codecs(self, tmp_path, pgm_path):
+        path, _ = pgm_path
+        with pytest.raises(SystemExit):
+            compress_main([str(path), str(tmp_path / "o.rplc"), "--codec", "slp", "--cores", "2"])
+
+    def test_cores_rejected_for_data_mode(self, tmp_path):
+        source = tmp_path / "blob.bin"
+        source.write_bytes(b"x" * 64)
+        with pytest.raises(SystemExit):
+            compress_main([str(source), str(tmp_path / "o.rplc"), "--data", "--cores", "2"])
+
+
+class TestErrorReporting:
+    def test_header_error_is_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rplc"
+        bad.write_bytes(b"RP")
+        assert decompress_main([str(bad), str(tmp_path / "out.pgm")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("HeaderError: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_truncated_payload_is_one_line_bitstream_error(self, tmp_path, pgm_path, capsys):
+        path, _ = pgm_path
+        compressed = tmp_path / "out.rplc"
+        assert compress_main([str(path), str(compressed)]) == 0
+        data = compressed.read_bytes()
+        compressed.write_bytes(data[: len(data) // 2])
+        assert decompress_main([str(compressed), str(tmp_path / "out.pgm")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("BitstreamError: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_header_dimensions_do_not_hang(self, tmp_path, pgm_path, capsys):
+        # A corrupted height field used to make the decoder chew through an
+        # endless supply of phantom zero bits; it must now exit non-zero with
+        # a one-line BitstreamError/HeaderError message.
+        path, _ = pgm_path
+        compressed = tmp_path / "out.rplc"
+        assert compress_main([str(path), str(compressed)]) == 0
+        data = bytearray(compressed.read_bytes())
+        data[10] = 0x7F  # height ~= 2 billion rows
+        compressed.write_bytes(bytes(data))
+        assert decompress_main([str(compressed), str(tmp_path / "out.pgm")]) == 1
+        err = capsys.readouterr().err
+        assert err.splitlines()[0].split(":")[0] in ("BitstreamError", "HeaderError")
+
+
 class TestBench:
     def test_table2_runs(self, capsys):
         assert bench_main(["table2"]) == 0

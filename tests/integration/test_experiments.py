@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import CodecConfig
 from repro.experiments.ablations import run_division_ablation, run_overflow_guard_ablation
 from repro.experiments.figure4 import PAPER_FIGURE4, run_figure4
 from repro.experiments.table1 import PAPER_TABLE1, default_codecs, run_table1

@@ -1,0 +1,61 @@
+"""Tests for the stripe execution backends."""
+
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    process_pool_available,
+    resolve_executor,
+)
+
+
+def _square(value):
+    return value * value
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_empty_task_list(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_is_not_parallel(self):
+        executor = SerialExecutor()
+        assert executor.cores == 1
+        assert executor.is_parallel is False
+
+
+class TestProcessExecutor:
+    def test_rejects_single_core(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(1)
+
+    @pytest.mark.skipif(not process_pool_available(), reason="no process pool support")
+    def test_maps_in_order_across_processes(self):
+        assert ProcessExecutor(2).map(_square, list(range(8))) == [
+            value * value for value in range(8)
+        ]
+
+    @pytest.mark.skipif(not process_pool_available(), reason="no process pool support")
+    def test_matches_serial_results(self):
+        tasks = list(range(5))
+        assert ProcessExecutor(3).map(_square, tasks) == SerialExecutor().map(_square, tasks)
+
+
+class TestResolveExecutor:
+    def test_one_core_is_serial(self):
+        assert isinstance(resolve_executor(1), SerialExecutor)
+
+    def test_none_uses_available_cpus(self):
+        executor = resolve_executor(None)
+        assert executor.cores >= 1
+
+    def test_many_cores_prefers_a_pool_when_available(self):
+        executor = resolve_executor(4)
+        if process_pool_available():
+            assert isinstance(executor, ProcessExecutor)
+            assert executor.cores == 4
+        else:
+            assert isinstance(executor, SerialExecutor)

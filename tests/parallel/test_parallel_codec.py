@@ -1,0 +1,118 @@
+"""Tests for the stripe-parallel codec facade."""
+
+import pytest
+
+from repro.core.bitstream import unpack_stream
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.core.decoder import decode_image
+from repro.exceptions import BitstreamError, CodecMismatchError, ConfigError
+from repro.imaging.image import GrayImage
+from repro.imaging.synthetic import generate_image
+from repro.parallel import ParallelCodec, SerialExecutor, process_pool_available
+
+
+@pytest.fixture(scope="module")
+def image():
+    return generate_image("lena", size=48)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cores", [1, 2, 4, 8])
+    def test_bit_exact_roundtrip(self, image, cores):
+        codec = ParallelCodec(cores=cores)
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_more_cores_than_rows(self):
+        image = GrayImage(16, 4, [(x * 7 + y * 13) % 256 for y in range(4) for x in range(16)])
+        codec = ParallelCodec(cores=64)
+        stream = codec.encode(image)
+        header, _ = unpack_stream(stream)
+        assert header.stripe_count == image.height  # clamped, one row per stripe
+        assert codec.decode(stream) == image
+
+    def test_single_row_image(self):
+        image = GrayImage(16, 1, list(range(16)))
+        codec = ParallelCodec(cores=4)
+        stream = codec.encode(image)
+        header, _ = unpack_stream(stream)
+        assert header.stripe_count == 1
+        assert codec.decode(stream) == image
+
+    def test_reference_configuration(self, image):
+        codec = ParallelCodec(cores=3, config=CodecConfig.reference())
+        assert codec.decode(codec.encode(image)) == image
+
+
+class TestDeterminism:
+    def test_parallel_stream_is_byte_identical_to_serial(self, image):
+        serial = ParallelCodec(cores=4, executor=SerialExecutor()).encode(image)
+        parallel = ParallelCodec(cores=4).encode(image)
+        assert serial == parallel
+
+    def test_stream_depends_on_stripe_count_not_executor(self, image):
+        two = ParallelCodec(cores=2, executor=SerialExecutor()).encode(image)
+        four = ParallelCodec(cores=4, executor=SerialExecutor()).encode(image)
+        assert two != four
+
+    @pytest.mark.skipif(not process_pool_available(), reason="no process pool support")
+    def test_parallel_decode_matches_serial_decode(self, image):
+        stream = ParallelCodec(cores=4).encode(image)
+        assert ParallelCodec(cores=4).decode(stream) == decode_image(stream)
+
+
+class TestInterop:
+    def test_serial_codec_stream_decodes_in_parallel_codec(self, image):
+        stream = ProposedCodec().encode(image)  # version-1 container
+        assert ParallelCodec(cores=4).decode(stream) == image
+
+    def test_striped_stream_decodes_in_serial_decoder(self, image):
+        stream = ParallelCodec(cores=4).encode(image)
+        assert decode_image(stream) == image
+        assert ProposedCodec().decode(stream) == image
+
+    def test_single_stripe_stream_still_uses_striped_container(self, image):
+        stream = ParallelCodec(cores=1).encode(image)
+        header, _ = unpack_stream(stream)
+        assert header.version == 2
+        assert header.stripe_count == 1
+
+    def test_statistics_are_aggregated(self, image):
+        codec = ParallelCodec(cores=4, executor=SerialExecutor())
+        stream = codec.encode(image)
+        stats = codec.last_statistics
+        assert stats is not None
+        assert stats.total_bytes == len(stream)
+        assert stats.payload_bytes == sum(unpack_stream(stream)[0].stripe_lengths)
+        assert stats.binary_decisions > 0
+
+
+class TestValidation:
+    def test_rejects_non_positive_cores(self):
+        with pytest.raises(ConfigError):
+            ParallelCodec(cores=0)
+
+    def test_bit_depth_mismatch(self, image):
+        codec = ParallelCodec(cores=2, config=CodecConfig.hardware(bit_depth=12))
+        with pytest.raises(ConfigError):
+            codec.encode(image)
+
+    def test_config_mismatch_on_decode(self, image):
+        stream = ParallelCodec(cores=2).encode(image)
+        strict = ParallelCodec(cores=2, config=CodecConfig.hardware(count_bits=10))
+        with pytest.raises(CodecMismatchError):
+            strict.decode(stream)
+
+    def test_truncated_striped_stream(self, image):
+        stream = ParallelCodec(cores=2).encode(image)
+        with pytest.raises(BitstreamError):
+            ParallelCodec(cores=2).decode(stream[:-5])
+
+    def test_corrupt_stripe_table_detected(self, image):
+        stream = bytearray(ParallelCodec(cores=2).encode(image))
+        # First stripe-length entry lives right after the 21-byte fixed
+        # header and the 2-byte stripe count; bump it so the table no longer
+        # sums to the declared payload length.
+        stream[26] ^= 0x01
+        with pytest.raises(BitstreamError):
+            ParallelCodec(cores=2).decode(bytes(stream))

@@ -1,0 +1,81 @@
+"""Tests for the balanced stripe partitioner."""
+
+import pytest
+
+from repro.exceptions import StripingError
+from repro.imaging.synthetic import generate_image
+from repro.parallel.partition import extract_stripe, plan_for_cores, plan_stripes
+
+
+class TestPlanStripes:
+    def test_even_split(self):
+        plan = plan_stripes(64, 4)
+        assert [spec.row_count for spec in plan] == [16, 16, 16, 16]
+        assert [spec.start_row for spec in plan] == [0, 16, 32, 48]
+
+    def test_remainder_rows_go_to_the_first_stripes(self):
+        plan = plan_stripes(10, 3)
+        assert [spec.row_count for spec in plan] == [4, 3, 3]
+        assert plan[-1].stop_row == 10
+
+    def test_balanced_heights_differ_by_at_most_one(self):
+        for height in (7, 33, 100, 257):
+            for stripes in (1, 2, 3, 5, 7):
+                rows = [spec.row_count for spec in plan_stripes(height, stripes)]
+                assert sum(rows) == height
+                assert max(rows) - min(rows) <= 1
+
+    def test_contiguous_cover(self):
+        plan = plan_stripes(37, 5)
+        position = 0
+        for spec in plan:
+            assert spec.start_row == position
+            position = spec.stop_row
+        assert position == 37
+
+    def test_single_row_stripes(self):
+        plan = plan_stripes(6, 6)
+        assert [spec.row_count for spec in plan] == [1] * 6
+
+    def test_invalid_requests(self):
+        with pytest.raises(StripingError):
+            plan_stripes(0, 1)
+        with pytest.raises(StripingError):
+            plan_stripes(8, 0)
+        with pytest.raises(StripingError):
+            plan_stripes(4, 5)
+
+
+class TestPlanForCores:
+    def test_clamps_to_height(self):
+        plan = plan_for_cores(3, 8)
+        assert len(plan) == 3
+        assert [spec.row_count for spec in plan] == [1, 1, 1]
+
+    def test_matches_plan_stripes_when_feasible(self):
+        assert plan_for_cores(64, 4) == plan_stripes(64, 4)
+
+    def test_rejects_non_positive_cores(self):
+        with pytest.raises(StripingError):
+            plan_for_cores(8, 0)
+
+
+class TestExtractStripe:
+    def test_stripes_reassemble_to_the_image(self):
+        image = generate_image("boat", size=32)
+        rows = []
+        for spec in plan_stripes(image.height, 5):
+            stripe = extract_stripe(image, spec)
+            assert stripe.width == image.width
+            assert stripe.height == spec.row_count
+            for y in range(stripe.height):
+                rows.append(stripe.row(y))
+        flat = [value for row in rows for value in row]
+        assert flat == image.pixels()
+
+    def test_out_of_range_spec_rejected(self):
+        from repro.parallel.partition import StripeSpec
+
+        image = generate_image("boat", size=16)
+        with pytest.raises(StripingError):
+            extract_stripe(image, StripeSpec(index=0, start_row=10, row_count=10))

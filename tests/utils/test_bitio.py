@@ -217,3 +217,28 @@ class TestRoundtripProperties:
         writer.write_bytes(payload)
         reader = BitReader(writer.getvalue())
         assert reader.read_bytes(len(payload)) == payload
+
+
+class TestPhantomBitLimit:
+    def test_unlimited_by_default(self):
+        reader = BitReader(b"")
+        for _ in range(10_000):
+            assert reader.read_bit_or_zero() == 0
+
+    def test_limit_raises_bitstream_error(self):
+        reader = BitReader(b"\xff", max_phantom_bits=16)
+        for _ in range(8):
+            assert reader.read_bit_or_zero() == 1
+        for _ in range(16):
+            assert reader.read_bit_or_zero() == 0
+        with pytest.raises(BitstreamError):
+            reader.read_bit_or_zero()
+
+    def test_real_bits_do_not_count_against_the_limit(self):
+        reader = BitReader(b"\x00\x00", max_phantom_bits=4)
+        for _ in range(16):
+            reader.read_bit_or_zero()
+        for _ in range(4):
+            assert reader.read_bit_or_zero() == 0
+        with pytest.raises(BitstreamError):
+            reader.read_bit_or_zero()
