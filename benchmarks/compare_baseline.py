@@ -1,0 +1,147 @@
+"""Compare a ``repro-bench --json`` run against the committed baseline.
+
+The CI performance-regression gate runs::
+
+    python -m repro.cli engines throughput --size 64 --json BENCH_ci.json
+    python benchmarks/compare_baseline.py benchmarks/baseline.json BENCH_ci.json
+
+and fails when
+
+* any ``bpp`` value differs from the baseline (the streams are
+  deterministic, so any drift is a format/compression change that must be
+  reviewed and re-baselined deliberately), or
+* any ``mb_per_s`` value regresses by more than the tolerance (default
+  25%; runners are noisy, real slowdowns are not), or
+* an experiment present in the baseline is missing or errored in the
+  current run.
+
+Baselines are recorded on whatever machine ran the bench last, and CI
+runners differ in absolute speed, so throughput values are **normalised
+before comparison**: within each experiment, every ``mb_per_s`` value is
+divided by that run's mean reference-engine rate (the keys named
+``reference`` or ``*/reference``).  A uniformly slower runner cancels out;
+a real regression of the fast engine relative to the reference engine — the
+thing this gate protects — does not.  Experiments without a reference-engine
+anchor fall back to absolute comparison.
+
+Throughput *improvements* never fail the gate.  To re-baseline after an
+intentional change, re-run the bench command above and commit the fresh
+JSON as ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def _reference_anchor(mb_per_s: dict) -> float:
+    """Mean reference-engine rate of one experiment (0.0 when absent)."""
+    rates = [
+        value
+        for key, value in mb_per_s.items()
+        if (key == "reference" or key.endswith("/reference")) and value > 0.0
+    ]
+    return sum(rates) / len(rates) if rates else 0.0
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> List[str]:
+    """Return a list of human-readable gate violations (empty = pass)."""
+    problems: List[str] = []
+    baseline_experiments = baseline.get("experiments", {})
+    current_experiments = current.get("experiments", {})
+
+    for name, expected in sorted(baseline_experiments.items()):
+        actual = current_experiments.get(name)
+        if actual is None:
+            problems.append("%s: missing from the current run" % name)
+            continue
+        if actual.get("status") != "ok":
+            problems.append(
+                "%s: current run failed (%s)" % (name, actual.get("error", "unknown error"))
+            )
+            continue
+        if expected.get("status") != "ok":
+            # A failed baseline entry cannot gate anything; flag it so it
+            # gets re-baselined rather than silently skipped forever.
+            problems.append("%s: baseline entry is not ok; re-baseline" % name)
+            continue
+
+        for key, expected_bpp in sorted(expected.get("bpp", {}).items()):
+            actual_bpp = actual.get("bpp", {}).get(key)
+            if actual_bpp is None:
+                problems.append("%s: bpp[%s] missing from the current run" % (name, key))
+            elif actual_bpp != expected_bpp:
+                problems.append(
+                    "%s: bpp[%s] changed %.6f -> %.6f (any change fails the gate)"
+                    % (name, key, expected_bpp, actual_bpp)
+                )
+
+        expected_rates = expected.get("mb_per_s", {})
+        actual_rates = actual.get("mb_per_s", {})
+        expected_anchor = _reference_anchor(expected_rates)
+        actual_anchor = _reference_anchor(actual_rates)
+        normalised = expected_anchor > 0.0 and actual_anchor > 0.0
+        for key, expected_rate in sorted(expected_rates.items()):
+            actual_rate = actual_rates.get(key)
+            if actual_rate is None:
+                problems.append("%s: mb_per_s[%s] missing from the current run" % (name, key))
+                continue
+            if normalised:
+                expected_value = expected_rate / expected_anchor
+                actual_value = actual_rate / actual_anchor
+                unit = "x reference"
+            else:
+                expected_value = expected_rate
+                actual_value = actual_rate
+                unit = "MB/s"
+            floor = expected_value * (1.0 - tolerance)
+            if actual_value < floor:
+                problems.append(
+                    "%s: mb_per_s[%s] regressed %.3f -> %.3f %s "
+                    "(floor %.3f at %.0f%% tolerance)"
+                    % (name, key, expected_value, actual_value, unit, floor, 100.0 * tolerance)
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON (benchmarks/baseline.json)")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    problems = compare(baseline, current, args.tolerance)
+    checked = sum(
+        len(entry.get("bpp", {})) + len(entry.get("mb_per_s", {}))
+        for entry in baseline.get("experiments", {}).values()
+    )
+    if problems:
+        print("performance gate FAILED (%d problems):" % len(problems))
+        for problem in problems:
+            print("  - %s" % problem)
+        return 1
+    print(
+        "performance gate passed: %d metrics across %d experiments within bounds"
+        % (checked, len(baseline.get("experiments", {})))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,12 @@ def ablation_size() -> int:
 
 
 @pytest.fixture(scope="session")
+def engine_size() -> int:
+    """Corpus size for the engine-comparison benchmark."""
+    return _size_from_env("REPRO_BENCH_SIZE", 96)
+
+
+@pytest.fixture(scope="session")
 def record_report():
     """Persist a benchmark's formatted table under ``benchmarks/results/``.
 

@@ -14,6 +14,9 @@ The package is organised as follows:
 * :mod:`repro.hardware` — the FPGA resource, timing and pipeline models that
   regenerate Table 2 and the throughput claims.
 * :mod:`repro.system` — the reconfigurable universal compressor of Figure 1.
+* :mod:`repro.fast` — the fast coding engine (row-vectorized modelling +
+  inlined entropy back-end); byte-identical streams, selected through
+  ``engine="fast"`` on the codec front-ends and the CLI.
 * :mod:`repro.parallel` — the stripe-parallel codec subsystem (the paper's
   multi-core option in software: balanced stripe partitioning, a process
   pool with serial fallback and the :class:`ParallelCodec` facade).
@@ -25,7 +28,7 @@ from repro.core import CodecConfig, ProposedCodec, decode_image, encode_image
 from repro.imaging import GrayImage, generate_corpus, generate_image
 from repro.parallel import ParallelCodec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CodecConfig",

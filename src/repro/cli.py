@@ -11,16 +11,22 @@ Three console scripts are installed (see ``pyproject.toml``):
     codec is auto-detected from the container header.
 
 ``repro-bench``
-    Regenerate any of the paper's tables/figures from the command line
-    (``table1``, ``figure4``, ``table2``, ``throughput``, ``ablations``,
-    ``parallel``).
+    Regenerate one or more of the paper's tables/figures from the command
+    line (``table1``, ``figure4``, ``table2``, ``throughput``,
+    ``ablations``, ``parallel``, ``engines``).  With ``--json PATH`` a
+    machine-readable summary (bits per pixel and MB/s per experiment) is
+    written as well — the input of the CI performance-regression gate.
+    When one experiment fails the remaining ones still run and the partial
+    results are still printed/written; the exit status is non-zero and the
+    failing experiments are named on stderr.
 
 ``repro-compress``/``repro-decompress`` accept ``--cores N`` to run the
 stripe-parallel codec: the image is coded as ``N`` independent stripes
 (version-2 container) by a pool of worker processes, mirroring the paper's
 multi-core hardware option.  ``repro-bench parallel --cores N`` validates
 the hardware model's predicted stripe penalty against actual striped
-encodes.
+encodes.  ``--engine fast`` selects the vectorized coding engine (byte-
+identical streams, several times faster); it composes with ``--cores``.
 
 Errors are reported as a single ``ExceptionName: message`` line on stderr
 with a non-zero exit status; corrupt or truncated containers surface as
@@ -30,6 +36,7 @@ with a non-zero exit status; corrupt or truncated containers surface as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -40,6 +47,7 @@ from repro.baselines.slp import SlpCodec
 from repro.core.bitstream import CodecId, unpack_stream
 from repro.core.codec import ProposedCodec
 from repro.core.config import CodecConfig
+from repro.core.interface import ENGINES
 from repro.exceptions import ReproError
 from repro.imaging.pnm import read_pgm, write_pgm
 from repro.system.datamodel import GeneralDataCodec
@@ -111,11 +119,20 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="encode as N independent stripes in parallel (proposed codecs only)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="coding engine for the proposed codecs; streams are byte-identical "
+        "(default: reference)",
+    )
     args = parser.parse_args(argv)
     if args.cores is not None and args.cores < 1:
         parser.error("--cores must be a positive integer")
     if args.cores is not None and (args.data or not args.codec.startswith("proposed")):
         parser.error("--cores is only supported with the proposed image codecs")
+    if args.engine != "reference" and (args.data or not args.codec.startswith("proposed")):
+        parser.error("--engine is only supported with the proposed image codecs")
 
     try:
         if args.data:
@@ -131,9 +148,11 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
                     else CodecConfig.reference(count_bits=args.count_bits)
                 )
                 if args.cores is not None:
-                    codec = ProposedCodec.parallel(cores=args.cores, config=config)
+                    codec = ProposedCodec.parallel(
+                        cores=args.cores, config=config, engine=args.engine
+                    )
                 else:
-                    codec = ProposedCodec(config)
+                    codec = ProposedCodec(config, engine=args.engine)
             else:
                 codec = _IMAGE_CODECS[args.codec]()
             stream = codec.encode(image)
@@ -166,6 +185,12 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="decode striped streams with up to N worker processes",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="decoding engine for proposed-codec streams (default: reference)",
+    )
     args = parser.parse_args(argv)
     if args.cores is not None and args.cores < 1:
         parser.error("--cores must be a positive integer")
@@ -178,11 +203,13 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
         else:
             if codec is None:
                 if args.cores is not None:
-                    image = ProposedCodec.parallel(cores=args.cores).decode(stream)
+                    image = ProposedCodec.parallel(
+                        cores=args.cores, engine=args.engine
+                    ).decode(stream)
                 else:
                     from repro.core.decoder import decode_image
 
-                    image = decode_image(stream)
+                    image = decode_image(stream, engine=args.engine)
             else:
                 image = codec.decode(stream)
             write_pgm(image, args.output)
@@ -194,16 +221,119 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+_BENCH_EXPERIMENTS = (
+    "table1",
+    "figure4",
+    "table2",
+    "throughput",
+    "ablations",
+    "parallel",
+    "engines",
+)
+
+
+def _run_bench_experiment(name: str, args) -> tuple:
+    """Run one ``repro-bench`` experiment.
+
+    Returns ``(report_text, json_payload)`` where ``json_payload`` carries
+    the machine-readable ``bpp`` / ``mb_per_s`` summaries (empty dicts when
+    the experiment has no such numbers).
+    """
+    if name == "table1":
+        from repro.experiments.table1 import run_table1
+
+        size = args.size or (512 if args.full else 256)
+        result = run_table1(size=size, seed=args.seed)
+        text = "Table 1 (synthetic corpus, %dx%d):\n%s" % (
+            size,
+            size,
+            result.format_table(include_paper=True),
+        )
+        return text, result.as_json()
+    if name == "figure4":
+        from repro.experiments.figure4 import run_figure4
+
+        size = args.size or (512 if args.full else 128)
+        result = run_figure4(size=size, seed=args.seed)
+        text = "Figure 4 (synthetic corpus, %dx%d):\n%s" % (size, size, result.format_table())
+        return text, result.as_json()
+    if name == "table2":
+        from repro.experiments.table2 import run_table2
+
+        return run_table2().format_report(), {"bpp": {}, "mb_per_s": {}}
+    if name == "throughput":
+        from repro.experiments.throughput import run_throughput
+
+        size = args.size or 128
+        result = run_throughput(size=size)
+        return result.format_report(), result.as_json()
+    if name == "engines":
+        from repro.experiments.engines import run_engine_comparison
+
+        size = args.size or (512 if args.full else 96)
+        result = run_engine_comparison(size=size, seed=args.seed)
+        text = "Engine comparison (synthetic corpus, %dx%d):\n%s" % (
+            size,
+            size,
+            result.format_report(),
+        )
+        return text, result.as_json()
+    if name == "parallel":
+        from repro.hardware.multicore import (
+            estimate_scaling,
+            format_validation_table,
+            validate_scaling,
+        )
+        from repro.imaging.synthetic import generate_image
+
+        size = args.size or (512 if args.full else 128)
+        # --cores is a maximum: clamp to the image height like the codec does.
+        max_cores = min(args.cores, size)
+        core_counts = sorted({1, max_cores} | {2**k for k in range(1, 16) if 2**k < max_cores})
+        image = generate_image("lena", size=size, seed=args.seed)
+        points = estimate_scaling(size, size, core_counts)
+        lines = ["Predicted multi-core scaling (%dx%d image, 123 MHz per core):" % (size, size)]
+        lines.extend(point.format_row() for point in points)
+        lines.append("")
+        lines.append("Measured stripe penalty (parallel striped encodes, %dx%d lena):" % (size, size))
+        lines.append(format_validation_table(validate_scaling(image, core_counts, parallel=True)))
+        return "\n".join(lines), {"bpp": {}, "mb_per_s": {}}
+    # ablations
+    from repro.experiments.ablations import (
+        run_division_ablation,
+        run_overflow_guard_ablation,
+    )
+
+    size = args.size or 128
+    overflow = run_overflow_guard_ablation(size=size, seed=args.seed)
+    division = run_division_ablation(size=size, seed=args.seed)
+    text = "%s\n\n%s" % (overflow.format_report(), division.format_report())
+    overflow_json = overflow.as_json()
+    division_json = division.as_json()
+    merged = {
+        "bpp": {**overflow_json["bpp"], **division_json["bpp"]},
+        "mb_per_s": {},
+    }
+    return text, merged
+
+
 def bench_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of ``repro-bench``."""
+    """Entry point of ``repro-bench``.
+
+    Experiments run in the order given; a failing experiment does not stop
+    the remaining ones, the partial results (stdout and ``--json``) are
+    still produced, and the exit status is non-zero with the failing
+    experiments named on stderr.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "figure4", "table2", "throughput", "ablations", "parallel"],
-        help="which artefact to regenerate",
+        nargs="+",
+        choices=_BENCH_EXPERIMENTS,
+        help="which artefact(s) to regenerate",
     )
     parser.add_argument("--size", type=int, default=None, help="corpus image size in pixels")
     parser.add_argument("--seed", type=int, default=2007, help="corpus random seed")
@@ -217,68 +347,62 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="maximum core count for the parallel experiment (default 4)",
     )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="also write a machine-readable summary (bpp + MB/s per experiment)",
+    )
     args = parser.parse_args(argv)
     if args.cores < 1:
         parser.error("--cores must be a positive integer")
 
-    try:
-        if args.experiment == "table1":
-            from repro.experiments.table1 import run_table1
-
-            size = args.size or (512 if args.full else 256)
-            result = run_table1(size=size, seed=args.seed)
-            print("Table 1 (synthetic corpus, %dx%d):" % (size, size))
-            print(result.format_table(include_paper=True))
-        elif args.experiment == "figure4":
-            from repro.experiments.figure4 import run_figure4
-
-            size = args.size or (512 if args.full else 128)
-            result = run_figure4(size=size, seed=args.seed)
-            print("Figure 4 (synthetic corpus, %dx%d):" % (size, size))
-            print(result.format_table())
-        elif args.experiment == "table2":
-            from repro.experiments.table2 import run_table2
-
-            print(run_table2().format_report())
-        elif args.experiment == "throughput":
-            from repro.experiments.throughput import run_throughput
-
-            size = args.size or 128
-            print(run_throughput(size=size).format_report())
-        elif args.experiment == "parallel":
-            from repro.hardware.multicore import (
-                estimate_scaling,
-                format_validation_table,
-                validate_scaling,
-            )
-            from repro.imaging.synthetic import generate_image
-
-            size = args.size or (512 if args.full else 128)
-            # --cores is a maximum: clamp to the image height like the codec does.
-            max_cores = min(args.cores, size)
-            core_counts = sorted({1, max_cores} | {2**k for k in range(1, 16) if 2**k < max_cores})
-            image = generate_image("lena", size=size, seed=args.seed)
-            points = estimate_scaling(size, size, core_counts)
-            print("Predicted multi-core scaling (%dx%d image, 123 MHz per core):" % (size, size))
-            for point in points:
-                print(point.format_row())
+    # Dedupe while keeping the order the user asked for.
+    experiments = list(dict.fromkeys(args.experiment))
+    summary = {
+        "schema": 1,
+        "seed": args.seed,
+        "size": args.size,
+        "full": bool(args.full),
+        "experiments": {},
+    }
+    failures: List[str] = []
+    for index, name in enumerate(experiments):
+        if index:
             print()
-            print("Measured stripe penalty (parallel striped encodes, %dx%d lena):" % (size, size))
-            print(format_validation_table(validate_scaling(image, core_counts, parallel=True)))
-        else:
-            from repro.experiments.ablations import (
-                run_division_ablation,
-                run_overflow_guard_ablation,
-            )
+        try:
+            text, payload = _run_bench_experiment(name, args)
+        except Exception as error:  # noqa: BLE001 - isolate experiment failures
+            _print_error(error)
+            failures.append(name)
+            summary["experiments"][name] = {
+                "status": "error",
+                "error": "%s: %s" % (type(error).__name__, error),
+            }
+            continue
+        print(text)
+        summary["experiments"][name] = {"status": "ok", **payload}
 
-            size = args.size or 128
-            print(run_overflow_guard_ablation(size=size, seed=args.seed).format_report())
-            print()
-            print(run_division_ablation(size=size, seed=args.seed).format_report())
-    except (ReproError, OSError) as error:
-        _print_error(error)
-        return 1
-    return 0
+    # Name the failing experiments before anything else can go wrong, so the
+    # report survives even an unwritable --json path.
+    if failures:
+        print(
+            "repro-bench: %d of %d experiments failed: %s"
+            % (len(failures), len(experiments), ", ".join(failures)),
+            file=sys.stderr,
+        )
+
+    if args.json_path is not None:
+        try:
+            Path(args.json_path).write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError as error:
+            _print_error(error)
+            return 1
+
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,7 +13,7 @@ from typing import Optional
 from repro.core.config import CodecConfig
 from repro.core.decoder import decode_image
 from repro.core.encoder import EncodeStatistics, encode_image_with_statistics
-from repro.core.interface import LosslessImageCodec
+from repro.core.interface import LosslessImageCodec, require_engine
 from repro.imaging.image import GrayImage
 
 __all__ = ["ProposedCodec"]
@@ -27,6 +27,11 @@ class ProposedCodec(LosslessImageCodec):
     config:
         Full codec configuration; defaults to the hardware-faithful preset
         evaluated in the paper (14-bit counts, LUT division, overflow guard).
+    engine:
+        Coding engine: ``"reference"`` (the paper-shaped per-pixel pipeline)
+        or ``"fast"`` (row-vectorized modelling + inlined entropy coding).
+        Both produce byte-identical streams; the engine is a speed knob, not
+        a format choice.
 
     Examples
     --------
@@ -36,12 +41,17 @@ class ProposedCodec(LosslessImageCodec):
     >>> stream = codec.encode(image)
     >>> codec.decode(stream) == image
     True
+    >>> ProposedCodec(engine="fast").encode(image) == stream
+    True
     """
 
     name = "proposed"
 
-    def __init__(self, config: Optional[CodecConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[CodecConfig] = None, engine: str = "reference"
+    ) -> None:
         self.config = config if config is not None else CodecConfig.hardware()
+        self.engine = require_engine(engine)
         self.last_statistics: Optional[EncodeStatistics] = None
 
     @classmethod
@@ -57,24 +67,44 @@ class ProposedCodec(LosslessImageCodec):
         return cls(CodecConfig.hardware(**overrides))
 
     @classmethod
-    def parallel(cls, cores: Optional[int] = None, config: Optional[CodecConfig] = None):
+    def fast(cls, config: Optional[CodecConfig] = None, **overrides) -> "ProposedCodec":
+        """Fast-engine variant (byte-identical streams, several times faster)."""
+        if config is None:
+            config = CodecConfig.hardware(**overrides)
+        elif overrides:
+            raise ValueError("pass either config or overrides, not both")
+        codec = cls(config, engine="fast")
+        codec.name = "proposed-fast"
+        return codec
+
+    @classmethod
+    def parallel(
+        cls,
+        cores: Optional[int] = None,
+        config: Optional[CodecConfig] = None,
+        engine: str = "reference",
+    ):
         """Stripe-parallel variant: ``cores`` pipeline instances side by side.
 
         Returns a :class:`~repro.parallel.codec.ParallelCodec`, the software
         equivalent of the paper's multi-core hardware option.  Its streams
         use the version-2 (striped) container; they decode through this
         class's :meth:`decode` as well, just without the parallel fan-out.
+        ``engine`` composes with striping: each stripe is coded by the
+        selected engine.
         """
         from repro.parallel.codec import ParallelCodec
 
-        return ParallelCodec(cores=cores, config=config)
+        return ParallelCodec(cores=cores, config=config, engine=engine)
 
     def encode(self, image: GrayImage) -> bytes:
         """Compress ``image``; statistics are kept in :attr:`last_statistics`."""
-        stream, statistics = encode_image_with_statistics(image, self.config)
+        stream, statistics = encode_image_with_statistics(
+            image, self.config, engine=self.engine
+        )
         self.last_statistics = statistics
         return stream
 
     def decode(self, data: bytes) -> GrayImage:
         """Reconstruct the exact image from an :meth:`encode` stream."""
-        return decode_image(data, self.config)
+        return decode_image(data, self.config, engine=self.engine)

@@ -21,6 +21,7 @@ from typing import Tuple
 
 from repro.core.config import CodecConfig
 from repro.core.neighborhood import Neighborhood
+from repro.core.tables import build_energy_lut
 
 __all__ = ["ContextDescriptor", "ContextModeler"]
 
@@ -44,6 +45,9 @@ class ContextModeler:
         self._config = config
         self._thresholds: Tuple[int, ...] = config.energy_thresholds
         self._energy_levels = config.energy_levels
+        # One shared definition of the quantiser for both coding engines.
+        self._energy_lut = build_energy_lut(self._thresholds, self._energy_levels)
+        self._energy_lut_limit = len(self._energy_lut) - 1
 
     # ------------------------------------------------------------------ #
     # texture pattern
@@ -81,6 +85,12 @@ class ContextModeler:
 
     def quantize_energy(self, energy: int) -> int:
         """Quantise the activity measure into the coding-context index QE."""
+        if 0 <= energy <= self._energy_lut_limit:
+            return self._energy_lut[energy]
+        if energy > self._energy_lut_limit:
+            return self._energy_levels - 1
+        # Negative activity cannot occur in the pipeline; keep the threshold
+        # scan so out-of-band callers see the historical behaviour.
         for level, threshold in enumerate(self._thresholds):
             if energy <= threshold:
                 return level

@@ -71,7 +71,9 @@ def resolve_stream_config(header: StreamHeader, config: Optional[CodecConfig]) -
     return config
 
 
-def decode_payload(payload: bytes, width: int, height: int, config: CodecConfig) -> List[int]:
+def decode_payload(
+    payload: bytes, width: int, height: int, config: CodecConfig, engine: str = "reference"
+) -> List[int]:
     """Decode one container-less payload into its row-major pixel list.
 
     This is the inner decoder matching :func:`repro.core.encoder.encode_payload`:
@@ -79,7 +81,17 @@ def decode_payload(payload: bytes, width: int, height: int, config: CodecConfig)
     whole single-stripe image).  The bit reader is bounded so a corrupt or
     truncated payload raises :class:`~repro.exceptions.BitstreamError`
     instead of decoding garbage from an endless run of phantom zero bits.
+
+    ``engine="fast"`` delegates to the inlined scalar decoder of
+    :mod:`repro.fast`; both engines accept both engines' streams.
     """
+    from repro.core.interface import require_engine
+
+    if require_engine(engine) == "fast":
+        from repro.fast.engine import decode_payload_fast
+
+        return decode_payload_fast(payload, width, height, config)
+
     modeler = ImageModeler(width, config)
     estimator = ProbabilityEstimator(config)
     reader = BitReader(payload, max_phantom_bits=4 * config.coder_precision)
@@ -98,7 +110,9 @@ def decode_payload(payload: bytes, width: int, height: int, config: CodecConfig)
     return pixels
 
 
-def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage:
+def decode_image(
+    data: bytes, config: Optional[CodecConfig] = None, engine: str = "reference"
+) -> GrayImage:
     """Reconstruct the image from a stream produced by
     :func:`repro.core.encoder.encode_image` or by the stripe-parallel codec.
 
@@ -112,12 +126,15 @@ def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage
         Optional codec configuration.  When omitted, the configuration is
         reconstructed from the container header (count-bits parameter and
         hardware flag); when provided it must be consistent with the header.
+    engine:
+        Decoding engine (``"reference"`` or ``"fast"``); both decode both
+        engines' streams identically.
     """
     header, payload = unpack_stream(data)
     config = resolve_stream_config(header, config)
 
     if not header.stripe_lengths:
-        pixels = decode_payload(payload, header.width, header.height, config)
+        pixels = decode_payload(payload, header.width, header.height, config, engine=engine)
         return GrayImage(header.width, header.height, pixels, header.bit_depth)
 
     from repro.parallel.partition import plan_stripes
@@ -128,5 +145,7 @@ def decode_image(data: bytes, config: Optional[CodecConfig] = None) -> GrayImage
         raise BitstreamError("invalid stripe table: %s" % exc) from exc
     pixels = []
     for spec, stripe_payload in zip(plan, split_stripe_payloads(header, payload)):
-        pixels.extend(decode_payload(stripe_payload, header.width, spec.row_count, config))
+        pixels.extend(
+            decode_payload(stripe_payload, header.width, spec.row_count, config, engine=engine)
+        )
     return GrayImage(header.width, header.height, pixels, header.bit_depth)

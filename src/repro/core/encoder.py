@@ -73,7 +73,7 @@ def merge_statistics(parts: "list[EncodeStatistics]") -> EncodeStatistics:
     return merged
 
 
-def encode_payload(image: GrayImage, config: CodecConfig) -> tuple:
+def encode_payload(image: GrayImage, config: CodecConfig, engine: str = "reference") -> tuple:
     """Run the modelling + coding pipeline; return (payload, statistics).
 
     This is the container-less inner encoder: it codes ``image`` (which may
@@ -81,7 +81,18 @@ def encode_payload(image: GrayImage, config: CodecConfig) -> tuple:
     returns only the entropy-coded payload.  The stripe-parallel subsystem
     calls it once per stripe; :func:`encode_image_with_statistics` calls it
     once for the whole image.
+
+    ``engine`` selects the implementation: ``"reference"`` runs the
+    per-pixel pipeline below; ``"fast"`` delegates to the vectorized engine
+    of :mod:`repro.fast`, which produces a byte-identical payload.
     """
+    from repro.core.interface import require_engine
+
+    if require_engine(engine) == "fast":
+        from repro.fast.engine import encode_payload_fast
+
+        return encode_payload_fast(image, config)
+
     modeler = ImageModeler(image.width, config)
     estimator = ProbabilityEstimator(config)
     writer = BitWriter()
@@ -121,14 +132,16 @@ def encode_payload(image: GrayImage, config: CodecConfig) -> tuple:
     return payload, statistics
 
 
-def encode_image(image: GrayImage, config: Optional[CodecConfig] = None) -> bytes:
+def encode_image(
+    image: GrayImage, config: Optional[CodecConfig] = None, engine: str = "reference"
+) -> bytes:
     """Compress ``image`` with the proposed codec and return the container."""
-    compressed, _ = encode_image_with_statistics(image, config)
+    compressed, _ = encode_image_with_statistics(image, config, engine=engine)
     return compressed
 
 
 def encode_image_with_statistics(
-    image: GrayImage, config: Optional[CodecConfig] = None
+    image: GrayImage, config: Optional[CodecConfig] = None, engine: str = "reference"
 ) -> tuple:
     """Compress ``image`` and also return :class:`EncodeStatistics`."""
     if config is None:
@@ -139,7 +152,7 @@ def encode_image_with_statistics(
             % (image.bit_depth, config.bit_depth)
         )
 
-    payload, statistics = encode_payload(image, config)
+    payload, statistics = encode_payload(image, config, engine=engine)
     codec_id = CodecId.PROPOSED_HARDWARE if config.use_lut_division else CodecId.PROPOSED
     flags = 1 if config.use_lut_division else 0
     stream = pack_stream(

@@ -9,9 +9,24 @@ from __future__ import annotations
 
 import abc
 
+from repro.exceptions import ConfigError
 from repro.imaging.image import GrayImage
 
-__all__ = ["LosslessImageCodec"]
+__all__ = ["LosslessImageCodec", "ENGINES", "require_engine"]
+
+#: The two interchangeable coding engines of the proposed codec.  Both
+#: produce byte-identical bitstreams; "fast" trades the paper-shaped
+#: per-pixel pipeline for a vectorized front-end and an inlined back-end.
+ENGINES = ("reference", "fast")
+
+
+def require_engine(engine: str) -> str:
+    """Validate an ``engine=`` argument; returns the name unchanged."""
+    if engine not in ENGINES:
+        raise ConfigError(
+            "unknown engine %r; expected one of %s" % (engine, ", ".join(ENGINES))
+        )
+    return engine
 
 
 class LosslessImageCodec(abc.ABC):

@@ -1,0 +1,98 @@
+"""Precomputed modelling tables shared by the two coding engines.
+
+The reference engine (:mod:`repro.core.encoder` / :mod:`repro.core.decoder`)
+and the fast engine (:mod:`repro.fast`) must derive *exactly* the same
+prediction, context index, error feedback and mapped symbol from the same
+causal data — that is what makes their bitstreams byte-identical.  To keep a
+single definition of every quantity, the table-valued parts of the model are
+built here, once per configuration, and consumed by both engines:
+
+* the **error-energy quantiser LUT** that turns the activity measure
+  ``dh + dv + 2*|e_W|`` into the 3-bit coding-context index QE
+  (used by :class:`~repro.core.context.ContextModeler` and by the fast
+  engine's inner loop);
+* the **reciprocal-division ROM** of the error-feedback stage (the paper's
+  1 KByte LUT), exported as a plain list so the fast engine can inline the
+  multiply-and-shift;
+* the scalar bounds (dividend clamp, sum clamp, count saturation point)
+  of the Overflow Guard registers.
+
+Everything in this module is derived from :class:`~repro.core.config.
+CodecConfig` alone, so two tables built from equal configurations are equal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.bias import ReciprocalDivider
+from repro.core.config import CodecConfig
+
+__all__ = ["build_energy_lut", "ModelingTables"]
+
+
+def build_energy_lut(thresholds: Sequence[int], levels: int) -> List[int]:
+    """Build the error-energy quantisation lookup table.
+
+    ``lut[energy]`` is the coding-context index QE for every activity value
+    up to the last threshold; energies beyond the table map to the top level
+    (``levels - 1``).  The table reproduces the threshold scan of the paper:
+    the first threshold the energy does not exceed selects the level.
+    """
+    top = thresholds[-1] if thresholds else 0
+    lut: List[int] = []
+    for energy in range(top + 1):
+        level = levels - 1
+        for candidate, threshold in enumerate(thresholds):
+            if energy <= threshold:
+                level = candidate
+                break
+        lut.append(level)
+    return lut
+
+
+class ModelingTables:
+    """All table-valued model state derived from one :class:`CodecConfig`.
+
+    Attributes
+    ----------
+    energy_lut:
+        ``energy_lut[energy]`` = QE for ``energy <= energy_lut_limit``.
+    energy_lut_limit:
+        Largest energy covered by the LUT; larger energies quantise to
+        ``config.energy_levels - 1``.
+    reciprocal_rom:
+        The division ROM as a plain list (``rom[c] = round(2**shift / c)``),
+        or ``None`` when the configuration uses exact division.
+    reciprocal_shift / reciprocal_rounding:
+        Shift and half-LSB rounding offset of the LUT division.
+    dividend_max / sum_max / count_max:
+        Overflow-Guard register bounds (Section III of the paper).
+    """
+
+    def __init__(self, config: CodecConfig) -> None:
+        self.config = config
+        self.energy_lut = build_energy_lut(config.energy_thresholds, config.energy_levels)
+        self.energy_lut_limit = len(self.energy_lut) - 1
+        self.divider: Optional[ReciprocalDivider] = (
+            ReciprocalDivider() if config.use_lut_division else None
+        )
+        if self.divider is not None:
+            self.reciprocal_rom: Optional[List[int]] = [
+                self.divider.rom_entry(i) if i else 0 for i in range(self.divider.entries)
+            ]
+            self.reciprocal_shift = self.divider.shift
+            self.reciprocal_rounding = 1 << (self.divider.shift - 1)
+        else:
+            self.reciprocal_rom = None
+            self.reciprocal_shift = 0
+            self.reciprocal_rounding = 0
+        self.dividend_max = config.bias_dividend_max
+        self.sum_max = (1 << config.bias_sum_magnitude_bits) - 1
+        self.count_max = config.bias_count_max
+
+    def quantize_energy(self, energy: int) -> int:
+        """LUT-backed equivalent of :meth:`ContextModeler.quantize_energy`."""
+        if energy > self.energy_lut_limit:
+            return self.config.energy_levels - 1
+        return self.energy_lut[energy]

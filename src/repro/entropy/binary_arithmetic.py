@@ -162,9 +162,11 @@ class BinaryArithmeticEncoder:
 
     def _emit(self, bit: int) -> None:
         self._writer.write_bit(bit)
-        while self._pending:
-            self._writer.write_bit(1 - bit)
-            self._pending -= 1
+        if self._pending:
+            # Batched carry resolution: all pending bits are the complement
+            # of the bit just emitted, so they go out as one run.
+            self._writer.write_run(1 - bit, self._pending)
+            self._pending = 0
 
 
 class BinaryArithmeticDecoder:

@@ -37,7 +37,7 @@ from repro.entropy.binary_arithmetic import (
 from repro.exceptions import ModelStateError
 from repro.utils.validation import require_in_range, require_positive
 
-__all__ = ["FrequencyTree", "StaticTree"]
+__all__ = ["FrequencyTree", "StaticTree", "symbol_path_table"]
 
 
 def _next_power_of_two(value: int) -> int:
@@ -45,6 +45,38 @@ def _next_power_of_two(value: int) -> int:
     while power < value:
         power <<= 1
     return power
+
+
+_PATH_TABLE_CACHE: dict = {}
+
+
+def symbol_path_table(depth: int) -> List[tuple]:
+    """Precomputed root-to-leaf paths for every symbol of a depth-``depth`` tree.
+
+    ``table[symbol]`` is a tuple of ``(node_index, direction)`` pairs, one per
+    tree level, where ``node_index`` is the implicit-heap index of the node
+    *visited* at that level and ``direction`` the branch taken there.  The
+    paths depend only on the tree depth (the heap layout is static), so the
+    table is shared by every tree of the same geometry and cached globally.
+    The fast engine binds one row per symbol instead of re-deriving the shift
+    arithmetic on every pixel.
+    """
+    if depth < 0:
+        raise ModelStateError("tree depth must be non-negative, got %d" % depth)
+    cached = _PATH_TABLE_CACHE.get(depth)
+    if cached is not None:
+        return cached
+    table: List[tuple] = []
+    for symbol in range(1 << depth):
+        path = []
+        node = 1
+        for level in range(depth - 1, -1, -1):
+            direction = (symbol >> level) & 1
+            path.append((node, direction))
+            node = 2 * node + direction
+        table.append(tuple(path))
+    _PATH_TABLE_CACHE[depth] = table
+    return table
 
 
 class FrequencyTree:
@@ -113,6 +145,25 @@ class FrequencyTree:
     def total(self) -> int:
         """Total count over all leaves (the root value)."""
         return self._counts[1]
+
+    @property
+    def counts(self) -> List[int]:
+        """Live view of the implicit-heap count array.
+
+        ``counts[1]`` is the root, ``counts[num_leaves + s]`` the leaf of
+        symbol ``s``.  The fast engine binds this list locally and performs
+        the tree walk and count updates inline; mutations through the view
+        are the tree's own state, so :meth:`rescale` keeps working on it.
+        """
+        return self._counts
+
+    def path_table(self) -> List[tuple]:
+        """The shared per-symbol ``(node, direction)`` path table for this tree."""
+        return symbol_path_table(self.depth)
+
+    def rescale(self) -> None:
+        """Public halving rescale (used by the fast engine's inline update)."""
+        self._rescale()
 
     def count(self, symbol: int) -> int:
         """Current count of ``symbol`` (the escape leaf included)."""

@@ -20,6 +20,11 @@ from repro.experiments.figure4 import Figure4Point, Figure4Result, run_figure4
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.throughput import ThroughputResult, run_throughput
 from repro.experiments.ablations import AblationResult, run_division_ablation, run_overflow_guard_ablation
+from repro.experiments.engines import (
+    EngineComparisonResult,
+    EngineImageRow,
+    run_engine_comparison,
+)
 
 __all__ = [
     "run_table1",
@@ -35,4 +40,7 @@ __all__ = [
     "run_overflow_guard_ablation",
     "run_division_ablation",
     "AblationResult",
+    "run_engine_comparison",
+    "EngineComparisonResult",
+    "EngineImageRow",
 ]

@@ -43,6 +43,17 @@ class AblationResult:
         """variant minus baseline (positive = the variant is worse)."""
         return self.variant_bpp - self.baseline_bpp
 
+    def as_json(self) -> Dict[str, dict]:
+        """Machine-readable summary for ``repro-bench --json``."""
+        return {
+            "bpp": {
+                "%s/baseline" % self.name: self.baseline_bpp,
+                "%s/variant" % self.name: self.variant_bpp,
+            },
+            "mb_per_s": {},
+            "extra": {"delta_bpp": self.delta_bpp},
+        }
+
     def format_report(self) -> str:
         lines = [
             "%s: %s %.4f bpp vs %s %.4f bpp (delta %+0.4f bpp)"

@@ -52,6 +52,17 @@ class Figure4Result:
             raise ConfigError("figure 4 sweep produced no points")
         return min(self.points, key=lambda p: p.average_bits_per_pixel).count_bits
 
+    def as_json(self) -> Dict[str, dict]:
+        """Machine-readable summary for ``repro-bench --json``."""
+        return {
+            "bpp": {
+                "count_bits=%d" % point.count_bits: point.average_bits_per_pixel
+                for point in self.points
+            },
+            "mb_per_s": {},
+            "extra": {"size": self.size, "seed": self.seed},
+        }
+
     def as_series(self) -> Tuple[List[int], List[float]]:
         """Return (count_bits, average_bpp) series for plotting."""
         return (

@@ -74,6 +74,17 @@ class Table1Result:
                 return min(row.bits_per_pixel, key=row.bits_per_pixel.get)
         raise KeyError("image %r not in the result" % image)
 
+    def as_json(self) -> Dict[str, dict]:
+        """Machine-readable summary for ``repro-bench --json``."""
+        bpp = {
+            "%s/%s" % (row.image, name): row.bits_per_pixel[name]
+            for row in self.rows
+            for name in self.codec_names
+        }
+        for name, value in self.averages().items():
+            bpp["average/%s" % name] = value
+        return {"bpp": bpp, "mb_per_s": {}, "extra": {"size": self.size, "seed": self.seed}}
+
     def format_table(self, include_paper: bool = False) -> str:
         """Render the result like the paper's Table 1."""
         header = "%-10s" % "Image" + "".join("%11s" % name for name in self.codec_names)

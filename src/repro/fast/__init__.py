@@ -1,0 +1,26 @@
+"""The fast coding engine: vectorized modelling + tightened serial coding.
+
+This package is the second of the codec's two interchangeable engines:
+
+* ``engine="reference"`` — the per-pixel pipeline of :mod:`repro.core`,
+  structured exactly like the paper's Figure 3 (one block per module);
+* ``engine="fast"`` — this package: a row-vectorized NumPy modelling
+  front-end (:mod:`repro.fast.rowmodel`) feeding a fully inlined serial
+  entropy back-end (:mod:`repro.fast.engine`).
+
+Both engines produce **byte-identical** bitstreams — the fast engine is a
+reimplementation of the same arithmetic, not an approximation — so streams
+are freely interchangeable and ``engine`` is purely a speed knob.  Select it
+through :class:`repro.ProposedCodec`, :class:`repro.ParallelCodec` or the
+CLI's ``--engine`` flag.
+"""
+
+from repro.fast.engine import decode_payload_fast, encode_payload_fast
+from repro.fast.rowmodel import RowModel, model_image
+
+__all__ = [
+    "encode_payload_fast",
+    "decode_payload_fast",
+    "model_image",
+    "RowModel",
+]

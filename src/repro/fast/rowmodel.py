@@ -1,0 +1,175 @@
+"""Row-vectorized modelling front-end of the fast engine.
+
+The encoder knows every pixel value up front, so all modelling quantities
+with **no serial feedback** can be computed for the whole image as NumPy
+array passes instead of per-pixel Python calls:
+
+* the seven causal neighbours (Figure 2) — pure shifts of the pixel array,
+  with the boundary policy of :class:`~repro.core.neighborhood.ThreeRowWindow`
+  reproduced exactly (mid-grey before the first pixel, west fallback on the
+  first row, nearest-causal fallback at the first/last column);
+* the gradient magnitudes ``dh``/``dv`` and the GAP prediction of
+  :class:`~repro.core.predictor.GradientAdjustedPredictor` (the threshold
+  cascade becomes one :func:`numpy.select`);
+* the 6-bit texture pattern of :class:`~repro.core.context.ContextModeler`
+  (six vectorized comparisons against the prediction).
+
+What stays out of this module is exactly the serial feedback path: the
+error-energy term ``2*|e_W|`` (depends on the previous pixel's coded error),
+the per-context bias feedback and the entropy coding — those run in the
+tightened serial back-end of :mod:`repro.fast.engine`.
+
+Lossless coding guarantees the decoder reconstructs the same pixel values
+the encoder saw, so arrays computed here from the *actual* pixels are
+bit-for-bit the values the reference engine derives from its rotating
+three-row window; ``tests/fast/test_rowmodel.py`` asserts that equivalence
+pixel by pixel.
+
+All arrays use ``int64`` so the shift/compare arithmetic matches Python's
+unbounded integers (NumPy's arithmetic right shift floors exactly like
+Python's ``>>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CodecConfig
+
+__all__ = ["RowModel", "model_image"]
+
+
+@dataclass(frozen=True)
+class RowModel:
+    """Vectorized modelling arrays for a whole image (all shaped height x width)."""
+
+    #: Clamped GAP prediction X̂ of every pixel.
+    predicted: np.ndarray
+    #: 6-bit texture pattern of every pixel.
+    texture: np.ndarray
+    #: Gradient part of the error energy (dh + dv); the serial back-end adds
+    #: the ``2*|e_W|`` feedback term before quantising.
+    gradient: np.ndarray
+    #: Horizontal / vertical gradient magnitudes (exposed for parity tests).
+    dh: np.ndarray
+    dv: np.ndarray
+    #: The seven causal neighbour planes (exposed for parity tests).
+    w: np.ndarray
+    ww: np.ndarray
+    n: np.ndarray
+    nn: np.ndarray
+    ne: np.ndarray
+    nw: np.ndarray
+    nne: np.ndarray
+
+
+def _causal_planes(px: np.ndarray, default: int):
+    """Shift the pixel plane into the seven causal neighbour planes."""
+    w = np.empty_like(px)
+    w[:, 1:] = px[:, :-1]
+    w[1:, 0] = px[:-1, 0]  # first column: W falls back to above1[0]
+    w[0, 0] = default      # very first pixel: mid-grey
+
+    ww = np.empty_like(px)
+    ww[:, 2:] = px[:, :-2]
+    ww[:, : min(2, px.shape[1])] = w[:, : min(2, px.shape[1])]
+
+    n = np.empty_like(px)
+    n[1:, :] = px[:-1, :]
+    n[0, :] = w[0, :]  # first row: north neighbours fall back to W
+
+    nw = np.empty_like(px)
+    nw[1:, 1:] = px[:-1, :-1]
+    nw[1:, 0] = n[1:, 0]
+    nw[0, :] = w[0, :]
+
+    ne = np.empty_like(px)
+    ne[1:, : px.shape[1] - 1] = px[:-1, 1:]
+    ne[1:, -1] = n[1:, -1]
+    ne[0, :] = w[0, :]
+
+    first_two = min(2, px.shape[0])
+    nn = np.empty_like(px)
+    nn[2:, :] = px[:-2, :]
+    nn[:first_two, :] = n[:first_two, :]  # rows 0/1: NN falls back to N
+
+    nne = np.empty_like(px)
+    nne[2:, : px.shape[1] - 1] = px[:-2, 1:]
+    nne[2:, -1] = nn[2:, -1]
+    nne[:first_two, :] = ne[:first_two, :]
+
+    return w, ww, n, nn, ne, nw, nne
+
+
+def model_image(px: np.ndarray, config: CodecConfig) -> RowModel:
+    """Compute the feedback-free modelling arrays for a whole image.
+
+    Parameters
+    ----------
+    px:
+        2-D ``int64`` array of the pixel values (one stripe or whole image).
+    config:
+        The codec configuration; supplies the GAP thresholds, the sample
+        range and the texture-pattern width.
+    """
+    px = np.ascontiguousarray(px, dtype=np.int64)
+    default = (config.max_sample + 1) // 2
+    w, ww, n, nn, ne, nw, nne = _causal_planes(px, default)
+
+    dh = np.abs(w - ww) + np.abs(n - nw) + np.abs(n - ne)
+    dv = np.abs(w - nw) + np.abs(n - nn) + np.abs(ne - nne)
+    diff = dv - dh
+
+    sharp = config.gap_sharp_threshold
+    strong = config.gap_strong_threshold
+    weak = config.gap_weak_threshold
+
+    base = ((w + n) >> 1) + ((ne - nw) >> 2)
+    # The conditions mirror the if/elif cascade of the scalar predictor;
+    # np.select takes the first matching branch, like if/elif does.
+    predicted = np.select(
+        [
+            diff > sharp,        # sharp horizontal edge -> W
+            -diff > sharp,       # sharp vertical edge -> N
+            diff > strong,
+            diff > weak,
+            -diff > strong,
+            -diff > weak,
+        ],
+        [
+            w,
+            n,
+            (base + w) >> 1,
+            (3 * base + w) >> 2,
+            (base + n) >> 1,
+            (3 * base + n) >> 2,
+        ],
+        default=base,
+    )
+    np.clip(predicted, 0, config.max_sample, out=predicted)
+
+    texture = (
+        (n < predicted) * 0b000001
+        + (w < predicted) * 0b000010
+        + (nw < predicted) * 0b000100
+        + (ne < predicted) * 0b001000
+        + (nn < predicted) * 0b010000
+        + (ww < predicted) * 0b100000
+    ) & ((1 << config.texture_bits) - 1)
+
+    return RowModel(
+        predicted=predicted,
+        texture=texture,
+        gradient=dh + dv,
+        dh=dh,
+        dv=dv,
+        w=w,
+        ww=ww,
+        n=n,
+        nn=nn,
+        ne=ne,
+        nw=nw,
+        nne=nne,
+    )

@@ -31,7 +31,7 @@ from repro.core.bitstream import (
 from repro.core.config import CodecConfig
 from repro.core.decoder import decode_payload, resolve_stream_config
 from repro.core.encoder import EncodeStatistics, encode_payload, merge_statistics
-from repro.core.interface import LosslessImageCodec
+from repro.core.interface import LosslessImageCodec, require_engine
 from repro.exceptions import BitstreamError, ConfigError, StripingError
 from repro.imaging.image import GrayImage
 from repro.parallel.executor import SerialExecutor, resolve_executor
@@ -40,21 +40,21 @@ from repro.parallel.partition import plan_for_cores, plan_stripes
 __all__ = ["ParallelCodec"]
 
 
-def _encode_stripe_task(task: Tuple[int, int, List[int], int, CodecConfig]):
+def _encode_stripe_task(task: Tuple[int, int, List[int], int, CodecConfig, str]):
     """Worker: encode one stripe; returns (payload, statistics).
 
     Module-level so it can be pickled into pool workers; the task tuple is
-    ``(width, row_count, pixels, bit_depth, config)``.
+    ``(width, row_count, pixels, bit_depth, config, engine)``.
     """
-    width, row_count, pixels, bit_depth, config = task
+    width, row_count, pixels, bit_depth, config, engine = task
     stripe = GrayImage(width, row_count, pixels, bit_depth)
-    return encode_payload(stripe, config)
+    return encode_payload(stripe, config, engine=engine)
 
 
-def _decode_stripe_task(task: Tuple[bytes, int, int, CodecConfig]) -> List[int]:
+def _decode_stripe_task(task: Tuple[bytes, int, int, CodecConfig, str]) -> List[int]:
     """Worker: decode one stripe payload into its row-major pixel list."""
-    payload, width, row_count, config = task
-    return decode_payload(payload, width, row_count, config)
+    payload, width, row_count, config, engine = task
+    return decode_payload(payload, width, row_count, config, engine=engine)
 
 
 class ParallelCodec(LosslessImageCodec):
@@ -75,6 +75,10 @@ class ParallelCodec(LosslessImageCodec):
         method).  Mainly for tests; by default a process pool is used when
         ``cores > 1`` and the platform supports it, with a deterministic
         serial fallback otherwise.
+    engine:
+        Coding engine applied to every stripe (``"reference"`` or
+        ``"fast"``); fast and parallel compose, and the stream stays
+        byte-identical across engines either way.
 
     Examples
     --------
@@ -92,12 +96,14 @@ class ParallelCodec(LosslessImageCodec):
         cores: Optional[int] = None,
         config: Optional[CodecConfig] = None,
         executor=None,
+        engine: str = "reference",
     ) -> None:
         if cores is not None and cores <= 0:
             raise ConfigError("cores must be positive, got %d" % cores)
         self.cores = cores if cores is not None else (os.cpu_count() or 1)
         self._explicit_config = config is not None
         self.config = config if config is not None else CodecConfig.hardware()
+        self.engine = require_engine(engine)
         self._executor = executor
         self.last_statistics: Optional[EncodeStatistics] = None
 
@@ -124,6 +130,7 @@ class ParallelCodec(LosslessImageCodec):
                 pixels[spec.start_row * image.width : spec.stop_row * image.width],
                 image.bit_depth,
                 self.config,
+                self.engine,
             )
             for spec in plan
         ]
@@ -161,7 +168,9 @@ class ParallelCodec(LosslessImageCodec):
             header, self.config if self._explicit_config else None
         )
         if not header.stripe_lengths:
-            pixels = decode_payload(payload, header.width, header.height, config)
+            pixels = decode_payload(
+                payload, header.width, header.height, config, engine=self.engine
+            )
             return GrayImage(header.width, header.height, pixels, header.bit_depth)
 
         try:
@@ -169,7 +178,7 @@ class ParallelCodec(LosslessImageCodec):
         except StripingError as exc:
             raise BitstreamError("invalid stripe table: %s" % exc) from exc
         tasks = [
-            (stripe_payload, header.width, spec.row_count, config)
+            (stripe_payload, header.width, spec.row_count, config, self.engine)
             for spec, stripe_payload in zip(plan, split_stripe_payloads(header, payload))
         ]
         stripe_pixels = self._executor_for(len(tasks)).map(_decode_stripe_task, tasks)

@@ -85,9 +85,30 @@ class BitWriter:
         """Append ``value`` zero bits followed by a single one bit."""
         if value < 0:
             raise ValueError("unary value must be non-negative, got %d" % value)
-        for _ in range(value):
-            self.write_bit(0)
+        self.write_run(0, value)
         self.write_bit(1)
+
+    def write_run(self, bit: int, count: int) -> None:
+        """Append ``count`` copies of ``bit`` (batched bit I/O).
+
+        Equivalent to calling :meth:`write_bit` ``count`` times, but whole
+        bytes inside the run are appended directly to the buffer.  The
+        arithmetic coder's carry-resolution bursts (one decision can release
+        many pending bits at once) go through this path.
+        """
+        if count < 0:
+            raise ValueError("run length must be non-negative, got %d" % count)
+        bit = 1 if bit else 0
+        # Bit-by-bit until byte-aligned (or the run is exhausted).
+        while count and self._filled:
+            self.write_bit(bit)
+            count -= 1
+        whole_bytes, tail = divmod(count, 8)
+        if whole_bytes:
+            self._buffer.extend((0xFF if bit else 0x00,) * whole_bytes)
+            self._bit_count += 8 * whole_bytes
+        for _ in range(tail):
+            self.write_bit(bit)
 
     def write_bytes(self, data: bytes) -> None:
         """Append whole bytes (the writer need not be byte-aligned)."""
@@ -261,6 +282,11 @@ class BitCounter:
         if value < 0:
             raise ValueError("unary value must be non-negative, got %d" % value)
         self._bit_count += value + 1
+
+    def write_run(self, bit: int, count: int) -> None:  # noqa: ARG002
+        if count < 0:
+            raise ValueError("run length must be non-negative, got %d" % count)
+        self._bit_count += count
 
     def write_bytes(self, data: bytes) -> None:
         self._bit_count += 8 * len(data)

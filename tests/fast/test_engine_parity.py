@@ -1,0 +1,189 @@
+"""Byte-identity and round-trip parity of the fast coding engine.
+
+The fast engine is only allowed to exist because its streams are
+byte-identical to the reference engine's.  These tests sweep the synthetic
+corpus, bit depths, degenerate geometries and both configuration presets,
+and check every cross-engine combination (fast encode -> reference decode
+and vice versa) plus the stripe-parallel composition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.core.decoder import decode_image, decode_payload
+from repro.core.encoder import encode_image_with_statistics, encode_payload
+from repro.exceptions import BitstreamError, ConfigError
+from repro.imaging.image import GrayImage
+from repro.imaging.synthetic import (
+    CORPUS_IMAGE_NAMES,
+    generate_image,
+    generate_noise_image,
+)
+from repro.parallel.codec import ParallelCodec
+from repro.parallel.executor import SerialExecutor
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", CORPUS_IMAGE_NAMES)
+    def test_corpus_streams_identical(self, name):
+        image = generate_image(name, size=48)
+        config = CodecConfig.hardware()
+        reference, _ = encode_payload(image, config, engine="reference")
+        fast, _ = encode_payload(image, config, engine="fast")
+        assert fast == reference
+
+    @pytest.mark.parametrize("preset", ["hardware", "reference"])
+    def test_both_presets_identical(self, preset, lena_small):
+        config = getattr(CodecConfig, preset)()
+        reference, _ = encode_payload(lena_small, config, engine="reference")
+        fast, _ = encode_payload(lena_small, config, engine="fast")
+        assert fast == reference
+
+    @pytest.mark.parametrize("bit_depth", [1, 2, 4, 8, 10, 12])
+    def test_bit_depth_sweep(self, bit_depth):
+        image = generate_noise_image(size=20, seed=11, bit_depth=bit_depth)
+        config = CodecConfig.hardware(bit_depth=bit_depth)
+        reference, _ = encode_payload(image, config, engine="reference")
+        fast, _ = encode_payload(image, config, engine="fast")
+        assert fast == reference
+        assert decode_payload(fast, 20, 20, config, engine="fast") == image.pixels()
+
+    @pytest.mark.parametrize(
+        "width,height",
+        [(1, 1), (1, 9), (9, 1), (2, 2), (1, 2), (2, 1), (3, 5), (2, 17)],
+    )
+    def test_degenerate_geometries(self, width, height):
+        pixels = [(i * 37 + 11) % 256 for i in range(width * height)]
+        image = GrayImage(width, height, pixels)
+        config = CodecConfig.hardware()
+        reference, _ = encode_payload(image, config, engine="reference")
+        fast, _ = encode_payload(image, config, engine="fast")
+        assert fast == reference
+        assert decode_payload(fast, width, height, config, engine="fast") == pixels
+
+    def test_ablation_configs_identical(self, text_image):
+        for config in (
+            CodecConfig.hardware(use_overflow_guard_aging=False),
+            CodecConfig.hardware(use_error_feedback=False),
+            CodecConfig.hardware(use_lut_division=False),
+            CodecConfig.hardware(count_bits=10),
+            CodecConfig.hardware(estimator_increment=1),
+        ):
+            reference, _ = encode_payload(text_image, config, engine="reference")
+            fast, _ = encode_payload(text_image, config, engine="fast")
+            assert fast == reference
+
+    def test_escape_and_rescale_paths(self):
+        # Narrow frequency counters make the trees rescale quickly, which
+        # zeroes once-seen leaves and forces escape coding — the rarest code
+        # path and the one a size-reduced corpus sweep never reaches.  This
+        # exact configuration caught a fast-decoder escape bug once.
+        image = generate_noise_image(size=40, seed=23)
+        config = CodecConfig.hardware(count_bits=6)
+        reference, stats_reference = encode_payload(image, config, engine="reference")
+        fast, stats_fast = encode_payload(image, config, engine="fast")
+        assert stats_reference.escapes > 0
+        assert stats_reference.tree_rescales > 0
+        assert fast == reference
+        assert stats_fast.escapes == stats_reference.escapes
+        for engine in ("reference", "fast"):
+            assert decode_payload(fast, 40, 40, config, engine=engine) == image.pixels()
+
+    def test_statistics_match(self, mandrill_small):
+        config = CodecConfig.hardware()
+        _, reference = encode_image_with_statistics(
+            mandrill_small, config, engine="reference"
+        )
+        _, fast = encode_image_with_statistics(mandrill_small, config, engine="fast")
+        assert fast.payload_bytes == reference.payload_bytes
+        assert fast.total_bytes == reference.total_bytes
+        assert fast.bits_per_pixel == reference.bits_per_pixel
+        assert fast.escapes == reference.escapes
+        assert fast.tree_rescales == reference.tree_rescales
+        assert fast.binary_decisions == reference.binary_decisions
+        assert fast.context_usage == reference.context_usage
+        assert fast.bias_saturations == reference.bias_saturations
+
+
+class TestCrossEngineRoundtrip:
+    @pytest.mark.parametrize("encode_engine", ["reference", "fast"])
+    @pytest.mark.parametrize("decode_engine", ["reference", "fast"])
+    def test_all_engine_pairs(self, roundtrip_images, encode_engine, decode_engine):
+        for image in roundtrip_images:
+            config = CodecConfig.hardware(bit_depth=image.bit_depth)
+            codec_in = ProposedCodec(config, engine=encode_engine)
+            codec_out = ProposedCodec(config, engine=decode_engine)
+            assert codec_out.decode(codec_in.encode(image)) == image
+
+    def test_decode_image_fast_engine(self, lena_small):
+        stream = ProposedCodec(engine="fast").encode(lena_small)
+        assert decode_image(stream, engine="fast") == lena_small
+        assert decode_image(stream) == lena_small
+
+    def test_fast_decoder_rejects_truncation(self, lena_small):
+        config = CodecConfig.hardware()
+        payload, _ = encode_payload(lena_small, config, engine="fast")
+        with pytest.raises(BitstreamError):
+            decode_payload(
+                payload[: max(1, len(payload) // 4)],
+                lena_small.width,
+                lena_small.height,
+                config,
+                engine="fast",
+            )
+
+
+class TestParallelComposition:
+    @pytest.mark.parametrize("cores", [1, 2])
+    def test_striped_streams_identical(self, cores, lena_small):
+        reference = ParallelCodec(
+            cores=cores, executor=SerialExecutor(), engine="reference"
+        )
+        fast = ParallelCodec(cores=cores, executor=SerialExecutor(), engine="fast")
+        stream_reference = reference.encode(lena_small)
+        stream_fast = fast.encode(lena_small)
+        assert stream_fast == stream_reference
+        assert fast.decode(stream_fast) == lena_small
+        assert reference.decode(stream_fast) == lena_small
+
+    @pytest.mark.parametrize("cores", [1, 2])
+    def test_degenerate_images_through_parallel_fast(self, cores):
+        image = GrayImage(1, 3, [7, 200, 13])
+        codec = ParallelCodec(cores=cores, executor=SerialExecutor(), engine="fast")
+        assert codec.decode(codec.encode(image)) == image
+
+    def test_classmethod_passes_engine(self):
+        codec = ProposedCodec.parallel(cores=2, engine="fast")
+        assert codec.engine == "fast"
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self, lena_small):
+        with pytest.raises(ConfigError):
+            ProposedCodec(engine="warp")
+        with pytest.raises(ConfigError):
+            ParallelCodec(cores=1, engine="warp")
+        with pytest.raises(ConfigError):
+            encode_payload(lena_small, CodecConfig.hardware(), engine="warp")
+        with pytest.raises(ConfigError):
+            decode_payload(b"", 1, 1, CodecConfig.hardware(), engine="warp")
+
+    def test_out_of_range_pixels_raise_like_reference(self):
+        from repro.exceptions import ModelStateError
+
+        image = GrayImage(4, 4, [0, 255, 17, 3] * 4, bit_depth=8)
+        narrow = CodecConfig.hardware(bit_depth=4)
+        for engine in ("reference", "fast"):
+            with pytest.raises(ModelStateError):
+                encode_payload(image, narrow, engine=engine)
+
+    def test_fast_classmethod(self, lena_small):
+        codec = ProposedCodec.fast(count_bits=12)
+        assert codec.engine == "fast"
+        assert codec.name == "proposed-fast"
+        assert codec.config.count_bits == 12
+        reference = ProposedCodec(CodecConfig.hardware(count_bits=12))
+        assert codec.encode(lena_small) == reference.encode(lena_small)

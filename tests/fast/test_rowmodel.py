@@ -1,0 +1,117 @@
+"""Pixel-level parity of the vectorized modelling front-end.
+
+:func:`repro.fast.rowmodel.model_image` must derive exactly the neighbour
+values, gradients, GAP predictions and texture patterns that the reference
+:class:`~repro.core.modeling.ImageModeler` produces when driven with the
+same pixels — that equivalence is what lets the fast engine precompute them
+for the whole image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.core.context import ContextModeler
+from repro.core.modeling import ImageModeler
+from repro.core.neighborhood import ThreeRowWindow
+from repro.core.predictor import GradientAdjustedPredictor
+from repro.fast.rowmodel import model_image
+from repro.imaging.image import GrayImage
+from repro.imaging.synthetic import generate_image, generate_noise_image
+
+
+def _reference_arrays(image: GrayImage, config: CodecConfig):
+    """Drive the scalar window/predictor/context chain over real pixels."""
+    window = ThreeRowWindow(image.width, default=(config.max_sample + 1) // 2)
+    predictor = GradientAdjustedPredictor(config)
+    contexts = ContextModeler(config)
+    predicted = np.zeros((image.height, image.width), dtype=np.int64)
+    texture = np.zeros_like(predicted)
+    gradient = np.zeros_like(predicted)
+    for y in range(image.height):
+        row = image.row(y)
+        for x in range(image.width):
+            neighbors = window.neighborhood(x)
+            prediction = predictor.predict(neighbors)
+            predicted[y, x] = prediction.predicted
+            texture[y, x] = contexts.texture_pattern(neighbors, prediction.predicted)
+            gradient[y, x] = prediction.dh + prediction.dv
+            window.push(row[x])
+        window.end_row()
+    return predicted, texture, gradient
+
+
+@pytest.mark.parametrize(
+    "image",
+    [
+        generate_image("lena", size=24),
+        generate_image("mandrill", size=24),
+        generate_noise_image(size=16, seed=5),
+        GrayImage(1, 1, [77]),
+        GrayImage(1, 6, [0, 255, 1, 254, 2, 253]),
+        GrayImage(6, 1, [0, 255, 1, 254, 2, 253]),
+        GrayImage(2, 3, [10, 240, 20, 230, 30, 220]),
+    ],
+    ids=["lena", "mandrill", "noise", "1x1", "1x6", "6x1", "2x3"],
+)
+def test_model_image_matches_scalar_pipeline(image):
+    config = CodecConfig.hardware(bit_depth=image.bit_depth)
+    px = np.asarray(image.pixels(), dtype=np.int64).reshape(image.height, image.width)
+    model = model_image(px, config)
+    predicted, texture, gradient = _reference_arrays(image, config)
+    np.testing.assert_array_equal(model.predicted, predicted)
+    np.testing.assert_array_equal(model.texture, texture)
+    np.testing.assert_array_equal(model.gradient, gradient)
+
+
+def test_neighbour_planes_match_window():
+    image = generate_image("boat", size=16)
+    config = CodecConfig.hardware()
+    px = np.asarray(image.pixels(), dtype=np.int64).reshape(16, 16)
+    model = model_image(px, config)
+    window = ThreeRowWindow(16, default=(config.max_sample + 1) // 2)
+    for y in range(16):
+        for x in range(16):
+            neighbors = window.neighborhood(x)
+            assert model.w[y, x] == neighbors.w
+            assert model.ww[y, x] == neighbors.ww
+            assert model.n[y, x] == neighbors.n
+            assert model.nn[y, x] == neighbors.nn
+            assert model.ne[y, x] == neighbors.ne
+            assert model.nw[y, x] == neighbors.nw
+            assert model.nne[y, x] == neighbors.nne
+            window.push(int(px[y, x]))
+        window.end_row()
+
+
+def test_modeler_and_rowmodel_agree_on_energy_quantiser():
+    """Both engines must share one definition of the QE quantiser."""
+    config = CodecConfig.hardware()
+    contexts = ContextModeler(config)
+    from repro.core.tables import ModelingTables
+
+    tables = ModelingTables(config)
+    for energy in range(0, 400):
+        assert contexts.quantize_energy(energy) == tables.quantize_energy(energy)
+
+
+def test_modeler_bias_matches_tables_rom():
+    """The fast engine's inlined division uses the divider's own ROM."""
+    from repro.core.bias import ReciprocalDivider
+    from repro.core.tables import ModelingTables
+
+    tables = ModelingTables(CodecConfig.hardware())
+    divider = ReciprocalDivider()
+    assert tables.reciprocal_rom is not None
+    for divisor in range(1, 32):
+        for dividend in (-1023, -500, -31, 0, 17, 500, 1023):
+            inline = (
+                abs(dividend) * tables.reciprocal_rom[divisor] + tables.reciprocal_rounding
+            ) >> tables.reciprocal_shift
+            if dividend < 0:
+                inline = -inline
+            assert inline == divider.divide(dividend, divisor)
+
+    assert ModelingTables(CodecConfig.reference()).reciprocal_rom is None

@@ -131,3 +131,79 @@ class TestBench:
     def test_figure4_runs_small(self, capsys):
         assert bench_main(["figure4", "--size", "32"]) == 0
         assert "Frequency bits" in capsys.readouterr().out
+
+    def test_engines_runs_small(self, capsys):
+        assert bench_main(["engines", "--size", "32"]) == 0
+        output = capsys.readouterr().out
+        assert "aggregate encode speedup" in output
+
+    def test_multiple_experiments_in_one_run(self, capsys):
+        assert bench_main(["table2", "throughput", "--size", "32"]) == 0
+        output = capsys.readouterr().out
+        assert "Published Table 2" in output
+        assert "Mbit/s" in output
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "BENCH_cli.json"
+        assert bench_main(["throughput", "--size", "32", "--json", str(json_path)]) == 0
+        document = json.loads(json_path.read_text())
+        assert document["schema"] == 1
+        throughput = document["experiments"]["throughput"]
+        assert throughput["status"] == "ok"
+        assert set(throughput["mb_per_s"]) == {"reference", "fast"}
+        assert all(rate > 0 for rate in throughput["mb_per_s"].values())
+
+    def test_failing_experiment_writes_partial_results(self, tmp_path, capsys):
+        # size=4 makes throughput raise; table2 must still run, the JSON must
+        # still be written, and the exit status must be non-zero.
+        import json
+
+        json_path = tmp_path / "BENCH_partial.json"
+        assert bench_main(["table2", "throughput", "--size", "4", "--json", str(json_path)]) == 1
+        captured = capsys.readouterr()
+        assert "Published Table 2" in captured.out
+        assert "ConfigError" in captured.err
+        assert "1 of 2 experiments failed: throughput" in captured.err
+        document = json.loads(json_path.read_text())
+        assert document["experiments"]["table2"]["status"] == "ok"
+        assert document["experiments"]["throughput"]["status"] == "error"
+        assert "ConfigError" in document["experiments"]["throughput"]["error"]
+
+
+class TestEngineFlag:
+    def test_fast_engine_stream_is_byte_identical(self, tmp_path, pgm_path):
+        path, _ = pgm_path
+        reference = tmp_path / "reference.rplc"
+        fast = tmp_path / "fast.rplc"
+        assert compress_main([str(path), str(reference)]) == 0
+        assert compress_main([str(path), str(fast), "--engine", "fast"]) == 0
+        assert fast.read_bytes() == reference.read_bytes()
+
+    @pytest.mark.parametrize("cores", [None, 2])
+    def test_fast_engine_roundtrip_via_cli(self, tmp_path, pgm_path, cores):
+        path, image = pgm_path
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.pgm"
+        encode_args = [str(path), str(compressed), "--engine", "fast"]
+        decode_args = [str(compressed), str(restored), "--engine", "fast"]
+        if cores is not None:
+            encode_args += ["--cores", str(cores)]
+            decode_args += ["--cores", str(cores)]
+        assert compress_main(encode_args) == 0
+        assert decompress_main(decode_args) == 0
+        assert read_pgm(restored) == image
+
+    def test_engine_rejected_for_baseline_codecs(self, tmp_path, pgm_path):
+        path, _ = pgm_path
+        with pytest.raises(SystemExit):
+            compress_main(
+                [str(path), str(tmp_path / "o.rplc"), "--codec", "calic", "--engine", "fast"]
+            )
+
+    def test_engine_rejected_for_data_mode(self, tmp_path):
+        source = tmp_path / "blob.bin"
+        source.write_bytes(b"y" * 64)
+        with pytest.raises(SystemExit):
+            compress_main([str(source), str(tmp_path / "o.rplc"), "--data", "--engine", "fast"])

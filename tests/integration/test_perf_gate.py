@@ -1,0 +1,119 @@
+"""Unit tests for the CI performance-regression gate comparator."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "compare_baseline.py"
+_SPEC = importlib.util.spec_from_file_location("compare_baseline", _SCRIPT)
+compare_baseline = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_baseline)
+
+
+def _doc(bpp=None, mb_per_s=None, status="ok", error=None):
+    entry = {"status": status, "bpp": bpp or {}, "mb_per_s": mb_per_s or {}}
+    if error is not None:
+        entry["error"] = error
+    return {"schema": 1, "experiments": {"engines": entry}}
+
+
+class TestCompare:
+    def test_identical_run_passes(self):
+        baseline = _doc(bpp={"lena": 5.25}, mb_per_s={"lena/fast": 1.0})
+        assert compare_baseline.compare(baseline, baseline, 0.25) == []
+
+    def test_any_bpp_change_fails(self):
+        baseline = _doc(bpp={"lena": 5.25})
+        current = _doc(bpp={"lena": 5.2500001})
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert len(problems) == 1
+        assert "bpp[lena] changed" in problems[0]
+
+    def test_throughput_within_tolerance_passes(self):
+        baseline = _doc(mb_per_s={"lena/fast": 1.0})
+        current = _doc(mb_per_s={"lena/fast": 0.80})
+        assert compare_baseline.compare(baseline, current, 0.25) == []
+
+    def test_throughput_regression_fails(self):
+        baseline = _doc(mb_per_s={"lena/fast": 1.0})
+        current = _doc(mb_per_s={"lena/fast": 0.70})
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_throughput_improvement_passes(self):
+        baseline = _doc(mb_per_s={"lena/fast": 1.0})
+        current = _doc(mb_per_s={"lena/fast": 10.0})
+        assert compare_baseline.compare(baseline, current, 0.25) == []
+
+    def test_uniformly_slower_runner_passes_via_normalisation(self):
+        # A runner 10x slower than the baseline machine must not trip the
+        # gate: rates are normalised by each run's reference-engine anchor.
+        baseline = _doc(mb_per_s={"lena/reference": 1.0, "lena/fast": 4.0})
+        current = _doc(mb_per_s={"lena/reference": 0.1, "lena/fast": 0.4})
+        assert compare_baseline.compare(baseline, current, 0.25) == []
+
+    def test_fast_engine_regression_fails_despite_normalisation(self):
+        # Same machine speed (anchor unchanged) but the fast engine halved.
+        baseline = _doc(mb_per_s={"lena/reference": 1.0, "lena/fast": 4.0})
+        current = _doc(mb_per_s={"lena/reference": 1.0, "lena/fast": 2.0})
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert len(problems) == 1
+        assert "lena/fast" in problems[0] and "x reference" in problems[0]
+
+    def test_unanchored_experiment_falls_back_to_absolute(self):
+        baseline = _doc(mb_per_s={"lena/fast": 1.0})
+        current = _doc(mb_per_s={"lena/fast": 0.5})
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert len(problems) == 1 and "MB/s" in problems[0]
+
+    def test_missing_experiment_fails(self):
+        baseline = _doc(bpp={"lena": 5.25})
+        current = {"schema": 1, "experiments": {}}
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert problems and "missing" in problems[0]
+
+    def test_errored_current_run_fails(self):
+        baseline = _doc(bpp={"lena": 5.25})
+        current = _doc(status="error", error="ConfigError: boom")
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert problems and "ConfigError: boom" in problems[0]
+
+    def test_missing_metric_key_fails(self):
+        baseline = _doc(bpp={"lena": 5.25}, mb_per_s={"lena/fast": 1.0})
+        current = _doc(bpp={}, mb_per_s={})
+        problems = compare_baseline.compare(baseline, current, 0.25)
+        assert len(problems) == 2
+
+
+class TestMain:
+    def test_cli_pass_and_fail(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        baseline_path.write_text(json.dumps(_doc(bpp={"lena": 5.25})))
+        current_path.write_text(json.dumps(_doc(bpp={"lena": 5.25})))
+        assert compare_baseline.main([str(baseline_path), str(current_path)]) == 0
+        assert "performance gate passed" in capsys.readouterr().out
+
+        current_path.write_text(json.dumps(_doc(bpp={"lena": 9.99})))
+        assert compare_baseline.main([str(baseline_path), str(current_path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_committed_baseline_is_valid(self):
+        baseline = json.loads(
+            (Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json").read_text()
+        )
+        assert baseline["schema"] == 1
+        for name in ("engines", "throughput"):
+            assert baseline["experiments"][name]["status"] == "ok"
+        engines = baseline["experiments"]["engines"]
+        assert len(engines["bpp"]) == 7
+        assert len(engines["mb_per_s"]) == 14
+
+    def test_invalid_tolerance_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            compare_baseline.main(["a", "b", "--tolerance", "1.5"])
