@@ -9,8 +9,8 @@ The package is organised as follows:
 * :mod:`repro.baselines` — the comparison codecs of Table 1 (JPEG-LS, SLP,
   CALIC).
 * :mod:`repro.entropy` — entropy-coding substrate shared by all codecs.
-* :mod:`repro.imaging` — image containers, PGM I/O, the synthetic test
-  corpus and metrics.
+* :mod:`repro.imaging` — image containers (grey-scale and multi-component
+  planar), Netpbm I/O (PGM/PPM/PAM), the synthetic test corpus and metrics.
 * :mod:`repro.hardware` — the FPGA resource, timing and pipeline models that
   regenerate Table 2 and the throughput claims.
 * :mod:`repro.system` — the reconfigurable universal compressor of Figure 1.
@@ -24,11 +24,21 @@ The package is organised as follows:
   the benchmarks, examples and the CLI.
 """
 
-from repro.core import CodecConfig, ProposedCodec, decode_image, encode_image
-from repro.imaging import GrayImage, generate_corpus, generate_image
+from repro.core import (
+    CodecConfig,
+    ProposedCodec,
+    decode_image,
+    decode_planar,
+    decode_plane,
+    decode_region,
+    encode_image,
+    encode_planar,
+    stream_index,
+)
+from repro.imaging import GrayImage, PlanarImage, generate_corpus, generate_image
 from repro.parallel import ParallelCodec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CodecConfig",
@@ -36,7 +46,13 @@ __all__ = [
     "ParallelCodec",
     "encode_image",
     "decode_image",
+    "encode_planar",
+    "decode_planar",
+    "decode_plane",
+    "decode_region",
+    "stream_index",
     "GrayImage",
+    "PlanarImage",
     "generate_image",
     "generate_corpus",
     "__version__",

@@ -1,28 +1,41 @@
 """Command-line entry points.
 
-Three console scripts are installed (see ``pyproject.toml``):
+Four console scripts are installed (see ``pyproject.toml``):
 
 ``repro-compress``
-    Compress a PGM image (or an arbitrary file with ``--data``) to a
-    ``.rplc`` container using the proposed codec or any baseline.
+    Compress a Netpbm image — PGM grey-scale, PPM colour or PAM N-band,
+    auto-detected from the magic number — or an arbitrary file with
+    ``--data`` to a ``.rplc`` container using the proposed codec or any
+    baseline.  Colour/multi-band inputs use the version-3 indexed
+    container; ``--plane-delta`` enables the inter-plane predictor.
 
 ``repro-decompress``
     Reconstruct the original image/file from a ``.rplc`` container; the
-    codec is auto-detected from the container header.
+    codec is auto-detected from the container header.  Multi-component
+    streams come back as PPM (3 planes) or PAM (other plane counts; force
+    PAM with a ``.pam`` output path).
+
+``repro-inspect``
+    Dump a container's header and random-access index — one row per
+    (plane, stripe) cell with its row range, byte offset and length —
+    without decoding any payload.  ``--json`` emits the same data
+    machine-readably.
 
 ``repro-bench``
     Regenerate one or more of the paper's tables/figures from the command
     line (``table1``, ``figure4``, ``table2``, ``throughput``,
-    ``ablations``, ``parallel``, ``engines``).  With ``--json PATH`` a
-    machine-readable summary (bits per pixel and MB/s per experiment) is
-    written as well — the input of the CI performance-regression gate.
-    When one experiment fails the remaining ones still run and the partial
-    results are still printed/written; the exit status is non-zero and the
-    failing experiments are named on stderr.
+    ``ablations``, ``parallel``, ``engines``, ``components``).  With
+    ``--json PATH`` a machine-readable summary (bits per pixel and MB/s per
+    experiment) is written as well — the input of the CI
+    performance-regression gate.  When one experiment fails the remaining
+    ones still run and the partial results are still printed/written; the
+    exit status is non-zero and the failing experiments are named on
+    stderr.
 
 ``repro-compress``/``repro-decompress`` accept ``--cores N`` to run the
 stripe-parallel codec: the image is coded as ``N`` independent stripes
-(version-2 container) by a pool of worker processes, mirroring the paper's
+(version-2 container; planes x stripes cells of a version-3 container for
+colour inputs) by a pool of worker processes, mirroring the paper's
 multi-core hardware option.  ``repro-bench parallel --cores N`` validates
 the hardware model's predicted stripe penalty against actual striped
 encodes.  ``--engine fast`` selects the vectorized coding engine (byte-
@@ -44,15 +57,16 @@ from typing import List, Optional
 from repro.baselines.calic import CalicCodec
 from repro.baselines.jpegls import JpegLsCodec
 from repro.baselines.slp import SlpCodec
-from repro.core.bitstream import CodecId, unpack_stream
+from repro.core.bitstream import CodecId, parse_stream_header
 from repro.core.codec import ProposedCodec
 from repro.core.config import CodecConfig
 from repro.core.interface import ENGINES
 from repro.exceptions import ReproError
-from repro.imaging.pnm import read_pgm, write_pgm
+from repro.imaging.planar import PlanarImage
+from repro.imaging.pnm import read_image, write_image
 from repro.system.datamodel import GeneralDataCodec
 
-__all__ = ["compress_main", "decompress_main", "bench_main"]
+__all__ = ["compress_main", "decompress_main", "inspect_main", "bench_main"]
 
 _IMAGE_CODECS = {
     "proposed": lambda: ProposedCodec(),
@@ -70,7 +84,7 @@ def _print_error(error: BaseException) -> None:
 
 def _codec_for_stream(data: bytes):
     """Instantiate the right decoder for a container, from its header."""
-    header, _ = unpack_stream(data)
+    header = parse_stream_header(data)
     if header.codec in (CodecId.PROPOSED, CodecId.PROPOSED_HARDWARE):
         return None, "image"  # decode_image reconstructs its own config
     if header.codec == CodecId.JPEG_LS:
@@ -88,9 +102,10 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro-compress``."""
     parser = argparse.ArgumentParser(
         prog="repro-compress",
-        description="Losslessly compress a PGM image (or raw file) into a .rplc container.",
+        description="Losslessly compress a PGM/PPM/PAM image (or raw file) "
+        "into a .rplc container.",
     )
-    parser.add_argument("input", help="input PGM image (or any file with --data)")
+    parser.add_argument("input", help="input PGM/PPM/PAM image (or any file with --data)")
     parser.add_argument("output", help="output .rplc container")
     parser.add_argument(
         "--codec",
@@ -126,6 +141,12 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
         help="coding engine for the proposed codecs; streams are byte-identical "
         "(default: reference)",
     )
+    parser.add_argument(
+        "--plane-delta",
+        action="store_true",
+        help="code plane k>0 of a colour/multi-band input as the delta to "
+        "plane k-1 (proposed codecs only)",
+    )
     args = parser.parse_args(argv)
     if args.cores is not None and args.cores < 1:
         parser.error("--cores must be a positive integer")
@@ -133,6 +154,8 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--cores is only supported with the proposed image codecs")
     if args.engine != "reference" and (args.data or not args.codec.startswith("proposed")):
         parser.error("--engine is only supported with the proposed image codecs")
+    if args.plane_delta and (args.data or not args.codec.startswith("proposed")):
+        parser.error("--plane-delta is only supported with the proposed image codecs")
 
     try:
         if args.data:
@@ -140,23 +163,40 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
             stream = GeneralDataCodec(order=args.order).encode(payload)
             original_size = len(payload)
         else:
-            image = read_pgm(args.input)
+            image = read_image(args.input)
+            if isinstance(image, PlanarImage) and not args.codec.startswith("proposed"):
+                raise ReproError(
+                    "codec %r compresses grey-scale images only; use the "
+                    "proposed codec for %d-plane inputs" % (args.codec, image.num_planes)
+                )
             if args.codec.startswith("proposed"):
                 config = (
-                    CodecConfig.hardware(count_bits=args.count_bits)
+                    CodecConfig.hardware(
+                        count_bits=args.count_bits, bit_depth=image.bit_depth
+                    )
                     if args.codec == "proposed"
-                    else CodecConfig.reference(count_bits=args.count_bits)
+                    else CodecConfig.reference(
+                        count_bits=args.count_bits, bit_depth=image.bit_depth
+                    )
                 )
                 if args.cores is not None:
                     codec = ProposedCodec.parallel(
-                        cores=args.cores, config=config, engine=args.engine
+                        cores=args.cores,
+                        config=config,
+                        engine=args.engine,
+                        plane_delta=args.plane_delta,
                     )
                 else:
-                    codec = ProposedCodec(config, engine=args.engine)
+                    codec = ProposedCodec(
+                        config, engine=args.engine, plane_delta=args.plane_delta
+                    )
             else:
                 codec = _IMAGE_CODECS[args.codec]()
             stream = codec.encode(image)
-            original_size = image.pixel_count * ((image.bit_depth + 7) // 8)
+            sample_count = (
+                image.sample_count if isinstance(image, PlanarImage) else image.pixel_count
+            )
+            original_size = sample_count * ((image.bit_depth + 7) // 8)
         Path(args.output).write_bytes(stream)
     except (ReproError, OSError) as error:
         _print_error(error)
@@ -177,7 +217,11 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
         description="Reconstruct the original image/file from a .rplc container.",
     )
     parser.add_argument("input", help="input .rplc container")
-    parser.add_argument("output", help="output PGM image (or raw file for data streams)")
+    parser.add_argument(
+        "output",
+        help="output image (PGM for grey streams, PPM/PAM for multi-component "
+        "streams, raw file for data streams); a .pam suffix forces PAM",
+    )
     parser.add_argument(
         "--cores",
         type=int,
@@ -207,17 +251,60 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
                         cores=args.cores, engine=args.engine
                     ).decode(stream)
                 else:
-                    from repro.core.decoder import decode_image
+                    header = parse_stream_header(stream)
+                    if header.component_lengths:
+                        from repro.core.components import decode_planar
 
-                    image = decode_image(stream, engine=args.engine)
+                        image = decode_planar(stream, engine=args.engine)
+                    else:
+                        from repro.core.decoder import decode_image
+
+                        image = decode_image(stream, engine=args.engine)
             else:
                 image = codec.decode(stream)
-            write_pgm(image, args.output)
+            write_image(image, args.output)
     except (ReproError, OSError) as error:
         _print_error(error)
         return 1
 
     print("%s -> %s" % (args.input, args.output))
+    return 0
+
+
+def inspect_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-inspect``.
+
+    Parses a container's header and stripe/component tables — no payload
+    byte is ever decoded — and prints the random-access index: one row per
+    (plane, stripe) cell with its row range, absolute byte offset and
+    length.  Works on every container version; version-1 streams report a
+    single cell.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-inspect",
+        description="Dump a .rplc container's header and random-access index.",
+    )
+    parser.add_argument("input", help="input .rplc container")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the index as JSON on stdout instead of a table",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        data = Path(args.input).read_bytes()
+        from repro.core.components import stream_index
+
+        index = stream_index(data)
+    except (ReproError, OSError) as error:
+        _print_error(error)
+        return 1
+
+    if args.json:
+        print(json.dumps(index.as_json(), indent=2, sort_keys=True))
+    else:
+        print(index.format_report())
     return 0
 
 
@@ -229,6 +316,7 @@ _BENCH_EXPERIMENTS = (
     "ablations",
     "parallel",
     "engines",
+    "components",
 )
 
 
@@ -273,6 +361,17 @@ def _run_bench_experiment(name: str, args) -> tuple:
         size = args.size or (512 if args.full else 96)
         result = run_engine_comparison(size=size, seed=args.seed)
         text = "Engine comparison (synthetic corpus, %dx%d):\n%s" % (
+            size,
+            size,
+            result.format_report(),
+        )
+        return text, result.as_json()
+    if name == "components":
+        from repro.experiments.components import run_components
+
+        size = args.size or (256 if args.full else 48)
+        result = run_components(size=size, seed=args.seed)
+        text = "Multi-component comparison (synthetic RGB corpus, %dx%d):\n%s" % (
             size,
             size,
             result.format_report(),

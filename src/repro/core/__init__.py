@@ -10,6 +10,11 @@ The public surface of this package is:
   overflow guard) described in Section III of the paper.
 * :func:`~repro.core.encoder.encode_image` /
   :func:`~repro.core.decoder.decode_image` — functional entry points.
+* :mod:`repro.core.components` — multi-component (planar) encoding on top
+  of the same pipeline: the version-3 indexed container, the inter-plane
+  delta predictor and the random-access decoders
+  (:func:`~repro.core.components.decode_plane`,
+  :func:`~repro.core.components.decode_region`).
 
 The internal pipeline mirrors the paper's architecture one block per module:
 ``neighborhood`` (Fig. 2) → ``predictor`` (GAP) → ``context`` (texture +
@@ -19,6 +24,13 @@ static escape tree, Fig. 4) → binary arithmetic coder.
 """
 
 from repro.core.codec import ProposedCodec
+from repro.core.components import (
+    decode_plane,
+    decode_planar,
+    decode_region,
+    encode_planar,
+    stream_index,
+)
 from repro.core.config import CodecConfig
 from repro.core.decoder import decode_image
 from repro.core.encoder import EncodeStatistics, encode_image, encode_image_with_statistics
@@ -32,4 +44,9 @@ __all__ = [
     "encode_image_with_statistics",
     "EncodeStatistics",
     "decode_image",
+    "encode_planar",
+    "decode_planar",
+    "decode_plane",
+    "decode_region",
+    "stream_index",
 ]

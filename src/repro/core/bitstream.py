@@ -5,11 +5,11 @@ container so that streams are self-describing: the decoder can recover the
 image geometry, the codec that produced the stream and the configuration
 fields it needs to rebuild its adaptive models identically.
 
-Fixed header layout, shared by both container versions (big-endian)::
+Fixed header layout, shared by all container versions (big-endian)::
 
     offset  size  field
     0       4     magic "RPLC" (RePro Lossless Container)
-    4       1     container version (1 or 2)
+    4       1     container version (1, 2 or 3)
     5       1     codec id (see CodecId)
     6       4     image width in pixels
     10      4     image height in pixels
@@ -17,7 +17,7 @@ Fixed header layout, shared by both container versions (big-endian)::
     15      1     codec parameter byte (meaning depends on the codec; the
                   proposed codec stores the frequency-count width here)
     16      1     flags byte (bit 0: hardware-faithful path)
-    17      4     payload length in bytes (total across all stripes)
+    17      4     payload length in bytes (total across all stripes/planes)
     21      ...   version-dependent, see below
 
 Version 1 — single payload::
@@ -34,13 +34,38 @@ option.  A stripe table follows the fixed header::
     23      4*S   per-stripe payload length in bytes
     23+4S   ...   S concatenated stripe payloads
 
-The payload-length field at offset 17 always holds the total payload size
-(the sum of the stripe table entries in version 2), so generic tooling can
-skip the payload without understanding the stripe table.
+Version 3 — multi-component indexed payload.  The image carries ``C``
+co-registered sample planes (RGB, multi-band), every plane is split into
+the *same* ``S`` balanced stripes, and each (plane, stripe) cell is an
+independent entropy-coded payload.  A component table follows the fixed
+header; the per-cell lengths double as a random-access byte-offset index
+(offsets are the running sums), so a reader can locate and decode a single
+plane (:func:`repro.core.components.decode_plane`) or a stripe range
+(:func:`repro.core.components.decode_region`) without touching the rest of
+the stream::
 
-Version-1 streams remain fully readable: :func:`unpack_stream` accepts both
-versions and :func:`pack_stream` emits version 1 unless ``stripe_lengths``
-is given.
+    21      1     component count C (1 <= C <= 255)
+    22      1     component flags (bit 0: plane k>0 stores the modular
+                  delta to plane k-1 — the inter-plane predictor)
+    23      2     stripe count S per plane (1 <= S <= 65535, S <= height)
+    25      8*C*S per (plane, stripe) cell, plane-major: payload length in
+                  bytes (4) then CRC-32 of the cell payload (4)
+    25+8CS  ...   C*S concatenated cell payloads, plane-major
+
+The per-cell CRC-32 makes index lies detectable: an entry whose offset or
+length points at the wrong bytes fails its checksum before any entropy
+decoding happens, so a corrupted index raises ``BitstreamError`` instead of
+silently decoding garbage — and a random-access reader still only checksums
+the cells it actually touches.
+
+The payload-length field at offset 17 always holds the total payload size
+(the sum of the stripe/component table entries in versions 2 and 3), so
+generic tooling can skip the payload without understanding the tables.
+
+Older streams remain fully readable: :func:`unpack_stream` accepts all
+three versions; :func:`pack_stream` emits version 1 unless
+``stripe_lengths`` is given, and :func:`pack_component_stream` emits
+version 3.
 
 A truncated or corrupted header raises
 :class:`~repro.exceptions.HeaderError`; a payload shorter than the declared
@@ -52,6 +77,7 @@ from __future__ import annotations
 
 import enum
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -61,8 +87,14 @@ __all__ = [
     "CodecId",
     "StreamHeader",
     "pack_stream",
+    "pack_component_stream",
+    "parse_stream_header",
     "unpack_stream",
     "split_stripe_payloads",
+    "split_component_payloads",
+    "component_spans",
+    "verify_component_cell",
+    "COMPONENT_FLAG_PLANE_DELTA",
 ]
 
 MAGIC = b"RPLC"
@@ -71,11 +103,39 @@ MAGIC = b"RPLC"
 CONTAINER_VERSION = 1
 #: Version written when a stripe table is present.
 STRIPED_CONTAINER_VERSION = 2
-SUPPORTED_VERSIONS = (CONTAINER_VERSION, STRIPED_CONTAINER_VERSION)
+#: Version written for multi-component streams with a random-access index.
+COMPONENT_CONTAINER_VERSION = 3
+SUPPORTED_VERSIONS = (
+    CONTAINER_VERSION,
+    STRIPED_CONTAINER_VERSION,
+    COMPONENT_CONTAINER_VERSION,
+)
 _HEADER_STRUCT = struct.Struct(">4sBBIIBBBI")
 _STRIPE_COUNT_STRUCT = struct.Struct(">H")
 _STRIPE_LENGTH_STRUCT = struct.Struct(">I")
+#: Version-3 table prefix: component count, component flags, stripe count.
+_COMPONENT_HEADER_STRUCT = struct.Struct(">BBH")
+#: Version-3 index cell: payload length, CRC-32 of the cell payload.
+_COMPONENT_CELL_STRUCT = struct.Struct(">II")
 MAX_STRIPES = 0xFFFF
+MAX_COMPONENTS = 0xFF
+#: Component-flags bit: planes after the first store the modular delta to
+#: the previous (reconstructed) plane instead of raw samples.
+COMPONENT_FLAG_PLANE_DELTA = 0x01
+
+
+def _check_fixed_fields(
+    width: int, height: int, bit_depth: int, parameter: int, flags: int
+) -> None:
+    """Validate the fields every container version shares."""
+    if width <= 0 or height <= 0:
+        raise HeaderError("image dimensions must be positive, got %dx%d" % (width, height))
+    if not 1 <= bit_depth <= 16:
+        raise HeaderError("bit depth must be in [1, 16], got %d" % bit_depth)
+    if not 0 <= parameter <= 255:
+        raise HeaderError("parameter byte must fit in 8 bits, got %d" % parameter)
+    if not 0 <= flags <= 255:
+        raise HeaderError("flags byte must fit in 8 bits, got %d" % flags)
 
 
 class CodecId(enum.IntEnum):
@@ -100,10 +160,21 @@ class StreamHeader:
     parameter: int
     flags: int
     payload_length: int
-    #: Container version the stream was written with (1 or 2).
+    #: Container version the stream was written with (1, 2 or 3).
     version: int = CONTAINER_VERSION
-    #: Per-stripe payload lengths; empty for version-1 streams.
+    #: Per-stripe payload lengths; empty for version-1 and version-3 streams.
     stripe_lengths: Tuple[int, ...] = ()
+    #: Number of image components (planes); 1 for version-1/2 streams.
+    component_count: int = 1
+    #: Version-3 component flags (see ``COMPONENT_FLAG_*``).
+    component_flags: int = 0
+    #: Version-3 per-plane, per-stripe payload lengths (plane-major).
+    component_lengths: Tuple[Tuple[int, ...], ...] = ()
+    #: Version-3 per-plane, per-stripe CRC-32 of each cell payload.
+    component_crcs: Tuple[Tuple[int, ...], ...] = ()
+    #: Byte offset of the first payload byte inside the container (set by
+    #: :func:`unpack_stream`; the random-access index is relative to it).
+    payload_offset: int = 0
 
     @property
     def pixel_count(self) -> int:
@@ -111,8 +182,15 @@ class StreamHeader:
 
     @property
     def stripe_count(self) -> int:
-        """Number of independently coded stripes (1 for version-1 streams)."""
+        """Number of independently coded stripes per plane."""
+        if self.component_lengths:
+            return len(self.component_lengths[0])
         return len(self.stripe_lengths) if self.stripe_lengths else 1
+
+    @property
+    def plane_delta(self) -> bool:
+        """Whether planes after the first are inter-plane deltas."""
+        return bool(self.component_flags & COMPONENT_FLAG_PLANE_DELTA)
 
 
 def pack_stream(
@@ -132,14 +210,7 @@ def pack_stream(
     container is produced whose stripe table lists the given per-stripe
     payload lengths; they must sum to ``len(payload)``.
     """
-    if width <= 0 or height <= 0:
-        raise HeaderError("image dimensions must be positive, got %dx%d" % (width, height))
-    if not 1 <= bit_depth <= 16:
-        raise HeaderError("bit depth must be in [1, 16], got %d" % bit_depth)
-    if not 0 <= parameter <= 255:
-        raise HeaderError("parameter byte must fit in 8 bits, got %d" % parameter)
-    if not 0 <= flags <= 255:
-        raise HeaderError("flags byte must fit in 8 bits, got %d" % flags)
+    _check_fixed_fields(width, height, bit_depth, parameter, flags)
     version = CONTAINER_VERSION
     stripe_table = b""
     if stripe_lengths is not None:
@@ -178,13 +249,78 @@ def pack_stream(
     return header + stripe_table + payload
 
 
-def unpack_stream(data: bytes) -> tuple:
-    """Split a container into its :class:`StreamHeader` and payload bytes.
+def pack_component_stream(
+    codec: CodecId,
+    width: int,
+    height: int,
+    bit_depth: int,
+    plane_payloads: Sequence[Sequence[bytes]],
+    parameter: int = 0,
+    flags: int = 0,
+    component_flags: int = 0,
+) -> bytes:
+    """Assemble a version-3 container around per-(plane, stripe) payloads.
 
-    Both container versions are accepted; for version-2 streams the stripe
-    table is validated and exposed as ``header.stripe_lengths`` while the
-    returned payload is the concatenation of all stripe payloads (use
-    :func:`split_stripe_payloads` to slice it).
+    ``plane_payloads`` holds one sequence of stripe payloads per component
+    plane; every plane must carry the same number of stripes (the planes
+    share one partition).  The component table written after the fixed
+    header doubles as the random-access index.
+    """
+    _check_fixed_fields(width, height, bit_depth, parameter, flags)
+    if not 0 <= component_flags <= 255:
+        raise HeaderError(
+            "component flags byte must fit in 8 bits, got %d" % component_flags
+        )
+    planes = [list(stripe_payloads) for stripe_payloads in plane_payloads]
+    if not 1 <= len(planes) <= MAX_COMPONENTS:
+        raise HeaderError(
+            "component count must be in [1, %d], got %d" % (MAX_COMPONENTS, len(planes))
+        )
+    stripe_count = len(planes[0])
+    if not 1 <= stripe_count <= MAX_STRIPES:
+        raise HeaderError(
+            "stripe count must be in [1, %d], got %d" % (MAX_STRIPES, stripe_count)
+        )
+    if stripe_count > height:
+        raise HeaderError(
+            "cannot describe %d stripes for %d image rows" % (stripe_count, height)
+        )
+    for index, stripe_payloads in enumerate(planes):
+        if len(stripe_payloads) != stripe_count:
+            raise HeaderError(
+                "plane %d holds %d stripes but plane 0 holds %d"
+                % (index, len(stripe_payloads), stripe_count)
+            )
+    table = _COMPONENT_HEADER_STRUCT.pack(len(planes), component_flags, stripe_count)
+    cells = [cell for stripe_payloads in planes for cell in stripe_payloads]
+    table += b"".join(
+        _COMPONENT_CELL_STRUCT.pack(len(cell), zlib.crc32(cell) & 0xFFFFFFFF)
+        for cell in cells
+    )
+    payload = b"".join(cells)
+    header = _HEADER_STRUCT.pack(
+        MAGIC,
+        COMPONENT_CONTAINER_VERSION,
+        int(codec),
+        width,
+        height,
+        bit_depth,
+        parameter,
+        flags,
+        len(payload),
+    )
+    return header + table + payload
+
+
+def parse_stream_header(data: bytes) -> StreamHeader:
+    """Parse and validate a container's header and tables — no payload copy.
+
+    Performs every structural check :func:`unpack_stream` does (magic,
+    version, geometry, table consistency, exact framing) but never
+    materialises the payload bytes, so header-only consumers — the
+    random-access decoders, ``stream_index``, version sniffing — stay O(1)
+    in the payload size and slice the cells they need straight out of
+    ``data`` via :func:`component_spans`.
     """
     if len(data) < _HEADER_STRUCT.size:
         raise HeaderError(
@@ -196,7 +332,10 @@ def unpack_stream(data: bytes) -> tuple:
     if magic != MAGIC:
         raise HeaderError("bad container magic %r" % magic)
     if version not in SUPPORTED_VERSIONS:
-        raise HeaderError("unsupported container version %d" % version)
+        raise HeaderError(
+            "unsupported container version %d (this reader understands versions %s)"
+            % (version, ", ".join(str(v) for v in SUPPORTED_VERSIONS))
+        )
     try:
         codec = CodecId(codec_raw)
     except ValueError as exc:
@@ -208,6 +347,10 @@ def unpack_stream(data: bytes) -> tuple:
 
     offset = _HEADER_STRUCT.size
     stripe_lengths: Tuple[int, ...] = ()
+    component_count = 1
+    component_flags = 0
+    component_lengths: Tuple[Tuple[int, ...], ...] = ()
+    component_crcs: Tuple[Tuple[int, ...], ...] = ()
     if version == STRIPED_CONTAINER_VERSION:
         if len(data) < offset + _STRIPE_COUNT_STRUCT.size:
             raise HeaderError("stream truncated inside the stripe table")
@@ -233,14 +376,63 @@ def unpack_stream(data: bytes) -> tuple:
                 "stripe table sums to %d bytes but header declares %d"
                 % (sum(stripe_lengths), length)
             )
+    elif version == COMPONENT_CONTAINER_VERSION:
+        if len(data) < offset + _COMPONENT_HEADER_STRUCT.size:
+            raise HeaderError("stream truncated inside the component table")
+        component_count, component_flags, stripe_count = (
+            _COMPONENT_HEADER_STRUCT.unpack_from(data, offset)
+        )
+        offset += _COMPONENT_HEADER_STRUCT.size
+        if component_count < 1:
+            raise HeaderError("component table declares zero components")
+        if stripe_count < 1:
+            raise HeaderError("component table declares zero stripes")
+        if stripe_count > height:
+            raise HeaderError(
+                "component table declares %d stripes for %d image rows"
+                % (stripe_count, height)
+            )
+        cell_count = component_count * stripe_count
+        table_size = cell_count * _COMPONENT_CELL_STRUCT.size
+        if len(data) < offset + table_size:
+            raise HeaderError("stream truncated inside the component table")
+        cells = [
+            _COMPONENT_CELL_STRUCT.unpack_from(data, offset + i * _COMPONENT_CELL_STRUCT.size)
+            for i in range(cell_count)
+        ]
+        offset += table_size
+        component_lengths = tuple(
+            tuple(cell[0] for cell in cells[plane * stripe_count : (plane + 1) * stripe_count])
+            for plane in range(component_count)
+        )
+        component_crcs = tuple(
+            tuple(cell[1] for cell in cells[plane * stripe_count : (plane + 1) * stripe_count])
+            for plane in range(component_count)
+        )
+        total = sum(cell[0] for cell in cells)
+        if total != length:
+            raise BitstreamError(
+                "component table sums to %d bytes but header declares %d"
+                % (total, length)
+            )
 
-    payload = data[offset:]
-    if len(payload) < length:
+    present = len(data) - offset
+    if present < length:
         raise BitstreamError(
             "payload truncated: header declares %d bytes, %d present"
-            % (length, len(payload))
+            % (length, present)
         )
-    header = StreamHeader(
+    if present > length:
+        # A container holds exactly its declared payload.  Trailing bytes
+        # mean the stream was corrupted or mis-framed — most importantly, a
+        # flipped version byte makes a later version's table parse as
+        # payload, which this check turns into a loud error instead of a
+        # silent garbage decode.
+        raise BitstreamError(
+            "trailing garbage: header declares %d payload bytes but %d follow "
+            "the tables" % (length, present)
+        )
+    return StreamHeader(
         codec=codec,
         width=width,
         height=height,
@@ -250,8 +442,29 @@ def unpack_stream(data: bytes) -> tuple:
         payload_length=length,
         version=version,
         stripe_lengths=stripe_lengths,
+        component_count=component_count,
+        component_flags=component_flags,
+        component_lengths=component_lengths,
+        component_crcs=component_crcs,
+        payload_offset=offset,
     )
-    return header, payload[:length]
+
+
+def unpack_stream(data: bytes) -> tuple:
+    """Split a container into its :class:`StreamHeader` and payload bytes.
+
+    All three container versions are accepted; the stripe table (version 2)
+    or component table (version 3) is validated and exposed through
+    ``header.stripe_lengths`` / ``header.component_lengths`` while the
+    returned payload is the concatenation of all cell payloads (use
+    :func:`split_stripe_payloads` / :func:`split_component_payloads` to
+    slice it).  Callers that never need the payload bytes should prefer
+    :func:`parse_stream_header`, which skips the copy.
+    """
+    header = parse_stream_header(data)
+    # parse_stream_header guarantees exact framing, so this single slice is
+    # precisely the declared payload.
+    return header, data[header.payload_offset :]
 
 
 def split_stripe_payloads(header: StreamHeader, payload: bytes) -> List[bytes]:
@@ -273,3 +486,85 @@ def split_stripe_payloads(header: StreamHeader, payload: bytes) -> List[bytes]:
         stripes.append(payload[offset : offset + length])
         offset += length
     return stripes
+
+
+def _cell_lengths(header: StreamHeader) -> List[List[int]]:
+    """Per-plane, per-stripe payload lengths for any container version."""
+    if header.component_lengths:
+        return [list(lengths) for lengths in header.component_lengths]
+    if header.stripe_lengths:
+        return [list(header.stripe_lengths)]
+    return [[header.payload_length]]
+
+
+def verify_component_cell(
+    header: StreamHeader, plane: int, stripe: int, cell: bytes
+) -> bytes:
+    """Checksum one (plane, stripe) cell payload against the version-3 index.
+
+    Returns the cell unchanged on success and raises
+    :class:`~repro.exceptions.BitstreamError` on mismatch, so random-access
+    readers can verify exactly the cells they touch.  Headers without a CRC
+    index (versions 1 and 2) pass through unchecked.
+    """
+    if not header.component_crcs:
+        return cell
+    expected = header.component_crcs[plane][stripe]
+    actual = zlib.crc32(cell) & 0xFFFFFFFF
+    if actual != expected:
+        raise BitstreamError(
+            "component index CRC mismatch for plane %d stripe %d "
+            "(index says %08x, payload bytes give %08x); the index or the "
+            "payload is corrupt" % (plane, stripe, expected, actual)
+        )
+    return cell
+
+
+def split_component_payloads(header: StreamHeader, payload: bytes) -> List[List[bytes]]:
+    """Slice the concatenated payload into per-plane, per-stripe payloads.
+
+    Works for every container version: version-1 streams yield one plane
+    holding one stripe, version-2 streams one plane holding each stripe, and
+    version-3 streams their full plane-major grid (each cell checked
+    against its index CRC).
+    """
+    lengths = _cell_lengths(header)
+    total = sum(sum(plane) for plane in lengths)
+    if len(payload) != total:
+        raise BitstreamError(
+            "payload holds %d bytes but the component table sums to %d"
+            % (len(payload), total)
+        )
+    planes: List[List[bytes]] = []
+    offset = 0
+    for plane, plane_lengths in enumerate(lengths):
+        stripes: List[bytes] = []
+        for stripe, length in enumerate(plane_lengths):
+            stripes.append(
+                verify_component_cell(
+                    header, plane, stripe, payload[offset : offset + length]
+                )
+            )
+            offset += length
+        planes.append(stripes)
+    return planes
+
+
+def component_spans(header: StreamHeader) -> List[List[Tuple[int, int]]]:
+    """Absolute ``(offset, length)`` of every (plane, stripe) cell.
+
+    Offsets are relative to the start of the container (``data[offset :
+    offset + length]`` is the cell payload), derived from the running sums
+    of the length index — this is the O(1) random-access map that
+    ``decode_plane`` / ``decode_region`` use to touch only the bytes they
+    need.  Works for every container version.
+    """
+    spans: List[List[Tuple[int, int]]] = []
+    offset = header.payload_offset
+    for plane_lengths in _cell_lengths(header):
+        plane_spans: List[Tuple[int, int]] = []
+        for length in plane_lengths:
+            plane_spans.append((offset, length))
+            offset += length
+        spans.append(plane_spans)
+    return spans

@@ -3,18 +3,25 @@
 :class:`ProposedCodec` wraps the functional encoder/decoder behind the
 common :class:`~repro.core.interface.LosslessImageCodec` interface so it can
 be benchmarked side by side with the baselines and plugged into the
-universal compressor of Figure 1.
+universal compressor of Figure 1.  It accepts both image containers:
+grey-scale :class:`~repro.imaging.image.GrayImage` inputs produce the
+classic single-plane containers, multi-component
+:class:`~repro.imaging.planar.PlanarImage` inputs produce indexed version-3
+containers (see :mod:`repro.core.components`), and :meth:`decode` returns
+whichever container matches the stream.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple, Union
 
+from repro.core.bitstream import parse_stream_header
 from repro.core.config import CodecConfig
 from repro.core.decoder import decode_image
 from repro.core.encoder import EncodeStatistics, encode_image_with_statistics
 from repro.core.interface import LosslessImageCodec, require_engine
 from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
 
 __all__ = ["ProposedCodec"]
 
@@ -32,6 +39,10 @@ class ProposedCodec(LosslessImageCodec):
         or ``"fast"`` (row-vectorized modelling + inlined entropy coding).
         Both produce byte-identical streams; the engine is a speed knob, not
         a format choice.
+    plane_delta:
+        Enable the inter-plane delta predictor for multi-component inputs
+        (plane ``k > 0`` is coded as the modular delta to plane ``k - 1``).
+        Ignored for grey-scale inputs.
 
     Examples
     --------
@@ -48,10 +59,14 @@ class ProposedCodec(LosslessImageCodec):
     name = "proposed"
 
     def __init__(
-        self, config: Optional[CodecConfig] = None, engine: str = "reference"
+        self,
+        config: Optional[CodecConfig] = None,
+        engine: str = "reference",
+        plane_delta: bool = False,
     ) -> None:
         self.config = config if config is not None else CodecConfig.hardware()
         self.engine = require_engine(engine)
+        self.plane_delta = plane_delta
         self.last_statistics: Optional[EncodeStatistics] = None
 
     @classmethod
@@ -83,28 +98,69 @@ class ProposedCodec(LosslessImageCodec):
         cores: Optional[int] = None,
         config: Optional[CodecConfig] = None,
         engine: str = "reference",
+        plane_delta: bool = False,
     ):
         """Stripe-parallel variant: ``cores`` pipeline instances side by side.
 
         Returns a :class:`~repro.parallel.codec.ParallelCodec`, the software
-        equivalent of the paper's multi-core hardware option.  Its streams
-        use the version-2 (striped) container; they decode through this
-        class's :meth:`decode` as well, just without the parallel fan-out.
-        ``engine`` composes with striping: each stripe is coded by the
-        selected engine.
+        equivalent of the paper's multi-core hardware option.  Its grey
+        streams use the version-2 (striped) container and its planar streams
+        the version-3 (component-indexed) container; both decode through
+        this class's :meth:`decode` as well, just without the parallel
+        fan-out.  ``engine`` composes with striping: each (plane, stripe)
+        cell is coded by the selected engine.
         """
         from repro.parallel.codec import ParallelCodec
 
-        return ParallelCodec(cores=cores, config=config, engine=engine)
-
-    def encode(self, image: GrayImage) -> bytes:
-        """Compress ``image``; statistics are kept in :attr:`last_statistics`."""
-        stream, statistics = encode_image_with_statistics(
-            image, self.config, engine=self.engine
+        return ParallelCodec(
+            cores=cores, config=config, engine=engine, plane_delta=plane_delta
         )
+
+    def encode(self, image: Union[GrayImage, PlanarImage]) -> bytes:
+        """Compress ``image``; statistics are kept in :attr:`last_statistics`.
+
+        Grey-scale inputs produce a version-1 container; planar inputs a
+        version-3 container with one stripe per plane (use the parallel
+        variant or :func:`repro.core.components.encode_planar` for striped
+        random-access streams).
+        """
+        if isinstance(image, PlanarImage):
+            from repro.core.components import encode_planar_with_statistics
+
+            stream, statistics = encode_planar_with_statistics(
+                image, self.config, engine=self.engine, plane_delta=self.plane_delta
+            )
+        else:
+            stream, statistics = encode_image_with_statistics(
+                image, self.config, engine=self.engine
+            )
         self.last_statistics = statistics
         return stream
 
-    def decode(self, data: bytes) -> GrayImage:
-        """Reconstruct the exact image from an :meth:`encode` stream."""
+    def decode(self, data: bytes) -> Union[GrayImage, PlanarImage]:
+        """Reconstruct the exact image from an :meth:`encode` stream.
+
+        Version-1/2 streams come back as :class:`GrayImage`, version-3
+        streams as :class:`PlanarImage` — matching the container the input
+        was encoded from.
+        """
+        header = parse_stream_header(data)
+        if header.component_lengths:
+            from repro.core.components import decode_planar
+
+            return decode_planar(data, self.config, engine=self.engine)
         return decode_image(data, self.config, engine=self.engine)
+
+    def decode_plane(self, data: bytes, plane: int) -> GrayImage:
+        """Decode one component plane, reading only its indexed bytes."""
+        from repro.core.components import decode_plane
+
+        return decode_plane(data, plane, self.config, engine=self.engine)
+
+    def decode_region(
+        self, data: bytes, stripe_range: Tuple[int, int]
+    ) -> Union[GrayImage, PlanarImage]:
+        """Decode only the rows covered by stripes ``[start, stop)``."""
+        from repro.core.components import decode_region
+
+        return decode_region(data, stripe_range, self.config, engine=self.engine)

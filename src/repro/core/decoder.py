@@ -22,8 +22,8 @@ from typing import List, Optional
 from repro.core.bitstream import (
     CodecId,
     StreamHeader,
+    parse_stream_header,
     split_stripe_payloads,
-    unpack_stream,
 )
 from repro.core.config import CodecConfig
 from repro.core.mapping import unmap_error
@@ -50,9 +50,13 @@ def resolve_stream_config(header: StreamHeader, config: Optional[CodecConfig]) -
         )
     if config is None:
         if header.flags & 1:
-            config = CodecConfig.hardware(count_bits=header.parameter)
+            config = CodecConfig.hardware(
+                count_bits=header.parameter, bit_depth=header.bit_depth
+            )
         else:
-            config = CodecConfig.reference(count_bits=header.parameter)
+            config = CodecConfig.reference(
+                count_bits=header.parameter, bit_depth=header.bit_depth
+            )
     else:
         if config.count_bits != header.parameter:
             raise CodecMismatchError(
@@ -129,9 +133,32 @@ def decode_image(
     engine:
         Decoding engine (``"reference"`` or ``"fast"``); both decode both
         engines' streams identically.
+
+    Multi-component (version-3) streams with a single plane decode here
+    too; streams holding several planes cannot be represented as a
+    :class:`GrayImage` and are rejected with an error naming the container
+    version actually found — decode those with
+    :func:`repro.core.components.decode_planar` or
+    :meth:`repro.core.codec.ProposedCodec.decode`.
     """
-    header, payload = unpack_stream(data)
+    # Route on the header alone: the v3 path re-parses inside decode_plane
+    # anyway, so copying the payload out first would be pure waste.
+    header = parse_stream_header(data)
+
+    if header.component_lengths:
+        from repro.core.components import decode_plane
+
+        if header.component_count > 1:
+            raise CodecMismatchError(
+                "stream is a version-%d multi-component container holding %d "
+                "planes, which cannot decode to a single grey-scale image; "
+                "use repro.core.components.decode_planar"
+                % (header.version, header.component_count)
+            )
+        return decode_plane(data, 0, config, engine=engine)
+
     config = resolve_stream_config(header, config)
+    payload = data[header.payload_offset :]
 
     if not header.stripe_lengths:
         pixels = decode_payload(payload, header.width, header.height, config, engine=engine)

@@ -8,7 +8,11 @@ Each module reproduces one evaluation artefact:
   plus the memory budgets quoted in Section V;
 * :mod:`repro.experiments.throughput` — the 123 MHz / 123 Mbit/s claim;
 * :mod:`repro.experiments.ablations` — the two in-text ablations (overflow-
-  guard aging and LUT division).
+  guard aging and LUT division);
+* :mod:`repro.experiments.engines` — reference vs fast coding engine
+  (byte-identity + speedup, the CI performance gate's data source);
+* :mod:`repro.experiments.components` — multi-component bit rates and
+  random-access speed on the version-3 indexed container.
 
 The benchmarks under ``benchmarks/``, the examples under ``examples/`` and
 the ``repro-bench`` CLI all delegate to these functions, so the numbers in
@@ -24,6 +28,11 @@ from repro.experiments.engines import (
     EngineComparisonResult,
     EngineImageRow,
     run_engine_comparison,
+)
+from repro.experiments.components import (
+    ComponentRow,
+    ComponentsResult,
+    run_components,
 )
 
 __all__ = [
@@ -43,4 +52,7 @@ __all__ = [
     "run_engine_comparison",
     "EngineComparisonResult",
     "EngineImageRow",
+    "run_components",
+    "ComponentsResult",
+    "ComponentRow",
 ]

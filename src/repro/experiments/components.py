@@ -1,0 +1,192 @@
+"""Multi-component experiment — colour bit rates and random-access speed.
+
+The version-3 container opens two workloads the paper's single-plane
+pipeline did not serve: colour / multi-band payloads and random access into
+large streams.  This experiment quantifies both on the synthetic RGB corpus
+(:func:`repro.imaging.synthetic.generate_planar_image`):
+
+* per image, the bits-per-sample with planes coded independently and with
+  the inter-plane delta predictor — the predictor's win is the headline
+  number, mirroring how the paper's GAP prediction exploits intra-plane
+  correlation;
+* per image, the wall-clock ratio of a full decode to a single-plane decode
+  through the byte-offset index — on an independently coded C-plane stream
+  the indexed decode should approach ``1/C`` of the full decode.
+
+Byte identity between the two engines is enforced on every stream, like the
+``engines`` experiment does, so this experiment doubles as a conformance
+check for the multi-component path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.components import (
+    decode_planar,
+    encode_planar,
+    measure_random_access,
+)
+from repro.core.config import CodecConfig
+from repro.exceptions import ConfigError, ReproError
+from repro.imaging.synthetic import CORPUS_IMAGE_NAMES, generate_planar_image
+
+__all__ = ["ComponentRow", "ComponentsResult", "run_components"]
+
+
+@dataclass(frozen=True)
+class ComponentRow:
+    """Measured multi-component behaviour for one corpus image."""
+
+    image: str
+    planes: int
+    independent_bits_per_sample: float
+    delta_bits_per_sample: float
+    full_decode_seconds: float
+    plane_decode_seconds: float
+
+    @property
+    def delta_saving_percent(self) -> float:
+        """Bit-rate saving of the inter-plane predictor."""
+        if self.independent_bits_per_sample <= 0.0:
+            return 0.0
+        return 100.0 * (
+            1.0 - self.delta_bits_per_sample / self.independent_bits_per_sample
+        )
+
+    @property
+    def random_access_speedup(self) -> float:
+        """Full decode over single-plane decode (ideal: the plane count)."""
+        if self.plane_decode_seconds <= 0.0:
+            return float("inf")
+        return self.full_decode_seconds / self.plane_decode_seconds
+
+    def format_row(self) -> str:
+        return "%-10s %8.3f bps %8.3f bps %7.1f%% %10.2fx" % (
+            self.image,
+            self.independent_bits_per_sample,
+            self.delta_bits_per_sample,
+            self.delta_saving_percent,
+            self.random_access_speedup,
+        )
+
+
+@dataclass
+class ComponentsResult:
+    """Complete multi-component comparison over a corpus subset."""
+
+    size: int
+    seed: int
+    planes: int
+    stripes: int
+    rows: List[ComponentRow] = field(default_factory=list)
+
+    def mean_delta_saving(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.delta_saving_percent for row in self.rows) / len(self.rows)
+
+    def format_report(self) -> str:
+        lines = [
+            "%-10s %12s %12s %8s %11s"
+            % ("Image", "independent", "plane-delta", "saving", "1-plane RA")
+        ]
+        for row in self.rows:
+            lines.append(row.format_row())
+        lines.append(
+            "mean inter-plane predictor saving: %.1f%% (%d planes, %d stripes)"
+            % (self.mean_delta_saving(), self.planes, self.stripes)
+        )
+        return "\n".join(lines)
+
+    def as_json(self) -> Dict[str, dict]:
+        """Machine-readable summary for ``repro-bench --json``."""
+        return {
+            "bpp": {
+                key: value
+                for row in self.rows
+                for key, value in (
+                    ("%s/independent" % row.image, row.independent_bits_per_sample),
+                    ("%s/delta" % row.image, row.delta_bits_per_sample),
+                )
+            },
+            "mb_per_s": {},
+            "extra": {
+                "mean_delta_saving_percent": self.mean_delta_saving(),
+                "random_access_speedup": {
+                    row.image: row.random_access_speedup for row in self.rows
+                },
+                "planes": self.planes,
+                "stripes": self.stripes,
+                "size": self.size,
+                "seed": self.seed,
+            },
+        }
+
+
+def run_components(
+    size: int = 64,
+    seed: int = 2007,
+    planes: int = 3,
+    stripes: int = 2,
+    images: Optional[Sequence[str]] = None,
+    config: Optional[CodecConfig] = None,
+    repeats: int = 2,
+) -> ComponentsResult:
+    """Measure colour compression and random access on the synthetic corpus.
+
+    Raises :class:`~repro.exceptions.ReproError` if the fast engine ever
+    produces a multi-component stream that differs from the reference
+    engine's, or if either stream fails to round-trip.
+    """
+    if size < 16:
+        raise ConfigError("components image size must be at least 16, got %d" % size)
+    if planes < 2:
+        raise ConfigError("components experiment needs at least 2 planes, got %d" % planes)
+    if stripes < 1 or stripes > size:
+        raise ConfigError("stripes must be in [1, %d], got %d" % (size, stripes))
+    if repeats < 1:
+        raise ConfigError("repeats must be at least 1, got %d" % repeats)
+    config = config if config is not None else CodecConfig.hardware()
+    selected = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+
+    result = ComponentsResult(size=size, seed=seed, planes=planes, stripes=stripes)
+    for image_name in selected:
+        image = generate_planar_image(image_name, size=size, seed=seed, planes=planes)
+        streams = {}
+        for delta in (False, True):
+            reference = encode_planar(
+                image, config, engine="reference", stripes=stripes, plane_delta=delta
+            )
+            fast = encode_planar(
+                image, config, engine="fast", stripes=stripes, plane_delta=delta
+            )
+            if fast != reference:
+                raise ReproError(
+                    "fast engine diverged from the reference engine on %r "
+                    "(plane_delta=%s)" % (image_name, delta)
+                )
+            if decode_planar(reference, config) != image:
+                raise ReproError(
+                    "multi-component stream failed to losslessly reconstruct %r"
+                    % image_name
+                )
+            streams[delta] = reference
+
+        full_seconds, plane_seconds = measure_random_access(
+            streams[False], planes - 1, config, repeats=repeats
+        )
+        result.rows.append(
+            ComponentRow(
+                image=image_name,
+                planes=planes,
+                independent_bits_per_sample=8.0
+                * len(streams[False])
+                / image.sample_count,
+                delta_bits_per_sample=8.0 * len(streams[True]) / image.sample_count,
+                full_decode_seconds=full_seconds,
+                plane_decode_seconds=plane_seconds,
+            )
+        )
+    return result

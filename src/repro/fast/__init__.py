@@ -13,6 +13,12 @@ reimplementation of the same arithmetic, not an approximation — so streams
 are freely interchangeable and ``engine`` is purely a speed knob.  Select it
 through :class:`repro.ProposedCodec`, :class:`repro.ParallelCodec` or the
 CLI's ``--engine`` flag.
+
+Multi-component (planar) payloads compose with the engine transparently:
+:mod:`repro.core.components` runs a plane loop over the same per-payload
+entry points (one vectorized ``model_image`` pass per plane/stripe cell),
+so colour and N-band streams inherit the fast engine's speedup — and its
+byte identity — without any engine-side changes.
 """
 
 from repro.fast.engine import decode_payload_fast, encode_payload_fast

@@ -2,11 +2,14 @@
 
 * :mod:`repro.imaging.image` — the :class:`~repro.imaging.image.GrayImage`
   container every codec consumes and produces.
-* :mod:`repro.imaging.pnm` — PGM (P2/P5) reading and writing so the CLI can
-  operate on real files.
+* :mod:`repro.imaging.planar` — the multi-component
+  :class:`~repro.imaging.planar.PlanarImage` container (RGB and arbitrary
+  N-band stacks of co-registered planes).
+* :mod:`repro.imaging.pnm` — Netpbm reading and writing (PGM for grey,
+  PPM for RGB, PAM for N-band) so the CLI can operate on real files.
 * :mod:`repro.imaging.synthetic` — the deterministic synthetic corpus that
   stands in for the paper's seven 512×512 test images (see DESIGN.md for the
-  substitution rationale).
+  substitution rationale), including multi-component variants.
 * :mod:`repro.imaging.metrics` — entropy, bits-per-pixel and comparison
   helpers used by the benchmark harness.
 """
@@ -19,19 +22,38 @@ from repro.imaging.metrics import (
     images_identical,
     mean_absolute_error,
 )
-from repro.imaging.pnm import read_pgm, write_pgm
+from repro.imaging.planar import PlanarImage
+from repro.imaging.pnm import (
+    read_image,
+    read_pam,
+    read_pgm,
+    read_ppm,
+    write_image,
+    write_pam,
+    write_pgm,
+    write_ppm,
+)
 from repro.imaging.synthetic import (
     CORPUS_IMAGE_NAMES,
     generate_corpus,
     generate_image,
+    generate_planar_image,
 )
 
 __all__ = [
     "GrayImage",
+    "PlanarImage",
     "read_pgm",
     "write_pgm",
+    "read_ppm",
+    "write_ppm",
+    "read_pam",
+    "write_pam",
+    "read_image",
+    "write_image",
     "generate_corpus",
     "generate_image",
+    "generate_planar_image",
     "CORPUS_IMAGE_NAMES",
     "first_order_entropy",
     "bits_per_pixel",

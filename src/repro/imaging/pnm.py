@@ -1,9 +1,19 @@
-"""PGM (portable greymap) reading and writing.
+"""Netpbm (PGM/PPM/PAM) reading and writing.
 
-The command-line tools operate on PGM files because the format is trivial,
-self-describing and supported by every image viewer.  Both the binary (P5)
-and ASCII (P2) variants are handled; 16-bit samples are stored big-endian as
-the Netpbm specification requires.
+The command-line tools operate on Netpbm files because the formats are
+trivial, self-describing and supported by every image viewer:
+
+* PGM (``P2`` ASCII / ``P5`` binary) — grey-scale, one sample per pixel,
+  read into :class:`~repro.imaging.image.GrayImage`;
+* PPM (``P3`` ASCII / ``P6`` binary) — RGB colour, three interleaved samples
+  per pixel, read into a three-plane
+  :class:`~repro.imaging.planar.PlanarImage`;
+* PAM (``P7`` binary) — arbitrary ``DEPTH`` components per pixel, the
+  container for multi-band payloads beyond RGB.
+
+16-bit samples are stored big-endian as the Netpbm specification requires.
+:func:`read_image` sniffs the magic number and dispatches to the right
+reader, returning whichever of the two image containers matches the file.
 """
 
 from __future__ import annotations
@@ -14,22 +24,38 @@ from typing import BinaryIO, List, Tuple, Union
 
 from repro.exceptions import ImageFormatError
 from repro.imaging.image import GrayImage
+from repro.imaging.planar import MAX_PLANES, PlanarImage, default_plane_names
 
-__all__ = ["read_pgm", "write_pgm"]
+__all__ = [
+    "read_pgm",
+    "write_pgm",
+    "read_ppm",
+    "write_ppm",
+    "read_pam",
+    "write_pam",
+    "read_image",
+    "write_image",
+]
 
 _PathOrFile = Union[str, Path, BinaryIO]
 
+_GRAY_MAGICS = (b"P2", b"P5")
+_RGB_MAGICS = (b"P3", b"P6")
+_PAM_MAGIC = b"P7"
 
-def _tokenise_header(stream: BinaryIO) -> Tuple[bytes, int, int, int]:
+
+def _tokenise_header(stream: BinaryIO, magics: Tuple[bytes, ...]) -> Tuple[bytes, int, int, int]:
     """Read magic, width, height, maxval, skipping whitespace and comments."""
-    tokens: List[bytes] = []
     magic = stream.read(2)
-    if magic not in (b"P2", b"P5"):
-        raise ImageFormatError("not a PGM file (magic %r)" % magic)
+    if magic not in magics:
+        raise ImageFormatError(
+            "not a %s file (magic %r)" % ("/".join(m.decode() for m in magics), magic)
+        )
+    tokens: List[bytes] = []
     while len(tokens) < 3:
         char = stream.read(1)
         if not char:
-            raise ImageFormatError("truncated PGM header")
+            raise ImageFormatError("truncated %s header" % magic.decode())
         if char == b"#":
             while char not in (b"\n", b""):
                 char = stream.read(1)
@@ -50,8 +76,82 @@ def _tokenise_header(stream: BinaryIO) -> Tuple[bytes, int, int, int]:
     try:
         width, height, maxval = (int(t) for t in tokens)
     except ValueError as exc:
-        raise ImageFormatError("non-numeric PGM header field: %r" % tokens) from exc
+        raise ImageFormatError("non-numeric header field: %r" % tokens) from exc
     return magic, width, height, maxval
+
+
+def _check_geometry(kind: str, width: int, height: int, maxval: int) -> int:
+    """Validate header fields; return the implied bit depth."""
+    if width <= 0 or height <= 0:
+        raise ImageFormatError("invalid %s dimensions %dx%d" % (kind, width, height))
+    if not 1 <= maxval <= 65535:
+        raise ImageFormatError("invalid %s maxval %d" % (kind, maxval))
+    return max(1, maxval.bit_length())
+
+
+def _read_binary_samples(stream: BinaryIO, count: int, maxval: int, kind: str) -> List[int]:
+    """Read ``count`` binary samples (1 or 2 bytes each, per ``maxval``)."""
+    if maxval <= 255:
+        raw = stream.read(count)
+        if len(raw) != count:
+            raise ImageFormatError(
+                "truncated %s payload: expected %d bytes, got %d" % (kind, count, len(raw))
+            )
+        return list(raw)
+    raw = stream.read(2 * count)
+    if len(raw) != 2 * count:
+        raise ImageFormatError(
+            "truncated 16-bit %s payload: expected %d bytes, got %d"
+            % (kind, 2 * count, len(raw))
+        )
+    return [(raw[2 * i] << 8) | raw[2 * i + 1] for i in range(count)]
+
+
+def _read_ascii_samples(stream: BinaryIO, count: int, kind: str) -> List[int]:
+    """Read ``count`` whitespace-separated ASCII samples."""
+    text = stream.read().decode("ascii", errors="strict")
+    values = text.split()
+    if len(values) < count:
+        raise ImageFormatError(
+            "truncated ASCII %s: expected %d samples, got %d" % (kind, count, len(values))
+        )
+    try:
+        return [int(v) for v in values[:count]]
+    except ValueError as exc:
+        raise ImageFormatError("non-numeric sample in ASCII %s" % kind) from exc
+
+
+def _check_sample_range(samples: List[int], maxval: int, kind: str) -> None:
+    for value in samples:
+        if value > maxval:
+            raise ImageFormatError("sample %d exceeds %s maxval %d" % (value, kind, maxval))
+
+
+def _write_binary_samples(destination: BinaryIO, samples: List[int], maxval: int) -> None:
+    if maxval <= 255:
+        destination.write(bytes(samples))
+        return
+    out = bytearray()
+    for value in samples:
+        out.append(value >> 8)
+        out.append(value & 0xFF)
+    destination.write(bytes(out))
+
+
+def _deinterleave(
+    samples: List[int], width: int, height: int, depth: int, bit_depth: int, name: str
+) -> PlanarImage:
+    """Split pixel-interleaved samples into a planar image."""
+    planes = [
+        GrayImage(width, height, samples[k :: depth], bit_depth, label)
+        for k, label in zip(range(depth), default_plane_names(depth))
+    ]
+    return PlanarImage(planes, name=name)
+
+
+# ---------------------------------------------------------------------- #
+# PGM — grey-scale
+# ---------------------------------------------------------------------- #
 
 
 def read_pgm(source: _PathOrFile) -> GrayImage:
@@ -60,47 +160,14 @@ def read_pgm(source: _PathOrFile) -> GrayImage:
         with open(source, "rb") as handle:
             return read_pgm(handle)
 
-    magic, width, height, maxval = _tokenise_header(source)
-    if width <= 0 or height <= 0:
-        raise ImageFormatError("invalid PGM dimensions %dx%d" % (width, height))
-    if not 1 <= maxval <= 65535:
-        raise ImageFormatError("invalid PGM maxval %d" % maxval)
-    bit_depth = max(1, maxval.bit_length())
+    magic, width, height, maxval = _tokenise_header(source, _GRAY_MAGICS)
+    bit_depth = _check_geometry("PGM", width, height, maxval)
     count = width * height
-
     if magic == b"P5":
-        if maxval <= 255:
-            raw = source.read(count)
-            if len(raw) != count:
-                raise ImageFormatError(
-                    "truncated PGM payload: expected %d bytes, got %d" % (count, len(raw))
-                )
-            pixels = list(raw)
-        else:
-            raw = source.read(2 * count)
-            if len(raw) != 2 * count:
-                raise ImageFormatError(
-                    "truncated 16-bit PGM payload: expected %d bytes, got %d"
-                    % (2 * count, len(raw))
-                )
-            pixels = [
-                (raw[2 * i] << 8) | raw[2 * i + 1] for i in range(count)
-            ]
-    else:  # P2: ASCII samples
-        text = source.read().decode("ascii", errors="strict")
-        values = text.split()
-        if len(values) < count:
-            raise ImageFormatError(
-                "truncated ASCII PGM: expected %d samples, got %d" % (count, len(values))
-            )
-        try:
-            pixels = [int(v) for v in values[:count]]
-        except ValueError as exc:
-            raise ImageFormatError("non-numeric sample in ASCII PGM") from exc
-
-    for value in pixels:
-        if value > maxval:
-            raise ImageFormatError("sample %d exceeds PGM maxval %d" % (value, maxval))
+        pixels = _read_binary_samples(source, count, maxval, "PGM")
+    else:
+        pixels = _read_ascii_samples(source, count, "PGM")
+    _check_sample_range(pixels, maxval, "PGM")
     return GrayImage(width, height, pixels, bit_depth)
 
 
@@ -122,3 +189,188 @@ def write_pgm(image: GrayImage, destination: _PathOrFile, binary: bool = True) -
             text.write(" ".join(str(v) for v in image.row(y)))
             text.write("\n")
         destination.write(text.getvalue().encode("ascii"))
+
+
+# ---------------------------------------------------------------------- #
+# PPM — RGB colour
+# ---------------------------------------------------------------------- #
+
+
+def read_ppm(source: _PathOrFile) -> PlanarImage:
+    """Read a PPM file (P3 or P6) into a three-plane :class:`PlanarImage`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_ppm(handle)
+
+    magic, width, height, maxval = _tokenise_header(source, _RGB_MAGICS)
+    bit_depth = _check_geometry("PPM", width, height, maxval)
+    count = width * height * 3
+    if magic == b"P6":
+        samples = _read_binary_samples(source, count, maxval, "PPM")
+    else:
+        samples = _read_ascii_samples(source, count, "PPM")
+    _check_sample_range(samples, maxval, "PPM")
+    return _deinterleave(samples, width, height, 3, bit_depth, "")
+
+
+def write_ppm(image: PlanarImage, destination: _PathOrFile, binary: bool = True) -> None:
+    """Write a three-plane ``image`` as a PPM file (P6 when ``binary`` else P3)."""
+    if image.num_planes != 3:
+        raise ImageFormatError(
+            "PPM stores exactly 3 components, image has %d (use write_pam)"
+            % image.num_planes
+        )
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            write_ppm(image, handle, binary=binary)
+        return
+
+    maxval = image.max_value
+    header = "%s\n%d %d\n%d\n" % ("P6" if binary else "P3", image.width, image.height, maxval)
+    destination.write(header.encode("ascii"))
+    samples = image.interleaved_samples()
+    if binary:
+        _write_binary_samples(destination, samples, maxval)
+    else:
+        text = io.StringIO()
+        per_row = image.width * 3
+        for y in range(image.height):
+            row = samples[y * per_row : (y + 1) * per_row]
+            text.write(" ".join(str(v) for v in row))
+            text.write("\n")
+        destination.write(text.getvalue().encode("ascii"))
+
+
+# ---------------------------------------------------------------------- #
+# PAM — arbitrary component count
+# ---------------------------------------------------------------------- #
+
+_PAM_TUPLTYPES = {1: "GRAYSCALE", 3: "RGB"}
+
+
+def read_pam(source: _PathOrFile) -> PlanarImage:
+    """Read a PAM file (P7) into a :class:`PlanarImage` of ``DEPTH`` planes."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_pam(handle)
+
+    magic = source.read(2)
+    if magic != _PAM_MAGIC:
+        raise ImageFormatError("not a PAM file (magic %r)" % magic)
+    fields = {}
+    while True:
+        line = bytearray()
+        while True:
+            char = source.read(1)
+            if not char:
+                raise ImageFormatError("truncated PAM header (missing ENDHDR)")
+            if char == b"\n":
+                break
+            line.extend(char)
+        text = bytes(line).decode("ascii", errors="replace").strip()
+        if not text or text.startswith("#"):
+            continue
+        if text == "ENDHDR":
+            break
+        parts = text.split(None, 1)
+        fields[parts[0].upper()] = parts[1] if len(parts) > 1 else ""
+    try:
+        width = int(fields["WIDTH"])
+        height = int(fields["HEIGHT"])
+        depth = int(fields["DEPTH"])
+        maxval = int(fields["MAXVAL"])
+    except KeyError as exc:
+        raise ImageFormatError("PAM header is missing the %s field" % exc) from exc
+    except ValueError as exc:
+        raise ImageFormatError("non-numeric PAM header field") from exc
+    bit_depth = _check_geometry("PAM", width, height, maxval)
+    if not 1 <= depth <= MAX_PLANES:
+        raise ImageFormatError("PAM depth must be in [1, %d], got %d" % (MAX_PLANES, depth))
+    samples = _read_binary_samples(source, width * height * depth, maxval, "PAM")
+    _check_sample_range(samples, maxval, "PAM")
+    return _deinterleave(samples, width, height, depth, bit_depth, "")
+
+
+def write_pam(image: PlanarImage, destination: _PathOrFile) -> None:
+    """Write ``image`` as a binary PAM (P7) file."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            write_pam(image, handle)
+        return
+
+    tupltype = _PAM_TUPLTYPES.get(image.num_planes)
+    header = ["P7"]
+    header.append("WIDTH %d" % image.width)
+    header.append("HEIGHT %d" % image.height)
+    header.append("DEPTH %d" % image.num_planes)
+    header.append("MAXVAL %d" % image.max_value)
+    if tupltype:
+        header.append("TUPLTYPE %s" % tupltype)
+    header.append("ENDHDR")
+    destination.write(("\n".join(header) + "\n").encode("ascii"))
+    _write_binary_samples(destination, image.interleaved_samples(), image.max_value)
+
+
+# ---------------------------------------------------------------------- #
+# format auto-detection
+# ---------------------------------------------------------------------- #
+
+
+def read_image(source: _PathOrFile) -> Union[GrayImage, PlanarImage]:
+    """Read any supported Netpbm file, dispatching on the magic number.
+
+    PGM files come back as :class:`GrayImage`; PPM and PAM files as
+    :class:`PlanarImage` (three and ``DEPTH`` planes respectively).
+    """
+    if isinstance(source, (str, Path)):
+        # Peek two magic bytes, then hand the path to the format reader —
+        # no whole-file copy just to dispatch.
+        with open(source, "rb") as handle:
+            magic = handle.read(2)
+        return _reader_for_magic(magic)(source)
+
+    if source.seekable():
+        magic = source.read(2)
+        source.seek(-len(magic), io.SEEK_CUR)
+        return _reader_for_magic(magic)(source)
+    # Non-seekable stream (pipe): buffering is the only way to replay the
+    # magic bytes for the chosen reader.
+    buffered = io.BytesIO(source.read())
+    magic = buffered.read(2)
+    buffered.seek(0)
+    return _reader_for_magic(magic)(buffered)
+
+
+def _reader_for_magic(magic: bytes):
+    if magic in _GRAY_MAGICS:
+        return read_pgm
+    if magic in _RGB_MAGICS:
+        return read_ppm
+    if magic == _PAM_MAGIC:
+        return read_pam
+    raise ImageFormatError("not a PGM/PPM/PAM file (magic %r)" % magic)
+
+
+def write_image(
+    image: Union[GrayImage, PlanarImage], destination: _PathOrFile, binary: bool = True
+) -> None:
+    """Write an image in the most natural Netpbm format for its shape.
+
+    :class:`GrayImage` and single-plane images go to PGM, three-plane images
+    to PPM and any other component count to PAM.  Paths ending in ``.pam``
+    always get a PAM file, whatever the plane count.
+    """
+    if isinstance(destination, (str, Path)) and str(destination).lower().endswith(".pam"):
+        if isinstance(image, GrayImage):
+            image = PlanarImage.from_gray(image)
+        write_pam(image, destination)
+        return
+    if isinstance(image, GrayImage):
+        write_pgm(image, destination, binary=binary)
+        return
+    if image.num_planes == 1:
+        write_pgm(image.gray(), destination, binary=binary)
+    elif image.num_planes == 3:
+        write_ppm(image, destination, binary=binary)
+    else:
+        write_pam(image, destination)

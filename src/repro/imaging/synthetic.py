@@ -31,6 +31,7 @@ from scipy import ndimage
 
 from repro.exceptions import CorpusError
 from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
 
 __all__ = [
     "SyntheticSpec",
@@ -38,6 +39,7 @@ __all__ = [
     "CORPUS_SPECS",
     "generate_image",
     "generate_corpus",
+    "generate_planar_image",
     "generate_gradient_image",
     "generate_noise_image",
     "generate_text_like_image",
@@ -313,6 +315,43 @@ def generate_corpus(
     for name in selected:
         images.append(generate_image(name, size=size, seed=seed))
     return images
+
+
+def generate_planar_image(
+    name: str,
+    size: int = 512,
+    seed: int = 2007,
+    planes: int = 3,
+) -> PlanarImage:
+    """Generate a multi-component (default RGB) synthetic corpus image.
+
+    The planes share the corpus image's luminance structure and differ by a
+    per-plane gain, a low-frequency chroma field and independent sensor
+    noise — the strong inter-plane correlation natural photographs have,
+    which is what makes the inter-plane delta predictor of
+    :mod:`repro.core.components` pay off.
+    """
+    if not 1 <= planes <= 255:
+        raise CorpusError("plane count must be in [1, 255], got %d" % planes)
+    base = generate_image(name, size=size, seed=seed).to_array().astype(np.float64)
+    plane_images = []
+    for k in range(planes):
+        # generate_image above already rejected non-corpus names, so the
+        # offset lookup cannot miss (no hash() fallback: str hashing is
+        # per-process and would break the corpus's determinism).
+        rng = np.random.default_rng(seed + _NAME_SEED_OFFSET[name] + 104729 * (k + 1))
+        gain = 1.0 + (k - (planes - 1) / 2.0) * 0.06
+        chroma = ndimage.gaussian_filter(
+            rng.standard_normal((size, size)), sigma=max(2.0, size / 6.0), mode="reflect"
+        )
+        peak = np.max(np.abs(chroma)) or 1.0
+        chroma = chroma / peak * 14.0
+        noise = rng.standard_normal((size, size)) * 1.5
+        label = "RGB"[k] if planes == 3 else "band%d" % k
+        plane_images.append(
+            GrayImage.from_array(base * gain + chroma + noise, bit_depth=8, name=label)
+        )
+    return PlanarImage(plane_images, name=name)
 
 
 # --------------------------------------------------------------------------- #

@@ -15,25 +15,39 @@ in parallel; core count changes the stream only through the *number* of
 stripes (more stripes = more cold adaptive models = slightly worse
 compression, the same trade-off the hardware model in
 :mod:`repro.hardware.multicore` predicts).
+
+Multi-component images compose with striping: a
+:class:`~repro.imaging.planar.PlanarImage` input fans ``planes x stripes``
+independent cell tasks over the same pool and is assembled into a version-3
+container whose component table doubles as a random-access index (see
+:mod:`repro.core.components`).  The stream is byte-identical to the serial
+:func:`repro.core.components.encode_planar` with the same stripe count.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.bitstream import (
+    COMPONENT_FLAG_PLANE_DELTA,
     CodecId,
+    pack_component_stream,
     pack_stream,
+    split_component_payloads,
     split_stripe_payloads,
     unpack_stream,
 )
+from repro.core.components import plane_residuals, reconstruct_plane_arrays
 from repro.core.config import CodecConfig
 from repro.core.decoder import decode_payload, resolve_stream_config
 from repro.core.encoder import EncodeStatistics, encode_payload, merge_statistics
 from repro.core.interface import LosslessImageCodec, require_engine
-from repro.exceptions import BitstreamError, ConfigError, StripingError
+from repro.exceptions import BitstreamError, ConfigError, ModelStateError, StripingError
 from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage, default_plane_names
 from repro.parallel.executor import SerialExecutor, resolve_executor
 from repro.parallel.partition import plan_for_cores, plan_stripes
 
@@ -79,6 +93,9 @@ class ParallelCodec(LosslessImageCodec):
         Coding engine applied to every stripe (``"reference"`` or
         ``"fast"``); fast and parallel compose, and the stream stays
         byte-identical across engines either way.
+    plane_delta:
+        Enable the inter-plane delta predictor for multi-component inputs;
+        ignored for grey-scale inputs.
 
     Examples
     --------
@@ -97,6 +114,7 @@ class ParallelCodec(LosslessImageCodec):
         config: Optional[CodecConfig] = None,
         executor=None,
         engine: str = "reference",
+        plane_delta: bool = False,
     ) -> None:
         if cores is not None and cores <= 0:
             raise ConfigError("cores must be positive, got %d" % cores)
@@ -104,6 +122,7 @@ class ParallelCodec(LosslessImageCodec):
         self._explicit_config = config is not None
         self.config = config if config is not None else CodecConfig.hardware()
         self.engine = require_engine(engine)
+        self.plane_delta = plane_delta
         self._executor = executor
         self.last_statistics: Optional[EncodeStatistics] = None
 
@@ -114,13 +133,20 @@ class ParallelCodec(LosslessImageCodec):
             return SerialExecutor()
         return resolve_executor(min(self.cores, task_count))
 
-    def encode(self, image: GrayImage) -> bytes:
-        """Compress ``image`` as ``min(cores, height)`` independent stripes."""
+    def encode(self, image: Union[GrayImage, PlanarImage]) -> bytes:
+        """Compress ``image`` as ``min(cores, height)`` independent stripes.
+
+        Planar inputs fan out ``planes x stripes`` cell tasks and produce a
+        version-3 indexed container; grey inputs keep producing version-2
+        striped containers.
+        """
         if image.bit_depth != self.config.bit_depth:
             raise ConfigError(
                 "image bit depth %d does not match codec bit depth %d"
                 % (image.bit_depth, self.config.bit_depth)
             )
+        if isinstance(image, PlanarImage):
+            return self._encode_planar(image)
         plan = plan_for_cores(image.height, self.cores)
         pixels = image.pixels()
         tasks = [
@@ -156,17 +182,63 @@ class ParallelCodec(LosslessImageCodec):
         self.last_statistics = statistics
         return stream
 
-    def decode(self, data: bytes) -> GrayImage:
+    def _encode_planar(self, image: PlanarImage) -> bytes:
+        """Planar encode: one cell task per (plane, stripe) over the pool."""
+        plan = plan_for_cores(image.height, self.cores)
+        tasks = []
+        for residual in plane_residuals(image, self.plane_delta):
+            pixels = residual.pixels()
+            for spec in plan:
+                tasks.append(
+                    (
+                        image.width,
+                        spec.row_count,
+                        pixels[spec.start_row * image.width : spec.stop_row * image.width],
+                        image.bit_depth,
+                        self.config,
+                        self.engine,
+                    )
+                )
+        results = self._executor_for(len(tasks)).map(_encode_stripe_task, tasks)
+        payloads = [payload for payload, _ in results]
+        plane_payloads = [
+            payloads[plane * len(plan) : (plane + 1) * len(plan)]
+            for plane in range(image.num_planes)
+        ]
+
+        codec_id = (
+            CodecId.PROPOSED_HARDWARE if self.config.use_lut_division else CodecId.PROPOSED
+        )
+        stream = pack_component_stream(
+            codec_id,
+            image.width,
+            image.height,
+            image.bit_depth,
+            plane_payloads,
+            parameter=self.config.count_bits,
+            flags=1 if self.config.use_lut_division else 0,
+            component_flags=COMPONENT_FLAG_PLANE_DELTA if self.plane_delta else 0,
+        )
+        statistics = merge_statistics([stats for _, stats in results])
+        statistics.total_bytes = len(stream)
+        statistics.bits_per_pixel = 8.0 * len(stream) / image.sample_count
+        self.last_statistics = statistics
+        return stream
+
+    def decode(self, data: bytes) -> Union[GrayImage, PlanarImage]:
         """Reconstruct the exact image, decoding stripes in parallel.
 
-        Both container versions are accepted, so streams from the serial
+        All container versions are accepted, so streams from the serial
         :class:`~repro.core.codec.ProposedCodec` decode here too (as a
-        single stripe).
+        single stripe); version-3 streams fan every (plane, stripe) cell
+        over the pool and come back as :class:`PlanarImage`.
         """
         header, payload = unpack_stream(data)
         config = resolve_stream_config(
             header, self.config if self._explicit_config else None
         )
+        if header.component_lengths:
+            return self._decode_planar(header, payload, config)
         if not header.stripe_lengths:
             pixels = decode_payload(
                 payload, header.width, header.height, config, engine=self.engine
@@ -186,3 +258,47 @@ class ParallelCodec(LosslessImageCodec):
         for part in stripe_pixels:
             pixels.extend(part)
         return GrayImage(header.width, header.height, pixels, header.bit_depth)
+
+    def _decode_planar(self, header, payload, config) -> PlanarImage:
+        """Planar decode: fan cell tasks out, then invert the plane delta."""
+        try:
+            plan = plan_stripes(header.height, header.stripe_count)
+        except StripingError as exc:
+            raise BitstreamError("invalid stripe table: %s" % exc) from exc
+        plane_payloads = split_component_payloads(header, payload)
+        tasks = [
+            (cell, header.width, spec.row_count, config, self.engine)
+            for stripe_payloads in plane_payloads
+            for spec, cell in zip(plan, stripe_payloads)
+        ]
+        try:
+            cell_pixels = self._executor_for(len(tasks)).map(_decode_stripe_task, tasks)
+        except ModelStateError as exc:
+            raise BitstreamError("corrupt cell payload: %s" % exc) from exc
+        stripes_per_plane = len(plan)
+        residual_arrays = []
+        for plane in range(header.component_count):
+            pixels: List[int] = []
+            for part in cell_pixels[
+                plane * stripes_per_plane : (plane + 1) * stripes_per_plane
+            ]:
+                pixels.extend(part)
+            residual_arrays.append(
+                np.asarray(pixels, dtype=np.int64).reshape(header.height, header.width)
+            )
+        planes = reconstruct_plane_arrays(
+            residual_arrays, header.bit_depth, header.plane_delta
+        )
+        names = default_plane_names(header.component_count)
+        return PlanarImage(
+            [
+                GrayImage(
+                    header.width,
+                    header.height,
+                    array.reshape(-1).tolist(),
+                    header.bit_depth,
+                    name,
+                )
+                for array, name in zip(planes, names)
+            ]
+        )

@@ -3,11 +3,21 @@
 The codecs are pure Python, so the fixtures keep images small (16-64 pixels
 per side); the integration tests that need statistically richer content use
 the 64-pixel corpus images, everything else uses tiny synthetic patterns.
+
+Hypothesis settings are profile-driven: the default ``dev`` profile keeps
+the property suites fast for local runs, while CI selects the heavier
+``ci`` profile (more examples, shared example database) through
+``HYPOTHESIS_PROFILE=ci``.  Deadlines are disabled in both profiles — the
+pure-Python codecs make per-example wall-clock far too noisy to gate on.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+from hypothesis import settings
 
 from repro.imaging.image import GrayImage
 from repro.imaging.synthetic import (
@@ -16,6 +26,15 @@ from repro.imaging.synthetic import (
     generate_noise_image,
     generate_text_like_image,
 )
+
+# The shared strategy module (tests/strategies.py) is imported as plain
+# ``strategies`` by the core/fast/parallel property suites; make sure the
+# tests directory is importable from every rootdir pytest may run under.
+sys.path.insert(0, os.path.dirname(__file__))
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=120, deadline=None, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

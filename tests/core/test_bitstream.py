@@ -37,10 +37,13 @@ class TestPackUnpack:
             header, _ = unpack_stream(pack_stream(codec, 2, 2, 8, b"xy"))
             assert header.codec == codec
 
-    def test_trailing_garbage_is_ignored(self):
+    def test_trailing_garbage_is_rejected(self):
+        # Strict framing: tolerated trailing bytes would let a flipped
+        # version byte re-parse a later version's tables as payload and
+        # decode garbage silently.
         stream = pack_stream(CodecId.CALIC, 2, 2, 8, b"abcd") + b"GARBAGE"
-        _, payload = unpack_stream(stream)
-        assert payload == b"abcd"
+        with pytest.raises(BitstreamError, match="trailing"):
+            unpack_stream(stream)
 
 
 class TestPackValidation:
@@ -136,9 +139,14 @@ class TestStripedContainer:
         header, payload = unpack_stream(stream)
         assert split_stripe_payloads(header, payload) == [b"ab", b""]
 
-    def test_trailing_garbage_is_ignored(self):
+    def test_trailing_garbage_is_rejected(self):
         stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcd", stripe_lengths=[2, 2])
-        header, payload = unpack_stream(stream + b"GARBAGE")
+        with pytest.raises(BitstreamError, match="trailing"):
+            unpack_stream(stream + b"GARBAGE")
+
+    def test_striped_roundtrip_splits_cleanly(self):
+        stream = pack_stream(CodecId.PROPOSED, 4, 4, 8, b"abcd", stripe_lengths=[2, 2])
+        header, payload = unpack_stream(stream)
         assert split_stripe_payloads(header, payload) == [b"ab", b"cd"]
 
     def test_stripe_table_must_sum_to_payload(self):

@@ -1,0 +1,213 @@
+"""Fuzz/corruption conformance of the container formats (v1, v2, v3).
+
+The contract under attack: a malformed container must raise
+:class:`~repro.exceptions.BitstreamError` (or its :class:`HeaderError`
+subclass) — it must never hang and never return silently-wrong pixels.
+Covered here:
+
+* truncation at *every* byte boundary of every container version (headers,
+  stripe/component tables and payloads alike);
+* each magic byte flipped, and the version byte swept over every value;
+* lying stripe/component tables: sum-breaking lies, zeroed and inflated
+  entries, corrupted stripe/component counts — and, for version 3,
+  sum-preserving offset lies, which the per-cell CRC index is specifically
+  there to catch;
+* deep truncation lies where the header is internally consistent but the
+  entropy payload runs dry (the bounded phantom-bit reader must trip).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.bitstream import _HEADER_STRUCT, unpack_stream
+from repro.core.components import decode_planar, encode_planar
+from repro.core.decoder import decode_image
+from repro.core.encoder import encode_image
+from repro.exceptions import BitstreamError
+from repro.imaging.synthetic import generate_image, generate_planar_image
+from repro.parallel.codec import ParallelCodec
+from repro.parallel.executor import SerialExecutor
+
+_SIZE = 16
+_FIXED = _HEADER_STRUCT.size  # 21-byte fixed header shared by all versions
+
+
+def _v1_stream() -> bytes:
+    return encode_image(generate_image("boat", size=_SIZE))
+
+
+def _v2_stream() -> bytes:
+    codec = ParallelCodec(cores=3, executor=SerialExecutor())
+    return codec.encode(generate_image("boat", size=_SIZE))
+
+
+def _v3_stream(plane_delta: bool = False) -> bytes:
+    image = generate_planar_image("boat", size=_SIZE)
+    return encode_planar(image, stripes=2, plane_delta=plane_delta)
+
+
+def _decode_any(stream: bytes):
+    """Decode through the version-appropriate full decoder."""
+    header, _ = unpack_stream(stream)
+    if header.component_lengths:
+        return decode_planar(stream)
+    return decode_image(stream)
+
+
+_STREAMS = {
+    "v1": _v1_stream,
+    "v2": _v2_stream,
+    "v3": _v3_stream,
+    "v3-delta": lambda: _v3_stream(plane_delta=True),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(_STREAMS))
+def stream(request):
+    return _STREAMS[request.param]()
+
+
+class TestTruncation:
+    def test_every_prefix_raises(self, stream):
+        """No prefix of a valid stream may decode (or hang)."""
+        for cut in range(len(stream)):
+            with pytest.raises(BitstreamError):
+                _decode_any(stream[:cut])
+
+    def test_deep_truncation_with_consistent_header(self):
+        """A header rewritten to match a truncated payload still fails.
+
+        The container layer cannot spot this corruption (every declared
+        length matches), so the bounded phantom-bit entropy decoder must.
+        """
+        stream = _v1_stream()
+        header, payload = unpack_stream(stream)
+        cut = len(payload) // 2
+        rebuilt = bytearray(stream[: _FIXED + cut])
+        struct.pack_into(">I", rebuilt, 17, cut)
+        with pytest.raises(BitstreamError):
+            decode_image(bytes(rebuilt))
+
+
+class TestHeaderFlips:
+    def test_flipped_magic_bytes(self, stream):
+        for index in range(4):
+            mutated = bytearray(stream)
+            mutated[index] ^= 0xFF
+            with pytest.raises(BitstreamError):
+                _decode_any(bytes(mutated))
+
+    def test_every_wrong_version_byte(self, stream):
+        valid = stream[4]
+        for version in range(256):
+            if version == valid:
+                continue
+            mutated = bytearray(stream)
+            mutated[4] = version
+            with pytest.raises(BitstreamError):
+                _decode_any(bytes(mutated))
+
+    def test_unknown_version_reports_found_version(self):
+        mutated = bytearray(_v1_stream())
+        mutated[4] = 9
+        with pytest.raises(BitstreamError, match="version 9"):
+            _decode_any(bytes(mutated))
+
+
+def _v2_table_offset() -> int:
+    return _FIXED + 2  # after the 2-byte stripe count
+
+
+def _v3_table_offset() -> int:
+    return _FIXED + 4  # after count/flags/stripe-count prefix
+
+
+class TestLyingStripeTable:
+    """Version-2 stripe-table lies must all surface as BitstreamError."""
+
+    def test_sum_breaking_length_lies(self):
+        stream = _v2_stream()
+        header, _ = unpack_stream(stream)
+        for index in range(len(header.stripe_lengths)):
+            for lie in (0, header.stripe_lengths[index] + 7, 0xFFFFFF):
+                mutated = bytearray(stream)
+                struct.pack_into(">I", mutated, _v2_table_offset() + 4 * index, lie)
+                with pytest.raises(BitstreamError):
+                    _decode_any(bytes(mutated))
+
+    def test_corrupt_stripe_count(self):
+        stream = _v2_stream()
+        for count in (0, _SIZE + 1, 0xFFFF):
+            mutated = bytearray(stream)
+            struct.pack_into(">H", mutated, _FIXED, count)
+            with pytest.raises(BitstreamError):
+                _decode_any(bytes(mutated))
+
+
+class TestLyingComponentIndex:
+    """Version-3 index lies — including sum-preserving ones — must raise."""
+
+    @pytest.mark.parametrize("plane_delta", [False, True])
+    def test_sum_breaking_length_lies(self, plane_delta):
+        stream = _v3_stream(plane_delta)
+        header, _ = unpack_stream(stream)
+        flat = [length for plane in header.component_lengths for length in plane]
+        for index in range(len(flat)):
+            for lie in (0, flat[index] + 9, 0xFFFFFF):
+                mutated = bytearray(stream)
+                struct.pack_into(">I", mutated, _v3_table_offset() + 8 * index, lie)
+                with pytest.raises(BitstreamError):
+                    _decode_any(bytes(mutated))
+
+    @pytest.mark.parametrize("plane_delta", [False, True])
+    def test_sum_preserving_offset_lies(self, plane_delta):
+        """Moving bytes between cells keeps every container check happy —
+        only the per-cell CRC index can (and must) catch it."""
+        stream = _v3_stream(plane_delta)
+        header, _ = unpack_stream(stream)
+        flat = [length for plane in header.component_lengths for length in plane]
+        for source in range(len(flat)):
+            for target in range(len(flat)):
+                if source == target or flat[source] <= 3:
+                    continue
+                lied = list(flat)
+                lied[source] -= 3
+                lied[target] += 3
+                mutated = bytearray(stream)
+                for index, value in enumerate(lied):
+                    struct.pack_into(
+                        ">I", mutated, _v3_table_offset() + 8 * index, value
+                    )
+                with pytest.raises(BitstreamError):
+                    _decode_any(bytes(mutated))
+
+    def test_flipped_index_crc(self):
+        stream = _v3_stream()
+        mutated = bytearray(stream)
+        mutated[_v3_table_offset() + 4] ^= 0xFF  # CRC field of cell 0
+        with pytest.raises(BitstreamError, match="CRC"):
+            _decode_any(bytes(mutated))
+
+    def test_flipped_payload_byte_is_caught_by_crc(self):
+        """Payload corruption on v3 streams is detected, not decoded."""
+        stream = _v3_stream()
+        header, _ = unpack_stream(stream)
+        mutated = bytearray(stream)
+        mutated[header.payload_offset + 1] ^= 0x55
+        with pytest.raises(BitstreamError, match="CRC"):
+            _decode_any(bytes(mutated))
+
+    def test_corrupt_component_and_stripe_counts(self):
+        stream = _v3_stream()
+        for offset, values in ((_FIXED, (0,)), (_FIXED + 2, (0, _SIZE + 1))):
+            for value in values:
+                mutated = bytearray(stream)
+                if offset == _FIXED:
+                    mutated[offset] = value
+                else:
+                    struct.pack_into(">H", mutated, offset, value)
+                with pytest.raises(BitstreamError):
+                    _decode_any(bytes(mutated))

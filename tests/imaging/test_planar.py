@@ -1,0 +1,167 @@
+"""Tests for the multi-component image container and PPM/PAM I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImageFormatError
+from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
+from repro.imaging.pnm import (
+    read_image,
+    read_pam,
+    read_ppm,
+    write_image,
+    write_pam,
+    write_ppm,
+)
+from repro.imaging.synthetic import generate_image, generate_planar_image
+
+
+@pytest.fixture(scope="module")
+def rgb() -> PlanarImage:
+    return generate_planar_image("peppers", size=16)
+
+
+class TestPlanarImage:
+    def test_basic_accessors(self, rgb):
+        assert rgb.width == 16 and rgb.height == 16
+        assert rgb.num_planes == 3
+        assert rgb.bit_depth == 8
+        assert rgb.sample_count == 3 * rgb.pixel_count
+        assert rgb.plane_names == ("R", "G", "B")
+        assert rgb.max_value == 255
+
+    def test_plane_bounds_checked(self, rgb):
+        with pytest.raises(ImageFormatError):
+            rgb.plane(3)
+        with pytest.raises(ImageFormatError):
+            rgb.plane(-1)
+
+    def test_mismatched_planes_rejected(self):
+        a = GrayImage.constant(4, 4, 1)
+        for bad in (
+            GrayImage.constant(5, 4, 1),
+            GrayImage.constant(4, 5, 1),
+            GrayImage.constant(4, 4, 1, bit_depth=10),
+        ):
+            with pytest.raises(ImageFormatError):
+                PlanarImage([a, bad])
+
+    def test_zero_planes_rejected(self):
+        with pytest.raises(ImageFormatError):
+            PlanarImage([])
+
+    def test_array_roundtrip(self, rgb):
+        array = rgb.to_array()
+        assert array.shape == (16, 16, 3)
+        assert PlanarImage.from_array(array) == rgb
+
+    def test_interleaved_order(self):
+        image = PlanarImage.rgb(
+            GrayImage.constant(2, 1, 10),
+            GrayImage.constant(2, 1, 20),
+            GrayImage.constant(2, 1, 30),
+        )
+        assert image.interleaved_samples() == [10, 20, 30, 10, 20, 30]
+
+    def test_gray_unwrap(self):
+        gray = generate_image("lena", size=16)
+        wrapped = PlanarImage.from_gray(gray)
+        assert wrapped.gray() == gray
+        with pytest.raises(ImageFormatError):
+            PlanarImage([gray, gray]).gray()
+
+    def test_equality_ignores_names(self, rgb):
+        renamed = PlanarImage(
+            [plane.with_name("x%d" % k) for k, plane in enumerate(rgb.planes())],
+            name="other",
+        )
+        assert renamed == rgb
+        assert hash(renamed) != hash(None)
+
+    def test_repr_mentions_geometry(self, rgb):
+        assert "16x16x3" in repr(rgb)
+
+
+class TestPpmIo:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip(self, rgb, binary, tmp_path):
+        path = tmp_path / "image.ppm"
+        write_ppm(rgb, path, binary=binary)
+        assert read_ppm(path) == rgb
+
+    def test_16bit_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        image = PlanarImage.from_array(
+            rng.integers(0, 1 << 12, size=(6, 7, 3)), bit_depth=12
+        )
+        path = tmp_path / "deep.ppm"
+        write_ppm(image, path)
+        assert read_ppm(path) == image
+
+    def test_rejects_wrong_plane_count(self, tmp_path):
+        image = generate_planar_image("lena", size=16, planes=2)
+        with pytest.raises(ImageFormatError):
+            write_ppm(image, tmp_path / "bad.ppm")
+
+    def test_truncated_payload(self, rgb):
+        buffer = io.BytesIO()
+        write_ppm(rgb, buffer)
+        data = buffer.getvalue()
+        with pytest.raises(ImageFormatError):
+            read_ppm(io.BytesIO(data[:-5]))
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError):
+            read_ppm(io.BytesIO(b"P5\n2 2\n255\n----"))
+
+
+class TestPamIo:
+    @pytest.mark.parametrize("planes", [1, 2, 3, 5])
+    def test_roundtrip(self, planes, tmp_path):
+        image = generate_planar_image("boat", size=16, planes=planes)
+        path = tmp_path / "image.pam"
+        write_pam(image, path)
+        assert read_pam(path) == image
+
+    def test_header_fields_required(self):
+        with pytest.raises(ImageFormatError):
+            read_pam(io.BytesIO(b"P7\nWIDTH 2\nHEIGHT 2\nENDHDR\n\x00" * 1))
+
+    def test_missing_endhdr(self):
+        with pytest.raises(ImageFormatError):
+            read_pam(io.BytesIO(b"P7\nWIDTH 2\nHEIGHT 2\nDEPTH 1\nMAXVAL 255\n"))
+
+
+class TestAutoDetection:
+    def test_read_image_dispatches(self, rgb, tmp_path):
+        gray = generate_image("zelda", size=16)
+        gray_path = tmp_path / "g.pgm"
+        rgb_path = tmp_path / "c.ppm"
+        band_path = tmp_path / "b.pam"
+        bands = generate_planar_image("barb", size=16, planes=4)
+        write_image(gray, gray_path)
+        write_image(rgb, rgb_path)
+        write_image(bands, band_path)
+        assert read_image(gray_path) == gray
+        assert read_image(rgb_path) == rgb
+        assert read_image(band_path) == bands
+
+    def test_write_image_pam_suffix_forces_pam(self, rgb, tmp_path):
+        path = tmp_path / "forced.pam"
+        write_image(rgb, path)
+        assert read_pam(path) == rgb
+
+    def test_write_image_pam_suffix_forces_pam_for_gray(self, tmp_path):
+        gray = generate_image("boat", size=16)
+        path = tmp_path / "forced-gray.pam"
+        write_image(gray, path)
+        assert read_pam(path).gray() == gray
+
+    def test_unknown_magic(self):
+        with pytest.raises(ImageFormatError):
+            read_image(io.BytesIO(b"GIF89a..."))

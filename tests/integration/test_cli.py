@@ -207,3 +207,128 @@ class TestEngineFlag:
         source.write_bytes(b"y" * 64)
         with pytest.raises(SystemExit):
             compress_main([str(source), str(tmp_path / "o.rplc"), "--data", "--engine", "fast"])
+
+
+@pytest.fixture()
+def ppm_path(tmp_path):
+    from repro.imaging.pnm import write_ppm
+    from repro.imaging.synthetic import generate_planar_image
+
+    image = generate_planar_image("peppers", size=24)
+    path = tmp_path / "input.ppm"
+    write_ppm(image, path)
+    return path, image
+
+
+class TestMultiComponent:
+    def test_ppm_roundtrip_via_cli(self, tmp_path, ppm_path):
+        from repro.imaging.pnm import read_ppm
+
+        path, image = ppm_path
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.ppm"
+        assert compress_main([str(path), str(compressed)]) == 0
+        assert decompress_main([str(compressed), str(restored)]) == 0
+        assert read_ppm(restored) == image
+
+    def test_ppm_streams_byte_identical_across_engines_and_cores(self, tmp_path, ppm_path):
+        path, _ = ppm_path
+        outputs = {}
+        for label, extra in (
+            ("reference", []),
+            ("fast", ["--engine", "fast"]),
+            ("cores", ["--cores", "1"]),
+        ):
+            target = tmp_path / ("%s.rplc" % label)
+            assert compress_main([str(path), str(target)] + extra) == 0
+            outputs[label] = target.read_bytes()
+        assert outputs["fast"] == outputs["reference"] == outputs["cores"]
+
+    def test_plane_delta_roundtrip_and_smaller_streams(self, tmp_path, ppm_path):
+        from repro.imaging.pnm import read_ppm
+
+        path, image = ppm_path
+        independent = tmp_path / "independent.rplc"
+        delta = tmp_path / "delta.rplc"
+        restored = tmp_path / "restored.ppm"
+        assert compress_main([str(path), str(independent)]) == 0
+        assert compress_main([str(path), str(delta), "--plane-delta"]) == 0
+        assert delta.stat().st_size < independent.stat().st_size
+        assert decompress_main([str(delta), str(restored)]) == 0
+        assert read_ppm(restored) == image
+
+    def test_pam_roundtrip_via_cli(self, tmp_path):
+        from repro.imaging.pnm import read_pam, write_pam
+        from repro.imaging.synthetic import generate_planar_image
+
+        image = generate_planar_image("barb", size=20, planes=4)
+        source = tmp_path / "input.pam"
+        write_pam(image, source)
+        compressed = tmp_path / "out.rplc"
+        restored = tmp_path / "restored.pam"
+        assert compress_main([str(source), str(compressed), "--plane-delta"]) == 0
+        assert decompress_main([str(compressed), str(restored)]) == 0
+        assert read_pam(restored) == image
+
+    def test_planar_rejected_for_baseline_codecs(self, tmp_path, ppm_path, capsys):
+        path, _ = ppm_path
+        assert compress_main([str(path), str(tmp_path / "o.rplc"), "--codec", "slp"]) == 1
+        assert "grey-scale" in capsys.readouterr().err
+
+    def test_plane_delta_rejected_for_data_mode(self, tmp_path):
+        source = tmp_path / "blob.bin"
+        source.write_bytes(b"z" * 32)
+        with pytest.raises(SystemExit):
+            compress_main([str(source), str(tmp_path / "o.rplc"), "--data", "--plane-delta"])
+
+    def test_components_bench_runs(self, capsys):
+        assert bench_main(["components", "--size", "24"]) == 0
+        output = capsys.readouterr().out
+        assert "inter-plane predictor saving" in output
+
+
+class TestInspect:
+    def test_inspect_v3_stream(self, tmp_path, ppm_path, capsys):
+        from repro.cli import inspect_main
+
+        path, _ = ppm_path
+        compressed = tmp_path / "out.rplc"
+        assert compress_main([str(path), str(compressed), "--cores", "2", "--plane-delta"]) == 0
+        assert inspect_main([str(compressed)]) == 0
+        output = capsys.readouterr().out
+        assert "version 3" in output
+        assert "plane-delta=yes" in output
+        assert output.count("\n") >= 7 + 6  # header block + 3 planes x 2 stripes
+
+    def test_inspect_json(self, tmp_path, ppm_path, capsys):
+        import json
+
+        from repro.cli import inspect_main
+
+        path, _ = ppm_path
+        compressed = tmp_path / "out.rplc"
+        assert compress_main([str(path), str(compressed)]) == 0
+        capsys.readouterr()  # drop the compressor's report line
+        assert inspect_main([str(compressed), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 3
+        assert document["component_count"] == 3
+        assert len(document["entries"]) == 3
+        assert all(entry["crc"] for entry in document["entries"])
+
+    def test_inspect_v1_stream(self, tmp_path, pgm_path, capsys):
+        from repro.cli import inspect_main
+
+        path, _ = pgm_path
+        compressed = tmp_path / "out.rplc"
+        assert compress_main([str(path), str(compressed)]) == 0
+        assert inspect_main([str(compressed)]) == 0
+        assert "version 1" in capsys.readouterr().out
+
+    def test_inspect_corrupt_container_reports_error(self, tmp_path, capsys):
+        from repro.cli import inspect_main
+
+        bad = tmp_path / "bad.rplc"
+        bad.write_bytes(b"not a container")
+        assert inspect_main([str(bad)]) == 1
+        assert capsys.readouterr().err.startswith("HeaderError: ")

@@ -1,0 +1,98 @@
+"""Golden-vector conformance: the stream format must not drift silently.
+
+Two directions are locked down:
+
+* **encode stability** — re-encoding each vector's deterministic source
+  image must reproduce the committed bitstream byte-for-byte, so any
+  behavioural change to the format (container layout, entropy coding,
+  stripe partition, inter-plane predictor) fails as a readable diff against
+  ``tests/vectors/`` instead of silently re-encoding;
+* **decode compatibility** — the committed streams (including the v1/v2
+  vectors frozen before the multi-component work) must keep decoding to the
+  pixel digests recorded in ``manifest.json``.
+
+After an *intentional* format change, run
+``PYTHONPATH=src python tests/vectors/regenerate.py`` and commit the
+refreshed vectors alongside the change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+VECTOR_DIR = Path(__file__).resolve().parent.parent / "vectors"
+
+
+def _load_regenerate():
+    spec = importlib.util.spec_from_file_location(
+        "vector_regenerate", VECTOR_DIR / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def regenerate():
+    return _load_regenerate()
+
+
+@pytest.fixture(scope="module")
+def manifest() -> dict:
+    return json.loads((VECTOR_DIR / "manifest.json").read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def vectors(regenerate) -> dict:
+    return regenerate.build_vectors()
+
+
+def test_manifest_covers_exactly_the_committed_vectors(manifest):
+    committed = {path.name for path in VECTOR_DIR.glob("*.rplc")}
+    assert committed == set(manifest)
+
+
+def test_rebuilt_streams_match_committed_bytes(vectors, manifest):
+    for filename, (stream, _image, _description) in sorted(vectors.items()):
+        committed = (VECTOR_DIR / filename).read_bytes()
+        assert stream == committed, (
+            "%s drifted from the committed golden vector; if the format "
+            "change is intentional, run tests/vectors/regenerate.py and "
+            "commit the refreshed vectors" % filename
+        )
+        assert hashlib.sha256(committed).hexdigest() == manifest[filename]["stream_sha256"]
+        assert len(committed) == manifest[filename]["stream_bytes"]
+
+
+def test_committed_streams_still_decode(regenerate, manifest):
+    from repro.core.bitstream import unpack_stream
+    from repro.core.components import decode_planar
+    from repro.core.decoder import decode_image
+
+    for filename, entry in sorted(manifest.items()):
+        stream = (VECTOR_DIR / filename).read_bytes()
+        header, _ = unpack_stream(stream)
+        if header.component_lengths:
+            decoded = decode_planar(stream)
+        else:
+            decoded = decode_image(stream)
+        assert regenerate.image_digest(decoded) == entry["image_sha256"], filename
+
+
+def test_vectors_decode_identically_on_both_engines(manifest):
+    from repro.core.bitstream import unpack_stream
+    from repro.core.components import decode_planar
+    from repro.core.decoder import decode_image
+
+    for filename in sorted(manifest):
+        stream = (VECTOR_DIR / filename).read_bytes()
+        header, _ = unpack_stream(stream)
+        if header.component_lengths:
+            assert decode_planar(stream, engine="fast") == decode_planar(stream)
+        else:
+            assert decode_image(stream, engine="fast") == decode_image(stream)

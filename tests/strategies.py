@@ -1,0 +1,129 @@
+"""Shared hypothesis strategies for the property-based conformance suite.
+
+One strategy module feeds the core, fast and parallel property tests so the
+three suites draw from the same input distribution: images over every
+geometry the stripe partitioner accepts, bit depths 1-12, and four content
+families (constant, gradient, noise, texture) that exercise different codec
+mechanisms — run modes and escapes, smooth prediction, incompressible
+content and oriented structure respectively.
+
+Sizes are kept deliberately small (the codecs are pure Python); the content
+is generated through a numpy generator seeded from a drawn integer, so every
+example is fully determined by the draw and therefore shrinkable and
+replayable by hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
+
+__all__ = ["gray_images", "planar_images", "CONTENT_KINDS", "MAX_PROPERTY_BIT_DEPTH"]
+
+#: The content families the image strategies draw from.
+CONTENT_KINDS = ("constant", "gradient", "noise", "texture")
+
+#: Property tests sweep depths 1-12: the interesting hardware range, while
+#: keeping the per-example alphabet (and thus runtime) bounded.
+MAX_PROPERTY_BIT_DEPTH = 12
+
+
+def _content_array(
+    kind: str, width: int, height: int, max_value: int, seed: int
+) -> np.ndarray:
+    """Deterministic (H, W) sample array for one drawn content family."""
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    if kind == "constant":
+        return np.full((height, width), int(rng.integers(0, max_value + 1)))
+    if kind == "gradient":
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        ramp = xs * np.cos(angle) + ys * np.sin(angle)
+        span = np.ptp(ramp)
+        if span == 0.0:
+            return np.full((height, width), max_value // 2)
+        return np.rint((ramp - ramp.min()) / span * max_value).astype(np.int64)
+    if kind == "noise":
+        return rng.integers(0, max_value + 1, size=(height, width))
+    # texture: an oriented carrier plus mild noise, quantised to range.
+    angle = rng.uniform(0.0, np.pi)
+    frequency = rng.uniform(1.0, 6.0)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    carrier = np.sin(
+        2.0 * np.pi * frequency * (xs * np.cos(angle) + ys * np.sin(angle))
+        / max(width, height)
+        + phase
+    )
+    noisy = (carrier + 1.0) / 2.0 + rng.normal(0.0, 0.08, size=(height, width))
+    return np.clip(np.rint(noisy * max_value), 0, max_value).astype(np.int64)
+
+
+@st.composite
+def gray_images(
+    draw,
+    min_side: int = 1,
+    max_side: int = 18,
+    min_bit_depth: int = 1,
+    max_bit_depth: int = MAX_PROPERTY_BIT_DEPTH,
+):
+    """Draw a :class:`GrayImage` over geometry, depth and content families."""
+    width = draw(st.integers(min_value=min_side, max_value=max_side))
+    height = draw(st.integers(min_value=min_side, max_value=max_side))
+    bit_depth = draw(st.integers(min_value=min_bit_depth, max_value=max_bit_depth))
+    kind = draw(st.sampled_from(CONTENT_KINDS))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    array = _content_array(kind, width, height, (1 << bit_depth) - 1, seed)
+    return GrayImage(
+        width,
+        height,
+        array.reshape(-1).tolist(),
+        bit_depth,
+        name="%s-%dx%d-d%d" % (kind, width, height, bit_depth),
+    )
+
+
+@st.composite
+def planar_images(
+    draw,
+    min_side: int = 1,
+    max_side: int = 12,
+    max_planes: int = 4,
+    min_bit_depth: int = 1,
+    max_bit_depth: int = MAX_PROPERTY_BIT_DEPTH,
+):
+    """Draw a :class:`PlanarImage` of 1-``max_planes`` correlated planes.
+
+    Planes beyond the first perturb the first plane's content (correlated,
+    like real colour planes) or draw a fresh family (decorrelated), so both
+    regimes of the inter-plane predictor are exercised.
+    """
+    width = draw(st.integers(min_value=min_side, max_value=max_side))
+    height = draw(st.integers(min_value=min_side, max_value=max_side))
+    bit_depth = draw(st.integers(min_value=min_bit_depth, max_value=max_bit_depth))
+    plane_count = draw(st.integers(min_value=1, max_value=max_planes))
+    max_value = (1 << bit_depth) - 1
+
+    base_kind = draw(st.sampled_from(CONTENT_KINDS))
+    base_seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    base = _content_array(base_kind, width, height, max_value, base_seed)
+    planes = [base]
+    for index in range(1, plane_count):
+        correlated = draw(st.booleans())
+        seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+        if correlated:
+            rng = np.random.default_rng(seed)
+            jitter = rng.integers(-2, 3, size=(height, width))
+            planes.append(np.clip(base + jitter, 0, max_value))
+        else:
+            kind = draw(st.sampled_from(CONTENT_KINDS))
+            planes.append(_content_array(kind, width, height, max_value, seed))
+    return PlanarImage(
+        [
+            GrayImage(width, height, plane.reshape(-1).tolist(), bit_depth)
+            for plane in planes
+        ],
+        name="%s-%dx%dx%d-d%d" % (base_kind, width, height, plane_count, bit_depth),
+    )

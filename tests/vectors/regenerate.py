@@ -1,0 +1,133 @@
+"""Golden-vector builder and regeneration script.
+
+The checked-in ``.rplc`` files under this directory are canonical container
+bitstreams, one per (container version x interesting configuration).  The
+golden test (``tests/integration/test_golden_vectors.py``) re-encodes every
+vector from its deterministic source image and compares byte-for-byte
+against the committed file, so any drift in the stream format — container
+layout, entropy coding, partition, predictor — shows up as a loud diff
+instead of a silent re-encode; the committed streams are additionally
+decoded and checked against the manifest's pixel digests, proving old
+streams stay readable.
+
+Regenerate after an *intentional* format change with::
+
+    PYTHONPATH=src python tests/vectors/regenerate.py
+
+and commit the updated ``.rplc`` files and ``manifest.json`` together with
+the change that caused them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+VECTOR_DIR = Path(__file__).resolve().parent
+
+
+def _deep_planar_image():
+    """A deterministic 12-bit two-plane image (no RNG: pure arithmetic)."""
+    from repro.imaging.image import GrayImage
+    from repro.imaging.planar import PlanarImage
+
+    ys, xs = np.mgrid[0:14, 0:11]
+    base = (xs * 257 + ys * 131 + (xs * ys) % 97) % 4096
+    second = (base + 64 + ((xs + ys) % 5)) % 4096
+    return PlanarImage(
+        [
+            GrayImage.from_array(base, bit_depth=12, name="band0"),
+            GrayImage.from_array(second, bit_depth=12, name="band1"),
+        ],
+        name="deep",
+    )
+
+
+def build_vectors():
+    """Return ``{filename: (stream_bytes, source_image, description)}``."""
+    from repro.core.components import encode_planar
+    from repro.core.config import CodecConfig
+    from repro.core.encoder import encode_image
+    from repro.imaging.synthetic import generate_image, generate_planar_image
+    from repro.parallel.codec import ParallelCodec
+    from repro.parallel.executor import SerialExecutor
+
+    gray = generate_image("boat", size=16, seed=2007)
+    rgb = generate_planar_image("lena", size=16, seed=2007)
+    bands = generate_planar_image("goldhill", size=16, seed=2007, planes=4)
+    deep = _deep_planar_image()
+
+    return {
+        "v1-gray.rplc": (
+            encode_image(gray),
+            gray,
+            "version-1 single payload, 16x16 'boat', hardware preset",
+        ),
+        "v1-reference-preset.rplc": (
+            encode_image(gray, CodecConfig.reference()),
+            gray,
+            "version-1 single payload, exact-arithmetic preset",
+        ),
+        "v2-striped.rplc": (
+            ParallelCodec(cores=3, executor=SerialExecutor()).encode(gray),
+            gray,
+            "version-2, 3 balanced stripes, 16x16 'boat'",
+        ),
+        "v3-rgb-delta.rplc": (
+            encode_planar(rgb, stripes=2, plane_delta=True),
+            rgb,
+            "version-3, RGB with inter-plane delta, 2 stripes",
+        ),
+        "v3-multiband.rplc": (
+            encode_planar(bands, stripes=3, plane_delta=False),
+            bands,
+            "version-3, 4 independent bands, 3 stripes",
+        ),
+        "v3-deep-12bit.rplc": (
+            encode_planar(
+                deep,
+                CodecConfig.hardware(bit_depth=12),
+                stripes=2,
+                plane_delta=True,
+            ),
+            deep,
+            "version-3, two 12-bit planes with delta, 11x14 geometry",
+        ),
+    }
+
+
+def image_digest(image) -> str:
+    """SHA-256 over an image's geometry and raw samples (name-independent)."""
+    from repro.imaging.planar import PlanarImage
+
+    hasher = hashlib.sha256()
+    planes = image.planes() if isinstance(image, PlanarImage) else [image]
+    hasher.update(
+        ("%dx%dx%d/%d" % (image.width, image.height, len(planes), image.bit_depth)).encode()
+    )
+    for plane in planes:
+        hasher.update(plane.to_bytes())
+    return hasher.hexdigest()
+
+
+def main() -> None:
+    manifest = {}
+    for filename, (stream, image, description) in sorted(build_vectors().items()):
+        (VECTOR_DIR / filename).write_bytes(stream)
+        manifest[filename] = {
+            "description": description,
+            "stream_sha256": hashlib.sha256(stream).hexdigest(),
+            "stream_bytes": len(stream),
+            "image_sha256": image_digest(image),
+        }
+    (VECTOR_DIR / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print("wrote %d vectors to %s" % (len(manifest), VECTOR_DIR))
+
+
+if __name__ == "__main__":
+    main()
