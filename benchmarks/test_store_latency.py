@@ -1,0 +1,51 @@
+"""Store serving benchmark — the acceptance gate of the serving layer.
+
+Regenerates the cold-vs-warm random-access comparison over the synthetic
+planar corpus and enforces the serving layer's contract: a warm-cache
+region read must be at least **5x** faster than a cold full-blob decode on
+every corpus image (in practice the measured gap is orders of magnitude —
+a warm read is pure array reassembly, a full decode re-runs the entropy
+coder over every cell).
+
+The formatted table lands in ``benchmarks/results/store_latency.txt`` (the
+CI benchmark artefact); the same numbers are produced machine-readably by
+``repro-bench store --json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.store_bench import run_store_bench
+
+#: Acceptance floor from the issue: warm-cache region reads >= 5x faster
+#: than cold full-blob decode on the synthetic planar corpus.
+MINIMUM_WARM_SPEEDUP = 5.0
+
+
+def test_store_warm_reads_beat_cold_full_decode(ablation_size, record_report):
+    result = run_store_bench(size=min(ablation_size, 64), stripes=4)
+    path = record_report("store_latency", result.format_report())
+    assert path.exists()
+
+    assert len(result.rows) == 7
+    speedup = result.min_warm_speedup()
+    assert speedup >= MINIMUM_WARM_SPEEDUP, (
+        "warm region read speedup %.2fx below the %.1fx floor"
+        % (speedup, MINIMUM_WARM_SPEEDUP)
+    )
+
+
+def test_store_batched_requests_match_sequential(ablation_size):
+    """Both serving shapes return identical images (and a sane throughput)."""
+    from repro.imaging.synthetic import generate_planar_image
+    from repro.store import ImageStore
+    from repro.store.backends import FilesystemBackend
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        store = ImageStore(FilesystemBackend(root))
+        image = generate_planar_image("lena", size=32)
+        key = store.put(image, stripes=4)
+        ranges = [(0, 2), (1, 3), (2, 4), (0, 1), (0, 2)]
+        assert store.get_regions(key, ranges) == [
+            store.get_region(key, r) for r in ranges
+        ]

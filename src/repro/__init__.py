@@ -20,8 +20,18 @@ The package is organised as follows:
 * :mod:`repro.parallel` — the stripe-parallel codec subsystem (the paper's
   multi-core option in software: balanced stripe partitioning, a process
   pool with serial fallback and the :class:`ParallelCodec` facade).
+* :mod:`repro.store` — the serving layer: a content-addressed image store
+  (filesystem or SQLite backed) answering plane/region/batched queries
+  straight off the version-3 random-access index through an LRU cache of
+  decoded cells.
 * :mod:`repro.experiments` — the table/figure regeneration harness used by
   the benchmarks, examples and the CLI.
+
+Coding engines are pluggable: :mod:`repro.core.interface` hosts the engine
+registry (``register_engine`` / ``get_engine``) through which every
+front-end dispatches, with ``"reference"`` (:mod:`repro.core.refengine`)
+and ``"fast"`` (:mod:`repro.fast`) built in; all inputs run the unified
+(planes x stripes) cell-grid pipeline of :mod:`repro.core.cellgrid`.
 """
 
 from repro.core import (
@@ -38,7 +48,7 @@ from repro.core import (
 from repro.imaging import GrayImage, PlanarImage, generate_corpus, generate_image
 from repro.parallel import ParallelCodec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CodecConfig",

@@ -1,6 +1,7 @@
 """Command-line entry points.
 
-Four console scripts are installed (see ``pyproject.toml``):
+Five console scripts are installed (see ``pyproject.toml``); the first
+four live here, ``repro-store`` in :mod:`repro.store.cli`:
 
 ``repro-compress``
     Compress a Netpbm image — PGM grey-scale, PPM colour or PAM N-band,
@@ -24,7 +25,8 @@ Four console scripts are installed (see ``pyproject.toml``):
 ``repro-bench``
     Regenerate one or more of the paper's tables/figures from the command
     line (``table1``, ``figure4``, ``table2``, ``throughput``,
-    ``ablations``, ``parallel``, ``engines``, ``components``).  With
+    ``ablations``, ``parallel``, ``engines``, ``components``, ``store``).
+    With
     ``--json PATH`` a machine-readable summary (bits per pixel and MB/s per
     experiment) is written as well — the input of the CI
     performance-regression gate.  When one experiment fails the remaining
@@ -41,9 +43,15 @@ the hardware model's predicted stripe penalty against actual striped
 encodes.  ``--engine fast`` selects the vectorized coding engine (byte-
 identical streams, several times faster); it composes with ``--cores``.
 
-Errors are reported as a single ``ExceptionName: message`` line on stderr
-with a non-zero exit status; corrupt or truncated containers surface as
-``HeaderError``/``BitstreamError`` instead of a traceback.
+``repro-store``
+    Content-addressed image store with cached random access; see
+    :mod:`repro.store.cli`.
+
+Every console script accepts ``--version`` (read from the installed
+package metadata).  Errors are reported as a single ``ExceptionName:
+message`` line on stderr with a non-zero exit status; corrupt or truncated
+containers surface as ``HeaderError``/``BitstreamError`` instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -66,7 +74,40 @@ from repro.imaging.planar import PlanarImage
 from repro.imaging.pnm import read_image, write_image
 from repro.system.datamodel import GeneralDataCodec
 
-__all__ = ["compress_main", "decompress_main", "inspect_main", "bench_main"]
+__all__ = [
+    "compress_main",
+    "decompress_main",
+    "inspect_main",
+    "bench_main",
+    "package_version",
+    "add_version_argument",
+]
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's.
+
+    Console scripts read the version from package metadata so an installed
+    wheel reports what pip sees; running from a source checkout (tests,
+    ``PYTHONPATH=src``) falls back to ``repro.__version__``.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-chencnv07")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
+def add_version_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the standard ``--version`` flag to a console-script parser."""
+    parser.add_argument(
+        "--version",
+        action="version",
+        version="%(prog)s " + package_version(),
+    )
 
 _IMAGE_CODECS = {
     "proposed": lambda: ProposedCodec(),
@@ -105,6 +146,7 @@ def compress_main(argv: Optional[List[str]] = None) -> int:
         description="Losslessly compress a PGM/PPM/PAM image (or raw file) "
         "into a .rplc container.",
     )
+    add_version_argument(parser)
     parser.add_argument("input", help="input PGM/PPM/PAM image (or any file with --data)")
     parser.add_argument("output", help="output .rplc container")
     parser.add_argument(
@@ -216,6 +258,7 @@ def decompress_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-decompress",
         description="Reconstruct the original image/file from a .rplc container.",
     )
+    add_version_argument(parser)
     parser.add_argument("input", help="input .rplc container")
     parser.add_argument(
         "output",
@@ -284,6 +327,7 @@ def inspect_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-inspect",
         description="Dump a .rplc container's header and random-access index.",
     )
+    add_version_argument(parser)
     parser.add_argument("input", help="input .rplc container")
     parser.add_argument(
         "--json",
@@ -317,6 +361,7 @@ _BENCH_EXPERIMENTS = (
     "parallel",
     "engines",
     "components",
+    "store",
 )
 
 
@@ -377,6 +422,17 @@ def _run_bench_experiment(name: str, args) -> tuple:
             result.format_report(),
         )
         return text, result.as_json()
+    if name == "store":
+        from repro.experiments.store_bench import run_store_bench
+
+        size = args.size or (96 if args.full else 48)
+        result = run_store_bench(size=size, seed=args.seed)
+        text = "Store serving latency (synthetic planar corpus, %dx%d):\n%s" % (
+            size,
+            size,
+            result.format_report(),
+        )
+        return text, result.as_json()
     if name == "parallel":
         from repro.hardware.multicore import (
             estimate_scaling,
@@ -428,6 +484,7 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",
     )
+    add_version_argument(parser)
     parser.add_argument(
         "experiment",
         nargs="+",

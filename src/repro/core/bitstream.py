@@ -89,6 +89,9 @@ __all__ = [
     "pack_stream",
     "pack_component_stream",
     "parse_stream_header",
+    "parse_stream_prefix",
+    "table_prefix_length",
+    "TABLE_PROBE_LENGTH",
     "unpack_stream",
     "split_stripe_payloads",
     "split_component_payloads",
@@ -322,6 +325,71 @@ def parse_stream_header(data: bytes) -> StreamHeader:
     in the payload size and slice the cells they need straight out of
     ``data`` via :func:`component_spans`.
     """
+    return _parse_stream(data, len(data))
+
+
+def parse_stream_prefix(prefix: bytes, total_length: int) -> StreamHeader:
+    """Parse a container from a *prefix* holding the header and tables.
+
+    Identical validation to :func:`parse_stream_header`, but the framing
+    check (payload neither truncated nor followed by trailing garbage) is
+    made against ``total_length`` — the byte size of the full container —
+    instead of ``len(prefix)``.  This is what lets range-read consumers
+    like :mod:`repro.store` index a blob after fetching only its first few
+    hundred bytes: fetch a prefix covering the tables (see
+    :func:`table_prefix_length`), then slice individual cells by offset.
+    """
+    return _parse_stream(prefix, total_length)
+
+
+def table_prefix_length(prefix: bytes) -> int:
+    """Bytes needed from the start of a container to cover header + tables.
+
+    ``prefix`` must hold at least ``TABLE_PROBE_LENGTH`` bytes (or the whole
+    container, if it is shorter than that): enough to read the version byte
+    and the stripe/component counts the table size depends on.  Raises
+    :class:`~repro.exceptions.HeaderError` on a malformed prefix, like the
+    parsers would.
+    """
+    if len(prefix) < _HEADER_STRUCT.size:
+        raise HeaderError(
+            "stream too short for a container header (%d bytes)" % len(prefix)
+        )
+    version = prefix[4]
+    if version == CONTAINER_VERSION:
+        return _HEADER_STRUCT.size
+    if version == STRIPED_CONTAINER_VERSION:
+        if len(prefix) < _HEADER_STRUCT.size + _STRIPE_COUNT_STRUCT.size:
+            raise HeaderError("stream truncated inside the stripe table")
+        (stripes,) = _STRIPE_COUNT_STRUCT.unpack_from(prefix, _HEADER_STRUCT.size)
+        return (
+            _HEADER_STRUCT.size
+            + _STRIPE_COUNT_STRUCT.size
+            + stripes * _STRIPE_LENGTH_STRUCT.size
+        )
+    if version == COMPONENT_CONTAINER_VERSION:
+        if len(prefix) < _HEADER_STRUCT.size + _COMPONENT_HEADER_STRUCT.size:
+            raise HeaderError("stream truncated inside the component table")
+        components, _flags, stripes = _COMPONENT_HEADER_STRUCT.unpack_from(
+            prefix, _HEADER_STRUCT.size
+        )
+        return (
+            _HEADER_STRUCT.size
+            + _COMPONENT_HEADER_STRUCT.size
+            + components * stripes * _COMPONENT_CELL_STRUCT.size
+        )
+    raise HeaderError(
+        "unsupported container version %d (this reader understands versions %s)"
+        % (version, ", ".join(str(v) for v in SUPPORTED_VERSIONS))
+    )
+
+
+#: Prefix bytes that always suffice for :func:`table_prefix_length`: the
+#: fixed header plus the largest version-dependent count prefix (v3's).
+TABLE_PROBE_LENGTH = _HEADER_STRUCT.size + _COMPONENT_HEADER_STRUCT.size
+
+
+def _parse_stream(data: bytes, total_length: int) -> StreamHeader:
     if len(data) < _HEADER_STRUCT.size:
         raise HeaderError(
             "stream too short for a container header (%d bytes)" % len(data)
@@ -416,7 +484,7 @@ def parse_stream_header(data: bytes) -> StreamHeader:
                 % (total, length)
             )
 
-    present = len(data) - offset
+    present = total_length - offset
     if present < length:
         raise BitstreamError(
             "payload truncated: header declares %d bytes, %d present"

@@ -15,10 +15,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
-from repro.core.bitstream import parse_stream_header
 from repro.core.config import CodecConfig
-from repro.core.decoder import decode_image
-from repro.core.encoder import EncodeStatistics, encode_image_with_statistics
+from repro.core.encoder import EncodeStatistics
 from repro.core.interface import LosslessImageCodec, require_engine
 from repro.imaging.image import GrayImage
 from repro.imaging.planar import PlanarImage
@@ -35,10 +33,12 @@ class ProposedCodec(LosslessImageCodec):
         Full codec configuration; defaults to the hardware-faithful preset
         evaluated in the paper (14-bit counts, LUT division, overflow guard).
     engine:
-        Coding engine: ``"reference"`` (the paper-shaped per-pixel pipeline)
-        or ``"fast"`` (row-vectorized modelling + inlined entropy coding).
-        Both produce byte-identical streams; the engine is a speed knob, not
-        a format choice.
+        Name of a registered coding engine (see
+        :func:`repro.core.interface.register_engine`): ``"reference"`` (the
+        paper-shaped per-pixel pipeline) and ``"fast"`` (row-vectorized
+        modelling + inlined entropy coding) are built in.  Every engine
+        produces byte-identical streams; the engine is a speed knob, not a
+        format choice.
     plane_delta:
         Enable the inter-plane delta predictor for multi-component inputs
         (plane ``k > 0`` is coded as the modular delta to plane ``k - 1``).
@@ -119,21 +119,18 @@ class ProposedCodec(LosslessImageCodec):
     def encode(self, image: Union[GrayImage, PlanarImage]) -> bytes:
         """Compress ``image``; statistics are kept in :attr:`last_statistics`.
 
-        Grey-scale inputs produce a version-1 container; planar inputs a
-        version-3 container with one stripe per plane (use the parallel
-        variant or :func:`repro.core.components.encode_planar` for striped
+        Both input kinds run the unified cell-grid pipeline
+        (:mod:`repro.core.cellgrid`): grey-scale inputs produce a version-1
+        container; planar inputs a version-3 container with one stripe per
+        plane (use the parallel variant or
+        :func:`repro.core.components.encode_planar` for striped
         random-access streams).
         """
-        if isinstance(image, PlanarImage):
-            from repro.core.components import encode_planar_with_statistics
+        from repro.core.cellgrid import encode_grid
 
-            stream, statistics = encode_planar_with_statistics(
-                image, self.config, engine=self.engine, plane_delta=self.plane_delta
-            )
-        else:
-            stream, statistics = encode_image_with_statistics(
-                image, self.config, engine=self.engine
-            )
+        stream, statistics = encode_grid(
+            image, self.config, engine=self.engine, plane_delta=self.plane_delta
+        )
         self.last_statistics = statistics
         return stream
 
@@ -144,12 +141,9 @@ class ProposedCodec(LosslessImageCodec):
         streams as :class:`PlanarImage` — matching the container the input
         was encoded from.
         """
-        header = parse_stream_header(data)
-        if header.component_lengths:
-            from repro.core.components import decode_planar
+        from repro.core.cellgrid import decode_selection
 
-            return decode_planar(data, self.config, engine=self.engine)
-        return decode_image(data, self.config, engine=self.engine)
+        return decode_selection(data, self.config, engine=self.engine).image()
 
     def decode_plane(self, data: bytes, plane: int) -> GrayImage:
         """Decode one component plane, reading only its indexed bytes."""

@@ -1,53 +1,52 @@
 """Multi-component (planar) encoding and random-access decoding.
 
-This module lifts the single-plane pipeline of :mod:`repro.core.encoder` /
-:mod:`repro.core.decoder` to :class:`~repro.imaging.planar.PlanarImage`
-payloads (RGB and arbitrary N-band stacks) and gives streams O(1) random
-access:
+This module is the planar face of the unified cell-grid pipeline
+(:mod:`repro.core.cellgrid`): a :class:`~repro.imaging.planar.PlanarImage`
+(RGB or arbitrary N-band stack) is planned into ``planes x stripes`` cells,
+each coded with fresh adaptive state, and wrapped in a version-3 container
+whose component table doubles as a byte-offset index:
 
-* every plane is split into the same ``S`` balanced horizontal stripes and
-  each (plane, stripe) cell is coded with fresh adaptive state — planes and
-  stripes therefore compose freely with both coding engines and with the
-  process pool of :mod:`repro.parallel.codec`;
+* planes and stripes compose freely with every registered coding engine and
+  with the process pool of :mod:`repro.parallel.codec` — the stream is
+  byte-identical either way;
 * an optional **inter-plane predictor** codes plane ``k > 0`` as the
   modular per-pixel delta to the reconstructed plane ``k - 1`` (the paper's
   GAP-style prediction reused across bands: correlated planes turn into
   near-zero residual images that the context modeller compresses far
   better);
-* the version-3 container's component table doubles as a byte-offset index,
-  so :func:`decode_plane` and :func:`decode_region` locate and decode only
-  the cells they need instead of the whole stream.
+* :func:`decode_plane` and :func:`decode_region` locate and decode only the
+  cells they need through the index instead of the whole stream.
 
 The delta predictor is *pixel-wise*, which keeps random access intact:
 stripe ``s`` of plane ``k`` only ever needs stripe ``s`` of planes
 ``0..k-1``, so a region decode stays proportional to the region even on
 delta-coded streams (a single-plane decode of plane ``k`` needs planes
 ``0..k``, still skipping all later planes).
+
+Out-of-range ``plane``/``stripe_range`` *arguments* raise
+:class:`~repro.exceptions.ConfigError` (a caller mistake); malformed or
+lying containers raise :class:`~repro.exceptions.BitstreamError`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
-import numpy as np
-
-from repro.core.bitstream import (
-    COMPONENT_FLAG_PLANE_DELTA,
-    CodecId,
-    StreamHeader,
-    component_spans,
-    pack_component_stream,
-    parse_stream_header,
-    verify_component_cell,
+from repro.core.bitstream import component_spans, parse_stream_header
+from repro.core.cellgrid import (
+    decode_selection,
+    encode_grid,
+    plan_for_header,
+    plane_residuals,
+    reconstruct_plane_arrays,
 )
 from repro.core.config import CodecConfig
-from repro.core.decoder import decode_payload, resolve_stream_config
-from repro.core.encoder import EncodeStatistics, encode_payload, merge_statistics
-from repro.exceptions import BitstreamError, ConfigError, ModelStateError, StripingError
+from repro.core.encoder import EncodeStatistics
+from repro.exceptions import ConfigError
 from repro.imaging.image import GrayImage
-from repro.imaging.planar import PlanarImage, default_plane_names
+from repro.imaging.planar import PlanarImage
 
 __all__ = [
     "encode_planar",
@@ -65,63 +64,8 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------- #
-# inter-plane predictor
-# ---------------------------------------------------------------------- #
-
-
-def plane_residuals(image: PlanarImage, plane_delta: bool) -> List[GrayImage]:
-    """Return the plane images actually handed to the entropy coder.
-
-    Without the predictor these are the planes themselves.  With it, plane
-    ``k > 0`` becomes ``(plane_k - plane_{k-1}) mod 2**bit_depth`` — the
-    modular delta is exactly invertible, so the scheme stays lossless.
-    """
-    planes = list(image.planes())
-    if not plane_delta or len(planes) == 1:
-        return planes
-    size = 1 << image.bit_depth
-    arrays = [plane.to_array() for plane in planes]
-    residuals = [planes[0]]
-    for k in range(1, len(planes)):
-        delta = (arrays[k] - arrays[k - 1]) % size
-        residuals.append(
-            GrayImage(
-                image.width,
-                image.height,
-                delta.reshape(-1).tolist(),
-                image.bit_depth,
-                planes[k].name,
-            )
-        )
-    return residuals
-
-
-def reconstruct_plane_arrays(
-    residuals: Sequence[np.ndarray], bit_depth: int, plane_delta: bool
-) -> List[np.ndarray]:
-    """Invert :func:`plane_residuals` on decoded residual arrays."""
-    if not plane_delta or len(residuals) == 1:
-        return list(residuals)
-    size = 1 << bit_depth
-    planes = [residuals[0]]
-    for k in range(1, len(residuals)):
-        planes.append((residuals[k] + planes[k - 1]) % size)
-    return planes
-
-
-# ---------------------------------------------------------------------- #
 # encoding
 # ---------------------------------------------------------------------- #
-
-
-def _plan_for_header(header: StreamHeader):
-    """Derive the deterministic stripe partition a stream was coded with."""
-    from repro.parallel.partition import plan_stripes
-
-    try:
-        return plan_stripes(header.height, header.stripe_count)
-    except StripingError as exc:
-        raise BitstreamError("invalid stripe table: %s" % exc) from exc
 
 
 def encode_planar_with_statistics(
@@ -138,53 +82,11 @@ def encode_planar_with_statistics(
     the emitted stream is byte-identical to what the stripe-parallel codec
     produces for the same stripe count.
     """
-    from repro.parallel.partition import plan_stripes
-
     if config is None:
         config = CodecConfig.hardware(bit_depth=image.bit_depth)
-    if image.bit_depth != config.bit_depth:
-        raise ConfigError(
-            "image bit depth %d does not match codec bit depth %d"
-            % (image.bit_depth, config.bit_depth)
-        )
-    try:
-        plan = plan_stripes(image.height, stripes)
-    except StripingError as exc:
-        raise ConfigError(str(exc)) from exc
-
-    residuals = plane_residuals(image, plane_delta)
-    plane_payloads: List[List[bytes]] = []
-    parts: List[EncodeStatistics] = []
-    for residual in residuals:
-        pixels = residual.pixels()
-        stripe_payloads: List[bytes] = []
-        for spec in plan:
-            stripe = GrayImage(
-                image.width,
-                spec.row_count,
-                pixels[spec.start_row * image.width : spec.stop_row * image.width],
-                image.bit_depth,
-            )
-            payload, statistics = encode_payload(stripe, config, engine=engine)
-            stripe_payloads.append(payload)
-            parts.append(statistics)
-        plane_payloads.append(stripe_payloads)
-
-    codec_id = CodecId.PROPOSED_HARDWARE if config.use_lut_division else CodecId.PROPOSED
-    stream = pack_component_stream(
-        codec_id,
-        image.width,
-        image.height,
-        image.bit_depth,
-        plane_payloads,
-        parameter=config.count_bits,
-        flags=1 if config.use_lut_division else 0,
-        component_flags=COMPONENT_FLAG_PLANE_DELTA if plane_delta else 0,
+    return encode_grid(
+        image, config, engine=engine, stripes=stripes, plane_delta=plane_delta
     )
-    statistics = merge_statistics(parts)
-    statistics.total_bytes = len(stream)
-    statistics.bits_per_pixel = 8.0 * len(stream) / image.sample_count
-    return stream, statistics
 
 
 def encode_planar(
@@ -206,51 +108,6 @@ def encode_planar(
 # ---------------------------------------------------------------------- #
 
 
-def _decode_cell(
-    payload: bytes, width: int, rows: int, config: CodecConfig, engine: str
-) -> List[int]:
-    """Decode one (plane, stripe) cell, normalising corrupt-payload errors.
-
-    The entropy decoder raises :class:`ModelStateError` when a payload
-    drives a model into an impossible state; for a container consumer that
-    is a corrupt bitstream, so it is re-raised as
-    :class:`~repro.exceptions.BitstreamError`.
-    """
-    try:
-        return decode_payload(payload, width, rows, config, engine=engine)
-    except ModelStateError as exc:
-        raise BitstreamError("corrupt cell payload: %s" % exc) from exc
-
-
-def _decode_plane_cells(
-    data: bytes,
-    header: StreamHeader,
-    plan,
-    plane: int,
-    config: CodecConfig,
-    engine: str,
-) -> np.ndarray:
-    """Decode the given stripes of one plane into a residual sample array.
-
-    ``plan`` selects which stripes to read (any contiguous slice of the
-    stream's partition); each cell is CRC-verified against the index before
-    entropy decoding, and only the selected cells' bytes are ever touched.
-    This single loop backs every serial decode entry point, so the CRC /
-    error-normalisation / reshape behaviour cannot drift between them.
-    """
-    spans = component_spans(header)[plane]
-    pixels: List[int] = []
-    rows = 0
-    for spec in plan:
-        offset, length = spans[spec.index]
-        cell = verify_component_cell(
-            header, plane, spec.index, data[offset : offset + length]
-        )
-        pixels.extend(_decode_cell(cell, header.width, spec.row_count, config, engine))
-        rows += spec.row_count
-    return np.asarray(pixels, dtype=np.int64).reshape(rows, header.width)
-
-
 def decode_planar(
     data: bytes, config: Optional[CodecConfig] = None, engine: str = "reference"
 ) -> PlanarImage:
@@ -259,27 +116,7 @@ def decode_planar(
     Version-1/2 (grey-scale) streams come back as a one-plane image, so this
     function is a universal decoder for every container version.
     """
-    header = parse_stream_header(data)
-    config = resolve_stream_config(header, config)
-    plan = _plan_for_header(header)
-    residual_arrays = [
-        _decode_plane_cells(data, header, plan, plane, config, engine)
-        for plane in range(header.component_count)
-    ]
-    planes = reconstruct_plane_arrays(residual_arrays, header.bit_depth, header.plane_delta)
-    names = default_plane_names(len(planes))
-    return PlanarImage(
-        [
-            GrayImage(
-                header.width,
-                header.height,
-                array.reshape(-1).tolist(),
-                header.bit_depth,
-                name,
-            )
-            for array, name in zip(planes, names)
-        ]
-    )
+    return decode_selection(data, config, engine=engine).planar_image()
 
 
 def decode_plane(
@@ -293,28 +130,11 @@ def decode_plane(
     On an independently coded stream exactly the indexed cells of ``plane``
     are read.  On a delta-coded stream the predictor chain is walked, so
     planes ``0..plane`` are decoded (and everything after ``plane`` is still
-    skipped).
+    skipped).  A ``plane`` outside the stream raises
+    :class:`~repro.exceptions.ConfigError`.
     """
-    header = parse_stream_header(data)
-    config = resolve_stream_config(header, config)
-    if not 0 <= plane < header.component_count:
-        raise BitstreamError(
-            "plane %d outside stream of %d component(s)" % (plane, header.component_count)
-        )
-    needed = range(plane + 1) if header.plane_delta else (plane,)
-    plan = _plan_for_header(header)
-    residual_arrays = [
-        _decode_plane_cells(data, header, plan, k, config, engine) for k in needed
-    ]
-    planes = reconstruct_plane_arrays(residual_arrays, header.bit_depth, header.plane_delta)
-    name = default_plane_names(header.component_count)[plane]
-    return GrayImage(
-        header.width,
-        header.height,
-        planes[-1].reshape(-1).tolist(),
-        header.bit_depth,
-        name,
-    )
+    selection = decode_selection(data, config, engine=engine, planes=(plane,))
+    return selection.plane_image(plane)
 
 
 def decode_region(
@@ -334,30 +154,12 @@ def decode_region(
 
     Version-1 streams hold a single stripe, so only ``(0, 1)`` is valid
     there; version-2/3 streams accept any sub-range of their stripe table.
+    A range outside the stream's stripe table raises
+    :class:`~repro.exceptions.ConfigError`.
     """
-    header = parse_stream_header(data)
-    config = resolve_stream_config(header, config)
-    start, stop = stripe_range
-    if not 0 <= start < stop <= header.stripe_count:
-        raise BitstreamError(
-            "stripe range [%d, %d) outside stream of %d stripe(s)"
-            % (start, stop, header.stripe_count)
-        )
-    plan = _plan_for_header(header)[start:stop]
-    row_count = sum(spec.row_count for spec in plan)
-    residual_arrays = [
-        _decode_plane_cells(data, header, plan, plane, config, engine)
-        for plane in range(header.component_count)
-    ]
-    planes = reconstruct_plane_arrays(residual_arrays, header.bit_depth, header.plane_delta)
-    names = default_plane_names(header.component_count)
-    images = [
-        GrayImage(header.width, row_count, array.reshape(-1).tolist(), header.bit_depth, name)
-        for array, name in zip(planes, names)
-    ]
-    if header.component_count == 1 and not header.component_lengths:
-        return images[0]
-    return PlanarImage(images)
+    return decode_selection(
+        data, config, engine=engine, stripe_range=stripe_range
+    ).image()
 
 
 # ---------------------------------------------------------------------- #
@@ -467,7 +269,7 @@ def stream_index(data: bytes) -> StreamIndex:
     streams one cell per stripe, version-3 streams the plane-major grid.
     """
     header = parse_stream_header(data)
-    plan = _plan_for_header(header)
+    plan = plan_for_header(header)
     entries = []
     for plane, plane_spans in enumerate(component_spans(header)):
         for spec, (offset, length) in zip(plan, plane_spans):
@@ -511,6 +313,8 @@ def measure_random_access(
     examples: on an independently coded C-plane stream the plane decode
     should approach ``1/C`` of the full decode.
     """
+    if repeats < 1:
+        raise ConfigError("repeats must be at least 1, got %d" % repeats)
     best_full = float("inf")
     best_plane = float("inf")
     for _ in range(repeats):

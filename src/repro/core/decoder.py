@@ -1,38 +1,24 @@
-"""Decoder of the proposed codec.
+"""Decoder front of the proposed codec.
 
-The decoder mirrors :mod:`repro.core.encoder` step for step: it derives the
-same prediction, context and adjusted prediction from the already-decoded
-causal pixels, asks the probability estimator to decode the mapped error
-symbol, un-maps it into the pixel value and commits that value to the same
-adaptive state the encoder updated.  Because every model update depends only
-on data both sides share, the models remain synchronised for the whole
-image.
-
-Version-2 (striped) containers are decoded stripe by stripe: every stripe
-payload is an independent stream with fresh adaptive state, so the stripes
-can also be decoded concurrently — that parallel path lives in
-:mod:`repro.parallel.codec`; this module provides the serial reference
-implementation used by :func:`decode_image`.
+The per-pixel decoding loop lives in the engine backends (see
+:mod:`repro.core.refengine` and :mod:`repro.fast`), reached through the
+engine registry of :mod:`repro.core.interface`; container walking is the
+unified cell-grid pipeline of :mod:`repro.core.cellgrid`.  This module
+provides the functional decode entry points: :func:`decode_payload` decodes
+one cell with whichever engine is selected, :func:`decode_image`
+reconstructs a grey image from any container a grey image can come back
+from, and :func:`resolve_stream_config` rebuilds the codec configuration a
+stream was written with.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.bitstream import (
-    CodecId,
-    StreamHeader,
-    parse_stream_header,
-    split_stripe_payloads,
-)
+from repro.core.bitstream import CodecId, StreamHeader, parse_stream_header
 from repro.core.config import CodecConfig
-from repro.core.mapping import unmap_error
-from repro.core.modeling import ImageModeler
-from repro.core.probability import ProbabilityEstimator
-from repro.entropy.binary_arithmetic import BinaryArithmeticDecoder
-from repro.exceptions import BitstreamError, CodecMismatchError, StripingError
+from repro.exceptions import CodecMismatchError
 from repro.imaging.image import GrayImage
-from repro.utils.bitio import BitReader
 
 __all__ = ["decode_image", "decode_payload", "resolve_stream_config"]
 
@@ -81,37 +67,18 @@ def decode_payload(
     """Decode one container-less payload into its row-major pixel list.
 
     This is the inner decoder matching :func:`repro.core.encoder.encode_payload`:
-    it assumes fresh adaptive state, so it decodes exactly one stripe (or a
+    it assumes fresh adaptive state, so it decodes exactly one cell (or a
     whole single-stripe image).  The bit reader is bounded so a corrupt or
     truncated payload raises :class:`~repro.exceptions.BitstreamError`
     instead of decoding garbage from an endless run of phantom zero bits.
 
-    ``engine="fast"`` delegates to the inlined scalar decoder of
-    :mod:`repro.fast`; both engines accept both engines' streams.
+    ``engine`` selects the registered backend that does the work
+    (:func:`repro.core.interface.get_engine`); every backend accepts every
+    backend's payloads.
     """
-    from repro.core.interface import require_engine
+    from repro.core.interface import get_engine
 
-    if require_engine(engine) == "fast":
-        from repro.fast.engine import decode_payload_fast
-
-        return decode_payload_fast(payload, width, height, config)
-
-    modeler = ImageModeler(width, config)
-    estimator = ProbabilityEstimator(config)
-    reader = BitReader(payload, max_phantom_bits=4 * config.coder_precision)
-    coder = BinaryArithmeticDecoder(reader, precision=config.coder_precision)
-
-    bit_depth = config.bit_depth
-    pixels: List[int] = []
-    for _y in range(height):
-        for x in range(width):
-            model = modeler.model_pixel(x)
-            symbol = estimator.decode_symbol(coder, model.context.energy)
-            value, wrapped_error = unmap_error(symbol, model.adjusted, bit_depth)
-            modeler.commit_pixel(value, wrapped_error, model)
-            pixels.append(value)
-        modeler.end_row()
-    return pixels
+    return get_engine(engine).decode_payload(payload, width, height, config)
 
 
 def decode_image(
@@ -123,7 +90,7 @@ def decode_image(
     Parameters
     ----------
     data:
-        The complete container (header + payload).  Both container versions
+        The complete container (header + payload).  All container versions
         are accepted; striped (version-2) streams are decoded stripe by
         stripe, serially.
     config:
@@ -131,8 +98,8 @@ def decode_image(
         reconstructed from the container header (count-bits parameter and
         hardware flag); when provided it must be consistent with the header.
     engine:
-        Decoding engine (``"reference"`` or ``"fast"``); both decode both
-        engines' streams identically.
+        Decoding engine; every registered engine decodes every engine's
+        streams identically.
 
     Multi-component (version-3) streams with a single plane decode here
     too; streams holding several planes cannot be represented as a
@@ -141,38 +108,15 @@ def decode_image(
     :func:`repro.core.components.decode_planar` or
     :meth:`repro.core.codec.ProposedCodec.decode`.
     """
-    # Route on the header alone: the v3 path re-parses inside decode_plane
-    # anyway, so copying the payload out first would be pure waste.
+    from repro.core.cellgrid import decode_selection
+
     header = parse_stream_header(data)
-
-    if header.component_lengths:
-        from repro.core.components import decode_plane
-
-        if header.component_count > 1:
-            raise CodecMismatchError(
-                "stream is a version-%d multi-component container holding %d "
-                "planes, which cannot decode to a single grey-scale image; "
-                "use repro.core.components.decode_planar"
-                % (header.version, header.component_count)
-            )
-        return decode_plane(data, 0, config, engine=engine)
-
-    config = resolve_stream_config(header, config)
-    payload = data[header.payload_offset :]
-
-    if not header.stripe_lengths:
-        pixels = decode_payload(payload, header.width, header.height, config, engine=engine)
-        return GrayImage(header.width, header.height, pixels, header.bit_depth)
-
-    from repro.parallel.partition import plan_stripes
-
-    try:
-        plan = plan_stripes(header.height, len(header.stripe_lengths))
-    except StripingError as exc:
-        raise BitstreamError("invalid stripe table: %s" % exc) from exc
-    pixels = []
-    for spec, stripe_payload in zip(plan, split_stripe_payloads(header, payload)):
-        pixels.extend(
-            decode_payload(stripe_payload, header.width, spec.row_count, config, engine=engine)
+    if header.component_count > 1:
+        raise CodecMismatchError(
+            "stream is a version-%d multi-component container holding %d "
+            "planes, which cannot decode to a single grey-scale image; "
+            "use repro.core.components.decode_planar"
+            % (header.version, header.component_count)
         )
-    return GrayImage(header.width, header.height, pixels, header.bit_depth)
+    selection = decode_selection(data, config, engine=engine, planes=(0,))
+    return selection.plane_image(0)

@@ -1,11 +1,14 @@
-"""Encoder of the proposed codec.
+"""Encoder front of the proposed codec.
 
-The per-pixel loop follows the architecture of Figure 3: model the pixel
-from causal data (prediction, contexts, error feedback), map the prediction
-error to a non-negative symbol, hand the symbol to the probability estimator
-which drives the binary arithmetic coder, then commit the pixel to the
-adaptive state.  The decoder performs the mirror image of every step, which
-is what makes the scheme lossless.
+The per-pixel coding loop itself lives in the engine backends — the
+paper-shaped reference pipeline in :mod:`repro.core.refengine`, the
+vectorized one in :mod:`repro.fast` — and is reached through the engine
+registry of :mod:`repro.core.interface`.  This module provides the
+functional encode entry points: :func:`encode_payload` codes one cell with
+whichever engine is selected, and :func:`encode_image` /
+:func:`encode_image_with_statistics` wrap a whole grey image in a version-1
+container through the unified cell-grid pipeline of
+:mod:`repro.core.cellgrid`.
 """
 
 from __future__ import annotations
@@ -13,15 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.core.bitstream import CodecId, pack_stream
 from repro.core.config import CodecConfig
-from repro.core.mapping import map_error
-from repro.core.modeling import ImageModeler
-from repro.core.probability import ProbabilityEstimator
-from repro.entropy.binary_arithmetic import BinaryArithmeticEncoder
-from repro.exceptions import ConfigError
 from repro.imaging.image import GrayImage
-from repro.utils.bitio import BitWriter
 
 __all__ = [
     "EncodeStatistics",
@@ -77,59 +73,17 @@ def encode_payload(image: GrayImage, config: CodecConfig, engine: str = "referen
     """Run the modelling + coding pipeline; return (payload, statistics).
 
     This is the container-less inner encoder: it codes ``image`` (which may
-    be a single stripe of a larger image) with fresh adaptive state and
-    returns only the entropy-coded payload.  The stripe-parallel subsystem
-    calls it once per stripe; :func:`encode_image_with_statistics` calls it
-    once for the whole image.
+    be a single cell of a larger grid) with fresh adaptive state and
+    returns only the entropy-coded payload.  The cell-grid pipeline calls
+    it once per (plane, stripe) cell.
 
-    ``engine`` selects the implementation: ``"reference"`` runs the
-    per-pixel pipeline below; ``"fast"`` delegates to the vectorized engine
-    of :mod:`repro.fast`, which produces a byte-identical payload.
+    ``engine`` selects the registered backend that does the work
+    (:func:`repro.core.interface.get_engine`); every backend produces a
+    byte-identical payload.
     """
-    from repro.core.interface import require_engine
+    from repro.core.interface import get_engine
 
-    if require_engine(engine) == "fast":
-        from repro.fast.engine import encode_payload_fast
-
-        return encode_payload_fast(image, config)
-
-    modeler = ImageModeler(image.width, config)
-    estimator = ProbabilityEstimator(config)
-    writer = BitWriter()
-    coder = BinaryArithmeticEncoder(writer, precision=config.coder_precision)
-
-    bit_depth = config.bit_depth
-    width = image.width
-    height = image.height
-    pixels = image.pixels()
-
-    index = 0
-    for _y in range(height):
-        for x in range(width):
-            value = pixels[index]
-            index += 1
-            model = modeler.model_pixel(x)
-            symbol, wrapped_error = map_error(value, model.adjusted, bit_depth)
-            estimator.encode_symbol(coder, model.context.energy, symbol)
-            modeler.commit_pixel(value, wrapped_error, model)
-        modeler.end_row()
-
-    coder.finish()
-    payload = writer.getvalue()
-
-    statistics = EncodeStatistics(
-        payload_bytes=len(payload),
-        escapes=estimator.statistics.escapes,
-        tree_rescales=estimator.statistics.tree_rescales,
-        binary_decisions=estimator.statistics.binary_decisions,
-        context_usage={
-            context: count
-            for context, count in enumerate(estimator.statistics.symbols_per_context)
-            if count
-        },
-        bias_saturations=modeler.bias.rescale_events,
-    )
-    return payload, statistics
+    return get_engine(engine).encode_payload(image, config)
 
 
 def encode_image(
@@ -144,26 +98,8 @@ def encode_image_with_statistics(
     image: GrayImage, config: Optional[CodecConfig] = None, engine: str = "reference"
 ) -> tuple:
     """Compress ``image`` and also return :class:`EncodeStatistics`."""
+    from repro.core.cellgrid import encode_grid
+
     if config is None:
         config = CodecConfig.hardware()
-    if image.bit_depth != config.bit_depth:
-        raise ConfigError(
-            "image bit depth %d does not match codec bit depth %d"
-            % (image.bit_depth, config.bit_depth)
-        )
-
-    payload, statistics = encode_payload(image, config, engine=engine)
-    codec_id = CodecId.PROPOSED_HARDWARE if config.use_lut_division else CodecId.PROPOSED
-    flags = 1 if config.use_lut_division else 0
-    stream = pack_stream(
-        codec_id,
-        image.width,
-        image.height,
-        image.bit_depth,
-        payload,
-        parameter=config.count_bits,
-        flags=flags,
-    )
-    statistics.total_bytes = len(stream)
-    statistics.bits_per_pixel = 8.0 * len(stream) / image.pixel_count
-    return stream, statistics
+    return encode_grid(image, config, engine=engine)

@@ -1,31 +1,194 @@
-"""Abstract interface shared by every lossless image codec in the package.
+"""Abstract interfaces shared by every codec in the package.
 
-The proposed codec and all three baselines (JPEG-LS, SLP, CALIC) implement
-this interface, which is what allows the Table 1 benchmark harness, the CLI
-and the universal compressor to treat them interchangeably.
+Two pluggable seams live here:
+
+* :class:`LosslessImageCodec` — the whole-image codec interface implemented
+  by the proposed codec and all three baselines (JPEG-LS, SLP, CALIC); it is
+  what allows the Table 1 benchmark harness, the CLI and the universal
+  compressor to treat them interchangeably.
+
+* :class:`EngineBackend` — the *coding-engine* interface behind the proposed
+  codec: an engine turns one cell (a grey-scale image with fresh adaptive
+  state) into an entropy-coded payload and back.  Engines register
+  themselves under a name via :func:`register_engine`; every front-end
+  (:class:`~repro.core.codec.ProposedCodec`,
+  :class:`~repro.parallel.codec.ParallelCodec`, the functional
+  ``encode_*``/``decode_*`` helpers and the CLI) dispatches through
+  :func:`get_engine`, so third-party engines plug in without touching any
+  dispatch site.  The two built-in engines — ``"reference"`` (the
+  paper-shaped per-pixel pipeline of :mod:`repro.core.refengine`) and
+  ``"fast"`` (the vectorized engine of :mod:`repro.fast`) — are registered
+  lazily on first lookup, keeping import costs where they were.
+
+Every registered engine must produce **byte-identical** payloads for the
+same input: the engine name is a speed knob, not a format choice, and the
+conformance suites enforce this for both built-ins.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Tuple, Union, overload
 
 from repro.exceptions import ConfigError
 from repro.imaging.image import GrayImage
 
-__all__ = ["LosslessImageCodec", "ENGINES", "require_engine"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.config import CodecConfig
+    from repro.core.encoder import EncodeStatistics
 
-#: The two interchangeable coding engines of the proposed codec.  Both
-#: produce byte-identical bitstreams; "fast" trades the paper-shaped
-#: per-pixel pipeline for a vectorized front-end and an inlined back-end.
-ENGINES = ("reference", "fast")
+__all__ = [
+    "LosslessImageCodec",
+    "EngineBackend",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "engine_names",
+    "ENGINES",
+    "require_engine",
+]
+
+
+class EngineBackend(abc.ABC):
+    """One interchangeable coding engine of the proposed codec.
+
+    An engine implements the container-less inner codec: it codes exactly
+    one cell — a grey-scale image (possibly a single stripe of a larger
+    plane) starting from fresh adaptive state — and decodes such a payload
+    back into its row-major pixel list.  The cell-grid pipeline
+    (:mod:`repro.core.cellgrid`) composes engines with striping, planes and
+    the process pool; engines never see containers.
+
+    Implementations must be byte-identical to the reference engine and,
+    when used with the process-pool executor, picklable (a module-level
+    instance of a module-level class is sufficient).
+    """
+
+    #: Registry name (``engine="<name>"`` everywhere).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode_payload(
+        self, image: GrayImage, config: "CodecConfig"
+    ) -> Tuple[bytes, "EncodeStatistics"]:
+        """Code one cell; return ``(payload, statistics)``."""
+
+    @abc.abstractmethod
+    def decode_payload(
+        self, payload: bytes, width: int, height: int, config: "CodecConfig"
+    ) -> List[int]:
+        """Invert :meth:`encode_payload` into the row-major pixel list."""
+
+    def __repr__(self) -> str:
+        return "<%s name=%r>" % (type(self).__name__, self.name)
+
+
+#: Engines registered so far, by name.  Mutated only through
+#: :func:`register_engine` / :func:`unregister_engine`.
+_ENGINE_REGISTRY: Dict[str, EngineBackend] = {}
+
+#: Built-in engines: name -> (module, backend class).  Resolved lazily so
+#: that ``import repro`` does not pay for numpy-heavy engine code paths the
+#: process never uses; the modules also self-register on import.
+_BUILTIN_ENGINE_MODULES = {
+    "reference": ("repro.core.refengine", "ReferenceEngine"),
+    "fast": ("repro.fast.backend", "FastEngine"),
+}
+
+
+def register_engine(backend: EngineBackend, replace: bool = False) -> EngineBackend:
+    """Register ``backend`` under ``backend.name``; returns it unchanged.
+
+    This is the extension point for third-party engines: register an
+    :class:`EngineBackend` instance and every front-end (codecs, functional
+    helpers, CLI ``--engine``) accepts its name immediately.  Registering a
+    name twice raises :class:`~repro.exceptions.ConfigError` unless
+    ``replace=True``, so accidental shadowing of a built-in stays loud.
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigError("engine backends must carry a non-empty string name")
+    if not replace and name in _ENGINE_REGISTRY:
+        raise ConfigError(
+            "engine %r is already registered; pass replace=True to shadow it" % name
+        )
+    _ENGINE_REGISTRY[name] = backend
+    return backend
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (built-ins re-register on next lookup)."""
+    _ENGINE_REGISTRY.pop(name, None)
+
+
+def get_engine(name: str) -> EngineBackend:
+    """Look an engine up by name, importing built-in backends on demand."""
+    backend = _ENGINE_REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    builtin = _BUILTIN_ENGINE_MODULES.get(name)
+    if builtin is not None:
+        import importlib
+
+        module_name, class_name = builtin
+        module = importlib.import_module(module_name)  # self-registers on import
+        backend = _ENGINE_REGISTRY.get(name)
+        if backend is None:
+            # The module was already imported but the entry was unregistered
+            # since: rebuild the backend from its class.
+            backend = register_engine(getattr(module, class_name)(), replace=True)
+        return backend
+    raise ConfigError(
+        "unknown engine %r; expected one of %s" % (name, ", ".join(engine_names()))
+    )
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All dispatchable engine names: built-ins first, then third-party."""
+    names = dict.fromkeys(_BUILTIN_ENGINE_MODULES)
+    names.update(dict.fromkeys(_ENGINE_REGISTRY))
+    return tuple(names)
+
+
+class _EngineNames(Sequence[str]):
+    """Live, sequence-shaped view of :func:`engine_names`.
+
+    Kept for backwards compatibility with the historical ``ENGINES`` tuple:
+    iteration, ``in`` tests and ``argparse`` ``choices=`` keep working, but
+    the view also reflects engines registered after import.
+    """
+
+    @overload
+    def __getitem__(self, index: int) -> str: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> Tuple[str, ...]: ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[str, Tuple[str, ...]]:
+        return engine_names()[index]
+
+    def __len__(self) -> int:
+        return len(engine_names())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(engine_names())
+
+    def __contains__(self, name: object) -> bool:
+        return name in engine_names()
+
+    def __repr__(self) -> str:
+        return repr(engine_names())
+
+
+#: The dispatchable coding engines (live view over the registry).  All of
+#: them produce byte-identical bitstreams; the name is a speed knob, not a
+#: format choice.
+ENGINES: Sequence[str] = _EngineNames()
 
 
 def require_engine(engine: str) -> str:
     """Validate an ``engine=`` argument; returns the name unchanged."""
-    if engine not in ENGINES:
-        raise ConfigError(
-            "unknown engine %r; expected one of %s" % (engine, ", ".join(ENGINES))
-        )
+    get_engine(engine)
     return engine
 
 

@@ -1,0 +1,109 @@
+"""The reference coding engine — the paper-shaped per-pixel pipeline.
+
+This module is the registry home of ``engine="reference"``: the per-pixel
+encode/decode loops that used to live inline in :mod:`repro.core.encoder`
+and :mod:`repro.core.decoder`, structured exactly like the architecture of
+Figure 3.  Model the pixel from causal data (prediction, contexts, error
+feedback), map the prediction error to a non-negative symbol, hand the
+symbol to the probability estimator which drives the binary arithmetic
+coder, then commit the pixel to the adaptive state.  The decoder performs
+the mirror image of every step, which is what makes the scheme lossless.
+
+The engine codes exactly one cell (one stripe of one plane, fresh adaptive
+state); striping, planes and containers are the cell-grid pipeline's job
+(:mod:`repro.core.cellgrid`).  Importing this module registers the engine;
+:func:`repro.core.interface.get_engine` does so lazily on first lookup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.config import CodecConfig
+from repro.core.interface import EngineBackend, register_engine
+from repro.core.mapping import map_error, unmap_error
+from repro.core.modeling import ImageModeler
+from repro.core.probability import ProbabilityEstimator
+from repro.entropy.binary_arithmetic import (
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+)
+from repro.imaging.image import GrayImage
+from repro.utils.bitio import BitReader, BitWriter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.encoder import EncodeStatistics
+
+__all__ = ["ReferenceEngine"]
+
+
+class ReferenceEngine(EngineBackend):
+    """The per-pixel reference implementation of the coding pipeline."""
+
+    name = "reference"
+
+    def encode_payload(
+        self, image: GrayImage, config: CodecConfig
+    ) -> "Tuple[bytes, EncodeStatistics]":
+        from repro.core.encoder import EncodeStatistics
+
+        modeler = ImageModeler(image.width, config)
+        estimator = ProbabilityEstimator(config)
+        writer = BitWriter()
+        coder = BinaryArithmeticEncoder(writer, precision=config.coder_precision)
+
+        bit_depth = config.bit_depth
+        width = image.width
+        height = image.height
+        pixels = image.pixels()
+
+        index = 0
+        for _y in range(height):
+            for x in range(width):
+                value = pixels[index]
+                index += 1
+                model = modeler.model_pixel(x)
+                symbol, wrapped_error = map_error(value, model.adjusted, bit_depth)
+                estimator.encode_symbol(coder, model.context.energy, symbol)
+                modeler.commit_pixel(value, wrapped_error, model)
+            modeler.end_row()
+
+        coder.finish()
+        payload = writer.getvalue()
+
+        statistics = EncodeStatistics(
+            payload_bytes=len(payload),
+            escapes=estimator.statistics.escapes,
+            tree_rescales=estimator.statistics.tree_rescales,
+            binary_decisions=estimator.statistics.binary_decisions,
+            context_usage={
+                context: count
+                for context, count in enumerate(estimator.statistics.symbols_per_context)
+                if count
+            },
+            bias_saturations=modeler.bias.rescale_events,
+        )
+        return payload, statistics
+
+    def decode_payload(
+        self, payload: bytes, width: int, height: int, config: CodecConfig
+    ) -> List[int]:
+        modeler = ImageModeler(width, config)
+        estimator = ProbabilityEstimator(config)
+        reader = BitReader(payload, max_phantom_bits=4 * config.coder_precision)
+        coder = BinaryArithmeticDecoder(reader, precision=config.coder_precision)
+
+        bit_depth = config.bit_depth
+        pixels: List[int] = []
+        for _y in range(height):
+            for x in range(width):
+                model = modeler.model_pixel(x)
+                symbol = estimator.decode_symbol(coder, model.context.energy)
+                value, wrapped_error = unmap_error(symbol, model.adjusted, bit_depth)
+                modeler.commit_pixel(value, wrapped_error, model)
+                pixels.append(value)
+            modeler.end_row()
+        return pixels
+
+
+register_engine(ReferenceEngine())

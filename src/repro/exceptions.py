@@ -47,3 +47,11 @@ class StripingError(ReproError):
 
 class CorpusError(ReproError):
     """A synthetic-corpus request referenced an unknown image or bad parameters."""
+
+
+class StoreError(ReproError):
+    """An image-store operation failed (backend I/O, bad key, bad request)."""
+
+
+class BlobNotFoundError(StoreError):
+    """A store lookup referenced a key the backend does not hold."""

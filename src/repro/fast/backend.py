@@ -1,0 +1,42 @@
+"""Registry backend of the fast coding engine.
+
+Wraps the functional entry points of :mod:`repro.fast.engine` in the
+:class:`~repro.core.interface.EngineBackend` protocol and registers them as
+``engine="fast"``.  Importing this module registers the engine;
+:func:`repro.core.interface.get_engine` does so lazily on first lookup, so
+processes that never select the fast engine never import its numpy-heavy
+modelling front-end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.config import CodecConfig
+from repro.core.interface import EngineBackend, register_engine
+from repro.fast.engine import decode_payload_fast, encode_payload_fast
+from repro.imaging.image import GrayImage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.encoder import EncodeStatistics
+
+__all__ = ["FastEngine"]
+
+
+class FastEngine(EngineBackend):
+    """Row-vectorized modelling + inlined entropy coding; byte-identical."""
+
+    name = "fast"
+
+    def encode_payload(
+        self, image: GrayImage, config: CodecConfig
+    ) -> Tuple[bytes, "EncodeStatistics"]:
+        return encode_payload_fast(image, config)
+
+    def decode_payload(
+        self, payload: bytes, width: int, height: int, config: CodecConfig
+    ) -> List[int]:
+        return decode_payload_fast(payload, width, height, config)
+
+
+register_engine(FastEngine())

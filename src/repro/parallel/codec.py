@@ -2,73 +2,38 @@
 
 :class:`ParallelCodec` is the software realisation of the paper's closing
 remark that "the low complexity means that a multi-core solution could be
-used to scale up the performance": the image is partitioned into horizontal
-stripes, every stripe is coded by an independent instance of the full
-pipeline (its own modelling front-end, probability estimator and arithmetic
-coder — exactly what hardware replication gives), and the per-stripe
-payloads are assembled into a version-2 container whose stripe table lets
-the decoder fan the stripes back out over a pool of processes.
+used to scale up the performance": the image is planned into the same
+(planes x stripes) cell grid every front-end uses
+(:mod:`repro.core.cellgrid`), and the cell tasks are fanned over a pool of
+worker processes instead of run inline.  Because the cells are independent
+and the partition is deterministic, the encoded stream is byte-identical
+whether the cells are coded serially or in parallel; core count changes the
+stream only through the *number* of stripes (more stripes = more cold
+adaptive models = slightly worse compression, the same trade-off the
+hardware model in :mod:`repro.hardware.multicore` predicts).
 
-Because the stripes are independent and the partition is deterministic, the
-encoded stream is byte-identical whether the stripes are coded serially or
-in parallel; core count changes the stream only through the *number* of
-stripes (more stripes = more cold adaptive models = slightly worse
-compression, the same trade-off the hardware model in
-:mod:`repro.hardware.multicore` predicts).
-
-Multi-component images compose with striping: a
-:class:`~repro.imaging.planar.PlanarImage` input fans ``planes x stripes``
-independent cell tasks over the same pool and is assembled into a version-3
-container whose component table doubles as a random-access index (see
-:mod:`repro.core.components`).  The stream is byte-identical to the serial
-:func:`repro.core.components.encode_planar` with the same stripe count.
+Grey inputs produce version-2 (striped) containers, multi-component
+:class:`~repro.imaging.planar.PlanarImage` inputs version-3 containers
+whose component table doubles as a random-access index — in both cases
+byte-identical to the serial encoders with the same stripe count, since
+they are literally the same pipeline with a different executor.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Union
 
-import numpy as np
-
-from repro.core.bitstream import (
-    COMPONENT_FLAG_PLANE_DELTA,
-    CodecId,
-    pack_component_stream,
-    pack_stream,
-    split_component_payloads,
-    split_stripe_payloads,
-    unpack_stream,
-)
-from repro.core.components import plane_residuals, reconstruct_plane_arrays
+from repro.core.cellgrid import decode_selection, encode_grid
 from repro.core.config import CodecConfig
-from repro.core.decoder import decode_payload, resolve_stream_config
-from repro.core.encoder import EncodeStatistics, encode_payload, merge_statistics
+from repro.core.encoder import EncodeStatistics
 from repro.core.interface import LosslessImageCodec, require_engine
-from repro.exceptions import BitstreamError, ConfigError, ModelStateError, StripingError
+from repro.exceptions import ConfigError
 from repro.imaging.image import GrayImage
-from repro.imaging.planar import PlanarImage, default_plane_names
+from repro.imaging.planar import PlanarImage
 from repro.parallel.executor import SerialExecutor, resolve_executor
-from repro.parallel.partition import plan_for_cores, plan_stripes
 
 __all__ = ["ParallelCodec"]
-
-
-def _encode_stripe_task(task: Tuple[int, int, List[int], int, CodecConfig, str]):
-    """Worker: encode one stripe; returns (payload, statistics).
-
-    Module-level so it can be pickled into pool workers; the task tuple is
-    ``(width, row_count, pixels, bit_depth, config, engine)``.
-    """
-    width, row_count, pixels, bit_depth, config, engine = task
-    stripe = GrayImage(width, row_count, pixels, bit_depth)
-    return encode_payload(stripe, config, engine=engine)
-
-
-def _decode_stripe_task(task: Tuple[bytes, int, int, CodecConfig, str]) -> List[int]:
-    """Worker: decode one stripe payload into its row-major pixel list."""
-    payload, width, row_count, config, engine = task
-    return decode_payload(payload, width, row_count, config, engine=engine)
 
 
 class ParallelCodec(LosslessImageCodec):
@@ -90,9 +55,10 @@ class ParallelCodec(LosslessImageCodec):
         ``cores > 1`` and the platform supports it, with a deterministic
         serial fallback otherwise.
     engine:
-        Coding engine applied to every stripe (``"reference"`` or
-        ``"fast"``); fast and parallel compose, and the stream stays
-        byte-identical across engines either way.
+        Registered coding engine applied to every cell (see
+        :func:`repro.core.interface.register_engine`); engines and
+        parallelism compose, and the stream stays byte-identical across
+        engines either way.
     plane_delta:
         Enable the inter-plane delta predictor for multi-component inputs;
         ignored for grey-scale inputs.
@@ -140,165 +106,30 @@ class ParallelCodec(LosslessImageCodec):
         version-3 indexed container; grey inputs keep producing version-2
         striped containers.
         """
-        if image.bit_depth != self.config.bit_depth:
-            raise ConfigError(
-                "image bit depth %d does not match codec bit depth %d"
-                % (image.bit_depth, self.config.bit_depth)
-            )
-        if isinstance(image, PlanarImage):
-            return self._encode_planar(image)
-        plan = plan_for_cores(image.height, self.cores)
-        pixels = image.pixels()
-        tasks = [
-            (
-                image.width,
-                spec.row_count,
-                pixels[spec.start_row * image.width : spec.stop_row * image.width],
-                image.bit_depth,
-                self.config,
-                self.engine,
-            )
-            for spec in plan
-        ]
-        results = self._executor_for(len(tasks)).map(_encode_stripe_task, tasks)
-        payloads = [payload for payload, _ in results]
-
-        codec_id = (
-            CodecId.PROPOSED_HARDWARE if self.config.use_lut_division else CodecId.PROPOSED
+        stream, statistics = encode_grid(
+            image,
+            self.config,
+            engine=self.engine,
+            stripes=min(self.cores, image.height),
+            plane_delta=self.plane_delta,
+            executor=self._executor_for,
+            striped=True,
         )
-        stream = pack_stream(
-            codec_id,
-            image.width,
-            image.height,
-            image.bit_depth,
-            b"".join(payloads),
-            parameter=self.config.count_bits,
-            flags=1 if self.config.use_lut_division else 0,
-            stripe_lengths=[len(payload) for payload in payloads],
-        )
-        statistics = merge_statistics([stats for _, stats in results])
-        statistics.total_bytes = len(stream)
-        statistics.bits_per_pixel = 8.0 * len(stream) / image.pixel_count
-        self.last_statistics = statistics
-        return stream
-
-    def _encode_planar(self, image: PlanarImage) -> bytes:
-        """Planar encode: one cell task per (plane, stripe) over the pool."""
-        plan = plan_for_cores(image.height, self.cores)
-        tasks = []
-        for residual in plane_residuals(image, self.plane_delta):
-            pixels = residual.pixels()
-            for spec in plan:
-                tasks.append(
-                    (
-                        image.width,
-                        spec.row_count,
-                        pixels[spec.start_row * image.width : spec.stop_row * image.width],
-                        image.bit_depth,
-                        self.config,
-                        self.engine,
-                    )
-                )
-        results = self._executor_for(len(tasks)).map(_encode_stripe_task, tasks)
-        payloads = [payload for payload, _ in results]
-        plane_payloads = [
-            payloads[plane * len(plan) : (plane + 1) * len(plan)]
-            for plane in range(image.num_planes)
-        ]
-
-        codec_id = (
-            CodecId.PROPOSED_HARDWARE if self.config.use_lut_division else CodecId.PROPOSED
-        )
-        stream = pack_component_stream(
-            codec_id,
-            image.width,
-            image.height,
-            image.bit_depth,
-            plane_payloads,
-            parameter=self.config.count_bits,
-            flags=1 if self.config.use_lut_division else 0,
-            component_flags=COMPONENT_FLAG_PLANE_DELTA if self.plane_delta else 0,
-        )
-        statistics = merge_statistics([stats for _, stats in results])
-        statistics.total_bytes = len(stream)
-        statistics.bits_per_pixel = 8.0 * len(stream) / image.sample_count
         self.last_statistics = statistics
         return stream
 
     def decode(self, data: bytes) -> Union[GrayImage, PlanarImage]:
-        """Reconstruct the exact image, decoding stripes in parallel.
+        """Reconstruct the exact image, decoding cells in parallel.
 
         All container versions are accepted, so streams from the serial
         :class:`~repro.core.codec.ProposedCodec` decode here too (as a
-        single stripe); version-3 streams fan every (plane, stripe) cell
-        over the pool and come back as :class:`PlanarImage`.
+        single cell); version-3 streams fan every (plane, stripe) cell over
+        the pool and come back as :class:`PlanarImage`.
         """
-        header, payload = unpack_stream(data)
-        config = resolve_stream_config(
-            header, self.config if self._explicit_config else None
+        selection = decode_selection(
+            data,
+            self.config if self._explicit_config else None,
+            engine=self.engine,
+            executor=self._executor_for,
         )
-        if header.component_lengths:
-            return self._decode_planar(header, payload, config)
-        if not header.stripe_lengths:
-            pixels = decode_payload(
-                payload, header.width, header.height, config, engine=self.engine
-            )
-            return GrayImage(header.width, header.height, pixels, header.bit_depth)
-
-        try:
-            plan = plan_stripes(header.height, len(header.stripe_lengths))
-        except StripingError as exc:
-            raise BitstreamError("invalid stripe table: %s" % exc) from exc
-        tasks = [
-            (stripe_payload, header.width, spec.row_count, config, self.engine)
-            for spec, stripe_payload in zip(plan, split_stripe_payloads(header, payload))
-        ]
-        stripe_pixels = self._executor_for(len(tasks)).map(_decode_stripe_task, tasks)
-        pixels: List[int] = []
-        for part in stripe_pixels:
-            pixels.extend(part)
-        return GrayImage(header.width, header.height, pixels, header.bit_depth)
-
-    def _decode_planar(self, header, payload, config) -> PlanarImage:
-        """Planar decode: fan cell tasks out, then invert the plane delta."""
-        try:
-            plan = plan_stripes(header.height, header.stripe_count)
-        except StripingError as exc:
-            raise BitstreamError("invalid stripe table: %s" % exc) from exc
-        plane_payloads = split_component_payloads(header, payload)
-        tasks = [
-            (cell, header.width, spec.row_count, config, self.engine)
-            for stripe_payloads in plane_payloads
-            for spec, cell in zip(plan, stripe_payloads)
-        ]
-        try:
-            cell_pixels = self._executor_for(len(tasks)).map(_decode_stripe_task, tasks)
-        except ModelStateError as exc:
-            raise BitstreamError("corrupt cell payload: %s" % exc) from exc
-        stripes_per_plane = len(plan)
-        residual_arrays = []
-        for plane in range(header.component_count):
-            pixels: List[int] = []
-            for part in cell_pixels[
-                plane * stripes_per_plane : (plane + 1) * stripes_per_plane
-            ]:
-                pixels.extend(part)
-            residual_arrays.append(
-                np.asarray(pixels, dtype=np.int64).reshape(header.height, header.width)
-            )
-        planes = reconstruct_plane_arrays(
-            residual_arrays, header.bit_depth, header.plane_delta
-        )
-        names = default_plane_names(header.component_count)
-        return PlanarImage(
-            [
-                GrayImage(
-                    header.width,
-                    header.height,
-                    array.reshape(-1).tolist(),
-                    header.bit_depth,
-                    name,
-                )
-                for array, name in zip(planes, names)
-            ]
-        )
+        return selection.image()

@@ -1,0 +1,31 @@
+"""The serving layer: a content-addressed store over indexed containers.
+
+This package turns the codec into a queryable system: compressed streams
+are stored by content hash in a pluggable blob backend (filesystem or
+SQLite), and plane/region queries are answered straight off the version-3
+container's byte-offset index — range reads fetch exactly the cells a
+query touches, a size-bounded LRU keeps hot decoded cells in memory, and
+batched requests dedupe cells across regions.  See
+:class:`~repro.store.store.ImageStore` and the ``repro-store`` console
+script.
+"""
+
+from repro.store.backends import (
+    BlobBackend,
+    FilesystemBackend,
+    SQLiteBackend,
+    open_backend,
+)
+from repro.store.cache import DEFAULT_CACHE_BYTES, CacheStats, CellCache
+from repro.store.store import ImageStore
+
+__all__ = [
+    "ImageStore",
+    "BlobBackend",
+    "FilesystemBackend",
+    "SQLiteBackend",
+    "open_backend",
+    "CellCache",
+    "CacheStats",
+    "DEFAULT_CACHE_BYTES",
+]

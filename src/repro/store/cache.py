@@ -1,0 +1,148 @@
+"""Size-bounded LRU cache of decoded cells.
+
+The unit of caching is the unit of random access: one decoded (plane,
+stripe) cell as an ``(rows, width)`` sample array.  Region and plane
+queries over a stored stream touch small, stable sets of cells, so an LRU
+over cells turns repeated region traffic into pure array reassembly — no
+backend reads, no CRC checks, no entropy decoding.
+
+The bound is in *bytes of decoded samples* (``ndarray.nbytes``), not entry
+count, because cell sizes vary wildly with image geometry and stripe count;
+a byte budget gives the cache a predictable memory footprint.  Hit, miss
+and eviction counters are kept for the ``repro-store stats`` command and
+the store benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+
+__all__ = ["CellCache", "CacheStats", "DEFAULT_CACHE_BYTES"]
+
+#: Default decoded-cell budget: 32 MiB ≈ 4 megasamples of int64 cells.
+DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of a :class:`CellCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    current_bytes: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when the cache was never consulted."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_json(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CellCache:
+    """LRU mapping of cell keys to decoded sample arrays, bounded in bytes.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total ``nbytes`` budget across cached arrays.  ``0`` disables
+        caching entirely (every :meth:`get` misses, :meth:`put` is a no-op),
+        which is how the store measures cold latencies.
+
+    Keys are arbitrary hashables; the store uses ``(blob_key, plane,
+    stripe)``.  Stored arrays are marked read-only so a cached cell cannot
+    be mutated by one consumer under another's feet.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise ConfigError("cache byte budget must be >= 0, got %d" % max_bytes)
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Cached keys, least recently used first."""
+        return tuple(self._entries)
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Return the cached array for ``key`` (refreshing it), or ``None``."""
+        array = self._entries.get(key)
+        if array is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return array
+
+    def put(self, key: Hashable, array: np.ndarray) -> None:
+        """Insert ``array`` under ``key``, evicting LRU entries to fit.
+
+        An array larger than the whole budget is not cached at all —
+        evicting everything to hold one oversized entry would turn the
+        cache into a single-slot buffer.
+        """
+        if array.nbytes > self.max_bytes:
+            return
+        if key in self._entries:
+            self._current_bytes -= self._entries.pop(key).nbytes
+        # Freeze a private copy: the cache must neither share mutable state
+        # with callers nor make a caller's own array read-only under them.
+        array = array.copy()
+        array.setflags(write=False)
+        self._entries[key] = array
+        self._current_bytes += array.nbytes
+        while self._current_bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._current_bytes -= evicted.nbytes
+            self._evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop one entry if present (used when a blob is deleted)."""
+        array = self._entries.pop(key, None)
+        if array is not None:
+            self._current_bytes -= array.nbytes
+
+    def clear(self) -> None:
+        """Drop every entry; counters are kept (they describe the session)."""
+        self._entries.clear()
+        self._current_bytes = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._entries),
+            current_bytes=self._current_bytes,
+            max_bytes=self.max_bytes,
+        )

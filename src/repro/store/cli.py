@@ -1,0 +1,219 @@
+"""The ``repro-store`` console script.
+
+Front door of the serving layer (:class:`repro.store.store.ImageStore`):
+
+``repro-store put STORE IMAGE``
+    Compress a PGM/PPM/PAM image into the store (content-addressed; the
+    printed key is the SHA-256 of the container bytes).  ``--stripes``
+    sets random-access granularity, ``--plane-delta`` the inter-plane
+    predictor, ``--engine`` the coding engine.
+
+``repro-store get STORE KEY OUTPUT``
+    Reconstruct a stored image (or one ``--plane``, or one ``--region
+    A:B``) into a Netpbm file; only the indexed bytes the request needs
+    are read from the store.
+
+``repro-store regions STORE KEY A:B [A:B ...]``
+    Serve a batch of stripe-range requests in one call (cells shared
+    between regions decode once).  With ``--out DIR`` each region is
+    written as an image; otherwise a per-region summary plus cache
+    counters is printed.
+
+``repro-store stats STORE``
+    Backend and cache counters as JSON.
+
+``STORE`` is a directory (filesystem backend) or a ``.sqlite``/``.db``
+path (SQLite backend).  Errors follow the package convention: one
+``ExceptionName: message`` line on stderr, non-zero exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cli import _print_error, add_version_argument
+from repro.core.interface import ENGINES
+from repro.exceptions import ReproError
+from repro.imaging.pnm import read_image, write_image
+from repro.store.store import ImageStore
+
+__all__ = ["store_main"]
+
+
+def _parse_region(text: str) -> Tuple[int, int]:
+    """Parse an ``A:B`` stripe range; raises ``ValueError`` on bad shape."""
+    start, _, stop = text.partition(":")
+    return int(start), int(stop)
+
+
+def _region_argument(text: str) -> Tuple[int, int]:
+    try:
+        return _parse_region(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "region must be START:STOP (stripe indices), got %r" % text
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Content-addressed image store with cached random access.",
+    )
+    add_version_argument(parser)
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="decoded-cell LRU budget in bytes (default 32 MiB; 0 disables)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="coding engine for encodes and decodes (default: reference)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    put = commands.add_parser("put", help="compress an image into the store")
+    put.add_argument("store", help="store path (directory or .sqlite file)")
+    put.add_argument("image", help="input PGM/PPM/PAM image")
+    put.add_argument(
+        "--stripes",
+        type=int,
+        default=4,
+        metavar="S",
+        help="stripes per plane — the random-access granularity (default 4)",
+    )
+    put.add_argument(
+        "--plane-delta",
+        action="store_true",
+        help="code plane k>0 as the delta to plane k-1",
+    )
+
+    get = commands.add_parser("get", help="reconstruct a stored image")
+    get.add_argument("store", help="store path (directory or .sqlite file)")
+    get.add_argument("key", help="content key printed by put")
+    get.add_argument("output", help="output image path (PGM/PPM/PAM)")
+    group = get.add_mutually_exclusive_group()
+    group.add_argument(
+        "--plane", type=int, default=None, metavar="K", help="fetch one plane only"
+    )
+    group.add_argument(
+        "--region",
+        type=_region_argument,
+        default=None,
+        metavar="A:B",
+        help="fetch the rows of stripes [A, B) only",
+    )
+
+    regions = commands.add_parser(
+        "regions", help="serve a batch of stripe-range requests"
+    )
+    regions.add_argument("store", help="store path (directory or .sqlite file)")
+    regions.add_argument("key", help="content key printed by put")
+    regions.add_argument(
+        "ranges",
+        nargs="+",
+        type=_region_argument,
+        metavar="A:B",
+        help="stripe ranges to fetch",
+    )
+    regions.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write each region as an image under DIR instead of summarising",
+    )
+
+    stats = commands.add_parser("stats", help="backend + cache counters as JSON")
+    stats.add_argument("store", help="store path (directory or .sqlite file)")
+    return parser
+
+
+def store_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-store``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_bytes is not None and args.cache_bytes < 0:
+        parser.error("--cache-bytes must be >= 0")
+
+    store_kwargs: Dict[str, Any] = {"engine": args.engine}
+    if args.cache_bytes is not None:
+        store_kwargs["cache_bytes"] = args.cache_bytes
+
+    try:
+        with ImageStore.open(args.store, **store_kwargs) as store:
+            if args.command == "put":
+                image = read_image(args.image)
+                key = store.put(
+                    image, stripes=args.stripes, plane_delta=args.plane_delta
+                )
+                size = store.backend.length(key)
+                print(key)
+                print(
+                    "%s -> %s (%d bytes, %d stripes%s)"
+                    % (
+                        args.image,
+                        args.store,
+                        size,
+                        args.stripes,
+                        ", plane-delta" if args.plane_delta else "",
+                    ),
+                    file=sys.stderr,
+                )
+            elif args.command == "get":
+                if args.plane is not None:
+                    image = store.get_plane(args.key, args.plane)
+                elif args.region is not None:
+                    image = store.get_region(args.key, args.region)
+                else:
+                    image = store.get(args.key)
+                write_image(image, args.output)
+                print("%s -> %s" % (args.key, args.output))
+            elif args.command == "regions":
+                images = store.get_regions(args.key, args.ranges)
+                if args.out is not None:
+                    out_dir = Path(args.out)
+                    out_dir.mkdir(parents=True, exist_ok=True)
+                    for (start, stop), image in zip(args.ranges, images):
+                        suffix = ".pgm" if not hasattr(image, "num_planes") else (
+                            ".ppm" if image.num_planes == 3 else ".pam"
+                        )
+                        path = out_dir / (
+                            "%s-r%d-%d%s" % (args.key[:12], start, stop, suffix)
+                        )
+                        write_image(image, str(path))
+                        print("stripes [%d, %d) -> %s" % (start, stop, path))
+                else:
+                    for (start, stop), image in zip(args.ranges, images):
+                        print(
+                            "stripes [%d, %d): %dx%d, %d plane(s)"
+                            % (
+                                start,
+                                stop,
+                                image.width,
+                                image.height,
+                                getattr(image, "num_planes", 1),
+                            )
+                        )
+                    cache = store.cache_stats
+                    print(
+                        "cache: %d hit(s), %d miss(es), %.0f%% hit rate"
+                        % (cache.hits, cache.misses, 100.0 * cache.hit_rate)
+                    )
+            else:  # stats
+                print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    except (ReproError, OSError) as error:
+        _print_error(error)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(store_main())

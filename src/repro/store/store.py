@@ -1,0 +1,325 @@
+"""Content-addressed image store with cached random access.
+
+:class:`ImageStore` is the serving layer over the version-3 container's
+random-access index: compressed streams live in a
+:class:`~repro.store.backends.BlobBackend` keyed by the SHA-256 of their
+bytes, and plane/region queries are answered by
+
+1. parsing the container's header + tables from a small range read
+   (memoized per key — the index of a hot blob is fetched once),
+2. mapping the query onto (plane, stripe) cells through the same
+   :func:`repro.core.cellgrid.select_cells` validation every in-memory
+   decoder uses,
+3. serving each cell from the LRU :class:`~repro.store.cache.CellCache`
+   when possible, and otherwise range-reading exactly that cell's bytes,
+   CRC-checking them against the index and entropy-decoding them.
+
+A whole-blob fetch only ever happens for :meth:`get` (a full decode) — the
+random-access paths stay proportional to the query, which is what makes
+region-heavy workloads (cumulative-plot scans over stored signal planes,
+cohort-style batched region pulls) cheap.  Batched requests
+(:meth:`get_regions`) dedupe the cell set across regions before touching
+the backend, so overlapping regions cost one decode per distinct cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.bitstream import (
+    CodecId,
+    StreamHeader,
+    TABLE_PROBE_LENGTH,
+    component_spans,
+    parse_stream_header,
+    parse_stream_prefix,
+    table_prefix_length,
+)
+from repro.core.cellgrid import (
+    DecodedSelection,
+    assemble_selection,
+    decode_one_cell,
+    decode_selection,
+    encode_grid,
+    select_cells,
+)
+from repro.core.config import CodecConfig
+from repro.core.decoder import resolve_stream_config
+from repro.exceptions import StoreError
+from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
+from repro.store.backends import BlobBackend, open_backend
+from repro.store.cache import DEFAULT_CACHE_BYTES, CacheStats, CellCache
+
+__all__ = ["ImageStore"]
+
+_CellKey = Tuple[str, int, int]
+
+
+class ImageStore:
+    """Keyed store of compressed image streams with cached random access.
+
+    Parameters
+    ----------
+    backend:
+        Blob storage (see :mod:`repro.store.backends`).
+    cache_bytes:
+        Byte budget of the decoded-cell LRU cache; ``0`` disables caching.
+    config:
+        Optional codec configuration forced on every decode; by default
+        each stream's configuration is reconstructed from its own header,
+        so one store can hold streams of mixed bit depths and presets.
+    engine:
+        Registered coding engine used for decoding (and for :meth:`put`
+        encodes); any engine name accepted by
+        :func:`repro.core.interface.get_engine`.
+
+    Examples
+    --------
+    >>> from repro.imaging.synthetic import generate_planar_image
+    >>> store = ImageStore.open("/tmp/repro-store-doctest")
+    >>> key = store.put(generate_planar_image("lena", size=16), stripes=2)
+    >>> store.get_region(key, (0, 1)).height <= 16
+    True
+    """
+
+    def __init__(
+        self,
+        backend: BlobBackend,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        config: Optional[CodecConfig] = None,
+        engine: str = "reference",
+    ) -> None:
+        from repro.core.interface import require_engine
+
+        self.backend = backend
+        self.cache = CellCache(cache_bytes)
+        self.config = config
+        self.engine = require_engine(engine)
+        self._headers: Dict[str, StreamHeader] = {}
+
+    @classmethod
+    def open(cls, path: Union[str, Path], **kwargs) -> "ImageStore":
+        """Open a store at ``path`` (SQLite file or filesystem directory)."""
+        return cls(open_backend(path), **kwargs)
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "ImageStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+
+    def put_stream(self, data: bytes) -> str:
+        """Store one complete ``.rplc`` container; returns its content key.
+
+        The container is validated (header, tables, framing) and must be a
+        proposed-codec stream — that is what the serving paths can decode.
+        Storing the same bytes twice is a no-op returning the same key.
+        """
+        header = parse_stream_header(data)
+        if header.codec not in (CodecId.PROPOSED, CodecId.PROPOSED_HARDWARE):
+            raise StoreError(
+                "only proposed-codec streams can be served, got codec %s"
+                % header.codec.name
+            )
+        key = hashlib.sha256(data).hexdigest()
+        if not self.backend.contains(key):
+            self.backend.put(key, data)
+        self._headers[key] = header
+        return key
+
+    def put(
+        self,
+        image: Union[GrayImage, PlanarImage],
+        config: Optional[CodecConfig] = None,
+        stripes: int = 1,
+        plane_delta: bool = False,
+    ) -> str:
+        """Encode ``image`` (through the cell-grid pipeline) and store it.
+
+        ``stripes`` controls random-access granularity: more stripes mean
+        finer regions at a small compression cost.  Returns the content
+        key of the encoded stream.
+        """
+        if config is None:
+            config = self.config
+        if config is None:
+            config = CodecConfig.hardware(bit_depth=image.bit_depth)
+        stream, _ = encode_grid(
+            image,
+            config,
+            engine=self.engine,
+            stripes=stripes,
+            plane_delta=plane_delta,
+        )
+        return self.put_stream(stream)
+
+    # ------------------------------------------------------------------ #
+    # catalogue
+    # ------------------------------------------------------------------ #
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every stored content key."""
+        return self.backend.keys()
+
+    def contains(self, key: str) -> bool:
+        return self.backend.contains(key)
+
+    def delete(self, key: str) -> None:
+        """Remove a blob and every cached artefact derived from it."""
+        self.backend.delete(key)
+        self._headers.pop(key, None)
+        for cell_key in list(self.cache.keys()):
+            if cell_key[0] == key:
+                self.cache.invalidate(cell_key)
+
+    def header(self, key: str) -> StreamHeader:
+        """The stream's parsed header + index, fetched by range read.
+
+        Memoized per key: serving N regions of a hot blob parses its
+        tables once, and the payload is never touched.
+        """
+        header = self._headers.get(key)
+        if header is None:
+            probe = self.backend.read_range(key, 0, TABLE_PROBE_LENGTH)
+            prefix_length = table_prefix_length(probe)
+            if prefix_length > len(probe):
+                probe = self.backend.read_range(key, 0, prefix_length)
+            header = parse_stream_prefix(probe, self.backend.length(key))
+            self._headers[key] = header
+        return header
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Union[GrayImage, PlanarImage]:
+        """Full decode of a stored stream (the cold, whole-blob path)."""
+        return decode_selection(
+            self.backend.get(key), self.config, engine=self.engine
+        ).image()
+
+    def get_plane(self, key: str, plane: int) -> GrayImage:
+        """Decode one component plane straight off the stored index."""
+        return self._select(key, planes=(plane,)).plane_image(plane)
+
+    def get_region(
+        self,
+        key: str,
+        stripe_range: Tuple[int, int],
+        planes: Optional[Sequence[int]] = None,
+    ) -> Union[GrayImage, PlanarImage]:
+        """Decode the rows covered by stripes ``[start, stop)``, and only those."""
+        return self._select(key, planes=planes, stripe_range=stripe_range).image()
+
+    def get_regions(
+        self, key: str, stripe_ranges: Sequence[Tuple[int, int]]
+    ) -> List[Union[GrayImage, PlanarImage]]:
+        """Serve a batch of region queries over one stream.
+
+        Equivalent to ``[store.get_region(key, r) for r in stripe_ranges]``
+        but the distinct cells across all regions are resolved first, so
+        overlapping regions fetch and decode each cell exactly once even
+        on a cold cache.
+        """
+        header = self.header(key)
+        config = resolve_stream_config(header, self.config)
+        selections = [
+            select_cells(header, None, stripe_range) for stripe_range in stripe_ranges
+        ]
+        wanted: Dict[Tuple[int, int], None] = {}
+        by_spec: Dict[int, Any] = {}
+        for plan, _requested, needed in selections:
+            for plane in needed:
+                for spec in plan:
+                    by_spec[spec.index] = spec
+                    wanted.setdefault((plane, spec.index), None)
+        cells = self._resolve_cells(
+            key, header, config, [(plane, by_spec[stripe]) for plane, stripe in wanted]
+        )
+        results: List[Union[GrayImage, PlanarImage]] = []
+        for plan, requested, needed in selections:
+            residuals = [
+                np.concatenate([cells[(plane, spec.index)] for spec in plan])
+                for plane in needed
+            ]
+            results.append(
+                assemble_selection(header, plan, requested, needed, residuals).image()
+            )
+        return results
+
+    def _select(
+        self,
+        key: str,
+        planes: Optional[Sequence[int]] = None,
+        stripe_range: Optional[Tuple[int, int]] = None,
+    ) -> DecodedSelection:
+        """One (planes, stripe-range) query through the cache + index."""
+        header = self.header(key)
+        config = resolve_stream_config(header, self.config)
+        plan, requested, needed = select_cells(header, planes, stripe_range)
+        cells = self._resolve_cells(
+            key, header, config, [(plane, spec) for plane in needed for spec in plan]
+        )
+        residuals = [
+            np.concatenate([cells[(plane, spec.index)] for spec in plan])
+            for plane in needed
+        ]
+        return assemble_selection(header, plan, requested, needed, residuals)
+
+    def _resolve_cells(
+        self, key: str, header: StreamHeader, config: CodecConfig, cells
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Serve (plane, spec) cells from cache, range-reading the misses.
+
+        Every miss costs one backend range read of exactly the cell's
+        indexed bytes, one CRC check and one entropy decode; the decoded
+        array is cached for the next query that touches the cell.
+        """
+        spans = component_spans(header)
+        resolved: Dict[Tuple[int, int], np.ndarray] = {}
+        for plane, spec in cells:
+            cell_key: _CellKey = (key, plane, spec.index)
+            array = self.cache.get(cell_key)
+            if array is None:
+                offset, length = spans[plane][spec.index]
+                payload = self.backend.read_range(key, offset, length)
+                array = decode_one_cell(
+                    payload,
+                    header,
+                    plane,
+                    spec,
+                    config,
+                    engine=self.engine,
+                    from_container=False,
+                )
+                self.cache.put(cell_key, array)
+            resolved[(plane, spec.index)] = array
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def stats(self) -> dict:
+        """Backend + cache counters (the ``repro-store stats`` payload)."""
+        return {
+            "backend": dict(self.backend.stats(), kind=type(self.backend).__name__),
+            "cache": self.cache.stats.as_json(),
+            "engine": self.engine,
+        }

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.core.cellgrid as cellgrid
 import repro.core.components as components
 from repro.core.bitstream import (
     pack_component_stream,
@@ -108,14 +109,18 @@ class TestRandomAccess:
         assert (region.to_array() == full[5:15]).all()
 
     def test_plane_and_region_bounds_checked(self, rgb_image):
+        """Out-of-range *arguments* are caller errors (ConfigError), distinct
+        from corrupt containers (BitstreamError)."""
         stream = encode_planar(rgb_image, stripes=2)
-        with pytest.raises(BitstreamError):
+        with pytest.raises(ConfigError):
             decode_plane(stream, 3)
-        with pytest.raises(BitstreamError):
+        with pytest.raises(ConfigError):
             decode_plane(stream, -1)
         for bad_range in ((0, 0), (1, 1), (0, 3), (-1, 1), (2, 1)):
-            with pytest.raises(BitstreamError):
+            with pytest.raises(ConfigError):
                 decode_region(stream, bad_range)
+        with pytest.raises(ConfigError):
+            decode_region(stream, (0,))
 
     def test_decode_plane_reads_only_indexed_bytes(self, rgb_image, monkeypatch):
         """Byte-count accounting: the entropy decoder sees exactly the
@@ -123,13 +128,13 @@ class TestRandomAccess:
         stream = encode_planar(rgb_image, stripes=4, plane_delta=False)
         index = stream_index(stream)
         seen = []
-        real = components.decode_payload
+        real = cellgrid.decode_payload
 
         def counting(payload, width, height, config, engine="reference"):
             seen.append(len(payload))
             return real(payload, width, height, config, engine=engine)
 
-        monkeypatch.setattr(components, "decode_payload", counting)
+        monkeypatch.setattr(cellgrid, "decode_payload", counting)
         decode_plane(stream, 1)
         plane_cells = [e.length for e in index.entries if e.plane == 1]
         assert sorted(seen) == sorted(plane_cells)
@@ -139,13 +144,13 @@ class TestRandomAccess:
         stream = encode_planar(rgb_image, stripes=4, plane_delta=True)
         index = stream_index(stream)
         seen = []
-        real = components.decode_payload
+        real = cellgrid.decode_payload
 
         def counting(payload, width, height, config, engine="reference"):
             seen.append(len(payload))
             return real(payload, width, height, config, engine=engine)
 
-        monkeypatch.setattr(components, "decode_payload", counting)
+        monkeypatch.setattr(cellgrid, "decode_payload", counting)
         decode_region(stream, (2, 4))
         region_cells = [e.length for e in index.entries if 2 <= e.stripe < 4]
         assert sorted(seen) == sorted(region_cells)
@@ -156,13 +161,13 @@ class TestRandomAccess:
         stream = encode_planar(multiband_image, stripes=2, plane_delta=True)
         index = stream_index(stream)
         seen = []
-        real = components.decode_payload
+        real = cellgrid.decode_payload
 
         def counting(payload, width, height, config, engine="reference"):
             seen.append(len(payload))
             return real(payload, width, height, config, engine=engine)
 
-        monkeypatch.setattr(components, "decode_payload", counting)
+        monkeypatch.setattr(cellgrid, "decode_payload", counting)
         decode_plane(stream, 2)
         chain_cells = [e.length for e in index.entries if e.plane <= 2]
         assert sorted(seen) == sorted(chain_cells)

@@ -1,0 +1,119 @@
+"""Unit tests for the pluggable engine registry.
+
+The registry is the dispatch seam every front-end (codecs, functional
+helpers, CLI, store) goes through; these tests pin its contract: built-ins
+resolve lazily, third-party engines plug in and appear everywhere
+``ENGINES`` is consulted, and bad registrations fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CodecConfig
+from repro.core.encoder import encode_payload
+from repro.core.decoder import decode_payload
+from repro.core.interface import (
+    ENGINES,
+    EngineBackend,
+    engine_names,
+    get_engine,
+    register_engine,
+    require_engine,
+    unregister_engine,
+)
+from repro.exceptions import ConfigError
+from repro.imaging.synthetic import generate_image
+
+
+class TestBuiltins:
+    def test_builtins_resolve(self):
+        assert get_engine("reference").name == "reference"
+        assert get_engine("fast").name == "fast"
+
+    def test_require_engine_passes_names_through(self):
+        assert require_engine("reference") == "reference"
+        assert require_engine("fast") == "fast"
+
+    def test_unknown_engine_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            require_engine("warp")
+        with pytest.raises(ConfigError, match="reference"):
+            get_engine("warp")  # the error names the known engines
+
+    def test_engines_view_contains_builtins(self):
+        assert "reference" in ENGINES
+        assert "fast" in ENGINES
+        assert list(ENGINES)[:2] == ["reference", "fast"]
+        assert len(ENGINES) >= 2
+
+
+class _UpperCaseEngine(EngineBackend):
+    """A trivial third-party engine: delegates to the reference backend."""
+
+    name = "thirdparty"
+
+    def encode_payload(self, image, config):
+        return get_engine("reference").encode_payload(image, config)
+
+    def decode_payload(self, payload, width, height, config):
+        return get_engine("reference").decode_payload(payload, width, height, config)
+
+
+class TestRegistration:
+    @pytest.fixture(autouse=True)
+    def _cleanup(self):
+        yield
+        unregister_engine("thirdparty")
+
+    def test_registered_engine_is_dispatchable_everywhere(self):
+        register_engine(_UpperCaseEngine())
+        assert "thirdparty" in ENGINES
+        assert "thirdparty" in engine_names()
+        image = generate_image("lena", size=16)
+        config = CodecConfig.hardware()
+        payload, _ = encode_payload(image, config, engine="thirdparty")
+        reference, _ = encode_payload(image, config, engine="reference")
+        assert payload == reference
+        assert (
+            decode_payload(payload, 16, 16, config, engine="thirdparty")
+            == image.pixels()
+        )
+
+    def test_codec_front_ends_accept_registered_engines(self):
+        from repro.core.codec import ProposedCodec
+        from repro.parallel.codec import ParallelCodec
+        from repro.parallel.executor import SerialExecutor
+
+        register_engine(_UpperCaseEngine())
+        image = generate_image("boat", size=16)
+        baseline = ProposedCodec().encode(image)
+        assert ProposedCodec(engine="thirdparty").encode(image) == baseline
+        parallel = ParallelCodec(
+            cores=2, executor=SerialExecutor(), engine="thirdparty"
+        )
+        assert parallel.decode(parallel.encode(image)) == image
+
+    def test_duplicate_registration_fails_loudly(self):
+        register_engine(_UpperCaseEngine())
+        with pytest.raises(ConfigError, match="already registered"):
+            register_engine(_UpperCaseEngine())
+        register_engine(_UpperCaseEngine(), replace=True)  # explicit shadowing ok
+
+    def test_nameless_backend_rejected(self):
+        class Nameless(_UpperCaseEngine):
+            name = ""
+
+        with pytest.raises(ConfigError):
+            register_engine(Nameless())
+
+    def test_unregister_removes_third_party_engines(self):
+        register_engine(_UpperCaseEngine())
+        unregister_engine("thirdparty")
+        assert "thirdparty" not in ENGINES
+        with pytest.raises(ConfigError):
+            get_engine("thirdparty")
+
+    def test_builtins_reregister_after_unregister(self):
+        unregister_engine("fast")
+        assert get_engine("fast").name == "fast"  # lazy re-import restores it

@@ -332,3 +332,108 @@ class TestInspect:
         bad.write_bytes(b"not a container")
         assert inspect_main([str(bad)]) == 1
         assert capsys.readouterr().err.startswith("HeaderError: ")
+
+
+class TestVersionFlag:
+    def test_every_console_script_reports_the_package_version(self, capsys):
+        from repro import __version__
+        from repro.cli import inspect_main, package_version
+        from repro.store.cli import store_main
+
+        assert package_version() == __version__
+        entry_points = {
+            "repro-compress": compress_main,
+            "repro-decompress": decompress_main,
+            "repro-bench": bench_main,
+            "repro-inspect": inspect_main,
+            "repro-store": store_main,
+        }
+        for prog, main in entry_points.items():
+            with pytest.raises(SystemExit) as excinfo:
+                main(["--version"])
+            assert excinfo.value.code == 0
+            out = capsys.readouterr().out
+            assert prog in out and __version__ in out
+
+
+class TestStoreCli:
+    def test_put_get_regions_stats_workflow(self, tmp_path, ppm_path, capsys):
+        from repro.imaging.pnm import read_image
+        from repro.store.cli import store_main
+
+        path, image = ppm_path
+        store = tmp_path / "store"
+        assert store_main(["put", str(store), str(path), "--stripes", "4"]) == 0
+        key = capsys.readouterr().out.strip()
+        assert len(key) == 64
+
+        restored = tmp_path / "full.ppm"
+        assert store_main(["get", str(store), key, str(restored)]) == 0
+        capsys.readouterr()
+        assert read_image(str(restored)) == image
+
+        plane = tmp_path / "plane.pgm"
+        assert store_main(["get", str(store), key, str(plane), "--plane", "1"]) == 0
+        capsys.readouterr()
+        assert read_image(str(plane)) == image.plane(1)
+
+        region = tmp_path / "region.ppm"
+        assert (
+            store_main(["get", str(store), key, str(region), "--region", "1:3"]) == 0
+        )
+        capsys.readouterr()
+        assert read_image(str(region)).num_planes == 3
+
+        assert store_main(["regions", str(store), key, "0:2", "1:4", "0:2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("stripes [") == 3
+        assert "cache:" in out
+
+        assert store_main(["stats", str(store)]) == 0
+        import json
+
+        document = json.loads(capsys.readouterr().out)
+        assert document["backend"]["blobs"] == 1
+        assert document["backend"]["kind"] == "FilesystemBackend"
+
+    def test_sqlite_store_roundtrip(self, tmp_path, pgm_path, capsys):
+        from repro.imaging.pnm import read_image
+        from repro.store.cli import store_main
+
+        path, image = pgm_path
+        store = tmp_path / "corpus.sqlite"
+        assert store_main(["put", str(store), str(path)]) == 0
+        key = capsys.readouterr().out.strip()
+        restored = tmp_path / "restored.pgm"
+        assert store_main(["get", str(store), key, str(restored)]) == 0
+        assert read_image(str(restored)) == image
+
+    def test_regions_out_dir_writes_images(self, tmp_path, ppm_path, capsys):
+        from repro.store.cli import store_main
+
+        path, _ = ppm_path
+        store = tmp_path / "store"
+        assert store_main(["put", str(store), str(path), "--stripes", "4"]) == 0
+        key = capsys.readouterr().out.strip()
+        out_dir = tmp_path / "regions"
+        assert (
+            store_main(["regions", str(store), key, "0:1", "2:4", "--out", str(out_dir)])
+            == 0
+        )
+        assert len(list(out_dir.iterdir())) == 2
+
+    def test_unknown_key_reports_one_line_error(self, tmp_path, capsys):
+        from repro.store.cli import store_main
+
+        store = tmp_path / "store"
+        store.mkdir()
+        missing = "0" * 64
+        assert store_main(["get", str(store), missing, str(tmp_path / "x.pgm")]) == 1
+        assert capsys.readouterr().err.startswith("BlobNotFoundError: ")
+
+    def test_bad_region_spec_is_a_usage_error(self, tmp_path, capsys):
+        from repro.store.cli import store_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            store_main(["regions", str(tmp_path / "store"), "k" * 64, "nonsense"])
+        assert excinfo.value.code == 2

@@ -144,3 +144,42 @@ class TestAblationHarness:
         """LUT division must not change the bit rate by more than ~0.02 bpp."""
         result = run_division_ablation(size=48, images=("lena", "boat"))
         assert abs(result.delta_bpp) < 0.02
+
+
+class TestStoreBench:
+    def test_report_and_json_structure(self):
+        from repro.experiments.store_bench import run_store_bench
+
+        result = run_store_bench(
+            size=16, images=("lena", "boat"), stripes=2, repeats=1
+        )
+        assert len(result.rows) == 2
+        report = result.format_report()
+        assert "warm-cache region reads" in report
+        for column in ("cold full", "cold region", "warm region", "batched"):
+            assert column in report
+        payload = result.as_json()
+        assert set(payload) == {"bpp", "mb_per_s", "extra"}
+        assert set(payload["extra"]["warm_speedup"]) == {"lena", "boat"}
+        assert payload["extra"]["min_warm_speedup"] > 0
+
+    def test_sqlite_backend_variant(self):
+        from repro.experiments.store_bench import run_store_bench
+
+        result = run_store_bench(
+            size=16, images=("zelda",), stripes=2, repeats=1, backend="sqlite"
+        )
+        assert result.backend == "sqlite"
+        assert len(result.rows) == 1
+
+    def test_invalid_parameters_rejected(self):
+        from repro.experiments.store_bench import run_store_bench
+
+        with pytest.raises(ConfigError):
+            run_store_bench(size=8)
+        with pytest.raises(ConfigError):
+            run_store_bench(size=32, stripes=1)
+        with pytest.raises(ConfigError):
+            run_store_bench(size=32, backend="s3")
+        with pytest.raises(ConfigError):
+            run_store_bench(size=32, repeats=0)

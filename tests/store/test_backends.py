@@ -1,0 +1,106 @@
+"""Unit tests for the blob backends: both implementations must be
+observably interchangeable (same contract, same errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BlobNotFoundError, StoreError
+from repro.store.backends import (
+    FilesystemBackend,
+    SQLiteBackend,
+    open_backend,
+)
+
+
+@pytest.fixture(params=["filesystem", "sqlite"])
+def backend(request, tmp_path):
+    if request.param == "filesystem":
+        instance = FilesystemBackend(tmp_path / "blobs")
+    else:
+        instance = SQLiteBackend(tmp_path / "blobs.sqlite")
+    yield instance
+    instance.close()
+
+
+BLOB = bytes(range(256)) * 4
+
+
+class TestContract:
+    def test_round_trip(self, backend):
+        backend.put("abc123", BLOB)
+        assert backend.get("abc123") == BLOB
+        assert backend.length("abc123") == len(BLOB)
+        assert backend.contains("abc123")
+        assert not backend.contains("missing")
+
+    def test_range_reads(self, backend):
+        backend.put("k1", BLOB)
+        assert backend.read_range("k1", 0, 16) == BLOB[:16]
+        assert backend.read_range("k1", 100, 50) == BLOB[100:150]
+        # Reads past EOF clamp instead of erroring, like file reads do.
+        assert backend.read_range("k1", len(BLOB) - 4, 100) == BLOB[-4:]
+
+    def test_overwrite_is_idempotent(self, backend):
+        backend.put("k1", b"old")
+        backend.put("k1", b"newer")
+        assert backend.get("k1") == b"newer"
+        assert backend.length("k1") == 5
+
+    def test_keys_and_delete(self, backend):
+        for key in ("alpha", "beta", "gamma"):
+            backend.put(key, key.encode())
+        assert sorted(backend.keys()) == ["alpha", "beta", "gamma"]
+        backend.delete("beta")
+        assert sorted(backend.keys()) == ["alpha", "gamma"]
+
+    def test_unknown_keys_raise(self, backend):
+        for action in (
+            lambda: backend.get("nope"),
+            lambda: backend.read_range("nope", 0, 4),
+            lambda: backend.length("nope"),
+            lambda: backend.delete("nope"),
+        ):
+            with pytest.raises(BlobNotFoundError):
+                action()
+
+    def test_hostile_keys_rejected(self, backend):
+        for bad in ("", "../escape", "a/b", "a b", "key\x00"):
+            with pytest.raises(StoreError):
+                backend.put(bad, b"x")
+
+    def test_stats(self, backend):
+        backend.put("k1", b"abcd")
+        backend.put("k2", b"efgh" * 10)
+        assert backend.stats() == {"blobs": 2, "bytes": 44}
+
+
+class TestOpenBackend:
+    def test_directory_opens_filesystem(self, tmp_path):
+        backend = open_backend(tmp_path / "store-dir")
+        assert isinstance(backend, FilesystemBackend)
+        backend.close()
+
+    @pytest.mark.parametrize("suffix", [".sqlite", ".sqlite3", ".db"])
+    def test_sqlite_suffixes_open_sqlite(self, tmp_path, suffix):
+        backend = open_backend(tmp_path / ("store" + suffix))
+        assert isinstance(backend, SQLiteBackend)
+        backend.close()
+
+    def test_existing_sqlite_file_reopens_as_sqlite(self, tmp_path):
+        path = tmp_path / "blobs.sqlite"
+        first = open_backend(path)
+        first.put("k1", b"persisted")
+        first.close()
+        second = open_backend(path)
+        assert second.get("k1") == b"persisted"
+        second.close()
+
+    def test_filesystem_persists_across_opens(self, tmp_path):
+        root = tmp_path / "store-dir"
+        first = open_backend(root)
+        first.put("deadbeef", b"payload")
+        first.close()
+        second = open_backend(root)
+        assert list(second.keys()) == ["deadbeef"]
+        second.close()
