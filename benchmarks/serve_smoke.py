@@ -1,0 +1,174 @@
+"""CI smoke test of the ``repro-serve`` console script.
+
+Boots the real console script as a subprocess (the exact artifact users
+run), requires the listening line within a startup budget, then drives
+every endpoint through :class:`repro.serve.client.ServeClient`:
+
+* ``PUT /images`` of a generated PPM and a generated PGM;
+* full ``GET``, ``GET .../plane/k``, ``GET .../region/a-b`` (values
+  verified against an in-process decode of the same corpus image);
+* batched ``POST .../regions``;
+* a thread herd on one cold region with a coalescing assertion
+  (``/stats`` must report coalesced requests and at most 2 backend
+  decodes for the herd);
+* ``/healthz`` and ``/stats`` (including the cache byte-occupancy fields).
+
+Any non-2xx answer raises, any assertion failure exits non-zero, and the
+server process is always torn down.  Usage::
+
+    python benchmarks/serve_smoke.py [--shards 2] [--backend fs]
+        [--startup-timeout 5.0]
+
+The ``--startup-timeout`` default of 5 seconds is the CI gate: a server
+that cannot boot and bind in 5 s fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import queue
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import List, Optional
+
+_LISTEN_PATTERN = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+
+def _await_listen_line(process: subprocess.Popen, timeout: float) -> "tuple[str, int]":
+    """Read stdout until the listening line appears, within ``timeout``."""
+    lines: "queue.Queue[Optional[str]]" = queue.Queue()
+
+    def pump() -> None:
+        assert process.stdout is not None
+        for line in process.stdout:
+            lines.put(line)
+        lines.put(None)
+
+    threading.Thread(target=pump, daemon=True).start()
+    try:
+        line = lines.get(timeout=timeout)
+    except queue.Empty:
+        raise SystemExit("FAIL: no listening line within %.1fs of startup" % timeout)
+    if line is None:
+        raise SystemExit("FAIL: server exited before listening")
+    match = _LISTEN_PATTERN.search(line)
+    if not match:
+        raise SystemExit("FAIL: unexpected startup line %r" % line)
+    return match.group(1), int(match.group(2))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--backend", choices=("fs", "sqlite"), default="fs")
+    parser.add_argument("--startup-timeout", type=float, default=5.0)
+    parser.add_argument("--herd", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    from repro.imaging.pnm import write_pgm, write_ppm
+    from repro.imaging.synthetic import generate_image, generate_planar_image
+    from repro.serve.client import ServeClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as root:
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.cli",
+                "--port",
+                "0",
+                "--shards",
+                str(args.shards),
+                "--backend",
+                args.backend,
+                "--root",
+                root,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            host, port = _await_listen_line(process, args.startup_timeout)
+            print("serve-smoke: server up at %s:%d" % (host, port))
+            client = ServeClient(host, port)
+
+            assert client.healthz() == {"status": "ok", "shards": args.shards}
+
+            colour = generate_planar_image("lena", size=32, seed=2007, planes=3)
+            buffer = io.BytesIO()
+            write_ppm(colour, buffer)
+            outcome = client.put_image(buffer.getvalue(), stripes=4)
+            key = str(outcome["key"])
+            print("serve-smoke: put %s -> %s" % (key[:12], outcome["shard"]))
+
+            assert client.get_image(key) == colour, "full GET mismatch"
+            assert client.get_plane(key, 1) == colour.plane(1), "plane GET mismatch"
+            region = client.get_region(key, 1, 3)
+            assert region.height == colour.height // 2, "region GET wrong rows"
+            batch = client.get_regions(key, [(0, 1), (1, 3)])
+            assert len(batch) == 2 and batch[1] == region, "batched regions mismatch"
+            print("serve-smoke: put/get/plane/region/regions verified")
+
+            # Coalescing: a herd on one cold region.  Two stripes make the
+            # cell large enough that the leader's decode overlaps the herd.
+            gray = generate_image("mandrill", size=64, seed=2008)
+            buffer = io.BytesIO()
+            write_pgm(gray, buffer)
+            gray_key = str(client.put_image(buffer.getvalue(), stripes=2)["key"])
+
+            def shard_misses() -> int:
+                return sum(s["cache"]["misses"] for s in client.stats()["shards"])
+
+            misses_before = shard_misses()
+            coalesced_before = int(client.stats()["flight"]["coalesced"])
+            barrier = threading.Barrier(args.herd)
+            failures: List[BaseException] = []
+
+            def worker() -> None:
+                herd_client = ServeClient(host, port)
+                try:
+                    barrier.wait()
+                    herd_client.get_region(gray_key, 0, 1)
+                except BaseException as error:
+                    failures.append(error)
+                finally:
+                    herd_client.close()
+
+            threads = [threading.Thread(target=worker) for _ in range(args.herd)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            if failures:
+                raise failures[0]
+            decodes = shard_misses() - misses_before
+            coalesced = int(client.stats()["flight"]["coalesced"]) - coalesced_before
+            print(
+                "serve-smoke: %d-client herd -> %d backend decode(s), %d coalesced"
+                % (args.herd, decodes, coalesced)
+            )
+            assert decodes <= 2, "stampede reached the backend %d times" % decodes
+
+            stats = client.stats()
+            assert stats["server"]["requests_total"] > 0
+            for shard in stats["shards"]:
+                assert "current_bytes" in shard["cache"], "cache bytes missing"
+            client.close()
+            print("serve-smoke: PASS")
+            return 0
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Serving-tier load benchmark — the acceptance gate of ``repro.serve``.
+
+Boots the real network tier (sockets, HTTP, thread pool, single-flight)
+against the synthetic corpus and enforces the two contracts from the
+issue:
+
+* a **warm coalesced** region read must have a p50 at least **5x** below
+  the cold p50 (in practice the gap is ~10x even with HTTP overhead on
+  both sides — a warm read is cache reassembly, a cold one an entropy
+  decode);
+* a **64-client stampede** on one cold region must reach the backend at
+  most **twice** — the single-flight map collapses the herd, so one herd
+  can at worst straddle one flight boundary.
+
+The formatted report lands in ``benchmarks/results/serve_latency.txt``;
+the same numbers are produced machine-readably by ``repro-bench serve
+--json`` (the BENCH_5.json trajectory artifact).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.serve_bench import run_serve_bench
+
+#: Acceptance floor from the issue: warm coalesced p50 >= 5x below cold p50.
+MINIMUM_WARM_OVER_COLD = 5.0
+
+#: Acceptance ceiling from the issue: a 64-client stampede on one region
+#: performs at most 2 backend decodes.
+MAXIMUM_STAMPEDE_DECODES = 2
+
+
+def test_serve_warm_p50_beats_cold_p50(ablation_size, record_report):
+    result = run_serve_bench(
+        size=min(ablation_size, 64),
+        stripes=4,
+        shards=2,
+        clients=8,
+        stampede_clients=64,
+    )
+    path = record_report("serve_latency", result.format_report())
+    assert path.exists()
+
+    assert result.cold_samples_ms, "cold phase produced no samples"
+    assert result.warm_samples_ms, "warm phase produced no samples"
+    ratio = result.warm_over_cold_p50
+    assert ratio >= MINIMUM_WARM_OVER_COLD, (
+        "warm p50 %.2f ms is only %.2fx below cold p50 %.2f ms (floor %.1fx)"
+        % (result.warm_p50_ms, ratio, result.cold_p50_ms, MINIMUM_WARM_OVER_COLD)
+    )
+
+    assert len(result.stampede_samples_ms) == 64
+    assert result.stampede_backend_decodes <= MAXIMUM_STAMPEDE_DECODES, (
+        "64-client stampede performed %d backend decodes (ceiling %d)"
+        % (result.stampede_backend_decodes, MAXIMUM_STAMPEDE_DECODES)
+    )
+    # The herd was actually coalesced, not accidentally serialised.
+    assert result.stampede_coalesced > 0
+
+    # Throughput sanity: the closed loop must be serving, not crawling.
+    assert result.warm_requests_per_second > 50

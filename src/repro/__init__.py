@@ -24,6 +24,10 @@ The package is organised as follows:
   (filesystem or SQLite backed) answering plane/region/batched queries
   straight off the version-3 random-access index through an LRU cache of
   decoded cells.
+* :mod:`repro.serve` — the network tier over the store: an asyncio
+  HTTP/1.1 service (``repro-serve``) with rendezvous-sharded routing,
+  single-flight request coalescing, thread-pool decode offload and
+  latency histograms behind ``/stats``; a pure-stdlib client included.
 * :mod:`repro.experiments` — the table/figure regeneration harness used by
   the benchmarks, examples and the CLI.
 
@@ -48,7 +52,7 @@ from repro.core import (
 from repro.imaging import GrayImage, PlanarImage, generate_corpus, generate_image
 from repro.parallel import ParallelCodec
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CodecConfig",

@@ -1,7 +1,8 @@
 """Command-line entry points.
 
-Five console scripts are installed (see ``pyproject.toml``); the first
-four live here, ``repro-store`` in :mod:`repro.store.cli`:
+Six console scripts are installed (see ``pyproject.toml``); the first
+four live here, ``repro-store`` in :mod:`repro.store.cli` and
+``repro-serve`` in :mod:`repro.serve.cli`:
 
 ``repro-compress``
     Compress a Netpbm image — PGM grey-scale, PPM colour or PAM N-band,
@@ -25,8 +26,9 @@ four live here, ``repro-store`` in :mod:`repro.store.cli`:
 ``repro-bench``
     Regenerate one or more of the paper's tables/figures from the command
     line (``table1``, ``figure4``, ``table2``, ``throughput``,
-    ``ablations``, ``parallel``, ``engines``, ``components``, ``store``).
-    With
+    ``ablations``, ``parallel``, ``engines``, ``components``, ``store``,
+    ``serve`` — the last one a closed-loop load test of the network tier;
+    ``--duration S`` turns it into a timed soak).  With
     ``--json PATH`` a machine-readable summary (bits per pixel and MB/s per
     experiment) is written as well — the input of the CI
     performance-regression gate.  When one experiment fails the remaining
@@ -46,6 +48,11 @@ identical streams, several times faster); it composes with ``--cores``.
 ``repro-store``
     Content-addressed image store with cached random access; see
     :mod:`repro.store.cli`.
+
+``repro-serve``
+    The asyncio network tier over one or more stores — sharded routing,
+    request coalescing, cached random access over HTTP; see
+    :mod:`repro.serve.cli`.
 
 Every console script accepts ``--version`` (read from the installed
 package metadata).  Errors are reported as a single ``ExceptionName:
@@ -362,6 +369,7 @@ _BENCH_EXPERIMENTS = (
     "engines",
     "components",
     "store",
+    "serve",
 )
 
 
@@ -428,6 +436,21 @@ def _run_bench_experiment(name: str, args) -> tuple:
         size = args.size or (96 if args.full else 48)
         result = run_store_bench(size=size, seed=args.seed)
         text = "Store serving latency (synthetic planar corpus, %dx%d):\n%s" % (
+            size,
+            size,
+            result.format_report(),
+        )
+        return text, result.as_json()
+    if name == "serve":
+        from repro.experiments.serve_bench import run_serve_bench
+
+        size = args.size or (96 if args.full else 64)
+        result = run_serve_bench(size=size, seed=args.seed, duration=args.duration)
+        mode = (
+            "%.0fs soak" % args.duration if args.duration is not None else "closed loop"
+        )
+        text = "Serving-tier load test (%s, synthetic corpus, %dx%d):\n%s" % (
+            mode,
             size,
             size,
             result.format_report(),
@@ -510,9 +533,19 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write a machine-readable summary (bpp + MB/s per experiment)",
     )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the serve experiment as a timed soak instead of a fixed "
+        "request count (the nightly CI shape)",
+    )
     args = parser.parse_args(argv)
     if args.cores < 1:
         parser.error("--cores must be a positive integer")
+    if args.duration is not None and args.duration <= 0:
+        parser.error("--duration must be positive")
 
     # Dedupe while keeping the order the user asked for.
     experiments = list(dict.fromkeys(args.experiment))

@@ -55,3 +55,16 @@ class StoreError(ReproError):
 
 class BlobNotFoundError(StoreError):
     """A store lookup referenced a key the backend does not hold."""
+
+
+class ServeError(ReproError):
+    """The network serving tier hit a protocol or transport failure.
+
+    Raised by the ``repro-serve`` client for non-2xx responses (the HTTP
+    status is carried in :attr:`status`) and by the server's request
+    parser for malformed or oversized HTTP traffic.
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,41 @@
+"""The network serving tier: asyncio HTTP over sharded image stores.
+
+This package puts :mod:`repro.store` on the wire.  A hand-rolled
+HTTP/1.1 front-end (stdlib :mod:`asyncio`, no framework) multiplexes many
+concurrent clients over N :class:`~repro.store.store.ImageStore` shards:
+
+* **routing** — rendezvous hashing of content keys over named shards
+  (:mod:`repro.serve.router`), so resharding moves a minimal key fraction;
+* **coalescing** — identical concurrent reads collapse into one decode
+  through a thread-safe single-flight map (:mod:`repro.serve.flight`);
+* **offload** — CPU-bound entropy decodes run on a worker pool, keeping
+  the event loop free to accept and multiplex (:mod:`repro.serve.app`);
+* **observability** — per-endpoint latency histograms, coalescing
+  counters and per-shard cache byte occupancy behind ``GET /stats``
+  (:mod:`repro.serve.stats`).
+
+The ``repro-serve`` console script (:mod:`repro.serve.cli`) boots the
+tier; :class:`~repro.serve.client.ServeClient` is the pure-stdlib client
+used by the tests, the CI smoke job and ``repro-bench serve``.
+"""
+
+from repro.serve.app import ImageService, ReproServer, ServerHandle, start_server_thread
+from repro.serve.client import ServeClient
+from repro.serve.flight import SingleFlight
+from repro.serve.router import StoreRouter, rendezvous_score, rendezvous_shard
+from repro.serve.stats import EndpointStats, LatencyHistogram, ServerStats
+
+__all__ = [
+    "ImageService",
+    "ReproServer",
+    "ServerHandle",
+    "start_server_thread",
+    "ServeClient",
+    "SingleFlight",
+    "StoreRouter",
+    "rendezvous_score",
+    "rendezvous_shard",
+    "LatencyHistogram",
+    "EndpointStats",
+    "ServerStats",
+]

@@ -1,0 +1,551 @@
+"""The ``repro-serve`` service: asyncio front-end over sharded image stores.
+
+Request path, layer by layer::
+
+    asyncio connection handler          (http.py: parse / serialise)
+      -> endpoint dispatch              (_dispatch: path -> operation)
+        -> single-flight map            (flight.py: coalesce identical reads)
+          -> thread-pool offload        (CPU-bound entropy decodes off the loop)
+            -> StoreRouter              (router.py: rendezvous shard pick)
+              -> ImageStore             (store/: cache + range reads + CRC)
+
+Two properties keep the event loop responsive under load: every store
+operation (encode, decode, backend I/O) runs on a worker thread, and
+identical concurrent reads collapse into one store call whose result all
+waiters share — a 64-client stampede on one cold region costs one decode,
+not 64.  Reads are keyed by (operation, key, arguments); the served bytes
+are built once inside the flight, so coalesced followers reuse the
+serialised response too.
+
+Endpoints (all responses JSON unless noted):
+
+* ``PUT /images[?stripes=S&plane_delta=1]`` — body is a Netpbm image
+  (encoded server-side) or a ready ``.rplc`` container; answers 201 with
+  the content key and owning shard.
+* ``GET /images/{key}`` — full decode, Netpbm body.
+* ``GET /images/{key}/plane/{k}`` — one component plane, PGM body.
+* ``GET /images/{key}/region/{a}-{b}`` — rows of stripes [a, b), Netpbm.
+* ``POST /images/{key}/regions`` — body ``{"ranges": [[a, b], ...]}``;
+  answers every region in one round trip (cells deduped across regions).
+* ``GET /healthz`` — liveness plus shard count.
+* ``GET /stats`` — per-endpoint latency histograms, single-flight
+  counters, per-shard backend/cache stats (byte occupancy included).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import io
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cellgrid import encode_grid
+from repro.core.config import CodecConfig
+from repro.exceptions import (
+    BitstreamError,
+    BlobNotFoundError,
+    ConfigError,
+    ImageFormatError,
+    ReproError,
+    StoreError,
+)
+from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
+from repro.imaging.pnm import read_image, write_pam, write_pgm, write_ppm
+from repro.serve.flight import SingleFlight
+from repro.serve.http import (
+    HttpProtocolError,
+    HttpRequest,
+    json_payload,
+    read_request,
+    render_response,
+)
+from repro.serve.router import StoreRouter
+from repro.serve.stats import ServerStats
+from repro.store.store import ImageStore
+
+__all__ = ["ImageService", "ReproServer", "ServerHandle", "start_server_thread"]
+
+_NETPBM_MAGICS = (b"P1", b"P2", b"P3", b"P4", b"P5", b"P6", b"P7")
+
+_CONTENT_TYPES = {
+    "pgm": "image/x-portable-graymap",
+    "ppm": "image/x-portable-pixmap",
+    "pam": "image/x-portable-arbitrarymap",
+}
+
+
+def image_to_netpbm(image: Union[GrayImage, PlanarImage]) -> Tuple[bytes, str]:
+    """Serialise a decoded image to the natural Netpbm format + MIME type."""
+    buffer = io.BytesIO()
+    if isinstance(image, PlanarImage):
+        if image.num_planes == 1:
+            write_pgm(image.gray(), buffer)
+            kind = "pgm"
+        elif image.num_planes == 3:
+            write_ppm(image, buffer)
+            kind = "ppm"
+        else:
+            write_pam(image, buffer)
+            kind = "pam"
+    else:
+        write_pgm(image, buffer)
+        kind = "pgm"
+    return buffer.getvalue(), _CONTENT_TYPES[kind]
+
+
+class ImageService:
+    """Shard routing + coalescing + serialisation over image stores.
+
+    The service owns the synchronous half of the tier: every method here
+    is thread-safe and blocking, designed to run on the worker pool while
+    :class:`ReproServer` keeps the event loop free.  Tests and the load
+    benchmark may call it directly (no sockets) — the HTTP layer adds no
+    behaviour beyond transport.
+    """
+
+    def __init__(
+        self,
+        stores: Sequence[ImageStore],
+        names: Sequence[str] = (),
+        max_workers: Optional[int] = None,
+        default_stripes: int = 4,
+    ) -> None:
+        self.router = StoreRouter(stores, names)
+        self.flight = SingleFlight()
+        self.stats = ServerStats()
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self.default_stripes = default_stripes
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=True)
+        self.router.close()
+
+    # ------------------------------------------------------------------ #
+    # operations (blocking; run these on the worker pool)
+    # ------------------------------------------------------------------ #
+
+    def put_image(
+        self, body: bytes, stripes: Optional[int] = None, plane_delta: bool = False
+    ) -> Dict[str, object]:
+        """Store a Netpbm image (encoding it) or a ready container.
+
+        Returns the routing outcome: content key, owning shard, stored
+        byte count and whether the service encoded the body itself.
+        """
+        if not body:
+            raise ConfigError("PUT body is empty — expected a Netpbm image or container")
+        encoded = body[:2] in _NETPBM_MAGICS
+        if encoded:
+            image = read_image(io.BytesIO(body))
+            config = CodecConfig.hardware(bit_depth=image.bit_depth)
+            stream, _ = encode_grid(
+                image,
+                config,
+                engine=self._engine(),
+                stripes=stripes if stripes is not None else self.default_stripes,
+                plane_delta=plane_delta,
+            )
+        else:
+            stream = body
+        # Routing needs the content key, which is the hash of the encoded
+        # stream — so hash first, then hand the bytes to the owning shard.
+        key = hashlib.sha256(stream).hexdigest()
+        store = self.router.store_for(key)
+        try:
+            stored_key = store.put_stream(stream)
+        except BitstreamError as error:
+            # The *request* carried the bad bytes — a client error, unlike
+            # a BitstreamError surfacing from storage on the read paths.
+            raise ConfigError("request body is not a valid container: %s" % error)
+        assert stored_key == key
+        return {
+            "key": key,
+            "shard": self.router.shard_name(key),
+            "bytes": len(stream),
+            "encoded": encoded,
+        }
+
+    def get_image(self, key: str) -> Tuple[bytes, str]:
+        """Full decode (the cold, whole-blob path), coalesced per key."""
+        return self.flight.run(
+            ("image", key),
+            lambda: image_to_netpbm(self.router.store_for(key).get(key)),
+        )
+
+    def get_plane(self, key: str, plane: int) -> Tuple[bytes, str]:
+        return self.flight.run(
+            ("plane", key, plane),
+            lambda: image_to_netpbm(self.router.store_for(key).get_plane(key, plane)),
+        )
+
+    def get_region(self, key: str, start: int, stop: int) -> Tuple[bytes, str]:
+        return self.flight.run(
+            ("region", key, start, stop),
+            lambda: image_to_netpbm(
+                self.router.store_for(key).get_region(key, (start, stop))
+            ),
+        )
+
+    def get_regions(
+        self, key: str, ranges: Sequence[Tuple[int, int]]
+    ) -> Dict[str, object]:
+        """A batch of regions in one response (cells deduped by the store)."""
+        normalised = tuple((int(a), int(b)) for a, b in ranges)
+
+        def resolve() -> Dict[str, object]:
+            images = self.router.store_for(key).get_regions(key, list(normalised))
+            regions = []
+            for (start, stop), image in zip(normalised, images):
+                payload, content_type = image_to_netpbm(image)
+                regions.append(
+                    {
+                        "start": start,
+                        "stop": stop,
+                        "width": image.width,
+                        "height": image.height,
+                        "planes": getattr(image, "num_planes", 1),
+                        "content_type": content_type,
+                        "netpbm_base64": base64.b64encode(payload).decode("ascii"),
+                    }
+                )
+            return {"key": key, "regions": regions}
+
+        return self.flight.run(("regions", key, normalised), resolve)
+
+    def healthz(self) -> Dict[str, object]:
+        return {"status": "ok", "shards": len(self.router)}
+
+    def stats_payload(self) -> Dict[str, object]:
+        return {
+            "server": self.stats.as_json(),
+            "flight": self.flight.stats(),
+            "shards": self.router.stats(),
+        }
+
+    def _engine(self) -> str:
+        return self.router.stores[0].engine
+
+
+class ReproServer:
+    """The asyncio HTTP front-end bound to one :class:`ImageService`."""
+
+    def __init__(
+        self, service: ImageService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` holds the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=2**16,
+            family=socket.AF_INET,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.service.stats.mark_started()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() must run first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpProtocolError as error:
+                    writer.write(self._error_response(error.status, str(error), False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, body, content_type, endpoint = await self._dispatch(request)
+                keep_alive = request.keep_alive
+                writer.write(
+                    render_response(status, body, content_type, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # the peer went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                # Shutdown cancels parked handlers mid-close; the connection
+                # is gone either way, so ending the task quietly is correct.
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> Tuple[int, bytes, str, str]:
+        """Route one request; returns (status, body, content-type, label)."""
+        self.service.stats.request_started()
+        started = time.perf_counter()
+        endpoint = "other"
+        status = 500
+        try:
+            endpoint, status, body, content_type = await self._route(request)
+        except HttpProtocolError as error:
+            status, body, content_type = self._error(error.status, error)
+        except BlobNotFoundError as error:
+            status, body, content_type = self._error(404, error)
+        except (ConfigError, ImageFormatError, StoreError) as error:
+            status, body, content_type = self._error(400, error)
+        except ReproError as error:
+            # Anything else the library raises on purpose (corrupt stored
+            # stream, model state violation) is a server-side failure.
+            status, body, content_type = self._error(500, error)
+        except Exception as error:
+            # Backstop for handler bugs: a request must ALWAYS get an
+            # answer and the connection must keep serving — an unexpected
+            # TypeError/KeyError dropping the socket with no status line
+            # is strictly worse than an honest 500.
+            status, body, content_type = self._error(500, error)
+        finally:
+            elapsed_ms = 1e3 * (time.perf_counter() - started)
+            self.service.stats.request_finished(endpoint, elapsed_ms, status)
+        return status, body, content_type, endpoint
+
+    async def _route(self, request: HttpRequest) -> Tuple[str, int, bytes, str]:
+        parts = [part for part in request.path.split("/") if part]
+        method = request.method
+
+        if parts == ["healthz"] and method == "GET":
+            return "healthz", 200, json_payload(self.service.healthz()), "application/json"
+        if parts == ["stats"] and method == "GET":
+            payload = await self._offload(self.service.stats_payload)
+            return "stats", 200, json_payload(payload), "application/json"
+        if parts == ["images"] and method == "PUT":
+            outcome = await self._offload(
+                self.service.put_image,
+                request.body,
+                self._int_query(request, "stripes"),
+                self._flag_query(request, "plane_delta"),
+            )
+            return "put_image", 201, json_payload(outcome), "application/json"
+        if len(parts) >= 2 and parts[0] == "images":
+            key = parts[1]
+            if len(parts) == 2 and method == "GET":
+                body, content_type = await self._offload(self.service.get_image, key)
+                return "get_image", 200, body, content_type
+            if len(parts) == 4 and parts[2] == "plane" and method == "GET":
+                plane = self._int_path(parts[3], "plane index")
+                body, content_type = await self._offload(
+                    self.service.get_plane, key, plane
+                )
+                return "get_plane", 200, body, content_type
+            if len(parts) == 4 and parts[2] == "region" and method == "GET":
+                start, stop = self._parse_range(parts[3])
+                body, content_type = await self._offload(
+                    self.service.get_region, key, start, stop
+                )
+                return "get_region", 200, body, content_type
+            if len(parts) == 3 and parts[2] == "regions" and method == "POST":
+                ranges = self._parse_ranges_body(request.body)
+                payload = await self._offload(self.service.get_regions, key, ranges)
+                return "get_regions", 200, json_payload(payload), "application/json"
+
+        if parts and parts[0] in ("images", "healthz", "stats"):
+            raise HttpProtocolError(405, "%s is not supported on %s" % (method, request.path))
+        raise BlobNotFoundError("no route for %s %s" % (method, request.path))
+
+    async def _offload(self, function, *args):
+        """Run a blocking service operation on the worker pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self.service.executor, lambda: function(*args)
+        )
+
+    # ------------------------------------------------------------------ #
+    # request parsing helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _int_query(request: HttpRequest, name: str) -> Optional[int]:
+        value = request.query.get(name)
+        if value is None:
+            return None
+        try:
+            return int(value)
+        except ValueError:
+            raise ConfigError("query parameter %s=%r is not an integer" % (name, value))
+
+    @staticmethod
+    def _flag_query(request: HttpRequest, name: str) -> bool:
+        return request.query.get(name, "").lower() in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _int_path(text: str, what: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise ConfigError("%s %r is not an integer" % (what, text))
+
+    @staticmethod
+    def _parse_range(text: str) -> Tuple[int, int]:
+        start, separator, stop = text.partition("-")
+        if not separator:
+            raise ConfigError("region must be START-STOP stripe indices, got %r" % text)
+        try:
+            return int(start), int(stop)
+        except ValueError:
+            raise ConfigError("region must be START-STOP stripe indices, got %r" % text)
+
+    @staticmethod
+    def _parse_ranges_body(body: bytes) -> List[Tuple[int, int]]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ConfigError("regions body must be JSON {'ranges': [[a, b], ...]}")
+        ranges = document.get("ranges") if isinstance(document, dict) else document
+        if not isinstance(ranges, list) or not ranges:
+            raise ConfigError("regions body must list at least one [start, stop] pair")
+        parsed: List[Tuple[int, int]] = []
+        for entry in ranges:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ConfigError("each region must be a [start, stop] pair, got %r" % (entry,))
+            try:
+                parsed.append((int(entry[0]), int(entry[1])))
+            except (TypeError, ValueError):
+                # int(None)/int({}) raise TypeError, which the dispatch
+                # error mapping deliberately does not catch — convert here
+                # so malformed-but-valid JSON stays a 400, not a dropped
+                # connection.
+                raise ConfigError(
+                    "each region must be a [start, stop] pair of integers, got %r"
+                    % (entry,)
+                ) from None
+        return parsed
+
+    @staticmethod
+    def _error(status: int, error: BaseException) -> Tuple[int, bytes, str]:
+        message = "%s: %s" % (type(error).__name__, error)
+        return status, json_payload({"error": message}), "application/json"
+
+    @staticmethod
+    def _error_response(status: int, message: str, keep_alive: bool) -> bytes:
+        return render_response(
+            status,
+            json_payload({"error": message}),
+            "application/json",
+            keep_alive=keep_alive,
+        )
+
+
+class ServerHandle:
+    """A running server on a daemon thread (tests, benchmarks, smoke)."""
+
+    def __init__(
+        self,
+        service: ImageService,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        server: ReproServer,
+    ) -> None:
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+        self._server = server
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.host, self._server.port
+
+    def stop(self, close_service: bool = True) -> None:
+        """Stop accepting, join the loop thread, optionally close stores."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+        if close_service:
+            self.service.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    service: ImageService, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+) -> ServerHandle:
+    """Boot a :class:`ReproServer` on a fresh event loop in a daemon thread.
+
+    Returns once the socket is bound (``handle.port`` is the real port —
+    pass ``port=0`` for an ephemeral one).  In-process callers (tests, the
+    load benchmark) get a real network server without blocking their own
+    thread or loop.
+    """
+    started = threading.Event()
+    failure: List[BaseException] = []
+    server = ReproServer(service, host, port)
+    loop = asyncio.new_event_loop()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # pragma: no cover - bind failures
+            failure.append(error)
+            started.set()
+            loop.close()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            # Idle keep-alive connections leave handler tasks parked on a
+            # readline; cancel them so the loop closes without complaints.
+            pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    thread = threading.Thread(target=run, name="repro-serve-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout):  # pragma: no cover - never with a local bind
+        raise StoreError("server failed to start within %.1fs" % timeout)
+    if failure:
+        raise failure[0]
+    return ServerHandle(service, thread, loop, server)

@@ -1,0 +1,179 @@
+"""The ``repro-serve`` console script.
+
+Boots the asyncio serving tier over N freshly opened (or pre-existing)
+store shards::
+
+    repro-serve --shards 2 --backend fs --root /var/lib/repro --port 8037
+
+prints one machine-readable line once the socket is bound::
+
+    repro-serve: listening on http://127.0.0.1:8037 (2 shard(s), fs backend)
+
+and serves until interrupted.  ``--port 0`` binds an ephemeral port (the
+printed line carries the real one — the CI smoke job parses it), and
+without ``--root`` the shards live in a throwaway temporary directory, so
+``repro-serve`` with no arguments is a complete self-contained demo
+server.
+
+Shard layout under ``--root``: ``shard-00``, ``shard-01``, … — directories
+for the ``fs`` backend, ``shard-NN.sqlite`` files for ``sqlite``.  Reusing
+the same root re-opens the same shards with the same names, and since
+routing hashes shard *names*, keys keep their placement across restarts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cli import _print_error, add_version_argument
+from repro.core.interface import ENGINES
+from repro.exceptions import ReproError
+from repro.serve.app import ImageService, ReproServer
+from repro.store.cache import DEFAULT_CACHE_BYTES
+from repro.store.store import ImageStore
+
+__all__ = ["serve_main", "build_parser", "open_shards"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve stored images over HTTP: sharded routing, "
+        "request coalescing, cached random access.",
+    )
+    add_version_argument(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8037,
+        help="TCP port; 0 binds an ephemeral port (default 8037)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of store shards keys are routed across (default 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("fs", "sqlite"),
+        default="fs",
+        help="blob storage of every shard (default fs)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory holding the shards (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=DEFAULT_CACHE_BYTES,
+        metavar="N",
+        help="decoded-cell LRU budget per shard in bytes (default 32 MiB; 0 disables)",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=("always", "second-touch"),
+        default="always",
+        help="cell-cache admission policy: cache on first decode, or only "
+        "cells seen at least twice (default always)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="coding engine for encodes and decodes (default: reference)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread-pool size for CPU-bound decodes (default: executor default)",
+    )
+    return parser
+
+
+def open_shards(
+    root: Path,
+    shards: int,
+    backend: str,
+    cache_bytes: int,
+    engine: str,
+    admission: str = "always",
+) -> List[ImageStore]:
+    """Open ``shards`` stores under ``root`` with the standard shard layout."""
+    stores: List[ImageStore] = []
+    for index in range(shards):
+        name = "shard-%02d" % index
+        path = root / (name + ".sqlite") if backend == "sqlite" else root / name
+        stores.append(
+            ImageStore.open(
+                path, cache_bytes=cache_bytes, engine=engine, cache_admission=admission
+            )
+        )
+    return stores
+
+
+async def _serve(args, root: Path) -> int:
+    stores = open_shards(
+        root, args.shards, args.backend, args.cache_bytes, args.engine, args.admission
+    )
+    service = ImageService(stores, max_workers=args.workers)
+    server = ReproServer(service, args.host, args.port)
+    try:
+        await server.start()
+        print(
+            "repro-serve: listening on http://%s:%d (%d shard(s), %s backend)"
+            % (args.host, server.port, args.shards, args.backend),
+            flush=True,
+        )
+        print("repro-serve: shards under %s" % root, file=sys.stderr, flush=True)
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - cancellation race
+        pass
+    finally:
+        await server.stop()
+        service.close()
+    return 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-serve``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.cache_bytes < 0:
+        parser.error("--cache-bytes must be >= 0")
+    if args.port < 0 or args.port > 65535:
+        parser.error("--port must be in [0, 65535]")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+
+    try:
+        if args.root is None:
+            with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+                return asyncio.run(_serve(args, Path(tmp)))
+        root = Path(args.root)
+        root.mkdir(parents=True, exist_ok=True)
+        return asyncio.run(_serve(args, root))
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down", file=sys.stderr)
+        return 0
+    except (ReproError, OSError) as error:
+        _print_error(error)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

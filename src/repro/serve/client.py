@@ -1,0 +1,179 @@
+"""Pure-stdlib client of the ``repro-serve`` HTTP API.
+
+:class:`ServeClient` wraps :mod:`http.client` — no third-party HTTP stack —
+and converts wire payloads back into the package's image types: Netpbm
+bodies become :class:`~repro.imaging.image.GrayImage` /
+:class:`~repro.imaging.planar.PlanarImage` via the same readers the CLI
+uses, so a value fetched over the network compares equal to one decoded
+in-process.  It is the client the test-suite, the load benchmark and the
+CI smoke job all drive; keeping it in-tree means the protocol has exactly
+one producer and one consumer to keep honest.
+
+Connections are persistent (HTTP/1.1 keep-alive) with one transparent
+reconnect, so closed-loop benchmark clients measure request latency, not
+TCP handshakes.  Non-2xx responses raise
+:class:`~repro.exceptions.ServeError` carrying the HTTP status and the
+server's error message.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import io
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ServeError
+from repro.imaging.image import GrayImage
+from repro.imaging.planar import PlanarImage
+from repro.imaging.pnm import read_image
+
+__all__ = ["ServeClient"]
+
+_Image = Union[GrayImage, PlanarImage]
+
+
+class ServeClient:
+    """Typed access to every endpoint of one ``repro-serve`` instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/octet-stream",
+    ) -> Tuple[int, bytes, str]:
+        """One round trip; reconnects once if the kept-alive socket died."""
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = content_type
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                response = self._connection.getresponse()
+                payload = response.read()
+                return (
+                    response.status,
+                    payload,
+                    response.getheader("Content-Type", ""),
+                )
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                # A keep-alive peer may close an idle connection between
+                # requests; retry exactly once on a fresh socket.
+                self.close()
+                if attempt:
+                    raise
+        raise ServeError("unreachable retry state")  # pragma: no cover
+
+    def _json(self, status: int, payload: bytes) -> Dict[str, Any]:
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServeError(
+                "undecodable JSON payload (HTTP %d)" % status, status=status
+            ) from None
+
+    def _expect(
+        self, expected: int, status: int, payload: bytes
+    ) -> None:
+        if status != expected:
+            message = "HTTP %d" % status
+            try:
+                document = json.loads(payload.decode("utf-8"))
+                message = "%s: %s" % (message, document.get("error", ""))
+            except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+                pass
+            raise ServeError(message, status=status)
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+
+    def put_image(
+        self,
+        data: bytes,
+        stripes: Optional[int] = None,
+        plane_delta: bool = False,
+    ) -> Dict[str, Any]:
+        """Store a Netpbm image or ``.rplc`` container; returns the routing."""
+        query = []
+        if stripes is not None:
+            query.append("stripes=%d" % stripes)
+        if plane_delta:
+            query.append("plane_delta=1")
+        path = "/images" + ("?" + "&".join(query) if query else "")
+        status, payload, _ = self._request("PUT", path, body=data)
+        self._expect(201, status, payload)
+        return self._json(status, payload)
+
+    def get_image(self, key: str) -> _Image:
+        status, payload, _ = self._request("GET", "/images/%s" % key)
+        self._expect(200, status, payload)
+        return read_image(io.BytesIO(payload))
+
+    def get_plane(self, key: str, plane: int) -> GrayImage:
+        status, payload, _ = self._request("GET", "/images/%s/plane/%d" % (key, plane))
+        self._expect(200, status, payload)
+        image = read_image(io.BytesIO(payload))
+        assert isinstance(image, GrayImage)
+        return image
+
+    def get_region(self, key: str, start: int, stop: int) -> _Image:
+        status, payload, _ = self._request(
+            "GET", "/images/%s/region/%d-%d" % (key, start, stop)
+        )
+        self._expect(200, status, payload)
+        return read_image(io.BytesIO(payload))
+
+    def get_regions(
+        self, key: str, ranges: Sequence[Tuple[int, int]]
+    ) -> List[_Image]:
+        """Fetch a batch of stripe ranges in one round trip."""
+        body = json.dumps({"ranges": [[a, b] for a, b in ranges]}).encode("utf-8")
+        status, payload, _ = self._request(
+            "POST", "/images/%s/regions" % key, body=body, content_type="application/json"
+        )
+        self._expect(200, status, payload)
+        document = self._json(status, payload)
+        images: List[_Image] = []
+        for region in document.get("regions", []):
+            raw = base64.b64decode(region["netpbm_base64"])
+            images.append(read_image(io.BytesIO(raw)))
+        return images
+
+    def healthz(self) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", "/healthz")
+        self._expect(200, status, payload)
+        return self._json(status, payload)
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``/stats`` document (histograms, flight, shards)."""
+        status, payload, _ = self._request("GET", "/stats")
+        self._expect(200, status, payload)
+        return self._json(status, payload)

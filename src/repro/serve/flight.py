@@ -1,0 +1,103 @@
+"""Single-flight coalescing of identical in-flight requests.
+
+When many clients ask for the same (key, plane/region) at once — the
+thundering-herd shape of a cache miss going viral — decoding the cell once
+per request would stampede the backend and the CPU.  :class:`SingleFlight`
+collapses the herd: the first caller for a key becomes the *leader* and
+runs the supplier; every concurrent caller for the same key blocks until
+the leader finishes and receives the same result (or the same exception).
+
+The map is keyed by arbitrary hashables and safe to use from any mix of
+threads — the serving tier calls it from thread-pool workers, the tests
+from raw :class:`threading.Thread` herds.  Completed calls are removed
+*before* waiters are released, so a caller arriving after completion
+starts a fresh flight and observes current state (e.g. a now-warm cache)
+instead of a stale result.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Optional, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class _Flight:
+    """State of one in-flight call: a latch plus its outcome."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Run ``supplier`` once per key across concurrent callers.
+
+    Counters (for ``/stats`` and the load benchmark):
+
+    * ``leaders`` — calls that actually executed a supplier;
+    * ``coalesced`` — calls that piggybacked on a leader's flight.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Hashable, _Flight] = {}
+        self._leaders = 0
+        self._coalesced = 0
+
+    def run(self, key: Hashable, supplier: Callable[[], T]) -> T:
+        """Return ``supplier()``, deduplicated against concurrent callers.
+
+        Exactly one concurrent caller per ``key`` executes ``supplier``;
+        the rest wait and share the outcome.  A supplier exception is
+        re-raised in every caller (the same exception object — suppliers
+        should raise immutable, message-style errors).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                self._leaders += 1
+                leading = True
+            else:
+                self._coalesced += 1
+                leading = False
+
+        if not leading:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result  # type: ignore[return-value]
+
+        try:
+            flight.result = supplier()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            # Remove before releasing waiters: late arrivals must start a
+            # fresh flight rather than adopt a completed one.
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.result  # type: ignore[return-value]
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "leaders": self._leaders,
+                "coalesced": self._coalesced,
+                "in_flight": len(self._flights),
+            }

@@ -1,0 +1,202 @@
+"""Hand-rolled HTTP/1.1 primitives for the asyncio serving tier.
+
+The serving tier deliberately speaks a small, explicit subset of HTTP/1.1
+over plain :mod:`asyncio` streams instead of pulling in a web framework:
+the whole protocol surface the service needs is a request line, headers, a
+``Content-Length`` body and keep-alive — small enough that owning the
+parser keeps the dependency set at "stdlib + numpy" and makes the failure
+modes (oversized headers, truncated bodies, malformed request lines)
+explicit, typed and testable.
+
+Limits are enforced during parsing, before any body is buffered:
+
+* request line and header block are bounded by :data:`MAX_HEADER_BYTES`;
+* bodies are bounded by :data:`MAX_BODY_BYTES` (``repro-serve`` stores
+  compressed containers, so even large corpora fit comfortably);
+* a request with ``Transfer-Encoding`` is rejected — the service only
+  accepts ``Content-Length``-framed bodies.
+
+Protocol violations raise :class:`HttpProtocolError`, which carries the
+HTTP status the connection handler should answer with before closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.exceptions import ServeError
+
+__all__ = [
+    "HttpProtocolError",
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "STATUS_REASONS",
+    "json_payload",
+    "read_request",
+    "render_response",
+]
+
+#: Upper bound on the request line plus the header block, in bytes.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Upper bound on a request body.  PUT bodies are compressed containers or
+#: Netpbm images; 128 MiB covers even a full-resolution deep corpus image.
+MAX_BODY_BYTES = 128 * 1024 * 1024
+
+#: The status codes the service actually answers with.
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(ServeError):
+    """A request violated the supported HTTP/1.1 subset.
+
+    ``status`` is the response code the connection handler should send
+    before closing the connection (parsing state is unrecoverable).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message, status=status)
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: the method/path/query triple plus body bytes."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection (1.1 default)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader, budget: int) -> bytes:
+    """One CRLF (or bare LF) terminated line within the header budget."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HttpProtocolError(431, "header line exceeds the stream limit") from None
+    if len(line) > budget:
+        raise HttpProtocolError(431, "header block exceeds %d bytes" % MAX_HEADER_BYTES)
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off ``reader``; ``None`` on a clean EOF.
+
+    A clean EOF (the peer closed between requests) is the normal end of a
+    keep-alive connection, not an error.  Anything malformed raises
+    :class:`HttpProtocolError` with the status to answer with.
+    """
+    budget = MAX_HEADER_BYTES
+    line = await _read_line(reader, budget)
+    if not line:
+        return None
+    budget -= len(line)
+    try:
+        text = line.decode("latin-1").strip()
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise HttpProtocolError(400, "undecodable request line") from None
+    if not text:
+        raise HttpProtocolError(400, "empty request line")
+    parts = text.split()
+    if len(parts) != 3:
+        raise HttpProtocolError(400, "malformed request line %r" % text)
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpProtocolError(400, "unsupported protocol version %r" % version)
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, budget)
+        if not line:
+            raise HttpProtocolError(400, "connection closed inside the header block")
+        budget -= len(line)
+        if budget < 0:
+            raise HttpProtocolError(431, "header block exceeds %d bytes" % MAX_HEADER_BYTES)
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, separator, value = text.partition(":")
+        if not separator or not name.strip():
+            raise HttpProtocolError(400, "malformed header line %r" % text)
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpProtocolError(501, "Transfer-Encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpProtocolError(400, "bad Content-Length %r" % length_text) from None
+        if length < 0:
+            raise HttpProtocolError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpProtocolError(
+                413, "body of %d bytes exceeds the %d byte limit" % (length, MAX_BODY_BYTES)
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpProtocolError(400, "connection closed inside the body") from None
+    elif method in ("PUT", "POST"):
+        raise HttpProtocolError(411, "%s requires a Content-Length" % method)
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query, keep_blank_values=True)}
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Iterable[Tuple[str, str]] = (),
+) -> bytes:
+    """Serialise one complete HTTP/1.1 response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        "HTTP/1.1 %d %s" % (status, reason),
+        "Content-Type: %s" % content_type,
+        "Content-Length: %d" % len(body),
+        "Connection: %s" % ("keep-alive" if keep_alive else "close"),
+    ]
+    lines.extend("%s: %s" % (name, value) for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_payload(document: object) -> bytes:
+    """The canonical JSON body encoding used by every endpoint."""
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")

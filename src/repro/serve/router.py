@@ -1,0 +1,110 @@
+"""Shard routing: rendezvous hashing of content keys over image stores.
+
+The service fronts N independent :class:`~repro.store.store.ImageStore`
+backends.  Placement uses **rendezvous (highest-random-weight) hashing**:
+every (shard, key) pair is scored with SHA-256 and the key lives on the
+highest-scoring shard.  Compared to modulo placement this keeps the map
+stable under resharding — adding one shard to N only moves the keys whose
+new top score is the new shard, an expected ``1/(N+1)`` fraction, instead
+of reshuffling almost everything.
+
+Image keys are already SHA-256 content hashes, so scores distribute
+uniformly and shards stay balanced without virtual nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Sequence
+
+from repro.exceptions import ConfigError
+from repro.store.store import ImageStore
+
+__all__ = ["StoreRouter", "rendezvous_score", "rendezvous_shard"]
+
+
+def rendezvous_score(shard_name: str, key: str) -> int:
+    """The 64-bit rendezvous weight of ``key`` on ``shard_name``."""
+    digest = hashlib.sha256(("%s|%s" % (shard_name, key)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_shard(shard_names: Sequence[str], key: str) -> int:
+    """Index of the winning shard for ``key`` (ties broken by name)."""
+    if not shard_names:
+        raise ConfigError("rendezvous routing needs at least one shard")
+    return max(
+        range(len(shard_names)),
+        key=lambda index: (rendezvous_score(shard_names[index], key), shard_names[index]),
+    )
+
+
+class StoreRouter:
+    """Route content keys across a fixed set of named image-store shards.
+
+    Parameters
+    ----------
+    stores:
+        One opened :class:`ImageStore` per shard.
+    names:
+        Stable shard names (they are the hash inputs, so renaming a shard
+        moves its keys).  Default: ``shard-00`` .. ``shard-NN``.
+    """
+
+    def __init__(
+        self, stores: Sequence[ImageStore], names: Sequence[str] = ()
+    ) -> None:
+        if not stores:
+            raise ConfigError("a router needs at least one store shard")
+        if not names:
+            names = ["shard-%02d" % index for index in range(len(stores))]
+        if len(names) != len(stores):
+            raise ConfigError(
+                "got %d shard name(s) for %d store(s)" % (len(names), len(stores))
+            )
+        if len(set(names)) != len(names):
+            raise ConfigError("shard names must be unique, got %r" % (list(names),))
+        self._stores: List[ImageStore] = list(stores)
+        self._names: List[str] = list(names)
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def __iter__(self) -> Iterator[ImageStore]:
+        return iter(self._stores)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._names)
+
+    @property
+    def stores(self) -> List[ImageStore]:
+        return list(self._stores)
+
+    def shard_index(self, key: str) -> int:
+        """The shard index ``key`` routes to."""
+        return rendezvous_shard(self._names, key)
+
+    def shard_name(self, key: str) -> str:
+        return self._names[self.shard_index(key)]
+
+    def store_for(self, key: str) -> ImageStore:
+        """The :class:`ImageStore` holding (or destined to hold) ``key``."""
+        return self._stores[self.shard_index(key)]
+
+    def keys(self) -> Iterator[str]:
+        """Every key stored across all shards."""
+        for store in self._stores:
+            for key in store.keys():
+                yield key
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-shard backend + cache counters, routing name included."""
+        return [
+            dict(store.stats(), name=name)
+            for name, store in zip(self._names, self._stores)
+        ]
+
+    def close(self) -> None:
+        for store in self._stores:
+            store.close()

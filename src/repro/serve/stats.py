@@ -1,0 +1,169 @@
+"""Request metrics of the serving tier: latency histograms per endpoint.
+
+The service keeps its own measurements instead of relying on an external
+metrics stack: a :class:`LatencyHistogram` per endpoint (fixed log-spaced
+buckets, so memory is constant and percentiles are cheap), request/error
+counters and an in-flight gauge.  ``GET /stats`` serialises the lot, the
+load benchmark reads it to attribute latency, and the nightly soak job
+uploads it as the run's artefact.
+
+Buckets are geometric (each bound doubles) from 50 µs to ~52 s: request
+latencies span four orders of magnitude between a warm cache hit and a
+cold multi-cell decode, which a linear histogram cannot cover with a
+bounded bucket count.  Quantiles report the upper bound of the bucket the
+quantile falls in, clamped to the largest observation — an estimate that
+errs on the pessimistic side by at most one bucket width.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "EndpointStats", "ServerStats"]
+
+#: Geometric bucket upper bounds in milliseconds: 0.05 ms * 2**k.
+_BUCKET_BOUNDS_MS: List[float] = [0.05 * (2.0**k) for k in range(21)]
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with cheap quantile estimates."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BUCKET_BOUNDS_MS) + 1)
+        self._count = 0
+        self._sum_ms = 0.0
+        self._min_ms = float("inf")
+        self._max_ms = 0.0
+
+    def record(self, milliseconds: float) -> None:
+        """Record one observation (negative clock glitches clamp to 0)."""
+        value = max(0.0, milliseconds)
+        index = 0
+        while index < len(_BUCKET_BOUNDS_MS) and value > _BUCKET_BOUNDS_MS[index]:
+            index += 1
+        self._counts[index] += 1
+        self._count += 1
+        self._sum_ms += value
+        self._min_ms = min(self._min_ms, value)
+        self._max_ms = max(self._max_ms, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean_ms(self) -> float:
+        return self._sum_ms / self._count if self._count else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        return self._max_ms
+
+    def quantile_ms(self, q: float) -> float:
+        """Latency below which a ``q`` fraction of observations fall.
+
+        Reported as the matching bucket's upper bound, clamped to the
+        largest observation; ``0.0`` when nothing was recorded.
+        """
+        if not self._count:
+            return 0.0
+        target = max(1, int(q * self._count + 0.5))
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(_BUCKET_BOUNDS_MS):
+                    return min(_BUCKET_BOUNDS_MS[index], self._max_ms)
+                return self._max_ms
+        return self._max_ms  # pragma: no cover - cumulative always reaches count
+
+    def as_json(self) -> Dict[str, object]:
+        buckets = {}
+        for bound, bucket_count in zip(_BUCKET_BOUNDS_MS, self._counts):
+            if bucket_count:
+                buckets["%.2f" % bound] = bucket_count
+        if self._counts[-1]:
+            buckets["+inf"] = self._counts[-1]
+        return {
+            "count": self._count,
+            "mean_ms": self.mean_ms,
+            "min_ms": self._min_ms if self._count else 0.0,
+            "max_ms": self._max_ms,
+            "p50_ms": self.quantile_ms(0.50),
+            "p99_ms": self.quantile_ms(0.99),
+            "buckets_le_ms": buckets,
+        }
+
+
+class EndpointStats:
+    """Latency histogram plus request/error counters of one endpoint."""
+
+    def __init__(self) -> None:
+        self.histogram = LatencyHistogram()
+        self.requests = 0
+        self.errors = 0
+
+    def record(self, milliseconds: float, status: int) -> None:
+        self.histogram.record(milliseconds)
+        self.requests += 1
+        if status >= 400:
+            self.errors += 1
+
+    def as_json(self) -> Dict[str, object]:
+        return dict(
+            self.histogram.as_json(), requests=self.requests, errors=self.errors
+        )
+
+
+class ServerStats:
+    """All per-endpoint stats plus service-wide gauges, thread-safe.
+
+    Handlers record from event-loop callbacks while ``/stats`` renders and
+    the benchmark polls, so every mutation and snapshot takes the lock.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointStats] = {}
+        self._in_flight = 0
+        self._clock = clock
+        self._started_at: Optional[float] = None
+
+    def mark_started(self) -> None:
+        with self._lock:
+            self._started_at = self._clock()
+
+    def request_started(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def request_finished(self, endpoint: str, milliseconds: float, status: int) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            entry = self._endpoints.get(endpoint)
+            if entry is None:
+                entry = self._endpoints[endpoint] = EndpointStats()
+            entry.record(milliseconds, status)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def as_json(self) -> Dict[str, object]:
+        with self._lock:
+            uptime = (
+                self._clock() - self._started_at if self._started_at is not None else 0.0
+            )
+            return {
+                "uptime_seconds": uptime,
+                "in_flight": self._in_flight,
+                "requests_total": sum(e.requests for e in self._endpoints.values()),
+                "errors_total": sum(e.errors for e in self._endpoints.values()),
+                "endpoints": {
+                    name: entry.as_json()
+                    for name, entry in sorted(self._endpoints.items())
+                },
+            }

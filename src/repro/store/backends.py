@@ -16,7 +16,9 @@ O(blob).  Two backends ship:
     A single-file SQLite database.  Range reads use ``substr`` on the BLOB
     column, which SQLite serves from the row's overflow chain without
     materialising the whole value in the connection.  Handy when a corpus
-    of many small streams should travel as one file.
+    of many small streams should travel as one file.  The single shared
+    connection is guarded by a lock so the backend can be driven from the
+    serving tier's worker threads.
 
 Both raise :class:`~repro.exceptions.BlobNotFoundError` for unknown keys
 and are constructed by :func:`open_backend`, which picks the backend from
@@ -30,6 +32,7 @@ import abc
 import os
 import sqlite3
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, Tuple, Union
 
@@ -175,35 +178,44 @@ class SQLiteBackend(BlobBackend):
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._connection = sqlite3.connect(str(self.path))
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS blobs ("
-            "key TEXT PRIMARY KEY, length INTEGER NOT NULL, data BLOB NOT NULL)"
-        )
-        self._connection.commit()
+        # One shared connection, handed between threads under `_lock`: the
+        # serving tier's worker pool calls range reads from whichever
+        # thread picked the request up.  sqlite3 objects are safe to move
+        # across threads as long as use is serialised, which the lock does.
+        self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS blobs ("
+                "key TEXT PRIMARY KEY, length INTEGER NOT NULL, data BLOB NOT NULL)"
+            )
+            self._connection.commit()
 
     def _one(self, sql: str, key: str) -> Tuple:
-        row = self._connection.execute(sql, (_check_key(key),)).fetchone()
+        with self._lock:
+            row = self._connection.execute(sql, (_check_key(key),)).fetchone()
         if row is None:
             raise BlobNotFoundError("no blob stored under key %r" % key)
         return row
 
     def put(self, key: str, data: bytes) -> None:
-        self._connection.execute(
-            "INSERT OR REPLACE INTO blobs (key, length, data) VALUES (?, ?, ?)",
-            (_check_key(key), len(data), sqlite3.Binary(data)),
-        )
-        self._connection.commit()
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO blobs (key, length, data) VALUES (?, ?, ?)",
+                (_check_key(key), len(data), sqlite3.Binary(data)),
+            )
+            self._connection.commit()
 
     def get(self, key: str) -> bytes:
         return bytes(self._one("SELECT data FROM blobs WHERE key = ?", key)[0])
 
     def read_range(self, key: str, offset: int, length: int) -> bytes:
         # substr is 1-indexed; SQLite slices the stored value server-side.
-        row = self._connection.execute(
-            "SELECT substr(data, ?, ?) FROM blobs WHERE key = ?",
-            (offset + 1, length, _check_key(key)),
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT substr(data, ?, ?) FROM blobs WHERE key = ?",
+                (offset + 1, length, _check_key(key)),
+            ).fetchone()
         if row is None:
             raise BlobNotFoundError("no blob stored under key %r" % key)
         return bytes(row[0])
@@ -212,31 +224,39 @@ class SQLiteBackend(BlobBackend):
         return int(self._one("SELECT length FROM blobs WHERE key = ?", key)[0])
 
     def contains(self, key: str) -> bool:
-        row = self._connection.execute(
-            "SELECT 1 FROM blobs WHERE key = ?", (_check_key(key),)
-        ).fetchone()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM blobs WHERE key = ?", (_check_key(key),)
+            ).fetchone()
         return row is not None
 
     def keys(self) -> Iterator[str]:
-        for (key,) in self._connection.execute("SELECT key FROM blobs ORDER BY key"):
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT key FROM blobs ORDER BY key"
+            ).fetchall()
+        for (key,) in rows:
             yield key
 
     def delete(self, key: str) -> None:
-        cursor = self._connection.execute(
-            "DELETE FROM blobs WHERE key = ?", (_check_key(key),)
-        )
-        self._connection.commit()
+        with self._lock:
+            cursor = self._connection.execute(
+                "DELETE FROM blobs WHERE key = ?", (_check_key(key),)
+            )
+            self._connection.commit()
         if cursor.rowcount == 0:
             raise BlobNotFoundError("no blob stored under key %r" % key)
 
     def stats(self) -> Dict[str, int]:
-        blobs, total = self._connection.execute(
-            "SELECT COUNT(*), COALESCE(SUM(length), 0) FROM blobs"
-        ).fetchone()
+        with self._lock:
+            blobs, total = self._connection.execute(
+                "SELECT COUNT(*), COALESCE(SUM(length), 0) FROM blobs"
+            ).fetchone()
         return {"blobs": int(blobs), "bytes": int(total)}
 
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()
 
 
 def open_backend(path: Union[str, Path]) -> BlobBackend:

@@ -9,12 +9,31 @@ backend reads, no CRC checks, no entropy decoding.
 The bound is in *bytes of decoded samples* (``ndarray.nbytes``), not entry
 count, because cell sizes vary wildly with image geometry and stripe count;
 a byte budget gives the cache a predictable memory footprint.  Hit, miss
-and eviction counters are kept for the ``repro-store stats`` command and
-the store benchmark.
+and eviction counters are kept for the ``repro-store stats`` command, the
+serving tier's ``/stats`` endpoint and the store benchmark.
+
+Two behaviours matter to the network serving tier built on top:
+
+* **Thread safety** — every operation takes an internal lock, so the
+  thread-pool workers of ``repro-serve`` (and any other concurrent
+  caller) can share one cache without torn byte accounting or corrupted
+  LRU order.  The critical sections are dict moves and counter updates;
+  the decode that produces an array always happens outside the lock.
+* **Hot-cell admission** — with ``admission="second-touch"`` an array is
+  only admitted once its key has been *offered* before: the first
+  :meth:`~CellCache.put` records the key in a bounded ghost list (keys
+  only, no payload) and is rejected; a repeat offer caches the bytes.
+  Lookups do **not** count as touches — the store's universal
+  get-miss → decode → put sequence must not self-admit — so a cell pays
+  two decodes before it earns cache residency, and one-touch scan
+  traffic (a client sweeping every region of a cold corpus once) cannot
+  evict the hot working set a serving process has built up.  The default
+  ``"always"`` keeps the original behaviour.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
@@ -23,10 +42,22 @@ import numpy as np
 
 from repro.exceptions import ConfigError
 
-__all__ = ["CellCache", "CacheStats", "DEFAULT_CACHE_BYTES"]
+__all__ = [
+    "CellCache",
+    "CacheStats",
+    "DEFAULT_CACHE_BYTES",
+    "ADMISSION_POLICIES",
+    "DEFAULT_GHOST_ENTRIES",
+]
 
 #: Default decoded-cell budget: 32 MiB ≈ 4 megasamples of int64 cells.
 DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Admission policies a cache can run with.
+ADMISSION_POLICIES = ("always", "second-touch")
+
+#: Bound on the second-touch ghost list (keys only — a few KiB of strings).
+DEFAULT_GHOST_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
@@ -39,6 +70,8 @@ class CacheStats:
     entries: int
     current_bytes: int
     max_bytes: int
+    admission: str = "always"
+    rejected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -46,7 +79,7 @@ class CacheStats:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
-    def as_json(self) -> Dict[str, float]:
+    def as_json(self) -> Dict[str, object]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -55,6 +88,8 @@ class CacheStats:
             "current_bytes": self.current_bytes,
             "max_bytes": self.max_bytes,
             "hit_rate": self.hit_rate,
+            "admission": self.admission,
+            "rejected": self.rejected,
         }
 
 
@@ -67,82 +102,143 @@ class CellCache:
         Total ``nbytes`` budget across cached arrays.  ``0`` disables
         caching entirely (every :meth:`get` misses, :meth:`put` is a no-op),
         which is how the store measures cold latencies.
+    admission:
+        ``"always"`` admits every decoded array; ``"second-touch"`` admits
+        a key only on its second :meth:`put` offer — lookups are *not*
+        touches (see :meth:`get`) — keeping one-touch scans from flushing
+        the hot set.
 
     Keys are arbitrary hashables; the store uses ``(blob_key, plane,
     stripe)``.  Stored arrays are marked read-only so a cached cell cannot
-    be mutated by one consumer under another's feet.
+    be mutated by one consumer under another's feet.  All operations are
+    thread-safe.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(
+        self, max_bytes: int = DEFAULT_CACHE_BYTES, admission: str = "always"
+    ) -> None:
         if max_bytes < 0:
             raise ConfigError("cache byte budget must be >= 0, got %d" % max_bytes)
+        if admission not in ADMISSION_POLICIES:
+            raise ConfigError(
+                "admission must be one of %s, got %r"
+                % (", ".join(ADMISSION_POLICIES), admission)
+            )
         self.max_bytes = max_bytes
+        self.admission = admission
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._ghosts: "OrderedDict[Hashable, None]" = OrderedDict()
         self._current_bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._rejected = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Tuple[Hashable, ...]:
         """Cached keys, least recently used first."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
 
     def get(self, key: Hashable) -> Optional[np.ndarray]:
-        """Return the cached array for ``key`` (refreshing it), or ``None``."""
-        array = self._entries.get(key)
-        if array is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return array
+        """Return the cached array for ``key`` (refreshing it), or ``None``.
+
+        A miss is *not* an admission touch: every store read performs
+        get-miss → decode → put, so counting the miss would admit every
+        key on its first request and disable the second-touch policy.
+        """
+        with self._lock:
+            array = self._entries.get(key)
+            if array is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return array
 
     def put(self, key: Hashable, array: np.ndarray) -> None:
         """Insert ``array`` under ``key``, evicting LRU entries to fit.
 
         An array larger than the whole budget is not cached at all —
         evicting everything to hold one oversized entry would turn the
-        cache into a single-slot buffer.
+        cache into a single-slot buffer.  Under ``second-touch`` admission
+        a first-seen key is recorded but its bytes are rejected.
         """
         if array.nbytes > self.max_bytes:
             return
-        if key in self._entries:
-            self._current_bytes -= self._entries.pop(key).nbytes
-        # Freeze a private copy: the cache must neither share mutable state
-        # with callers nor make a caller's own array read-only under them.
-        array = array.copy()
-        array.setflags(write=False)
-        self._entries[key] = array
-        self._current_bytes += array.nbytes
-        while self._current_bytes > self.max_bytes:
-            _, evicted = self._entries.popitem(last=False)
-            self._current_bytes -= evicted.nbytes
-            self._evictions += 1
+        # Decide admission before paying for the copy: a rejected
+        # first-touch offer must not copy a whole decoded cell.
+        with self._lock:
+            if (
+                self.admission == "second-touch"
+                and key not in self._entries
+                and key not in self._ghosts
+            ):
+                self._touch_ghost(key)
+                self._rejected += 1
+                return
+        # Freeze a private copy outside the lock: the cache must neither
+        # share mutable state with callers nor make a caller's own array
+        # read-only under them — and the copy is the expensive part, so it
+        # must not serialise other cache users.  (If a concurrent
+        # invalidate/clear races between the two critical sections the
+        # entry is simply admitted once more; accounting stays exact.)
+        frozen = array.copy()
+        frozen.setflags(write=False)
+        with self._lock:
+            prior = self._entries.pop(key, None)
+            if prior is not None:
+                self._current_bytes -= prior.nbytes
+            self._ghosts.pop(key, None)
+            self._entries[key] = frozen
+            self._current_bytes += frozen.nbytes
+            while self._current_bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._current_bytes -= evicted.nbytes
+                self._evictions += 1
+
+    def _touch_ghost(self, key: Hashable) -> None:
+        """Record ``key`` in the bounded seen-once list (lock held)."""
+        if self.admission != "second-touch":
+            return
+        self._ghosts[key] = None
+        self._ghosts.move_to_end(key)
+        while len(self._ghosts) > DEFAULT_GHOST_ENTRIES:
+            self._ghosts.popitem(last=False)
 
     def invalidate(self, key: Hashable) -> None:
         """Drop one entry if present (used when a blob is deleted)."""
-        array = self._entries.pop(key, None)
-        if array is not None:
-            self._current_bytes -= array.nbytes
+        with self._lock:
+            array = self._entries.pop(key, None)
+            if array is not None:
+                self._current_bytes -= array.nbytes
+            self._ghosts.pop(key, None)
 
     def clear(self) -> None:
         """Drop every entry; counters are kept (they describe the session)."""
-        self._entries.clear()
-        self._current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._ghosts.clear()
+            self._current_bytes = 0
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            entries=len(self._entries),
-            current_bytes=self._current_bytes,
-            max_bytes=self.max_bytes,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                current_bytes=self._current_bytes,
+                max_bytes=self.max_bytes,
+                admission=self.admission,
+                rejected=self._rejected,
+            )

@@ -204,8 +204,17 @@ def store_main(argv: Optional[List[str]] = None) -> int:
                         )
                     cache = store.cache_stats
                     print(
-                        "cache: %d hit(s), %d miss(es), %.0f%% hit rate"
-                        % (cache.hits, cache.misses, 100.0 * cache.hit_rate)
+                        "cache: %d hit(s), %d miss(es), %.0f%% hit rate, "
+                        "%d entr%s holding %d of %d bytes"
+                        % (
+                            cache.hits,
+                            cache.misses,
+                            100.0 * cache.hit_rate,
+                            cache.entries,
+                            "y" if cache.entries == 1 else "ies",
+                            cache.current_bytes,
+                            cache.max_bytes,
+                        )
                     )
             else:  # stats
                 print(json.dumps(store.stats(), indent=2, sort_keys=True))

@@ -69,6 +69,11 @@ class ImageStore:
         Blob storage (see :mod:`repro.store.backends`).
     cache_bytes:
         Byte budget of the decoded-cell LRU cache; ``0`` disables caching.
+    cache_admission:
+        Cell-cache admission policy: ``"always"`` (default) caches every
+        decoded cell, ``"second-touch"`` only cells requested more than
+        once — the serving tier's guard against one-touch scans evicting
+        the hot working set.
     config:
         Optional codec configuration forced on every decode; by default
         each stream's configuration is reconstructed from its own header,
@@ -93,11 +98,12 @@ class ImageStore:
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         config: Optional[CodecConfig] = None,
         engine: str = "reference",
+        cache_admission: str = "always",
     ) -> None:
         from repro.core.interface import require_engine
 
         self.backend = backend
-        self.cache = CellCache(cache_bytes)
+        self.cache = CellCache(cache_bytes, admission=cache_admission)
         self.config = config
         self.engine = require_engine(engine)
         self._headers: Dict[str, StreamHeader] = {}

@@ -338,6 +338,7 @@ class TestVersionFlag:
     def test_every_console_script_reports_the_package_version(self, capsys):
         from repro import __version__
         from repro.cli import inspect_main, package_version
+        from repro.serve.cli import serve_main
         from repro.store.cli import store_main
 
         assert package_version() == __version__
@@ -347,6 +348,7 @@ class TestVersionFlag:
             "repro-bench": bench_main,
             "repro-inspect": inspect_main,
             "repro-store": store_main,
+            "repro-serve": serve_main,
         }
         for prog, main in entry_points.items():
             with pytest.raises(SystemExit) as excinfo:

@@ -1,0 +1,274 @@
+"""End-to-end tests: real sockets, real HTTP, the full serving pipeline."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.imaging.pnm import write_pgm, write_ppm
+from repro.imaging.synthetic import generate_image, generate_planar_image
+from repro.serve.app import ImageService, start_server_thread
+from repro.serve.client import ServeClient
+from repro.store.store import ImageStore
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One two-shard server reused by every test in the module."""
+    root = tmp_path_factory.mktemp("serve-app")
+    stores = [ImageStore.open(root / ("shard-%02d" % index)) for index in range(2)]
+    service = ImageService(stores)
+    handle = start_server_thread(service)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(*server.address) as active:
+        yield active
+
+
+def _ppm_bytes(image):
+    buffer = io.BytesIO()
+    write_ppm(image, buffer)
+    return buffer.getvalue()
+
+
+def _pgm_bytes(image):
+    buffer = io.BytesIO()
+    write_pgm(image, buffer)
+    return buffer.getvalue()
+
+
+class TestEndpoints:
+    def test_put_then_full_get_round_trips(self, client):
+        image = generate_planar_image("lena", size=24, seed=11, planes=3)
+        outcome = client.put_image(_ppm_bytes(image), stripes=4)
+        assert len(outcome["key"]) == 64
+        assert outcome["encoded"] is True
+        assert outcome["shard"] in ("shard-00", "shard-01")
+        assert client.get_image(outcome["key"]) == image
+
+    def test_put_is_idempotent_and_routes_consistently(self, client):
+        image = generate_planar_image("peppers", size=24, seed=3, planes=3)
+        first = client.put_image(_ppm_bytes(image), stripes=4)
+        second = client.put_image(_ppm_bytes(image), stripes=4)
+        assert first["key"] == second["key"]
+        assert first["shard"] == second["shard"]
+
+    def test_put_container_bytes_directly(self, client, server):
+        from repro.core.cellgrid import encode_grid
+        from repro.core.config import CodecConfig
+
+        image = generate_image("lena", size=16, seed=5)
+        stream, _ = encode_grid(
+            image, CodecConfig.hardware(bit_depth=image.bit_depth), stripes=2
+        )
+        outcome = client.put_image(stream)
+        assert outcome["encoded"] is False
+        assert outcome["bytes"] == len(stream)
+        assert client.get_image(outcome["key"]) == image
+
+    def test_get_plane_matches_source(self, client):
+        image = generate_planar_image("mandrill", size=24, seed=7, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        for plane_index in range(3):
+            assert client.get_plane(key, plane_index) == image.plane(plane_index)
+
+    def test_get_region_serves_exactly_the_rows(self, client):
+        image = generate_planar_image("lena", size=32, seed=13, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        region = client.get_region(key, 1, 3)
+        assert region.height == 16
+        assert region.width == 32
+        # Rows 8..24 of plane 0 must match the source exactly.
+        source_rows = [image.plane(0).row(y) for y in range(8, 24)]
+        served_rows = [region.plane(0).row(y) for y in range(16)]
+        assert served_rows == source_rows
+
+    def test_batched_regions_match_individual_gets(self, client):
+        image = generate_planar_image("peppers", size=32, seed=17, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        ranges = [(0, 1), (1, 3), (0, 1)]
+        batch = client.get_regions(key, ranges)
+        assert len(batch) == 3
+        assert batch[0] == batch[2]
+        for (start, stop), got in zip(ranges, batch):
+            assert got == client.get_region(key, start, stop)
+
+    def test_healthz(self, client):
+        assert client.healthz() == {"status": "ok", "shards": 2}
+
+    def test_stats_exposes_histograms_flight_and_cache_bytes(self, client):
+        image = generate_planar_image("lena", size=24, seed=19, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        client.get_region(key, 0, 1)
+        client.get_region(key, 0, 1)
+        stats = client.stats()
+        assert stats["flight"]["leaders"] >= 1
+        endpoints = stats["server"]["endpoints"]
+        assert "get_region" in endpoints and "put_image" in endpoints
+        region_stats = endpoints["get_region"]
+        assert region_stats["requests"] >= 2
+        assert region_stats["p50_ms"] > 0.0
+        assert region_stats["p99_ms"] >= region_stats["p50_ms"]
+        names = [shard["name"] for shard in stats["shards"]]
+        assert names == ["shard-00", "shard-01"]
+        # The satellite bugfix: byte occupancy travels with entry counts.
+        total_entries = sum(s["cache"]["entries"] for s in stats["shards"])
+        total_bytes = sum(s["cache"]["current_bytes"] for s in stats["shards"])
+        assert total_entries > 0
+        assert total_bytes > 0
+
+
+class TestErrorPaths:
+    def test_unknown_key_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.get_image("0" * 64)
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, server):
+        client = ServeClient(*server.address)
+        status, _, _ = client._request("GET", "/nothing/here")
+        client.close()
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        client = ServeClient(*server.address)
+        status, _, _ = client._request("DELETE", "/healthz")
+        client.close()
+        assert status == 405
+
+    def test_out_of_range_region_is_400(self, client):
+        image = generate_planar_image("lena", size=24, seed=23, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        with pytest.raises(ServeError) as excinfo:
+            client.get_region(key, 7, 9)
+        assert excinfo.value.status == 400
+
+    def test_malformed_region_path_is_400(self, server, client):
+        image = generate_planar_image("lena", size=24, seed=23, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        raw = ServeClient(*server.address)
+        status, _, _ = raw._request("GET", "/images/%s/region/one-two" % key)
+        raw.close()
+        assert status == 400
+
+    def test_garbage_put_body_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.put_image(b"definitely not an image or container")
+        assert excinfo.value.status == 400
+
+    def test_empty_regions_batch_is_400(self, server, client):
+        image = generate_planar_image("lena", size=24, seed=23, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        raw = ServeClient(*server.address)
+        status, _, _ = raw._request(
+            "POST",
+            "/images/%s/regions" % key,
+            body=json.dumps({"ranges": []}).encode(),
+            content_type="application/json",
+        )
+        raw.close()
+        assert status == 400
+
+    def test_non_integer_region_entries_are_400_not_a_dropped_connection(
+        self, server, client
+    ):
+        """Regression: int(None) raised TypeError past the error mapping,
+        killing the connection instead of answering 400."""
+        image = generate_planar_image("lena", size=24, seed=23, planes=3)
+        key = client.put_image(_ppm_bytes(image), stripes=4)["key"]
+        raw = ServeClient(*server.address)
+        for bad in ([[None, 1]], [[{}, 1]], [[[0], 1]], [["x", 1]]):
+            status, _, _ = raw._request(
+                "POST",
+                "/images/%s/regions" % key,
+                body=json.dumps({"ranges": bad}).encode(),
+                content_type="application/json",
+            )
+            assert status == 400, "body %r got %d" % (bad, status)
+        # The same connection keeps serving afterwards.
+        status, _, _ = raw._request("GET", "/healthz")
+        raw.close()
+        assert status == 200
+
+    def test_errors_do_not_poison_keep_alive(self, client):
+        with pytest.raises(ServeError):
+            client.get_image("f" * 64)
+        # Same connection keeps serving.
+        assert client.healthz()["status"] == "ok"
+
+    def test_handler_bugs_answer_500_instead_of_dropping_the_connection(
+        self, server
+    ):
+        """The dispatcher backstop: an unexpected exception in a handler
+        (a TypeError, say) must produce an honest 500 and leave the
+        connection serving, never a dropped socket."""
+        original = server.service.healthz
+        server.service.healthz = lambda: (_ for _ in ()).throw(TypeError("boom"))
+        try:
+            raw = ServeClient(*server.address)
+            status, payload, _ = raw._request("GET", "/healthz")
+            assert status == 500
+            assert b"TypeError" in payload
+            status, _, _ = raw._request("GET", "/stats")  # same connection
+            raw.close()
+            assert status == 200
+        finally:
+            server.service.healthz = original
+
+
+class TestCoalescing:
+    def test_stampede_on_a_cold_region_decodes_at_most_twice(self, server):
+        """The acceptance shape: a herd on one region, <= 2 backend decodes."""
+        admin = ServeClient(*server.address)
+        # One big cell (96x96, 2 stripes -> 48 rows) keeps the leader's
+        # decode in flight for tens of milliseconds — long enough that the
+        # whole herd reliably piles onto it.
+        gray = generate_image("mandrill", size=96, seed=29)
+        key = admin.put_image(_pgm_bytes(gray), stripes=2)["key"]
+
+        def shard_misses():
+            return sum(s["cache"]["misses"] for s in admin.stats()["shards"])
+
+        misses_before = shard_misses()
+        coalesced_before = admin.stats()["flight"]["coalesced"]
+
+        herd_size = 24
+        barrier = threading.Barrier(herd_size)
+        results = []
+        failures = []
+        lock = threading.Lock()
+
+        def worker():
+            worker_client = ServeClient(*server.address)
+            try:
+                barrier.wait()
+                region = worker_client.get_region(key, 0, 1)
+                with lock:
+                    results.append(region)
+            except BaseException as error:
+                with lock:
+                    failures.append(error)
+            finally:
+                worker_client.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(herd_size)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+        assert len(results) == herd_size
+        assert all(region == results[0] for region in results)
+        # One stripe of a grey stream is one cell; the herd may at worst
+        # straddle one flight boundary, so two decodes are the ceiling.
+        assert shard_misses() - misses_before <= 2
+        assert admin.stats()["flight"]["coalesced"] > coalesced_before
+        admin.close()

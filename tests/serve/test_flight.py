@@ -1,0 +1,143 @@
+"""Unit and concurrency tests of the single-flight coalescing map."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.flight import SingleFlight
+
+
+class TestSingleThreaded:
+    def test_runs_and_returns(self):
+        flight = SingleFlight()
+        assert flight.run("k", lambda: 41 + 1) == 42
+        stats = flight.stats()
+        assert stats == {"leaders": 1, "coalesced": 0, "in_flight": 0}
+
+    def test_sequential_calls_are_separate_flights(self):
+        flight = SingleFlight()
+        calls = []
+        for _ in range(3):
+            flight.run("k", lambda: calls.append(None))
+        assert len(calls) == 3
+        assert flight.stats()["leaders"] == 3
+
+    def test_exception_propagates_and_clears_the_flight(self):
+        flight = SingleFlight()
+        with pytest.raises(RuntimeError):
+            flight.run("k", self._boom)
+        assert flight.in_flight == 0
+        # The key is usable again afterwards.
+        assert flight.run("k", lambda: "fine") == "fine"
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("supplier failed")
+
+
+class TestConcurrent:
+    def test_herd_on_one_key_executes_supplier_once(self):
+        """While a leader is in flight, every other caller coalesces.
+
+        The leader's supplier blocks until the test has *observed* all 15
+        followers in the coalesced counter, so the herd is guaranteed to
+        be parked — no timing assumptions, no flakiness.
+        """
+        flight = SingleFlight()
+        executions = []
+        release = threading.Event()
+        results = []
+        lock = threading.Lock()
+
+        def slow_supplier():
+            executions.append(threading.get_ident())
+            release.wait(timeout=10)
+            return "payload"
+
+        def caller():
+            value = flight.run("hot", slow_supplier)
+            with lock:
+                results.append(value)
+
+        leader = threading.Thread(target=caller)
+        leader.start()
+        deadline = time.monotonic() + 5
+        while not executions and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert executions, "leader never entered the supplier"
+
+        followers = [threading.Thread(target=caller) for _ in range(15)]
+        for thread in followers:
+            thread.start()
+        while flight.stats()["coalesced"] < 15 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert flight.stats()["coalesced"] == 15, "followers failed to coalesce"
+        release.set()
+
+        leader.join(timeout=10)
+        for thread in followers:
+            thread.join(timeout=10)
+        assert len(executions) == 1, "coalescing must decode exactly once"
+        assert results == ["payload"] * 16
+        stats = flight.stats()
+        assert stats["leaders"] == 1
+        assert stats["coalesced"] == 15
+        assert stats["in_flight"] == 0
+
+    def test_distinct_keys_run_concurrently(self):
+        flight = SingleFlight()
+        started = threading.Barrier(2, timeout=5)
+
+        def supplier(tag):
+            # Both suppliers must be inside run() at once for the barrier
+            # to release — proof that key isolation does not serialise.
+            started.wait()
+            return tag
+
+        outcomes = {}
+
+        def caller(key):
+            outcomes[key] = flight.run(key, lambda: supplier(key))
+
+        threads = [threading.Thread(target=caller, args=(k,)) for k in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert outcomes == {"a": "a", "b": "b"}
+
+    def test_herd_shares_the_leaders_exception(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(8)
+        errors = []
+        lock = threading.Lock()
+
+        def failing_supplier():
+            time.sleep(0.05)  # hold the flight open for the herd
+            raise ValueError("decode failed")
+
+        def caller():
+            barrier.wait()
+            try:
+                flight.run("k", failing_supplier)
+            except ValueError as error:
+                with lock:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=caller) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(errors) == 8
+        assert flight.in_flight == 0
+
+    def test_late_arrival_starts_a_fresh_flight(self):
+        flight = SingleFlight()
+        flight.run("k", lambda: "first")
+        assert flight.run("k", lambda: "second") == "second"
+        assert flight.stats()["leaders"] == 2
+        assert flight.stats()["coalesced"] == 0

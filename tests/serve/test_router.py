@@ -1,0 +1,119 @@
+"""Unit tests of rendezvous shard routing."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.serve.router import StoreRouter, rendezvous_shard, rendezvous_score
+from repro.store.store import ImageStore
+
+
+def _keys(count: int):
+    """Deterministic content-hash-shaped keys."""
+    return [hashlib.sha256(b"key-%d" % index).hexdigest() for index in range(count)]
+
+
+class TestRendezvousFunction:
+    def test_scores_are_deterministic(self):
+        assert rendezvous_score("shard-00", "abc") == rendezvous_score("shard-00", "abc")
+        assert rendezvous_score("shard-00", "abc") != rendezvous_score("shard-01", "abc")
+
+    def test_pick_is_stable(self):
+        names = ["shard-%02d" % index for index in range(4)]
+        for key in _keys(50):
+            assert rendezvous_shard(names, key) == rendezvous_shard(names, key)
+
+    def test_no_shards_raises(self):
+        with pytest.raises(ConfigError):
+            rendezvous_shard([], "abc")
+
+    def test_distribution_is_roughly_balanced(self):
+        names = ["shard-%02d" % index for index in range(4)]
+        counts = [0] * 4
+        for key in _keys(2000):
+            counts[rendezvous_shard(names, key)] += 1
+        # SHA-256 scores: each shard expects ~500 of 2000; 2x slack is far
+        # beyond any statistically plausible excursion.
+        assert min(counts) > 250
+        assert max(counts) < 1000
+
+    def test_adding_a_shard_moves_only_keys_it_wins(self):
+        """The rendezvous property: resharding N -> N+1 never moves a key
+        between *old* shards — keys either stay put or move to the new one."""
+        old_names = ["shard-%02d" % index for index in range(3)]
+        new_names = old_names + ["shard-03"]
+        keys = _keys(1000)
+        moved = 0
+        for key in keys:
+            before = rendezvous_shard(old_names, key)
+            after = rendezvous_shard(new_names, key)
+            if after != before:
+                assert new_names[after] == "shard-03"
+                moved += 1
+        # Expected moved fraction is 1/4; give it generous slack.
+        assert 0.10 < moved / len(keys) < 0.40
+
+
+class TestStoreRouter:
+    def _router(self, tmp_path, shards=3):
+        stores = [
+            ImageStore.open(tmp_path / ("shard-%02d" % index))
+            for index in range(shards)
+        ]
+        return StoreRouter(stores)
+
+    def test_default_names_and_len(self, tmp_path):
+        router = self._router(tmp_path)
+        assert len(router) == 3
+        assert router.names == ["shard-00", "shard-01", "shard-02"]
+        router.close()
+
+    def test_store_for_matches_shard_name(self, tmp_path):
+        router = self._router(tmp_path)
+        for key in _keys(20):
+            index = router.shard_index(key)
+            assert router.store_for(key) is router.stores[index]
+            assert router.shard_name(key) == router.names[index]
+        router.close()
+
+    def test_stats_reports_every_shard(self, tmp_path):
+        router = self._router(tmp_path)
+        stats = router.stats()
+        assert [entry["name"] for entry in stats] == router.names
+        for entry in stats:
+            assert entry["cache"]["current_bytes"] == 0
+        router.close()
+
+    def test_keys_spans_all_shards(self, tmp_path):
+        from repro.imaging.synthetic import generate_image
+
+        router = self._router(tmp_path, shards=2)
+        stored = set()
+        for seed in range(4):
+            image = generate_image("lena", size=16, seed=seed)
+            from repro.core.cellgrid import encode_grid
+            from repro.core.config import CodecConfig
+
+            stream, _ = encode_grid(
+                image, CodecConfig.hardware(bit_depth=image.bit_depth), stripes=2
+            )
+            import hashlib as _hashlib
+
+            key = _hashlib.sha256(stream).hexdigest()
+            router.store_for(key).put_stream(stream)
+            stored.add(key)
+        assert set(router.keys()) == stored
+        router.close()
+
+    def test_rejects_bad_configurations(self, tmp_path):
+        store = ImageStore.open(tmp_path / "only")
+        with pytest.raises(ConfigError):
+            StoreRouter([])
+        with pytest.raises(ConfigError):
+            StoreRouter([store], names=["a", "b"])
+        with pytest.raises(ConfigError):
+            StoreRouter([store, store], names=["same", "same"])
+        store.close()
