@@ -1,0 +1,169 @@
+"""CI chaos smoke: fault injection against a live server, under a time budget.
+
+Boots the serving tier in-process (fault injectors need a handle on the
+shard backends, which a subprocess cannot give us), wraps every shard in
+a :class:`repro.serve.chaos.FaultInjector`, and walks the two headline
+failure modes the production-hardening layer exists for:
+
+* **backend stall** — the shard owning a hot key stops answering; a
+  deadline-carrying request must come back as a fast ``504``, a key on
+  the healthy shard must keep serving (partial availability), and once
+  the stall clears the stalled region must decode cleanly — the
+  abandoned leader cannot poison the cell cache or single-flight map;
+* **shard kill** — the shard's backend raises on every call; reads on it
+  surface errors while ``/healthz`` stays ``200``, and a revive restores
+  service with no restart.
+
+The whole drill runs under a hard wall-clock budget (default 60 s): a
+hung drain, stuck worker or unbounded retry fails the job by timeout,
+which is exactly the regression this smoke exists to catch.  Usage::
+
+    python benchmarks/chaos_smoke.py [--budget 60] [--deadline-ms 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="hard wall-clock budget in seconds (default 60)")
+    parser.add_argument("--deadline-ms", type=int, default=300,
+                        help="per-request deadline during the stall (default 300)")
+    parser.add_argument("--size", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    from repro.exceptions import ServeError
+    from repro.imaging.pnm import write_ppm
+    from repro.imaging.synthetic import generate_planar_image
+    from repro.serve.app import ImageService, start_server_thread
+    from repro.serve.chaos import FaultInjector
+    from repro.serve.client import ServeClient
+    from repro.store.store import ImageStore
+
+    import tempfile
+
+    began = time.monotonic()
+
+    def check_budget(stage: str) -> None:
+        elapsed = time.monotonic() - began
+        if elapsed > args.budget:
+            raise SystemExit(
+                "FAIL: chaos smoke blew its %.0fs budget at stage %r (%.1fs)"
+                % (args.budget, stage, elapsed)
+            )
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as root:
+        from pathlib import Path
+
+        stores = [ImageStore.open(Path(root) / ("shard-%02d" % i)) for i in range(2)]
+        service = ImageService(stores)
+        injectors = dict(
+            zip(service.router.names, (s.wrap_backend(FaultInjector) for s in stores))
+        )
+        handle = start_server_thread(service)
+        try:
+            client = ServeClient(*handle.address)
+
+            # Ingest until both shards own at least one key.
+            owners = {}
+            seed = 4100
+            while len(set(owners.values())) < 2:
+                image = generate_planar_image("lena", size=args.size,
+                                              seed=seed, planes=3)
+                buffer = io.BytesIO()
+                write_ppm(image, buffer)
+                outcome = client.put_image(buffer.getvalue(), stripes=4)
+                owners[str(outcome["key"])] = str(outcome["shard"])
+                seed += 1
+            by_shard = {shard: key for key, shard in owners.items()}
+            stalled_shard, healthy_shard = sorted(by_shard)
+            stalled_key = by_shard[stalled_shard]
+            healthy_key = by_shard[healthy_shard]
+            client.get_region(healthy_key, 0, 1)  # warm the healthy shard
+            print("chaos-smoke: %d key(s) over 2 shards, stalling %s"
+                  % (len(owners), stalled_shard))
+            check_budget("ingest")
+
+            # --- Backend stall -------------------------------------------
+            for store in stores:
+                store.cache.clear()
+            injectors[stalled_shard].stall()
+            try:
+                slow = ServeClient(*handle.address, deadline_ms=args.deadline_ms)
+                stall_began = time.monotonic()
+                try:
+                    slow.get_region(stalled_key, 0, 1)
+                    raise SystemExit("FAIL: stalled shard served a region")
+                except ServeError as error:
+                    assert error.status == 504, (
+                        "expected 504 from the stalled shard, got %d" % error.status
+                    )
+                stall_elapsed = time.monotonic() - stall_began
+                assert stall_elapsed < 10.0, (
+                    "504 took %.1fs -- deadline did not bound the stall"
+                    % stall_elapsed
+                )
+                slow.close()
+                # Partial availability: the healthy shard still serves.
+                assert client.get_region(healthy_key, 0, 1).height > 0
+                print("chaos-smoke: stall -> 504 in %.0f ms, healthy shard kept "
+                      "serving" % (stall_elapsed * 1000.0))
+            finally:
+                injectors[stalled_shard].clear_stall()
+
+            # Recovery, asserted from /stats counters not logs.
+            stats = client.stats()
+            assert stats["server"]["counters"].get("deadline_exceeded", 0) >= 1
+            deadline = time.monotonic() + 10.0
+            while service.flight.in_flight and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert service.flight.in_flight == 0, "single-flight map not drained"
+            assert client.get_region(stalled_key, 0, 1).height > 0, (
+                "stalled region did not recover after clear_stall"
+            )
+            print("chaos-smoke: stall cleared, stalled region decodes again")
+            check_budget("stall")
+
+            # --- Shard kill ----------------------------------------------
+            for store in stores:
+                store.cache.clear()
+                store._headers.clear()
+            injectors[stalled_shard].kill()
+            try:
+                try:
+                    client.get_region(stalled_key, 0, 1)
+                    raise SystemExit("FAIL: killed shard served a region")
+                except ServeError as error:
+                    assert error.status >= 400, "kill must surface an error"
+                assert client.healthz()["status"] == "ok", (
+                    "healthz must stay 200 through a shard kill"
+                )
+            finally:
+                injectors[stalled_shard].revive()
+            assert client.get_region(stalled_key, 0, 1).height > 0, (
+                "revived shard did not serve"
+            )
+            print("chaos-smoke: kill surfaced errors, healthz stayed up, "
+                  "revive restored reads")
+            check_budget("kill")
+
+            chaos = injectors[stalled_shard].stats()["chaos"]
+            assert chaos["kills"] >= 1 and chaos["stalls"] >= 1
+            client.close()
+            elapsed = time.monotonic() - began
+            print("chaos-smoke: PASS in %.1fs (budget %.0fs)"
+                  % (elapsed, args.budget))
+            return 0
+        finally:
+            handle.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Gate a CI job on the SLO verdicts inside a chaos-drill bench JSON.
+
+Reads the ``--json`` output of ``repro-bench chaos`` and exits non-zero
+when any recorded SLO failed, with one line per violation.  Splitting the
+gate from the drill keeps the histogram artifact uploadable even when the
+gate trips: the soak job runs the drill, uploads the JSON, *then* gates.
+
+An optional ``--warm-p99-ms`` bound additionally fails the job when the
+baseline (unloaded, warm-cache) phase's client-side p99 exceeds it — the
+absolute latency SLO of the nightly soak, on top of the drill's relative
+ones.  Usage::
+
+    python benchmarks/check_slos.py chaos-soak.json [--warm-p99-ms 250]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def check(document: dict, warm_p99_ms: Optional[float] = None) -> List[str]:
+    """Return the list of violations in a ``repro-bench chaos`` summary."""
+    entry = document.get("experiments", {}).get("chaos")
+    if entry is None:
+        return ["no 'chaos' experiment in the summary"]
+    if entry.get("status") != "ok":
+        return ["chaos drill errored: %s" % entry.get("error", "unknown")]
+    extra = entry.get("extra", {})
+    violations = [
+        "SLO %s: %s" % (name, outcome.get("detail", ""))
+        for name, outcome in sorted(extra.get("slos", {}).items())
+        if not outcome.get("passed")
+    ]
+    if warm_p99_ms is not None:
+        baseline = next(
+            (p for p in extra.get("phases", []) if p.get("name") == "baseline"),
+            None,
+        )
+        if baseline is None:
+            violations.append("no baseline phase to hold the warm-p99 SLO against")
+        elif baseline["p99_ms"] > warm_p99_ms:
+            violations.append(
+                "warm p99 %.2f ms exceeds the %.2f ms SLO"
+                % (baseline["p99_ms"], warm_p99_ms)
+            )
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("summary", help="JSON written by repro-bench chaos --json")
+    parser.add_argument(
+        "--warm-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="absolute bound on the baseline phase's client p99 (default: off)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.summary, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    violations = check(document, warm_p99_ms=args.warm_p99_ms)
+    if violations:
+        for line in violations:
+            print("check-slos: FAIL %s" % line, file=sys.stderr)
+        return 1
+    slos = (
+        document["experiments"]["chaos"].get("extra", {}).get("slos", {})
+    )
+    for name in sorted(slos):
+        print("check-slos: ok %s" % name)
+    print("check-slos: PASS (%d SLO(s))" % len(slos))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

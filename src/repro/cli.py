@@ -27,8 +27,10 @@ four live here, ``repro-store`` in :mod:`repro.store.cli` and
     Regenerate one or more of the paper's tables/figures from the command
     line (``table1``, ``figure4``, ``table2``, ``throughput``,
     ``ablations``, ``parallel``, ``engines``, ``components``, ``store``,
-    ``serve`` — the last one a closed-loop load test of the network tier;
-    ``--duration S`` turns it into a timed soak).  With
+    ``serve``, ``chaos`` — the last two exercising the network tier:
+    ``serve`` is a closed-loop load test that ``--duration S`` turns into
+    a timed soak, ``chaos`` an overload + shard-stall drill with SLO
+    verdicts).  With
     ``--json PATH`` a machine-readable summary (bits per pixel and MB/s per
     experiment) is written as well — the input of the CI
     performance-regression gate.  When one experiment fails the remaining
@@ -370,6 +372,7 @@ _BENCH_EXPERIMENTS = (
     "components",
     "store",
     "serve",
+    "chaos",
 )
 
 
@@ -456,6 +459,19 @@ def _run_bench_experiment(name: str, args) -> tuple:
             result.format_report(),
         )
         return text, result.as_json()
+    if name == "chaos":
+        from repro.experiments.chaos_bench import run_chaos_bench
+
+        size = args.size or 32
+        phase_seconds = args.duration if args.duration is not None else 2.0
+        result = run_chaos_bench(
+            size=size, seed=args.seed, phase_seconds=phase_seconds
+        )
+        text = (
+            "Chaos drill (overload + shard stall, %.1fs phases, %dx%d):\n%s"
+            % (phase_seconds, size, size, result.format_report())
+        )
+        return text, result.as_json()
     if name == "parallel":
         from repro.hardware.multicore import (
             estimate_scaling,
@@ -538,8 +554,9 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="run the serve experiment as a timed soak instead of a fixed "
-        "request count (the nightly CI shape)",
+        help="serve: run as a timed soak of this many seconds instead of a "
+        "fixed request count (the nightly CI shape); chaos: seconds per "
+        "load phase",
     )
     args = parser.parse_args(argv)
     if args.cores < 1:

@@ -68,3 +68,28 @@ class ServeError(ReproError):
     def __init__(self, message: str, status: int = 0) -> None:
         super().__init__(message)
         self.status = status
+
+
+class DeadlineExceededError(ServeError):
+    """A request ran past its deadline (or its client went away).
+
+    Raised cooperatively inside decode work when the request context
+    expires, by coalesced followers whose own deadline lapses before the
+    flight leader finishes, and by the HTTP layer when the thread-pool
+    offload outlives the request budget.  Answered as ``504``.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=504)
+
+
+class OverloadedError(ServeError):
+    """The server shed a request to protect itself (admission control).
+
+    Carries the ``Retry-After`` hint the HTTP layer should attach to the
+    ``429`` answer.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, status=429)
+        self.retry_after = retry_after

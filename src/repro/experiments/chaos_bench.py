@@ -1,0 +1,520 @@
+"""Chaos experiment — a multi-phase overload and fault drill of the tier.
+
+Where :mod:`repro.experiments.serve_bench` measures the serving tier on a
+good day, this experiment measures it on a bad one.  It boots the full
+network stack in-process with a deliberately small admission watermark,
+wraps every shard's blob backend in a
+:class:`~repro.serve.chaos.FaultInjector`, and drives five phases of
+closed-loop load through real sockets:
+
+1. **baseline** — a few clients over warm regions: the unloaded p50/p99
+   every later phase is judged against;
+2. **ramp** — more clients, still under the watermark: latency should
+   hold;
+3. **spike** — far more clients than admission slots: the server must
+   *shed* (429 + ``Retry-After``) rather than queue, and the requests it
+   does admit must stay near baseline latency;
+4. **stall** — one shard's backend hangs mid-run (picked by key
+   ownership, so the fault deterministically bites): requests touching it
+   must fail fast with 504 deadline errors while the healthy shard keeps
+   serving;
+5. **recovery** — the stall clears: latency and error rate must return to
+   baseline.
+
+Every phase snapshots ``GET /stats`` before and after, so the per-phase
+latency quantiles used by the SLO checks come from the *server's own
+histogram deltas* — recovery is asserted from ``/stats``, not from client
+logs.  Client-side samples are kept too (exact percentiles for the
+report).  :meth:`ChaosBenchResult.assert_slos` turns the checks into a
+hard pass/fail, which is what the CI chaos-smoke and nightly soak jobs
+gate on.
+"""
+
+from __future__ import annotations
+
+import io
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigError, ReproError, ServeError
+from repro.experiments.serve_bench import _percentile
+from repro.imaging.pnm import write_pgm, write_ppm
+from repro.imaging.synthetic import (
+    CORPUS_IMAGE_NAMES,
+    generate_image,
+    generate_planar_image,
+)
+from repro.serve.app import ImageService, start_server_thread
+from repro.serve.chaos import FaultInjector
+from repro.serve.client import ServeClient
+from repro.store.store import ImageStore
+
+__all__ = [
+    "ChaosBenchResult",
+    "PhaseResult",
+    "quantile_from_bucket_delta",
+    "run_chaos_bench",
+]
+
+#: Additive slack (ms) on top of the multiplicative latency SLOs, so the
+#: 2x criterion does not flap on sub-millisecond baselines and histogram
+#: bucket quantisation.
+DEFAULT_SLACK_MS = 25.0
+
+
+def quantile_from_bucket_delta(
+    before: Dict[str, int], after: Dict[str, int], q: float
+) -> float:
+    """Quantile (ms) of the observations recorded *between* two snapshots.
+
+    ``before`` and ``after`` are ``buckets_le_ms`` maps from the server's
+    ``/stats`` document (bucket upper bound — or ``"+inf"`` — to
+    cumulative count).  The difference isolates exactly the requests of
+    one phase, which is how a phase's latency is asserted from the
+    server's own histograms rather than from client-side logs.
+    """
+    deltas: List[Tuple[float, int]] = []
+    for label, count in after.items():
+        delta = count - before.get(label, 0)
+        if delta <= 0:
+            continue
+        bound = float("inf") if label == "+inf" else float(label)
+        deltas.append((bound, delta))
+    deltas.sort()
+    total = sum(count for _, count in deltas)
+    if total == 0:
+        return 0.0
+    target = max(1, int(q * total + 0.5))
+    cumulative = 0
+    largest_finite = max(
+        (bound for bound, _ in deltas if bound != float("inf")), default=0.0
+    )
+    for bound, count in deltas:
+        cumulative += count
+        if cumulative >= target:
+            return bound if bound != float("inf") else largest_finite
+    return largest_finite  # pragma: no cover - cumulative always reaches total
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of one load phase: client-side and server-side views."""
+
+    name: str
+    clients: int
+    seconds: float = 0.0
+    requests: int = 0
+    ok: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    errors: int = 0
+    samples_ms: List[float] = field(default_factory=list)
+    stats_p50_ms: float = 0.0
+    stats_p99_ms: float = 0.0
+    stats_shed: int = 0
+    stats_deadline_exceeded: int = 0
+    stats_errors: int = 0
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(self.samples_ms, 0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return _percentile(self.samples_ms, 0.99)
+
+    def as_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "clients": self.clients,
+            "seconds": self.seconds,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "errors": self.errors,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "stats_p50_ms": self.stats_p50_ms,
+            "stats_p99_ms": self.stats_p99_ms,
+            "stats_shed": self.stats_shed,
+            "stats_deadline_exceeded": self.stats_deadline_exceeded,
+            "stats_errors": self.stats_errors,
+        }
+
+    def format_row(self) -> str:
+        return "%-9s %3d cl %6d req %6d ok %5d shed %5d 504 %4d err  %8.2f/%8.2f ms  (/stats %8.2f/%8.2f ms)" % (
+            self.name,
+            self.clients,
+            self.requests,
+            self.ok,
+            self.shed,
+            self.deadline_exceeded,
+            self.errors,
+            self.p50_ms,
+            self.p99_ms,
+            self.stats_p50_ms,
+            self.stats_p99_ms,
+        )
+
+
+@dataclass
+class ChaosBenchResult:
+    """All phases of one chaos drill plus the evaluated SLOs."""
+
+    size: int
+    seed: int
+    shards: int
+    max_inflight: int
+    stalled_shard: str = ""
+    phases: List[PhaseResult] = field(default_factory=list)
+    slos: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def phase(self, name: str) -> PhaseResult:
+        for entry in self.phases:
+            if entry.name == name:
+                return entry
+        raise ConfigError("no phase named %r in this run" % name)
+
+    def slo_failures(self) -> List[str]:
+        return [
+            "%s: %s" % (name, outcome["detail"])
+            for name, outcome in sorted(self.slos.items())
+            if not outcome["passed"]
+        ]
+
+    def assert_slos(self) -> None:
+        """Raise :class:`ReproError` naming every violated SLO."""
+        failures = self.slo_failures()
+        if failures:
+            raise ReproError(
+                "chaos drill violated %d SLO(s):\n  %s"
+                % (len(failures), "\n  ".join(failures))
+            )
+
+    def format_report(self) -> str:
+        lines = [
+            "phase       load   traffic                                      client p50/p99",
+        ]
+        lines.extend(phase.format_row() for phase in self.phases)
+        lines.append(
+            "admission watermark %d, %d shard(s); stalled shard: %s"
+            % (self.max_inflight, self.shards, self.stalled_shard or "-")
+        )
+        for name, outcome in sorted(self.slos.items()):
+            lines.append(
+                "SLO %-22s %s  (%s)"
+                % (name, "PASS" if outcome["passed"] else "FAIL", outcome["detail"])
+            )
+        return "\n".join(lines)
+
+    def as_json(self) -> Dict[str, Any]:
+        """Machine-readable summary for ``repro-bench --json`` and CI gates."""
+        extra: Dict[str, Any] = {
+            "size": self.size,
+            "seed": self.seed,
+            "shards": self.shards,
+            "max_inflight": self.max_inflight,
+            "stalled_shard": self.stalled_shard,
+            "phases": [phase.as_json() for phase in self.phases],
+            "slos": {
+                name: dict(outcome) for name, outcome in sorted(self.slos.items())
+            },
+            "slo_failures": self.slo_failures(),
+        }
+        if self.server_stats:
+            extra["server_stats"] = self.server_stats
+        return {"bpp": {}, "mb_per_s": {}, "extra": extra}
+
+
+def _endpoint_buckets(stats: Dict[str, Any], endpoint: str) -> Dict[str, int]:
+    endpoints = stats.get("server", {}).get("endpoints", {})
+    return dict(endpoints.get(endpoint, {}).get("buckets_le_ms", {}))
+
+def _endpoint_errors(stats: Dict[str, Any], endpoint: str) -> int:
+    endpoints = stats.get("server", {}).get("endpoints", {})
+    return int(endpoints.get(endpoint, {}).get("errors", 0))
+
+
+def _counter(stats: Dict[str, Any], name: str) -> int:
+    return int(stats.get("server", {}).get("counters", {}).get(name, 0))
+
+
+def _run_phase(
+    result: PhaseResult,
+    address: Tuple[str, int],
+    pairs: Sequence[Tuple[str, Tuple[int, int]]],
+    seconds: float,
+    deadline_ms: int,
+) -> None:
+    """Drive one closed-loop phase; mutates ``result`` with the outcome."""
+    lock = threading.Lock()
+    stop_at = time.monotonic() + seconds
+
+    def worker(worker_index: int) -> None:
+        client = ServeClient(*address, deadline_ms=deadline_ms)
+        samples: List[float] = []
+        requests = ok = shed = timed_out = errors = 0
+        index = worker_index
+        try:
+            while time.monotonic() < stop_at:
+                key, (start, stop) = pairs[index % len(pairs)]
+                index += result.clients
+                requests += 1
+                begin = time.perf_counter()
+                try:
+                    client.get_region(key, start, stop)
+                except ServeError as error:
+                    if error.status == 429:
+                        shed += 1
+                    elif error.status == 504:
+                        timed_out += 1
+                    else:
+                        errors += 1
+                    continue
+                ok += 1
+                samples.append(1e3 * (time.perf_counter() - begin))
+        finally:
+            client.close()
+            with lock:
+                result.requests += requests
+                result.ok += ok
+                result.shed += shed
+                result.deadline_exceeded += timed_out
+                result.errors += errors
+                result.samples_ms.extend(samples)
+
+    began = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(result.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.seconds = time.perf_counter() - began
+
+
+def run_chaos_bench(
+    size: int = 32,
+    seed: int = 2007,
+    planes: int = 3,
+    stripes: int = 4,
+    shards: int = 2,
+    max_inflight: int = 8,
+    baseline_clients: int = 4,
+    ramp_clients: int = 8,
+    spike_clients: int = 32,
+    phase_seconds: float = 2.0,
+    deadline_ms: int = 400,
+    backend: str = "filesystem",
+    engine: str = "reference",
+    images: Optional[Sequence[str]] = None,
+    p50_factor: float = 2.0,
+    slack_ms: float = DEFAULT_SLACK_MS,
+    warm_p99_slo_ms: Optional[float] = None,
+) -> ChaosBenchResult:
+    """Run the five-phase overload + fault drill against an in-process server.
+
+    ``p50_factor`` and ``slack_ms`` parameterise the latency SLOs (admitted
+    p50 under overload, and p50 after recovery, must stay within
+    ``factor * baseline + slack``).  ``warm_p99_slo_ms`` optionally adds an
+    absolute ceiling on the baseline warm p99 — the nightly soak's SLO.
+    """
+    if size < 16:
+        raise ConfigError("chaos bench image size must be at least 16, got %d" % size)
+    if shards < 2:
+        raise ConfigError("the stall phase needs at least 2 shards, got %d" % shards)
+    if spike_clients <= max_inflight:
+        raise ConfigError(
+            "spike clients (%d) must exceed the admission watermark (%d) "
+            "or nothing is ever shed" % (spike_clients, max_inflight)
+        )
+    if phase_seconds <= 0:
+        raise ConfigError("phase_seconds must be positive, got %r" % phase_seconds)
+    if deadline_ms < 50:
+        raise ConfigError("deadline_ms must be at least 50, got %d" % deadline_ms)
+    if backend not in ("filesystem", "sqlite"):
+        raise ConfigError("backend must be 'filesystem' or 'sqlite', got %r" % (backend,))
+    selected = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)[:3]
+
+    result = ChaosBenchResult(
+        size=size, seed=seed, shards=shards, max_inflight=max_inflight
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-bench-") as root:
+        stores: List[ImageStore] = []
+        injectors: List[FaultInjector] = []
+        for index in range(shards):
+            path = (
+                "%s/shard-%02d.sqlite" % (root, index)
+                if backend == "sqlite"
+                else "%s/shard-%02d" % (root, index)
+            )
+            store = ImageStore.open(path, engine=engine)
+            injector = store.wrap_backend(FaultInjector)
+            assert isinstance(injector, FaultInjector)
+            stores.append(store)
+            injectors.append(injector)
+        service = ImageService(stores, max_inflight=max_inflight)
+        by_shard = dict(zip(service.router.names, injectors))
+        with start_server_thread(service) as handle:
+            client = ServeClient(*handle.address)
+
+            # -------- ingest + pre-warm ------------------------------- #
+            pairs: List[Tuple[str, Tuple[int, int]]] = []
+            for name in selected:
+                image = generate_planar_image(name, size=size, seed=seed, planes=planes)
+                buffer = io.BytesIO()
+                write_ppm(image, buffer)
+                key = str(client.put_image(buffer.getvalue(), stripes=stripes)["key"])
+                pairs.extend((key, (s, s + 1)) for s in range(stripes))
+            for key, (start, stop) in pairs:
+                client.get_region(key, start, stop)
+
+            # Fresh, never-decoded keys for the stall phase.  put_image
+            # reports the owning shard, so the stalled shard is picked by
+            # actual key ownership — the fault deterministically bites.
+            stall_keys: Dict[str, List[str]] = {}
+            for offset in range(4):
+                gray = generate_image(
+                    selected[offset % len(selected)], size=size, seed=seed + 11 + offset
+                )
+                buffer = io.BytesIO()
+                write_pgm(gray, buffer)
+                outcome = client.put_image(buffer.getvalue(), stripes=stripes)
+                stall_keys.setdefault(str(outcome["shard"]), []).append(
+                    str(outcome["key"])
+                )
+            stalled_shard = max(stall_keys, key=lambda name: len(stall_keys[name]))
+            result.stalled_shard = stalled_shard
+            stalled_pairs = [
+                (key, (s, s + 1))
+                for key in stall_keys[stalled_shard]
+                for s in range(stripes)
+            ]
+            # The stall phase mixes warm traffic with reads that need the
+            # hung shard: partial availability is part of what it asserts.
+            mixed_pairs: List[Tuple[str, Tuple[int, int]]] = []
+            for index in range(max(len(pairs), len(stalled_pairs))):
+                mixed_pairs.append(pairs[index % len(pairs)])
+                mixed_pairs.append(stalled_pairs[index % len(stalled_pairs)])
+
+            plan: List[Tuple[str, int, Sequence[Tuple[str, Tuple[int, int]]]]] = [
+                ("baseline", baseline_clients, pairs),
+                ("ramp", ramp_clients, pairs),
+                ("spike", spike_clients, pairs),
+                ("stall", ramp_clients, mixed_pairs),
+                ("recovery", baseline_clients, mixed_pairs),
+            ]
+            for name, clients, phase_pairs in plan:
+                if name == "stall":
+                    by_shard[stalled_shard].stall()
+                elif name == "recovery":
+                    by_shard[stalled_shard].clear_stall()
+                    # Let requests abandoned during the stall finish
+                    # recording before the recovery snapshot is taken.
+                    time.sleep(max(1.0, 2.0 * deadline_ms / 1000.0))
+                phase = PhaseResult(name=name, clients=clients)
+                before = client.stats()
+                _run_phase(
+                    phase, handle.address, phase_pairs, phase_seconds, deadline_ms
+                )
+                after = client.stats()
+                phase.stats_p50_ms = quantile_from_bucket_delta(
+                    _endpoint_buckets(before, "get_region"),
+                    _endpoint_buckets(after, "get_region"),
+                    0.50,
+                )
+                phase.stats_p99_ms = quantile_from_bucket_delta(
+                    _endpoint_buckets(before, "get_region"),
+                    _endpoint_buckets(after, "get_region"),
+                    0.99,
+                )
+                phase.stats_shed = _counter(after, "shed") - _counter(before, "shed")
+                phase.stats_deadline_exceeded = _counter(
+                    after, "deadline_exceeded"
+                ) - _counter(before, "deadline_exceeded")
+                phase.stats_errors = _endpoint_errors(
+                    after, "get_region"
+                ) - _endpoint_errors(before, "get_region")
+                result.phases.append(phase)
+
+            result.server_stats = client.stats()["server"]
+            client.close()
+
+    _evaluate_slos(result, p50_factor, slack_ms, warm_p99_slo_ms)
+    return result
+
+
+def _evaluate_slos(
+    result: ChaosBenchResult,
+    p50_factor: float,
+    slack_ms: float,
+    warm_p99_slo_ms: Optional[float],
+) -> None:
+    """Fill ``result.slos`` from the recorded phases."""
+    baseline = result.phase("baseline")
+    spike = result.phase("spike")
+    stall = result.phase("stall")
+    recovery = result.phase("recovery")
+
+    def record(name: str, passed: bool, detail: str) -> None:
+        result.slos[name] = {"passed": bool(passed), "detail": detail}
+
+    record(
+        "spike_sheds",
+        spike.stats_shed > 0,
+        "overloaded server shed %d request(s) with 429 (/stats counter)"
+        % spike.stats_shed,
+    )
+    admitted_budget = p50_factor * baseline.p50_ms + slack_ms
+    record(
+        "spike_admitted_p50",
+        spike.ok > 0 and spike.p50_ms <= admitted_budget,
+        "admitted p50 %.2f ms vs budget %.2f ms (%.1fx baseline %.2f ms + %.0f ms)"
+        % (spike.p50_ms, admitted_budget, p50_factor, baseline.p50_ms, slack_ms),
+    )
+    record(
+        "stall_bites",
+        stall.stats_deadline_exceeded > 0,
+        "hung shard produced %d deadline-exceeded 504(s) (/stats counter)"
+        % stall.stats_deadline_exceeded,
+    )
+    record(
+        "stall_partial_availability",
+        stall.ok > 0,
+        "healthy shard answered %d request(s) during the stall" % stall.ok,
+    )
+    recovery_budget = p50_factor * max(baseline.stats_p50_ms, 0.1) + slack_ms
+    record(
+        "recovery_latency",
+        recovery.stats_p50_ms > 0 and recovery.stats_p50_ms <= recovery_budget,
+        "/stats p50 %.2f ms after recovery vs budget %.2f ms "
+        "(%.1fx baseline /stats p50 %.2f ms + %.0f ms)"
+        % (
+            recovery.stats_p50_ms,
+            recovery_budget,
+            p50_factor,
+            baseline.stats_p50_ms,
+            slack_ms,
+        ),
+    )
+    record(
+        "recovery_clean",
+        recovery.stats_shed == 0 and recovery.stats_deadline_exceeded == 0,
+        "after the stall cleared: %d shed, %d deadline-exceeded (/stats counters)"
+        % (recovery.stats_shed, recovery.stats_deadline_exceeded),
+    )
+    if warm_p99_slo_ms is not None:
+        record(
+            "warm_p99_slo",
+            baseline.p99_ms <= warm_p99_slo_ms,
+            "baseline warm p99 %.2f ms vs SLO %.2f ms"
+            % (baseline.p99_ms, warm_p99_slo_ms),
+        )

@@ -76,6 +76,7 @@ class ServeBenchResult:
     stampede_coalesced: int = 0
     duration: Optional[float] = None
     server_stats: Dict[str, Any] = field(default_factory=dict)
+    admission_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def cold_p50_ms(self) -> float:
@@ -187,6 +188,8 @@ class ServeBenchResult:
             extra["duration_seconds"] = self.duration
         if self.server_stats:
             extra["server_stats"] = self.server_stats
+        if self.admission_stats:
+            extra["admission"] = self.admission_stats
         return {"bpp": {}, "mb_per_s": {}, "extra": extra}
 
 
@@ -207,12 +210,16 @@ def run_serve_bench(
     engine: str = "reference",
     images: Optional[Sequence[str]] = None,
     duration: Optional[float] = None,
+    max_inflight: Optional[int] = None,
 ) -> ServeBenchResult:
     """Run the closed-loop load benchmark against an in-process server.
 
     ``duration`` switches the warm phase from a fixed request count to a
     timed soak of that many seconds (the nightly CI shape); everything
-    else is identical.
+    else is identical.  ``max_inflight`` overrides the server's admission
+    watermark (the default is high enough that this benchmark never
+    sheds; the chaos drill in :mod:`repro.experiments.chaos_bench` is the
+    one that deliberately overloads it).
     """
     if size < 16:
         raise ConfigError("serve bench image size must be at least 16, got %d" % size)
@@ -250,7 +257,10 @@ def run_serve_bench(
                 else "%s/shard-%02d" % (root, index)
             )
             stores.append(ImageStore.open(path, engine=engine))
-        service = ImageService(stores)
+        if max_inflight is not None:
+            service = ImageService(stores, max_inflight=max_inflight)
+        else:
+            service = ImageService(stores)
         with start_server_thread(service) as handle:
             client = ServeClient(*handle.address)
 
@@ -362,7 +372,9 @@ def run_serve_bench(
                 int(client.stats()["flight"]["coalesced"]) - coalesced_before
             )
 
-            result.server_stats = client.stats()["server"]
+            final = client.stats()
+            result.server_stats = final["server"]
+            result.admission_stats = final.get("admission", {})
             client.close()
     return result
 

@@ -10,8 +10,18 @@ concurrent clients over N :class:`~repro.store.store.ImageStore` shards:
   through a thread-safe single-flight map (:mod:`repro.serve.flight`);
 * **offload** — CPU-bound entropy decodes run on a worker pool, keeping
   the event loop free to accept and multiplex (:mod:`repro.serve.app`);
+* **admission control** — in-flight work is bounded by watermarks and
+  optional per-client caps; past the high watermark the server sheds
+  with ``429`` + ``Retry-After`` (:mod:`repro.serve.admission`);
+* **deadlines** — every request carries a budget into the worker pool
+  and is abandoned cooperatively once it lapses
+  (:mod:`repro.serve.deadline`);
+* **fault injection** — a chaos proxy wraps any blob backend with
+  kill/stall/error/latency faults for resilience tests and the CI chaos
+  jobs (:mod:`repro.serve.chaos`);
 * **observability** — per-endpoint latency histograms, coalescing
-  counters and per-shard cache byte occupancy behind ``GET /stats``
+  counters, hardening counters (shed, deadline_exceeded, …) and
+  per-shard cache byte occupancy behind ``GET /stats``
   (:mod:`repro.serve.stats`).
 
 The ``repro-serve`` console script (:mod:`repro.serve.cli`) boots the
@@ -19,20 +29,51 @@ tier; :class:`~repro.serve.client.ServeClient` is the pure-stdlib client
 used by the tests, the CI smoke job and ``repro-bench serve``.
 """
 
-from repro.serve.app import ImageService, ReproServer, ServerHandle, start_server_thread
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionController,
+    ClientLimiter,
+    TokenBucket,
+)
+from repro.serve.app import (
+    DEFAULT_DEADLINE_SECONDS,
+    ImageService,
+    ReproServer,
+    ServerHandle,
+    start_server_thread,
+)
+from repro.serve.chaos import FaultInjector
 from repro.serve.client import ServeClient
+from repro.serve.deadline import (
+    Deadline,
+    RequestContext,
+    bind_context,
+    context_cell_hook,
+    current_context,
+)
 from repro.serve.flight import SingleFlight
 from repro.serve.router import StoreRouter, rendezvous_score, rendezvous_shard
 from repro.serve.stats import EndpointStats, LatencyHistogram, ServerStats
 
 __all__ = [
+    "AdmissionController",
+    "ClientLimiter",
+    "DEFAULT_DEADLINE_SECONDS",
+    "DEFAULT_MAX_INFLIGHT",
+    "Deadline",
+    "FaultInjector",
     "ImageService",
     "ReproServer",
+    "RequestContext",
     "ServerHandle",
     "start_server_thread",
     "ServeClient",
     "SingleFlight",
     "StoreRouter",
+    "TokenBucket",
+    "bind_context",
+    "context_cell_hook",
+    "current_context",
     "rendezvous_score",
     "rendezvous_shard",
     "LatencyHistogram",

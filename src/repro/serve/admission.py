@@ -1,0 +1,302 @@
+"""Admission control of the serving tier: shed load instead of queueing it.
+
+Three cooperating mechanisms, all thread-safe and all observable through
+``GET /stats``:
+
+:class:`AdmissionController`
+    A watermark-bounded gauge of admitted in-flight requests.  Past the
+    **high** watermark the server sheds (``429`` + ``Retry-After``) and
+    keeps shedding until the gauge falls back to the **low** watermark —
+    the hysteresis stops the boundary from flapping admit/shed on every
+    request.  Because every admitted request holds at most one decode
+    slot at a time, bounding admissions bounds the executor's decode
+    queue too: an overloaded server answers quickly with 429s instead of
+    buffering an unbounded backlog that it can only age, never serve.
+
+:class:`TokenBucket`
+    The classic rate limiter: ``rate`` tokens per second refill up to a
+    ``burst`` capacity; a request costs one token.  Purely computational
+    (no timers) and driven by an injectable clock so tests are exact.
+
+:class:`ClientLimiter`
+    Per-client (peer host) connection caps and token-bucket rate limits.
+    Entries are created on first contact and pruned once idle so an
+    address sweep cannot grow the table without bound.
+
+All limits are *off* by default (``0`` disables) except the in-flight
+watermark, which defaults to a generous bound — an unbounded accept queue
+is precisely the failure mode this module exists to remove.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ConfigError
+
+__all__ = [
+    "AdmissionController",
+    "ClientLimiter",
+    "TokenBucket",
+    "DEFAULT_MAX_INFLIGHT",
+]
+
+#: Default high watermark on admitted in-flight requests.
+DEFAULT_MAX_INFLIGHT = 256
+
+#: Pruning threshold of the per-client table (entries, not clients).
+_MAX_CLIENT_ENTRIES = 4096
+
+
+class TokenBucket:
+    """Token-bucket rate limiter: ``rate`` tokens/s up to ``burst``."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ConfigError("token bucket rate must be positive, got %r" % rate)
+        if burst < 1.0:
+            raise ConfigError("token bucket burst must be >= 1, got %r" % burst)
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0.0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._refilled_at = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class AdmissionController:
+    """Watermark-based load shedding over a gauge of admitted requests.
+
+    Parameters
+    ----------
+    high:
+        Admitted in-flight requests at or above which new work is shed.
+    low:
+        Gauge level at which shedding stops (default ``high // 2``);
+        must satisfy ``0 < low <= high``.
+    retry_after:
+        The ``Retry-After`` hint (seconds) attached to shed responses.
+    """
+
+    def __init__(
+        self,
+        high: int = DEFAULT_MAX_INFLIGHT,
+        low: Optional[int] = None,
+        retry_after: float = 1.0,
+    ) -> None:
+        if high < 1:
+            raise ConfigError("admission high watermark must be >= 1, got %d" % high)
+        if low is None:
+            low = max(1, high // 2)
+        if low < 1 or low > high:
+            raise ConfigError(
+                "admission low watermark must be in [1, %d], got %d" % (high, low)
+            )
+        if retry_after <= 0.0:
+            raise ConfigError("retry_after must be positive, got %r" % retry_after)
+        self.high = high
+        self.low = low
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._active = 0
+        self._shedding = False
+        self._admitted = 0
+        self._shed = 0
+        self._high_water = 0
+
+    def try_admit(self) -> bool:
+        """Admit one request (the caller must :meth:`release` it later)."""
+        with self._lock:
+            if self._shedding:
+                if self._active > self.low:
+                    self._shed += 1
+                    return False
+                self._shedding = False
+            if self._active >= self.high:
+                self._shedding = True
+                self._shed += 1
+                return False
+            self._active += 1
+            self._admitted += 1
+            if self._active > self._high_water:
+                self._high_water = self._active
+            return True
+
+    def release(self) -> None:
+        """Return one admitted request's slot."""
+        with self._lock:
+            if self._active <= 0:
+                raise ConfigError("admission release without a matching admit")
+            self._active -= 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def shedding(self) -> bool:
+        with self._lock:
+            return self._shedding
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "high_watermark": self.high,
+                "low_watermark": self.low,
+                "active": self._active,
+                "high_water": self._high_water,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "shedding": self._shedding,
+                "retry_after_seconds": self.retry_after,
+            }
+
+
+class _ClientEntry:
+    __slots__ = ("connections", "bucket")
+
+    def __init__(self, bucket: Optional[TokenBucket]) -> None:
+        self.connections = 0
+        self.bucket = bucket
+
+
+class ClientLimiter:
+    """Per-client connection caps and request rate limits, keyed by host.
+
+    Parameters
+    ----------
+    max_connections:
+        Concurrent connections allowed per client host; ``0`` disables.
+    rate:
+        Requests per second allowed per client host; ``0.0`` disables.
+    burst:
+        Token-bucket capacity of the per-client rate limit (default
+        ``max(1, 2 * rate)``).
+    """
+
+    def __init__(
+        self,
+        max_connections: int = 0,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_connections < 0:
+            raise ConfigError(
+                "per-client connection cap must be >= 0, got %d" % max_connections
+            )
+        if rate < 0.0:
+            raise ConfigError("per-client rate must be >= 0, got %r" % rate)
+        self.max_connections = max_connections
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2.0 * rate)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._clients: Dict[str, _ClientEntry] = {}
+        self._rejected_connections = 0
+        self._rate_limited = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_connections > 0 or self.rate > 0.0
+
+    def _entry(self, host: str) -> _ClientEntry:
+        entry = self._clients.get(host)
+        if entry is None:
+            bucket = (
+                TokenBucket(self.rate, self.burst, clock=self._clock)
+                if self.rate > 0.0
+                else None
+            )
+            entry = self._clients[host] = _ClientEntry(bucket)
+            self._prune()
+        return entry
+
+    def _prune(self) -> None:
+        """Drop idle entries once the table grows past the bound (lock held)."""
+        if len(self._clients) <= _MAX_CLIENT_ENTRIES:
+            return
+        for host in [
+            host for host, entry in self._clients.items() if entry.connections == 0
+        ]:
+            del self._clients[host]
+
+    def connect(self, host: str) -> bool:
+        """Account one new connection; ``False`` means over the cap."""
+        with self._lock:
+            entry = self._entry(host)
+            if 0 < self.max_connections <= entry.connections:
+                self._rejected_connections += 1
+                return False
+            entry.connections += 1
+            return True
+
+    def disconnect(self, host: str) -> None:
+        """Return a connection slot taken by :meth:`connect`."""
+        with self._lock:
+            entry = self._clients.get(host)
+            if entry is not None and entry.connections > 0:
+                entry.connections -= 1
+
+    def allow_request(self, host: str) -> bool:
+        """Charge one request against the client's rate budget."""
+        if self.rate <= 0.0:
+            return True
+        with self._lock:
+            bucket = self._entry(host).bucket
+        assert bucket is not None
+        if bucket.try_acquire():
+            return True
+        with self._lock:
+            self._rate_limited += 1
+        return False
+
+    def connections(self, host: str) -> int:
+        with self._lock:
+            entry = self._clients.get(host)
+            return entry.connections if entry is not None else 0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "max_connections_per_client": self.max_connections,
+                "rate_per_second": self.rate,
+                "burst": self.burst if self.rate > 0.0 else 0.0,
+                "tracked_clients": len(self._clients),
+                "open_connections": sum(
+                    entry.connections for entry in self._clients.values()
+                ),
+                "rejected_connections": self._rejected_connections,
+                "rate_limited": self._rate_limited,
+            }

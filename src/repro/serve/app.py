@@ -17,6 +17,27 @@ not 64.  Reads are keyed by (operation, key, arguments); the served bytes
 are built once inside the flight, so coalesced followers reuse the
 serialised response too.
 
+A third property keeps the tier standing on a bad day — it degrades
+instead of buckling:
+
+* **admission control** — admitted in-flight requests are bounded by a
+  watermark pair (:mod:`repro.serve.admission`); past the high watermark
+  requests are shed with ``429`` + ``Retry-After`` rather than queued
+  without bound, and optional per-client connection caps and token-bucket
+  rate limits answer abusive peers the same way;
+* **request deadlines** — every request carries a
+  :class:`~repro.serve.deadline.RequestContext` into the thread-pool
+  offload; when the budget lapses (or the client disconnects) the HTTP
+  layer answers ``504`` and the worker abandons the decode at the next
+  cell boundary through the store's ``cell_hook`` seam, so expired work
+  cannot pin the pool;
+* **graceful drain** — :meth:`ReproServer.drain` stops accepting, lets
+  in-flight requests finish within a budget and then closes lingering
+  connections; ``repro-serve`` wires it to SIGTERM and exits 0.
+
+``/healthz`` and ``/stats`` bypass admission and rate limits: an operator
+must be able to observe an overloaded server.
+
 Endpoints (all responses JSON unless noted):
 
 * ``PUT /images[?stripes=S&plane_delta=1]`` — body is a Netpbm image
@@ -39,11 +60,12 @@ import base64
 import hashlib
 import io
 import json
+import math
 import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.cellgrid import encode_grid
 from repro.core.config import CodecConfig
@@ -51,13 +73,27 @@ from repro.exceptions import (
     BitstreamError,
     BlobNotFoundError,
     ConfigError,
+    DeadlineExceededError,
     ImageFormatError,
+    OverloadedError,
     ReproError,
     StoreError,
 )
 from repro.imaging.image import GrayImage
 from repro.imaging.planar import PlanarImage
 from repro.imaging.pnm import read_image, write_pam, write_pgm, write_ppm
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionController,
+    ClientLimiter,
+)
+from repro.serve.deadline import (
+    Deadline,
+    RequestContext,
+    bind_context,
+    context_cell_hook,
+    current_context,
+)
 from repro.serve.flight import SingleFlight
 from repro.serve.http import (
     HttpProtocolError,
@@ -70,7 +106,20 @@ from repro.serve.router import StoreRouter
 from repro.serve.stats import ServerStats
 from repro.store.store import ImageStore
 
-__all__ = ["ImageService", "ReproServer", "ServerHandle", "start_server_thread"]
+__all__ = [
+    "DEFAULT_DEADLINE_SECONDS",
+    "ImageService",
+    "ReproServer",
+    "ServerHandle",
+    "start_server_thread",
+]
+
+#: Default per-request time budget; ``0`` disables deadlines entirely.
+DEFAULT_DEADLINE_SECONDS = 30.0
+
+#: Endpoints that bypass admission control and rate limits — an operator
+#: must be able to observe an overloaded server.
+_EXEMPT_PATHS = (["healthz"], ["stats"])
 
 _NETPBM_MAGICS = (b"P1", b"P2", b"P3", b"P4", b"P5", b"P6", b"P7")
 
@@ -79,6 +128,14 @@ _CONTENT_TYPES = {
     "ppm": "image/x-portable-pixmap",
     "pam": "image/x-portable-arbitrarymap",
 }
+
+
+def _consume_outcome(future: "asyncio.Future[object]") -> None:
+    """Retrieve an abandoned offload's outcome so asyncio never logs it."""
+    try:
+        future.exception()
+    except asyncio.CancelledError:
+        pass
 
 
 def image_to_netpbm(image: Union[GrayImage, PlanarImage]) -> Tuple[bytes, str]:
@@ -116,6 +173,16 @@ class ImageService:
         names: Sequence[str] = (),
         max_workers: Optional[int] = None,
         default_stripes: int = 4,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        shed_low: Optional[int] = None,
+        retry_after: float = 1.0,
+        max_connections_per_client: int = 0,
+        client_rate: float = 0.0,
+        client_burst: Optional[float] = None,
+        default_deadline: float = DEFAULT_DEADLINE_SECONDS,
+        read_timeout: Optional[float] = 30.0,
+        idle_timeout: Optional[float] = None,
+        drain_budget: float = 10.0,
     ) -> None:
         self.router = StoreRouter(stores, names)
         self.flight = SingleFlight()
@@ -124,10 +191,43 @@ class ImageService:
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
         self.default_stripes = default_stripes
+        self.admission = AdmissionController(
+            high=max_inflight, low=shed_low, retry_after=retry_after
+        )
+        self.limiter = ClientLimiter(
+            max_connections=max_connections_per_client,
+            rate=client_rate,
+            burst=client_burst,
+        )
+        self.default_deadline = max(0.0, default_deadline)
+        self.read_timeout = read_timeout
+        self.idle_timeout = idle_timeout
+        self.drain_budget = drain_budget
+        # Deadline checkpoint at every cell fetch+decode: a multi-cell
+        # request whose budget lapsed (or whose client hung up) aborts at
+        # the next cell boundary instead of pinning a worker thread.
+        for store in self.router.stores:
+            if store.cell_hook is None:
+                store.cell_hook = context_cell_hook
 
     def close(self) -> None:
         self.executor.shutdown(wait=True)
         self.router.close()
+
+    def _coalesced(self, key, supplier):
+        """Single-flight with a follower timeout from the active deadline.
+
+        A coalesced follower whose own budget is shorter than the leader's
+        remaining work must answer 504, not overshoot its deadline waiting
+        on somebody else's flight.
+        """
+        context = current_context()
+        timeout: Optional[float] = None
+        if context is not None:
+            remaining = context.deadline.remaining
+            if not math.isinf(remaining):
+                timeout = remaining
+        return self.flight.run(key, supplier, timeout=timeout)
 
     # ------------------------------------------------------------------ #
     # operations (blocking; run these on the worker pool)
@@ -176,19 +276,19 @@ class ImageService:
 
     def get_image(self, key: str) -> Tuple[bytes, str]:
         """Full decode (the cold, whole-blob path), coalesced per key."""
-        return self.flight.run(
+        return self._coalesced(
             ("image", key),
             lambda: image_to_netpbm(self.router.store_for(key).get(key)),
         )
 
     def get_plane(self, key: str, plane: int) -> Tuple[bytes, str]:
-        return self.flight.run(
+        return self._coalesced(
             ("plane", key, plane),
             lambda: image_to_netpbm(self.router.store_for(key).get_plane(key, plane)),
         )
 
     def get_region(self, key: str, start: int, stop: int) -> Tuple[bytes, str]:
-        return self.flight.run(
+        return self._coalesced(
             ("region", key, start, stop),
             lambda: image_to_netpbm(
                 self.router.store_for(key).get_region(key, (start, stop))
@@ -219,15 +319,18 @@ class ImageService:
                 )
             return {"key": key, "regions": regions}
 
-        return self.flight.run(("regions", key, normalised), resolve)
+        return self._coalesced(("regions", key, normalised), resolve)
 
     def healthz(self) -> Dict[str, object]:
-        return {"status": "ok", "shards": len(self.router)}
+        status = "draining" if self.stats.draining else "ok"
+        return {"status": status, "shards": len(self.router)}
 
     def stats_payload(self) -> Dict[str, object]:
         return {
             "server": self.stats.as_json(),
             "flight": self.flight.stats(),
+            "admission": self.admission.stats(),
+            "clients": self.limiter.stats(),
             "shards": self.router.stats(),
         }
 
@@ -245,6 +348,8 @@ class ReproServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._draining = False
 
     async def start(self) -> None:
         """Bind and start accepting; ``self.port`` holds the bound port."""
@@ -269,6 +374,38 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, budget: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, then close.
+
+        The SIGTERM path.  New requests on existing keep-alive connections
+        are answered 503 + ``Connection: close``; admitted in-flight
+        requests get up to ``budget`` seconds to complete; whatever is
+        still parked afterwards is closed.  Returns ``True`` when every
+        in-flight request finished within the budget.
+        """
+        if budget is None:
+            budget = self.service.drain_budget
+        self._draining = True
+        self.service.stats.mark_draining()
+        if self._server is not None:
+            # close() stops accepting immediately; wait_closed() is NOT
+            # awaited here — it blocks until every connection detaches,
+            # and the lingering keep-alive connections only close at the
+            # end of this very method.
+            self._server.close()
+            self._server = None
+        deadline = Deadline(budget)
+        while self.service.stats.in_flight > 0 and not deadline.expired:
+            await asyncio.sleep(0.02)
+        drained = self.service.stats.in_flight == 0
+        for writer in list(self._connections):
+            writer.close()
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     # ------------------------------------------------------------------ #
     # connection handling
     # ------------------------------------------------------------------ #
@@ -276,27 +413,80 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        peer = writer.get_extra_info("peername")
+        host = peer[0] if isinstance(peer, tuple) and peer else "unknown"
+        limiter = self.service.limiter
+        if not limiter.connect(host):
+            self.service.stats.bump("connections_rejected")
+            try:
+                writer.write(
+                    self._error_response(
+                        429,
+                        "client %s exceeded its connection cap" % host,
+                        False,
+                        retry_after=self.service.admission.retry_after,
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._connections.add(writer)
+        context: Optional[RequestContext] = None
         try:
             while True:
                 try:
-                    request = await read_request(reader)
+                    request = await read_request(
+                        reader,
+                        read_timeout=self.service.read_timeout,
+                        idle_timeout=self.service.idle_timeout,
+                    )
                 except HttpProtocolError as error:
                     writer.write(self._error_response(error.status, str(error), False))
                     await writer.drain()
                     break
                 if request is None:
                     break
-                status, body, content_type, endpoint = await self._dispatch(request)
-                keep_alive = request.keep_alive
-                writer.write(
-                    render_response(status, body, content_type, keep_alive=keep_alive)
+                if self._draining:
+                    writer.write(
+                        self._error_response(503, "server is draining", False)
+                    )
+                    await writer.drain()
+                    break
+                status, body, content_type, extra, context = self._start_dispatch(
+                    request, host
                 )
-                await writer.drain()
+                if context is not None:
+                    # On a normal return the context is cleared; if the
+                    # await is cancelled (shutdown) or the peer vanishes,
+                    # the outer finally cancels it so the worker lets go.
+                    status, body, content_type, extra = await self._dispatch(
+                        request, context
+                    )
+                    context = None
+                keep_alive = request.keep_alive and not self._draining
+                writer.write(
+                    render_response(
+                        status,
+                        body,
+                        content_type,
+                        keep_alive=keep_alive,
+                        extra_headers=extra,
+                    )
+                )
+                await self._drain_writer(writer)
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # the peer went away mid-exchange; nothing to answer
         finally:
+            if context is not None:
+                # The handler died mid-dispatch (client gone, shutdown
+                # cancel): release the worker at its next checkpoint.
+                context.cancel()
+            self._connections.discard(writer)
+            limiter.disconnect(host)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -305,14 +495,103 @@ class ReproServer:
                 # is gone either way, so ending the task quietly is correct.
                 pass
 
-    async def _dispatch(self, request: HttpRequest) -> Tuple[int, bytes, str, str]:
-        """Route one request; returns (status, body, content-type, label)."""
+    async def _drain_writer(self, writer: asyncio.StreamWriter) -> None:
+        """Flush a response without letting a dead peer park the handler."""
+        timeout = self.service.read_timeout
+        if timeout is None:
+            await writer.drain()
+            return
+        try:
+            await asyncio.wait_for(writer.drain(), timeout)
+        except asyncio.TimeoutError:
+            raise ConnectionError("peer stopped reading mid-response") from None
+
+    def _start_dispatch(
+        self, request: HttpRequest, host: str
+    ) -> Tuple[int, bytes, str, List[Tuple[str, str]], Optional[RequestContext]]:
+        """Admission + rate limiting + deadline setup for one request.
+
+        Returns either a finished shed response (context ``None``) or the
+        :class:`RequestContext` the dispatch should run under.  Sheds are
+        recorded in the stats like any other answered request.
+        """
+        admission = self.service.admission
+        parts = [part for part in request.path.split("/") if part]
+        exempt = parts in _EXEMPT_PATHS
+        if not exempt:
+            shed: Optional[str] = None
+            if not self.service.limiter.allow_request(host):
+                self.service.stats.bump("rate_limited")
+                shed = "client %s exceeded its request rate" % host
+            elif not admission.try_admit():
+                self.service.stats.bump("shed")
+                shed = (
+                    "server is past its in-flight watermark (%d active)"
+                    % admission.active
+                )
+            if shed is not None:
+                self.service.stats.request_started()
+                self.service.stats.request_finished("shed", 0.0, 429)
+                body = json_payload({"error": "OverloadedError: %s" % shed})
+                extra = [("Retry-After", self._retry_after_text())]
+                return 429, body, "application/json", extra, None
+        try:
+            budget = self._deadline_budget(request)
+        except ConfigError as error:
+            if not exempt:
+                admission.release()
+            self.service.stats.request_started()
+            self.service.stats.request_finished("other", 0.0, 400)
+            status, body, content_type = self._error(400, error)
+            return status, body, content_type, [], None
+        context = RequestContext(
+            Deadline(budget), endpoint=request.path, admitted=not exempt
+        )
+        return 0, b"", "", [], context
+
+    def _deadline_budget(self, request: HttpRequest) -> float:
+        """Per-request budget: server default, tightened by x-deadline-ms."""
+        default = self.service.default_deadline
+        budget = default if default > 0 else math.inf
+        header = request.headers.get("x-deadline-ms")
+        if header is not None:
+            try:
+                requested_ms = int(header)
+            except ValueError:
+                raise ConfigError(
+                    "x-deadline-ms %r is not an integer" % header
+                ) from None
+            if requested_ms <= 0:
+                raise ConfigError("x-deadline-ms must be positive, got %d" % requested_ms)
+            budget = min(budget, requested_ms / 1000.0)
+        return budget
+
+    def _retry_after_text(self) -> str:
+        return "%d" % max(1, math.ceil(self.service.admission.retry_after))
+
+    async def _dispatch(
+        self, request: HttpRequest, context: RequestContext
+    ) -> Tuple[int, bytes, str, List[Tuple[str, str]]]:
+        """Route one admitted request; returns (status, body, type, headers)."""
         self.service.stats.request_started()
         started = time.perf_counter()
         endpoint = "other"
         status = 500
+        extra: List[Tuple[str, str]] = []
         try:
-            endpoint, status, body, content_type = await self._route(request)
+            try:
+                endpoint, status, body, content_type = await self._route(
+                    request, context
+                )
+            finally:
+                if context.admitted:
+                    self.service.admission.release()
+        except OverloadedError as error:
+            status, body, content_type = self._error(429, error)
+            extra = [("Retry-After", self._retry_after_text())]
+        except DeadlineExceededError as error:
+            self.service.stats.bump("deadline_exceeded")
+            status, body, content_type = self._error(504, error)
         except HttpProtocolError as error:
             status, body, content_type = self._error(error.status, error)
         except BlobNotFoundError as error:
@@ -332,19 +611,22 @@ class ReproServer:
         finally:
             elapsed_ms = 1e3 * (time.perf_counter() - started)
             self.service.stats.request_finished(endpoint, elapsed_ms, status)
-        return status, body, content_type, endpoint
+        return status, body, content_type, extra
 
-    async def _route(self, request: HttpRequest) -> Tuple[str, int, bytes, str]:
+    async def _route(
+        self, request: HttpRequest, context: RequestContext
+    ) -> Tuple[str, int, bytes, str]:
         parts = [part for part in request.path.split("/") if part]
         method = request.method
 
         if parts == ["healthz"] and method == "GET":
             return "healthz", 200, json_payload(self.service.healthz()), "application/json"
         if parts == ["stats"] and method == "GET":
-            payload = await self._offload(self.service.stats_payload)
+            payload = await self._offload(context, self.service.stats_payload)
             return "stats", 200, json_payload(payload), "application/json"
         if parts == ["images"] and method == "PUT":
             outcome = await self._offload(
+                context,
                 self.service.put_image,
                 request.body,
                 self._int_query(request, "stripes"),
@@ -354,35 +636,79 @@ class ReproServer:
         if len(parts) >= 2 and parts[0] == "images":
             key = parts[1]
             if len(parts) == 2 and method == "GET":
-                body, content_type = await self._offload(self.service.get_image, key)
+                body, content_type = await self._offload(
+                    context, self.service.get_image, key
+                )
                 return "get_image", 200, body, content_type
             if len(parts) == 4 and parts[2] == "plane" and method == "GET":
                 plane = self._int_path(parts[3], "plane index")
                 body, content_type = await self._offload(
-                    self.service.get_plane, key, plane
+                    context, self.service.get_plane, key, plane
                 )
                 return "get_plane", 200, body, content_type
             if len(parts) == 4 and parts[2] == "region" and method == "GET":
                 start, stop = self._parse_range(parts[3])
                 body, content_type = await self._offload(
-                    self.service.get_region, key, start, stop
+                    context, self.service.get_region, key, start, stop
                 )
                 return "get_region", 200, body, content_type
             if len(parts) == 3 and parts[2] == "regions" and method == "POST":
                 ranges = self._parse_ranges_body(request.body)
-                payload = await self._offload(self.service.get_regions, key, ranges)
+                payload = await self._offload(
+                    context, self.service.get_regions, key, ranges
+                )
                 return "get_regions", 200, json_payload(payload), "application/json"
 
         if parts and parts[0] in ("images", "healthz", "stats"):
             raise HttpProtocolError(405, "%s is not supported on %s" % (method, request.path))
         raise BlobNotFoundError("no route for %s %s" % (method, request.path))
 
-    async def _offload(self, function, *args):
-        """Run a blocking service operation on the worker pool."""
+    async def _offload(self, context: RequestContext, function, *args):
+        """Run a blocking service operation on the worker pool, deadline-bound.
+
+        The request's context is bound to the worker thread around the
+        call, so store hooks, the chaos harness and single-flight waits
+        can observe its deadline and cancellation.  If the budget lapses
+        while the work is still running, the HTTP side stops waiting
+        (answering 504) and cancels the context; the worker — which a
+        thread pool cannot kill — aborts at its next cooperative
+        checkpoint instead of burning to completion.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self.service.executor, lambda: function(*args)
-        )
+
+        def call():
+            bind_context(context)
+            try:
+                context.check("request")  # do not start already-expired work
+                return function(*args)
+            finally:
+                bind_context(None)
+
+        future = loop.run_in_executor(self.service.executor, call)
+        remaining = context.deadline.remaining
+        if math.isinf(remaining):
+            try:
+                return await future
+            except asyncio.CancelledError:
+                context.cancel()
+                future.add_done_callback(_consume_outcome)
+                raise
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), remaining)
+        except asyncio.TimeoutError:
+            context.cancel()
+            # The worker is abandoned, not killed: it observes the cancel
+            # at its next checkpoint and raises into a future nobody
+            # awaits — consume that outcome so it never logs as lost.
+            future.add_done_callback(_consume_outcome)
+            raise DeadlineExceededError(
+                "request ran past its %.3fs deadline in the decode offload"
+                % remaining
+            ) from None
+        except asyncio.CancelledError:
+            context.cancel()
+            future.add_done_callback(_consume_outcome)
+            raise
 
     # ------------------------------------------------------------------ #
     # request parsing helpers
@@ -451,12 +777,23 @@ class ReproServer:
         return status, json_payload({"error": message}), "application/json"
 
     @staticmethod
-    def _error_response(status: int, message: str, keep_alive: bool) -> bytes:
+    def _error_response(
+        status: int,
+        message: str,
+        keep_alive: bool,
+        retry_after: Optional[float] = None,
+    ) -> bytes:
+        extra = (
+            [("Retry-After", "%d" % max(1, math.ceil(retry_after)))]
+            if retry_after is not None
+            else []
+        )
         return render_response(
             status,
             json_payload({"error": message}),
             "application/json",
             keep_alive=keep_alive,
+            extra_headers=extra,
         )
 
 
@@ -486,6 +823,22 @@ class ServerHandle:
     @property
     def address(self) -> Tuple[str, int]:
         return self._server.host, self._server.port
+
+    def drain(self, budget: Optional[float] = None, timeout: float = 30.0) -> bool:
+        """Run a graceful drain on the server's loop; see ReproServer.drain.
+
+        Returns ``True`` when every in-flight request finished within the
+        budget.  The loop keeps running (so ``/stats`` scrapes of a
+        drained server still work in tests) — call :meth:`stop` after.
+        """
+        future = asyncio.run_coroutine_threadsafe(
+            self._server.drain(budget), self._loop
+        )
+        return future.result(timeout=timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._server.draining
 
     def stop(self, close_service: bool = True) -> None:
         """Stop accepting, join the loop thread, optionally close stores."""

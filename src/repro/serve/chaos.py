@@ -1,0 +1,216 @@
+"""Fault injection for the serving tier: wrap a backend, break it on cue.
+
+:class:`FaultInjector` is a :class:`~repro.store.backends.BlobBackend`
+proxy that injects configurable faults into the data-path operations
+(``get`` / ``read_range`` / ``length`` / ``put`` / ``delete`` /
+``contains``) while leaving observability (``stats``) untouched — a
+chaos run must never blind the harness that is asserting recovery.
+
+Faults, all runtime-switchable and thread-safe:
+
+* **kill** — every data operation raises ``StoreError`` until
+  :meth:`revive` (a dead shard);
+* **stall** — every data operation blocks (a hung disk / network mount),
+  either for a fixed per-operation duration or until :meth:`clear_stall`.
+  The stall is polled in small slices and aborts early when the calling
+  request's :class:`~repro.serve.deadline.RequestContext` is abandoned,
+  so a stalled backend does not pin a worker thread past the request
+  deadline — exactly the bad day the deadline machinery exists for;
+* **fail_next(n)** — the next ``n`` data operations raise ``StoreError``
+  (transient I/O errors);
+* **latency** — a fixed delay added to every data operation (a slow
+  volume).
+
+Counters (``kills``, ``stalls``, ``errors``, ``delays``, ``operations``)
+ride in the wrapped :meth:`stats` under ``"chaos"``, so ``/stats``
+exposes exactly what the injector did to each shard.  Install one with
+:meth:`repro.store.store.ImageStore.wrap_backend`::
+
+    injector = store.wrap_backend(FaultInjector)
+    injector.stall()          # shard hangs
+    ...
+    injector.clear_stall()    # shard recovers
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.exceptions import StoreError
+from repro.serve.deadline import current_context
+from repro.store.backends import BlobBackend
+
+__all__ = ["FaultInjector"]
+
+#: Slice length of the stall polling loop, seconds.
+_STALL_SLICE = 0.02
+
+
+class FaultInjector(BlobBackend):
+    """A :class:`BlobBackend` proxy injecting kill/stall/error/latency faults."""
+
+    def __init__(
+        self,
+        inner: BlobBackend,
+        clock: Callable[[], float] = time.monotonic,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self._clock = clock
+        self._sleeper = sleeper
+        self._lock = threading.Lock()
+        self._killed = False
+        self._stalled = False
+        self._stall_seconds: Optional[float] = None
+        self._fail_next = 0
+        self._latency = 0.0
+        self._counters: Dict[str, int] = {
+            "operations": 0,
+            "kills": 0,
+            "stalls": 0,
+            "errors": 0,
+            "delays": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # fault switches
+    # ------------------------------------------------------------------ #
+
+    def kill(self) -> None:
+        """Every data operation raises ``StoreError`` until :meth:`revive`."""
+        with self._lock:
+            self._killed = True
+
+    def revive(self) -> None:
+        with self._lock:
+            self._killed = False
+
+    def stall(self, seconds: Optional[float] = None) -> None:
+        """Block data operations: ``seconds`` each, or until :meth:`clear_stall`."""
+        if seconds is not None and seconds < 0.0:
+            raise StoreError("stall duration must be >= 0, got %r" % seconds)
+        with self._lock:
+            self._stalled = True
+            self._stall_seconds = seconds
+
+    def clear_stall(self) -> None:
+        with self._lock:
+            self._stalled = False
+            self._stall_seconds = None
+
+    def fail_next(self, count: int = 1) -> None:
+        """The next ``count`` data operations raise ``StoreError``."""
+        if count < 0:
+            raise StoreError("fail_next count must be >= 0, got %d" % count)
+        with self._lock:
+            self._fail_next = count
+
+    def add_latency(self, seconds: float) -> None:
+        """Add a fixed delay to every data operation (``0`` clears it)."""
+        if seconds < 0.0:
+            raise StoreError("latency must be >= 0, got %r" % seconds)
+        with self._lock:
+            self._latency = seconds
+
+    @property
+    def faults(self) -> Dict[str, object]:
+        """The currently armed faults (for harness logging)."""
+        with self._lock:
+            return {
+                "killed": self._killed,
+                "stalled": self._stalled,
+                "stall_seconds": self._stall_seconds,
+                "fail_next": self._fail_next,
+                "latency_seconds": self._latency,
+            }
+
+    # ------------------------------------------------------------------ #
+    # injection
+    # ------------------------------------------------------------------ #
+
+    def _apply(self, operation: str) -> None:
+        with self._lock:
+            self._counters["operations"] += 1
+            if self._killed:
+                self._counters["kills"] += 1
+                raise StoreError("chaos: backend is killed (%s)" % operation)
+            if self._fail_next > 0:
+                self._fail_next -= 1
+                self._counters["errors"] += 1
+                raise StoreError("chaos: injected %s failure" % operation)
+            latency = self._latency
+            stalled = self._stalled
+        if latency > 0.0:
+            with self._lock:
+                self._counters["delays"] += 1
+            self._sleeper(latency)
+        if stalled:
+            self._stall(operation)
+
+    def _stall(self, operation: str) -> None:
+        """Block until the stall clears, its duration lapses, or the
+        calling request is abandoned (deadline/cancel) — polled in slices
+        so a cleared stall or an expired deadline frees the worker fast."""
+        with self._lock:
+            self._counters["stalls"] += 1
+        started = self._clock()
+        while True:
+            with self._lock:
+                if not self._stalled:
+                    return
+                limit = self._stall_seconds
+            if limit is not None and self._clock() - started >= limit:
+                return
+            context = current_context()
+            if context is not None and context.should_abort:
+                raise StoreError(
+                    "chaos: stalled %s abandoned by an expired request" % operation
+                )
+            self._sleeper(_STALL_SLICE)
+
+    # ------------------------------------------------------------------ #
+    # BlobBackend data path (faults injected)
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: str, data: bytes) -> None:
+        self._apply("put")
+        self.inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        self._apply("get")
+        return self.inner.get(key)
+
+    def read_range(self, key: str, offset: int, length: int) -> bytes:
+        self._apply("read_range")
+        return self.inner.read_range(key, offset, length)
+
+    def length(self, key: str) -> int:
+        self._apply("length")
+        return self.inner.length(key)
+
+    def contains(self, key: str) -> bool:
+        self._apply("contains")
+        return self.inner.contains(key)
+
+    def keys(self) -> Iterator[str]:
+        self._apply("keys")
+        return self.inner.keys()
+
+    def delete(self, key: str) -> None:
+        self._apply("delete")
+        self.inner.delete(key)
+
+    # ------------------------------------------------------------------ #
+    # observability (never faulted) and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, int]:
+        payload = dict(self.inner.stats())
+        with self._lock:
+            payload["chaos"] = dict(self._counters)  # type: ignore[assignment]
+        return payload
+
+    def close(self) -> None:
+        self.inner.close()

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 import tempfile
 from pathlib import Path
@@ -33,7 +34,8 @@ from typing import List, Optional
 from repro.cli import _print_error, add_version_argument
 from repro.core.interface import ENGINES
 from repro.exceptions import ReproError
-from repro.serve.app import ImageService, ReproServer
+from repro.serve.admission import DEFAULT_MAX_INFLIGHT
+from repro.serve.app import DEFAULT_DEADLINE_SECONDS, ImageService, ReproServer
 from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.store import ImageStore
 
@@ -100,6 +102,93 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="thread-pool size for CPU-bound decodes (default: executor default)",
     )
+    hardening = parser.add_argument_group(
+        "production hardening",
+        "Admission control, per-client limits, deadlines and graceful "
+        "drain.  Past --max-inflight the server sheds requests with 429 + "
+        "Retry-After instead of queueing them; SIGTERM drains in-flight "
+        "work within --drain-budget seconds and exits 0.",
+    )
+    hardening.add_argument(
+        "--max-inflight",
+        type=int,
+        default=DEFAULT_MAX_INFLIGHT,
+        metavar="N",
+        help="high watermark on admitted in-flight requests; past it new "
+        "requests are shed with 429 (default %d)" % DEFAULT_MAX_INFLIGHT,
+    )
+    hardening.add_argument(
+        "--shed-low",
+        type=int,
+        default=None,
+        metavar="N",
+        help="low watermark at which shedding stops again "
+        "(default: half of --max-inflight)",
+    )
+    hardening.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint attached to 429 responses (default 1.0)",
+    )
+    hardening.add_argument(
+        "--max-client-connections",
+        type=int,
+        default=0,
+        metavar="N",
+        help="concurrent connections allowed per client host; "
+        "0 disables the cap (default)",
+    )
+    hardening.add_argument(
+        "--client-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="requests per second allowed per client host; "
+        "0 disables rate limiting (default)",
+    )
+    hardening.add_argument(
+        "--client-burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="token-bucket burst of the per-client rate limit "
+        "(default: twice --client-rate)",
+    )
+    hardening.add_argument(
+        "--deadline",
+        type=float,
+        default=DEFAULT_DEADLINE_SECONDS,
+        metavar="SECONDS",
+        help="per-request time budget (clients may tighten it with an "
+        "x-deadline-ms header); 0 disables deadlines (default %.0f)"
+        % DEFAULT_DEADLINE_SECONDS,
+    )
+    hardening.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="budget for a request's headers and body once the request "
+        "line arrived; 0 disables (default 30)",
+    )
+    hardening.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="idle keep-alive connections are closed after this long; "
+        "0 disables (default 300)",
+    )
+    hardening.add_argument(
+        "--drain-budget",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds in-flight requests get to finish on SIGTERM "
+        "before connections are closed (default 10)",
+    )
     return parser
 
 
@@ -128,8 +217,27 @@ async def _serve(args, root: Path) -> int:
     stores = open_shards(
         root, args.shards, args.backend, args.cache_bytes, args.engine, args.admission
     )
-    service = ImageService(stores, max_workers=args.workers)
+    service = ImageService(
+        stores,
+        max_workers=args.workers,
+        max_inflight=args.max_inflight,
+        shed_low=args.shed_low,
+        retry_after=args.retry_after,
+        max_connections_per_client=args.max_client_connections,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        default_deadline=args.deadline,
+        read_timeout=args.read_timeout if args.read_timeout > 0 else None,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        drain_budget=args.drain_budget,
+    )
     server = ReproServer(service, args.host, args.port)
+    loop = asyncio.get_running_loop()
+    sigterm = asyncio.Event()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+        pass
     try:
         await server.start()
         print(
@@ -138,10 +246,33 @@ async def _serve(args, root: Path) -> int:
             flush=True,
         )
         print("repro-serve: shards under %s" % root, file=sys.stderr, flush=True)
-        await server.serve_forever()
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiting = asyncio.ensure_future(sigterm.wait())
+        await asyncio.wait({serving, waiting}, return_when=asyncio.FIRST_COMPLETED)
+        if sigterm.is_set():
+            print(
+                "repro-serve: SIGTERM, draining (budget %.1fs)"
+                % service.drain_budget,
+                file=sys.stderr,
+                flush=True,
+            )
+            drained = await server.drain()
+            print(
+                "repro-serve: drained %s"
+                % ("cleanly" if drained else "with requests still in flight"),
+                file=sys.stderr,
+                flush=True,
+            )
+        for task in (serving, waiting):
+            task.cancel()
+        await asyncio.gather(serving, waiting, return_exceptions=True)
     except asyncio.CancelledError:  # pragma: no cover - cancellation race
         pass
     finally:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
+            pass
         await server.stop()
         service.close()
     return 0
@@ -159,6 +290,24 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--port must be in [0, 65535]")
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.max_inflight < 1:
+        parser.error("--max-inflight must be at least 1")
+    if args.shed_low is not None and not 0 < args.shed_low <= args.max_inflight:
+        parser.error("--shed-low must be in [1, --max-inflight]")
+    if args.retry_after <= 0:
+        parser.error("--retry-after must be positive")
+    if args.max_client_connections < 0:
+        parser.error("--max-client-connections must be >= 0")
+    if args.client_rate < 0:
+        parser.error("--client-rate must be >= 0")
+    if args.client_burst is not None and args.client_burst < 1:
+        parser.error("--client-burst must be >= 1")
+    if args.deadline < 0:
+        parser.error("--deadline must be >= 0")
+    if args.read_timeout < 0 or args.idle_timeout < 0:
+        parser.error("--read-timeout and --idle-timeout must be >= 0")
+    if args.drain_budget < 0:
+        parser.error("--drain-budget must be >= 0")
 
     try:
         if args.root is None:

@@ -14,6 +14,17 @@ reconnect, so closed-loop benchmark clients measure request latency, not
 TCP handshakes.  Non-2xx responses raise
 :class:`~repro.exceptions.ServeError` carrying the HTTP status and the
 server's error message.
+
+The client cooperates with the server's production-hardening layer:
+
+* ``deadline_ms`` attaches an ``x-deadline-ms`` header to every request,
+  tightening the server's own per-request budget;
+* ``shed_retries`` retries requests the server shed with ``429``,
+  backing off exponentially and honouring the server's ``Retry-After``
+  hint (capped at ``max_backoff`` so a load generator cannot be parked
+  arbitrarily long by a large hint).  A request still shed after the
+  retry budget raises :class:`~repro.exceptions.ServeError` with status
+  429, which load generators count as shed load, not failure.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import base64
 import http.client
 import io
 import json
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ServeError
@@ -37,10 +49,25 @@ _Image = Union[GrayImage, PlanarImage]
 class ServeClient:
     """Typed access to every endpoint of one ``repro-serve`` instance."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        deadline_ms: Optional[int] = None,
+        shed_retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.deadline_ms = deadline_ms
+        self.shed_retries = shed_retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        #: 429 responses observed (including ones a retry then cleared).
+        self.shed_seen = 0
         self._connection: Optional[http.client.HTTPConnection] = None
 
     def close(self) -> None:
@@ -65,10 +92,34 @@ class ServeClient:
         body: Optional[bytes] = None,
         content_type: str = "application/octet-stream",
     ) -> Tuple[int, bytes, str]:
-        """One round trip; reconnects once if the kept-alive socket died."""
+        """One request, with up to ``shed_retries`` retries of 429 sheds."""
         headers = {}
         if body is not None:
             headers["Content-Type"] = content_type
+        if self.deadline_ms is not None:
+            headers["x-deadline-ms"] = "%d" % self.deadline_ms
+        for shed_attempt in range(self.shed_retries + 1):
+            status, payload, kind, retry_after = self._round_trip(
+                method, path, body, headers
+            )
+            if status != 429:
+                return status, payload, kind
+            self.shed_seen += 1
+            if shed_attempt == self.shed_retries:
+                return status, payload, kind
+            delay = self.backoff * (2.0**shed_attempt)
+            if retry_after is not None:
+                try:
+                    delay = max(delay, float(retry_after))
+                except ValueError:
+                    pass
+            time.sleep(min(delay, self.max_backoff))
+        raise ServeError("unreachable shed-retry state")  # pragma: no cover
+
+    def _round_trip(
+        self, method: str, path: str, body: Optional[bytes], headers: Dict[str, str]
+    ) -> Tuple[int, bytes, str, Optional[str]]:
+        """One round trip; reconnects once if the kept-alive socket died."""
         for attempt in (0, 1):
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(
@@ -78,10 +129,15 @@ class ServeClient:
                 self._connection.request(method, path, body=body, headers=headers)
                 response = self._connection.getresponse()
                 payload = response.read()
+                if response.getheader("Connection", "").lower() == "close":
+                    # The server asked to close (shed, drain, error): a
+                    # kept-alive follow-up would hit a dead socket.
+                    self.close()
                 return (
                     response.status,
                     payload,
                     response.getheader("Content-Type", ""),
+                    response.getheader("Retry-After"),
                 )
             except (http.client.HTTPException, ConnectionError, BrokenPipeError):
                 # A keep-alive peer may close an idle connection between

@@ -20,6 +20,8 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Hashable, Optional, TypeVar
 
+from repro.exceptions import DeadlineExceededError
+
 __all__ = ["SingleFlight"]
 
 T = TypeVar("T")
@@ -42,7 +44,8 @@ class SingleFlight:
     Counters (for ``/stats`` and the load benchmark):
 
     * ``leaders`` — calls that actually executed a supplier;
-    * ``coalesced`` — calls that piggybacked on a leader's flight.
+    * ``coalesced`` — calls that piggybacked on a leader's flight;
+    * ``timeouts`` — followers whose own deadline lapsed mid-wait.
     """
 
     def __init__(self) -> None:
@@ -50,14 +53,26 @@ class SingleFlight:
         self._flights: Dict[Hashable, _Flight] = {}
         self._leaders = 0
         self._coalesced = 0
+        self._timeouts = 0
 
-    def run(self, key: Hashable, supplier: Callable[[], T]) -> T:
+    def run(
+        self,
+        key: Hashable,
+        supplier: Callable[[], T],
+        timeout: Optional[float] = None,
+    ) -> T:
         """Return ``supplier()``, deduplicated against concurrent callers.
 
         Exactly one concurrent caller per ``key`` executes ``supplier``;
         the rest wait and share the outcome.  A supplier exception is
         re-raised in every caller (the same exception object — suppliers
         should raise immutable, message-style errors).
+
+        ``timeout`` bounds a *follower's* wait: a coalesced caller whose
+        own deadline is shorter than the leader's remaining work raises
+        :class:`DeadlineExceededError` instead of overshooting its budget.
+        The flight itself is unaffected — the leader keeps running and
+        other waiters still get the result.
         """
         with self._lock:
             flight = self._flights.get(key)
@@ -71,7 +86,12 @@ class SingleFlight:
                 leading = False
 
         if not leading:
-            flight.done.wait()
+            if not flight.done.wait(timeout):
+                with self._lock:
+                    self._timeouts += 1
+                raise DeadlineExceededError(
+                    "coalesced wait on %r outlived the caller's deadline" % (key,)
+                )
             if flight.error is not None:
                 raise flight.error
             return flight.result  # type: ignore[return-value]
@@ -99,5 +119,6 @@ class SingleFlight:
             return {
                 "leaders": self._leaders,
                 "coalesced": self._coalesced,
+                "timeouts": self._timeouts,
                 "in_flight": len(self._flights),
             }

@@ -14,7 +14,12 @@ Limits are enforced during parsing, before any body is buffered:
 * bodies are bounded by :data:`MAX_BODY_BYTES` (``repro-serve`` stores
   compressed containers, so even large corpora fit comfortably);
 * a request with ``Transfer-Encoding`` is rejected — the service only
-  accepts ``Content-Length``-framed bodies.
+  accepts ``Content-Length``-framed bodies;
+* header and body reads are bounded in *time* as well as bytes: once the
+  request line has landed, the rest of the request must arrive within
+  ``read_timeout`` seconds, so a client that goes quiet mid-request (the
+  slowloris shape, or a peer that died without closing) gets a typed
+  ``408`` instead of parking the connection handler forever.
 
 Protocol violations raise :class:`HttpProtocolError`, which carries the
 HTTP status the connection handler should answer with before closing.
@@ -24,8 +29,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Awaitable, Dict, Iterable, Optional, Tuple, TypeVar
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.exceptions import ServeError
@@ -40,6 +46,8 @@ __all__ = [
     "read_request",
     "render_response",
 ]
+
+_T = TypeVar("_T")
 
 #: Upper bound on the request line plus the header block, in bytes.
 MAX_HEADER_BYTES = 32 * 1024
@@ -59,10 +67,12 @@ STATUS_REASONS: Dict[int, str] = {
     408: "Request Timeout",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -93,10 +103,25 @@ class HttpRequest:
         return self.headers.get("connection", "").lower() != "close"
 
 
-async def _read_line(reader: asyncio.StreamReader, budget: int) -> bytes:
+async def _timed(awaitable: Awaitable[_T], remaining: Optional[float], what: str) -> _T:
+    """Await with a time budget; a lapse is a typed ``408`` protocol error."""
+    if remaining is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, max(0.0, remaining))
+    except asyncio.TimeoutError:
+        raise HttpProtocolError(408, "timed out reading the %s" % what) from None
+
+
+async def _read_line(
+    reader: asyncio.StreamReader,
+    budget: int,
+    remaining: Optional[float] = None,
+    what: str = "header block",
+) -> bytes:
     """One CRLF (or bare LF) terminated line within the header budget."""
     try:
-        line = await reader.readline()
+        line = await _timed(reader.readline(), remaining, what)
     except (asyncio.LimitOverrunError, ValueError):
         raise HttpProtocolError(431, "header line exceeds the stream limit") from None
     if len(line) > budget:
@@ -104,18 +129,40 @@ async def _read_line(reader: asyncio.StreamReader, budget: int) -> bytes:
     return line
 
 
-async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+async def read_request(
+    reader: asyncio.StreamReader,
+    read_timeout: Optional[float] = None,
+    idle_timeout: Optional[float] = None,
+) -> Optional[HttpRequest]:
     """Parse one request off ``reader``; ``None`` on a clean EOF.
 
     A clean EOF (the peer closed between requests) is the normal end of a
     keep-alive connection, not an error.  Anything malformed raises
     :class:`HttpProtocolError` with the status to answer with.
+
+    ``idle_timeout`` bounds the wait for the *start* of a request (an
+    idle keep-alive connection): on lapse the connection is treated like
+    a clean EOF and ``None`` is returned.  ``read_timeout`` bounds the
+    rest — header lines and the body must arrive within that many seconds
+    of the request line, or the parse fails with a typed ``408`` — a
+    half-sent request must never park the handler forever.
     """
     budget = MAX_HEADER_BYTES
-    line = await _read_line(reader, budget)
+    try:
+        line = await _timed(reader.readline(), idle_timeout, "request line")
+    except HttpProtocolError:
+        return None  # idle keep-alive lapsed between requests: close quietly
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HttpProtocolError(431, "header line exceeds the stream limit") from None
     if not line:
         return None
     budget -= len(line)
+    expires_at = time.monotonic() + read_timeout if read_timeout is not None else None
+
+    def remaining() -> Optional[float]:
+        if expires_at is None:
+            return None
+        return expires_at - time.monotonic()
     try:
         text = line.decode("latin-1").strip()
     except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
@@ -131,7 +178,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
 
     headers: Dict[str, str] = {}
     while True:
-        line = await _read_line(reader, budget)
+        line = await _read_line(reader, budget, remaining(), "header block")
         if not line:
             raise HttpProtocolError(400, "connection closed inside the header block")
         budget -= len(line)
@@ -161,7 +208,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
                 413, "body of %d bytes exceeds the %d byte limit" % (length, MAX_BODY_BYTES)
             )
         try:
-            body = await reader.readexactly(length)
+            body = await _timed(reader.readexactly(length), remaining(), "body")
         except asyncio.IncompleteReadError:
             raise HttpProtocolError(400, "connection closed inside the body") from None
     elif method in ("PUT", "POST"):

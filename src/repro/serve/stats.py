@@ -128,16 +128,39 @@ class ServerStats:
         self._lock = threading.Lock()
         self._endpoints: Dict[str, EndpointStats] = {}
         self._in_flight = 0
+        self._in_flight_high_water = 0
         self._clock = clock
         self._started_at: Optional[float] = None
+        self._draining = False
+        self._counters: Dict[str, int] = {}
 
     def mark_started(self) -> None:
         with self._lock:
             self._started_at = self._clock()
 
+    def mark_draining(self) -> None:
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named hardening counter (shed, deadline_exceeded, …)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
     def request_started(self) -> None:
         with self._lock:
             self._in_flight += 1
+            if self._in_flight > self._in_flight_high_water:
+                self._in_flight_high_water = self._in_flight
 
     def request_finished(self, endpoint: str, milliseconds: float, status: int) -> None:
         with self._lock:
@@ -160,8 +183,11 @@ class ServerStats:
             return {
                 "uptime_seconds": uptime,
                 "in_flight": self._in_flight,
+                "in_flight_high_water": self._in_flight_high_water,
+                "draining": self._draining,
                 "requests_total": sum(e.requests for e in self._endpoints.values()),
                 "errors_total": sum(e.errors for e in self._endpoints.values()),
+                "counters": dict(sorted(self._counters.items())),
                 "endpoints": {
                     name: entry.as_json()
                     for name, entry in sorted(self._endpoints.items())

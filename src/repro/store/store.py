@@ -26,7 +26,17 @@ from __future__ import annotations
 
 import hashlib
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -82,6 +92,13 @@ class ImageStore:
         Registered coding engine used for decoding (and for :meth:`put`
         encodes); any engine name accepted by
         :func:`repro.core.interface.get_engine`.
+    cell_hook:
+        Optional callable invoked before every cell fetch+decode on the
+        random-access paths.  The serving tier installs its deadline
+        checkpoint here so a multi-cell decode whose request expired or
+        whose client disconnected aborts at the next cell boundary
+        (raising from the hook) instead of running to completion on a
+        worker thread nobody is waiting for.
 
     Examples
     --------
@@ -99,6 +116,7 @@ class ImageStore:
         config: Optional[CodecConfig] = None,
         engine: str = "reference",
         cache_admission: str = "always",
+        cell_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         from repro.core.interface import require_engine
 
@@ -106,7 +124,21 @@ class ImageStore:
         self.cache = CellCache(cache_bytes, admission=cache_admission)
         self.config = config
         self.engine = require_engine(engine)
+        self.cell_hook = cell_hook
         self._headers: Dict[str, StreamHeader] = {}
+
+    def wrap_backend(
+        self, wrapper: Callable[[BlobBackend], BlobBackend]
+    ) -> BlobBackend:
+        """Replace the backend with ``wrapper(backend)`` and return it.
+
+        The seam fault-injection harnesses use: a chaos proxy (or any
+        other decorator — tracing, metrics) slots in *after* the store is
+        open and serving, without the store knowing.  Cached headers and
+        decoded cells are kept — the wrapper sees the same blobs.
+        """
+        self.backend = wrapper(self.backend)
+        return self.backend
 
     @classmethod
     def open(cls, path: Union[str, Path], **kwargs) -> "ImageStore":
@@ -295,7 +327,10 @@ class ImageStore:
         """
         spans = component_spans(header)
         resolved: Dict[Tuple[int, int], np.ndarray] = {}
+        hook = self.cell_hook
         for plane, spec in cells:
+            if hook is not None:
+                hook()
             cell_key: _CellKey = (key, plane, spec.index)
             array = self.cache.get(cell_key)
             if array is None:

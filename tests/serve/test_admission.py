@@ -1,0 +1,148 @@
+"""Unit tests of the admission-control primitives (fake clocks, no I/O)."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionController,
+    ClientLimiter,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.available == 3.0
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate_up_to_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(100.0)  # refill clamps at burst
+        assert bucket.available == 4.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_admits_until_high_watermark(self):
+        admission = AdmissionController(high=3)
+        assert all(admission.try_admit() for _ in range(3))
+        assert not admission.try_admit()
+        assert admission.active == 3
+
+    def test_hysteresis_sheds_until_low_watermark(self):
+        admission = AdmissionController(high=4, low=2)
+        for _ in range(4):
+            assert admission.try_admit()
+        assert not admission.try_admit()
+        assert admission.shedding
+        # Still above low: keeps shedding even though active < high.
+        admission.release()
+        assert not admission.try_admit()
+        assert admission.active == 3
+        admission.release()  # active == 2 == low: shedding clears
+        assert admission.try_admit()
+        assert not admission.shedding
+
+    def test_release_without_admit_is_an_error(self):
+        admission = AdmissionController(high=2)
+        with pytest.raises(ConfigError):
+            admission.release()
+
+    def test_stats_track_peaks_and_sheds(self):
+        admission = AdmissionController(high=2, retry_after=0.5)
+        assert admission.try_admit() and admission.try_admit()
+        assert not admission.try_admit()
+        stats = admission.stats()
+        assert stats["high_watermark"] == 2
+        assert stats["high_water"] == 2
+        assert stats["admitted"] == 2
+        assert stats["shed"] == 1
+        assert stats["shedding"] is True
+        assert stats["retry_after_seconds"] == 0.5
+
+    def test_defaults(self):
+        admission = AdmissionController()
+        assert admission.high == DEFAULT_MAX_INFLIGHT
+        assert admission.low == DEFAULT_MAX_INFLIGHT // 2
+
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(high=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(high=4, low=5)
+        with pytest.raises(ConfigError):
+            AdmissionController(high=4, retry_after=0.0)
+
+
+class TestClientLimiter:
+    def test_disabled_by_default(self):
+        limiter = ClientLimiter()
+        assert not limiter.enabled
+        for _ in range(100):
+            assert limiter.connect("10.0.0.1")
+        assert all(limiter.allow_request("10.0.0.1") for _ in range(100))
+
+    def test_connection_cap_per_host(self):
+        limiter = ClientLimiter(max_connections=2)
+        assert limiter.connect("a") and limiter.connect("a")
+        assert not limiter.connect("a")
+        assert limiter.connect("b")  # other hosts unaffected
+        limiter.disconnect("a")
+        assert limiter.connect("a")
+        assert limiter.connections("a") == 2
+
+    def test_rate_limit_per_host(self):
+        clock = FakeClock()
+        limiter = ClientLimiter(rate=1.0, burst=2.0, clock=clock)
+        assert limiter.allow_request("a")
+        assert limiter.allow_request("a")
+        assert not limiter.allow_request("a")
+        assert limiter.allow_request("b")  # separate bucket
+        clock.advance(1.0)
+        assert limiter.allow_request("a")
+
+    def test_stats_and_counters(self):
+        limiter = ClientLimiter(max_connections=1, rate=1.0, burst=1.0,
+                                clock=FakeClock())
+        assert limiter.connect("a")
+        assert not limiter.connect("a")
+        assert limiter.allow_request("a")
+        assert not limiter.allow_request("a")
+        stats = limiter.stats()
+        assert stats["rejected_connections"] == 1
+        assert stats["rate_limited"] == 1
+        assert stats["tracked_clients"] == 1
+        assert stats["open_connections"] == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            ClientLimiter(max_connections=-1)
+        with pytest.raises(ConfigError):
+            ClientLimiter(rate=-1.0)

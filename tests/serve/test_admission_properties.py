@@ -1,0 +1,97 @@
+"""Property-based conformance of the admission-control primitives.
+
+Two invariants the serving tier's overload story rests on, checked over
+arbitrary interleavings:
+
+* the admission gauge never exceeds the high watermark, and every admit
+  the controller grants is balanced by exactly one release — so bounding
+  admissions really does bound the decode backlog;
+* a token bucket never hands out more tokens than ``burst + rate * t``
+  over any interval ``t`` — the rate limit cannot be tricked into
+  over-issuing by any request/clock interleaving.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@given(
+    high=st.integers(min_value=1, max_value=16),
+    low=st.none() | st.integers(min_value=1, max_value=16),
+    actions=st.lists(st.booleans(), max_size=200),
+)
+def test_gauge_never_exceeds_high_watermark(high, low, actions):
+    """True = try_admit, False = release one held slot (if any)."""
+    if low is not None and low > high:
+        low = high
+    admission = AdmissionController(high=high, low=low)
+    held = 0
+    for is_admit in actions:
+        if is_admit:
+            if admission.try_admit():
+                held += 1
+        elif held > 0:
+            admission.release()
+            held -= 1
+        assert 0 <= admission.active <= high
+        assert admission.active == held
+    stats = admission.stats()
+    assert stats["high_water"] <= high
+    assert stats["admitted"] >= held
+
+
+@given(
+    high=st.integers(min_value=2, max_value=16),
+    seed=st.randoms(use_true_random=False),
+    count=st.integers(min_value=0, max_value=300),
+)
+def test_shedding_always_recovers(high, seed, count):
+    """After every slot is released an idle controller admits again."""
+    admission = AdmissionController(high=high)
+    held = 0
+    for _ in range(count):
+        if seed.random() < 0.6:
+            if admission.try_admit():
+                held += 1
+        elif held:
+            admission.release()
+            held -= 1
+    for _ in range(held):
+        admission.release()
+    assert admission.active == 0
+    assert admission.try_admit()
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    burst=st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    steps=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=50,
+    ),
+)
+def test_bucket_never_over_issues(rate, burst, steps):
+    clock = _Clock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    granted = 0
+    for advance, attempts in steps:
+        clock.now += advance
+        for _ in range(attempts):
+            if bucket.try_acquire():
+                granted += 1
+        # Over [0, now] at most burst + rate * now tokens ever existed.
+        ceiling = burst + rate * clock.now
+        assert granted <= ceiling + 1e-6
+    assert 0.0 <= bucket.available <= burst

@@ -1,0 +1,127 @@
+"""Tests of the fault-injection harness, standalone and through the store."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.imaging.synthetic import generate_planar_image
+from repro.serve.chaos import FaultInjector
+from repro.serve.deadline import Deadline, RequestContext, bind_context
+from repro.store.backends import FilesystemBackend
+from repro.store.store import ImageStore
+
+
+@pytest.fixture()
+def backend(tmp_path):
+    inner = FilesystemBackend(tmp_path / "blobs")
+    injector = FaultInjector(inner)
+    injector.put("k", b"0123456789")
+    yield injector
+    injector.close()
+
+
+class TestFaultSwitches:
+    def test_kill_and_revive(self, backend):
+        backend.kill()
+        with pytest.raises(StoreError, match="killed"):
+            backend.get("k")
+        with pytest.raises(StoreError, match="killed"):
+            backend.read_range("k", 0, 4)
+        backend.revive()
+        assert backend.get("k") == b"0123456789"
+        assert backend.stats()["chaos"]["kills"] == 2
+
+    def test_fail_next_is_transient(self, backend):
+        backend.fail_next(2)
+        for _ in range(2):
+            with pytest.raises(StoreError, match="injected"):
+                backend.length("k")
+        assert backend.length("k") == 10
+        assert backend.stats()["chaos"]["errors"] == 2
+
+    def test_latency_delays_every_operation(self, tmp_path):
+        slept = []
+        inner = FilesystemBackend(tmp_path / "blobs2")
+        injector = FaultInjector(inner, sleeper=slept.append)
+        injector.put("k", b"abc")
+        injector.add_latency(0.25)
+        assert injector.get("k") == b"abc"
+        assert 0.25 in slept
+        injector.add_latency(0.0)
+        slept.clear()
+        injector.get("k")
+        assert slept == []
+
+    def test_timed_stall_completes(self, backend):
+        backend.stall(0.05)
+        begin = time.monotonic()
+        assert backend.read_range("k", 0, 4) == b"0123"
+        assert time.monotonic() - begin >= 0.04
+        assert backend.stats()["chaos"]["stalls"] == 1
+
+    def test_indefinite_stall_until_cleared(self, backend):
+        backend.stall()
+        timer = threading.Timer(0.1, backend.clear_stall)
+        timer.start()
+        try:
+            assert backend.get("k") == b"0123456789"
+        finally:
+            timer.cancel()
+
+    def test_stall_aborts_an_abandoned_request(self, backend):
+        """The worker-thread escape hatch: a cancelled request frees fast."""
+        backend.stall()
+        context = RequestContext(Deadline(100.0))
+        context.cancel()
+        bind_context(context)
+        begin = time.monotonic()
+        try:
+            with pytest.raises(StoreError, match="abandoned"):
+                backend.get("k")
+        finally:
+            bind_context(None)
+            backend.clear_stall()
+        assert time.monotonic() - begin < 5.0
+
+    def test_faults_snapshot(self, backend):
+        backend.stall(1.5)
+        backend.fail_next(3)
+        faults = backend.faults
+        assert faults["stalled"] and faults["stall_seconds"] == 1.5
+        assert faults["fail_next"] == 3
+        assert not faults["killed"]
+
+    def test_observability_is_never_faulted(self, backend):
+        backend.kill()
+        stats = backend.stats()  # must not raise
+        assert "chaos" in stats
+
+    def test_rejects_bad_arguments(self, backend):
+        with pytest.raises(StoreError):
+            backend.stall(-1.0)
+        with pytest.raises(StoreError):
+            backend.fail_next(-1)
+        with pytest.raises(StoreError):
+            backend.add_latency(-0.1)
+
+
+class TestThroughTheStore:
+    def test_wrap_backend_installs_the_proxy(self, tmp_path):
+        store = ImageStore.open(tmp_path / "store")
+        try:
+            key = store.put(generate_planar_image("lena", size=16), stripes=2)
+            injector = store.wrap_backend(FaultInjector)
+            assert store.backend is injector
+            # Cached artefacts survive the wrap: the region still serves.
+            assert store.get_region(key, (0, 1)).height == 8
+            injector.kill()
+            store.cache.clear()
+            store._headers.clear()
+            with pytest.raises(StoreError, match="killed"):
+                store.get_region(key, (0, 1))
+            injector.revive()
+            assert store.get_region(key, (0, 1)).height == 8
+        finally:
+            store.close()

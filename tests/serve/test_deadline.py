@@ -1,0 +1,119 @@
+"""Unit tests of the deadline/cancellation machinery (fake clocks)."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import DeadlineExceededError, ServeError
+from repro.serve.deadline import (
+    Deadline,
+    RequestContext,
+    bind_context,
+    context_cell_hook,
+    current_context,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_remaining_counts_down_and_clamps(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining == 2.0
+        clock.now = 1.5
+        assert deadline.remaining == pytest.approx(0.5)
+        clock.now = 5.0
+        assert deadline.remaining == 0.0
+        assert deadline.expired
+
+    def test_check_raises_a_504_typed_error(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("decode")  # within budget: no raise
+        clock.now = 1.0
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.check("decode")
+        assert info.value.status == 504
+        assert isinstance(info.value, ServeError)
+
+    def test_infinite_budget_never_expires(self):
+        deadline = Deadline(float("inf"))
+        assert not deadline.expired
+        assert deadline.remaining == float("inf")
+        deadline.check()
+
+
+class TestRequestContext:
+    def test_cancel_latches_and_check_raises(self):
+        context = RequestContext(Deadline(100.0))
+        assert not context.should_abort
+        context.check()
+        context.cancel()
+        assert context.cancelled
+        assert context.should_abort
+        with pytest.raises(DeadlineExceededError):
+            context.check()
+
+    def test_expiry_also_aborts(self):
+        clock = FakeClock()
+        context = RequestContext(Deadline(1.0, clock=clock))
+        clock.now = 2.0
+        assert context.should_abort
+        with pytest.raises(DeadlineExceededError):
+            context.check("cell")
+
+    def test_admitted_flag_defaults_true(self):
+        assert RequestContext(Deadline(1.0)).admitted
+        assert not RequestContext(Deadline(1.0), admitted=False).admitted
+
+
+class TestThreadLocalBinding:
+    def test_bind_and_unbind(self):
+        assert current_context() is None
+        context = RequestContext(Deadline(1.0))
+        bind_context(context)
+        try:
+            assert current_context() is context
+        finally:
+            bind_context(None)
+        assert current_context() is None
+
+    def test_binding_is_per_thread(self):
+        context = RequestContext(Deadline(1.0))
+        bind_context(context)
+        seen = []
+
+        def other_thread():
+            seen.append(current_context())
+
+        try:
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        finally:
+            bind_context(None)
+        assert seen == [None]
+
+
+class TestCellHook:
+    def test_noop_without_a_bound_context(self):
+        assert current_context() is None
+        context_cell_hook()  # must not raise
+
+    def test_raises_once_the_bound_request_is_cancelled(self):
+        context = RequestContext(Deadline(100.0))
+        bind_context(context)
+        try:
+            context_cell_hook()  # healthy: no raise
+            context.cancel()
+            with pytest.raises(DeadlineExceededError):
+                context_cell_hook()
+        finally:
+            bind_context(None)

@@ -15,7 +15,7 @@ class TestSingleThreaded:
         flight = SingleFlight()
         assert flight.run("k", lambda: 41 + 1) == 42
         stats = flight.stats()
-        assert stats == {"leaders": 1, "coalesced": 0, "in_flight": 0}
+        assert stats == {"leaders": 1, "coalesced": 0, "timeouts": 0, "in_flight": 0}
 
     def test_sequential_calls_are_separate_flights(self):
         flight = SingleFlight()

@@ -1,0 +1,255 @@
+"""End-to-end overload behaviour: shedding, per-client limits, slow peers.
+
+Every test boots its own small server (tight watermarks make the failure
+modes deterministic) and asserts the degraded-mode contract over real
+sockets: a saturated server answers ``429`` + ``Retry-After`` instead of
+queueing without bound, abusive peers are capped, and a client that goes
+quiet mid-request cannot park a connection handler forever.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.imaging.pnm import write_ppm
+from repro.imaging.synthetic import generate_planar_image
+from repro.serve.app import ImageService, start_server_thread
+from repro.serve.chaos import FaultInjector
+from repro.serve.client import ServeClient
+from repro.store.store import ImageStore
+
+
+def _ppm_bytes(image):
+    buffer = io.BytesIO()
+    write_ppm(image, buffer)
+    return buffer.getvalue()
+
+
+def _boot(tmp_path, **service_kwargs):
+    stores = [ImageStore.open(tmp_path / ("shard-%02d" % i)) for i in range(2)]
+    service = ImageService(stores, **service_kwargs)
+    return service, start_server_thread(service)
+
+
+def _ingest(handle, size=24, stripes=4, seed=29):
+    with ServeClient(*handle.address) as client:
+        image = generate_planar_image("lena", size=size, seed=seed, planes=3)
+        key = str(client.put_image(_ppm_bytes(image), stripes=stripes)["key"])
+        client.get_region(key, 0, 1)  # warm the first region
+    return key
+
+
+class TestShedding:
+    def test_saturated_server_sheds_with_retry_after(self, tmp_path):
+        """Past the watermark: 429 + Retry-After, gauge bounded, no queue."""
+        service, handle = _boot(tmp_path, max_inflight=2, retry_after=3.0)
+        try:
+            key = _ingest(handle)
+            injector = service.router.stores[0].wrap_backend(FaultInjector)
+            service.router.stores[1].wrap_backend(FaultInjector).add_latency(0.3)
+            injector.add_latency(0.3)
+            for store in service.router.stores:
+                store.cache.clear()  # every request must take the slow path
+
+            statuses = []
+            retry_afters = []
+            lock = threading.Lock()
+
+            def hammer(stripe):
+                connection = http.client.HTTPConnection(*handle.address, timeout=10)
+                try:
+                    connection.request(
+                        "GET", "/images/%s/region/%d-%d" % (key, stripe, stripe + 1)
+                    )
+                    response = connection.getresponse()
+                    response.read()
+                    with lock:
+                        statuses.append(response.status)
+                        retry_afters.append(response.getheader("Retry-After"))
+                finally:
+                    connection.close()
+
+            # Distinct stripes so single-flight cannot collapse the herd.
+            threads = [
+                threading.Thread(target=hammer, args=(stripe % 4,))
+                for stripe in range(10)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert statuses.count(200) >= 1
+            shed = [
+                header
+                for status, header in zip(statuses, retry_afters)
+                if status == 429
+            ]
+            assert shed, "a 2-slot server under 10 concurrent decodes must shed"
+            assert all(header == "3" for header in shed)
+            stats = service.stats.as_json()
+            assert stats["counters"]["shed"] == len(shed)
+            # The never-unbounded claim: admitted concurrency stayed at the
+            # watermark even though 10 requests arrived at once.
+            assert service.admission.stats()["high_water"] <= 2
+        finally:
+            handle.stop()
+
+    def test_healthz_and_stats_bypass_admission(self, tmp_path):
+        service, handle = _boot(tmp_path, max_inflight=1)
+        try:
+            # Exhaust the only slot out-of-band.
+            assert service.admission.try_admit()
+            with ServeClient(*handle.address) as client:
+                assert client.healthz()["status"] == "ok"
+                assert client.stats()["admission"]["active"] == 1
+            service.admission.release()
+        finally:
+            handle.stop()
+
+    def test_client_retries_sheds_with_backoff(self, tmp_path):
+        service, handle = _boot(tmp_path, max_inflight=1, retry_after=0.05)
+        try:
+            key = _ingest(handle)
+            assert service.admission.try_admit()  # saturate
+            release = threading.Timer(0.3, service.admission.release)
+            release.start()
+            client = ServeClient(
+                *handle.address, shed_retries=20, backoff=0.05, max_backoff=0.2
+            )
+            try:
+                region = client.get_region(key, 0, 1)  # retries until released
+                assert region.height == 6
+                assert client.shed_seen > 0
+            finally:
+                client.close()
+                release.cancel()
+        finally:
+            handle.stop()
+
+    def test_exhausted_retries_surface_the_429(self, tmp_path):
+        service, handle = _boot(tmp_path, max_inflight=1, retry_after=0.05)
+        try:
+            key = _ingest(handle)
+            assert service.admission.try_admit()
+            try:
+                client = ServeClient(
+                    *handle.address, shed_retries=1, backoff=0.01, max_backoff=0.05
+                )
+                with pytest.raises(ServeError) as info:
+                    client.get_region(key, 0, 1)
+                assert info.value.status == 429
+                assert client.shed_seen == 2  # initial try + one retry
+                client.close()
+            finally:
+                service.admission.release()
+        finally:
+            handle.stop()
+
+
+class TestPerClientLimits:
+    def test_connection_cap_rejects_the_second_connection(self, tmp_path):
+        service, handle = _boot(tmp_path, max_connections_per_client=1)
+        try:
+            first = http.client.HTTPConnection(*handle.address, timeout=10)
+            first.request("GET", "/healthz")
+            assert first.getresponse().status == 200
+
+            second = http.client.HTTPConnection(*handle.address, timeout=10)
+            second.request("GET", "/healthz")
+            response = second.getresponse()
+            assert response.status == 429
+            assert response.getheader("Retry-After") is not None
+            second.close()
+
+            first.close()
+            time.sleep(0.1)  # let the server account the disconnect
+            third = http.client.HTTPConnection(*handle.address, timeout=10)
+            third.request("GET", "/healthz")
+            assert third.getresponse().status == 200
+            third.close()
+            assert service.stats.counter("connections_rejected") == 1
+        finally:
+            handle.stop()
+
+    def test_rate_limit_sheds_excess_requests(self, tmp_path):
+        service, handle = _boot(tmp_path, client_rate=1.0, client_burst=2.0)
+        try:
+            connection = http.client.HTTPConnection(*handle.address, timeout=10)
+            statuses = []
+            for _ in range(4):
+                connection.request("GET", "/images/missing")
+                response = connection.getresponse()
+                response.read()
+                statuses.append(response.status)
+            connection.close()
+            # Burst of 2 is spent on the first two (404s: still charged),
+            # then the bucket is empty and the rest shed.
+            assert statuses[:2] == [404, 404]
+            assert 429 in statuses[2:]
+            assert service.stats.counter("rate_limited") >= 1
+
+            # Exempt endpoints never charge the bucket.
+            with ServeClient(*handle.address) as client:
+                for _ in range(5):
+                    assert client.healthz()["shards"] == 2
+        finally:
+            handle.stop()
+
+
+class TestSlowPeers:
+    def test_half_sent_request_gets_a_408(self, tmp_path):
+        """The read-loop bugfix: a stalled body read must not park forever."""
+        service, handle = _boot(tmp_path, read_timeout=0.2)
+        try:
+            raw = socket.create_connection(handle.address, timeout=10)
+            try:
+                raw.sendall(b"PUT /images HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+                raw.settimeout(5.0)
+                begin = time.monotonic()
+                payload = raw.recv(65536)
+                elapsed = time.monotonic() - begin
+            finally:
+                raw.close()
+            assert b"408" in payload.split(b"\r\n", 1)[0]
+            assert elapsed < 4.0
+        finally:
+            handle.stop()
+
+    def test_stalled_header_block_gets_a_408(self, tmp_path):
+        service, handle = _boot(tmp_path, read_timeout=0.2)
+        try:
+            raw = socket.create_connection(handle.address, timeout=10)
+            try:
+                raw.sendall(b"GET /healthz HTTP/1.1\r\nx-half: yes")  # no terminator
+                raw.settimeout(5.0)
+                payload = raw.recv(65536)
+            finally:
+                raw.close()
+            assert b"408" in payload.split(b"\r\n", 1)[0]
+        finally:
+            handle.stop()
+
+    def test_idle_keepalive_connection_is_closed_quietly(self, tmp_path):
+        service, handle = _boot(tmp_path, idle_timeout=0.2)
+        try:
+            raw = socket.create_connection(handle.address, timeout=10)
+            try:
+                raw.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+                raw.settimeout(5.0)
+                first = raw.recv(65536)
+                assert first.startswith(b"HTTP/1.1 200")
+                # Then go idle: the server closes with no error response.
+                tail = raw.recv(65536)
+            finally:
+                raw.close()
+            assert tail == b""
+        finally:
+            handle.stop()
