@@ -1,0 +1,186 @@
+"""Docs drift gate: intra-repo links + CLI-flag agreement.
+
+Run by the CI ``docs`` job (and runnable locally)::
+
+    PYTHONPATH=src python benchmarks/check_docs.py
+
+Two checks, both of which fail the build on drift:
+
+1. **Links.**  Every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must resolve to a file or directory inside the
+   repository.  External links (``http``/``https``/``mailto``), pure
+   anchors and GitHub-web relative URLs that escape the checkout (the CI
+   badge) are skipped.
+
+2. **CLI flags.**  Every ``--flag`` named in a per-script section of
+   ``docs/cli.md`` must exist in that console script's live argparse
+   parser, and every parser flag must be documented in that section —
+   adding a flag without documenting it (or documenting one that was
+   removed) fails.  ``--help``/``--version`` are exempt: they are
+   generated and documented once globally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured up to the closing parenthesis; images
+# ( ![alt](target) ) match the same shape and are checked identically.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+_EXEMPT_FLAGS = {"--help", "--version"}
+
+
+def _markdown_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links() -> List[str]:
+    """Every relative link in README/docs must resolve inside the repo."""
+    problems: List[str] = []
+    for path in _markdown_files():
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            try:
+                resolved.relative_to(REPO_ROOT)
+            except ValueError:
+                # A GitHub-web relative URL (e.g. the CI badge's
+                # ../../actions/...) — not a checkout path, skip.
+                continue
+            if not resolved.exists():
+                problems.append(
+                    "%s: broken link %r (resolved to %s)"
+                    % (path.relative_to(REPO_ROOT), target, resolved)
+                )
+    return problems
+
+
+def _captured_help(main: Callable[[List[str]], int], argv: List[str]) -> str:
+    """The ``--help`` text of a console-script main, captured in-process."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        try:
+            main(argv)
+        except SystemExit:
+            pass
+    return buffer.getvalue()
+
+
+def _subparser_helps(parser: argparse.ArgumentParser) -> List[str]:
+    """Help text of the parser plus every registered subcommand parser."""
+    texts = [parser.format_help()]
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        if isinstance(action, argparse._SubParsersAction):
+            for subparser in action.choices.values():
+                texts.append(subparser.format_help())
+    return texts
+
+
+def _parser_flags(help_texts: List[str]) -> Set[str]:
+    flags: Set[str] = set()
+    for text in help_texts:
+        flags.update(_FLAG_RE.findall(text))
+    return flags - _EXEMPT_FLAGS
+
+
+def _script_help_texts() -> Dict[str, List[str]]:
+    """Live ``--help`` output per console script, subcommands included."""
+    from repro.cli import bench_main, compress_main, decompress_main, inspect_main
+    from repro.serve.cli import build_parser as serve_parser
+    from repro.store.cli import build_parser as store_parser
+
+    return {
+        "repro-compress": [_captured_help(compress_main, ["--help"])],
+        "repro-decompress": [_captured_help(decompress_main, ["--help"])],
+        "repro-inspect": [_captured_help(inspect_main, ["--help"])],
+        "repro-bench": [_captured_help(bench_main, ["--help"])],
+        "repro-store": _subparser_helps(store_parser()),
+        "repro-serve": _subparser_helps(serve_parser()),
+    }
+
+
+def _doc_sections(text: str) -> List[Tuple[str, str]]:
+    """Split ``docs/cli.md`` into (heading, body) pairs at ``##`` headings."""
+    sections: List[Tuple[str, str]] = []
+    heading = ""
+    body: List[str] = []
+    for line in text.splitlines():
+        if line.startswith("## "):
+            if heading:
+                sections.append((heading, "\n".join(body)))
+            heading = line[3:].strip()
+            body = []
+        else:
+            body.append(line)
+    if heading:
+        sections.append((heading, "\n".join(body)))
+    return sections
+
+
+def check_cli_flags() -> List[str]:
+    """docs/cli.md and the live parsers must agree flag-for-flag."""
+    doc_path = REPO_ROOT / "docs" / "cli.md"
+    if not doc_path.exists():
+        return ["docs/cli.md is missing"]
+    problems: List[str] = []
+    sections = dict(_doc_sections(doc_path.read_text(encoding="utf-8")))
+    help_texts = _script_help_texts()
+    for script, texts in sorted(help_texts.items()):
+        if script not in sections:
+            problems.append("docs/cli.md: no '## %s' section" % script)
+            continue
+        documented = set(_FLAG_RE.findall(sections[script])) - _EXEMPT_FLAGS
+        live = _parser_flags(texts)
+        for flag in sorted(documented - live):
+            problems.append(
+                "docs/cli.md: %s documents %s, which the parser does not define"
+                % (script, flag)
+            )
+        for flag in sorted(live - documented):
+            problems.append(
+                "docs/cli.md: %s is missing %s, which the parser defines"
+                % (script, flag)
+            )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_docs",
+        description="Validate docs links and docs/cli.md flag agreement.",
+    )
+    parser.parse_args()
+    problems = check_links() + check_cli_flags()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(_markdown_files())
+    if problems:
+        print(
+            "check_docs: %d problem(s) across %d markdown file(s)"
+            % (len(problems), checked),
+            file=sys.stderr,
+        )
+        return 1
+    print("check_docs: %d markdown file(s), links + CLI flags agree" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,9 @@ four live here, ``repro-store`` in :mod:`repro.store.cli` and
     Regenerate one or more of the paper's tables/figures from the command
     line (``table1``, ``figure4``, ``table2``, ``throughput``,
     ``ablations``, ``parallel``, ``engines``, ``components``, ``store``,
-    ``serve``, ``chaos`` — the last two exercising the network tier:
+    ``catalog``, ``serve``, ``chaos`` — ``catalog`` measures metadata
+    query latency at 10k entries plus bytes reclaimed by GC and
+    recompaction; ``serve`` and ``chaos`` exercise the network tier:
     ``serve`` is a closed-loop load test that ``--duration S`` turns into
     a timed soak, ``chaos`` an overload + shard-stall drill with SLO
     verdicts).  With
@@ -371,6 +373,7 @@ _BENCH_EXPERIMENTS = (
     "engines",
     "components",
     "store",
+    "catalog",
     "serve",
     "chaos",
 )
@@ -441,6 +444,17 @@ def _run_bench_experiment(name: str, args) -> tuple:
         text = "Store serving latency (synthetic planar corpus, %dx%d):\n%s" % (
             size,
             size,
+            result.format_report(),
+        )
+        return text, result.as_json()
+    if name == "catalog":
+        from repro.experiments.catalog_bench import run_catalog_bench
+
+        size = args.size or (48 if args.full else 24)
+        entries = 10_000 if args.full else 2_000
+        result = run_catalog_bench(entries=entries, size=size, seed=args.seed)
+        text = "Catalog query latency + lifecycle reclaim (%d entries):\n%s" % (
+            entries,
             result.format_report(),
         )
         return text, result.as_json()

@@ -106,6 +106,12 @@ class AdmissionController:
         must satisfy ``0 < low <= high``.
     retry_after:
         The ``Retry-After`` hint (seconds) attached to shed responses.
+
+    Thread-safe: the gauge, the shedding latch and the counters mutate
+    under one lock, so the admitted gauge can never exceed ``high`` and
+    shedding exhibits strict hysteresis — once tripped at ``high`` it
+    only clears when the gauge falls to ``low`` (both property-tested in
+    ``tests/serve/test_admission_properties.py``).
     """
 
     def __init__(

@@ -48,9 +48,20 @@ Endpoints (all responses JSON unless noted):
 * ``GET /images/{key}/region/{a}-{b}`` — rows of stripes [a, b), Netpbm.
 * ``POST /images/{key}/regions`` — body ``{"ranges": [[a, b], ...]}``;
   answers every region in one round trip (cells deduped across regions).
+* ``GET /catalog[?limit=&offset=&tag=&planes=&engine=&include_deleted=&deleted_only=]``
+  — the merged metadata catalog across every shard: filtered, newest
+  first, paginated; each row carries its owning shard.
+* ``DELETE /images/{key}[?ttl=SECONDS]`` — soft-delete: a tombstone with
+  a TTL hides the stream from reads until a GC sweep reclaims it (see
+  :mod:`repro.store.gc`); the catalog keeps the tombstoned row.
 * ``GET /healthz`` — liveness plus shard count.
 * ``GET /stats`` — per-endpoint latency histograms, single-flight
-  counters, per-shard backend/cache stats (byte occupancy included).
+  counters, per-shard backend/cache/catalog stats (byte occupancy
+  included).
+
+The catalog endpoints go through the same admission control, deadlines
+and stats accounting as the data path — a catalog scan cannot bypass the
+watermarks.
 """
 
 from __future__ import annotations
@@ -104,6 +115,7 @@ from repro.serve.http import (
 )
 from repro.serve.router import StoreRouter
 from repro.serve.stats import ServerStats
+from repro.store.catalog import CatalogFilter
 from repro.store.store import ImageStore
 
 __all__ = [
@@ -320,6 +332,48 @@ class ImageService:
             return {"key": key, "regions": regions}
 
         return self._coalesced(("regions", key, normalised), resolve)
+
+    def catalog_payload(
+        self,
+        filter: CatalogFilter,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Dict[str, object]:
+        """The merged catalog across every shard: filtered and paginated.
+
+        Each shard's catalog is queried with ``filter``, the matches are
+        merged newest-first (the same order a single catalog lists) and
+        the page is cut from the merged sequence, so pagination is stable
+        across shard boundaries.  Rows carry their owning shard's name.
+        """
+        merged: List[Tuple[object, str]] = []
+        for name, store in zip(self.router.names, self.router.stores):
+            matches, _total = store.catalog.query(filter)
+            merged.extend((entry, name) for entry in matches)
+        merged.sort(key=lambda pair: (-pair[0].created_at, pair[0].key))  # type: ignore[attr-defined]
+        total = len(merged)
+        end = None if limit is None else offset + limit
+        page = merged[offset:end]
+        entries = []
+        for entry, shard in page:
+            row = entry.as_json()  # type: ignore[attr-defined]
+            row["shard"] = shard
+            entries.append(row)
+        return {"entries": entries, "total": total, "offset": offset}
+
+    def delete_image(self, key: str, ttl: Optional[float] = None) -> Dict[str, object]:
+        """Soft-delete ``key`` on its owning shard (tombstone + TTL)."""
+        store = self.router.store_for(key)
+        if ttl is None:
+            entry = store.soft_delete(key)
+        else:
+            entry = store.soft_delete(key, ttl_seconds=ttl)
+        return {
+            "key": key,
+            "shard": self.router.shard_name(key),
+            "deleted_at": entry.deleted_at,
+            "purge_after": entry.purge_after,
+        }
 
     def healthz(self) -> Dict[str, object]:
         status = "draining" if self.stats.draining else "ok"
@@ -624,6 +678,12 @@ class ReproServer:
         if parts == ["stats"] and method == "GET":
             payload = await self._offload(context, self.service.stats_payload)
             return "stats", 200, json_payload(payload), "application/json"
+        if parts == ["catalog"] and method == "GET":
+            catalog_filter, limit, offset = self._parse_catalog_query(request)
+            payload = await self._offload(
+                context, self.service.catalog_payload, catalog_filter, limit, offset
+            )
+            return "catalog", 200, json_payload(payload), "application/json"
         if parts == ["images"] and method == "PUT":
             outcome = await self._offload(
                 context,
@@ -635,6 +695,14 @@ class ReproServer:
             return "put_image", 201, json_payload(outcome), "application/json"
         if len(parts) >= 2 and parts[0] == "images":
             key = parts[1]
+            if len(parts) == 2 and method == "DELETE":
+                ttl = self._float_query(request, "ttl")
+                if ttl is not None and ttl < 0:
+                    raise ConfigError("ttl must be >= 0 seconds, got %s" % ttl)
+                payload = await self._offload(
+                    context, self.service.delete_image, key, ttl
+                )
+                return "delete_image", 200, json_payload(payload), "application/json"
             if len(parts) == 2 and method == "GET":
                 body, content_type = await self._offload(
                     context, self.service.get_image, key
@@ -659,7 +727,7 @@ class ReproServer:
                 )
                 return "get_regions", 200, json_payload(payload), "application/json"
 
-        if parts and parts[0] in ("images", "healthz", "stats"):
+        if parts and parts[0] in ("images", "healthz", "stats", "catalog"):
             raise HttpProtocolError(405, "%s is not supported on %s" % (method, request.path))
         raise BlobNotFoundError("no route for %s %s" % (method, request.path))
 
@@ -727,6 +795,43 @@ class ReproServer:
     @staticmethod
     def _flag_query(request: HttpRequest, name: str) -> bool:
         return request.query.get(name, "").lower() in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _float_query(request: HttpRequest, name: str) -> Optional[float]:
+        value = request.query.get(name)
+        if value is None:
+            return None
+        try:
+            return float(value)
+        except ValueError:
+            raise ConfigError("query parameter %s=%r is not a number" % (name, value))
+
+    @classmethod
+    def _parse_catalog_query(
+        cls, request: HttpRequest
+    ) -> Tuple[CatalogFilter, int, int]:
+        """``GET /catalog`` query → (filter, limit, offset), validated."""
+        limit = cls._int_query(request, "limit")
+        if limit is None:
+            limit = 50
+        offset = cls._int_query(request, "offset") or 0
+        if limit < 0 or offset < 0:
+            raise ConfigError(
+                "limit and offset must be >= 0, got limit=%d offset=%d"
+                % (limit, offset)
+            )
+        tags: Tuple[Tuple[str, Optional[str]], ...] = ()
+        tag = request.query.get("tag")
+        if tag is not None:
+            tags = (CatalogFilter.parse_tag(tag),)
+        catalog_filter = CatalogFilter(
+            planes=cls._int_query(request, "planes"),
+            engine=request.query.get("engine"),
+            tags=tags,
+            include_deleted=cls._flag_query(request, "include_deleted"),
+            deleted_only=cls._flag_query(request, "deleted_only"),
+        )
+        return catalog_filter, limit, offset
 
     @staticmethod
     def _int_path(text: str, what: str) -> int:

@@ -35,6 +35,7 @@ import io
 import json
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import quote
 
 from repro.exceptions import ServeError
 from repro.imaging.image import GrayImage
@@ -47,7 +48,23 @@ _Image = Union[GrayImage, PlanarImage]
 
 
 class ServeClient:
-    """Typed access to every endpoint of one ``repro-serve`` instance."""
+    """Typed access to every endpoint of one ``repro-serve`` instance.
+
+    Pure stdlib (``http.client``); image responses come back as real
+    :class:`~repro.imaging.image.GrayImage` /
+    :class:`~repro.imaging.planar.PlanarImage` values and JSON endpoints
+    as dicts.  Server-side errors surface as
+    :class:`~repro.exceptions.ServeError` carrying the HTTP status.
+
+    Not thread-safe: one instance owns one keep-alive connection — give
+    each thread its own client (the load harnesses do exactly that).
+
+    ``deadline_ms`` attaches an ``x-deadline-ms`` header to every request
+    so the server abandons work the client will no longer wait for;
+    ``shed_retries`` retries 429 responses with exponential backoff,
+    honouring the server's ``Retry-After`` hint (observed sheds are
+    counted in :attr:`shed_seen` either way).
+    """
 
     def __init__(
         self,
@@ -222,6 +239,50 @@ class ServeClient:
             raw = base64.b64decode(region["netpbm_base64"])
             images.append(read_image(io.BytesIO(raw)))
         return images
+
+    def catalog(
+        self,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        tag: Optional[str] = None,
+        planes: Optional[int] = None,
+        engine: Optional[str] = None,
+        include_deleted: bool = False,
+        deleted_only: bool = False,
+    ) -> Dict[str, Any]:
+        """The merged shard catalog: ``{"entries": [...], "total": N, ...}``.
+
+        ``tag`` is ``KEY`` (presence) or ``KEY=VALUE`` (exact match);
+        the other filters mirror ``repro-store ls``.
+        """
+        query = []
+        if limit is not None:
+            query.append("limit=%d" % limit)
+        if offset is not None:
+            query.append("offset=%d" % offset)
+        if tag is not None:
+            query.append("tag=%s" % quote(tag, safe=""))
+        if planes is not None:
+            query.append("planes=%d" % planes)
+        if engine is not None:
+            query.append("engine=%s" % quote(engine, safe=""))
+        if include_deleted:
+            query.append("include_deleted=1")
+        if deleted_only:
+            query.append("deleted_only=1")
+        path = "/catalog" + ("?" + "&".join(query) if query else "")
+        status, payload, _ = self._request("GET", path)
+        self._expect(200, status, payload)
+        return self._json(status, payload)
+
+    def delete_image(self, key: str, ttl: Optional[float] = None) -> Dict[str, Any]:
+        """Soft-delete ``key`` (tombstone + TTL); returns the purge horizon."""
+        path = "/images/%s" % key
+        if ttl is not None:
+            path += "?ttl=%s" % ttl
+        status, payload, _ = self._request("DELETE", path)
+        self._expect(200, status, payload)
+        return self._json(status, payload)
 
     def healthz(self) -> Dict[str, Any]:
         status, payload, _ = self._request("GET", "/healthz")

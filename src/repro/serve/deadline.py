@@ -43,7 +43,13 @@ __all__ = [
 
 
 class Deadline:
-    """A monotonic point in time a request must not run past."""
+    """A monotonic point in time a request must not run past.
+
+    Immutable after construction and safe to consult from any thread —
+    the HTTP layer creates it on the event loop and the decode worker
+    checks it from the pool.  Built on ``time.monotonic`` so wall-clock
+    jumps can neither extend nor cut a request's budget.
+    """
 
     __slots__ = ("_clock", "_expires_at")
 

@@ -8,6 +8,14 @@ query touches, a size-bounded LRU keeps hot decoded cells in memory, and
 batched requests dedupe cells across regions.  See
 :class:`~repro.store.store.ImageStore` and the ``repro-store`` console
 script.
+
+On top of the blobs sits the data-plane lifecycle: a metadata
+:mod:`catalog <repro.store.catalog>` recorded at ``put`` time (queryable
+with filters + pagination), TTL soft-delete with a :mod:`GC sweep
+<repro.store.gc>` that reclaims expired tombstones without ever touching
+a live or in-flight key, and a :mod:`recompactor
+<repro.store.compactor>` that re-encodes cold blobs and swaps them in
+atomically under the same content key.
 """
 
 from repro.store.backends import (
@@ -17,6 +25,24 @@ from repro.store.backends import (
     open_backend,
 )
 from repro.store.cache import DEFAULT_CACHE_BYTES, CacheStats, CellCache
+from repro.store.catalog import (
+    DEFAULT_TTL_SECONDS,
+    Catalog,
+    CatalogEntry,
+    CatalogFilter,
+    JournalCatalog,
+    MemoryCatalog,
+    SQLiteCatalog,
+    open_catalog,
+)
+from repro.store.compactor import (
+    CompactionResult,
+    Compactor,
+    KeyCompaction,
+    compact,
+    compact_key,
+)
+from repro.store.gc import GcDaemon, GcResult, sweep
 from repro.store.store import ImageStore
 
 __all__ = [
@@ -28,4 +54,20 @@ __all__ = [
     "CellCache",
     "CacheStats",
     "DEFAULT_CACHE_BYTES",
+    "Catalog",
+    "CatalogEntry",
+    "CatalogFilter",
+    "MemoryCatalog",
+    "JournalCatalog",
+    "SQLiteCatalog",
+    "open_catalog",
+    "DEFAULT_TTL_SECONDS",
+    "GcResult",
+    "GcDaemon",
+    "sweep",
+    "KeyCompaction",
+    "CompactionResult",
+    "compact_key",
+    "compact",
+    "Compactor",
 ]

@@ -184,12 +184,18 @@ class SQLiteBackend(BlobBackend):
         # across threads as long as use is serialised, which the lock does.
         self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
         self._lock = threading.Lock()
-        with self._lock:
-            self._connection.execute(
-                "CREATE TABLE IF NOT EXISTS blobs ("
-                "key TEXT PRIMARY KEY, length INTEGER NOT NULL, data BLOB NOT NULL)"
-            )
-            self._connection.commit()
+        try:
+            with self._lock:
+                self._connection.execute(
+                    "CREATE TABLE IF NOT EXISTS blobs ("
+                    "key TEXT PRIMARY KEY, length INTEGER NOT NULL, data BLOB NOT NULL)"
+                )
+                self._connection.commit()
+        except sqlite3.Error as exc:
+            self._connection.close()
+            raise StoreError(
+                "cannot open %s as a SQLite blob store: %s" % (self.path, exc)
+            ) from exc
 
     def _one(self, sql: str, key: str) -> Tuple:
         with self._lock:

@@ -1,0 +1,189 @@
+"""Garbage collection of expired tombstones — the space-reclaim half of TTL.
+
+:meth:`ImageStore.soft_delete <repro.store.store.ImageStore.soft_delete>`
+never frees a byte; it stamps a tombstone with an absolute purge horizon.
+:func:`sweep` is what actually reclaims storage: it scans the catalog for
+tombstoned entries, purges the ones whose TTL has lapsed and reports what
+happened as a :class:`GcResult`.
+
+Safety invariants (the ones the property suite hammers):
+
+* **a live key is never collected** — only entries carrying a tombstone
+  whose ``purge_after`` horizon has passed are candidates; everything
+  else is merely counted;
+* **an in-flight key is never collected** — the purge goes through
+  :meth:`ImageStore.purge_if_unpinned
+  <repro.store.store.ImageStore.purge_if_unpinned>`, which takes the
+  store's pin lock, so a key currently being read is skipped this sweep
+  (and reported in ``skipped_pinned``) rather than deleted under the
+  reader;
+* **idempotent** — sweeping twice purges nothing the second time; a
+  ``dry_run`` sweep reports what *would* be purged and touches nothing.
+
+:class:`GcDaemon` runs sweeps on a background thread at a fixed interval
+— the shape a long-lived serving process wants; CLI users run one-shot
+sweeps via ``repro-store gc``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import StoreError
+from repro.store.catalog import CatalogFilter
+from repro.store.store import ImageStore
+
+__all__ = ["GcResult", "sweep", "GcDaemon"]
+
+
+@dataclass
+class GcResult:
+    """Outcome of one GC sweep."""
+
+    #: Tombstoned entries examined.
+    scanned: int = 0
+    #: Entries whose TTL had lapsed (purge candidates).
+    expired: int = 0
+    #: Entries actually purged (blob + catalog row removed).
+    purged: int = 0
+    #: Expired entries skipped because an in-flight read pinned them.
+    skipped_pinned: int = 0
+    #: Tombstoned entries still inside their TTL (left alone).
+    within_ttl: int = 0
+    #: Backend bytes reclaimed by the purges.
+    bytes_reclaimed: int = 0
+    #: Whether this was a report-only sweep.
+    dry_run: bool = False
+    #: Keys purged (or, under ``dry_run``, that would have been).
+    purged_keys: List[str] = field(default_factory=list)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "scanned": self.scanned,
+            "expired": self.expired,
+            "purged": self.purged,
+            "skipped_pinned": self.skipped_pinned,
+            "within_ttl": self.within_ttl,
+            "bytes_reclaimed": self.bytes_reclaimed,
+            "dry_run": self.dry_run,
+            "purged_keys": list(self.purged_keys),
+        }
+
+    def format_report(self) -> str:
+        verb = "would purge" if self.dry_run else "purged"
+        return (
+            "gc: %d tombstone(s) scanned, %d expired, %s %d "
+            "(%d bytes), %d pinned, %d within TTL"
+            % (
+                self.scanned,
+                self.expired,
+                verb,
+                self.purged,
+                self.bytes_reclaimed,
+                self.skipped_pinned,
+                self.within_ttl,
+            )
+        )
+
+
+def sweep(
+    store: ImageStore, now: Optional[float] = None, dry_run: bool = False
+) -> GcResult:
+    """One GC pass over ``store``: purge every expired, unpinned tombstone.
+
+    ``now`` pins the sweep's notion of time (tests, replays); ``dry_run``
+    reports candidates without removing anything.  Returns the sweep's
+    :class:`GcResult`.
+    """
+    moment = time.time() if now is None else now
+    result = GcResult(dry_run=dry_run)
+    tombstones, _total = store.catalog.query(CatalogFilter(deleted_only=True))
+    for entry in tombstones:
+        result.scanned += 1
+        if not entry.expired(moment):
+            result.within_ttl += 1
+            continue
+        result.expired += 1
+        if dry_run:
+            if store.pinned(entry.key):
+                result.skipped_pinned += 1
+                continue
+            result.purged += 1
+            result.bytes_reclaimed += entry.encoded_bytes
+            result.purged_keys.append(entry.key)
+            continue
+        reclaimed = store.purge_if_unpinned(entry.key)
+        if reclaimed is None:
+            result.skipped_pinned += 1
+        else:
+            result.purged += 1
+            result.bytes_reclaimed += reclaimed
+            result.purged_keys.append(entry.key)
+    return result
+
+
+class GcDaemon:
+    """Periodic GC sweeps on a daemon thread.
+
+    The serving shape: start it next to a long-lived store and expired
+    tombstones are reclaimed in the background without blocking reads
+    (sweeps only ever take the pin lock per-key, and skip pinned keys).
+    ``results`` keeps the most recent sweep outcomes for observability.
+    """
+
+    def __init__(
+        self, store: ImageStore, interval_seconds: float = 60.0, keep_results: int = 16
+    ) -> None:
+        if interval_seconds <= 0:
+            raise StoreError(
+                "gc interval must be positive seconds, got %r" % interval_seconds
+            )
+        self.store = store
+        self.interval_seconds = interval_seconds
+        self.keep_results = max(1, keep_results)
+        self.results: List[GcResult] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise StoreError("gc daemon is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-store-gc", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def run_once(self, now: Optional[float] = None) -> GcResult:
+        """One synchronous sweep, recorded like a scheduled one."""
+        result = sweep(self.store, now=now)
+        self.results.append(result)
+        del self.results[: -self.keep_results]
+        return result
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.run_once()
+            except Exception:  # noqa: BLE001 - a failed sweep must not kill the loop
+                # Backend hiccups (a shard mid-chaos-drill, a transient
+                # I/O error) are retried on the next interval; the daemon
+                # itself must stay alive.
+                continue
+
+    def __enter__(self) -> "GcDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -20,11 +20,43 @@ region-heavy workloads (cumulative-plot scans over stored signal planes,
 cohort-style batched region pulls) cheap.  Batched requests
 (:meth:`get_regions`) dedupe the cell set across regions before touching
 the backend, so overlapping regions cost one decode per distinct cell.
+
+Beside the blobs the store keeps a **metadata catalog**
+(:mod:`repro.store.catalog`): one entry per stream recorded at ``put``
+time (geometry, engine, container version, byte sizes, ingest time, user
+tags) that powers ``repro-store ls`` queries and the data-plane lifecycle:
+
+* :meth:`soft_delete` stamps a tombstone with a TTL instead of removing
+  bytes; tombstoned streams answer :class:`BlobNotFoundError` on the read
+  paths unless ``include_deleted=True``, and re-putting the same bytes
+  (or :meth:`restore`) revives them.
+* The GC sweep (:mod:`repro.store.gc`) purges expired tombstones through
+  :meth:`purge_if_unpinned`, and the recompactor
+  (:mod:`repro.store.compactor`) swaps re-encoded blobs in through
+  :meth:`swap_stream` — both primitives take the store's **pin lock**, so
+  neither can ever remove or replace a blob out from under an in-flight
+  read.
+
+Concurrency invariants the serving tier relies on:
+
+* every read path (**get/get_plane/get_region/get_regions**) *pins* its
+  key for the duration of the operation; :meth:`purge_if_unpinned` and
+  :meth:`swap_stream` refuse to act on a pinned key, and a pin taken
+  after a swap observes the fresh header and cells (the swap invalidates
+  the memoized header and every cached cell of the key atomically with
+  the blob replacement);
+* the decoded-cell cache is thread-safe (see
+  :class:`~repro.store.cache.CellCache`) and every cell served from the
+  backend is CRC-verified against the container index before entropy
+  decoding.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import (
     Any,
@@ -59,11 +91,17 @@ from repro.core.cellgrid import (
 )
 from repro.core.config import CodecConfig
 from repro.core.decoder import resolve_stream_config
-from repro.exceptions import StoreError
+from repro.exceptions import BlobNotFoundError, StoreError
 from repro.imaging.image import GrayImage
 from repro.imaging.planar import PlanarImage
 from repro.store.backends import BlobBackend, open_backend
 from repro.store.cache import DEFAULT_CACHE_BYTES, CacheStats, CellCache
+from repro.store.catalog import (
+    DEFAULT_TTL_SECONDS,
+    Catalog,
+    CatalogEntry,
+    open_catalog,
+)
 
 __all__ = ["ImageStore"]
 
@@ -100,6 +138,26 @@ class ImageStore:
         (raising from the hook) instead of running to completion on a
         worker thread nobody is waiting for.
 
+    Invariants
+    ----------
+    * **Thread-safe.**  Every public method may be called from any
+      thread: the cache, the catalog and the read-pin bookkeeping carry
+      their own locks, and the backends serialize their mutations.
+    * **CRC before entropy decode.**  Cells served off the random-access
+      paths are checksummed against the container's per-cell CRC-32
+      before any entropy decoding; corruption raises
+      :class:`~repro.exceptions.BitstreamError`, never garbage pixels.
+    * **Reads pin their key.**  All read paths hold a per-key refcount
+      for their duration; :meth:`purge_if_unpinned` (the GC sweep) and
+      :meth:`swap_stream` (the compactor) take the same lock, so a
+      pinned key is never purged or swapped mid-read.
+    * **Soft deletion is two-phase.**  :meth:`soft_delete` stamps a
+      tombstone (reads answer :class:`BlobNotFoundError`, the blob
+      stays); only an expired tombstone is purged, by an explicit sweep.
+    * **Swaps are atomic per key.**  :meth:`swap_stream` replaces blob,
+      memoized header and cached cells under the pin lock — concurrent
+      readers see the old container or the new one, never a mix.
+
     Examples
     --------
     >>> from repro.imaging.synthetic import generate_planar_image
@@ -117,6 +175,7 @@ class ImageStore:
         engine: str = "reference",
         cache_admission: str = "always",
         cell_hook: Optional[Callable[[], None]] = None,
+        catalog: Optional[Catalog] = None,
     ) -> None:
         from repro.core.interface import require_engine
 
@@ -125,7 +184,12 @@ class ImageStore:
         self.config = config
         self.engine = require_engine(engine)
         self.cell_hook = cell_hook
+        self.catalog = catalog if catalog is not None else open_catalog(backend)
         self._headers: Dict[str, StreamHeader] = {}
+        # Read-pin bookkeeping: reads hold a refcount on their key so the
+        # GC sweep and the recompactor never act under an in-flight read.
+        self._pin_lock = threading.Lock()
+        self._pins: Dict[str, int] = {}
 
     def wrap_backend(
         self, wrapper: Callable[[BlobBackend], BlobBackend]
@@ -146,6 +210,7 @@ class ImageStore:
         return cls(open_backend(path), **kwargs)
 
     def close(self) -> None:
+        self.catalog.close()
         self.backend.close()
 
     def __enter__(self) -> "ImageStore":
@@ -158,12 +223,16 @@ class ImageStore:
     # ingest
     # ------------------------------------------------------------------ #
 
-    def put_stream(self, data: bytes) -> str:
+    def put_stream(
+        self, data: bytes, tags: Optional[Dict[str, str]] = None
+    ) -> str:
         """Store one complete ``.rplc`` container; returns its content key.
 
         The container is validated (header, tables, framing) and must be a
         proposed-codec stream — that is what the serving paths can decode.
-        Storing the same bytes twice is a no-op returning the same key.
+        Storing the same bytes twice is a no-op returning the same key
+        (tags are merged into the existing catalog entry), and re-putting
+        a soft-deleted stream revives it: the tombstone is cleared.
         """
         header = parse_stream_header(data)
         if header.codec not in (CodecId.PROPOSED, CodecId.PROPOSED_HARDWARE):
@@ -175,7 +244,33 @@ class ImageStore:
         if not self.backend.contains(key):
             self.backend.put(key, data)
         self._headers[key] = header
+        self.catalog.record_put(self._entry_for(key, header, len(data), tags))
         return key
+
+    def _entry_for(
+        self,
+        key: str,
+        header: StreamHeader,
+        encoded_bytes: int,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> CatalogEntry:
+        """Catalog entry describing a just-ingested (or swapped) stream."""
+        samples = header.pixel_count * header.component_count
+        return CatalogEntry(
+            key=key,
+            width=header.width,
+            height=header.height,
+            planes=header.component_count,
+            bit_depth=header.bit_depth,
+            version=header.version,
+            stripes=header.stripe_count,
+            plane_delta=header.plane_delta,
+            engine=self.engine,
+            encoded_bytes=encoded_bytes,
+            decoded_bytes=samples * ((header.bit_depth + 7) // 8),
+            created_at=time.time(),
+            tags=tuple(sorted((tags or {}).items())),
+        )
 
     def put(
         self,
@@ -183,12 +278,14 @@ class ImageStore:
         config: Optional[CodecConfig] = None,
         stripes: int = 1,
         plane_delta: bool = False,
+        tags: Optional[Dict[str, str]] = None,
     ) -> str:
         """Encode ``image`` (through the cell-grid pipeline) and store it.
 
         ``stripes`` controls random-access granularity: more stripes mean
-        finer regions at a small compression cost.  Returns the content
-        key of the encoded stream.
+        finer regions at a small compression cost.  ``tags`` are free-form
+        ``str -> str`` metadata recorded in the catalog.  Returns the
+        content key of the encoded stream.
         """
         if config is None:
             config = self.config
@@ -201,26 +298,150 @@ class ImageStore:
             stripes=stripes,
             plane_delta=plane_delta,
         )
-        return self.put_stream(stream)
+        return self.put_stream(stream, tags=tags)
 
     # ------------------------------------------------------------------ #
     # catalogue
     # ------------------------------------------------------------------ #
 
     def keys(self) -> Iterator[str]:
-        """Iterate over every stored content key."""
+        """Iterate over every stored content key (tombstoned ones included)."""
         return self.backend.keys()
 
     def contains(self, key: str) -> bool:
         return self.backend.contains(key)
 
     def delete(self, key: str) -> None:
-        """Remove a blob and every cached artefact derived from it."""
+        """Hard-remove a blob, its catalog entry and every cached artefact.
+
+        Immediate and unconditional — the lifecycle-respecting path is
+        :meth:`soft_delete` + the GC sweep.
+        """
         self.backend.delete(key)
+        self.catalog.purge(key)
+        self._drop_cached(key)
+
+    def _drop_cached(self, key: str) -> None:
+        """Forget the memoized header and cached cells of one key."""
         self._headers.pop(key, None)
         for cell_key in list(self.cache.keys()):
             if cell_key[0] == key:
                 self.cache.invalidate(cell_key)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle: soft delete, pins, GC/compaction primitives
+    # ------------------------------------------------------------------ #
+
+    def soft_delete(
+        self, key: str, ttl_seconds: float = DEFAULT_TTL_SECONDS, now: Optional[float] = None
+    ) -> CatalogEntry:
+        """Tombstone a stream: hidden from reads, bytes kept until GC.
+
+        The blob stays in the backend and the catalog entry stays
+        queryable (``include_deleted=True``); after ``ttl_seconds`` the
+        tombstone is *eligible* for the GC sweep, which is what actually
+        reclaims the bytes.  Returns the tombstoned entry.
+        """
+        if not self.backend.contains(key):
+            raise BlobNotFoundError("no blob stored under key %r" % key)
+        if self.catalog.get(key) is None:
+            # Pre-catalog blob: synthesise its entry from the header so
+            # the tombstone has somewhere to live.
+            header = self.header(key)
+            self.catalog.record_put(
+                self._entry_for(key, header, self.backend.length(key))
+            )
+        return self.catalog.mark_deleted(
+            key, time.time() if now is None else now, ttl_seconds
+        )
+
+    def restore(self, key: str) -> CatalogEntry:
+        """Clear a tombstone (no-op on the blob; it never went away)."""
+        return self.catalog.restore(key)
+
+    @contextmanager
+    def _pin(self, key: str) -> Iterator[None]:
+        """Hold a read pin on ``key`` for the duration of the block."""
+        with self._pin_lock:
+            self._pins[key] = self._pins.get(key, 0) + 1
+        try:
+            yield
+        finally:
+            with self._pin_lock:
+                remaining = self._pins.get(key, 1) - 1
+                if remaining <= 0:
+                    self._pins.pop(key, None)
+                else:
+                    self._pins[key] = remaining
+
+    def pinned(self, key: str) -> bool:
+        """Whether any in-flight read currently holds ``key``."""
+        with self._pin_lock:
+            return self._pins.get(key, 0) > 0
+
+    def purge_if_unpinned(self, key: str) -> Optional[int]:
+        """Remove a blob unless an in-flight read holds it (the GC primitive).
+
+        Returns the reclaimed byte count, or ``None`` when the key was
+        pinned and nothing was touched.  The pin lock is held across the
+        whole removal, so the outcome against any concurrent read is
+        strictly ordered: either the read pinned first (the purge is
+        skipped this sweep) or the purge finished first (the read
+        observes :class:`BlobNotFoundError`).
+        """
+        with self._pin_lock:
+            if self._pins.get(key, 0) > 0:
+                return None
+            try:
+                reclaimed = self.backend.length(key)
+                self.backend.delete(key)
+            except BlobNotFoundError:
+                reclaimed = 0
+            self.catalog.purge(key)
+            self._drop_cached(key)
+            return reclaimed
+
+    def swap_stream(self, data: bytes, key: str, engine: Optional[str] = None) -> bool:
+        """Atomically replace the blob under ``key`` (the compaction primitive).
+
+        The caller (:mod:`repro.store.compactor`) must already have
+        verified that ``data`` decodes to byte-identical pixels; ``engine``
+        records which engine produced the new container in the catalog
+        (defaults to the store's engine).  Returns ``False`` without
+        touching anything when an in-flight read holds the key; on success
+        the backend blob, the memoized header and every cached cell are
+        replaced atomically with respect to the pin lock, so the next read
+        parses the fresh container.
+        """
+        header = parse_stream_header(data)
+        with self._pin_lock:
+            if self._pins.get(key, 0) > 0:
+                return False
+            self.backend.put(key, data)
+            self._drop_cached(key)
+            self._headers[key] = header
+            if self.catalog.get(key) is not None:
+                self.catalog.update(
+                    key,
+                    encoded_bytes=len(data),
+                    version=header.version,
+                    stripes=header.stripe_count,
+                    plane_delta=header.plane_delta,
+                    engine=engine if engine is not None else self.engine,
+                    compacted_at=time.time(),
+                )
+            return True
+
+    def _check_visible(self, key: str, include_deleted: bool) -> None:
+        """Raise for reads of tombstoned keys unless explicitly included."""
+        if include_deleted:
+            return
+        entry = self.catalog.get(key)
+        if entry is not None and entry.deleted:
+            raise BlobNotFoundError(
+                "key %s is soft-deleted (restore it or pass include_deleted=True)"
+                % key
+            )
 
     def header(self, key: str) -> StreamHeader:
         """The stream's parsed header + index, fetched by range read.
@@ -242,27 +463,41 @@ class ImageStore:
     # serving
     # ------------------------------------------------------------------ #
 
-    def get(self, key: str) -> Union[GrayImage, PlanarImage]:
+    def get(
+        self, key: str, include_deleted: bool = False
+    ) -> Union[GrayImage, PlanarImage]:
         """Full decode of a stored stream (the cold, whole-blob path)."""
-        return decode_selection(
-            self.backend.get(key), self.config, engine=self.engine
-        ).image()
+        with self._pin(key):
+            self._check_visible(key, include_deleted)
+            return decode_selection(
+                self.backend.get(key), self.config, engine=self.engine
+            ).image()
 
-    def get_plane(self, key: str, plane: int) -> GrayImage:
+    def get_plane(
+        self, key: str, plane: int, include_deleted: bool = False
+    ) -> GrayImage:
         """Decode one component plane straight off the stored index."""
-        return self._select(key, planes=(plane,)).plane_image(plane)
+        with self._pin(key):
+            self._check_visible(key, include_deleted)
+            return self._select(key, planes=(plane,)).plane_image(plane)
 
     def get_region(
         self,
         key: str,
         stripe_range: Tuple[int, int],
         planes: Optional[Sequence[int]] = None,
+        include_deleted: bool = False,
     ) -> Union[GrayImage, PlanarImage]:
         """Decode the rows covered by stripes ``[start, stop)``, and only those."""
-        return self._select(key, planes=planes, stripe_range=stripe_range).image()
+        with self._pin(key):
+            self._check_visible(key, include_deleted)
+            return self._select(key, planes=planes, stripe_range=stripe_range).image()
 
     def get_regions(
-        self, key: str, stripe_ranges: Sequence[Tuple[int, int]]
+        self,
+        key: str,
+        stripe_ranges: Sequence[Tuple[int, int]],
+        include_deleted: bool = False,
     ) -> List[Union[GrayImage, PlanarImage]]:
         """Serve a batch of region queries over one stream.
 
@@ -271,6 +506,13 @@ class ImageStore:
         overlapping regions fetch and decode each cell exactly once even
         on a cold cache.
         """
+        with self._pin(key):
+            self._check_visible(key, include_deleted)
+            return self._get_regions_pinned(key, stripe_ranges)
+
+    def _get_regions_pinned(
+        self, key: str, stripe_ranges: Sequence[Tuple[int, int]]
+    ) -> List[Union[GrayImage, PlanarImage]]:
         header = self.header(key)
         config = resolve_stream_config(header, self.config)
         selections = [
@@ -358,9 +600,12 @@ class ImageStore:
         return self.cache.stats
 
     def stats(self) -> dict:
-        """Backend + cache counters (the ``repro-store stats`` payload)."""
+        """Backend + cache + catalog counters (``repro-store stats`` payload)."""
         return {
             "backend": dict(self.backend.stats(), kind=type(self.backend).__name__),
             "cache": self.cache.stats.as_json(),
+            "catalog": dict(
+                self.catalog.stats(), kind=type(self.catalog).__name__
+            ),
             "engine": self.engine,
         }

@@ -1,0 +1,157 @@
+"""The data-plane HTTP surface: ``GET /catalog`` and ``DELETE /images/{key}``.
+
+Real sockets against a two-shard server; the shard stores are kept in
+reach so the tests can drive the GC sweep directly and observe the
+two-phase deletion from the client's side of the wire.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.imaging.pnm import write_ppm
+from repro.imaging.synthetic import generate_planar_image
+from repro.serve.app import ImageService, start_server_thread
+from repro.serve.client import ServeClient
+from repro.store.gc import sweep
+from repro.store.store import ImageStore
+
+
+@pytest.fixture(scope="module")
+def shards(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-catalog")
+    stores = [ImageStore.open(root / ("shard-%02d" % index)) for index in range(2)]
+    yield stores
+    for store in stores:
+        store.close()
+
+
+@pytest.fixture(scope="module")
+def server(shards):
+    handle = start_server_thread(ImageService(shards))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(*server.address) as active:
+        yield active
+
+
+def _ppm_bytes(image):
+    buffer = io.BytesIO()
+    write_ppm(image, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture(scope="module")
+def corpus(server, shards):
+    """Five tagged images put through the HTTP front door."""
+    keys = {}
+    with ServeClient(*server.address) as loader:
+        for index, name in enumerate(
+            ("lena", "boat", "peppers", "mandrill", "zelda")
+        ):
+            image = generate_planar_image(name, size=16, seed=index)
+            outcome = loader.put_image(_ppm_bytes(image), stripes=2)
+            keys[name] = outcome["key"]
+    # Tags ride the store API (the HTTP put has no tag channel): label
+    # one entry directly on its owning shard so tag filters have a target.
+    lena = keys["lena"]
+    owner = next(s for s in shards if s.catalog.get(lena) is not None)
+    entry = owner.catalog.get(lena)
+    owner.catalog.record_put(dataclasses.replace(entry, tags=(("subject", "lena"),)))
+    return keys
+
+
+class TestCatalogEndpoint:
+    def test_merged_across_shards_newest_first(self, client, corpus):
+        document = client.catalog()
+        assert document["total"] == len(corpus)
+        assert set(row["key"] for row in document["entries"]) == set(corpus.values())
+        stamps = [row["created_at"] for row in document["entries"]]
+        assert stamps == sorted(stamps, reverse=True)
+        assert all(row["shard"].startswith("shard-") for row in document["entries"])
+
+    def test_pagination_is_stable_and_past_end_is_empty(self, client, corpus):
+        first = client.catalog(limit=2, offset=0)
+        second = client.catalog(limit=2, offset=2)
+        assert first["total"] == second["total"] == len(corpus)
+        page_keys = [row["key"] for row in first["entries"] + second["entries"]]
+        assert len(page_keys) == len(set(page_keys)) == 4
+        past = client.catalog(limit=5, offset=100)
+        assert past["entries"] == [] and past["total"] == len(corpus)
+
+    def test_field_filters(self, client, corpus):
+        assert client.catalog(planes=3)["total"] == len(corpus)
+        assert client.catalog(planes=1)["total"] == 0
+        assert client.catalog(engine="reference")["total"] == len(corpus)
+        assert client.catalog(engine="fast")["total"] == 0
+
+    def test_tag_filters(self, client, corpus):
+        document = client.catalog(tag="subject=lena")
+        assert document["total"] == 1
+        assert document["entries"][0]["key"] == corpus["lena"]
+        assert client.catalog(tag="subject")["total"] == 1
+        assert client.catalog(tag="subject=boat")["total"] == 0
+
+    def test_tag_filter_on_missing_tag_is_empty(self, client, corpus):
+        document = client.catalog(tag="no-such-tag")
+        assert document["entries"] == [] and document["total"] == 0
+
+
+class TestDeleteEndpoint:
+    def test_delete_tombstones_then_gc_reclaims(self, client, shards):
+        image = generate_planar_image("goldhill", size=16)
+        key = client.put_image(_ppm_bytes(image), stripes=2)["key"]
+
+        outcome = client.delete_image(key, ttl=0.0)
+        assert outcome["key"] == key and outcome["shard"].startswith("shard-")
+        assert outcome["purge_after"] == outcome["deleted_at"]
+
+        # Tombstoned: reads 404, but the catalog still shows the entry.
+        with pytest.raises(ServeError) as excinfo:
+            client.get_image(key)
+        assert excinfo.value.status == 404
+        visible = client.catalog(include_deleted=True)
+        assert any(row["key"] == key for row in visible["entries"])
+        tombstones = client.catalog(deleted_only=True)
+        assert any(row["key"] == key for row in tombstones["entries"])
+        assert all(row["key"] != key for row in client.catalog()["entries"])
+
+        # The sweep on the owning shard purges it for good.
+        owner = next(
+            store for store in shards if store.catalog.get(key) is not None
+        )
+        result = sweep(owner)
+        assert key in list(result.purged_keys)
+        with pytest.raises(ServeError) as excinfo:
+            client.get_image(key)
+        assert excinfo.value.status == 404
+        assert all(
+            row["key"] != key
+            for row in client.catalog(include_deleted=True)["entries"]
+        )
+
+    def test_delete_unknown_key_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.delete_image("0" * 64)
+        assert excinfo.value.status == 404
+
+    def test_negative_ttl_is_400(self, client):
+        image = generate_planar_image("barb", size=16)
+        key = client.put_image(_ppm_bytes(image), stripes=2)["key"]
+        with pytest.raises(ServeError) as excinfo:
+            client.delete_image(key, ttl=-1.0)
+        assert excinfo.value.status == 400
+
+    def test_endpoints_show_up_in_server_stats(self, client, corpus):
+        client.catalog()
+        endpoints = client.stats()["server"]["endpoints"]
+        assert "catalog" in endpoints
+        assert "delete_image" in endpoints

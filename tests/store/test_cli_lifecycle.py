@@ -1,0 +1,137 @@
+"""The ``repro-store`` data-plane subcommands, driven end to end.
+
+Exercises the put → ls → rm → gc → compact lifecycle on both backends
+through the real CLI entry point, plus the error convention the issue
+asks for: failures exit non-zero with exactly one ``ExceptionName:
+message`` line on stderr.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.imaging.pnm import write_ppm
+from repro.imaging.synthetic import generate_planar_image
+from repro.store.cli import store_main
+
+
+@pytest.fixture(params=["filesystem", "sqlite"])
+def root(request, tmp_path):
+    if request.param == "filesystem":
+        return str(tmp_path / "blobs")
+    return str(tmp_path / "blobs.sqlite")
+
+
+def _ppm(tmp_path, name="lena", size=16):
+    image = generate_planar_image(name, size=size)
+    buffer = io.BytesIO()
+    write_ppm(image, buffer)
+    path = tmp_path / ("%s.ppm" % name)
+    path.write_bytes(buffer.getvalue())
+    return path, image
+
+
+def _put(root, tmp_path, capsys, name="lena", tags=()):
+    path, _ = _ppm(tmp_path, name=name)
+    argv = ["put", root, str(path), "--stripes", "2"]
+    for tag in tags:
+        argv += ["--tag", tag]
+    assert store_main(argv) == 0
+    return capsys.readouterr().out.split()[0]
+
+
+class TestLifecycle:
+    def test_put_ls_rm_gc_roundtrip(self, root, tmp_path, capsys):
+        key = _put(root, tmp_path, capsys, tags=["set=bench", "subject=lena"])
+
+        # ls shows the live entry, and --json carries the pagination shape.
+        assert store_main(["ls", root]) == 0
+        assert key in capsys.readouterr().out
+        assert store_main(["ls", root, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["total"] == 1
+        assert document["entries"][0]["key"] == key
+        assert document["entries"][0]["tags"] == {
+            "set": "bench", "subject": "lena"
+        }
+
+        # Filters: matching tag hits, missing tag misses, offset past end.
+        assert store_main(["ls", root, "--tag", "set=bench", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 1
+        assert store_main(["ls", root, "--tag", "no-such-tag", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 0
+        assert store_main(["ls", root, "--offset", "10", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["entries"] == [] and document["total"] == 1
+
+        # rm tombstones; the key leaves ls but shows in --deleted-only.
+        assert store_main(["rm", root, key, "--ttl", "0"]) == 0
+        capsys.readouterr()
+        assert store_main(["ls", root, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 0
+        assert store_main(["ls", root, "--deleted-only", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 1
+
+        # gc --dry-run reports the candidate without purging it ...
+        assert store_main(["gc", root, "--dry-run", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True and report["purged"] == 1
+        assert store_main(["ls", root, "--deleted-only", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 1
+
+        # ... and the real sweep reclaims it.
+        assert store_main(["gc", root, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["purged"] == 1 and report["purged_keys"] == [key]
+        assert store_main(["ls", root, "--include-deleted", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 0
+
+    def test_compact_restripes_in_place(self, root, tmp_path, capsys):
+        key = _put(root, tmp_path, capsys, name="boat")
+        assert store_main(["compact", root, "--stripes", "4", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["swapped"] == 1
+        assert store_main(["ls", root, "--json"]) == 0
+        entry = json.loads(capsys.readouterr().out)["entries"][0]
+        assert entry["key"] == key and entry["stripes"] == 4
+        assert entry["compacted_at"] is not None
+
+    def test_stats_includes_catalog_counts(self, root, tmp_path, capsys):
+        _put(root, tmp_path, capsys)
+        assert store_main(["stats", root]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["catalog"]["live"] == 1
+
+
+class TestErrorConvention:
+    def _assert_one_line_error(self, capsys, exception_name):
+        captured = capsys.readouterr()
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("%s:" % exception_name)
+
+    def test_rm_unknown_key_is_one_line(self, root, capsys):
+        assert store_main(["rm", root, "0" * 64]) == 1
+        self._assert_one_line_error(capsys, "BlobNotFoundError")
+
+    def test_get_soft_deleted_key_is_one_line(self, root, tmp_path, capsys):
+        key = _put(root, tmp_path, capsys)
+        assert store_main(["rm", root, key]) == 0
+        capsys.readouterr()
+        out_path = str(tmp_path / "out.ppm")
+        assert store_main(["get", root, key, out_path]) == 1
+        self._assert_one_line_error(capsys, "BlobNotFoundError")
+
+    def test_stats_on_non_database_file_is_one_line(self, tmp_path, capsys):
+        junk = tmp_path / "junk.sqlite"
+        junk.write_bytes(b"this is not a database")
+        assert store_main(["stats", str(junk)]) == 1
+        self._assert_one_line_error(capsys, "StoreError")
+
+    def test_bad_tag_filter_is_usage_error(self, root, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            store_main(["ls", root, "--tag", "=value"])
+        assert excinfo.value.code == 2

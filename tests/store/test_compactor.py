@@ -1,0 +1,180 @@
+"""Background recompaction: byte-identical decode, atomic swap, loud failure.
+
+The acceptance cases from the data-plane issue live here: a corrupt blob
+must make recompaction fail loudly *without touching the original bytes*,
+and a swap that dies halfway (simulated by a backend whose ``put``
+raises) must leave the key serving its original content.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BitstreamError, StoreError
+from repro.imaging.synthetic import generate_planar_image
+from repro.store import FilesystemBackend, ImageStore, SQLiteBackend
+from repro.store.compactor import Compactor, compact, compact_key
+
+from tests.strategies import planar_images
+
+
+@pytest.fixture(params=["filesystem", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "filesystem":
+        backend = FilesystemBackend(tmp_path / "blobs")
+    else:
+        backend = SQLiteBackend(tmp_path / "blobs.sqlite")
+    with ImageStore(backend) as instance:
+        yield instance
+
+
+def _seed(store, name="lena", stripes=4):
+    image = generate_planar_image(name, size=16)
+    return store.put(image, stripes=stripes), image
+
+
+class TestCompactKey:
+    def test_restripe_preserves_key_and_pixels(self, store):
+        key, image = _seed(store, stripes=4)
+        row = compact_key(store, key, stripes=2)
+        assert row.status == "swapped" and row.key == key
+        assert store.get(key) == image
+        assert store.header(key).stripe_count == 2
+        entry = store.catalog.get(key)
+        assert entry.stripes == 2 and entry.compacted_at is not None
+        assert entry.encoded_bytes == store.backend.length(key)
+
+    def test_engine_change_is_recorded(self, store):
+        key, image = _seed(store)
+        row = compact_key(store, key, engine="fast")
+        assert row.status == "swapped"
+        assert store.catalog.get(key).engine == "fast"
+        assert store.get(key) == image
+
+    def test_plane_delta_changes_bytes_not_pixels(self, store):
+        key, image = _seed(store, name="peppers")
+        before = store.backend.get(key)
+        row = compact_key(store, key, plane_delta=True)
+        assert row.status == "swapped"
+        assert store.backend.get(key) != before
+        assert store.get(key) == image
+
+    def test_pinned_key_is_refused(self, store):
+        key, image = _seed(store)
+        before = store.backend.get(key)
+        with store._pin(key):
+            row = compact_key(store, key, stripes=2)
+        assert row.status == "pinned"
+        assert store.backend.get(key) == before
+        assert store.get(key) == image
+
+    def test_corrupt_blob_fails_loudly_without_touching_original(self, store):
+        key, _ = _seed(store)
+        original = store.backend.get(key)
+        # Flip one payload byte past the header+index so the CRC check
+        # trips during decode rather than the header parse.
+        doctored = bytearray(original)
+        doctored[-1] ^= 0xFF
+        store.backend.put(key, bytes(doctored))
+        store._drop_cached(key)
+        with pytest.raises(BitstreamError):
+            compact_key(store, key, stripes=2)
+        # Loud failure, and the (doctored) blob bytes were not replaced.
+        assert store.backend.get(key) == bytes(doctored)
+
+
+class _FailingPutWrapper:
+    """Backend wrapper whose ``put`` dies — a compactor killed mid-swap."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def put(self, key, data):
+        raise OSError("simulated crash during swap")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestCompactBatch:
+    def test_batch_compacts_all_live_keys(self, store):
+        keys = {}
+        for name in ("lena", "boat", "barb"):
+            key, image = _seed(store, name=name, stripes=4)
+            keys[key] = image
+        dead, _ = _seed(store, name="zelda")
+        store.soft_delete(dead, ttl_seconds=3600.0)
+        result = compact(store, stripes=2)
+        assert result.swapped == len(keys)
+        assert all(row.key != dead for row in result.rows)
+        for key, image in keys.items():
+            assert store.get(key) == image
+            assert store.header(key).stripe_count == 2
+
+    def test_min_age_skips_recent_keys(self, store):
+        key, _ = _seed(store)
+        moment = store.catalog.get(key).created_at
+        result = compact(store, stripes=2, min_age_seconds=3600.0, now=moment + 60.0)
+        assert result.swapped == 0 and not result.rows
+        result = compact(store, stripes=2, min_age_seconds=3600.0, now=moment + 7200.0)
+        assert result.swapped == 1
+
+    def test_failed_swap_leaves_original_readable(self, store):
+        key, image = _seed(store)
+        original = store.backend.get(key)
+        store.wrap_backend(_FailingPutWrapper)
+        result = compact(store, keys=[key], stripes=2)
+        assert result.failed == 1
+        assert result.rows[0].status == "error"
+        assert "simulated crash" in result.rows[0].error
+        # The original blob still serves, byte-for-byte untouched.
+        assert store.backend.get(key) == original
+        assert store.get(key) == image
+
+    def test_result_report_and_json(self, store):
+        key, _ = _seed(store, stripes=4)
+        result = compact(store, keys=[key], stripes=2)
+        document = result.as_json()
+        assert document["swapped"] == 1
+        assert result.bytes_saved == result.rows[0].bytes_saved
+        assert "compact" in result.format_report()
+
+
+class TestCompactorDaemon:
+    def test_run_once_records_results(self, store):
+        key, image = _seed(store, stripes=4)
+        daemon = Compactor(store, stripes=2)
+        result = daemon.run_once()
+        assert result.swapped == 1
+        assert daemon.results[-1] is result
+        assert store.get(key) == image
+
+    def test_start_stop_lifecycle(self, store):
+        _seed(store, stripes=4)
+        with Compactor(store, interval_seconds=0.01, stripes=2) as daemon:
+            time.sleep(0.05)
+        assert len(daemon.results) >= 1
+
+    def test_invalid_interval_rejected(self, store):
+        with pytest.raises(StoreError):
+            Compactor(store, interval_seconds=0.0)
+
+
+class TestRecompactionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(image=planar_images(max_side=10, max_planes=3), stripes=st.integers(1, 4))
+    def test_recompaction_is_byte_identical_on_decode(self, image, stripes):
+        """The headline invariant: any recompaction decodes to the same pixels."""
+        stripes = min(stripes, image.height)  # a stripe needs at least one row
+        with tempfile.TemporaryDirectory() as root:
+            with ImageStore.open(Path(root) / "blobs") as store:
+                key = store.put(image, stripes=1)
+                row = compact_key(store, key, stripes=stripes)
+                assert row.status == "swapped"
+                assert store.get(key) == image

@@ -1,0 +1,138 @@
+"""The tombstone GC sweep: safety first, reclamation second.
+
+The invariants under test mirror the module contract: a sweep never
+collects a live key, never collects a tombstone still inside its TTL,
+never collects a key a reader currently pins, and a dry run reports what
+a real sweep would do without touching anything.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import BlobNotFoundError, StoreError
+from repro.imaging.synthetic import generate_planar_image
+from repro.store import FilesystemBackend, ImageStore, SQLiteBackend
+from repro.store.gc import GcDaemon, sweep
+
+
+@pytest.fixture(params=["filesystem", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "filesystem":
+        backend = FilesystemBackend(tmp_path / "blobs")
+    else:
+        backend = SQLiteBackend(tmp_path / "blobs.sqlite")
+    with ImageStore(backend) as instance:
+        yield instance
+
+
+def _seed(store, name="lena"):
+    image = generate_planar_image(name, size=16)
+    return store.put(image, stripes=2), image
+
+
+class TestSweep:
+    def test_live_keys_are_never_scanned(self, store):
+        key, image = _seed(store)
+        result = sweep(store)
+        assert result.scanned == 0 and result.purged == 0
+        assert store.get(key) == image
+
+    def test_expired_tombstone_is_purged(self, store):
+        key, _ = _seed(store)
+        store.soft_delete(key, ttl_seconds=0.0)
+        blob_bytes = store.backend.length(key)
+        result = sweep(store, now=time.time() + 1.0)
+        assert result.scanned == 1 and result.expired == 1
+        assert result.purged == 1 and list(result.purged_keys) == [key]
+        assert result.bytes_reclaimed == blob_bytes
+        assert not store.backend.contains(key)
+        assert store.catalog.get(key) is None
+        with pytest.raises(BlobNotFoundError):
+            store.get(key, include_deleted=True)
+
+    def test_tombstone_within_ttl_is_left_alone(self, store):
+        key, image = _seed(store)
+        store.soft_delete(key, ttl_seconds=3600.0)
+        result = sweep(store)
+        assert result.scanned == 1 and result.within_ttl == 1
+        assert result.purged == 0
+        # Still readable for operators until the TTL elapses.
+        assert store.get(key, include_deleted=True) == image
+        with pytest.raises(BlobNotFoundError):
+            store.get(key)
+
+    def test_pinned_key_is_skipped_then_purged_after_unpin(self, store):
+        key, _ = _seed(store)
+        store.soft_delete(key, ttl_seconds=0.0)
+        later = time.time() + 1.0
+        with store._pin(key):
+            result = sweep(store, now=later)
+            assert result.skipped_pinned == 1 and result.purged == 0
+            assert store.backend.contains(key)
+        result = sweep(store, now=later)
+        assert result.purged == 1
+        assert not store.backend.contains(key)
+
+    def test_dry_run_reports_without_touching(self, store):
+        key, image = _seed(store)
+        store.soft_delete(key, ttl_seconds=0.0)
+        result = sweep(store, now=time.time() + 1.0, dry_run=True)
+        assert result.dry_run and result.purged == 1
+        assert result.bytes_reclaimed == store.backend.length(key)
+        # Nothing actually moved: blob and tombstone both intact.
+        assert store.backend.contains(key)
+        assert store.catalog.get(key) is not None
+        assert store.get(key, include_deleted=True) == image
+
+    def test_sweep_is_idempotent(self, store):
+        key, _ = _seed(store)
+        store.soft_delete(key, ttl_seconds=0.0)
+        later = time.time() + 1.0
+        assert sweep(store, now=later).purged == 1
+        again = sweep(store, now=later)
+        assert again.scanned == 0 and again.purged == 0
+
+    def test_restore_before_expiry_keeps_the_key(self, store):
+        key, image = _seed(store)
+        store.soft_delete(key, ttl_seconds=3600.0)
+        store.restore(key)
+        result = sweep(store, now=time.time() + 7200.0)
+        assert result.scanned == 0 and result.purged == 0
+        assert store.get(key) == image
+
+    def test_report_and_json(self, store):
+        key, _ = _seed(store)
+        store.soft_delete(key, ttl_seconds=0.0)
+        result = sweep(store, now=time.time() + 1.0)
+        document = result.as_json()
+        assert document["purged"] == 1 and document["purged_keys"] == [key]
+        assert "tombstone(s) scanned" in result.format_report()
+
+
+class TestDaemon:
+    def test_run_once_records_results(self, store):
+        key, _ = _seed(store)
+        store.soft_delete(key, ttl_seconds=0.0)
+        daemon = GcDaemon(store, interval_seconds=60.0)
+        result = daemon.run_once(now=time.time() + 1.0)
+        assert result.purged == 1
+        assert daemon.results[-1] is result
+
+    def test_start_stop_lifecycle(self, store):
+        with GcDaemon(store, interval_seconds=0.01) as daemon:
+            time.sleep(0.05)
+        assert len(daemon.results) >= 1
+
+    def test_invalid_configuration_rejected(self, store):
+        with pytest.raises(StoreError):
+            GcDaemon(store, interval_seconds=0.0)
+        daemon = GcDaemon(store, interval_seconds=60.0)
+        daemon.start()
+        try:
+            with pytest.raises(StoreError):
+                daemon.start()
+        finally:
+            daemon.stop()

@@ -1,0 +1,124 @@
+"""Property and race tests of the soft-delete → GC lifecycle.
+
+The referenced invariant (see ``docs/operations.md``): **a key is never
+unreachable unless it is expired *and* purged**.  Before expiry a
+tombstoned key is always readable with ``include_deleted=True`` and
+always restorable; concurrent sweeps can never make a read observe torn
+or corrupt data — a racing reader sees either the intact image or a
+clean :class:`BlobNotFoundError`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BlobNotFoundError, ReproError
+from repro.imaging.synthetic import generate_planar_image
+from repro.store import FilesystemBackend, ImageStore, SQLiteBackend
+from repro.store.gc import sweep
+
+
+@pytest.fixture(params=["filesystem", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "filesystem":
+        backend = FilesystemBackend(tmp_path / "blobs")
+    else:
+        backend = SQLiteBackend(tmp_path / "blobs.sqlite")
+    with ImageStore(backend) as instance:
+        yield instance
+
+
+class TestLifecycleProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ttl=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        delay=st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+    )
+    def test_key_never_unreachable_unless_expired_and_purged(self, ttl, delay):
+        """For any (ttl, sweep delay): the key is gone iff delay >= ttl."""
+        base = 1_000_000.0  # fixed epoch so ttl/delay arithmetic is exact
+        with tempfile.TemporaryDirectory() as root:
+            with ImageStore.open(Path(root) / "blobs") as store:
+                image = generate_planar_image("lena", size=16)
+                key = store.put(image, stripes=1)
+                store.soft_delete(key, ttl_seconds=ttl, now=base)
+                result = sweep(store, now=base + delay)
+                if delay >= ttl:
+                    # Expired and purged: now, and only now, unreachable.
+                    assert result.purged == 1
+                    with pytest.raises(BlobNotFoundError):
+                        store.get(key, include_deleted=True)
+                else:
+                    # Within TTL: still reachable for operators, and a
+                    # restore brings back the identical pixels.
+                    assert result.purged == 0
+                    assert store.get(key, include_deleted=True) == image
+                    store.restore(key)
+                    assert store.get(key) == image
+
+
+class TestGcRacingReads:
+    def _race(self, store, key, image, expect_missing_ok, sweep_now):
+        """N reader threads hammer ``key`` while sweeps run concurrently."""
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    got = store.get(key, include_deleted=True)
+                    if got != image:
+                        errors.append("read returned wrong pixels")
+                        return
+                except BlobNotFoundError:
+                    if not expect_missing_ok:
+                        errors.append("live-within-TTL key became unreachable")
+                        return
+                except ReproError as exc:
+                    errors.append("torn read: %r" % exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(25):
+                sweep(store, now=sweep_now)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        return errors
+
+    def test_within_ttl_reads_always_succeed(self, store):
+        image = generate_planar_image("boat", size=16)
+        key = store.put(image, stripes=2)
+        store.soft_delete(key, ttl_seconds=1e9)
+        errors = self._race(
+            store, key, image, expect_missing_ok=False, sweep_now=None
+        )
+        assert errors == []
+        assert store.backend.contains(key)
+
+    def test_expired_reads_see_image_or_clean_miss(self, store):
+        image = generate_planar_image("goldhill", size=16)
+        key = store.put(image, stripes=2)
+        store.soft_delete(key, ttl_seconds=0.0)
+        entry = store.catalog.get(key)
+        errors = self._race(
+            store,
+            key,
+            image,
+            expect_missing_ok=True,
+            sweep_now=entry.purge_after + 1.0,
+        )
+        assert errors == []
+        # The sweeps eventually won: the key is purged once readers stop.
+        sweep(store, now=entry.purge_after + 1.0)
+        assert not store.backend.contains(key)
