@@ -12,7 +12,12 @@ failure modes the production-hardening layer exists for:
   abandoned leader cannot poison the cell cache or single-flight map;
 * **shard kill** — the shard's backend raises on every call; reads on it
   surface errors while ``/healthz`` stays ``200``, and a revive restores
-  service with no restart.
+  service with no restart;
+* **replica failover** — a second service with replication factor 2:
+  killing a key's primary owner must not fail a single read (the
+  surviving replica answers, surfaced in the ``/stats`` failover
+  counters), and the failover must not poison the cell cache or
+  single-flight map.
 
 The whole drill runs under a hard wall-clock budget (default 60 s): a
 hung drain, stuck worker or unbounded retry fails the job by timeout,
@@ -157,12 +162,72 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos = injectors[stalled_shard].stats()["chaos"]
             assert chaos["kills"] >= 1 and chaos["stalls"] >= 1
             client.close()
-            elapsed = time.monotonic() - began
-            print("chaos-smoke: PASS in %.1fs (budget %.0fs)"
-                  % (elapsed, args.budget))
-            return 0
         finally:
             handle.stop()
+
+    # --- Replica failover (replication factor 2) ---------------------
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-r2-") as root:
+        from pathlib import Path
+
+        stores = [
+            ImageStore.open(Path(root) / ("shard-%02d" % i)) for i in range(2)
+        ]
+        service = ImageService(stores, replication=2)
+        injectors = dict(
+            zip(service.router.names, (s.wrap_backend(FaultInjector) for s in stores))
+        )
+        handle = start_server_thread(service)
+        try:
+            client = ServeClient(*handle.address)
+            image = generate_planar_image("lena", size=args.size, seed=4200, planes=3)
+            buffer = io.BytesIO()
+            write_ppm(image, buffer)
+            outcome = client.put_image(buffer.getvalue(), stripes=4)
+            key = str(outcome["key"])
+            primary = str(outcome["shard"])
+            assert sorted(outcome["replicas"]) == sorted(service.router.names), (
+                "R=2 write must land on both shards, got %r" % (outcome["replicas"],)
+            )
+            client.get_region(key, 0, 1)  # warm
+            for store in stores:
+                store.cache.clear()
+                store._headers.clear()
+            injectors[primary].kill()
+            try:
+                for stripe in range(4):
+                    assert client.get_region(key, stripe, stripe + 1).height > 0, (
+                        "read failed with one replica down (stripe %d)" % stripe
+                    )
+                assert client.healthz()["status"] == "ok"
+            finally:
+                injectors[primary].revive()
+            stats = client.stats()
+            failovers = stats["server"]["counters"].get("failovers", 0)
+            assert failovers >= 1, (
+                "expected failover reads in /stats, counter is %d" % failovers
+            )
+            shard_failovers = (
+                stats["server"]["shard_counters"].get(primary, {}).get("failovers", 0)
+            )
+            assert shard_failovers >= 1, (
+                "per-shard failover counter for %s is %d" % (primary, shard_failovers)
+            )
+            # No single-flight poisoning: the map drained and the same
+            # region decodes again (now that both replicas are back).
+            assert service.flight.in_flight == 0, "single-flight map not drained"
+            assert client.get_region(key, 0, 1).height > 0
+            print(
+                "chaos-smoke: killed primary %s, %d failover read(s) kept "
+                "every request whole" % (primary, failovers)
+            )
+            client.close()
+            check_budget("failover")
+        finally:
+            handle.stop()
+
+    elapsed = time.monotonic() - began
+    print("chaos-smoke: PASS in %.1fs (budget %.0fs)" % (elapsed, args.budget))
+    return 0
 
 
 if __name__ == "__main__":

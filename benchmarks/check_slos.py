@@ -8,9 +8,13 @@ gate trips: the soak job runs the drill, uploads the JSON, *then* gates.
 An optional ``--warm-p99-ms`` bound additionally fails the job when the
 baseline (unloaded, warm-cache) phase's client-side p99 exceeds it — the
 absolute latency SLO of the nightly soak, on top of the drill's relative
-ones.  Usage::
+ones.  ``--max-reshard-error-rate`` likewise bounds the fraction of
+requests that errored or timed out while the drill's live reshard ran —
+the soak's own ceiling, independent of the budget baked into the drill.
+Usage::
 
-    python benchmarks/check_slos.py chaos-soak.json [--warm-p99-ms 250]
+    python benchmarks/check_slos.py chaos-soak.json [--warm-p99-ms 250] \\
+        [--max-reshard-error-rate 0.01]
 """
 
 from __future__ import annotations
@@ -21,7 +25,11 @@ import sys
 from typing import List, Optional
 
 
-def check(document: dict, warm_p99_ms: Optional[float] = None) -> List[str]:
+def check(
+    document: dict,
+    warm_p99_ms: Optional[float] = None,
+    max_reshard_error_rate: Optional[float] = None,
+) -> List[str]:
     """Return the list of violations in a ``repro-bench chaos`` summary."""
     entry = document.get("experiments", {}).get("chaos")
     if entry is None:
@@ -46,6 +54,24 @@ def check(document: dict, warm_p99_ms: Optional[float] = None) -> List[str]:
                 "warm p99 %.2f ms exceeds the %.2f ms SLO"
                 % (baseline["p99_ms"], warm_p99_ms)
             )
+    if max_reshard_error_rate is not None:
+        reshard = next(
+            (p for p in extra.get("phases", []) if p.get("name") == "reshard"),
+            None,
+        )
+        if reshard is None:
+            violations.append("no reshard phase to hold the error-rate SLO against")
+        else:
+            bad = int(reshard.get("errors", 0)) + int(
+                reshard.get("deadline_exceeded", 0)
+            )
+            rate = bad / max(1, int(reshard.get("requests", 0)))
+            if rate > max_reshard_error_rate:
+                violations.append(
+                    "reshard error rate %.4f (%d bad / %d requests) exceeds "
+                    "the %.4f SLO"
+                    % (rate, bad, reshard.get("requests", 0), max_reshard_error_rate)
+                )
     return violations
 
 
@@ -59,11 +85,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="MS",
         help="absolute bound on the baseline phase's client p99 (default: off)",
     )
+    parser.add_argument(
+        "--max-reshard-error-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="bound on (errors + 504s) / requests during the live-reshard "
+        "phase (default: off)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.summary, "r", encoding="utf-8") as handle:
         document = json.load(handle)
-    violations = check(document, warm_p99_ms=args.warm_p99_ms)
+    violations = check(
+        document,
+        warm_p99_ms=args.warm_p99_ms,
+        max_reshard_error_rate=args.max_reshard_error_rate,
+    )
     if violations:
         for line in violations:
             print("check-slos: FAIL %s" % line, file=sys.stderr)

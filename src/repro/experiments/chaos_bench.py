@@ -19,7 +19,17 @@ closed-loop load through real sockets:
    must fail fast with 504 deadline errors while the healthy shard keeps
    serving;
 5. **recovery** — the stall clears: latency and error rate must return to
-   baseline.
+   baseline;
+6. **failover** — with replication (default R=2) one shard is *killed*
+   outright: every read must keep succeeding from the surviving replica
+   (zero errors, zero 504s) with the failovers surfaced in ``/stats``;
+7. **reshard** — the killed shard revives and a **live N -> N+1 reshard**
+   starts under continuous load: the error rate while keys migrate must
+   stay within a small budget, and the migration must commit.
+
+A :class:`~repro.serve.health.HealthProber` runs for the whole drill, so
+replica preference reacts to the injected faults the way production
+would.
 
 Every phase snapshots ``GET /stats`` before and after, so the per-phase
 latency quantiles used by the SLO checks come from the *server's own
@@ -50,6 +60,7 @@ from repro.imaging.synthetic import (
 from repro.serve.app import ImageService, start_server_thread
 from repro.serve.chaos import FaultInjector
 from repro.serve.client import ServeClient
+from repro.serve.health import HealthProber
 from repro.store.store import ImageStore
 
 __all__ = [
@@ -117,6 +128,7 @@ class PhaseResult:
     stats_shed: int = 0
     stats_deadline_exceeded: int = 0
     stats_errors: int = 0
+    stats_failovers: int = 0
 
     @property
     def p50_ms(self) -> float:
@@ -143,6 +155,7 @@ class PhaseResult:
             "stats_shed": self.stats_shed,
             "stats_deadline_exceeded": self.stats_deadline_exceeded,
             "stats_errors": self.stats_errors,
+            "stats_failovers": self.stats_failovers,
         }
 
     def format_row(self) -> str:
@@ -169,10 +182,13 @@ class ChaosBenchResult:
     seed: int
     shards: int
     max_inflight: int
+    replication: int = 1
     stalled_shard: str = ""
+    killed_shard: str = ""
     phases: List[PhaseResult] = field(default_factory=list)
     slos: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     server_stats: Dict[str, Any] = field(default_factory=dict)
+    reshard: Dict[str, Any] = field(default_factory=dict)
 
     def phase(self, name: str) -> PhaseResult:
         for entry in self.phases:
@@ -202,9 +218,27 @@ class ChaosBenchResult:
         ]
         lines.extend(phase.format_row() for phase in self.phases)
         lines.append(
-            "admission watermark %d, %d shard(s); stalled shard: %s"
-            % (self.max_inflight, self.shards, self.stalled_shard or "-")
+            "admission watermark %d, %d shard(s), replication %d; "
+            "stalled shard: %s; killed shard: %s"
+            % (
+                self.max_inflight,
+                self.shards,
+                self.replication,
+                self.stalled_shard or "-",
+                self.killed_shard or "-",
+            )
         )
+        if self.reshard:
+            lines.append(
+                "reshard onto %s: %s, %d key(s) moved, %d copied, %d deleted"
+                % (
+                    self.reshard.get("joining", "-"),
+                    "committed" if self.reshard.get("completed") else "NOT committed",
+                    int(self.reshard.get("moved", 0)),
+                    int(self.reshard.get("copies", 0)),
+                    int(self.reshard.get("deletions", 0)),
+                )
+            )
         for name, outcome in sorted(self.slos.items()):
             lines.append(
                 "SLO %-22s %s  (%s)"
@@ -219,7 +253,10 @@ class ChaosBenchResult:
             "seed": self.seed,
             "shards": self.shards,
             "max_inflight": self.max_inflight,
+            "replication": self.replication,
             "stalled_shard": self.stalled_shard,
+            "killed_shard": self.killed_shard,
+            "reshard": dict(self.reshard),
             "phases": [phase.as_json() for phase in self.phases],
             "slos": {
                 name: dict(outcome) for name, outcome in sorted(self.slos.items())
@@ -318,13 +355,18 @@ def run_chaos_bench(
     p50_factor: float = 2.0,
     slack_ms: float = DEFAULT_SLACK_MS,
     warm_p99_slo_ms: Optional[float] = None,
+    replication: int = 2,
+    reshard_error_budget: float = 0.01,
 ) -> ChaosBenchResult:
-    """Run the five-phase overload + fault drill against an in-process server.
+    """Run the seven-phase overload + fault drill against an in-process server.
 
     ``p50_factor`` and ``slack_ms`` parameterise the latency SLOs (admitted
     p50 under overload, and p50 after recovery, must stay within
     ``factor * baseline + slack``).  ``warm_p99_slo_ms`` optionally adds an
     absolute ceiling on the baseline warm p99 — the nightly soak's SLO.
+    ``replication`` is the per-key owner count (>= 2 arms the failover and
+    reshard phases); ``reshard_error_budget`` caps the tolerated error
+    fraction while a live reshard runs under load.
     """
     if size < 16:
         raise ConfigError("chaos bench image size must be at least 16, got %d" % size)
@@ -341,10 +383,22 @@ def run_chaos_bench(
         raise ConfigError("deadline_ms must be at least 50, got %d" % deadline_ms)
     if backend not in ("filesystem", "sqlite"):
         raise ConfigError("backend must be 'filesystem' or 'sqlite', got %r" % (backend,))
+    if replication < 2:
+        raise ConfigError(
+            "the failover phase needs replication >= 2, got %d" % replication
+        )
+    if not 0.0 <= reshard_error_budget <= 1.0:
+        raise ConfigError(
+            "reshard_error_budget must be in [0, 1], got %r" % reshard_error_budget
+        )
     selected = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)[:3]
 
     result = ChaosBenchResult(
-        size=size, seed=seed, shards=shards, max_inflight=max_inflight
+        size=size,
+        seed=seed,
+        shards=shards,
+        max_inflight=max_inflight,
+        replication=replication,
     )
 
     with tempfile.TemporaryDirectory(prefix="repro-chaos-bench-") as root:
@@ -361,8 +415,16 @@ def run_chaos_bench(
             assert isinstance(injector, FaultInjector)
             stores.append(store)
             injectors.append(injector)
-        service = ImageService(stores, max_inflight=max_inflight)
+        service = ImageService(
+            stores, max_inflight=max_inflight, replication=replication
+        )
         by_shard = dict(zip(service.router.names, injectors))
+        # The prober runs for the whole drill, so replica preference reacts
+        # to the injected faults (down on kill/stall, back up on revive)
+        # exactly the way a production deployment's would.
+        prober = HealthProber(
+            service.router, service.health, interval=0.5, timeout=0.5
+        ).start()
         with start_server_thread(service) as handle:
             client = ServeClient(*handle.address)
 
@@ -411,7 +473,11 @@ def run_chaos_bench(
                 ("spike", spike_clients, pairs),
                 ("stall", ramp_clients, mixed_pairs),
                 ("recovery", baseline_clients, mixed_pairs),
+                ("failover", ramp_clients, pairs),
+                ("reshard", ramp_clients, pairs),
             ]
+            reshard_thread: Optional[threading.Thread] = None
+            resharder = None
             for name, clients, phase_pairs in plan:
                 if name == "stall":
                     by_shard[stalled_shard].stall()
@@ -420,6 +486,33 @@ def run_chaos_bench(
                     # Let requests abandoned during the stall finish
                     # recording before the recovery snapshot is taken.
                     time.sleep(max(1.0, 2.0 * deadline_ms / 1000.0))
+                elif name == "failover":
+                    # With R owners per key, losing one outright must not
+                    # lose a single read: the shard most stall keys call
+                    # primary is killed dead (instant StoreError, unlike
+                    # the stall's slow burn).  Decoded-cell caches are
+                    # dropped first — warm hits never touch the backend,
+                    # and a failover drill that never reads the dead
+                    # backend proves nothing.
+                    for store in service.router.stores:
+                        store.cache.clear()
+                        store._headers.clear()
+                    result.killed_shard = stalled_shard
+                    by_shard[stalled_shard].kill()
+                elif name == "reshard":
+                    by_shard[stalled_shard].revive()
+                    joining_name = "shard-%02d" % shards
+                    joining_path = (
+                        "%s/%s.sqlite" % (root, joining_name)
+                        if backend == "sqlite"
+                        else "%s/%s" % (root, joining_name)
+                    )
+                    joining = ImageStore.open(joining_path, engine=engine)
+                    injector = joining.wrap_backend(FaultInjector)
+                    assert isinstance(injector, FaultInjector)
+                    by_shard[joining_name] = injector
+                    resharder = service.begin_reshard(joining, joining_name)
+                    reshard_thread = resharder.start()
                 phase = PhaseResult(name=name, clients=clients)
                 before = client.stats()
                 _run_phase(
@@ -443,12 +536,20 @@ def run_chaos_bench(
                 phase.stats_errors = _endpoint_errors(
                     after, "get_region"
                 ) - _endpoint_errors(before, "get_region")
+                phase.stats_failovers = _counter(after, "failovers") - _counter(
+                    before, "failovers"
+                )
                 result.phases.append(phase)
 
+            if reshard_thread is not None:
+                reshard_thread.join(timeout=60.0)
+            if resharder is not None:
+                result.reshard = resharder.report.as_json()
             result.server_stats = client.stats()["server"]
             client.close()
+            prober.stop()
 
-    _evaluate_slos(result, p50_factor, slack_ms, warm_p99_slo_ms)
+    _evaluate_slos(result, p50_factor, slack_ms, warm_p99_slo_ms, reshard_error_budget)
     return result
 
 
@@ -457,12 +558,15 @@ def _evaluate_slos(
     p50_factor: float,
     slack_ms: float,
     warm_p99_slo_ms: Optional[float],
+    reshard_error_budget: float,
 ) -> None:
     """Fill ``result.slos`` from the recorded phases."""
     baseline = result.phase("baseline")
     spike = result.phase("spike")
     stall = result.phase("stall")
     recovery = result.phase("recovery")
+    failover = result.phase("failover")
+    reshard = result.phase("reshard")
 
     def record(name: str, passed: bool, detail: str) -> None:
         result.slos[name] = {"passed": bool(passed), "detail": detail}
@@ -510,6 +614,47 @@ def _evaluate_slos(
         recovery.stats_shed == 0 and recovery.stats_deadline_exceeded == 0,
         "after the stall cleared: %d shed, %d deadline-exceeded (/stats counters)"
         % (recovery.stats_shed, recovery.stats_deadline_exceeded),
+    )
+    record(
+        "failover_availability",
+        failover.ok > 0
+        and failover.errors == 0
+        and failover.stats_deadline_exceeded == 0,
+        "with %s killed: %d ok, %d error(s), %d deadline-exceeded — every "
+        "read must survive losing one replica"
+        % (
+            result.killed_shard or "-",
+            failover.ok,
+            failover.errors,
+            failover.stats_deadline_exceeded,
+        ),
+    )
+    record(
+        "failover_serves",
+        failover.stats_failovers > 0,
+        "reads failed over %d time(s) to a surviving replica (/stats counter)"
+        % failover.stats_failovers,
+    )
+    reshard_bad = reshard.errors + reshard.deadline_exceeded
+    reshard_rate = reshard_bad / max(1, reshard.requests)
+    record(
+        "reshard_bounded_errors",
+        reshard.ok > 0 and reshard_rate <= reshard_error_budget,
+        "error rate %.4f during the live reshard (%d bad / %d requests) "
+        "vs budget %.4f"
+        % (reshard_rate, reshard_bad, reshard.requests, reshard_error_budget),
+    )
+    record(
+        "reshard_commits",
+        bool(result.reshard.get("completed")),
+        "live reshard onto %s %s (%d key(s) moved, %d copied, %d deleted)"
+        % (
+            result.reshard.get("joining", "-"),
+            "committed" if result.reshard.get("completed") else "did NOT commit",
+            int(result.reshard.get("moved", 0)),
+            int(result.reshard.get("copies", 0)),
+            int(result.reshard.get("deletions", 0)),
+        ),
     )
     if warm_p99_slo_ms is not None:
         record(

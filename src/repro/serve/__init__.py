@@ -16,6 +16,13 @@ concurrent clients over N :class:`~repro.store.store.ImageStore` shards:
 * **deadlines** — every request carries a budget into the worker pool
   and is abandoned cooperatively once it lapses
   (:mod:`repro.serve.deadline`);
+* **replication + failover** — each key lives on the top-R rendezvous
+  winners; writes fan out to every owner and reads fail over between
+  replicas, preferring ones believed healthy
+  (:mod:`repro.serve.health`);
+* **live resharding** — growing N shards to N+1 is an operation, not a
+  restart: a background migrator copies the moved key fraction while
+  reads consult both old and new owners (:mod:`repro.serve.reshard`);
 * **fault injection** — a chaos proxy wraps any blob backend with
   kill/stall/error/latency faults for resilience tests and the CI chaos
   jobs (:mod:`repro.serve.chaos`);
@@ -52,6 +59,8 @@ from repro.serve.deadline import (
     current_context,
 )
 from repro.serve.flight import SingleFlight
+from repro.serve.health import HealthProber, HealthTracker, ShardHealth
+from repro.serve.reshard import Resharder, ReshardReport
 from repro.serve.router import StoreRouter, rendezvous_score, rendezvous_shard
 from repro.serve.stats import EndpointStats, LatencyHistogram, ServerStats
 
@@ -62,10 +71,15 @@ __all__ = [
     "DEFAULT_MAX_INFLIGHT",
     "Deadline",
     "FaultInjector",
+    "HealthProber",
+    "HealthTracker",
     "ImageService",
     "ReproServer",
     "RequestContext",
+    "Resharder",
+    "ReshardReport",
     "ServerHandle",
+    "ShardHealth",
     "start_server_thread",
     "ServeClient",
     "SingleFlight",

@@ -76,7 +76,17 @@ import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.core.cellgrid import encode_grid
 from repro.core.config import CodecConfig
@@ -106,6 +116,7 @@ from repro.serve.deadline import (
     current_context,
 )
 from repro.serve.flight import SingleFlight
+from repro.serve.health import HealthTracker
 from repro.serve.http import (
     HttpProtocolError,
     HttpRequest,
@@ -113,6 +124,7 @@ from repro.serve.http import (
     read_request,
     render_response,
 )
+from repro.serve.reshard import Resharder
 from repro.serve.router import StoreRouter
 from repro.serve.stats import ServerStats
 from repro.store.catalog import CatalogFilter
@@ -128,6 +140,8 @@ __all__ = [
 
 #: Default per-request time budget; ``0`` disables deadlines entirely.
 DEFAULT_DEADLINE_SECONDS = 30.0
+
+_T = TypeVar("_T")
 
 #: Endpoints that bypass admission control and rate limits — an operator
 #: must be able to observe an overloaded server.
@@ -195,8 +209,17 @@ class ImageService:
         read_timeout: Optional[float] = 30.0,
         idle_timeout: Optional[float] = None,
         drain_budget: float = 10.0,
+        replication: int = 1,
+        health_down_after: int = 3,
+        health_up_after: int = 2,
     ) -> None:
-        self.router = StoreRouter(stores, names)
+        self.router = StoreRouter(stores, names, replication=replication)
+        self.health = HealthTracker(
+            names=self.router.names,
+            down_after=health_down_after,
+            up_after=health_up_after,
+        )
+        self.resharder: Optional[Resharder] = None
         self.flight = SingleFlight()
         self.stats = ServerStats()
         self.executor = ThreadPoolExecutor(
@@ -241,6 +264,53 @@ class ImageService:
                 timeout = remaining
         return self.flight.run(key, supplier, timeout=timeout)
 
+    def _read_replicas(self, key: str, reader: Callable[[ImageStore], _T]) -> _T:
+        """Run ``reader`` against ``key``'s owners, failing over in order.
+
+        Owners come from the router in rendezvous-score order (the union
+        of old and new memberships mid-reshard) and are reordered so
+        believed-healthy shards go first; a down shard is a last resort,
+        never skipped outright.  A :class:`StoreError` fails over to the
+        next replica (counted per shard in ``/stats``); a
+        :class:`BlobNotFoundError` also moves on — the key may not have
+        been replicated or migrated there yet — and only becomes the
+        answer when *every* owner misses.  Deadline expiry aborts the
+        loop (a stalled replica must not consume the followers' budget
+        too).  This helper runs *inside* the single-flight supplier, so
+        coalesced followers share the failed-over result rather than a
+        poisoned error.
+        """
+        candidates = self.health.prefer_healthy(self.router.owners(key))
+        context = current_context()
+        not_found: Optional[BlobNotFoundError] = None
+        failure: Optional[StoreError] = None
+        for position, (name, store) in enumerate(candidates):
+            if position and context is not None:
+                context.check("replica failover")
+            try:
+                value = reader(store)
+            except BlobNotFoundError as error:
+                # The shard answered; it just has no such blob (yet).
+                self.health.record_success(name)
+                not_found = error
+                continue
+            except DeadlineExceededError:
+                raise
+            except StoreError as error:
+                self.health.record_failure(name)
+                self.stats.bump("failovers")
+                self.stats.bump_shard(name, "failovers")
+                failure = error
+                continue
+            self.health.record_success(name)
+            return value
+        if failure is not None:
+            # At least one owner was unreadable — the blob may live there,
+            # so a 404 would lie; surface the store failure instead.
+            raise failure
+        assert not_found is not None
+        raise not_found
+
     # ------------------------------------------------------------------ #
     # operations (blocking; run these on the worker pool)
     # ------------------------------------------------------------------ #
@@ -269,41 +339,65 @@ class ImageService:
         else:
             stream = body
         # Routing needs the content key, which is the hash of the encoded
-        # stream — so hash first, then hand the bytes to the owning shard.
+        # stream — so hash first, then fan the bytes out to every owner.
         key = hashlib.sha256(stream).hexdigest()
-        store = self.router.store_for(key)
-        try:
-            stored_key = store.put_stream(stream)
-        except BitstreamError as error:
-            # The *request* carried the bad bytes — a client error, unlike
-            # a BitstreamError surfacing from storage on the read paths.
-            raise ConfigError("request body is not a valid container: %s" % error)
-        assert stored_key == key
+        replicas: List[str] = []
+        failure: Optional[StoreError] = None
+        for name, store in self.router.owners(key):
+            try:
+                stored_key = store.put_stream(stream)
+            except BitstreamError as error:
+                # The *request* carried the bad bytes — a client error,
+                # unlike a BitstreamError surfacing from storage on the
+                # read paths — and it is equally bad on every shard.
+                raise ConfigError("request body is not a valid container: %s" % error)
+            except StoreError as error:
+                # A down replica must not fail the write while another
+                # owner can take it; read failover heals the gap after
+                # the shard revives.
+                self.health.record_failure(name)
+                self.stats.bump("write_failovers")
+                self.stats.bump_shard(name, "write_failovers")
+                failure = error
+                continue
+            self.health.record_success(name)
+            assert stored_key == key
+            replicas.append(name)
+        if not replicas:
+            assert failure is not None
+            raise failure
         return {
             "key": key,
             "shard": self.router.shard_name(key),
             "bytes": len(stream),
             "encoded": encoded,
+            "replicas": replicas,
         }
 
     def get_image(self, key: str) -> Tuple[bytes, str]:
         """Full decode (the cold, whole-blob path), coalesced per key."""
         return self._coalesced(
             ("image", key),
-            lambda: image_to_netpbm(self.router.store_for(key).get(key)),
+            lambda: image_to_netpbm(
+                self._read_replicas(key, lambda store: store.get(key))
+            ),
         )
 
     def get_plane(self, key: str, plane: int) -> Tuple[bytes, str]:
         return self._coalesced(
             ("plane", key, plane),
-            lambda: image_to_netpbm(self.router.store_for(key).get_plane(key, plane)),
+            lambda: image_to_netpbm(
+                self._read_replicas(key, lambda store: store.get_plane(key, plane))
+            ),
         )
 
     def get_region(self, key: str, start: int, stop: int) -> Tuple[bytes, str]:
         return self._coalesced(
             ("region", key, start, stop),
             lambda: image_to_netpbm(
-                self.router.store_for(key).get_region(key, (start, stop))
+                self._read_replicas(
+                    key, lambda store: store.get_region(key, (start, stop))
+                )
             ),
         )
 
@@ -314,7 +408,9 @@ class ImageService:
         normalised = tuple((int(a), int(b)) for a, b in ranges)
 
         def resolve() -> Dict[str, object]:
-            images = self.router.store_for(key).get_regions(key, list(normalised))
+            images = self._read_replicas(
+                key, lambda store: store.get_regions(key, list(normalised))
+            )
             regions = []
             for (start, stop), image in zip(normalised, images):
                 payload, content_type = image_to_netpbm(image)
@@ -344,14 +440,25 @@ class ImageService:
         Each shard's catalog is queried with ``filter``, the matches are
         merged newest-first (the same order a single catalog lists) and
         the page is cut from the merged sequence, so pagination is stable
-        across shard boundaries.  Rows carry their owning shard's name.
+        across shard boundaries.  Rows carry their owning shard's name;
+        with replication the same key legitimately appears under several
+        shards.
+
+        The ``offset + limit`` bound is pushed down into every shard's
+        query: any row of the merged page is by construction within the
+        first ``offset + limit`` rows of its own shard, so the merge sort
+        touches O(shards × page) rows instead of the whole catalog.  The
+        total stays exact — each shard reports its full match count even
+        when truncating.
         """
+        bound = None if limit is None else offset + limit
+        total = 0
         merged: List[Tuple[object, str]] = []
         for name, store in zip(self.router.names, self.router.stores):
-            matches, _total = store.catalog.query(filter)
+            matches, shard_total = store.catalog.query(filter, limit=bound)
+            total += shard_total
             merged.extend((entry, name) for entry in matches)
         merged.sort(key=lambda pair: (-pair[0].created_at, pair[0].key))  # type: ignore[attr-defined]
-        total = len(merged)
         end = None if limit is None else offset + limit
         page = merged[offset:end]
         entries = []
@@ -362,31 +469,93 @@ class ImageService:
         return {"entries": entries, "total": total, "offset": offset}
 
     def delete_image(self, key: str, ttl: Optional[float] = None) -> Dict[str, object]:
-        """Soft-delete ``key`` on its owning shard (tombstone + TTL)."""
-        store = self.router.store_for(key)
-        if ttl is None:
-            entry = store.soft_delete(key)
-        else:
-            entry = store.soft_delete(key, ttl_seconds=ttl)
+        """Soft-delete ``key`` on every owning shard (tombstone + TTL).
+
+        The tombstone must land on each replica, or a read failing over
+        (or the key's migration during a reshard) would resurrect the
+        blob.  Owners without the blob are skipped; the delete succeeds
+        when at least one replica was tombstoned and 404s only when no
+        owner ever stored the key.
+        """
+        deleted: List[str] = []
+        entry = None
+        not_found: Optional[BlobNotFoundError] = None
+        failure: Optional[StoreError] = None
+        for name, store in self.router.owners(key):
+            try:
+                if ttl is None:
+                    entry = store.soft_delete(key)
+                else:
+                    entry = store.soft_delete(key, ttl_seconds=ttl)
+            except BlobNotFoundError as error:
+                self.health.record_success(name)
+                not_found = error
+                continue
+            except StoreError as error:
+                self.health.record_failure(name)
+                self.stats.bump("write_failovers")
+                self.stats.bump_shard(name, "write_failovers")
+                failure = error
+                continue
+            self.health.record_success(name)
+            deleted.append(name)
+        if not deleted:
+            if failure is not None:
+                raise failure
+            assert not_found is not None
+            raise not_found
+        assert entry is not None
         return {
             "key": key,
             "shard": self.router.shard_name(key),
             "deleted_at": entry.deleted_at,
             "purge_after": entry.purge_after,
+            "replicas": deleted,
         }
 
     def healthz(self) -> Dict[str, object]:
         status = "draining" if self.stats.draining else "ok"
-        return {"status": status, "shards": len(self.router)}
+        payload: Dict[str, object] = {"status": status, "shards": len(self.router)}
+        down = self.health.down_shards()
+        if down:
+            payload["shards_down"] = down
+        joining = self.router.joining
+        if joining is not None:
+            payload["resharding"] = joining
+        return payload
 
     def stats_payload(self) -> Dict[str, object]:
+        resharder = self.resharder
         return {
             "server": self.stats.as_json(),
             "flight": self.flight.stats(),
             "admission": self.admission.stats(),
             "clients": self.limiter.stats(),
             "shards": self.router.stats(),
+            "replication": {
+                "factor": self.router.replication,
+                "health": self.health.snapshot(),
+                "down": self.health.down_shards(),
+                "joining": self.router.joining,
+                "reshard": None if resharder is None else resharder.report.as_json(),
+            },
         }
+
+    def begin_reshard(
+        self, store: ImageStore, name: str, throttle: float = 0.0
+    ) -> Resharder:
+        """Add ``store`` as a joining shard and return its migrator.
+
+        Routing switches to the union membership immediately; the caller
+        decides whether to drive the returned :class:`Resharder` inline
+        (tests) or on its thread (:meth:`Resharder.start`, the CLI).
+        """
+        if store.cell_hook is None:
+            store.cell_hook = context_cell_hook
+        self.router.begin_reshard(store, name)
+        resharder = Resharder(self.router, throttle=throttle)
+        self.resharder = resharder
+        return resharder
 
     def _engine(self) -> str:
         return self.router.stores[0].engine

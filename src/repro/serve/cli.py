@@ -36,6 +36,7 @@ from repro.core.interface import ENGINES
 from repro.exceptions import ReproError
 from repro.serve.admission import DEFAULT_MAX_INFLIGHT
 from repro.serve.app import DEFAULT_DEADLINE_SECONDS, ImageService, ReproServer
+from repro.serve.health import HealthProber
 from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.store import ImageStore
 
@@ -68,6 +69,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fs", "sqlite"),
         default="fs",
         help="blob storage of every shard (default fs)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="R",
+        help="rendezvous owners per key: writes fan out to all R, reads "
+        "fail over between them (default 1; clamped to the shard count)",
+    )
+    parser.add_argument(
+        "--reshard",
+        action="store_true",
+        help="treat the highest-numbered shard as newly joining: serve on "
+        "the first N-1 shards and migrate the moved keys onto the last "
+        "one in the background (live N-1 -> N reshard)",
     )
     parser.add_argument(
         "--root",
@@ -189,6 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds in-flight requests get to finish on SIGTERM "
         "before connections are closed (default 10)",
     )
+    hardening.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="shard health-probe sweep interval; reads prefer replicas "
+        "the prober believes up; 0 disables probing (default 2.0)",
+    )
+    hardening.add_argument(
+        "--health-down-after",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive failures before a shard is marked down (default 3)",
+    )
+    hardening.add_argument(
+        "--health-up-after",
+        type=int,
+        default=2,
+        metavar="N",
+        help="consecutive successes before a down shard is marked up "
+        "again (default 2)",
+    )
     return parser
 
 
@@ -217,6 +256,14 @@ async def _serve(args, root: Path) -> int:
     stores = open_shards(
         root, args.shards, args.backend, args.cache_bytes, args.engine, args.admission
     )
+    joining_store = None
+    joining_name = None
+    if args.reshard:
+        # The highest-numbered shard is the one joining: boot the service
+        # over the old membership and add it through the live-reshard path
+        # so reads consult both owner sets while keys migrate.
+        joining_store = stores.pop()
+        joining_name = "shard-%02d" % (args.shards - 1)
     service = ImageService(
         stores,
         max_workers=args.workers,
@@ -230,7 +277,25 @@ async def _serve(args, root: Path) -> int:
         read_timeout=args.read_timeout if args.read_timeout > 0 else None,
         idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
         drain_budget=args.drain_budget,
+        replication=args.replication,
+        health_down_after=args.health_down_after,
+        health_up_after=args.health_up_after,
     )
+    prober = None
+    if args.health_interval > 0:
+        prober = HealthProber(
+            service.router, service.health, interval=args.health_interval
+        ).start()
+    if joining_store is not None:
+        resharder = service.begin_reshard(joining_store, joining_name)
+        moved = len(resharder.moved_keys())
+        resharder.start()
+        print(
+            "repro-serve: live reshard onto %s started (%d key(s) to move)"
+            % (joining_name, moved),
+            file=sys.stderr,
+            flush=True,
+        )
     server = ReproServer(service, args.host, args.port)
     loop = asyncio.get_running_loop()
     sigterm = asyncio.Event()
@@ -273,6 +338,8 @@ async def _serve(args, root: Path) -> int:
             loop.remove_signal_handler(signal.SIGTERM)
         except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
             pass
+        if prober is not None:
+            prober.stop()
         await server.stop()
         service.close()
     return 0
@@ -308,6 +375,14 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--read-timeout and --idle-timeout must be >= 0")
     if args.drain_budget < 0:
         parser.error("--drain-budget must be >= 0")
+    if args.replication < 1:
+        parser.error("--replication must be at least 1")
+    if args.reshard and args.shards < 2:
+        parser.error("--reshard needs --shards >= 2 (the last shard is the joining one)")
+    if args.health_interval < 0:
+        parser.error("--health-interval must be >= 0")
+    if args.health_down_after < 1 or args.health_up_after < 1:
+        parser.error("--health-down-after and --health-up-after must be at least 1")
 
     try:
         if args.root is None:

@@ -10,7 +10,9 @@ CI smoke job all drive; keeping it in-tree means the protocol has exactly
 one producer and one consumer to keep honest.
 
 Connections are persistent (HTTP/1.1 keep-alive) with one transparent
-reconnect, so closed-loop benchmark clients measure request latency, not
+reconnect **for idempotent GETs only** — a mutating request whose socket
+died may already have been applied, so it raises instead of replaying —
+keeping closed-loop benchmark clients measuring request latency, not
 TCP handshakes.  Non-2xx responses raise
 :class:`~repro.exceptions.ServeError` carrying the HTTP status and the
 server's error message.
@@ -136,7 +138,15 @@ class ServeClient:
     def _round_trip(
         self, method: str, path: str, body: Optional[bytes], headers: Dict[str, str]
     ) -> Tuple[int, bytes, str, Optional[str]]:
-        """One round trip; reconnects once if the kept-alive socket died."""
+        """One round trip; reconnects once if the kept-alive socket died.
+
+        Only idempotent GETs are replayed transparently: a mutating
+        PUT/POST/DELETE whose socket died may already have been applied
+        server-side (a replayed ``DELETE ?ttl=`` would silently re-stamp
+        a fresh purge horizon), so those surface a :class:`ServeError`
+        and let the caller decide.
+        """
+        replayable = method == "GET"
         for attempt in (0, 1):
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(
@@ -156,10 +166,17 @@ class ServeClient:
                     response.getheader("Content-Type", ""),
                     response.getheader("Retry-After"),
                 )
-            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError) as error:
                 # A keep-alive peer may close an idle connection between
-                # requests; retry exactly once on a fresh socket.
+                # requests; retry an idempotent request exactly once on a
+                # fresh socket.
                 self.close()
+                if not replayable:
+                    raise ServeError(
+                        "connection died during %s %s — the request may or may "
+                        "not have been applied; not replaying a mutating method"
+                        % (method, path)
+                    ) from error
                 if attempt:
                     raise
         raise ServeError("unreachable retry state")  # pragma: no cover
@@ -214,7 +231,12 @@ class ServeClient:
         status, payload, _ = self._request("GET", "/images/%s/plane/%d" % (key, plane))
         self._expect(200, status, payload)
         image = read_image(io.BytesIO(payload))
-        assert isinstance(image, GrayImage)
+        if not isinstance(image, GrayImage):
+            # Never `assert` on wire data — it vanishes under `python -O`.
+            raise ServeError(
+                "plane endpoint returned a %s, expected a single-plane image"
+                % type(image).__name__
+            )
         return image
 
     def get_region(self, key: str, start: int, stop: int) -> _Image:

@@ -1,0 +1,322 @@
+"""Live resharding: migrate the moved key set while the tier keeps serving.
+
+Rendezvous hashing promises that growing N shards to N+1 moves only the
+keys whose new top-R owner set includes the new shard — an expected
+``1/(N+1)`` fraction.  :class:`Resharder` turns that promise into an
+*operation* instead of a restart:
+
+1. the new shard is added as **joining** membership
+   (:meth:`~repro.serve.router.StoreRouter.begin_reshard`) — placement
+   immediately includes it, but every key's
+   :meth:`~repro.serve.router.StoreRouter.owners` set stays the union of
+   the old and new owner sets, so reads consult both sides of the
+   migration and writes land everywhere a reader may look;
+2. the moved key set is enumerated through the shard **catalogs** (the
+   same metadata the data plane queries — no blind backend scans);
+3. each moved key is **copied first** (blob bytes plus its catalog row,
+   tombstone state included) to every new owner missing it, and only
+   then removed from owners the new membership dropped — and the removal
+   uses :meth:`~repro.store.store.ImageStore.purge_if_unpinned`, so a
+   replica serving an in-flight read is never yanked away (the key is
+   retried on a later pass);
+4. once no key is pending, the membership is committed
+   (:meth:`~repro.serve.router.StoreRouter.complete_reshard`).
+
+The copy-then-delete order plus the owner-set union is the whole
+correctness argument: **at every intermediate state each key is readable
+through at least one consulted owner** — the property
+``tests/serve/test_reshard_properties.py`` checks step by step.
+
+Faults during migration (a shard dies mid-copy) are recorded per key and
+retried on the next pass rather than aborting the whole reshard; the
+:class:`ReshardReport` says exactly what moved, what was deleted, and
+what is still pending.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigError, StoreError
+from repro.serve.router import StoreRouter
+from repro.store.store import ImageStore
+
+__all__ = ["Resharder", "ReshardReport"]
+
+
+@dataclass
+class ReshardReport:
+    """Outcome of one :meth:`Resharder.run` (or a partial set of steps)."""
+
+    joining: str
+    moved: int = 0
+    copies: int = 0
+    deletions: int = 0
+    pinned_skips: int = 0
+    passes: int = 0
+    completed: bool = False
+    seconds: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "joining": self.joining,
+            "moved": self.moved,
+            "copies": self.copies,
+            "deletions": self.deletions,
+            "pinned_skips": self.pinned_skips,
+            "passes": self.passes,
+            "completed": self.completed,
+            "seconds": self.seconds,
+            "errors": list(self.errors),
+        }
+
+
+class Resharder:
+    """Background migrator for one in-flight N -> N+1 reshard.
+
+    Construct it *after* :meth:`StoreRouter.begin_reshard`; drive it with
+    :meth:`run` (typically on a thread — :meth:`start`) or key-by-key with
+    :meth:`migrate_key` (what the property test does to examine every
+    intermediate state).
+
+    ``throttle`` sleeps between key migrations so a large migration leaks
+    bandwidth to foreground traffic instead of monopolising the backend.
+    """
+
+    def __init__(
+        self,
+        router: StoreRouter,
+        throttle: float = 0.0,
+        max_passes: int = 8,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if router.joining is None:
+            raise ConfigError(
+                "no reshard is in progress — call router.begin_reshard first"
+            )
+        if throttle < 0:
+            raise ConfigError("throttle must be >= 0, got %r" % throttle)
+        if max_passes < 1:
+            raise ConfigError("max_passes must be >= 1, got %d" % max_passes)
+        self.router = router
+        self.throttle = throttle
+        self.max_passes = max_passes
+        self._sleeper = sleeper
+        self.report = ReshardReport(joining=router.joining)
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+
+    def _members(self) -> List[Tuple[str, ImageStore]]:
+        return list(zip(self.router.names, self.router.stores))
+
+    def _final_owner_names(self, key: str) -> List[str]:
+        """The key's owners once the new membership is committed."""
+        names = self.router.names
+        return [names[index] for index in self.router.shards_for(key)]
+
+    def _catalog_keys(self) -> List[str]:
+        """Every key any shard's catalog knows about (tombstones included)."""
+        seen: Dict[str, None] = {}
+        for _name, store in self._members():
+            for entry in store.catalog.entries():
+                seen.setdefault(entry.key, None)
+        return list(seen)
+
+    def pending_keys(self) -> List[str]:
+        """Keys not yet settled under the new membership.
+
+        A key is pending while a final owner is missing its bytes or a
+        shard the new membership dropped still holds them.
+        """
+        members = self._members()
+        pending: List[str] = []
+        for key in self._catalog_keys():
+            final = set(self._final_owner_names(key))
+            try:
+                holders = {
+                    name for name, store in members if store.contains(key)
+                }
+            except StoreError:
+                # A shard that cannot even answer `contains` is handled at
+                # migration time; flag the key so it is looked at.
+                pending.append(key)
+                continue
+            if holders and (final - holders or holders - final):
+                pending.append(key)
+        return pending
+
+    def moved_keys(self) -> List[str]:
+        """Keys whose owner set the joining shard changed (the ~1/(N+1))."""
+        joining = self.report.joining
+        return [
+            key
+            for key in self._catalog_keys()
+            if joining in self._final_owner_names(key)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # migration
+    # ------------------------------------------------------------------ #
+
+    def migrate_key(self, key: str) -> bool:
+        """Settle one key under the new membership; copy before delete.
+
+        Returns ``True`` when the key is fully settled (every final owner
+        holds it, nobody else does).  A pinned source (an in-flight read)
+        or a faulted shard leaves the key unsettled for a later pass —
+        never unreachable, because deletion strictly follows copying.
+        """
+        members = self._members()
+        by_name = dict(members)
+        final_names = self._final_owner_names(key)
+        holders: Dict[str, ImageStore] = {}
+        for name, store in members:
+            try:
+                if store.contains(key):
+                    holders[name] = store
+            except StoreError:
+                continue
+        if not holders:
+            return True  # nothing stored (catalog-only remnant); nothing to move
+        settled = True
+
+        missing = [name for name in final_names if name not in holders]
+        if missing:
+            payload: Optional[bytes] = None
+            entry = None
+            # Prefer reading the blob from the best-ranked holder; fall
+            # back across replicas exactly like the serving read path.
+            for name, _store in self.router.owners(key):
+                source = holders.get(name)
+                if source is None:
+                    continue
+                try:
+                    payload = source.backend.get(key)
+                    entry = source.catalog.get(key)
+                    break
+                except StoreError as error:
+                    self.report.errors.append("%s: read from %s: %s" % (key, name, error))
+            if payload is None:
+                for name, source in holders.items():
+                    try:
+                        payload = source.backend.get(key)
+                        entry = source.catalog.get(key)
+                        break
+                    except StoreError as error:
+                        self.report.errors.append("%s: read from %s: %s" % (key, name, error))
+            if payload is None:
+                return False
+            for name in missing:
+                target = by_name[name]
+                try:
+                    target.backend.put(key, payload)
+                    if entry is not None:
+                        # record_put stores a fresh entry verbatim —
+                        # created_at, tags and tombstone state all travel.
+                        target.catalog.record_put(entry)
+                        if entry.deleted_at is not None:
+                            ttl = max(
+                                0.0, (entry.purge_after or entry.deleted_at) - entry.deleted_at
+                            )
+                            target.catalog.mark_deleted(key, entry.deleted_at, ttl)
+                    self.report.copies += 1
+                except StoreError as error:
+                    self.report.errors.append("%s: copy to %s: %s" % (key, name, error))
+                    settled = False
+
+        # Deletion comes strictly after copying, and only once every final
+        # owner actually holds the key — a failed copy must never cost the
+        # last reachable replica.
+        if not settled:
+            return False
+        for name, store in holders.items():
+            if name in final_names:
+                continue
+            try:
+                if store.purge_if_unpinned(key) is None:
+                    self.report.pinned_skips += 1
+                    settled = False
+                else:
+                    self.report.deletions += 1
+            except StoreError as error:
+                self.report.errors.append("%s: delete from %s: %s" % (key, name, error))
+                settled = False
+        return settled
+
+    def completion_blockers(self) -> List[str]:
+        """Keys that would become unreachable if membership committed now.
+
+        Committing removes the *old* owner set from reads, so a key blocks
+        completion while its bytes exist somewhere but on no final owner.
+        Keys that merely have stale extra holders are not blockers — they
+        stay readable from their final owners and only waste bytes.
+        """
+        members = self._members()
+        blockers: List[str] = []
+        for key in self._catalog_keys():
+            final = set(self._final_owner_names(key))
+            holders = set()
+            for name, store in members:
+                try:
+                    if store.contains(key):
+                        holders.add(name)
+                except StoreError:
+                    continue
+            if holders and not (holders & final):
+                blockers.append(key)
+        return blockers
+
+    def run(self, complete: bool = True) -> ReshardReport:
+        """Migrate every pending key (multi-pass), then commit membership.
+
+        Passes repeat until a sweep finds nothing pending or ``max_passes``
+        is exhausted (pinned keys and faulted shards are retried across
+        passes).  With ``complete=True`` (default) the joining shard is
+        committed as a full member afterwards — by then every settled key
+        is already served from its final owners, and an unsettled leftover
+        is still a *copy* problem (extra bytes), never a reachability one.
+        """
+        began = time.perf_counter()
+        self.report.moved = len(self.moved_keys())
+        for _pass in range(self.max_passes):
+            self.report.passes += 1
+            pending = self.pending_keys()
+            if not pending:
+                break
+            for key in pending:
+                self.migrate_key(key)
+                if self.throttle > 0.0:
+                    self._sleeper(self.throttle)
+        if complete:
+            blockers = self.completion_blockers()
+            if blockers:
+                # Leaving the joining membership in place keeps every
+                # blocked key reachable through its old owners; a later
+                # run() (or operator intervention) can finish the job.
+                self.report.errors.append(
+                    "not committing membership: %d key(s) have no final-owner "
+                    "replica yet" % len(blockers)
+                )
+            else:
+                self.router.complete_reshard()
+                self.report.completed = True
+        self.report.seconds = time.perf_counter() - began
+        return self.report
+
+    def start(self) -> threading.Thread:
+        """Run the migration on a daemon thread; returns the thread."""
+        if self._thread is not None:
+            raise ConfigError("this resharder is already running")
+        thread = threading.Thread(
+            target=self.run, name="repro-serve-reshard", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+        return thread

@@ -8,6 +8,21 @@ stable under resharding — adding one shard to N only moves the keys whose
 new top score is the new shard, an expected ``1/(N+1)`` fraction, instead
 of reshuffling almost everything.
 
+Two generalisations of the single-owner scheme live here:
+
+* **Replication factor R** — :meth:`StoreRouter.shards_for` returns the
+  top-R rendezvous winners in score order.  Writes go to every owner;
+  reads try owners in score order and fail over to the next replica when
+  one is down (the failover loop itself lives in
+  :class:`~repro.serve.app.ImageService`).
+* **Joining membership** — during a live reshard
+  (:mod:`repro.serve.reshard`) the router carries one *joining* shard:
+  :meth:`owners` returns the owner set under the **union** of the old and
+  new memberships, so a key mid-migration is reachable through whichever
+  owner currently holds it, and a write lands everywhere it will be
+  looked for.  :meth:`complete_reshard` commits the new membership once
+  the moved keys have been copied.
+
 Image keys are already SHA-256 content hashes, so scores distribute
 uniformly and shards stay balanced without virtual nodes.
 """
@@ -15,7 +30,8 @@ uniformly and shards stay balanced without virtual nodes.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterator, List, Sequence
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ConfigError
 from repro.store.store import ImageStore
@@ -39,8 +55,18 @@ def rendezvous_shard(shard_names: Sequence[str], key: str) -> int:
     )
 
 
+def _ranked(shard_names: Sequence[str], key: str) -> List[str]:
+    """Shard names ordered by descending rendezvous score (ties by name,
+    consistent with :func:`rendezvous_shard`'s winner)."""
+    return sorted(
+        shard_names,
+        key=lambda name: (rendezvous_score(name, key), name),
+        reverse=True,
+    )
+
+
 class StoreRouter:
-    """Route content keys across a fixed set of named image-store shards.
+    """Route content keys across a set of named image-store shards.
 
     Parameters
     ----------
@@ -49,10 +75,22 @@ class StoreRouter:
     names:
         Stable shard names (they are the hash inputs, so renaming a shard
         moves its keys).  Default: ``shard-00`` .. ``shard-NN``.
+    replication:
+        How many rendezvous winners own each key.  ``1`` (default) is the
+        classic single-owner layout; with ``R > 1`` writes fan out to the
+        top-R shards and reads can fail over between them.  A factor
+        larger than the shard count degrades gracefully to "every shard".
+
+    Membership is mutable only through :meth:`begin_reshard` /
+    :meth:`complete_reshard`; every query method snapshots the membership
+    under the router lock, so concurrent reads observe a consistent view.
     """
 
     def __init__(
-        self, stores: Sequence[ImageStore], names: Sequence[str] = ()
+        self,
+        stores: Sequence[ImageStore],
+        names: Sequence[str] = (),
+        replication: int = 1,
     ) -> None:
         if not stores:
             raise ConfigError("a router needs at least one store shard")
@@ -64,47 +102,165 @@ class StoreRouter:
             )
         if len(set(names)) != len(names):
             raise ConfigError("shard names must be unique, got %r" % (list(names),))
+        if replication < 1:
+            raise ConfigError("replication factor must be >= 1, got %d" % replication)
         self._stores: List[ImageStore] = list(stores)
         self._names: List[str] = list(names)
+        self._replication = replication
+        self._lock = threading.Lock()
+        #: Name of the shard currently joining through a live reshard.
+        self._joining: Optional[str] = None
 
     def __len__(self) -> int:
-        return len(self._stores)
+        with self._lock:
+            return len(self._stores)
 
     def __iter__(self) -> Iterator[ImageStore]:
-        return iter(self._stores)
+        return iter(self.stores)
 
     @property
     def names(self) -> List[str]:
-        return list(self._names)
+        with self._lock:
+            return list(self._names)
 
     @property
     def stores(self) -> List[ImageStore]:
-        return list(self._stores)
+        with self._lock:
+            return list(self._stores)
+
+    @property
+    def replication(self) -> int:
+        """The configured replication factor (may exceed the shard count)."""
+        return self._replication
+
+    @property
+    def joining(self) -> Optional[str]:
+        """Name of the shard a live reshard is migrating onto, if any."""
+        with self._lock:
+            return self._joining
+
+    def _snapshot(self) -> Tuple[List[str], Dict[str, ImageStore], Optional[str]]:
+        with self._lock:
+            return (
+                list(self._names),
+                dict(zip(self._names, self._stores)),
+                self._joining,
+            )
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+
+    def shards_for(self, key: str, r: Optional[int] = None) -> List[int]:
+        """Indices of the top-``r`` rendezvous winners for ``key``, best first.
+
+        ``r`` defaults to the router's replication factor and is clamped
+        to the shard count.  Index 0 is the *primary* — the shard
+        :meth:`shard_index` names.
+        """
+        if r is not None and r < 1:
+            raise ConfigError("owner count must be >= 1, got %d" % r)
+        names, _, _ = self._snapshot()
+        count = min(self._replication if r is None else r, len(names))
+        index_of = {name: index for index, name in enumerate(names)}
+        return [index_of[name] for name in _ranked(names, key)[:count]]
 
     def shard_index(self, key: str) -> int:
-        """The shard index ``key`` routes to."""
-        return rendezvous_shard(self._names, key)
+        """The primary shard index ``key`` routes to."""
+        names, _, _ = self._snapshot()
+        return rendezvous_shard(names, key)
 
     def shard_name(self, key: str) -> str:
-        return self._names[self.shard_index(key)]
+        names, _, _ = self._snapshot()
+        return names[rendezvous_shard(names, key)]
 
     def store_for(self, key: str) -> ImageStore:
-        """The :class:`ImageStore` holding (or destined to hold) ``key``."""
-        return self._stores[self.shard_index(key)]
+        """The primary :class:`ImageStore` for ``key`` (single-owner view)."""
+        names, by_name, _ = self._snapshot()
+        return by_name[names[rendezvous_shard(names, key)]]
+
+    def owners(self, key: str) -> List[Tuple[str, ImageStore]]:
+        """Every (name, store) that owns ``key``, best score first.
+
+        Under stable membership this is the top-R rendezvous winners.
+        While a reshard is in flight it is the **union** of the owners
+        under the old membership (without the joining shard) and the new
+        one (with it) — a key mid-migration is reachable through whichever
+        owner currently holds its bytes, and a write must land everywhere
+        a reader may look.
+        """
+        names, by_name, joining = self._snapshot()
+        owner_names: Set[str] = set(
+            _ranked(names, key)[: min(self._replication, len(names))]
+        )
+        if joining is not None:
+            previous = [name for name in names if name != joining]
+            if previous:
+                owner_names.update(
+                    _ranked(previous, key)[: min(self._replication, len(previous))]
+                )
+        return [
+            (name, by_name[name]) for name in _ranked(names, key) if name in owner_names
+        ]
+
+    # ------------------------------------------------------------------ #
+    # live resharding membership
+    # ------------------------------------------------------------------ #
+
+    def begin_reshard(self, store: ImageStore, name: str) -> None:
+        """Add ``store`` as a joining shard (N -> N+1 live reshard).
+
+        Placement immediately includes the new shard, but until
+        :meth:`complete_reshard` the old owners stay in every key's
+        :meth:`owners` set, so reads keep succeeding while
+        :mod:`repro.serve.reshard` copies the moved keys over.
+        """
+        with self._lock:
+            if self._joining is not None:
+                raise ConfigError(
+                    "a reshard onto %r is already in progress" % self._joining
+                )
+            if name in self._names:
+                raise ConfigError("shard name %r is already in the membership" % name)
+            self._stores.append(store)
+            self._names.append(name)
+            self._joining = name
+
+    def complete_reshard(self) -> str:
+        """Commit the joining shard as a full member; returns its name."""
+        with self._lock:
+            if self._joining is None:
+                raise ConfigError("no reshard is in progress")
+            name = self._joining
+            self._joining = None
+            return name
+
+    # ------------------------------------------------------------------ #
+    # enumeration and diagnostics
+    # ------------------------------------------------------------------ #
 
     def keys(self) -> Iterator[str]:
-        """Every key stored across all shards."""
-        for store in self._stores:
+        """Every distinct key stored across all shards.
+
+        Replication and mid-migration resharding legitimately place the
+        same content key on several shards; the stream is deduplicated so
+        consumers (GC sweeps, audits) see each key exactly once.
+        """
+        seen: Set[str] = set()
+        for store in self.stores:
             for key in store.keys():
-                yield key
+                if key not in seen:
+                    seen.add(key)
+                    yield key
 
     def stats(self) -> List[Dict[str, object]]:
         """Per-shard backend + cache counters, routing name included."""
+        names, by_name, joining = self._snapshot()
         return [
-            dict(store.stats(), name=name)
-            for name, store in zip(self._names, self._stores)
+            dict(by_name[name].stats(), name=name, joining=(name == joining))
+            for name in names
         ]
 
     def close(self) -> None:
-        for store in self._stores:
+        for store in self.stores:
             store.close()

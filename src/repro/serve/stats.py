@@ -133,6 +133,7 @@ class ServerStats:
         self._started_at: Optional[float] = None
         self._draining = False
         self._counters: Dict[str, int] = {}
+        self._shard_counters: Dict[str, Dict[str, int]] = {}
 
     def mark_started(self) -> None:
         with self._lock:
@@ -155,6 +156,16 @@ class ServerStats:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def bump_shard(self, shard: str, name: str, amount: int = 1) -> None:
+        """Increment a per-shard counter (failovers, write_failovers, …)."""
+        with self._lock:
+            counters = self._shard_counters.setdefault(shard, {})
+            counters[name] = counters.get(name, 0) + amount
+
+    def shard_counter(self, shard: str, name: str) -> int:
+        with self._lock:
+            return self._shard_counters.get(shard, {}).get(name, 0)
 
     def request_started(self) -> None:
         with self._lock:
@@ -188,6 +199,10 @@ class ServerStats:
                 "requests_total": sum(e.requests for e in self._endpoints.values()),
                 "errors_total": sum(e.errors for e in self._endpoints.values()),
                 "counters": dict(sorted(self._counters.items())),
+                "shard_counters": {
+                    shard: dict(sorted(counters.items()))
+                    for shard, counters in sorted(self._shard_counters.items())
+                },
                 "endpoints": {
                     name: entry.as_json()
                     for name, entry in sorted(self._endpoints.items())

@@ -1,0 +1,364 @@
+"""Replicated serving: health hysteresis, read/write failover, probing.
+
+The service half is exercised directly (no sockets) — :class:`ImageService`
+is the synchronous layer the HTTP front-end merely transports for, and the
+fault injectors need in-process handles on the shard backends anyway.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import (
+    BlobNotFoundError,
+    ConfigError,
+    ServeError,
+    StoreError,
+)
+from repro.imaging.pnm import write_ppm
+from repro.imaging.synthetic import generate_planar_image
+from repro.serve.app import ImageService
+from repro.serve.chaos import FaultInjector
+from repro.serve.client import ServeClient
+from repro.serve.health import HealthProber, HealthTracker
+from repro.store.catalog import CatalogFilter
+from repro.store.store import ImageStore
+
+
+def _ppm_bytes(image):
+    buffer = io.BytesIO()
+    write_ppm(image, buffer)
+    return buffer.getvalue()
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A two-shard R=2 service with a fault injector on every backend."""
+    stores = [
+        ImageStore.open(tmp_path / ("shard-%02d" % index)) for index in range(2)
+    ]
+    active = ImageService(stores, replication=2)
+    injectors = dict(
+        zip(active.router.names, (s.wrap_backend(FaultInjector) for s in stores))
+    )
+    yield active, injectors
+    for injector in injectors.values():
+        injector.revive()
+    active.close()
+
+
+def _drop_caches(service):
+    """Warm decoded-cell caches never touch the backend, so a fault drill
+    must empty them or reads bypass the injector entirely."""
+    for store in service.router.stores:
+        store.cache.clear()
+        store._headers.clear()
+
+
+class TestHealthTracker:
+    def test_down_after_consecutive_failures_only(self):
+        tracker = HealthTracker(["a"], down_after=3, up_after=2)
+        tracker.record_failure("a")
+        tracker.record_failure("a")
+        tracker.record_success("a")  # breaks the streak
+        tracker.record_failure("a")
+        tracker.record_failure("a")
+        assert tracker.is_up("a")
+        tracker.record_failure("a")
+        assert not tracker.is_up("a")
+        assert tracker.down_shards() == ["a"]
+
+    def test_up_after_consecutive_successes_only(self):
+        tracker = HealthTracker(["a"], down_after=1, up_after=2)
+        tracker.record_failure("a")
+        assert not tracker.is_up("a")
+        tracker.record_success("a")
+        tracker.record_failure("a")  # breaks the recovery streak
+        tracker.record_success("a")
+        assert not tracker.is_up("a")
+        tracker.record_success("a")
+        assert tracker.is_up("a")
+        # Down once, up once — the mid-recovery failure hit an already-down
+        # shard, which is not a transition.
+        assert tracker.snapshot()["a"]["transitions"] == 2
+
+    def test_unknown_shards_default_up_and_register_lazily(self):
+        tracker = HealthTracker(down_after=1)
+        assert tracker.is_up("never-seen")
+        tracker.record_failure("joiner")  # a resharding shard, first report
+        assert tracker.down_shards() == ["joiner"]
+
+    def test_prefer_healthy_reorders_but_never_drops(self):
+        tracker = HealthTracker(["a", "b", "c"], down_after=1)
+        tracker.record_failure("a")
+        candidates = [("a", 1), ("b", 2), ("c", 3)]
+        assert tracker.prefer_healthy(candidates) == [("b", 2), ("c", 3), ("a", 1)]
+        # The partition is stable: healthy order and sick order survive.
+        tracker.record_failure("b")
+        assert tracker.prefer_healthy(candidates) == [("c", 3), ("a", 1), ("b", 2)]
+
+    def test_rejects_bad_hysteresis(self):
+        with pytest.raises(ConfigError):
+            HealthTracker(down_after=0)
+        with pytest.raises(ConfigError):
+            HealthTracker(up_after=0)
+
+
+class TestReplicatedWrites:
+    def test_put_fans_out_to_every_owner(self, service):
+        active, _ = service
+        image = generate_planar_image("lena", size=16, seed=1, planes=3)
+        outcome = active.put_image(_ppm_bytes(image), stripes=2)
+        # Two shards, R=2: every key lives on both.
+        assert sorted(outcome["replicas"]) == sorted(active.router.names)
+        for store in active.router.stores:
+            assert store.contains(outcome["key"])
+
+    def test_put_survives_one_dead_replica(self, service):
+        active, injectors = service
+        image = generate_planar_image("boat", size=16, seed=2, planes=3)
+        victim = active.router.names[0]
+        injectors[victim].kill()
+        outcome = active.put_image(_ppm_bytes(image), stripes=2)
+        assert outcome["replicas"] == [active.router.names[1]]
+        assert active.stats.counter("write_failovers") == 1
+        assert active.stats.shard_counter(victim, "write_failovers") == 1
+        injectors[victim].revive()
+
+    def test_put_fails_only_when_every_owner_is_down(self, service):
+        active, injectors = service
+        image = generate_planar_image("zelda", size=16, seed=3, planes=3)
+        for injector in injectors.values():
+            injector.kill()
+        with pytest.raises(StoreError):
+            active.put_image(_ppm_bytes(image), stripes=2)
+
+    def test_delete_tombstones_every_replica(self, service):
+        active, _ = service
+        image = generate_planar_image("peppers", size=16, seed=4, planes=3)
+        key = active.put_image(_ppm_bytes(image), stripes=2)["key"]
+        outcome = active.delete_image(key, ttl=60.0)
+        assert sorted(outcome["replicas"]) == sorted(active.router.names)
+        for store in active.router.stores:
+            entry = store.catalog.get(key)
+            assert entry.deleted_at is not None
+
+    def test_delete_unknown_key_is_not_found_across_replicas(self, service):
+        active, _ = service
+        with pytest.raises(BlobNotFoundError):
+            active.delete_image("0" * 64)
+
+
+class TestReadFailover:
+    def test_reads_survive_a_dead_primary(self, service):
+        active, injectors = service
+        image = generate_planar_image("lena", size=32, seed=5, planes=3)
+        outcome = active.put_image(_ppm_bytes(image), stripes=4)
+        key, primary = outcome["key"], outcome["shard"]
+        assert active.get_region(key, 0, 1)[0]  # warm path works
+        _drop_caches(active)
+        injectors[primary].kill()
+        try:
+            for stripe in range(4):
+                body, content_type = active.get_region(key, stripe, stripe + 1)
+                assert body and content_type.startswith("image/")
+            payload, _ = active.get_image(key)
+            assert payload
+        finally:
+            injectors[primary].revive()
+        # Hysteresis flips the primary to down after 3 consecutive
+        # failures, after which reads stop even trying it.
+        assert active.stats.counter("failovers") >= 3
+        assert active.stats.shard_counter(primary, "failovers") >= 3
+        other = next(name for name in active.router.names if name != primary)
+        assert active.stats.shard_counter(other, "failovers") == 0
+
+    def test_failover_marks_health_down_then_probe_revives(self, service):
+        active, injectors = service
+        image = generate_planar_image("boat", size=16, seed=6, planes=3)
+        key = active.put_image(_ppm_bytes(image), stripes=2)["key"]
+        primary = active.router.shard_name(key)
+        _drop_caches(active)
+        injectors[primary].kill()
+        for _ in range(3):  # down_after=3
+            _drop_caches(active)
+            active.get_region(key, 0, 1)
+        assert active.health.down_shards() == [primary]
+        assert active.healthz()["shards_down"] == [primary]
+        # Passive reads now avoid the shard; only the prober notices the
+        # recovery.
+        injectors[primary].revive()
+        prober = HealthProber(active.router, active.health, interval=60.0)
+        prober.probe_once()
+        prober.probe_once()  # up_after=2
+        assert active.health.down_shards() == []
+        assert "shards_down" not in active.healthz()
+
+    def test_failover_does_not_poison_cache_or_flight(self, service):
+        active, injectors = service
+        image = generate_planar_image("mandrill", size=16, seed=7, planes=3)
+        key = active.put_image(_ppm_bytes(image), stripes=2)["key"]
+        primary = active.router.shard_name(key)
+        _drop_caches(active)
+        injectors[primary].kill()
+        failed_over, _ = active.get_region(key, 0, 1)
+        injectors[primary].revive()
+        assert active.flight.in_flight == 0
+        # The failed-over response and the healthy one are byte-identical.
+        assert active.get_region(key, 0, 1)[0] == failed_over
+
+    def test_missing_key_is_not_found_only_when_every_owner_answers(
+        self, service
+    ):
+        active, injectors = service
+        unknown = "f" * 64
+        with pytest.raises(BlobNotFoundError):
+            active.get_image(unknown)
+        # With one owner unreadable a 404 would lie — the blob may live
+        # there — so the store failure surfaces instead.
+        victim = active.router.names[0]
+        injectors[victim].kill()
+        with pytest.raises(StoreError) as outcome:
+            active.get_image(unknown)
+        assert not isinstance(outcome.value, BlobNotFoundError)
+        injectors[victim].revive()
+
+
+class TestHealthProber:
+    def test_probe_marks_killed_shards_down_and_revived_up(self, tmp_path):
+        stores = [
+            ImageStore.open(tmp_path / ("shard-%02d" % index)) for index in range(2)
+        ]
+        active = ImageService(stores, replication=2, health_down_after=1)
+        injector = stores[0].wrap_backend(FaultInjector)
+        prober = HealthProber(active.router, active.health, interval=60.0)
+        try:
+            assert prober.probe_once() == {"shard-00": True, "shard-01": True}
+            injector.kill()
+            assert prober.probe_once()["shard-00"] is False
+            assert active.health.down_shards() == ["shard-00"]
+            injector.revive()
+            prober.probe_once()
+            prober.probe_once()
+            assert active.health.down_shards() == []
+            assert prober.stats() == {"probes": 8, "probe_failures": 1}
+        finally:
+            active.close()
+
+    def test_rejects_bad_cadence(self, tmp_path):
+        store = ImageStore.open(tmp_path / "only")
+        active = ImageService([store])
+        try:
+            with pytest.raises(ConfigError):
+                HealthProber(active.router, active.health, interval=0.0)
+            with pytest.raises(ConfigError):
+                HealthProber(active.router, active.health, timeout=0.0)
+        finally:
+            active.close()
+
+
+class TestClientReplay:
+    """The transport bugfix: only idempotent GETs ride a reconnect."""
+
+    class _DeadConnection:
+        """Stub whose socket died before the response came back."""
+
+        def __init__(self):
+            self.requests = []
+
+        def request(self, method, path, body=None, headers=None):
+            self.requests.append((method, path))
+            raise ConnectionError("peer reset")
+
+        def close(self):
+            pass
+
+    def _client(self):
+        client = ServeClient("localhost", 1)
+        dead = self._DeadConnection()
+        client._connection = dead
+        return client, dead
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda c: c.put_image(b"P6 1 1 255 abc"),
+            lambda c: c.delete_image("0" * 64),
+            lambda c: c.get_regions("0" * 64, [(0, 1)]),
+        ],
+        ids=["put", "delete", "regions-post"],
+    )
+    def test_mutating_methods_raise_instead_of_replaying(self, call):
+        client, dead = self._client()
+        with pytest.raises(ServeError, match="not replaying a mutating method"):
+            call(client)
+        assert len(dead.requests) == 1  # exactly one attempt, no replay
+        # The dead socket was discarded so the next call starts clean.
+        assert client._connection is None
+
+    def test_get_replays_once_on_a_fresh_socket(self, tmp_path):
+        from repro.serve.app import start_server_thread
+
+        store = ImageStore.open(tmp_path / "only")
+        handle = start_server_thread(ImageService([store]))
+        try:
+            client = ServeClient(*handle.address)
+            # Seed a dead keep-alive connection; the GET must reconnect
+            # transparently and succeed against the real server.
+            client._connection = self._DeadConnection()
+            assert client.healthz()["status"] == "ok"
+            client.close()
+        finally:
+            handle.stop()
+
+
+class TestClientPlaneGuard:
+    def test_multi_plane_payload_raises_serve_error(self, monkeypatch):
+        client = ServeClient("localhost", 1)
+        ppm = _ppm_bytes(generate_planar_image("lena", size=16, seed=8, planes=3))
+        monkeypatch.setattr(
+            client, "_request", lambda *args, **kwargs: (200, ppm, "image/x-portable-pixmap")
+        )
+        with pytest.raises(ServeError, match="expected a single-plane image"):
+            client.get_plane("0" * 64, 0)
+
+
+class TestCatalogPushdown:
+    def _populate(self, active, count):
+        keys = []
+        for seed in range(count):
+            image = generate_planar_image("lena", size=16, seed=seed, planes=3)
+            keys.append(active.put_image(_ppm_bytes(image), stripes=2)["key"])
+        return keys
+
+    def test_page_bound_is_pushed_into_every_shard_query(self, service, monkeypatch):
+        active, _ = service
+        self._populate(active, 6)
+        seen = []
+        for store in active.router.stores:
+            original = store.catalog.query
+
+            def spy(filter=None, limit=None, offset=0, _original=original):
+                seen.append(limit)
+                return _original(filter, limit=limit, offset=offset)
+
+            monkeypatch.setattr(store.catalog, "query", spy)
+        active.catalog_payload(CatalogFilter(), limit=2, offset=1)
+        assert seen == [3, 3]  # offset + limit, on both shards
+        seen.clear()
+        active.catalog_payload(CatalogFilter(), limit=None)
+        assert seen == [None, None]  # unbounded listing stays unbounded
+
+    def test_truncated_merge_pages_match_the_unbounded_listing(self, service):
+        active, _ = service
+        self._populate(active, 6)
+        unbounded = active.catalog_payload(CatalogFilter(), limit=None)
+        assert unbounded["total"] >= 6
+        pages = []
+        for offset in range(0, unbounded["total"], 2):
+            page = active.catalog_payload(CatalogFilter(), limit=2, offset=offset)
+            assert page["total"] == unbounded["total"]  # exact despite pushdown
+            pages.extend(page["entries"])
+        assert pages == unbounded["entries"]

@@ -1,0 +1,239 @@
+"""Live-reshard safety properties: no key is ever unreachable mid-migration.
+
+The central claim of :mod:`repro.serve.reshard` — copy-before-delete under
+the union owner set — is checked *at every intermediate state* of a
+hypothesis-driven N -> N+1 migration: after each single-key step every key
+must be readable through the service, and (with R=2) killing any one shard
+must still never fail a read.  The deterministic tests below pin the
+individual mechanisms: fault-interrupted copies, pinned sources, and the
+commit guard that refuses to strand a key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cellgrid import encode_grid
+from repro.core.config import CodecConfig
+from repro.exceptions import ConfigError
+from repro.imaging.synthetic import generate_image
+from repro.serve.app import ImageService
+from repro.serve.chaos import FaultInjector
+from repro.serve.reshard import Resharder
+from repro.serve.router import StoreRouter
+from repro.store.store import ImageStore
+
+_STREAMS = None
+
+
+def _streams():
+    """Six tiny pre-encoded containers, built once (encoding dominates)."""
+    global _STREAMS
+    if _STREAMS is None:
+        streams = {}
+        for seed in range(6):
+            image = generate_image("lena", size=16, seed=seed)
+            stream, _ = encode_grid(
+                image, CodecConfig.hardware(bit_depth=image.bit_depth), stripes=2
+            )
+            streams[hashlib.sha256(stream).hexdigest()] = stream
+        _STREAMS = streams
+    return _STREAMS
+
+
+class TestMigrationReachabilityProperty:
+    def _assert_all_readable(self, service, injectors, keys):
+        """Every key decodes, including with any single shard killed."""
+        victims = [None] + list(injectors)
+        for victim in victims:
+            for store in service.router.stores:
+                # Warm caches never touch the backend, so they would let a
+                # read "succeed" against a killed holder; drop them first.
+                store.cache.clear()
+                store._headers.clear()
+            if victim is not None:
+                injectors[victim].kill()
+            try:
+                for key in keys:
+                    body, _ = service.get_region(key, 0, 1)
+                    assert body, "key %s unreadable (victim=%r)" % (key, victim)
+            finally:
+                if victim is not None:
+                    injectors[victim].revive()
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_every_key_readable_at_every_migration_point(self, data):
+        streams = _streams()
+        chosen = data.draw(
+            st.lists(
+                st.sampled_from(sorted(streams)), unique=True, min_size=2, max_size=4
+            )
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-reshard-prop-") as root:
+            stores = [
+                ImageStore.open(Path(root) / ("shard-%02d" % index))
+                for index in range(2)
+            ]
+            service = ImageService(stores, replication=2)
+            injectors = dict(
+                zip(
+                    service.router.names,
+                    (store.wrap_backend(FaultInjector) for store in stores),
+                )
+            )
+            try:
+                for key in chosen:
+                    outcome = service.put_image(streams[key])
+                    # Two shards, R=2: both replicas hold every key, so any
+                    # single kill leaves a live holder throughout.
+                    assert sorted(outcome["replicas"]) == sorted(service.router.names)
+
+                joining = ImageStore.open(Path(root) / "shard-02")
+                injectors["shard-02"] = joining.wrap_backend(FaultInjector)
+                resharder = service.begin_reshard(joining, "shard-02")
+                order = data.draw(st.permutations(sorted(resharder.moved_keys())))
+
+                self._assert_all_readable(service, injectors, chosen)
+                for key in order:
+                    resharder.migrate_key(key)
+                    self._assert_all_readable(service, injectors, chosen)
+                report = resharder.run(complete=True)
+                assert report.completed, report.errors
+                assert service.router.joining is None
+                self._assert_all_readable(service, injectors, chosen)
+                # Settled layout: exactly the final top-2 owners hold each key.
+                for key in chosen:
+                    holders = {
+                        name
+                        for name, store in zip(
+                            service.router.names, service.router.stores
+                        )
+                        if store.contains(key)
+                    }
+                    expected = {
+                        service.router.names[index]
+                        for index in service.router.shards_for(key)
+                    }
+                    assert holders == expected
+            finally:
+                for injector in injectors.values():
+                    injector.revive()
+                service.close()
+
+
+class TestResharderMechanisms:
+    def _single_owner_router(self, tmp_path):
+        store = ImageStore.open(tmp_path / "shard-00")
+        return StoreRouter([store])
+
+    def _moved_key(self, router, joining_name):
+        """A stored key the new membership hands to the joining shard."""
+        names = router.names
+        for key, stream in _streams().items():
+            if names[router.shards_for(key, r=1)[0]] == joining_name:
+                return key, stream
+        raise AssertionError("no corpus key moves to %s" % joining_name)
+
+    def test_requires_a_reshard_in_progress(self, tmp_path):
+        router = self._single_owner_router(tmp_path)
+        with pytest.raises(ConfigError):
+            Resharder(router)
+        router.close()
+
+    def test_copy_failure_never_deletes_the_source(self, tmp_path):
+        router = self._single_owner_router(tmp_path)
+        source = router.stores[0]
+        joining = ImageStore.open(tmp_path / "shard-01")
+        injector = joining.wrap_backend(FaultInjector)
+        router.begin_reshard(joining, "shard-01")
+        resharder = Resharder(router, max_passes=1)
+        key, stream = self._moved_key(router, "shard-01")
+        source.put_stream(stream)
+
+        injector.kill()
+        assert resharder.migrate_key(key) is False
+        # Copy-before-delete: the failed copy cost nothing — the source
+        # still holds the only replica and the key stays readable.
+        assert source.contains(key)
+        assert resharder.report.deletions == 0
+        assert resharder.report.errors
+
+        # The commit guard refuses while the key has no final-owner replica.
+        report = resharder.run(complete=True)
+        assert report.completed is False
+        assert router.joining == "shard-01"
+        assert any("not committing" in error for error in report.errors)
+
+        # Clear the fault; the next run copies, deletes and commits.
+        injector.revive()
+        retry = Resharder(router, max_passes=2)
+        report = retry.run(complete=True)
+        assert report.completed, report.errors
+        assert router.joining is None
+        assert joining.contains(key)
+        assert not source.contains(key)
+        router.close()
+
+    def test_pinned_source_is_skipped_not_yanked(self, tmp_path):
+        router = self._single_owner_router(tmp_path)
+        source = router.stores[0]
+        joining = ImageStore.open(tmp_path / "shard-01")
+        router.begin_reshard(joining, "shard-01")
+        resharder = Resharder(router, max_passes=1)
+        key, stream = self._moved_key(router, "shard-01")
+        source.put_stream(stream)
+
+        with source._pin(key):  # an in-flight read holds the blob
+            assert resharder.migrate_key(key) is False
+            assert resharder.report.copies == 1  # the copy still landed
+            assert resharder.report.pinned_skips == 1
+            assert source.contains(key)
+        # Pin released: the retry pass settles the key.
+        assert resharder.migrate_key(key) is True
+        assert not source.contains(key)
+        router.close()
+
+    def test_tombstones_travel_with_the_migration(self, tmp_path):
+        router = self._single_owner_router(tmp_path)
+        source = router.stores[0]
+        joining = ImageStore.open(tmp_path / "shard-01")
+        router.begin_reshard(joining, "shard-01")
+        resharder = Resharder(router)
+        key, stream = self._moved_key(router, "shard-01")
+        source.put_stream(stream)
+        entry = source.soft_delete(key, ttl_seconds=3600.0)
+
+        assert resharder.migrate_key(key) is True
+        migrated = joining.catalog.get(key)
+        assert migrated.deleted_at == entry.deleted_at
+        assert migrated.purge_after == pytest.approx(entry.purge_after)
+        router.close()
+
+    def test_report_counts_a_clean_run(self, tmp_path):
+        stores = [
+            ImageStore.open(tmp_path / ("shard-%02d" % index)) for index in range(2)
+        ]
+        router = StoreRouter(stores, replication=2)
+        for stream in _streams().values():
+            for store in stores:  # R=2 over 2 shards: both hold everything
+                store.put_stream(stream)
+        joining = ImageStore.open(tmp_path / "shard-02")
+        router.begin_reshard(joining, "shard-02")
+        resharder = Resharder(router)
+        moved = set(resharder.moved_keys())
+        report = resharder.run(complete=True)
+        assert report.completed
+        assert report.moved == len(moved)
+        assert report.copies == len(moved)  # each moved key copied once
+        assert report.errors == []
+        as_json = report.as_json()
+        assert as_json["joining"] == "shard-02"
+        assert as_json["completed"] is True
+        router.close()

@@ -7,7 +7,12 @@ import hashlib
 import pytest
 
 from repro.exceptions import ConfigError
-from repro.serve.router import StoreRouter, rendezvous_shard, rendezvous_score
+from repro.serve.router import (
+    StoreRouter,
+    _ranked,
+    rendezvous_shard,
+    rendezvous_score,
+)
 from repro.store.store import ImageStore
 
 
@@ -116,4 +121,138 @@ class TestStoreRouter:
             StoreRouter([store], names=["a", "b"])
         with pytest.raises(ConfigError):
             StoreRouter([store, store], names=["same", "same"])
+        with pytest.raises(ConfigError):
+            StoreRouter([store], replication=0)
         store.close()
+
+
+class TestReplicatedRouting:
+    def _router(self, tmp_path, shards=3, replication=2):
+        stores = [
+            ImageStore.open(tmp_path / ("shard-%02d" % index))
+            for index in range(shards)
+        ]
+        return StoreRouter(stores, replication=replication)
+
+    def test_shards_for_returns_top_r_best_first(self, tmp_path):
+        router = self._router(tmp_path)
+        names = router.names
+        for key in _keys(30):
+            picked = router.shards_for(key)
+            assert len(picked) == 2
+            # Index 0 is the primary the single-owner API names.
+            assert picked[0] == router.shard_index(key)
+            # The selection and its order match the full rendezvous ranking.
+            assert [names[index] for index in picked] == _ranked(names, key)[:2]
+        router.close()
+
+    def test_shards_for_clamps_and_validates_r(self, tmp_path):
+        router = self._router(tmp_path, shards=2, replication=1)
+        key = _keys(1)[0]
+        assert len(router.shards_for(key, r=1)) == 1
+        # r beyond the shard count degrades to "every shard".
+        assert sorted(router.shards_for(key, r=99)) == [0, 1]
+        with pytest.raises(ConfigError):
+            router.shards_for(key, r=0)
+        router.close()
+
+    def test_replication_beyond_shard_count_degrades_to_all(self, tmp_path):
+        router = self._router(tmp_path, shards=2, replication=5)
+        assert router.replication == 5
+        for key in _keys(10):
+            assert sorted(router.shards_for(key)) == [0, 1]
+            assert {name for name, _ in router.owners(key)} == set(router.names)
+        router.close()
+
+    def test_owners_are_the_top_r_in_rank_order(self, tmp_path):
+        router = self._router(tmp_path)
+        names = router.names
+        for key in _keys(30):
+            owners = router.owners(key)
+            assert [name for name, _ in owners] == _ranked(names, key)[:2]
+            for name, store in owners:
+                assert store is router.stores[names.index(name)]
+        router.close()
+
+    def test_keys_deduplicates_replicated_content(self, tmp_path):
+        from repro.core.cellgrid import encode_grid
+        from repro.core.config import CodecConfig
+        from repro.imaging.synthetic import generate_image
+
+        router = self._router(tmp_path, shards=2, replication=2)
+        image = generate_image("lena", size=16, seed=1)
+        stream, _ = encode_grid(
+            image, CodecConfig.hardware(bit_depth=image.bit_depth), stripes=2
+        )
+        key = hashlib.sha256(stream).hexdigest()
+        # Replication puts the same key on both shards; keys() must still
+        # yield it exactly once.
+        for store in router.stores:
+            store.put_stream(stream)
+        assert list(router.keys()) == [key]
+        router.close()
+
+
+class TestJoiningMembership:
+    def _router(self, tmp_path, shards=2, replication=2):
+        stores = [
+            ImageStore.open(tmp_path / ("shard-%02d" % index))
+            for index in range(shards)
+        ]
+        return StoreRouter(stores, replication=replication)
+
+    def test_owners_union_old_and_new_memberships(self, tmp_path):
+        router = self._router(tmp_path)
+        old_names = router.names
+        joining = ImageStore.open(tmp_path / "shard-02")
+        router.begin_reshard(joining, "shard-02")
+        assert router.joining == "shard-02"
+        assert len(router) == 3
+        new_names = router.names
+        for key in _keys(50):
+            owner_names = {name for name, _ in router.owners(key)}
+            expected = set(_ranked(new_names, key)[:2]) | set(
+                _ranked(old_names, key)[:2]
+            )
+            assert owner_names == expected
+            # The union is presented in full-membership rank order.
+            ranked = _ranked(new_names, key)
+            listed = [name for name, _ in router.owners(key)]
+            assert listed == [name for name in ranked if name in owner_names]
+        router.close()
+
+    def test_stats_flags_the_joining_shard(self, tmp_path):
+        router = self._router(tmp_path)
+        joining = ImageStore.open(tmp_path / "shard-02")
+        router.begin_reshard(joining, "shard-02")
+        flags = {entry["name"]: entry["joining"] for entry in router.stats()}
+        assert flags == {"shard-00": False, "shard-01": False, "shard-02": True}
+        router.close()
+
+    def test_complete_reshard_commits_the_membership(self, tmp_path):
+        router = self._router(tmp_path)
+        joining = ImageStore.open(tmp_path / "shard-02")
+        router.begin_reshard(joining, "shard-02")
+        assert router.complete_reshard() == "shard-02"
+        assert router.joining is None
+        assert router.names == ["shard-00", "shard-01", "shard-02"]
+        # After commit, owners are the plain top-R of the new membership.
+        for key in _keys(20):
+            assert [name for name, _ in router.owners(key)] == _ranked(
+                router.names, key
+            )[:2]
+        router.close()
+
+    def test_reshard_state_machine_rejects_misuse(self, tmp_path):
+        router = self._router(tmp_path)
+        with pytest.raises(ConfigError):
+            router.complete_reshard()  # nothing in progress
+        joining = ImageStore.open(tmp_path / "shard-02")
+        with pytest.raises(ConfigError):
+            router.begin_reshard(joining, "shard-00")  # duplicate name
+        router.begin_reshard(joining, "shard-02")
+        other = ImageStore.open(tmp_path / "shard-03")
+        with pytest.raises(ConfigError):
+            router.begin_reshard(other, "shard-03")  # one reshard at a time
+        other.close()
+        router.close()
