@@ -15,10 +15,12 @@ Two pluggable seams live here:
   :class:`~repro.parallel.codec.ParallelCodec`, the functional
   ``encode_*``/``decode_*`` helpers and the CLI) dispatches through
   :func:`get_engine`, so third-party engines plug in without touching any
-  dispatch site.  The two built-in engines — ``"reference"`` (the
-  paper-shaped per-pixel pipeline of :mod:`repro.core.refengine`) and
-  ``"fast"`` (the vectorized engine of :mod:`repro.fast`) — are registered
-  lazily on first lookup, keeping import costs where they were.
+  dispatch site.  The built-in engines — ``"reference"`` (the paper-shaped
+  per-pixel pipeline of :mod:`repro.core.refengine`), ``"fast"`` (the
+  vectorized engine of :mod:`repro.fast`) and ``"native"`` (the
+  build-optional numba-JIT kernels of :mod:`repro.native`, listed and
+  dispatchable only where numba is importable) — are registered lazily on
+  first lookup, keeping import costs where they were.
 
 Every registered engine must produce **byte-identical** payloads for the
 same input: the engine name is a speed knob, not a format choice, and the
@@ -28,6 +30,8 @@ conformance suites enforce this for both built-ins.
 from __future__ import annotations
 
 import abc
+import importlib.util
+import os
 from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Tuple, Union, overload
 
 from repro.exceptions import ConfigError
@@ -93,7 +97,25 @@ _ENGINE_REGISTRY: Dict[str, EngineBackend] = {}
 _BUILTIN_ENGINE_MODULES = {
     "reference": ("repro.core.refengine", "ReferenceEngine"),
     "fast": ("repro.fast.backend", "FastEngine"),
+    "native": ("repro.native.backend", "NativeEngine"),
 }
+
+
+def _native_engine_available() -> bool:
+    """Availability gate for the build-optional ``native`` engine.
+
+    True when numba is importable (the kernels JIT-compile) or when
+    ``REPRO_NATIVE_PURE_PYTHON=1`` opts into the interpreted fallback (the
+    without-numba CI leg's byte-identity mode).  Checked without importing
+    :mod:`repro.native`, so the probe stays cheap on every
+    :func:`engine_names` call.
+    """
+    if os.environ.get("REPRO_NATIVE_PURE_PYTHON", "") not in ("", "0"):
+        return True
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - broken namespace pkg
+        return False
 
 
 def register_engine(backend: EngineBackend, replace: bool = False) -> EngineBackend:
@@ -126,6 +148,12 @@ def get_engine(name: str) -> EngineBackend:
     backend = _ENGINE_REGISTRY.get(name)
     if backend is not None:
         return backend
+    if name == "native" and not _native_engine_available():
+        raise ConfigError(
+            "engine 'native' needs the optional numba dependency, which is not "
+            "installed (pip install numba); the 'fast' engine is the fastest "
+            "pure-Python alternative and produces byte-identical streams"
+        )
     builtin = _BUILTIN_ENGINE_MODULES.get(name)
     if builtin is not None:
         import importlib
@@ -144,8 +172,16 @@ def get_engine(name: str) -> EngineBackend:
 
 
 def engine_names() -> Tuple[str, ...]:
-    """All dispatchable engine names: built-ins first, then third-party."""
+    """All dispatchable engine names: built-ins first, then third-party.
+
+    The build-optional ``native`` engine is listed only when it would
+    actually dispatch (numba importable, already registered, or the
+    pure-Python test opt-in), so CLIs and benchmarks iterating this list
+    degrade gracefully on installs without numba.
+    """
     names = dict.fromkeys(_BUILTIN_ENGINE_MODULES)
+    if "native" not in _ENGINE_REGISTRY and not _native_engine_available():
+        names.pop("native", None)
     names.update(dict.fromkeys(_ENGINE_REGISTRY))
     return tuple(names)
 

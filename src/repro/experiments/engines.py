@@ -1,28 +1,35 @@
-"""Engine comparison — reference vs fast coding engine on the corpus.
+"""Engine comparison — every registered engine against the reference.
 
-The fast engine exists purely for speed: it must produce **byte-identical**
-streams to the reference engine while encoding several times faster.  This
-experiment measures both properties on the synthetic corpus and is the data
-source of the CI performance-regression gate (``benchmarks/baseline.json``):
+The non-reference engines exist purely for speed: each must produce
+**byte-identical** streams to the reference engine while encoding faster.
+This experiment measures both properties for *every* engine the registry
+currently dispatches (:func:`repro.core.interface.engine_names` — the two
+built-ins, plus ``native`` when numba or the pure-Python opt-in makes it
+available, plus anything registered at runtime) and is the data source of
+the CI performance-regression gate (``benchmarks/baseline.json``):
 
 * per image, the bits-per-pixel of the (shared) stream — any change breaks
   the gate, because the stream format is deterministic;
 * per image and engine, the encode throughput in MB/s of uncompressed input
   — a regression beyond the gate's tolerance fails CI.
 
-Identity is enforced here, not just measured: a diverging fast stream makes
-the run raise immediately rather than report a meaningless speedup.
+Identity is enforced here, not just measured: a diverging stream makes the
+run raise immediately rather than report a meaningless speedup.  The gate
+only iterates keys present in the committed baseline, so optional engines
+(``native`` on numba-equipped machines) add columns without invalidating
+baselines recorded on machines that lack them.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import CodecConfig
 from repro.core.decoder import decode_image
 from repro.core.encoder import encode_image_with_statistics
+from repro.core.interface import engine_names
 from repro.exceptions import ConfigError, ReproError
 from repro.imaging.synthetic import CORPUS_IMAGE_NAMES, generate_image
 
@@ -31,30 +38,59 @@ __all__ = ["EngineImageRow", "EngineComparisonResult", "run_engine_comparison"]
 
 @dataclass(frozen=True)
 class EngineImageRow:
-    """Measured engine comparison for one corpus image."""
+    """Measured engine comparison for one corpus image.
+
+    ``seconds`` and ``mb_per_s`` are keyed by engine name in measurement
+    order (``reference`` always first).  The ``reference_*`` / ``fast_*``
+    accessors keep the historical two-engine shape working for callers that
+    predate the registry sweep.
+    """
 
     image: str
     bits_per_pixel: float
-    reference_seconds: float
-    fast_seconds: float
-    reference_mb_per_s: float
-    fast_mb_per_s: float
+    seconds: Mapping[str, float]
+    mb_per_s: Mapping[str, float]
+
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        return tuple(self.seconds)
+
+    @property
+    def reference_seconds(self) -> float:
+        return self.seconds.get("reference", 0.0)
+
+    @property
+    def fast_seconds(self) -> float:
+        return self.seconds.get("fast", 0.0)
+
+    @property
+    def reference_mb_per_s(self) -> float:
+        return self.mb_per_s.get("reference", 0.0)
+
+    @property
+    def fast_mb_per_s(self) -> float:
+        return self.mb_per_s.get("fast", 0.0)
+
+    def speedup_over_reference(self, engine: str) -> float:
+        """Wall-clock encode speedup of ``engine`` over the reference."""
+        elapsed = self.seconds.get(engine, 0.0)
+        if elapsed <= 0.0:
+            return float("inf")
+        return self.reference_seconds / elapsed
 
     @property
     def speedup(self) -> float:
         """Wall-clock encode speedup of the fast engine."""
-        if self.fast_seconds <= 0.0:
-            return float("inf")
-        return self.reference_seconds / self.fast_seconds
+        return self.speedup_over_reference("fast")
 
     def format_row(self) -> str:
-        return "%-10s %8.3f bpp %10.3f MB/s %10.3f MB/s %8.2fx" % (
-            self.image,
-            self.bits_per_pixel,
-            self.reference_mb_per_s,
-            self.fast_mb_per_s,
-            self.speedup,
-        )
+        cells = ["%-10s %8.3f bpp" % (self.image, self.bits_per_pixel)]
+        for engine in self.engines:
+            cells.append("%10.3f MB/s" % self.mb_per_s[engine])
+        for engine in self.engines:
+            if engine != "reference":
+                cells.append("%7.2fx" % self.speedup_over_reference(engine))
+        return " ".join(cells)
 
 
 @dataclass
@@ -65,22 +101,40 @@ class EngineComparisonResult:
     seed: int
     rows: List[EngineImageRow] = field(default_factory=list)
 
-    def aggregate_speedup(self) -> float:
-        """Total reference time over total fast time (noise-robust)."""
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        return self.rows[0].engines if self.rows else ()
+
+    def aggregate_speedup(self, engine: str = "fast") -> float:
+        """Total reference time over total ``engine`` time (noise-robust)."""
         reference = sum(row.reference_seconds for row in self.rows)
-        fast = sum(row.fast_seconds for row in self.rows)
-        if fast <= 0.0:
+        other = sum(row.seconds.get(engine, 0.0) for row in self.rows)
+        if other <= 0.0:
             return float("inf")
-        return reference / fast
+        return reference / other
+
+    def aggregate_speedups(self) -> Dict[str, float]:
+        """Aggregate speedup over the reference for every other engine."""
+        return {
+            engine: self.aggregate_speedup(engine)
+            for engine in self.engines
+            if engine != "reference"
+        }
 
     def format_report(self) -> str:
-        lines = [
-            "%-10s %12s %16s %16s %9s"
-            % ("Image", "Bit rate", "reference", "fast", "Speedup")
-        ]
+        header = ["%-10s %12s" % ("Image", "Bit rate")]
+        for engine in self.engines:
+            header.append("%15s" % engine)
+        for engine in self.engines:
+            if engine != "reference":
+                header.append("%8s" % engine[:7])
+        lines = [" ".join(header)]
         for row in self.rows:
             lines.append(row.format_row())
-        lines.append("aggregate encode speedup: %.2fx" % self.aggregate_speedup())
+        for engine, speedup in self.aggregate_speedups().items():
+            lines.append(
+                "aggregate encode speedup (%s): %.2fx" % (engine, speedup)
+            )
         return "\n".join(lines)
 
     def as_json(self) -> Dict[str, dict]:
@@ -88,20 +142,21 @@ class EngineComparisonResult:
 
         ``bpp`` values are exact stream properties (the CI gate requires
         equality); ``mb_per_s`` values are wall-clock measurements (the gate
-        applies a tolerance).
+        applies a tolerance).  One ``image/engine`` rate key per measured
+        engine — the gate ignores keys absent from its baseline, so the
+        optional engines ride along without re-baselining.
         """
         return {
             "bpp": {row.image: row.bits_per_pixel for row in self.rows},
             "mb_per_s": {
-                key: value
+                "%s/%s" % (row.image, engine): row.mb_per_s[engine]
                 for row in self.rows
-                for key, value in (
-                    ("%s/reference" % row.image, row.reference_mb_per_s),
-                    ("%s/fast" % row.image, row.fast_mb_per_s),
-                )
+                for engine in row.engines
             },
             "extra": {
                 "aggregate_speedup": self.aggregate_speedup(),
+                "aggregate_speedups": self.aggregate_speedups(),
+                "engines": list(self.engines),
                 "size": self.size,
                 "seed": self.seed,
             },
@@ -133,13 +188,17 @@ def run_engine_comparison(
     config: Optional[CodecConfig] = None,
     verify_roundtrip: bool = True,
     repeats: int = 3,
+    engines: Optional[Sequence[str]] = None,
 ) -> EngineComparisonResult:
-    """Compare the two engines on the synthetic corpus.
+    """Compare every dispatchable engine on the synthetic corpus.
 
-    Timings are best-of-``repeats`` per image and engine (noise robustness
-    for the CI gate).  Raises :class:`~repro.exceptions.ReproError` if the
-    fast engine ever produces a stream that differs from the reference
-    engine's.
+    ``engines`` defaults to :func:`~repro.core.interface.engine_names` — the
+    live registry view, so the sweep includes ``native`` exactly when it
+    would dispatch.  The reference engine is always measured first (it is
+    the identity anchor and the gate's normalisation baseline).  Timings are
+    best-of-``repeats`` per image and engine (noise robustness for the CI
+    gate).  Raises :class:`~repro.exceptions.ReproError` if any engine ever
+    produces a stream that differs from the reference engine's.
     """
     if size < 16:
         raise ConfigError("engine comparison image size must be at least 16, got %d" % size)
@@ -147,31 +206,43 @@ def run_engine_comparison(
         raise ConfigError("repeats must be at least 1, got %d" % repeats)
     config = config if config is not None else CodecConfig.hardware()
     selected = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+    ordered = ["reference"]
+    ordered += [
+        name
+        for name in (engines if engines is not None else engine_names())
+        if name != "reference"
+    ]
 
     result = EngineComparisonResult(size=size, seed=seed)
     for image_name in selected:
         image = generate_image(image_name, size=size, seed=seed)
         raw_mb = image.pixel_count * ((image.bit_depth + 7) // 8) / 1e6
 
-        reference_stream, reference_seconds = _best_of(image, config, "reference", repeats)
-        fast_stream, fast_seconds = _best_of(image, config, "fast", repeats)
-
-        if fast_stream != reference_stream:
-            raise ReproError(
-                "fast engine diverged from the reference engine on %r "
-                "(%d vs %d bytes)" % (image_name, len(fast_stream), len(reference_stream))
-            )
-        if verify_roundtrip and decode_image(fast_stream, config, engine="fast") != image:
-            raise ReproError("fast engine failed to losslessly reconstruct %r" % image_name)
+        seconds: Dict[str, float] = {}
+        mb_per_s: Dict[str, float] = {}
+        reference_stream = b""
+        for engine in ordered:
+            stream, elapsed = _best_of(image, config, engine, repeats)
+            if engine == "reference":
+                reference_stream = stream
+            elif stream != reference_stream:
+                raise ReproError(
+                    "%s engine diverged from the reference engine on %r "
+                    "(%d vs %d bytes)" % (engine, image_name, len(stream), len(reference_stream))
+                )
+            if verify_roundtrip and decode_image(stream, config, engine=engine) != image:
+                raise ReproError(
+                    "%s engine failed to losslessly reconstruct %r" % (engine, image_name)
+                )
+            seconds[engine] = elapsed
+            mb_per_s[engine] = raw_mb / elapsed if elapsed else 0.0
 
         result.rows.append(
             EngineImageRow(
                 image=image_name,
                 bits_per_pixel=8.0 * len(reference_stream) / image.pixel_count,
-                reference_seconds=reference_seconds,
-                fast_seconds=fast_seconds,
-                reference_mb_per_s=raw_mb / reference_seconds if reference_seconds else 0.0,
-                fast_mb_per_s=raw_mb / fast_seconds if fast_seconds else 0.0,
+                seconds=seconds,
+                mb_per_s=mb_per_s,
             )
         )
     return result

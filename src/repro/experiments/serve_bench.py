@@ -14,7 +14,17 @@ serving regimes end to end:
 * **stampede** — ``stampede_clients`` threads released by a barrier onto
   one region of a freshly stored image: the single-flight map must
   collapse the herd into at most a couple of backend decodes (asserted by
-  ``benchmarks/test_serve_latency.py`` at <= 2).
+  ``benchmarks/test_serve_latency.py`` at <= 2);
+* **streaming** — the same warm multi-cell region fetched buffered and
+  chunk-streamed back to back: the streamed response's time to first byte
+  must beat the buffered response's full-assembly total (the streamed
+  Netpbm header goes on the wire before any stripe decodes).
+
+:func:`run_encoded_tier_bench` is the companion store-level experiment for
+the encoded-bytes cache tier: with the decoded cache disabled (every
+region read pays its entropy decodes) and a fault-injected slow backend,
+the encoded tier answers repeat reads from memory while the decoded-only
+baseline pays the backend latency every time.
 
 Percentiles are exact (client-side samples, not histogram buckets).  With
 ``duration`` set the warm phase becomes a soak: the loop runs for that
@@ -38,11 +48,21 @@ from repro.imaging.synthetic import (
     generate_image,
     generate_planar_image,
 )
+from repro.core.cellgrid import encode_grid
+from repro.core.config import CodecConfig
+from repro.imaging.synthetic import generate_noise_image
 from repro.serve.app import ImageService, start_server_thread
+from repro.serve.chaos import FaultInjector
 from repro.serve.client import ServeClient
 from repro.store.store import ImageStore
 
-__all__ = ["ServeBenchResult", "run_serve_bench", "run_serve_soak"]
+__all__ = [
+    "EncodedTierBenchResult",
+    "ServeBenchResult",
+    "run_encoded_tier_bench",
+    "run_serve_bench",
+    "run_serve_soak",
+]
 
 
 def _percentile(samples: Sequence[float], q: float) -> float:
@@ -70,6 +90,9 @@ class ServeBenchResult:
     cold_samples_ms: List[float] = field(default_factory=list)
     warm_samples_ms: List[float] = field(default_factory=list)
     stampede_samples_ms: List[float] = field(default_factory=list)
+    stream_ttfb_samples_ms: List[float] = field(default_factory=list)
+    stream_total_samples_ms: List[float] = field(default_factory=list)
+    buffered_full_samples_ms: List[float] = field(default_factory=list)
     warm_seconds: float = 0.0
     warm_requests: int = 0
     stampede_backend_decodes: int = 0
@@ -103,6 +126,22 @@ class ServeBenchResult:
         return _percentile(self.stampede_samples_ms, 0.99)
 
     @property
+    def stream_ttfb_p50_ms(self) -> float:
+        return _percentile(self.stream_ttfb_samples_ms, 0.50)
+
+    @property
+    def stream_ttfb_p99_ms(self) -> float:
+        return _percentile(self.stream_ttfb_samples_ms, 0.99)
+
+    @property
+    def stream_total_p50_ms(self) -> float:
+        return _percentile(self.stream_total_samples_ms, 0.50)
+
+    @property
+    def buffered_full_p50_ms(self) -> float:
+        return _percentile(self.buffered_full_samples_ms, 0.50)
+
+    @property
     def warm_requests_per_second(self) -> float:
         if self.warm_seconds <= 0.0:
             return 0.0
@@ -132,6 +171,19 @@ class ServeBenchResult:
                 "stampede (%d clients)" % self.stampede_clients,
                 self.stampede_p50_ms,
                 self.stampede_p99_ms,
+            ),
+            "%-22s %8.2f ms %8.2f ms"
+            % (
+                "stream TTFB (full)",
+                self.stream_ttfb_p50_ms,
+                self.stream_ttfb_p99_ms,
+            ),
+            "streamed full region: TTFB p50 %.2f ms vs buffered total p50 %.2f ms "
+            "(stream total p50 %.2f ms)"
+            % (
+                self.stream_ttfb_p50_ms,
+                self.buffered_full_p50_ms,
+                self.stream_total_p50_ms,
             ),
             "warm closed loop: %d requests / %.2f s = %.0f req/s over %d client(s)"
             % (
@@ -169,6 +221,10 @@ class ServeBenchResult:
             "warm_p99_ms": self.warm_p99_ms,
             "stampede_p50_ms": self.stampede_p50_ms,
             "stampede_p99_ms": self.stampede_p99_ms,
+            "stream_ttfb_p50_ms": self.stream_ttfb_p50_ms,
+            "stream_ttfb_p99_ms": self.stream_ttfb_p99_ms,
+            "stream_total_p50_ms": self.stream_total_p50_ms,
+            "buffered_full_p50_ms": self.buffered_full_p50_ms,
             "warm_over_cold_p50": self.warm_over_cold_p50,
             "warm_requests_per_second": self.warm_requests_per_second,
             "warm_requests": self.warm_requests,
@@ -205,6 +261,7 @@ def run_serve_bench(
     shards: int = 2,
     clients: int = 8,
     warm_requests: int = 240,
+    stream_requests: int = 40,
     stampede_clients: int = 64,
     backend: str = "filesystem",
     engine: str = "reference",
@@ -229,6 +286,8 @@ def run_serve_bench(
         raise ConfigError("shards must be at least 1, got %d" % shards)
     if clients < 1:
         raise ConfigError("clients must be at least 1, got %d" % clients)
+    if stream_requests < 1:
+        raise ConfigError("stream_requests must be at least 1, got %d" % stream_requests)
     if stampede_clients < 2:
         raise ConfigError("a stampede needs at least 2 clients, got %d" % stampede_clients)
     if backend not in ("filesystem", "sqlite"):
@@ -327,6 +386,21 @@ def run_serve_bench(
                 thread.join()
             result.warm_seconds = time.perf_counter() - warm_begin
 
+            # -------- streaming: warm full region, buffered vs chunked - #
+            # Interleaved so machine drift hits both sides equally.  The
+            # streamed response commits its Netpbm header before any
+            # stripe decode, so its TTFB must beat the buffered total.
+            full = (keys[0], 0, stripes)
+            for _ in range(stream_requests):
+                begin = time.perf_counter()
+                client.get_region(full[0], full[1], full[2])
+                result.buffered_full_samples_ms.append(
+                    1e3 * (time.perf_counter() - begin)
+                )
+                _, timings = client.get_region_stream(full[0], full[1], full[2])
+                result.stream_ttfb_samples_ms.append(timings["ttfb_ms"])
+                result.stream_total_samples_ms.append(timings["total_ms"])
+
             # -------- stampede: a barrier herd on one cold region ------ #
             gray = generate_image(selected[0], size=size, seed=seed + 1)
             buffer = io.BytesIO()
@@ -384,3 +458,129 @@ def run_serve_soak(
 ) -> ServeBenchResult:
     """The nightly shape: a timed warm soak with histograms attached."""
     return run_serve_bench(size=size, seed=seed, duration=duration, **kwargs)
+
+
+@dataclass
+class EncodedTierBenchResult:
+    """Encoded-bytes tier vs decoded-only baseline on cold-cache reads."""
+
+    size: int
+    seed: int
+    stripes: int
+    repeats: int
+    injected_latency_ms: float
+    encoded_samples_ms: List[float] = field(default_factory=list)
+    decoded_only_samples_ms: List[float] = field(default_factory=list)
+    encoded_hits: int = 0
+    encoded_backend_ops: int = 0
+    decoded_only_backend_ops: int = 0
+
+    @property
+    def encoded_p50_ms(self) -> float:
+        return _percentile(self.encoded_samples_ms, 0.50)
+
+    @property
+    def decoded_only_p50_ms(self) -> float:
+        return _percentile(self.decoded_only_samples_ms, 0.50)
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "%-28s %10s" % ("variant (cold decoded cache)", "p50"),
+                "%-28s %8.2f ms"
+                % ("encoded tier (hits: %d)" % self.encoded_hits, self.encoded_p50_ms),
+                "%-28s %8.2f ms" % ("decoded-only", self.decoded_only_p50_ms),
+                "backend ops during the timed loop: %d with the encoded tier, "
+                "%d decoded-only (injected backend latency %.1f ms)"
+                % (
+                    self.encoded_backend_ops,
+                    self.decoded_only_backend_ops,
+                    self.injected_latency_ms,
+                ),
+            ]
+        )
+
+    def as_json(self) -> Dict[str, Any]:
+        return {
+            "bpp": {},
+            "mb_per_s": {},
+            "extra": {
+                "encoded_p50_ms": self.encoded_p50_ms,
+                "decoded_only_p50_ms": self.decoded_only_p50_ms,
+                "encoded_hits": self.encoded_hits,
+                "encoded_backend_ops": self.encoded_backend_ops,
+                "decoded_only_backend_ops": self.decoded_only_backend_ops,
+                "injected_latency_ms": self.injected_latency_ms,
+                "repeats": self.repeats,
+                "size": self.size,
+                "seed": self.seed,
+                "stripes": self.stripes,
+            },
+        }
+
+
+def run_encoded_tier_bench(
+    size: int = 48,
+    seed: int = 2007,
+    stripes: int = 6,
+    repeats: int = 30,
+    injected_latency_ms: float = 5.0,
+) -> EncodedTierBenchResult:
+    """Measure the encoded-bytes tier against a decoded-only baseline.
+
+    Both stores run with the decoded cache disabled (``cache_bytes=0``), so
+    every region read pays its entropy decodes — the cold-decoded-cache
+    regime the encoded tier exists for.  The backend is wrapped in a
+    :class:`~repro.serve.chaos.FaultInjector` carrying a fixed per-operation
+    latency (a deterministic model of a slow disk or remote blob store):
+    the encoded tier answers repeat reads from memory and skips that
+    latency entirely, while the decoded-only baseline pays it on every
+    request.
+    """
+    if repeats < 1:
+        raise ConfigError("repeats must be at least 1, got %d" % repeats)
+    if injected_latency_ms < 0.0:
+        raise ConfigError(
+            "injected latency must be >= 0, got %r" % (injected_latency_ms,)
+        )
+    image = generate_noise_image(size=size, seed=seed)
+    data, _ = encode_grid(image, CodecConfig.hardware(), stripes=stripes)
+
+    result = EncodedTierBenchResult(
+        size=size,
+        seed=seed,
+        stripes=stripes,
+        repeats=repeats,
+        injected_latency_ms=injected_latency_ms,
+    )
+    for variant in ("encoded", "decoded-only"):
+        with tempfile.TemporaryDirectory(prefix="repro-encoded-bench-") as root:
+            store = ImageStore.open(
+                "%s/store" % root,
+                cache_bytes=0,
+                encoded_cache_bytes=(32 << 20) if variant == "encoded" else 0,
+            )
+            injector = FaultInjector(store.backend)
+            store.backend = injector
+            key = store.put_stream(data)
+            injector.add_latency(injected_latency_ms / 1e3)
+            store.get_region(key, (0, stripes))  # prime the encoded tier
+
+            ops_before = injector.stats()["chaos"]["operations"]
+            samples = (
+                result.encoded_samples_ms
+                if variant == "encoded"
+                else result.decoded_only_samples_ms
+            )
+            for _ in range(repeats):
+                begin = time.perf_counter()
+                store.get_region(key, (0, stripes))
+                samples.append(1e3 * (time.perf_counter() - begin))
+            ops_during = injector.stats()["chaos"]["operations"] - ops_before
+            if variant == "encoded":
+                result.encoded_backend_ops = ops_during
+                result.encoded_hits = store.encoded_cache.stats.hits
+            else:
+                result.decoded_only_backend_ops = ops_during
+            store.close()
+    return result

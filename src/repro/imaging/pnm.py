@@ -35,6 +35,8 @@ __all__ = [
     "write_pam",
     "read_image",
     "write_image",
+    "netpbm_region_header",
+    "split_netpbm_payload",
 ]
 
 _PathOrFile = Union[str, Path, BinaryIO]
@@ -309,6 +311,68 @@ def write_pam(image: PlanarImage, destination: _PathOrFile) -> None:
     header.append("ENDHDR")
     destination.write(("\n".join(header) + "\n").encode("ascii"))
     _write_binary_samples(destination, image.interleaved_samples(), image.max_value)
+
+
+# ---------------------------------------------------------------------- #
+# streaming: header synthesis and header/sample splitting
+# ---------------------------------------------------------------------- #
+
+
+def netpbm_region_header(planes: int, width: int, height: int, bit_depth: int) -> Tuple[bytes, str]:
+    """Synthesise the binary Netpbm header for a region of known geometry.
+
+    Returns ``(header_bytes, kind)`` where ``kind`` is ``"pgm"``, ``"ppm"``
+    or ``"pam"`` — the format :func:`write_image` would pick for an image
+    of ``planes`` components.  The bytes are exactly what the corresponding
+    writer emits (our writers never emit comments), so a streamed response
+    can send the header first and follow with raw sample chunks whose
+    concatenation is byte-identical to a fully assembled file.
+    """
+    if width <= 0 or height <= 0:
+        raise ImageFormatError("invalid region dimensions %dx%d" % (width, height))
+    if not 1 <= planes <= MAX_PLANES:
+        raise ImageFormatError("plane count must be in [1, %d], got %d" % (MAX_PLANES, planes))
+    maxval = (1 << bit_depth) - 1
+    if not 1 <= maxval <= 65535:
+        raise ImageFormatError("invalid region bit depth %d" % bit_depth)
+    if planes == 1:
+        return ("P5\n%d %d\n%d\n" % (width, height, maxval)).encode("ascii"), "pgm"
+    if planes == 3:
+        return ("P6\n%d %d\n%d\n" % (width, height, maxval)).encode("ascii"), "ppm"
+    lines = ["P7", "WIDTH %d" % width, "HEIGHT %d" % height, "DEPTH %d" % planes,
+             "MAXVAL %d" % maxval]
+    tupltype = _PAM_TUPLTYPES.get(planes)
+    if tupltype:
+        lines.append("TUPLTYPE %s" % tupltype)
+    lines.append("ENDHDR")
+    return ("\n".join(lines) + "\n").encode("ascii"), "pam"
+
+
+def split_netpbm_payload(payload: bytes) -> Tuple[bytes, bytes]:
+    """Split a binary Netpbm payload written by this module into (header, samples).
+
+    Only the exact output of our binary writers is supported: P5/P6 headers
+    are three newline-terminated lines with no comments, P7 headers end at
+    ``ENDHDR``.  The streaming serve path uses this to strip per-stripe
+    headers so stripe sample chunks can be concatenated under one
+    region-wide header.
+    """
+    magic = payload[:2]
+    if magic == _PAM_MAGIC:
+        marker = b"ENDHDR\n"
+        end = payload.find(marker)
+        if end < 0:
+            raise ImageFormatError("PAM payload is missing ENDHDR")
+        cut = end + len(marker)
+        return payload[:cut], payload[cut:]
+    if magic in (b"P5", b"P6"):
+        cut = 0
+        for _ in range(3):
+            cut = payload.find(b"\n", cut) + 1
+            if cut == 0:
+                raise ImageFormatError("truncated %s header" % magic.decode())
+        return payload[:cut], payload[cut:]
+    raise ImageFormatError("not a binary PGM/PPM/PAM payload (magic %r)" % magic)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,31 @@
+"""Native (JIT-compiled) entropy engine — ``engine="native"``.
+
+This package compiles the hot loops of the codec — the frequency-tree path
+walk, the binary arithmetic coder's renormalisation and the bit-level I/O —
+into `numba <https://numba.pydata.org>`_ ``nopython`` kernels operating on
+plain ``int64``/``uint8`` NumPy arrays.  The modelling front-end is shared
+with the fast engine (:func:`repro.fast.rowmodel.model_image` on the encode
+side; the decode side inlines the same causal window the fast engine uses),
+so streams are **byte-identical** to the reference and fast engines: the
+engine name stays a speed knob, never a format choice.
+
+The dependency is *build-optional*: numba is not a package requirement.
+
+* With numba importable, ``get_engine("native")``
+  resolves to :class:`~repro.native.backend.NativeEngine` and the kernels run
+  JIT-compiled (``cache=True`` so the compilation cost is paid once per
+  machine, ``nogil=True`` so concurrent decodes scale across threads).
+* Without numba, ``engine="native"`` raises a clear
+  :class:`~repro.exceptions.ConfigError` naming the missing dependency, and
+  ``native`` is absent from :func:`~repro.core.interface.engine_names` so
+  CLIs and benchmarks skip it instead of failing.
+* Setting ``REPRO_NATIVE_PURE_PYTHON=1`` runs the *same* kernel source as
+  plain Python (the decorator becomes a no-op).  That mode is how the
+  without-numba CI leg and this repo's test-suite assert byte-identity of
+  the kernel algorithms themselves — slow, but bit-for-bit the same code
+  path the JIT compiles.
+"""
+
+from repro.native.jit import NUMBA_AVAILABLE, PURE_PYTHON_ENV, native_available
+
+__all__ = ["NUMBA_AVAILABLE", "PURE_PYTHON_ENV", "native_available"]

@@ -1,0 +1,52 @@
+"""Registry backend of the native coding engine.
+
+Wraps the functional entry points of :mod:`repro.native.engine` in the
+:class:`~repro.core.interface.EngineBackend` protocol and registers them as
+``engine="native"``.  :func:`repro.core.interface.get_engine` imports this
+module lazily — and only after its availability gate passed (numba
+importable, or the ``REPRO_NATIVE_PURE_PYTHON=1`` test opt-in) — so a
+process without numba never pays the import and gets a clear
+:class:`~repro.exceptions.ConfigError` instead of an ``ImportError``.
+
+Importing this module directly is itself an opt-in: the kernels then run
+pure-Python when numba is missing (byte-identical, slow), which is what the
+without-numba conformance tests do on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.config import CodecConfig
+from repro.core.interface import EngineBackend, register_engine
+from repro.imaging.image import GrayImage
+from repro.native.engine import decode_payload_native, encode_payload_native
+from repro.native.jit import NUMBA_AVAILABLE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.encoder import EncodeStatistics
+
+__all__ = ["NativeEngine"]
+
+
+class NativeEngine(EngineBackend):
+    """JIT-compiled entropy kernels + shared row modelling; byte-identical."""
+
+    name = "native"
+
+    #: Whether this process runs the kernels JIT-compiled (False means the
+    #: pure-Python fallback — same bytes, interpreter speed).
+    jit = NUMBA_AVAILABLE
+
+    def encode_payload(
+        self, image: GrayImage, config: CodecConfig
+    ) -> Tuple[bytes, "EncodeStatistics"]:
+        return encode_payload_native(image, config)
+
+    def decode_payload(
+        self, payload: bytes, width: int, height: int, config: CodecConfig
+    ) -> List[int]:
+        return decode_payload_native(payload, width, height, config)
+
+
+register_engine(NativeEngine())

@@ -1,0 +1,65 @@
+"""The numba import guard and the ``njit`` shim the kernels compile under.
+
+Everything numba-specific lives here so the rest of the package can be
+imported — and executed — without numba installed:
+
+* :data:`NUMBA_AVAILABLE` is the import probe's verdict;
+* :func:`njit` is numba's decorator when available, otherwise an identity
+  decorator that leaves the kernel as plain Python (the pure-Python mode
+  the without-numba CI leg runs byte-identity tests under);
+* :func:`native_available` is the policy gate the engine registry asks:
+  numba importable, or the explicit ``REPRO_NATIVE_PURE_PYTHON=1`` opt-in.
+
+The kernels are written against the intersection of numba's ``nopython``
+dialect and plain Python over NumPy arrays: module-level functions, scalar
+``int64`` locals, no Python objects, exceptions raised with constant
+messages only.  That discipline is what makes "the same source runs both
+ways" true rather than aspirational.
+"""
+
+from __future__ import annotations
+
+import os
+
+PURE_PYTHON_ENV = "REPRO_NATIVE_PURE_PYTHON"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _numba_njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common CI leg
+    _numba_njit = None
+    NUMBA_AVAILABLE = False
+
+
+def njit(func=None, **kwargs):
+    """``numba.njit`` when importable; otherwise the identity decorator.
+
+    Accepts the same call shapes numba does (``@njit`` and
+    ``@njit(cache=True, ...)``); the keyword arguments are dropped in the
+    pure-Python fallback.
+    """
+    if _numba_njit is not None:
+        if func is not None:
+            return _numba_njit(func, **kwargs)
+        return _numba_njit(**kwargs)
+    if func is not None:
+        return func
+
+    def identity(inner):
+        return inner
+
+    return identity
+
+
+def native_available() -> bool:
+    """Whether ``engine="native"`` should dispatch in this process.
+
+    True when numba is importable (the kernels JIT-compile) or when the
+    ``REPRO_NATIVE_PURE_PYTHON=1`` escape hatch is set (the kernels run as
+    interpreted Python — byte-identical, slow, meant for tests and for the
+    without-numba CI leg to prove the fallback path).
+    """
+    if NUMBA_AVAILABLE:
+        return True
+    return os.environ.get(PURE_PYTHON_ENV, "") not in ("", "0")

@@ -77,6 +77,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import (
+    AsyncIterator,
     Callable,
     Dict,
     List,
@@ -88,7 +89,7 @@ from typing import (
     Union,
 )
 
-from repro.core.cellgrid import encode_grid
+from repro.core.cellgrid import encode_grid, select_cells
 from repro.core.config import CodecConfig
 from repro.exceptions import (
     BitstreamError,
@@ -102,7 +103,14 @@ from repro.exceptions import (
 )
 from repro.imaging.image import GrayImage
 from repro.imaging.planar import PlanarImage
-from repro.imaging.pnm import read_image, write_pam, write_pgm, write_ppm
+from repro.imaging.pnm import (
+    netpbm_region_header,
+    read_image,
+    split_netpbm_payload,
+    write_pam,
+    write_pgm,
+    write_ppm,
+)
 from repro.serve.admission import (
     DEFAULT_MAX_INFLIGHT,
     AdmissionController,
@@ -118,11 +126,14 @@ from repro.serve.deadline import (
 from repro.serve.flight import SingleFlight
 from repro.serve.health import HealthTracker
 from repro.serve.http import (
+    STREAM_TERMINATOR,
     HttpProtocolError,
     HttpRequest,
+    encode_chunk,
     json_payload,
     read_request,
     render_response,
+    render_stream_head,
 )
 from repro.serve.reshard import Resharder
 from repro.serve.router import StoreRouter
@@ -135,6 +146,7 @@ __all__ = [
     "ImageService",
     "ReproServer",
     "ServerHandle",
+    "StreamingBody",
     "start_server_thread",
 ]
 
@@ -181,6 +193,30 @@ def image_to_netpbm(image: Union[GrayImage, PlanarImage]) -> Tuple[bytes, str]:
         write_pgm(image, buffer)
         kind = "pgm"
     return buffer.getvalue(), _CONTENT_TYPES[kind]
+
+
+class StreamingBody:
+    """A chunk-streamed response body, produced by ``_route``.
+
+    Instead of assembled bytes, the route hands the connection handler an
+    async iterator of body chunks; the handler frames them with chunked
+    transfer-encoding as they become available, so the first cells of a
+    large region reach the client while later cells are still decoding.
+
+    ``on_close`` transfers ownership of the request's admission slot: the
+    dispatch layer normally releases it when the route returns, but a
+    streaming response keeps burning worker time after that point, so the
+    slot is held until the stream ends (successfully or not) to keep the
+    in-flight watermark honest.
+    """
+
+    def __init__(
+        self,
+        chunks: AsyncIterator[bytes],
+        on_close: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.chunks = chunks
+        self.on_close = on_close
 
 
 class ImageService:
@@ -428,6 +464,56 @@ class ImageService:
             return {"key": key, "regions": regions}
 
         return self._coalesced(("regions", key, normalised), resolve)
+
+    def region_stream_plan(self, key: str, start: int, stop: int) -> Tuple[bytes, str, Tuple[int, ...]]:
+        """Geometry of a streamed region: (header bytes, content type, stripes).
+
+        Computed from the stream header alone — the header parse is
+        memoized by the store, so the first chunk of a streamed response
+        (the Netpbm header) costs no cell decodes.  The stripe indices are
+        the per-chunk fetch plan; their sample payloads concatenate to the
+        exact bytes a fully assembled region response would carry.
+        """
+        header = self._read_replicas(key, lambda store: store.header(key))
+        plan, requested, _needed = select_cells(header, None, (start, stop))
+        height = sum(spec.row_count for spec in plan)
+        head, kind = netpbm_region_header(
+            len(requested), header.width, height, header.bit_depth
+        )
+        return head, _CONTENT_TYPES[kind], tuple(spec.index for spec in plan)
+
+    def validate_regions(self, key: str, ranges: Sequence[Tuple[int, int]]) -> None:
+        """Raise the error a bad batched-stream request deserves, cheaply.
+
+        A streamed batch commits its 200 status before any region decodes,
+        so range validation must happen first — against the memoized
+        stream header only, no cell reads — to keep unknown keys at 404
+        and out-of-range stripes at 400, matching the buffered endpoint.
+        """
+        header = self._read_replicas(key, lambda store: store.header(key))
+        for start, stop in ranges:
+            select_cells(header, None, (start, stop))
+
+    def region_entry(self, key: str, start: int, stop: int) -> Dict[str, object]:
+        """One region as the JSON object a streamed batch emits per line."""
+
+        def resolve() -> Dict[str, object]:
+            image = self._read_replicas(
+                key, lambda store: store.get_region(key, (start, stop))
+            )
+            payload, content_type = image_to_netpbm(image)
+            return {
+                "key": key,
+                "start": start,
+                "stop": stop,
+                "width": image.width,
+                "height": image.height,
+                "planes": getattr(image, "num_planes", 1),
+                "content_type": content_type,
+                "netpbm_base64": base64.b64encode(payload).decode("ascii"),
+            }
+
+        return self._coalesced(("region_entry", key, start, stop), resolve)
 
     def catalog_payload(
         self,
@@ -684,11 +770,22 @@ class ReproServer:
                     # On a normal return the context is cleared; if the
                     # await is cancelled (shutdown) or the peer vanishes,
                     # the outer finally cancels it so the worker lets go.
+                    # A streaming body keeps the context alive through the
+                    # chunk writes so that same cancel path still works.
                     status, body, content_type, extra = await self._dispatch(
                         request, context
                     )
-                    context = None
+                    if not isinstance(body, StreamingBody):
+                        context = None
                 keep_alive = request.keep_alive and not self._draining
+                if isinstance(body, StreamingBody):
+                    completed = await self._write_stream(
+                        writer, status, body, content_type, keep_alive, extra
+                    )
+                    context = None
+                    if not completed or not keep_alive:
+                        break
+                    continue
                 writer.write(
                     render_response(
                         status,
@@ -794,7 +891,7 @@ class ReproServer:
 
     async def _dispatch(
         self, request: HttpRequest, context: RequestContext
-    ) -> Tuple[int, bytes, str, List[Tuple[str, str]]]:
+    ) -> Tuple[int, Union[bytes, StreamingBody], str, List[Tuple[str, str]]]:
         """Route one admitted request; returns (status, body, type, headers)."""
         self.service.stats.request_started()
         started = time.perf_counter()
@@ -838,7 +935,7 @@ class ReproServer:
 
     async def _route(
         self, request: HttpRequest, context: RequestContext
-    ) -> Tuple[str, int, bytes, str]:
+    ) -> Tuple[str, int, Union[bytes, StreamingBody], str]:
         parts = [part for part in request.path.split("/") if part]
         method = request.method
 
@@ -885,12 +982,16 @@ class ReproServer:
                 return "get_plane", 200, body, content_type
             if len(parts) == 4 and parts[2] == "region" and method == "GET":
                 start, stop = self._parse_range(parts[3])
+                if self._flag_query(request, "stream"):
+                    return await self._stream_region(context, key, start, stop)
                 body, content_type = await self._offload(
                     context, self.service.get_region, key, start, stop
                 )
                 return "get_region", 200, body, content_type
             if len(parts) == 3 and parts[2] == "regions" and method == "POST":
                 ranges = self._parse_ranges_body(request.body)
+                if self._flag_query(request, "stream"):
+                    return await self._stream_regions(context, key, ranges)
                 payload = await self._offload(
                     context, self.service.get_regions, key, ranges
                 )
@@ -899,6 +1000,128 @@ class ReproServer:
         if parts and parts[0] in ("images", "healthz", "stats", "catalog"):
             raise HttpProtocolError(405, "%s is not supported on %s" % (method, request.path))
         raise BlobNotFoundError("no route for %s %s" % (method, request.path))
+
+    # ------------------------------------------------------------------ #
+    # streaming responses
+    # ------------------------------------------------------------------ #
+
+    async def _stream_region(
+        self, context: RequestContext, key: str, start: int, stop: int
+    ) -> Tuple[str, int, "StreamingBody", str]:
+        """Build the chunked response for ``GET .../region/a-b?stream=1``.
+
+        The geometry plan (and any validation error it raises — unknown
+        key, out-of-range stripes) is resolved *before* the status line is
+        committed, so bad requests still get proper 4xx responses.  The
+        per-stripe decodes run lazily, one offload per chunk: each fetch
+        re-checks the shrinking deadline and coalesces with concurrent
+        single-stripe GETs under the same single-flight key.
+        """
+        head, content_type, stripes = await self._offload(
+            context, self.service.region_stream_plan, key, start, stop
+        )
+
+        async def chunks() -> AsyncIterator[bytes]:
+            yield head
+            for index in stripes:
+                payload, _ = await self._offload(
+                    context, self.service.get_region, key, index, index + 1
+                )
+                yield split_netpbm_payload(payload)[1]
+
+        body = StreamingBody(chunks(), self._stream_release(context))
+        return "get_region", 200, body, content_type
+
+    async def _stream_regions(
+        self, context: RequestContext, key: str, ranges: Sequence[Tuple[int, int]]
+    ) -> Tuple[str, int, "StreamingBody", str]:
+        """Build the NDJSON chunked response for ``POST .../regions?stream=1``.
+
+        One JSON line per requested range, in request order, each emitted
+        as soon as its region decodes — the same objects the buffered
+        endpoint packs into ``regions[]``, with the key inlined so every
+        line is self-describing.  Ranges are validated against the stream
+        header before the 200 is committed, so bad requests still get
+        proper error responses; only failures *during* region decodes
+        abort the stream.
+        """
+        normalised = [(int(a), int(b)) for a, b in ranges]
+        await self._offload(context, self.service.validate_regions, key, normalised)
+
+        async def chunks() -> AsyncIterator[bytes]:
+            for start, stop in normalised:
+                entry = await self._offload(
+                    context, self.service.region_entry, key, start, stop
+                )
+                yield (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+
+        body = StreamingBody(chunks(), self._stream_release(context))
+        return "get_regions", 200, body, "application/x-ndjson"
+
+    def _stream_release(self, context: RequestContext) -> Optional[Callable[[], None]]:
+        """Transfer the admission slot from the dispatch to the stream.
+
+        ``_dispatch`` releases the slot when the route returns; a streaming
+        response is still burning workers at that point, so ownership moves
+        to the :class:`StreamingBody` and the handler releases it when the
+        stream finishes or aborts.
+        """
+        if not context.admitted:
+            return None
+        context.admitted = False
+        return self.service.admission.release
+
+    async def _write_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: StreamingBody,
+        content_type: str,
+        keep_alive: bool,
+        extra: List[Tuple[str, str]],
+    ) -> bool:
+        """Write one chunked response; ``False`` forces a connection close.
+
+        Once the status line is on the wire a mid-stream failure cannot
+        become an error response any more; the only honest signal left is
+        an aborted chunked stream — the connection closes without the
+        terminating chunk and the client's de-chunker reports truncation.
+        """
+        completed = False
+        try:
+            writer.write(
+                render_stream_head(
+                    status, content_type, keep_alive=keep_alive, extra_headers=extra
+                )
+            )
+            await self._drain_writer(writer)
+            async for chunk in body.chunks:
+                if not chunk:
+                    continue
+                writer.write(encode_chunk(chunk))
+                await self._drain_writer(writer)
+            writer.write(STREAM_TERMINATOR)
+            await self._drain_writer(writer)
+            completed = True
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # the peer went away mid-stream; nothing left to answer
+        except asyncio.CancelledError:
+            raise
+        except DeadlineExceededError:
+            self.service.stats.bump("deadline_exceeded")
+            self.service.stats.bump("stream_aborts")
+        except Exception:
+            self.service.stats.bump("stream_aborts")
+        finally:
+            closer = getattr(body.chunks, "aclose", None)
+            if closer is not None:
+                try:
+                    await closer()
+                except Exception:
+                    pass
+            if body.on_close is not None:
+                body.on_close()
+        return completed
 
     async def _offload(self, context: RequestContext, function, *args):
         """Run a blocking service operation on the worker pool, deadline-bound.

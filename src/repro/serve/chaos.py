@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import StoreError
 from repro.serve.deadline import current_context
@@ -185,6 +185,14 @@ class FaultInjector(BlobBackend):
     def read_range(self, key: str, offset: int, length: int) -> bytes:
         self._apply("read_range")
         return self.inner.read_range(key, offset, length)
+
+    def read_ranges(
+        self, key: str, spans: Sequence[Tuple[int, int]]
+    ) -> List[bytes]:
+        # One fault application per batch, matching the one backend access
+        # the batched path performs.
+        self._apply("read_range")
+        return self.inner.read_ranges(key, spans)
 
     def length(self, key: str) -> int:
         self._apply("length")

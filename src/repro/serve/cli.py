@@ -37,7 +37,7 @@ from repro.exceptions import ReproError
 from repro.serve.admission import DEFAULT_MAX_INFLIGHT
 from repro.serve.app import DEFAULT_DEADLINE_SECONDS, ImageService, ReproServer
 from repro.serve.health import HealthProber
-from repro.store.cache import DEFAULT_CACHE_BYTES
+from repro.store.cache import DEFAULT_CACHE_BYTES, DEFAULT_ENCODED_CACHE_BYTES
 from repro.store.store import ImageStore
 
 __all__ = ["serve_main", "build_parser", "open_shards"]
@@ -99,11 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="decoded-cell LRU budget per shard in bytes (default 32 MiB; 0 disables)",
     )
     parser.add_argument(
+        "--encoded-cache-bytes",
+        type=int,
+        default=DEFAULT_ENCODED_CACHE_BYTES,
+        metavar="N",
+        help="encoded-bytes LRU budget per shard: raw cell bytes kept below "
+        "the decoded cache, so warm-ish hits skip backend I/O but still "
+        "decode (default 0: disabled)",
+    )
+    parser.add_argument(
         "--admission",
         choices=("always", "second-touch"),
         default="always",
-        help="cell-cache admission policy: cache on first decode, or only "
-        "cells seen at least twice (default always)",
+        help="cell-cache admission policy for both tiers: cache on first "
+        "decode, or only cells seen at least twice (default always)",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="serve fs-backend range reads as zero-copy memoryviews over "
+        "mmap'ed blobs (ignored for the sqlite backend)",
     )
     parser.add_argument(
         "--engine",
@@ -238,6 +253,8 @@ def open_shards(
     cache_bytes: int,
     engine: str,
     admission: str = "always",
+    encoded_cache_bytes: int = DEFAULT_ENCODED_CACHE_BYTES,
+    use_mmap: bool = False,
 ) -> List[ImageStore]:
     """Open ``shards`` stores under ``root`` with the standard shard layout."""
     stores: List[ImageStore] = []
@@ -246,7 +263,12 @@ def open_shards(
         path = root / (name + ".sqlite") if backend == "sqlite" else root / name
         stores.append(
             ImageStore.open(
-                path, cache_bytes=cache_bytes, engine=engine, cache_admission=admission
+                path,
+                use_mmap=use_mmap,
+                cache_bytes=cache_bytes,
+                engine=engine,
+                cache_admission=admission,
+                encoded_cache_bytes=encoded_cache_bytes,
             )
         )
     return stores
@@ -254,7 +276,14 @@ def open_shards(
 
 async def _serve(args, root: Path) -> int:
     stores = open_shards(
-        root, args.shards, args.backend, args.cache_bytes, args.engine, args.admission
+        root,
+        args.shards,
+        args.backend,
+        args.cache_bytes,
+        args.engine,
+        args.admission,
+        encoded_cache_bytes=args.encoded_cache_bytes,
+        use_mmap=args.mmap,
     )
     joining_store = None
     joining_name = None
@@ -353,6 +382,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--shards must be at least 1")
     if args.cache_bytes < 0:
         parser.error("--cache-bytes must be >= 0")
+    if args.encoded_cache_bytes < 0:
+        parser.error("--encoded-cache-bytes must be >= 0")
     if args.port < 0 or args.port > 65535:
         parser.error("--port must be in [0, 65535]")
     if args.workers is not None and args.workers < 1:

@@ -9,6 +9,12 @@ in-process.  It is the client the test-suite, the load benchmark and the
 CI smoke job all drive; keeping it in-tree means the protocol has exactly
 one producer and one consumer to keep honest.
 
+The streaming endpoints (``?stream=1``) are consumed through the same
+connection: :meth:`ServeClient.get_region_stream` de-chunks a streamed
+region incrementally (reporting time-to-first-byte alongside the total),
+and :meth:`ServeClient.iter_regions` yields batch regions as their NDJSON
+lines arrive.
+
 Connections are persistent (HTTP/1.1 keep-alive) with one transparent
 reconnect **for idempotent GETs only** — a mutating request whose socket
 died may already have been applied, so it raises instead of replaying —
@@ -36,7 +42,7 @@ import http.client
 import io
 import json
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from urllib.parse import quote
 
 from repro.exceptions import ServeError
@@ -181,6 +187,53 @@ class ServeClient:
                     raise
         raise ServeError("unreachable retry state")  # pragma: no cover
 
+    def _open_stream(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> http.client.HTTPResponse:
+        """Issue one request and return the live response without reading it.
+
+        The streaming endpoints read the body incrementally —
+        ``http.client`` de-chunks transparently, so each ``read1`` returns
+        data as soon as a chunk arrives on the wire.  Reconnects once on a
+        dead keep-alive socket for GETs only (same replay rule as
+        :meth:`_round_trip`); shed 429s are not retried here — the caller
+        sees the :class:`ServeError` directly.
+        """
+        headers: Dict[str, str] = {}
+        if body is not None:
+            headers["Content-Type"] = content_type
+        if self.deadline_ms is not None:
+            headers["x-deadline-ms"] = "%d" % self.deadline_ms
+        replayable = method == "GET"
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                return self._connection.getresponse()
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError) as error:
+                self.close()
+                if not replayable:
+                    raise ServeError(
+                        "connection died during %s %s — the request may or may "
+                        "not have been applied; not replaying a mutating method"
+                        % (method, path)
+                    ) from error
+                if attempt:
+                    raise
+        raise ServeError("unreachable retry state")  # pragma: no cover
+
+    def _maybe_close(self, response: http.client.HTTPResponse) -> None:
+        """Honour a server-side ``Connection: close`` after a full read."""
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+
     def _json(self, status: int, payload: bytes) -> Dict[str, Any]:
         try:
             return json.loads(payload.decode("utf-8"))
@@ -245,6 +298,104 @@ class ServeClient:
         )
         self._expect(200, status, payload)
         return read_image(io.BytesIO(payload))
+
+    def get_region_stream(
+        self, key: str, start: int, stop: int
+    ) -> Tuple[_Image, Dict[str, float]]:
+        """Fetch a region via the chunked streaming endpoint.
+
+        Returns the decoded image plus wire timings in milliseconds:
+        ``ttfb_ms`` — request start to the first body bytes (the streamed
+        Netpbm header, which the server emits before any cell decodes
+        finish) — and ``total_ms``, request start to the last byte.  The
+        reassembled body is byte-identical to the buffered endpoint's
+        response.  A server-side mid-stream abort (chunked body truncated
+        before the terminating chunk) raises :class:`ServeError`.
+        """
+        started = time.perf_counter()
+        response = self._open_stream(
+            "GET", "/images/%s/region/%d-%d?stream=1" % (key, start, stop)
+        )
+        if response.status != 200:
+            payload = response.read()
+            self._maybe_close(response)
+            self._expect(200, response.status, payload)
+        chunks: List[bytes] = []
+        ttfb: Optional[float] = None
+        try:
+            while True:
+                piece = response.read1(65536)
+                if not piece:
+                    break
+                if ttfb is None:
+                    ttfb = time.perf_counter() - started
+                chunks.append(piece)
+        except (http.client.IncompleteRead, ConnectionError) as error:
+            self.close()
+            raise ServeError(
+                "streamed region %s/%d-%d was truncated mid-stream"
+                % (key, start, stop)
+            ) from error
+        total = time.perf_counter() - started
+        self._maybe_close(response)
+        image = read_image(io.BytesIO(b"".join(chunks)))
+        return image, {
+            "ttfb_ms": 1e3 * (ttfb if ttfb is not None else total),
+            "total_ms": 1e3 * total,
+        }
+
+    def iter_regions(
+        self, key: str, ranges: Sequence[Tuple[int, int]]
+    ) -> Iterator[Tuple[Dict[str, Any], _Image]]:
+        """Stream a batch of regions, yielding each as its NDJSON line lands.
+
+        Yields ``(entry, image)`` pairs in request order; ``entry`` is the
+        same JSON object the buffered batch endpoint packs into
+        ``regions[]``, with the image key inlined.  The generator owns the
+        connection until exhausted or closed — issuing other requests on
+        this client mid-stream would interleave protocol state, so consume
+        or abandon (``close()``) it first.
+        """
+        body = json.dumps({"ranges": [[a, b] for a, b in ranges]}).encode("utf-8")
+        response = self._open_stream(
+            "POST", "/images/%s/regions?stream=1" % key, body=body
+        )
+        if response.status != 200:
+            payload = response.read()
+            self._maybe_close(response)
+            self._expect(200, response.status, payload)
+        buffered = b""
+        completed = False
+        try:
+            while True:
+                try:
+                    piece = response.read1(65536)
+                except (http.client.IncompleteRead, ConnectionError) as error:
+                    raise ServeError(
+                        "streamed regions response for %r was truncated mid-stream"
+                        % key
+                    ) from error
+                if not piece:
+                    break
+                buffered += piece
+                while True:
+                    line, sep, rest = buffered.partition(b"\n")
+                    if not sep:
+                        break
+                    buffered = rest
+                    entry = json.loads(line.decode("utf-8"))
+                    raw = base64.b64decode(entry["netpbm_base64"])
+                    yield entry, read_image(io.BytesIO(raw))
+            if buffered.strip():
+                raise ServeError("streamed regions response for %r ended mid-line" % key)
+            completed = True
+        finally:
+            if completed:
+                self._maybe_close(response)
+            else:
+                # An abandoned or truncated stream leaves body bytes on the
+                # socket; the connection cannot carry another request.
+                self.close()
 
     def get_regions(
         self, key: str, ranges: Sequence[Tuple[int, int]]

@@ -45,6 +45,9 @@ __all__ = [
     "json_payload",
     "read_request",
     "render_response",
+    "render_stream_head",
+    "encode_chunk",
+    "STREAM_TERMINATOR",
 ]
 
 _T = TypeVar("_T")
@@ -242,6 +245,40 @@ def render_response(
     ]
     lines.extend("%s: %s" % (name, value) for name, value in extra_headers)
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+#: Final frame of a chunked response: zero-length chunk, no trailers.
+STREAM_TERMINATOR = b"0\r\n\r\n"
+
+
+def render_stream_head(
+    status: int,
+    content_type: str = "application/octet-stream",
+    keep_alive: bool = True,
+    extra_headers: Iterable[Tuple[str, str]] = (),
+) -> bytes:
+    """Serialise the head of a chunked (streaming) HTTP/1.1 response.
+
+    The caller follows with :func:`encode_chunk` frames and closes the
+    body with :data:`STREAM_TERMINATOR`.  An aborted stream — connection
+    closed before the terminator — is the protocol-level truncation
+    signal, since the status line is already on the wire when mid-stream
+    work fails.
+    """
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        "HTTP/1.1 %d %s" % (status, reason),
+        "Content-Type: %s" % content_type,
+        "Transfer-Encoding: chunked",
+        "Connection: %s" % ("keep-alive" if keep_alive else "close"),
+    ]
+    lines.extend("%s: %s" % (name, value) for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """Frame one non-empty chunk (hex length, CRLF-delimited)."""
+    return b"%x\r\n%s\r\n" % (len(data), data)
 
 
 def json_payload(document: object) -> bytes:

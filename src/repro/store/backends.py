@@ -10,7 +10,18 @@ O(blob).  Two backends ship:
     characters of the key (content hashes distribute uniformly, so no shard
     ever degenerates).  Range reads are a seek; writes go through a
     temporary file + rename so a crash never leaves a half-written blob
-    under a valid key.
+    under a valid key.  With ``use_mmap=True`` range reads return
+    :class:`memoryview` slices over an mmap'ed blob instead of copying —
+    the zero-copy read path of the serve tier.  A view pins its mapping:
+    replacing or deleting a blob drops the backend's reference to the old
+    map, but readers still holding views keep reading the *old* bytes
+    (the kernel keeps replaced pages valid until the last view dies),
+    which is exactly the store's pin-during-read semantics.
+
+Batched reads go through :meth:`BlobBackend.read_ranges`, which both
+backends override to touch the blob **once per request** — one open (or
+one cached mmap) for the filesystem, one lock acquisition for SQLite —
+instead of re-opening per cell like per-cell ``read_range`` loops used to.
 
 ``SQLiteBackend``
     A single-file SQLite database.  Range reads use ``substr`` on the BLOB
@@ -29,12 +40,14 @@ directory).
 from __future__ import annotations
 
 import abc
+import mmap
 import os
 import sqlite3
 import tempfile
 import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterator, Tuple, Union
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
 from repro.exceptions import BlobNotFoundError, StoreError
 
@@ -44,6 +57,12 @@ __all__ = [
     "SQLiteBackend",
     "open_backend",
 ]
+
+#: What a range read yields: plain bytes, or a zero-copy ``memoryview``
+#: (mmap mode).  Everything downstream — CRC verification, the entropy
+#: decoders, the encoded-bytes cache — consumes either through the buffer
+#: protocol.
+Buffer = Union[bytes, memoryview]
 
 
 class BlobBackend(abc.ABC):
@@ -58,8 +77,20 @@ class BlobBackend(abc.ABC):
         """Fetch the whole blob."""
 
     @abc.abstractmethod
-    def read_range(self, key: str, offset: int, length: int) -> bytes:
+    def read_range(self, key: str, offset: int, length: int) -> Buffer:
         """Fetch ``length`` bytes starting at ``offset`` (clamped at EOF)."""
+
+    def read_ranges(
+        self, key: str, spans: Sequence[Tuple[int, int]]
+    ) -> List[Buffer]:
+        """Fetch several ``(offset, length)`` spans of one blob.
+
+        The default loops :meth:`read_range`; backends override it to pay
+        their per-blob access cost (file open, lock acquisition) once per
+        batch instead of once per span.  The batched region reads of the
+        store tier come through here.
+        """
+        return [self.read_range(key, offset, length) for offset, length in spans]
 
     @abc.abstractmethod
     def length(self, key: str) -> int:
@@ -104,18 +135,74 @@ def _check_key(key: str) -> str:
 
 
 class FilesystemBackend(BlobBackend):
-    """One file per blob under ``root``, sharded by key prefix."""
+    """One file per blob under ``root``, sharded by key prefix.
+
+    With ``use_mmap=True`` the backend keeps a bounded LRU of mmap'ed
+    blobs (``mmap_blobs`` entries) and serves range reads as
+    :class:`memoryview` slices over them — zero copies between the page
+    cache and the entropy decoder.  Mappings are never ``close()``d
+    explicitly: a view exported from an mmap pins it (closing would raise
+    ``BufferError``), so the backend just drops its reference on
+    eviction, overwrite, delete and :meth:`close`, and the OS reclaims
+    the mapping when the last outstanding view dies.  Because ``put``
+    replaces files via ``os.replace``, readers holding views over a
+    replaced blob keep seeing the old, internally-consistent bytes.
+    """
 
     _SUFFIX = ".rplc"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        use_mmap: bool = False,
+        mmap_blobs: int = 128,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if mmap_blobs < 1:
+            raise StoreError("mmap_blobs must be at least 1, got %d" % mmap_blobs)
+        self.use_mmap = bool(use_mmap)
+        self._mmap_blobs = mmap_blobs
+        self._maps: "OrderedDict[str, mmap.mmap]" = OrderedDict()
+        self._maps_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         _check_key(key)
         shard = key[:2] if len(key) > 2 else "__"
         return self.root / shard / (key + self._SUFFIX)
+
+    def _drop_map(self, key: str) -> None:
+        """Forget a cached mapping (outstanding views keep it alive)."""
+        with self._maps_lock:
+            self._maps.pop(key, None)
+
+    def _mapped(self, key: str) -> memoryview:
+        """Zero-copy view over the whole blob, via the bounded mmap LRU."""
+        with self._maps_lock:
+            mapped = self._maps.get(key)
+            if mapped is not None:
+                self._maps.move_to_end(key)
+                return memoryview(mapped)
+        try:
+            with open(self._path(key), "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size == 0:
+                    # Zero-length files cannot be mapped; an empty view
+                    # has the same reads (none).
+                    return memoryview(b"")
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            raise BlobNotFoundError("no blob stored under key %r" % key) from None
+        with self._maps_lock:
+            raced = self._maps.get(key)
+            if raced is not None:
+                # Another thread mapped the same blob first; use theirs.
+                self._maps.move_to_end(key)
+                return memoryview(raced)
+            self._maps[key] = mapped
+            while len(self._maps) > self._mmap_blobs:
+                self._maps.popitem(last=False)
+        return memoryview(mapped)
 
     def put(self, key: str, data: bytes) -> None:
         path = self._path(key)
@@ -133,6 +220,9 @@ class FilesystemBackend(BlobBackend):
             except OSError:
                 pass
             raise
+        # The old inode stays mapped for readers mid-flight, but new reads
+        # must see the new bytes.
+        self._drop_map(key)
 
     def get(self, key: str) -> bytes:
         try:
@@ -140,11 +230,32 @@ class FilesystemBackend(BlobBackend):
         except FileNotFoundError:
             raise BlobNotFoundError("no blob stored under key %r" % key) from None
 
-    def read_range(self, key: str, offset: int, length: int) -> bytes:
+    def read_range(self, key: str, offset: int, length: int) -> Buffer:
+        if self.use_mmap:
+            view = self._mapped(key)
+            return view[offset : offset + max(0, length)]
         try:
             with open(self._path(key), "rb") as handle:
                 handle.seek(offset)
                 return handle.read(length)
+        except FileNotFoundError:
+            raise BlobNotFoundError("no blob stored under key %r" % key) from None
+
+    def read_ranges(
+        self, key: str, spans: Sequence[Tuple[int, int]]
+    ) -> List[Buffer]:
+        if self.use_mmap:
+            view = self._mapped(key)
+            return [view[offset : offset + max(0, length)] for offset, length in spans]
+        # One open handle for the whole batch: batched region reads used to
+        # re-open the blob file once per cell.
+        try:
+            with open(self._path(key), "rb") as handle:
+                out: List[Buffer] = []
+                for offset, length in spans:
+                    handle.seek(offset)
+                    out.append(handle.read(length))
+                return out
         except FileNotFoundError:
             raise BlobNotFoundError("no blob stored under key %r" % key) from None
 
@@ -169,6 +280,11 @@ class FilesystemBackend(BlobBackend):
             self._path(key).unlink()
         except FileNotFoundError:
             raise BlobNotFoundError("no blob stored under key %r" % key) from None
+        self._drop_map(key)
+
+    def close(self) -> None:
+        with self._maps_lock:
+            self._maps.clear()
 
 
 class SQLiteBackend(BlobBackend):
@@ -215,7 +331,7 @@ class SQLiteBackend(BlobBackend):
     def get(self, key: str) -> bytes:
         return bytes(self._one("SELECT data FROM blobs WHERE key = ?", key)[0])
 
-    def read_range(self, key: str, offset: int, length: int) -> bytes:
+    def read_range(self, key: str, offset: int, length: int) -> Buffer:
         # substr is 1-indexed; SQLite slices the stored value server-side.
         with self._lock:
             row = self._connection.execute(
@@ -225,6 +341,24 @@ class SQLiteBackend(BlobBackend):
         if row is None:
             raise BlobNotFoundError("no blob stored under key %r" % key)
         return bytes(row[0])
+
+    def read_ranges(
+        self, key: str, spans: Sequence[Tuple[int, int]]
+    ) -> List[Buffer]:
+        # One lock acquisition for the whole batch; still per-span substr so
+        # SQLite never materialises the whole blob in the connection.
+        _check_key(key)
+        out: List[Buffer] = []
+        with self._lock:
+            for offset, length in spans:
+                row = self._connection.execute(
+                    "SELECT substr(data, ?, ?) FROM blobs WHERE key = ?",
+                    (offset + 1, length, key),
+                ).fetchone()
+                if row is None:
+                    raise BlobNotFoundError("no blob stored under key %r" % key)
+                out.append(bytes(row[0]))
+        return out
 
     def length(self, key: str) -> int:
         return int(self._one("SELECT length FROM blobs WHERE key = ?", key)[0])
@@ -265,14 +399,16 @@ class SQLiteBackend(BlobBackend):
             self._connection.close()
 
 
-def open_backend(path: Union[str, Path]) -> BlobBackend:
+def open_backend(path: Union[str, Path], use_mmap: bool = False) -> BlobBackend:
     """Open the backend a path implies.
 
     ``*.sqlite`` / ``*.sqlite3`` / ``*.db`` paths (or existing regular
     files) open a :class:`SQLiteBackend`; everything else is treated as a
-    :class:`FilesystemBackend` root directory.
+    :class:`FilesystemBackend` root directory.  ``use_mmap`` switches the
+    filesystem backend to zero-copy ``memoryview`` range reads (SQLite has
+    no mapping to expose and ignores the flag).
     """
     path = Path(path)
     if path.suffix.lower() in (".sqlite", ".sqlite3", ".db") or path.is_file():
         return SQLiteBackend(path)
-    return FilesystemBackend(path)
+    return FilesystemBackend(path, use_mmap=use_mmap)

@@ -1,10 +1,19 @@
-"""Size-bounded LRU cache of decoded cells.
+"""Size-bounded LRU caches of the store's two cell tiers.
 
-The unit of caching is the unit of random access: one decoded (plane,
-stripe) cell as an ``(rows, width)`` sample array.  Region and plane
-queries over a stored stream touch small, stable sets of cells, so an LRU
-over cells turns repeated region traffic into pure array reassembly — no
-backend reads, no CRC checks, no entropy decoding.
+The unit of caching is the unit of random access: one (plane, stripe)
+cell.  Two tiers exist, same machinery, different payloads:
+
+* :class:`CellCache` holds **decoded** cells as ``(rows, width)`` sample
+  arrays.  Region and plane queries over a stored stream touch small,
+  stable sets of cells, so an LRU over cells turns repeated region
+  traffic into pure array reassembly — no backend reads, no CRC checks,
+  no entropy decoding.
+* :class:`EncodedCellCache` holds **raw encoded** cell bytes — the exact
+  span the backend would range-read.  A hit here still pays the CRC
+  check and the entropy decode but skips backend I/O entirely; because
+  encoded cells are ~8-50x smaller than their decoded arrays, the same
+  byte budget keeps an order of magnitude more cells warm-ish.  Disabled
+  by default (budget 0).
 
 The bound is in *bytes of decoded samples* (``ndarray.nbytes``), not entry
 count, because cell sizes vary wildly with image geometry and stripe count;
@@ -36,22 +45,25 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
-
-import numpy as np
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.exceptions import ConfigError
 
 __all__ = [
     "CellCache",
+    "EncodedCellCache",
     "CacheStats",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_ENCODED_CACHE_BYTES",
     "ADMISSION_POLICIES",
     "DEFAULT_GHOST_ENTRIES",
 ]
 
 #: Default decoded-cell budget: 32 MiB ≈ 4 megasamples of int64 cells.
 DEFAULT_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Default encoded-bytes budget: 0 — the second tier is opt-in.
+DEFAULT_ENCODED_CACHE_BYTES = 0
 
 #: Admission policies a cache can run with.
 ADMISSION_POLICIES = ("always", "second-touch")
@@ -127,7 +139,7 @@ class CellCache:
         self.max_bytes = max_bytes
         self.admission = admission
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._ghosts: "OrderedDict[Hashable, None]" = OrderedDict()
         self._current_bytes = 0
         self._hits = 0
@@ -148,7 +160,7 @@ class CellCache:
         with self._lock:
             return tuple(self._entries)
 
-    def get(self, key: Hashable) -> Optional[np.ndarray]:
+    def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached array for ``key`` (refreshing it), or ``None``.
 
         A miss is *not* an admission touch: every store read performs
@@ -164,7 +176,7 @@ class CellCache:
             self._hits += 1
             return array
 
-    def put(self, key: Hashable, array: np.ndarray) -> None:
+    def put(self, key: Hashable, array: Any) -> None:
         """Insert ``array`` under ``key``, evicting LRU entries to fit.
 
         An array larger than the whole budget is not cached at all —
@@ -172,7 +184,7 @@ class CellCache:
         cache into a single-slot buffer.  Under ``second-touch`` admission
         a first-seen key is recorded but its bytes are rejected.
         """
-        if array.nbytes > self.max_bytes:
+        if self._nbytes(array) > self.max_bytes:
             return
         # Decide admission before paying for the copy: a rejected
         # first-touch offer must not copy a whole decoded cell.
@@ -191,19 +203,31 @@ class CellCache:
         # must not serialise other cache users.  (If a concurrent
         # invalidate/clear races between the two critical sections the
         # entry is simply admitted once more; accounting stays exact.)
-        frozen = array.copy()
-        frozen.setflags(write=False)
+        frozen = self._freeze(array)
+        size = self._nbytes(frozen)
         with self._lock:
             prior = self._entries.pop(key, None)
             if prior is not None:
-                self._current_bytes -= prior.nbytes
+                self._current_bytes -= self._nbytes(prior)
             self._ghosts.pop(key, None)
             self._entries[key] = frozen
-            self._current_bytes += frozen.nbytes
+            self._current_bytes += size
             while self._current_bytes > self.max_bytes:
                 _, evicted = self._entries.popitem(last=False)
-                self._current_bytes -= evicted.nbytes
+                self._current_bytes -= self._nbytes(evicted)
                 self._evictions += 1
+
+    @staticmethod
+    def _nbytes(value: Any) -> int:
+        """Byte charge of one value against the budget."""
+        return int(value.nbytes)
+
+    @staticmethod
+    def _freeze(value: Any) -> Any:
+        """Immutable private copy of the value to be stored."""
+        frozen = value.copy()
+        frozen.setflags(write=False)
+        return frozen
 
     def _touch_ghost(self, key: Hashable) -> None:
         """Record ``key`` in the bounded seen-once list (lock held)."""
@@ -219,7 +243,7 @@ class CellCache:
         with self._lock:
             array = self._entries.pop(key, None)
             if array is not None:
-                self._current_bytes -= array.nbytes
+                self._current_bytes -= self._nbytes(array)
             self._ghosts.pop(key, None)
 
     def clear(self) -> None:
@@ -242,3 +266,35 @@ class CellCache:
                 admission=self.admission,
                 rejected=self._rejected,
             )
+
+
+class EncodedCellCache(CellCache):
+    """The encoded-bytes tier: same LRU/admission machinery, ``bytes`` values.
+
+    Sits *under* the decoded :class:`CellCache` in the store's lookup
+    order — consulted on a decoded miss, filled on a backend read.  A hit
+    here skips backend I/O (the expensive part on remote or mmap-cold
+    storage) but still pays CRC + entropy decode, which is why the two
+    tiers have separate budgets: encoded cells are small enough that a
+    modest budget keeps a long tail warm-ish.
+
+    Values are stored as immutable ``bytes``; in particular a
+    ``memoryview`` over an mmap'ed blob is **copied out** on admission, so
+    the cache never pins a file mapping (and survives the blob being
+    swapped or deleted underneath).
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_ENCODED_CACHE_BYTES,
+        admission: str = "always",
+    ) -> None:
+        super().__init__(max_bytes, admission=admission)
+
+    @staticmethod
+    def _nbytes(value: Any) -> int:
+        return len(value)
+
+    @staticmethod
+    def _freeze(value: Any) -> bytes:
+        return bytes(value)

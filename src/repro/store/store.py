@@ -95,7 +95,13 @@ from repro.exceptions import BlobNotFoundError, StoreError
 from repro.imaging.image import GrayImage
 from repro.imaging.planar import PlanarImage
 from repro.store.backends import BlobBackend, open_backend
-from repro.store.cache import DEFAULT_CACHE_BYTES, CacheStats, CellCache
+from repro.store.cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_ENCODED_CACHE_BYTES,
+    CacheStats,
+    CellCache,
+    EncodedCellCache,
+)
 from repro.store.catalog import (
     DEFAULT_TTL_SECONDS,
     Catalog,
@@ -117,11 +123,18 @@ class ImageStore:
         Blob storage (see :mod:`repro.store.backends`).
     cache_bytes:
         Byte budget of the decoded-cell LRU cache; ``0`` disables caching.
+    encoded_cache_bytes:
+        Byte budget of the **encoded-bytes** tier below the decoded cache
+        (default ``0`` — disabled).  A hit there skips the backend range
+        read but still CRC-checks and entropy-decodes, trading CPU for
+        I/O at ~an order of magnitude less memory per cell than the
+        decoded tier.
     cache_admission:
         Cell-cache admission policy: ``"always"`` (default) caches every
         decoded cell, ``"second-touch"`` only cells requested more than
         once — the serving tier's guard against one-touch scans evicting
-        the hot working set.
+        the hot working set.  Both tiers run the same policy unless
+        ``encoded_cache_admission`` overrides it for the encoded tier.
     config:
         Optional codec configuration forced on every decode; by default
         each stream's configuration is reconstructed from its own header,
@@ -176,16 +189,33 @@ class ImageStore:
         cache_admission: str = "always",
         cell_hook: Optional[Callable[[], None]] = None,
         catalog: Optional[Catalog] = None,
+        encoded_cache_bytes: int = DEFAULT_ENCODED_CACHE_BYTES,
+        encoded_cache_admission: Optional[str] = None,
     ) -> None:
         from repro.core.interface import require_engine
 
         self.backend = backend
         self.cache = CellCache(cache_bytes, admission=cache_admission)
+        self.encoded_cache = EncodedCellCache(
+            encoded_cache_bytes,
+            admission=(
+                cache_admission
+                if encoded_cache_admission is None
+                else encoded_cache_admission
+            ),
+        )
         self.config = config
         self.engine = require_engine(engine)
         self.cell_hook = cell_hook
         self.catalog = catalog if catalog is not None else open_catalog(backend)
         self._headers: Dict[str, StreamHeader] = {}
+        # Resolved header+tables prefix length per key.  Kept separate from
+        # the memoized headers (and deliberately NOT dropped with them): a
+        # stale hint after a swap merely sizes the first probe wrong and
+        # self-heals, whereas knowing the right length turns the cold
+        # header parse of a long-table stream into one range read instead
+        # of two.
+        self._prefix_lengths: Dict[str, int] = {}
         # Read-pin bookkeeping: reads hold a refcount on their key so the
         # GC sweep and the recompactor never act under an in-flight read.
         self._pin_lock = threading.Lock()
@@ -205,9 +235,15 @@ class ImageStore:
         return self.backend
 
     @classmethod
-    def open(cls, path: Union[str, Path], **kwargs) -> "ImageStore":
-        """Open a store at ``path`` (SQLite file or filesystem directory)."""
-        return cls(open_backend(path), **kwargs)
+    def open(
+        cls, path: Union[str, Path], use_mmap: bool = False, **kwargs
+    ) -> "ImageStore":
+        """Open a store at ``path`` (SQLite file or filesystem directory).
+
+        ``use_mmap=True`` switches a filesystem backend to zero-copy
+        ``memoryview`` range reads (ignored for SQLite paths).
+        """
+        return cls(open_backend(path, use_mmap=use_mmap), **kwargs)
 
     def close(self) -> None:
         self.catalog.close()
@@ -322,11 +358,18 @@ class ImageStore:
         self._drop_cached(key)
 
     def _drop_cached(self, key: str) -> None:
-        """Forget the memoized header and cached cells of one key."""
+        """Forget the memoized header and cached cells (both tiers) of one key.
+
+        The prefix-length hint survives on purpose: it is a probe-sizing
+        hint, not data, and a stale one self-heals on the next parse.
+        """
         self._headers.pop(key, None)
         for cell_key in list(self.cache.keys()):
             if cell_key[0] == key:
                 self.cache.invalidate(cell_key)
+        for cell_key in list(self.encoded_cache.keys()):
+            if cell_key[0] == key:
+                self.encoded_cache.invalidate(cell_key)
 
     # ------------------------------------------------------------------ #
     # lifecycle: soft delete, pins, GC/compaction primitives
@@ -447,14 +490,23 @@ class ImageStore:
         """The stream's parsed header + index, fetched by range read.
 
         Memoized per key: serving N regions of a hot blob parses its
-        tables once, and the payload is never touched.
+        tables once, and the payload is never touched.  The resolved
+        prefix length is remembered separately, so a stream whose tables
+        overflow the fixed first probe pays the double range read **at
+        most once per key lifetime** — later cold parses (cache drop,
+        process doing periodic header refreshes) probe with the known
+        length directly.  A stale hint (the blob was swapped for one with
+        longer tables) is detected by the same shortfall check and
+        corrected in place.
         """
         header = self._headers.get(key)
         if header is None:
-            probe = self.backend.read_range(key, 0, TABLE_PROBE_LENGTH)
+            probe_length = self._prefix_lengths.get(key, TABLE_PROBE_LENGTH)
+            probe = self.backend.read_range(key, 0, probe_length)
             prefix_length = table_prefix_length(probe)
             if prefix_length > len(probe):
                 probe = self.backend.read_range(key, 0, prefix_length)
+            self._prefix_lengths[key] = prefix_length
             header = parse_stream_prefix(probe, self.backend.length(key))
             self._headers[key] = header
         return header
@@ -561,23 +613,37 @@ class ImageStore:
     def _resolve_cells(
         self, key: str, header: StreamHeader, config: CodecConfig, cells
     ) -> Dict[Tuple[int, int], np.ndarray]:
-        """Serve (plane, spec) cells from cache, range-reading the misses.
+        """Serve (plane, spec) cells through both cache tiers.
 
-        Every miss costs one backend range read of exactly the cell's
-        indexed bytes, one CRC check and one entropy decode; the decoded
-        array is cached for the next query that touches the cell.
+        Lookup order per cell: decoded cache (free), encoded-bytes cache
+        (CRC + entropy decode, no I/O), backend.  Cells missing both
+        tiers are fetched in **one** batched ``read_ranges`` call — one
+        file open / mmap lookup / lock acquisition for the whole request
+        instead of one per cell — and the raw bytes reach the decoder as
+        whatever buffer the backend returned (a zero-copy ``memoryview``
+        in mmap mode).  Decoded arrays fill the decoded tier; the raw
+        bytes are offered to the encoded tier (copied out of any mmap, so
+        cached payloads never pin a mapping).
+
+        ``cell_hook`` (the serving tier's deadline checkpoint) still runs
+        exactly once per cell, before that cell's work.
         """
         spans = component_spans(header)
         resolved: Dict[Tuple[int, int], np.ndarray] = {}
         hook = self.cell_hook
+        missing: List[Tuple[int, Any, _CellKey]] = []
         for plane, spec in cells:
-            if hook is not None:
-                hook()
             cell_key: _CellKey = (key, plane, spec.index)
             array = self.cache.get(cell_key)
-            if array is None:
-                offset, length = spans[plane][spec.index]
-                payload = self.backend.read_range(key, offset, length)
+            if array is not None:
+                if hook is not None:
+                    hook()
+                resolved[(plane, spec.index)] = array
+                continue
+            payload = self.encoded_cache.get(cell_key)
+            if payload is not None:
+                if hook is not None:
+                    hook()
                 array = decode_one_cell(
                     payload,
                     header,
@@ -588,7 +654,28 @@ class ImageStore:
                     from_container=False,
                 )
                 self.cache.put(cell_key, array)
-            resolved[(plane, spec.index)] = array
+                resolved[(plane, spec.index)] = array
+                continue
+            missing.append((plane, spec, cell_key))
+        if missing:
+            payloads = self.backend.read_ranges(
+                key, [spans[plane][spec.index] for plane, spec, _ in missing]
+            )
+            for (plane, spec, cell_key), payload in zip(missing, payloads):
+                if hook is not None:
+                    hook()
+                self.encoded_cache.put(cell_key, payload)
+                array = decode_one_cell(
+                    payload,
+                    header,
+                    plane,
+                    spec,
+                    config,
+                    engine=self.engine,
+                    from_container=False,
+                )
+                self.cache.put(cell_key, array)
+                resolved[(plane, spec.index)] = array
         return resolved
 
     # ------------------------------------------------------------------ #
@@ -599,11 +686,16 @@ class ImageStore:
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
 
+    @property
+    def encoded_cache_stats(self) -> CacheStats:
+        return self.encoded_cache.stats
+
     def stats(self) -> dict:
         """Backend + cache + catalog counters (``repro-store stats`` payload)."""
         return {
             "backend": dict(self.backend.stats(), kind=type(self.backend).__name__),
             "cache": self.cache.stats.as_json(),
+            "encoded_cache": self.encoded_cache.stats.as_json(),
             "catalog": dict(
                 self.catalog.stats(), kind=type(self.catalog).__name__
             ),

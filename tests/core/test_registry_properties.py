@@ -52,3 +52,27 @@ def test_registry_dispatched_engines_are_byte_identical_on_planar(
     # distinct backend objects, not aliases of one implementation.
     backends = {id(get_engine(name)) for name in engine_names()}
     assert len(backends) == len(list(engine_names()))
+
+
+@settings(deadline=None, max_examples=15)
+@given(image=gray_images(max_side=10))
+def test_native_engine_joins_registry_dispatch(image):
+    # Force the build-optional native engine into the dispatchable set via
+    # the pure-Python opt-in (meaningful without numba installed), then
+    # undo the registration so the remaining tests see the stock list.
+    # Hypothesis drives this test, so the toggling happens per example
+    # rather than in a function-scoped fixture.
+    import os
+
+    from repro.core.interface import unregister_engine
+
+    os.environ["REPRO_NATIVE_PURE_PYTHON"] = "1"
+    try:
+        assert "native" in engine_names()
+        config = CodecConfig.hardware(bit_depth=image.bit_depth)
+        reference = encode_grid(image, config, engine="reference")[0]
+        native = encode_grid(image, config, engine=require_engine("native"))[0]
+        assert native == reference
+    finally:
+        os.environ.pop("REPRO_NATIVE_PURE_PYTHON", None)
+        unregister_engine("native")

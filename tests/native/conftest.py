@@ -1,0 +1,23 @@
+"""Fixtures for the native-engine suite.
+
+The native engine is build-optional: its kernels JIT-compile when numba
+is importable and run interpreted otherwise.  Every test in this package
+opts into the pure-Python fallback via ``REPRO_NATIVE_PURE_PYTHON=1`` so
+the byte-identity contract is exercised on installs without numba (the
+without-numba CI leg); with numba present the same tests run the compiled
+kernels.  The registration is undone afterwards so the rest of the test
+run sees the stock engine list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interface import unregister_engine
+
+
+@pytest.fixture(autouse=True)
+def native_engine_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE_PURE_PYTHON", "1")
+    yield
+    unregister_engine("native")

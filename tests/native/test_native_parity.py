@@ -1,0 +1,134 @@
+"""Byte-identity and round-trip parity of the native (JIT) coding engine.
+
+Same contract the fast engine lives under: the native engine may only
+exist because its streams are byte-identical to the reference engine's.
+The sweeps mirror ``tests/fast/test_engine_parity.py`` — corpus images,
+bit depths 1-12, degenerate geometries, the escape/rescale stress
+configuration — plus every cross-engine encode/decode pairing across all
+three built-ins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codec import ProposedCodec
+from repro.core.config import CodecConfig
+from repro.core.decoder import decode_payload
+from repro.core.encoder import encode_image_with_statistics, encode_payload
+from repro.exceptions import BitstreamError
+from repro.imaging.image import GrayImage
+from repro.imaging.synthetic import (
+    CORPUS_IMAGE_NAMES,
+    generate_image,
+    generate_noise_image,
+)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", CORPUS_IMAGE_NAMES)
+    def test_corpus_streams_identical(self, name):
+        image = generate_image(name, size=40)
+        config = CodecConfig.hardware()
+        reference, _ = encode_payload(image, config, engine="reference")
+        native, _ = encode_payload(image, config, engine="native")
+        assert native == reference
+
+    @pytest.mark.parametrize("preset", ["hardware", "reference"])
+    def test_both_presets_identical(self, preset, lena_small):
+        config = getattr(CodecConfig, preset)()
+        reference, _ = encode_payload(lena_small, config, engine="reference")
+        native, _ = encode_payload(lena_small, config, engine="native")
+        assert native == reference
+
+    @pytest.mark.parametrize("bit_depth", list(range(1, 13)))
+    def test_bit_depth_sweep(self, bit_depth):
+        image = generate_noise_image(size=16, seed=11, bit_depth=bit_depth)
+        config = CodecConfig.hardware(bit_depth=bit_depth)
+        reference, _ = encode_payload(image, config, engine="reference")
+        native, _ = encode_payload(image, config, engine="native")
+        assert native == reference
+        assert decode_payload(native, 16, 16, config, engine="native") == image.pixels()
+
+    @pytest.mark.parametrize(
+        "width,height",
+        [(1, 1), (1, 9), (9, 1), (2, 2), (1, 2), (2, 1), (3, 5), (2, 17)],
+    )
+    def test_degenerate_geometries(self, width, height):
+        pixels = [(i * 37 + 11) % 256 for i in range(width * height)]
+        image = GrayImage(width, height, pixels)
+        config = CodecConfig.hardware()
+        reference, _ = encode_payload(image, config, engine="reference")
+        native, _ = encode_payload(image, config, engine="native")
+        assert native == reference
+        assert decode_payload(native, width, height, config, engine="native") == pixels
+
+    def test_ablation_configs_identical(self, text_image):
+        for config in (
+            CodecConfig.hardware(use_overflow_guard_aging=False),
+            CodecConfig.hardware(use_error_feedback=False),
+            CodecConfig.hardware(use_lut_division=False),
+            CodecConfig.hardware(count_bits=10),
+            CodecConfig.hardware(estimator_increment=1),
+        ):
+            reference, _ = encode_payload(text_image, config, engine="reference")
+            native, _ = encode_payload(text_image, config, engine="native")
+            assert native == reference
+
+    def test_escape_and_rescale_paths(self):
+        # Narrow frequency counters force early tree rescales, which zero
+        # once-seen leaves and drive escape coding — the rarest code path
+        # in the kernels and the hardest to keep bit-exact.
+        image = generate_noise_image(size=32, seed=23)
+        config = CodecConfig.hardware(count_bits=6)
+        reference, stats_reference = encode_payload(image, config, engine="reference")
+        native, stats_native = encode_payload(image, config, engine="native")
+        assert stats_reference.escapes > 0
+        assert stats_reference.tree_rescales > 0
+        assert native == reference
+        assert stats_native.escapes == stats_reference.escapes
+        assert stats_native.tree_rescales == stats_reference.tree_rescales
+        for engine in ("reference", "fast", "native"):
+            assert decode_payload(native, 32, 32, config, engine=engine) == image.pixels()
+
+    def test_statistics_match(self, mandrill_small):
+        config = CodecConfig.hardware()
+        _, reference = encode_image_with_statistics(
+            mandrill_small, config, engine="reference"
+        )
+        _, native = encode_image_with_statistics(mandrill_small, config, engine="native")
+        assert native.payload_bytes == reference.payload_bytes
+        assert native.total_bytes == reference.total_bytes
+        assert native.bits_per_pixel == reference.bits_per_pixel
+        assert native.escapes == reference.escapes
+        assert native.tree_rescales == reference.tree_rescales
+
+
+class TestCrossEngineRoundtrip:
+    @pytest.mark.parametrize("encode_engine", ["reference", "fast", "native"])
+    @pytest.mark.parametrize("decode_engine", ["reference", "fast", "native"])
+    def test_all_engine_pairs(self, encode_engine, decode_engine):
+        image = generate_noise_image(size=20, seed=5)
+        config = CodecConfig.hardware()
+        codec_in = ProposedCodec(config, engine=encode_engine)
+        codec_out = ProposedCodec(config, engine=decode_engine)
+        assert codec_out.decode(codec_in.encode(image)) == image
+
+
+class TestDecodeErrors:
+    def test_truncated_payload_raises_bitstream_error(self, lena_small):
+        config = CodecConfig.hardware()
+        payload, _ = encode_payload(lena_small, config, engine="native")
+        with pytest.raises(BitstreamError):
+            decode_payload(
+                payload[: len(payload) // 3],
+                lena_small.width,
+                lena_small.height,
+                config,
+                engine="native",
+            )
+
+    def test_garbage_payload_raises_bitstream_error(self):
+        config = CodecConfig.hardware()
+        with pytest.raises(BitstreamError):
+            decode_payload(b"\xff" * 64, 64, 64, config, engine="native")

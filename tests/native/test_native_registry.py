@@ -1,0 +1,76 @@
+"""Registry gating of the build-optional native engine.
+
+The engine must be dispatchable exactly when it would work: listed and
+resolvable when numba is importable (or the pure-Python opt-in is set),
+and failing with an actionable :class:`ConfigError` — not an
+``ImportError`` from deep inside a backend — otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import interface
+from repro.core.config import CodecConfig
+from repro.core.encoder import encode_payload
+from repro.exceptions import ConfigError
+from repro.imaging.synthetic import generate_noise_image
+
+
+class TestAvailableDispatch:
+    def test_listed_when_available(self):
+        assert "native" in interface.engine_names()
+        assert "native" in interface.ENGINES
+
+    def test_get_engine_resolves(self):
+        backend = interface.get_engine("native")
+        assert backend.name == "native"
+        # Resolution is idempotent and cached in the registry.
+        assert interface.get_engine("native") is backend
+
+    def test_registered_backend_survives_env_removal(self, monkeypatch):
+        # A runtime-registered engine keeps dispatching even if the
+        # availability probe would now say no — registration is the
+        # stronger signal (third-party backends rely on this).
+        interface.get_engine("native")
+        monkeypatch.delenv("REPRO_NATIVE_PURE_PYTHON")
+        monkeypatch.setattr(interface, "_native_engine_available", lambda: False)
+        assert "native" in interface.engine_names()
+        assert interface.get_engine("native").name == "native"
+
+
+class TestUnavailableDispatch:
+    @pytest.fixture(autouse=True)
+    def native_unavailable(self, monkeypatch):
+        interface.unregister_engine("native")
+        monkeypatch.setattr(interface, "_native_engine_available", lambda: False)
+
+    def test_get_engine_raises_config_error(self):
+        with pytest.raises(ConfigError, match="numba"):
+            interface.get_engine("native")
+
+    def test_error_points_at_the_fast_alternative(self):
+        with pytest.raises(ConfigError, match="fast"):
+            interface.get_engine("native")
+
+    def test_not_listed(self):
+        assert "native" not in interface.engine_names()
+        assert "native" not in interface.ENGINES
+
+    def test_encode_with_native_fails_loudly(self, lena_small):
+        with pytest.raises(ConfigError, match="numba"):
+            encode_payload(lena_small, CodecConfig.hardware(), engine="native")
+
+
+class TestKernelBudgetGuard:
+    def test_config_past_int64_budget_raises(self):
+        # Valid for the arbitrary-precision reference engine, but
+        # coder_precision + count_bits + tree depth no longer fits the
+        # kernels' int64 arithmetic — the native engine must refuse
+        # rather than silently overflow.
+        config = CodecConfig.hardware(bit_depth=16, count_bits=14, coder_precision=34)
+        image = generate_noise_image(size=4, seed=1, bit_depth=16)
+        with pytest.raises(ConfigError, match="int64"):
+            encode_payload(image, config, engine="native")
+        reference, _ = encode_payload(image, config, engine="reference")
+        assert reference  # the same config works on the reference engine

@@ -1,0 +1,102 @@
+"""The encoded-bytes cache tier: same machinery, ``bytes`` payloads.
+
+Mirrors ``tests/store/test_cache.py`` for the LRU/admission behaviours the
+subclass inherits, then pins down what is specific to the encoded tier:
+byte-length accounting (``len``, not ``ndarray.nbytes``), memoryview
+admission copying the bytes out (so a cached cell never pins an mmap), and
+the store wiring — lookup order, stats plumbing and invalidation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.store.cache import DEFAULT_ENCODED_CACHE_BYTES, EncodedCellCache
+
+
+class TestLruSemantics:
+    def test_evicts_least_recently_used_first(self):
+        cache = EncodedCellCache(max_bytes=24)
+        cache.put("a", b"x" * 8)
+        cache.put("b", b"y" * 8)
+        cache.put("c", b"z" * 8)
+        cache.get("a")  # refresh a; b is now the LRU victim
+        cache.put("d", b"w" * 8)
+        assert cache.get("b") is None
+        assert cache.get("a") == b"x" * 8
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_uses_len(self):
+        cache = EncodedCellCache(max_bytes=10)
+        cache.put("a", b"12345")
+        cache.put("b", b"67890")
+        assert cache.stats.current_bytes == 10
+        cache.put("c", b"!")
+        assert cache.stats.current_bytes <= 10
+        assert cache.stats.evictions >= 1
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = EncodedCellCache(max_bytes=4)
+        cache.put("big", b"x" * 5)
+        assert len(cache) == 0
+
+    def test_zero_budget_disables_caching(self):
+        cache = EncodedCellCache(max_bytes=0)
+        cache.put("a", b"xy")
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_default_budget_is_disabled(self):
+        assert DEFAULT_ENCODED_CACHE_BYTES == 0
+        cache = EncodedCellCache()
+        cache.put("a", b"xy")
+        assert cache.get("a") is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            EncodedCellCache(max_bytes=-1)
+
+
+class TestValueHandling:
+    def test_memoryview_is_copied_out_as_bytes(self):
+        # A view over an mmap'ed blob must not survive into the cache —
+        # cached payloads outlive backend swaps and file mappings.
+        backing = bytearray(b"payload-bytes")
+        cache = EncodedCellCache(max_bytes=64)
+        cache.put("k", memoryview(backing))
+        backing[:] = b"XXXXXXXXXXXXX"
+        cached = cache.get("k")
+        assert isinstance(cached, bytes)
+        assert cached == b"payload-bytes"
+
+    def test_invalidate_and_clear(self):
+        cache = EncodedCellCache(max_bytes=64)
+        cache.put("k", b"abc")
+        cache.invalidate("k")
+        assert cache.get("k") is None
+        cache.put("k", b"abc")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.current_bytes == 0
+
+
+class TestAdmissionPolicy:
+    def test_second_touch_rejects_first_offer_and_admits_the_second(self):
+        cache = EncodedCellCache(max_bytes=64, admission="second-touch")
+        cache.put("k", b"abc")
+        assert cache.get("k") is None
+        cache.put("k", b"abc")
+        assert cache.get("k") == b"abc"
+        assert cache.stats.rejected == 1
+
+    def test_a_miss_is_not_an_admission_touch(self):
+        cache = EncodedCellCache(max_bytes=64, admission="second-touch")
+        cache.get("k")
+        cache.put("k", b"abc")
+        assert cache.get("k") is None  # first offer was still rejected
+
+    def test_stats_carry_the_policy(self):
+        cache = EncodedCellCache(max_bytes=64, admission="second-touch")
+        assert cache.stats.admission == "second-touch"
+        assert cache.stats.as_json()["admission"] == "second-touch"
