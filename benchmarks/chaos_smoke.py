@@ -17,7 +17,11 @@ failure modes the production-hardening layer exists for:
   killing a key's primary owner must not fail a single read (the
   surviving replica answers, surfaced in the ``/stats`` failover
   counters), and the failover must not poison the cell cache or
-  single-flight map.
+  single-flight map;
+* **worker-process kill** — the multi-process topology (shard worker
+  processes behind the routing proxy, replication 2): SIGKILLing one
+  worker must not fail a single read, and the supervisor must respawn
+  the victim with a fresh pid.
 
 The whole drill runs under a hard wall-clock budget (default 60 s): a
 hung drain, stuck worker or unbounded retry fails the job by timeout,
@@ -224,6 +228,62 @@ def main(argv: Optional[List[str]] = None) -> int:
             check_budget("failover")
         finally:
             handle.stop()
+
+    # --- Worker-process kill (proc topology, replication 2) -----------
+    import os
+    import signal
+
+    from repro.serve.proxy import ProxyService, start_proxy_thread
+    from repro.serve.worker import WorkerSpec, WorkerSupervisor
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-proc-") as root:
+        from pathlib import Path
+
+        specs = [
+            WorkerSpec(shard_name="shard-%02d" % i, store_path=Path(root) / ("shard-%02d" % i))
+            for i in range(2)
+        ]
+        supervisor = WorkerSupervisor(
+            specs, workers_per_shard=2, restart_backoff=0.1
+        ).start()
+        service = ProxyService(supervisor, replication=2)
+        handle = start_proxy_thread(service)
+        try:
+            client = ServeClient(*handle.address)
+            image = generate_planar_image("lena", size=args.size, seed=4300, planes=3)
+            buffer = io.BytesIO()
+            write_ppm(image, buffer)
+            key = str(client.put_image(buffer.getvalue(), stripes=4)["key"])
+            victim = client.stats()["workers"]["shard-00"][0]
+            os.kill(int(victim["pid"]), signal.SIGKILL)
+            failed = 0
+            for _ in range(10):
+                for stripe in range(4):
+                    try:
+                        assert client.get_region(key, stripe, stripe + 1).height > 0
+                    except BaseException:
+                        failed += 1
+            assert failed == 0, (
+                "%d read(s) failed during the worker-process outage" % failed
+            )
+            respawn_deadline = time.monotonic() + 20.0
+            while time.monotonic() < respawn_deadline:
+                row = client.stats()["workers"]["shard-00"][0]
+                if int(row["restarts"]) >= 1 and row["up"]:
+                    break
+                time.sleep(0.1)
+            else:
+                raise SystemExit("FAIL: SIGKILLed worker was not respawned in 20s")
+            assert row["pid"] != victim["pid"], "respawn must produce a fresh pid"
+            print(
+                "chaos-smoke: SIGKILLed worker pid %s, zero failed reads, "
+                "respawned as pid %s" % (victim["pid"], row["pid"])
+            )
+            client.close()
+            check_budget("worker-kill")
+        finally:
+            handle.stop()
+            service.close()
 
     elapsed = time.monotonic() - began
     print("chaos-smoke: PASS in %.1fs (budget %.0fs)" % (elapsed, args.budget))

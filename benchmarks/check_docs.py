@@ -18,6 +18,13 @@ Two checks, both of which fail the build on drift:
    adding a flag without documenting it (or documenting one that was
    removed) fails.  ``--help``/``--version`` are exempt: they are
    generated and documented once globally.
+
+3. **HTTP routes.**  ``docs/api.md`` must agree route-for-route with the
+   live route table (:data:`repro.serve.routes.ROUTES`): every template
+   the server dispatches must appear as a `` `METHOD /path` `` span, and
+   every such span in the doc must exist in the table — adding a route
+   without documenting it (or documenting a removed one) fails.  Every
+   stable error code of the envelope must be documented too.
 """
 
 from __future__ import annotations
@@ -161,13 +168,48 @@ def check_cli_flags() -> List[str]:
     return problems
 
 
+#: A backticked `METHOD /path` span in docs/api.md — the documented form
+#: of one route-table entry.
+_ROUTE_SPAN_RE = re.compile(r"`((?:GET|PUT|POST|DELETE|PATCH|HEAD) /[^`]*)`")
+
+
+def check_api_routes() -> List[str]:
+    """docs/api.md and the live route table must agree route-for-route."""
+    from repro.serve.routes import ERROR_CODES, route_templates
+
+    doc_path = REPO_ROOT / "docs" / "api.md"
+    if not doc_path.exists():
+        return ["docs/api.md is missing"]
+    text = doc_path.read_text(encoding="utf-8")
+    problems: List[str] = []
+    documented = set(_ROUTE_SPAN_RE.findall(text))
+    live = set(route_templates())
+    for template in sorted(live - documented):
+        problems.append(
+            "docs/api.md: missing `%s`, which the route table defines" % template
+        )
+    for template in sorted(documented - live):
+        problems.append(
+            "docs/api.md: documents `%s`, which the route table does not define"
+            % template
+        )
+    for code in sorted(ERROR_CODES):
+        if "`%s`" % code not in text:
+            problems.append(
+                "docs/api.md: error code `%s` of the envelope is not documented"
+                % code
+            )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
-        description="Validate docs links and docs/cli.md flag agreement.",
+        description="Validate docs links, docs/cli.md flag agreement and "
+        "docs/api.md route-table agreement.",
     )
     parser.parse_args()
-    problems = check_links() + check_cli_flags()
+    problems = check_links() + check_cli_flags() + check_api_routes()
     for problem in problems:
         print(problem, file=sys.stderr)
     checked = len(_markdown_files())

@@ -17,7 +17,14 @@ Any non-2xx answer raises, any assertion failure exits non-zero, and the
 server process is always torn down.  Usage::
 
     python benchmarks/serve_smoke.py [--shards 2] [--backend fs]
-        [--startup-timeout 5.0]
+        [--startup-timeout 5.0] [--topology thread|proc]
+        [--workers-per-shard 2] [--replication 1]
+
+``--topology proc`` boots the multi-process tier (shard workers behind
+the routing proxy) through the same console script; with
+``--replication 2`` the smoke additionally SIGKILLs one worker process
+mid-sweep and requires **zero failed reads** (the sibling worker and the
+replica shard must absorb everything) plus a supervisor restart.
 
 The ``--startup-timeout`` default of 5 seconds is the CI gate: a server
 that cannot boot and bind in 5 s fails the job.
@@ -27,12 +34,15 @@ from __future__ import annotations
 
 import argparse
 import io
+import os
 import queue
 import re
+import signal
 import subprocess
 import sys
 import tempfile
 import threading
+import time
 from typing import List, Optional
 
 _LISTEN_PATTERN = re.compile(r"listening on http://([0-9.]+):(\d+)")
@@ -67,6 +77,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--backend", choices=("fs", "sqlite"), default="fs")
     parser.add_argument("--startup-timeout", type=float, default=5.0)
     parser.add_argument("--herd", type=int, default=16)
+    parser.add_argument("--topology", choices=("thread", "proc"), default="thread")
+    parser.add_argument("--workers-per-shard", type=int, default=2)
+    parser.add_argument("--replication", type=int, default=1)
     args = parser.parse_args(argv)
 
     from repro.imaging.pnm import write_pgm, write_ppm
@@ -74,20 +87,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.serve.client import ServeClient
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as root:
+        argv_server = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--port",
+            "0",
+            "--shards",
+            str(args.shards),
+            "--backend",
+            args.backend,
+            "--root",
+            root,
+            "--replication",
+            str(args.replication),
+        ]
+        if args.topology == "proc":
+            argv_server += [
+                "--topology",
+                "proc",
+                "--workers-per-shard",
+                str(args.workers_per_shard),
+            ]
         process = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.serve.cli",
-                "--port",
-                "0",
-                "--shards",
-                str(args.shards),
-                "--backend",
-                args.backend,
-                "--root",
-                root,
-            ],
+            argv_server,
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             text=True,
@@ -113,6 +136,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             batch = client.get_regions(key, [(0, 1), (1, 3)])
             assert len(batch) == 2 and batch[1] == region, "batched regions mismatch"
             print("serve-smoke: put/get/plane/region/regions verified")
+
+            if args.topology == "proc" and args.replication >= 2:
+                # SIGKILL one shard worker mid-sweep: at R=2 with a sibling
+                # worker per shard, not a single read may fail, and the
+                # supervisor must respawn the victim.
+                victim = client.stats()["workers"]["shard-00"][0]
+                os.kill(int(victim["pid"]), signal.SIGKILL)
+                print(
+                    "serve-smoke: SIGKILLed worker pid %s of shard-00"
+                    % victim["pid"]
+                )
+                failed_reads = 0
+                for sweep in range(30):
+                    try:
+                        assert client.get_image(key) == colour
+                        client.get_region(key, 1, 3)
+                    except BaseException:
+                        failed_reads += 1
+                assert failed_reads == 0, (
+                    "%d read(s) failed during the worker outage" % failed_reads
+                )
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    row = client.stats()["workers"]["shard-00"][0]
+                    if int(row["restarts"]) >= 1 and row["up"]:
+                        break
+                    time.sleep(0.2)
+                else:
+                    raise SystemExit("FAIL: killed worker was not restarted in 30s")
+                print(
+                    "serve-smoke: zero failed reads during outage; worker "
+                    "respawned as pid %s" % row["pid"]
+                )
 
             # Coalescing: a herd on one cold region.  Two stripes make the
             # cell large enough that the leader's decode overlaps the herd.

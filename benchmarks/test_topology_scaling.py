@@ -1,0 +1,63 @@
+"""Topology-scaling benchmark — the GIL-escape gate of the proc topology.
+
+Runs the decode-bound closed loop against both topologies (decoded cache
+disabled, so every warm region read is an entropy decode) and enforces
+the acceptance floor from the issue: the multi-process topology must
+deliver at least **1.5x** the thread topology's warm-region throughput
+on a machine with 4 or more cores.  Below 4 cores there is nothing to
+scale onto and the ratio assertion is skipped — the run still exercises
+both topologies end to end and records the artefact.
+
+The formatted report lands in ``benchmarks/results/topology_scaling.txt``;
+the same numbers are produced machine-readably by ``repro-bench serve
+--topology proc --json`` (the BENCH_10.json trajectory artifact).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.serve_bench import run_topology_bench
+
+#: Acceptance floor from the issue: proc topology >= 1.5x the thread
+#: topology's decode-bound throughput on a 4-core runner.
+MINIMUM_SCALING = 1.5
+
+#: The ratio gate only applies with enough cores to scale onto.
+MINIMUM_CORES = 4
+
+
+def test_proc_topology_scales_decode_bound_throughput(record_report):
+    result = run_topology_bench(
+        size=48,
+        stripes=4,
+        shards=2,
+        workers_per_shard=2,
+        clients=8,
+        requests=160,
+    )
+    path = record_report("topology_scaling", result.format_report())
+    assert path.exists()
+
+    assert result.thread_requests_per_second > 0, "thread loop produced nothing"
+    assert result.proc_requests_per_second > 0, "proc loop produced nothing"
+
+    cores = os.cpu_count() or 1
+    if cores < MINIMUM_CORES:
+        pytest.skip(
+            "only %d core(s): the %0.1fx scaling floor needs >= %d"
+            % (cores, MINIMUM_SCALING, MINIMUM_CORES)
+        )
+    assert result.scaling >= MINIMUM_SCALING, (
+        "proc topology served %.0f req/s vs %.0f req/s in-process — only "
+        "%.2fx on %d cores (floor %.1fx)"
+        % (
+            result.proc_requests_per_second,
+            result.thread_requests_per_second,
+            result.scaling,
+            cores,
+            MINIMUM_SCALING,
+        )
+    )

@@ -52,7 +52,7 @@ from repro.core import (
 from repro.imaging import GrayImage, PlanarImage, generate_corpus, generate_image
 from repro.parallel import ParallelCodec
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "CodecConfig",

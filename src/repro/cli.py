@@ -375,6 +375,7 @@ _BENCH_EXPERIMENTS = (
     "store",
     "catalog",
     "serve",
+    "topology",
     "chaos",
 )
 
@@ -458,6 +459,26 @@ def _run_bench_experiment(name: str, args) -> tuple:
             result.format_report(),
         )
         return text, result.as_json()
+    if name == "topology" or (name == "serve" and args.topology == "proc"):
+        from repro.experiments.serve_bench import run_topology_bench
+
+        size = args.size or 48
+        topo_result = run_topology_bench(
+            size=size,
+            seed=args.seed,
+            workers_per_shard=args.workers_per_shard,
+        )
+        text = (
+            "Topology scaling (thread vs %d worker process(es), %dx%d, "
+            "decoded cache off):\n%s"
+            % (
+                topo_result.shards * topo_result.workers_per_shard,
+                size,
+                size,
+                topo_result.format_report(),
+            )
+        )
+        return text, topo_result.as_json()
     if name == "serve":
         from repro.experiments.serve_bench import run_serve_bench
 
@@ -572,7 +593,23 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         "fixed request count (the nightly CI shape); chaos: seconds per "
         "load phase",
     )
+    parser.add_argument(
+        "--topology",
+        choices=("thread", "proc"),
+        default="thread",
+        help="serve: 'proc' runs the topology-scaling comparison (thread vs "
+        "shard worker processes, decode-bound) instead of the load test",
+    )
+    parser.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=2,
+        metavar="W",
+        help="serve --topology proc: worker processes per shard (default 2)",
+    )
     args = parser.parse_args(argv)
+    if args.workers_per_shard < 1:
+        parser.error("--workers-per-shard must be a positive integer")
     if args.cores < 1:
         parser.error("--cores must be a positive integer")
     if args.duration is not None and args.duration <= 0:

@@ -93,3 +93,35 @@ class OverloadedError(ServeError):
     def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message, status=429)
         self.retry_after = retry_after
+
+
+class RemoteBadRequestError(ServeError):
+    """The server answered with envelope code ``bad_request`` (or a
+    protocol rejection): the request itself was malformed."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message, status=status)
+
+
+class RemoteNotFoundError(ServeError):
+    """The server answered with envelope code ``not_found``."""
+
+    def __init__(self, message: str, status: int = 404) -> None:
+        super().__init__(message, status=status)
+
+
+class ServerDrainingError(ServeError):
+    """The server answered with envelope code ``draining`` — it is
+    shutting down gracefully and stopped taking new requests."""
+
+    def __init__(self, message: str, status: int = 503) -> None:
+        super().__init__(message, status=status)
+
+
+class UpstreamUnhealthyError(ServeError):
+    """The server answered with envelope code ``upstream_unhealthy``:
+    every replica (or worker process) that could serve the request was
+    unreachable.  Retryable — failover may heal before the next try."""
+
+    def __init__(self, message: str, status: int = 503) -> None:
+        super().__init__(message, status=status)

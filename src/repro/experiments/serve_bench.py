@@ -39,6 +39,7 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigError, ReproError
@@ -59,9 +60,11 @@ from repro.store.store import ImageStore
 __all__ = [
     "EncodedTierBenchResult",
     "ServeBenchResult",
+    "TopologyBenchResult",
     "run_encoded_tier_bench",
     "run_serve_bench",
     "run_serve_soak",
+    "run_topology_bench",
 ]
 
 
@@ -458,6 +461,217 @@ def run_serve_soak(
 ) -> ServeBenchResult:
     """The nightly shape: a timed warm soak with histograms attached."""
     return run_serve_bench(size=size, seed=seed, duration=duration, **kwargs)
+
+
+@dataclass
+class TopologyBenchResult:
+    """Decode-bound throughput: in-process threads vs worker processes.
+
+    Both topologies serve the identical corpus with the decoded cache
+    disabled, so every warm region read pays its entropy decodes — the
+    regime where the thread topology is pinned to one core by the GIL
+    and the process topology actually scales.
+    """
+
+    size: int
+    seed: int
+    planes: int
+    stripes: int
+    shards: int
+    workers_per_shard: int
+    clients: int
+    requests: int
+    cores: int
+    thread_requests_per_second: float = 0.0
+    proc_requests_per_second: float = 0.0
+    thread_p50_ms: float = 0.0
+    proc_p50_ms: float = 0.0
+
+    @property
+    def scaling(self) -> float:
+        """proc throughput over thread throughput (0.0 when unmeasured)."""
+        if self.thread_requests_per_second <= 0.0:
+            return 0.0
+        return self.proc_requests_per_second / self.thread_requests_per_second
+
+    def format_report(self) -> str:
+        return "\n".join(
+            [
+                "%-28s %12s %10s" % ("topology", "req/s", "p50"),
+                "%-28s %10.0f   %8.2f ms"
+                % ("thread (in-process)", self.thread_requests_per_second, self.thread_p50_ms),
+                "%-28s %10.0f   %8.2f ms"
+                % (
+                    "proc (%d shard x %d worker)"
+                    % (self.shards, self.workers_per_shard),
+                    self.proc_requests_per_second,
+                    self.proc_p50_ms,
+                ),
+                "decode-bound scaling: %.2fx on %d core(s) "
+                "(%d clients, %d requests per topology, decoded cache off)"
+                % (self.scaling, self.cores, self.clients, self.requests),
+            ]
+        )
+
+    def as_json(self) -> Dict[str, Any]:
+        return {
+            "bpp": {},
+            "mb_per_s": {},
+            "extra": {
+                "thread_requests_per_second": self.thread_requests_per_second,
+                "proc_requests_per_second": self.proc_requests_per_second,
+                "thread_p50_ms": self.thread_p50_ms,
+                "proc_p50_ms": self.proc_p50_ms,
+                "topology_scaling": self.scaling,
+                "cores": self.cores,
+                "shards": self.shards,
+                "workers_per_shard": self.workers_per_shard,
+                "clients": self.clients,
+                "requests": self.requests,
+                "size": self.size,
+                "seed": self.seed,
+                "planes": self.planes,
+                "stripes": self.stripes,
+            },
+        }
+
+
+def _drive_closed_loop(
+    address: "tuple[str, int]",
+    size: int,
+    seed: int,
+    planes: int,
+    stripes: int,
+    clients: int,
+    requests: int,
+    images: Sequence[str],
+) -> "tuple[float, float]":
+    """Ingest the corpus, hammer warm regions; returns (req/s, p50 ms)."""
+    with ServeClient(*address) as client:
+        keys: List[str] = []
+        for name in images:
+            image = generate_planar_image(name, size=size, seed=seed, planes=planes)
+            buffer = io.BytesIO()
+            write_ppm(image, buffer)
+            keys.append(str(client.put_image(buffer.getvalue(), stripes=stripes)["key"]))
+    pairs = [(key, (s, s + 1)) for key in keys for s in range(stripes)]
+    per_client = max(1, requests // clients)
+    samples: List[float] = []
+    lock = threading.Lock()
+    failures: List[BaseException] = []
+
+    def worker(offset: int) -> None:
+        local: List[float] = []
+        try:
+            with ServeClient(*address) as loop_client:
+                for count in range(per_client):
+                    key, (start, stop) = pairs[(offset + count * clients) % len(pairs)]
+                    begin = time.perf_counter()
+                    loop_client.get_region(key, start, stop)
+                    local.append(1e3 * (time.perf_counter() - begin))
+        except BaseException as error:  # pragma: no cover - diagnosis path
+            with lock:
+                failures.append(error)
+            return
+        with lock:
+            samples.extend(local)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(clients)]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    if failures:
+        raise failures[0]
+    return len(samples) / elapsed if elapsed > 0 else 0.0, _percentile(samples, 0.50)
+
+
+def run_topology_bench(
+    size: int = 48,
+    seed: int = 2007,
+    planes: int = 3,
+    stripes: int = 4,
+    shards: int = 2,
+    workers_per_shard: int = 2,
+    clients: int = 8,
+    requests: int = 160,
+    engine: str = "reference",
+    images: Optional[Sequence[str]] = None,
+) -> TopologyBenchResult:
+    """Measure the proc topology's GIL escape against the thread topology.
+
+    The decoded cache is disabled on every shard so each warm region read
+    is an entropy decode; the thread topology serialises those on the GIL
+    while ``shards * workers_per_shard`` worker processes decode truly in
+    parallel.  The ``topology_scaling`` ratio is the artefact the CI perf
+    gate records (skipped below 4 cores, where there is nothing to scale
+    onto).
+    """
+    import os
+
+    from repro.serve.proxy import ProxyService, start_proxy_thread
+    from repro.serve.worker import WorkerSpec, WorkerSupervisor
+
+    if shards < 1 or workers_per_shard < 1:
+        raise ConfigError(
+            "topology bench needs >= 1 shard and >= 1 worker per shard, got %d x %d"
+            % (shards, workers_per_shard)
+        )
+    if clients < 1 or requests < 1:
+        raise ConfigError(
+            "topology bench needs >= 1 client and >= 1 request, got %d / %d"
+            % (clients, requests)
+        )
+    selected = list(images) if images is not None else list(CORPUS_IMAGE_NAMES)
+    result = TopologyBenchResult(
+        size=size,
+        seed=seed,
+        planes=planes,
+        stripes=stripes,
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        clients=clients,
+        requests=requests,
+        cores=os.cpu_count() or 1,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-topo-thread-") as root:
+        stores = [
+            ImageStore.open("%s/shard-%02d" % (root, n), engine=engine, cache_bytes=0)
+            for n in range(shards)
+        ]
+        with start_server_thread(ImageService(stores)) as handle:
+            rps, p50 = _drive_closed_loop(
+                handle.address, size, seed, planes, stripes, clients, requests, selected
+            )
+            result.thread_requests_per_second = rps
+            result.thread_p50_ms = p50
+
+    with tempfile.TemporaryDirectory(prefix="repro-topo-proc-") as root:
+        specs = [
+            WorkerSpec(
+                shard_name="shard-%02d" % n,
+                store_path=Path("%s/shard-%02d" % (root, n)),
+                engine=engine,
+                cache_bytes=0,
+            )
+            for n in range(shards)
+        ]
+        supervisor = WorkerSupervisor(specs, workers_per_shard=workers_per_shard).start()
+        service = ProxyService(supervisor)
+        handle = start_proxy_thread(service)
+        try:
+            rps, p50 = _drive_closed_loop(
+                handle.address, size, seed, planes, stripes, clients, requests, selected
+            )
+            result.proc_requests_per_second = rps
+            result.proc_p50_ms = p50
+        finally:
+            handle.stop()
+            service.close()
+    return result
 
 
 @dataclass

@@ -26,6 +26,14 @@ concurrent clients over N :class:`~repro.store.store.ImageStore` shards:
 * **fault injection** — a chaos proxy wraps any blob backend with
   kill/stall/error/latency faults for resilience tests and the CI chaos
   jobs (:mod:`repro.serve.chaos`);
+* **process topology** — under ``--topology proc`` every shard runs in
+  its own worker process (own event loop, own decode pool — a real GIL
+  escape) behind a thin routing proxy that supervises, health-checks
+  and restarts the fleet (:mod:`repro.serve.worker`,
+  :mod:`repro.serve.proxy`);
+* **one API surface** — a declarative route table plus a structured
+  error envelope (``{"error", "code", "request_id"}``) shared by both
+  topologies and the docs gate (:mod:`repro.serve.routes`);
 * **observability** — per-endpoint latency histograms, coalescing
   counters, hardening counters (shed, deadline_exceeded, …) and
   per-shard cache byte occupancy behind ``GET /stats``
@@ -50,7 +58,24 @@ from repro.serve.app import (
     start_server_thread,
 )
 from repro.serve.chaos import FaultInjector
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, error_from_envelope
+from repro.serve.proxy import (
+    ProxyService,
+    RemoteShard,
+    ReproProxy,
+    WorkerUnreachableError,
+    start_proxy_thread,
+)
+from repro.serve.routes import (
+    ERROR_CODES,
+    ROUTES,
+    Route,
+    classify_error,
+    error_payload,
+    match_route,
+    route_templates,
+)
+from repro.serve.worker import WorkerGroup, WorkerProcess, WorkerSpec, WorkerSupervisor
 from repro.serve.deadline import (
     Deadline,
     RequestContext,
@@ -70,26 +95,43 @@ __all__ = [
     "DEFAULT_DEADLINE_SECONDS",
     "DEFAULT_MAX_INFLIGHT",
     "Deadline",
+    "ERROR_CODES",
     "FaultInjector",
     "HealthProber",
     "HealthTracker",
     "ImageService",
+    "ProxyService",
+    "ROUTES",
+    "RemoteShard",
+    "ReproProxy",
     "ReproServer",
     "RequestContext",
     "Resharder",
     "ReshardReport",
+    "Route",
     "ServerHandle",
     "ShardHealth",
+    "start_proxy_thread",
     "start_server_thread",
     "ServeClient",
     "SingleFlight",
     "StoreRouter",
     "TokenBucket",
+    "WorkerGroup",
+    "WorkerProcess",
+    "WorkerSpec",
+    "WorkerSupervisor",
+    "WorkerUnreachableError",
     "bind_context",
+    "classify_error",
     "context_cell_hook",
     "current_context",
+    "error_from_envelope",
+    "error_payload",
+    "match_route",
     "rendezvous_score",
     "rendezvous_shard",
+    "route_templates",
     "LatencyHistogram",
     "EndpointStats",
     "ServerStats",

@@ -58,6 +58,13 @@ Endpoints (all responses JSON unless noted):
 * ``GET /stats`` — per-endpoint latency histograms, single-flight
   counters, per-shard backend/cache/catalog stats (byte occupancy
   included).
+* ``GET /version`` — package version, supported container versions,
+  registered engine names.
+
+Dispatch is driven by the declarative route table in
+:mod:`repro.serve.routes` — one ``_handle_<name>`` method per entry —
+and every error response carries the structured envelope
+``{"error", "code", "request_id"}`` defined there.
 
 The catalog endpoints go through the same admission control, deadlines
 and stats accounting as the data path — a catalog scan cannot bypass the
@@ -137,6 +144,15 @@ from repro.serve.http import (
 )
 from repro.serve.reshard import Resharder
 from repro.serve.router import StoreRouter
+from repro.serve.routes import (
+    classify_error,
+    error_payload,
+    match_route,
+    new_request_id,
+    server_version,
+    split_path,
+    version_payload,
+)
 from repro.serve.stats import ServerStats
 from repro.store.catalog import CatalogFilter
 from repro.store.store import ImageStore
@@ -154,10 +170,6 @@ __all__ = [
 DEFAULT_DEADLINE_SECONDS = 30.0
 
 _T = TypeVar("_T")
-
-#: Endpoints that bypass admission control and rate limits — an operator
-#: must be able to observe an overloaded server.
-_EXEMPT_PATHS = (["healthz"], ["stats"])
 
 _NETPBM_MAGICS = (b"P1", b"P2", b"P3", b"P4", b"P5", b"P6", b"P7")
 
@@ -599,6 +611,10 @@ class ImageService:
             "replicas": deleted,
         }
 
+    def version_payload(self) -> Dict[str, object]:
+        """``GET /version``: package version, container formats, engines."""
+        return version_payload()
+
     def healthz(self) -> Dict[str, object]:
         status = "draining" if self.stats.draining else "ok"
         payload: Dict[str, object] = {"status": status, "shards": len(self.router)}
@@ -734,6 +750,7 @@ class ReproServer:
                         "client %s exceeded its connection cap" % host,
                         False,
                         retry_after=self.service.admission.retry_after,
+                        code="shed",
                     )
                 )
                 await writer.drain()
@@ -752,14 +769,23 @@ class ReproServer:
                         idle_timeout=self.service.idle_timeout,
                     )
                 except HttpProtocolError as error:
-                    writer.write(self._error_response(error.status, str(error), False))
+                    writer.write(
+                        self._error_response(
+                            error.status,
+                            "%s: %s" % (type(error).__name__, error),
+                            False,
+                            code=classify_error(error.status, error),
+                        )
+                    )
                     await writer.drain()
                     break
                 if request is None:
                     break
                 if self._draining:
                     writer.write(
-                        self._error_response(503, "server is draining", False)
+                        self._error_response(
+                            503, "server is draining", False, code="draining"
+                        )
                     )
                     await writer.drain()
                     break
@@ -836,8 +862,17 @@ class ReproServer:
         recorded in the stats like any other answered request.
         """
         admission = self.service.admission
-        parts = [part for part in request.path.split("/") if part]
-        exempt = parts in _EXEMPT_PATHS
+        request_id = new_request_id()
+        # Exemption is a property of the route table, not a hand-kept
+        # path list; a request that matches no route is never exempt (the
+        # 404/405 is produced inside the dispatch for stats' sake).
+        try:
+            route, _ = match_route(
+                request.method, split_path(request.path), request.path
+            )
+            exempt = route.admission_exempt
+        except ReproError:
+            exempt = False
         if not exempt:
             shed: Optional[str] = None
             if not self.service.limiter.allow_request(host):
@@ -852,8 +887,13 @@ class ReproServer:
             if shed is not None:
                 self.service.stats.request_started()
                 self.service.stats.request_finished("shed", 0.0, 429)
-                body = json_payload({"error": "OverloadedError: %s" % shed})
-                extra = [("Retry-After", self._retry_after_text())]
+                body = error_payload(
+                    "OverloadedError: %s" % shed, "shed", request_id
+                )
+                extra = [
+                    ("Retry-After", self._retry_after_text()),
+                    ("x-repro-version", server_version()),
+                ]
                 return 429, body, "application/json", extra, None
         try:
             budget = self._deadline_budget(request)
@@ -862,10 +902,13 @@ class ReproServer:
                 admission.release()
             self.service.stats.request_started()
             self.service.stats.request_finished("other", 0.0, 400)
-            status, body, content_type = self._error(400, error)
+            status, body, content_type = self._error(400, error, request_id)
             return status, body, content_type, [], None
         context = RequestContext(
-            Deadline(budget), endpoint=request.path, admitted=not exempt
+            Deadline(budget),
+            endpoint=request.path,
+            admitted=not exempt,
+            request_id=request_id,
         )
         return 0, b"", "", [], context
 
@@ -897,6 +940,7 @@ class ReproServer:
         started = time.perf_counter()
         endpoint = "other"
         status = 500
+        request_id = context.request_id
         extra: List[Tuple[str, str]] = []
         try:
             try:
@@ -907,99 +951,144 @@ class ReproServer:
                 if context.admitted:
                     self.service.admission.release()
         except OverloadedError as error:
-            status, body, content_type = self._error(429, error)
+            status, body, content_type = self._error(429, error, request_id)
             extra = [("Retry-After", self._retry_after_text())]
         except DeadlineExceededError as error:
             self.service.stats.bump("deadline_exceeded")
-            status, body, content_type = self._error(504, error)
+            status, body, content_type = self._error(504, error, request_id)
         except HttpProtocolError as error:
-            status, body, content_type = self._error(error.status, error)
+            status, body, content_type = self._error(error.status, error, request_id)
         except BlobNotFoundError as error:
-            status, body, content_type = self._error(404, error)
-        except (ConfigError, ImageFormatError, StoreError) as error:
-            status, body, content_type = self._error(400, error)
+            status, body, content_type = self._error(404, error, request_id)
+        except (ConfigError, ImageFormatError) as error:
+            status, body, content_type = self._error(400, error, request_id)
+        except StoreError as error:
+            # Every replica that could hold the bytes was unreadable —
+            # that is a sick storage tier, not a client mistake.
+            status, body, content_type = self._error(503, error, request_id)
         except ReproError as error:
             # Anything else the library raises on purpose (corrupt stored
             # stream, model state violation) is a server-side failure.
-            status, body, content_type = self._error(500, error)
+            status, body, content_type = self._error(500, error, request_id)
         except Exception as error:
             # Backstop for handler bugs: a request must ALWAYS get an
             # answer and the connection must keep serving — an unexpected
             # TypeError/KeyError dropping the socket with no status line
             # is strictly worse than an honest 500.
-            status, body, content_type = self._error(500, error)
+            status, body, content_type = self._error(500, error, request_id)
         finally:
             elapsed_ms = 1e3 * (time.perf_counter() - started)
             self.service.stats.request_finished(endpoint, elapsed_ms, status)
+        extra.append(("x-repro-version", server_version()))
         return status, body, content_type, extra
 
     async def _route(
         self, request: HttpRequest, context: RequestContext
     ) -> Tuple[str, int, Union[bytes, StreamingBody], str]:
-        parts = [part for part in request.path.split("/") if part]
-        method = request.method
+        """Dispatch one request from the declarative route table.
 
-        if parts == ["healthz"] and method == "GET":
-            return "healthz", 200, json_payload(self.service.healthz()), "application/json"
-        if parts == ["stats"] and method == "GET":
-            payload = await self._offload(context, self.service.stats_payload)
-            return "stats", 200, json_payload(payload), "application/json"
-        if parts == ["catalog"] and method == "GET":
-            catalog_filter, limit, offset = self._parse_catalog_query(request)
-            payload = await self._offload(
-                context, self.service.catalog_payload, catalog_filter, limit, offset
-            )
-            return "catalog", 200, json_payload(payload), "application/json"
-        if parts == ["images"] and method == "PUT":
-            outcome = await self._offload(
-                context,
-                self.service.put_image,
-                request.body,
-                self._int_query(request, "stripes"),
-                self._flag_query(request, "plane_delta"),
-            )
-            return "put_image", 201, json_payload(outcome), "application/json"
-        if len(parts) >= 2 and parts[0] == "images":
-            key = parts[1]
-            if len(parts) == 2 and method == "DELETE":
-                ttl = self._float_query(request, "ttl")
-                if ttl is not None and ttl < 0:
-                    raise ConfigError("ttl must be >= 0 seconds, got %s" % ttl)
-                payload = await self._offload(
-                    context, self.service.delete_image, key, ttl
-                )
-                return "delete_image", 200, json_payload(payload), "application/json"
-            if len(parts) == 2 and method == "GET":
-                body, content_type = await self._offload(
-                    context, self.service.get_image, key
-                )
-                return "get_image", 200, body, content_type
-            if len(parts) == 4 and parts[2] == "plane" and method == "GET":
-                plane = self._int_path(parts[3], "plane index")
-                body, content_type = await self._offload(
-                    context, self.service.get_plane, key, plane
-                )
-                return "get_plane", 200, body, content_type
-            if len(parts) == 4 and parts[2] == "region" and method == "GET":
-                start, stop = self._parse_range(parts[3])
-                if self._flag_query(request, "stream"):
-                    return await self._stream_region(context, key, start, stop)
-                body, content_type = await self._offload(
-                    context, self.service.get_region, key, start, stop
-                )
-                return "get_region", 200, body, content_type
-            if len(parts) == 3 and parts[2] == "regions" and method == "POST":
-                ranges = self._parse_ranges_body(request.body)
-                if self._flag_query(request, "stream"):
-                    return await self._stream_regions(context, key, ranges)
-                payload = await self._offload(
-                    context, self.service.get_regions, key, ranges
-                )
-                return "get_regions", 200, json_payload(payload), "application/json"
+        The table (:data:`repro.serve.routes.ROUTES`) names the handler
+        method; matching derives 404-vs-405 and converts path parameters.
+        The proxy front-end subclasses this server and overrides the
+        ``_handle_*`` methods only — the table, the matching and the
+        error envelope are shared verbatim.
+        """
+        route, params = match_route(
+            request.method, split_path(request.path), request.path
+        )
+        handler = getattr(self, "_handle_" + route.handler)
+        status, body, content_type = await handler(request, context, params)
+        return route.endpoint, status, body, content_type
 
-        if parts and parts[0] in ("images", "healthz", "stats", "catalog"):
-            raise HttpProtocolError(405, "%s is not supported on %s" % (method, request.path))
-        raise BlobNotFoundError("no route for %s %s" % (method, request.path))
+    # ------------------------------------------------------------------ #
+    # route handlers (one per route-table entry)
+    # ------------------------------------------------------------------ #
+
+    async def _handle_healthz(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        return 200, json_payload(self.service.healthz()), "application/json"
+
+    async def _handle_stats(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        payload = await self._offload(context, self.service.stats_payload)
+        return 200, json_payload(payload), "application/json"
+
+    async def _handle_version(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        return 200, json_payload(self.service.version_payload()), "application/json"
+
+    async def _handle_catalog(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        catalog_filter, limit, offset = self._parse_catalog_query(request)
+        payload = await self._offload(
+            context, self.service.catalog_payload, catalog_filter, limit, offset
+        )
+        return 200, json_payload(payload), "application/json"
+
+    async def _handle_put_image(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        outcome = await self._offload(
+            context,
+            self.service.put_image,
+            request.body,
+            self._int_query(request, "stripes"),
+            self._flag_query(request, "plane_delta"),
+        )
+        return 201, json_payload(outcome), "application/json"
+
+    async def _handle_delete_image(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        ttl = self._float_query(request, "ttl")
+        if ttl is not None and ttl < 0:
+            raise ConfigError("ttl must be >= 0 seconds, got %s" % ttl)
+        payload = await self._offload(
+            context, self.service.delete_image, str(params["key"]), ttl
+        )
+        return 200, json_payload(payload), "application/json"
+
+    async def _handle_get_image(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        body, content_type = await self._offload(
+            context, self.service.get_image, str(params["key"])
+        )
+        return 200, body, content_type
+
+    async def _handle_get_plane(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        body, content_type = await self._offload(
+            context, self.service.get_plane, str(params["key"]), params["plane"]
+        )
+        return 200, body, content_type
+
+    async def _handle_get_region(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        key = str(params["key"])
+        start, stop = params["range"]  # type: ignore[misc]
+        if self._flag_query(request, "stream"):
+            return await self._stream_region(context, key, start, stop)
+        body, content_type = await self._offload(
+            context, self.service.get_region, key, start, stop
+        )
+        return 200, body, content_type
+
+    async def _handle_get_regions(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        key = str(params["key"])
+        ranges = self._parse_ranges_body(request.body)
+        if self._flag_query(request, "stream"):
+            return await self._stream_regions(context, key, ranges)
+        payload = await self._offload(context, self.service.get_regions, key, ranges)
+        return 200, json_payload(payload), "application/json"
 
     # ------------------------------------------------------------------ #
     # streaming responses
@@ -1007,7 +1096,7 @@ class ReproServer:
 
     async def _stream_region(
         self, context: RequestContext, key: str, start: int, stop: int
-    ) -> Tuple[str, int, "StreamingBody", str]:
+    ) -> Tuple[int, "StreamingBody", str]:
         """Build the chunked response for ``GET .../region/a-b?stream=1``.
 
         The geometry plan (and any validation error it raises — unknown
@@ -1030,11 +1119,11 @@ class ReproServer:
                 yield split_netpbm_payload(payload)[1]
 
         body = StreamingBody(chunks(), self._stream_release(context))
-        return "get_region", 200, body, content_type
+        return 200, body, content_type
 
     async def _stream_regions(
         self, context: RequestContext, key: str, ranges: Sequence[Tuple[int, int]]
-    ) -> Tuple[str, int, "StreamingBody", str]:
+    ) -> Tuple[int, "StreamingBody", str]:
         """Build the NDJSON chunked response for ``POST .../regions?stream=1``.
 
         One JSON line per requested range, in request order, each emitted
@@ -1056,7 +1145,7 @@ class ReproServer:
                 yield (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
 
         body = StreamingBody(chunks(), self._stream_release(context))
-        return "get_regions", 200, body, "application/x-ndjson"
+        return 200, body, "application/x-ndjson"
 
     def _stream_release(self, context: RequestContext) -> Optional[Callable[[], None]]:
         """Transfer the admission slot from the dispatch to the stream.
@@ -1226,23 +1315,6 @@ class ReproServer:
         return catalog_filter, limit, offset
 
     @staticmethod
-    def _int_path(text: str, what: str) -> int:
-        try:
-            return int(text)
-        except ValueError:
-            raise ConfigError("%s %r is not an integer" % (what, text))
-
-    @staticmethod
-    def _parse_range(text: str) -> Tuple[int, int]:
-        start, separator, stop = text.partition("-")
-        if not separator:
-            raise ConfigError("region must be START-STOP stripe indices, got %r" % text)
-        try:
-            return int(start), int(stop)
-        except ValueError:
-            raise ConfigError("region must be START-STOP stripe indices, got %r" % text)
-
-    @staticmethod
     def _parse_ranges_body(body: bytes) -> List[Tuple[int, int]]:
         try:
             document = json.loads(body.decode("utf-8"))
@@ -1269,9 +1341,14 @@ class ReproServer:
         return parsed
 
     @staticmethod
-    def _error(status: int, error: BaseException) -> Tuple[int, bytes, str]:
+    def _error(
+        status: int, error: BaseException, request_id: str = ""
+    ) -> Tuple[int, bytes, str]:
+        """One dispatched failure as the structured error envelope."""
         message = "%s: %s" % (type(error).__name__, error)
-        return status, json_payload({"error": message}), "application/json"
+        code = classify_error(status, error)
+        body = error_payload(message, code, request_id or new_request_id())
+        return status, body, "application/json"
 
     @staticmethod
     def _error_response(
@@ -1279,15 +1356,18 @@ class ReproServer:
         message: str,
         keep_alive: bool,
         retry_after: Optional[float] = None,
+        code: Optional[str] = None,
     ) -> bytes:
-        extra = (
-            [("Retry-After", "%d" % max(1, math.ceil(retry_after)))]
-            if retry_after is not None
-            else []
+        """A complete connection-level error response (pre-dispatch path)."""
+        extra = [("x-repro-version", server_version())]
+        if retry_after is not None:
+            extra.insert(0, ("Retry-After", "%d" % max(1, math.ceil(retry_after))))
+        body = error_payload(
+            message, code or classify_error(status), new_request_id()
         )
         return render_response(
             status,
-            json_payload({"error": message}),
+            body,
             "application/json",
             keep_alive=keep_alive,
             extra_headers=extra,
@@ -1353,18 +1433,23 @@ class ServerHandle:
 
 
 def start_server_thread(
-    service: ImageService, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+    service: ImageService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 10.0,
+    server_class: type = ReproServer,
 ) -> ServerHandle:
     """Boot a :class:`ReproServer` on a fresh event loop in a daemon thread.
 
     Returns once the socket is bound (``handle.port`` is the real port —
     pass ``port=0`` for an ephemeral one).  In-process callers (tests, the
     load benchmark) get a real network server without blocking their own
-    thread or loop.
+    thread or loop.  ``server_class`` lets the proxy topology boot its
+    :class:`~repro.serve.proxy.ReproProxy` subclass through the same path.
     """
     started = threading.Event()
     failure: List[BaseException] = []
-    server = ReproServer(service, host, port)
+    server = server_class(service, host, port)
     loop = asyncio.new_event_loop()
 
     def run() -> None:

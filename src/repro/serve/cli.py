@@ -40,7 +40,7 @@ from repro.serve.health import HealthProber
 from repro.store.cache import DEFAULT_CACHE_BYTES, DEFAULT_ENCODED_CACHE_BYTES
 from repro.store.store import ImageStore
 
-__all__ = ["serve_main", "build_parser", "open_shards"]
+__all__ = ["serve_main", "build_parser", "open_shards", "shard_paths"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +63,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="number of store shards keys are routed across (default 1)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=("thread", "proc"),
+        default="thread",
+        help="process layout: 'thread' serves every shard in this process "
+        "on one thread pool; 'proc' runs each shard in its own worker "
+        "process behind a routing proxy, escaping the GIL for CPU-bound "
+        "decodes (default thread)",
+    )
+    parser.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=1,
+        metavar="W",
+        help="worker processes per shard under --topology proc; keyed "
+        "reads stick to an affinity worker and fail over to the others "
+        "(default 1)",
     )
     parser.add_argument(
         "--backend",
@@ -274,7 +292,118 @@ def open_shards(
     return stores
 
 
+def shard_paths(root: Path, shards: int, backend: str) -> List[Path]:
+    """The standard shard layout as paths (no stores opened)."""
+    paths = []
+    for index in range(shards):
+        name = "shard-%02d" % index
+        paths.append(root / (name + ".sqlite") if backend == "sqlite" else root / name)
+    return paths
+
+
+async def _serve_proc(args, root: Path) -> int:
+    """The multi-process topology: shard workers behind a routing proxy."""
+    from repro.serve.proxy import ProxyService, ReproProxy
+    from repro.serve.worker import WorkerSpec, WorkerSupervisor
+
+    specs = [
+        WorkerSpec(
+            shard_name="shard-%02d" % index,
+            store_path=path,
+            backend=args.backend,
+            cache_bytes=args.cache_bytes,
+            encoded_cache_bytes=args.encoded_cache_bytes,
+            admission=args.admission,
+            use_mmap=args.mmap,
+            engine=args.engine,
+            threads=args.workers,
+            max_inflight=args.max_inflight,
+            deadline=args.deadline,
+            read_timeout=args.read_timeout,
+            idle_timeout=args.idle_timeout,
+            drain_budget=args.drain_budget,
+        )
+        for index, path in enumerate(shard_paths(root, args.shards, args.backend))
+    ]
+    supervisor = WorkerSupervisor(
+        specs, workers_per_shard=args.workers_per_shard
+    ).start()
+    service = ProxyService(
+        supervisor,
+        replication=args.replication,
+        engine=args.engine,
+        max_workers=args.workers,
+        max_inflight=args.max_inflight,
+        shed_low=args.shed_low,
+        retry_after=args.retry_after,
+        max_connections_per_client=args.max_client_connections,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        default_deadline=args.deadline,
+        read_timeout=args.read_timeout if args.read_timeout > 0 else None,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        drain_budget=args.drain_budget,
+        health_down_after=args.health_down_after,
+        health_up_after=args.health_up_after,
+    )
+    proxy = ReproProxy(service, args.host, args.port)
+    loop = asyncio.get_running_loop()
+    sigterm = asyncio.Event()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+        pass
+    try:
+        await proxy.start()
+        print(
+            "repro-serve: listening on http://%s:%d (%d shard(s), %s backend)"
+            % (args.host, proxy.port, args.shards, args.backend),
+            flush=True,
+        )
+        print(
+            "repro-serve: proxy over %d worker process(es) (%d per shard)"
+            % (args.shards * args.workers_per_shard, args.workers_per_shard),
+            file=sys.stderr,
+            flush=True,
+        )
+        print("repro-serve: shards under %s" % root, file=sys.stderr, flush=True)
+        serving = asyncio.ensure_future(proxy.serve_forever())
+        waiting = asyncio.ensure_future(sigterm.wait())
+        await asyncio.wait({serving, waiting}, return_when=asyncio.FIRST_COMPLETED)
+        if sigterm.is_set():
+            print(
+                "repro-serve: SIGTERM, draining proxy then workers "
+                "(budget %.1fs)" % service.drain_budget,
+                file=sys.stderr,
+                flush=True,
+            )
+            drained = await proxy.drain()
+            print(
+                "repro-serve: drained %s"
+                % ("cleanly" if drained else "with requests still in flight"),
+                file=sys.stderr,
+                flush=True,
+            )
+        for task in (serving, waiting):
+            task.cancel()
+        await asyncio.gather(serving, waiting, return_exceptions=True)
+    except asyncio.CancelledError:  # pragma: no cover - cancellation race
+        pass
+    finally:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
+            pass
+        await proxy.stop()
+        # close() ends with the worker SIGTERM cascade: each worker drains
+        # its own in-flight work within its --drain-budget before exiting.
+        service.close()
+    return 0
+
+
 async def _serve(args, root: Path) -> int:
+    if args.topology == "proc":
+        return await _serve_proc(args, root)
     stores = open_shards(
         root,
         args.shards,
@@ -410,6 +539,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--replication must be at least 1")
     if args.reshard and args.shards < 2:
         parser.error("--reshard needs --shards >= 2 (the last shard is the joining one)")
+    if args.workers_per_shard < 1:
+        parser.error("--workers-per-shard must be at least 1")
+    if args.topology == "proc" and args.reshard:
+        parser.error(
+            "--reshard is not supported under --topology proc yet; run the "
+            "reshard with --topology thread, then restart in proc mode"
+        )
     if args.health_interval < 0:
         parser.error("--health-interval must be >= 0")
     if args.health_down_after < 1 or args.health_up_after < 1:

@@ -45,14 +45,62 @@ import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from urllib.parse import quote
 
-from repro.exceptions import ServeError
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    RemoteBadRequestError,
+    RemoteNotFoundError,
+    ServeError,
+    ServerDrainingError,
+    UpstreamUnhealthyError,
+)
 from repro.imaging.image import GrayImage
 from repro.imaging.planar import PlanarImage
 from repro.imaging.pnm import read_image
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "error_from_envelope"]
 
 _Image = Union[GrayImage, PlanarImage]
+
+#: Envelope code → the typed exception a client raises for it.  Codes a
+#: newer server might add fall back on plain :class:`ServeError`, so an
+#: older client degrades to the pre-envelope behaviour instead of
+#: crashing on an unknown code.
+_CODE_ERRORS = {
+    "bad_request": RemoteBadRequestError,
+    "method_not_allowed": RemoteBadRequestError,
+    "protocol": RemoteBadRequestError,
+    "not_found": RemoteNotFoundError,
+    "draining": ServerDrainingError,
+    "upstream_unhealthy": UpstreamUnhealthyError,
+}
+
+
+def error_from_envelope(status: int, payload: bytes) -> ServeError:
+    """The typed exception for one non-2xx response.
+
+    Dispatches on the structured envelope's ``code`` field — never on
+    the status line or message text.  ``shed`` and ``deadline`` map onto
+    the existing :class:`OverloadedError` / :class:`DeadlineExceededError`
+    (both already ``ServeError`` subclasses), so callers catching those
+    semantics see no difference between a local and a remote raise.
+    """
+    message = "HTTP %d" % status
+    code = ""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+        message = "%s: %s" % (message, document.get("error", ""))
+        code = document.get("code", "")
+    except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+        pass
+    if code == "shed":
+        return OverloadedError(message)
+    if code == "deadline":
+        return DeadlineExceededError(message)
+    cls = _CODE_ERRORS.get(code)
+    if cls is not None:
+        return cls(message, status=status)
+    return ServeError(message, status=status)
 
 
 class ServeClient:
@@ -246,13 +294,7 @@ class ServeClient:
         self, expected: int, status: int, payload: bytes
     ) -> None:
         if status != expected:
-            message = "HTTP %d" % status
-            try:
-                document = json.loads(payload.decode("utf-8"))
-                message = "%s: %s" % (message, document.get("error", ""))
-            except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
-                pass
-            raise ServeError(message, status=status)
+            raise error_from_envelope(status, payload)
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -459,6 +501,12 @@ class ServeClient:
 
     def healthz(self) -> Dict[str, Any]:
         status, payload, _ = self._request("GET", "/healthz")
+        self._expect(200, status, payload)
+        return self._json(status, payload)
+
+    def version(self) -> Dict[str, Any]:
+        """``GET /version``: package version, container formats, engines."""
+        status, payload, _ = self._request("GET", "/version")
         self._expect(200, status, payload)
         return self._json(status, payload)
 

@@ -83,15 +83,21 @@ class RequestContext:
     checkpoint and aborts.
     """
 
-    __slots__ = ("deadline", "endpoint", "admitted", "_cancelled")
+    __slots__ = ("deadline", "endpoint", "admitted", "request_id", "_cancelled")
 
     def __init__(
-        self, deadline: Deadline, endpoint: str = "other", admitted: bool = True
+        self,
+        deadline: Deadline,
+        endpoint: str = "other",
+        admitted: bool = True,
+        request_id: str = "",
     ) -> None:
         self.deadline = deadline
         self.endpoint = endpoint
         #: Whether this request holds an admission slot (health/stats do not).
         self.admitted = admitted
+        #: The id stamped into this request's error envelopes, if any.
+        self.request_id = request_id
         self._cancelled = threading.Event()
 
     def cancel(self) -> None:

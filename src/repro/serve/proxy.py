@@ -1,0 +1,1094 @@
+"""The routing proxy of the multi-process topology (``--topology proc``).
+
+:class:`ReproProxy` is the public face of a fleet of shard worker
+processes (:mod:`repro.serve.worker`).  It subclasses
+:class:`~repro.serve.app.ReproServer` and overrides only the data-plane
+``_handle_*`` methods — the route table, the 404/405 derivation, the
+error envelope, admission control, deadlines, streaming framing and the
+drain sequence are all inherited, so the two topologies cannot drift
+apart request by request.
+
+Placement reuses the exact machinery of the in-process tier:
+:class:`~repro.serve.router.StoreRouter` ranks owner shards per key
+(rendezvous hashing, union membership mid-reshard) and
+:class:`~repro.serve.health.HealthTracker` reorders them by believed
+health — except the "stores" are :class:`RemoteShard` handles that speak
+HTTP over loopback instead of decoding locally.  Reads fail over
+shard-by-shard exactly like :meth:`ImageService._read_replicas` (404
+only when *every* owner missed, a store failure outranks a 404), and
+within one shard a keyed request prefers its affinity worker — the same
+worker every time for a given key, so worker-local caches and
+single-flight coalescing keep working — before trying the shard's other
+workers.
+
+What the proxy forwards it forwards **verbatim**: a worker's error
+envelope (with the worker's ``request_id``) and its response bytes pass
+through untouched, and streamed regions are re-framed chunk-for-chunk as
+they arrive, so first-chunk latency survives the extra hop.  What the
+proxy must compute itself — the content key for ``PUT`` routing — it
+does by encoding Netpbm bodies in its own thread pool, then fans the
+encoded container out to every owner shard.
+
+The remaining request budget rides to workers as ``x-deadline-ms``, so
+a proxy-side deadline bounds worker-side decode work too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import io
+import json
+import math
+from collections import deque
+from typing import (
+    AsyncIterator,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    cast,
+)
+from urllib.parse import quote
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.cellgrid import encode_grid
+from repro.core.config import CodecConfig
+from repro.exceptions import (
+    ConfigError,
+    DeadlineExceededError,
+    ServeError,
+    StoreError,
+)
+from repro.imaging.pnm import read_image
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionController,
+    ClientLimiter,
+)
+from repro.serve.app import (
+    DEFAULT_DEADLINE_SECONDS,
+    ImageService,
+    ReproServer,
+    ServerHandle,
+    StreamingBody,
+    _NETPBM_MAGICS,
+    start_server_thread,
+)
+from repro.serve.client import ServeClient
+from repro.serve.deadline import RequestContext
+from repro.serve.flight import SingleFlight
+from repro.serve.health import HealthTracker
+from repro.serve.http import HttpRequest, json_payload
+from repro.serve.router import StoreRouter
+from repro.serve.routes import version_payload
+from repro.serve.stats import ServerStats
+from repro.serve.worker import WorkerGroup, WorkerProcess, WorkerSupervisor
+from repro.store.catalog import CatalogFilter
+from repro.store.store import ImageStore
+
+__all__ = [
+    "ProxyService",
+    "RemoteShard",
+    "ReproProxy",
+    "WorkerUnreachableError",
+    "start_proxy_thread",
+]
+
+
+class WorkerUnreachableError(StoreError):
+    """No worker process of a shard could be reached (or all timed out).
+
+    A :class:`~repro.exceptions.StoreError` on purpose: the shard-level
+    failover and error mapping treat an unreachable worker fleet exactly
+    like an unreadable local store — try the next replica, and answer
+    ``503``/``upstream_unhealthy`` only when every owner is gone.
+    """
+
+
+class WorkerReply:
+    """One buffered worker response: status + headers + verbatim body."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "application/octet-stream")
+
+
+def _render_request(
+    method: str, target: str, body: bytes, extra: List[Tuple[str, str]]
+) -> bytes:
+    lines = [
+        "%s %s HTTP/1.1" % (method, target),
+        "host: 127.0.0.1",
+        "content-length: %d" % len(body),
+    ]
+    lines.extend("%s: %s" % pair for pair in extra)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str]]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("worker closed the connection before answering")
+    parts = status_line.decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError("worker sent a malformed status line %r" % status_line)
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise ConnectionError("worker closed the connection mid-headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return int(parts[1]), headers
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: Dict[str, str]) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        pieces: List[bytes] = []
+        while True:
+            piece = await _read_chunk(reader)
+            if piece is None:
+                return b"".join(pieces)
+            pieces.append(piece)
+    length = int(headers.get("content-length", "0"))
+    return await reader.readexactly(length) if length else b""
+
+
+async def _read_chunk(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """One chunked-transfer frame; ``None`` on the terminating frame."""
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("worker closed the connection mid-stream")
+    size = int(line.strip().split(b";")[0], 16)
+    if size == 0:
+        await reader.readline()  # the blank line after the 0-size frame
+        return None
+    piece = await reader.readexactly(size)
+    await reader.readexactly(2)  # the frame's trailing CRLF
+    return piece
+
+
+class RemoteShard:
+    """One shard's worker group, spoken to over loopback HTTP.
+
+    Duck-types just enough of :class:`~repro.store.store.ImageStore` for
+    :class:`~repro.serve.router.StoreRouter` to rank it (routing only
+    ever touches shard *names*) and close it.  Keep-alive connections
+    are pooled per worker and tagged with the worker's spawn generation,
+    so a restarted worker's stale sockets are discarded instead of
+    retried.
+    """
+
+    def __init__(
+        self,
+        group: WorkerGroup,
+        request_timeout: float = 30.0,
+        pool_size: int = 32,
+    ) -> None:
+        self.group = group
+        self.request_timeout = request_timeout
+        self.pool_size = pool_size
+        self._pools: Dict[
+            int, Deque[Tuple[int, asyncio.StreamReader, asyncio.StreamWriter]]
+        ] = {}
+
+    @property
+    def name(self) -> str:
+        return self.group.shard_name
+
+    # -- ImageStore surface the router touches ------------------------- #
+
+    def stats(self) -> Dict[str, object]:  # pragma: no cover - stats overridden
+        return {}
+
+    def close(self) -> None:
+        for pool in self._pools.values():
+            while pool:
+                _, _, writer = pool.popleft()
+                _close_writer(writer)
+
+    # -- connection pool ------------------------------------------------ #
+
+    def _checkout(
+        self, worker: WorkerProcess
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        pool = self._pools.get(worker.index)
+        while pool:
+            generation, reader, writer = pool.popleft()
+            if generation == worker.generation and not writer.is_closing():
+                return reader, writer
+            _close_writer(writer)
+        return None
+
+    def _checkin(
+        self,
+        worker: WorkerProcess,
+        generation: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        pool = self._pools.setdefault(worker.index, deque())
+        if generation != worker.generation or writer.is_closing():
+            _close_writer(writer)
+        elif len(pool) >= self.pool_size:
+            _close_writer(writer)
+        else:
+            pool.append((generation, reader, writer))
+
+    # -- request plumbing ----------------------------------------------- #
+
+    def _attempt_budget(self, context: Optional[RequestContext]) -> float:
+        budget = self.request_timeout
+        if context is not None:
+            remaining = context.deadline.remaining
+            if not math.isinf(remaining):
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        "request deadline lapsed before the worker call"
+                    )
+                budget = min(budget, remaining)
+        return budget
+
+    @staticmethod
+    def _forward_headers(context: Optional[RequestContext]) -> List[Tuple[str, str]]:
+        if context is None:
+            return []
+        remaining = context.deadline.remaining
+        if math.isinf(remaining):
+            return []
+        return [("x-deadline-ms", "%d" % max(1, int(remaining * 1000)))]
+
+    async def _request_worker(
+        self,
+        worker: WorkerProcess,
+        method: str,
+        target: str,
+        body: bytes,
+        context: Optional[RequestContext],
+    ) -> WorkerReply:
+        payload = _render_request(method, target, body, self._forward_headers(context))
+        for pooled in (True, False):
+            conn = self._checkout(worker) if pooled else None
+            if pooled and conn is None:
+                continue
+            generation = worker.generation
+            if conn is None:
+                reader, writer = await asyncio.open_connection(worker.host, worker.port)
+            else:
+                reader, writer = conn
+            try:
+                writer.write(payload)
+                await writer.drain()
+                status, headers = await _read_head(reader)
+                reply_body = await _read_body(reader, headers)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError):
+                _close_writer(writer)
+                if conn is not None:
+                    continue  # a stale pooled socket; retry on a fresh one
+                raise
+            if headers.get("connection", "").lower() == "close":
+                _close_writer(writer)
+            else:
+                self._checkin(worker, generation, reader, writer)
+            return WorkerReply(status, headers, reply_body)
+        raise ConnectionError("worker %s has no usable connection" % worker.label)
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        context: Optional[RequestContext] = None,
+        key: Optional[str] = None,
+    ) -> WorkerReply:
+        """One request against this shard, failing over across its workers.
+
+        Transport failures, timeouts and retryable statuses (a draining
+        or shedding worker: 429/503) move on to the group's next worker;
+        everything else — including worker-side 4xx/500 envelopes — is
+        the shard's answer.  Raises :class:`WorkerUnreachableError` when
+        no worker produced an answer at all.
+        """
+        last_error: Optional[BaseException] = None
+        retryable: Optional[WorkerReply] = None
+        for worker in self.group.candidates(key):
+            budget = self._attempt_budget(context)
+            try:
+                reply = await asyncio.wait_for(
+                    self._request_worker(worker, method, target, body, context),
+                    budget,
+                )
+            except asyncio.TimeoutError:
+                if context is not None and context.deadline.expired:
+                    raise DeadlineExceededError(
+                        "worker call ran past the request deadline"
+                    ) from None
+                last_error = StoreError(
+                    "worker %s did not answer within %.1fs" % (worker.label, budget)
+                )
+                continue
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError) as error:
+                last_error = error
+                continue
+            if reply.status in (429, 503):
+                retryable = reply
+                continue
+            return reply
+        if retryable is not None:
+            return retryable
+        raise WorkerUnreachableError(
+            "no worker of shard %s answered %s %s (%s)"
+            % (self.name, method, target, last_error)
+        )
+
+    async def broadcast(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        context: Optional[RequestContext] = None,
+        key: Optional[str] = None,
+    ) -> List[WorkerReply]:
+        """The same request to *every* worker of the group, best effort.
+
+        Used for mutations that must land in every worker's catalog view
+        (tombstones): workers of one shard share the blob backend but
+        keep independent catalogs, so a delete applied to just one would
+        let a sibling worker resurrect the key on failover reads.
+        """
+        replies: List[WorkerReply] = []
+        for worker in self.group.candidates(key):
+            try:
+                budget = self._attempt_budget(context)
+                replies.append(
+                    await asyncio.wait_for(
+                        self._request_worker(worker, method, target, body, context),
+                        budget,
+                    )
+                )
+            except DeadlineExceededError:
+                raise
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+                ValueError,
+            ):
+                continue
+        return replies
+
+    async def open_stream(
+        self,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        context: Optional[RequestContext] = None,
+        key: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, str], Union[bytes, AsyncIterator[bytes]]]:
+        """A streaming request: the head is read eagerly, the body lazily.
+
+        A chunked 2xx answer returns an async iterator of the *de-framed*
+        chunk payloads (the proxy re-frames them for its own client);
+        anything else is buffered and returned as bytes so error
+        envelopes forward verbatim and failover can keep trying.
+        """
+        last_error: Optional[BaseException] = None
+        retryable: Optional[Tuple[int, Dict[str, str], bytes]] = None
+        for worker in self.group.candidates(key):
+            budget = self._attempt_budget(context)
+            try:
+                opened = await asyncio.wait_for(
+                    self._open_stream_worker(worker, method, target, body, context),
+                    budget,
+                )
+            except asyncio.TimeoutError:
+                if context is not None and context.deadline.expired:
+                    raise DeadlineExceededError(
+                        "worker call ran past the request deadline"
+                    ) from None
+                last_error = StoreError(
+                    "worker %s did not answer within %.1fs" % (worker.label, budget)
+                )
+                continue
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError) as error:
+                last_error = error
+                continue
+            status, headers, payload = opened
+            if isinstance(payload, bytes) and status in (429, 503):
+                retryable = (status, headers, payload)
+                continue
+            return opened
+        if retryable is not None:
+            return retryable
+        raise WorkerUnreachableError(
+            "no worker of shard %s answered %s %s (%s)"
+            % (self.name, method, target, last_error)
+        )
+
+    async def _open_stream_worker(
+        self,
+        worker: WorkerProcess,
+        method: str,
+        target: str,
+        body: bytes,
+        context: Optional[RequestContext],
+    ) -> Tuple[int, Dict[str, str], Union[bytes, AsyncIterator[bytes]]]:
+        payload = _render_request(method, target, body, self._forward_headers(context))
+        for pooled in (True, False):
+            conn = self._checkout(worker) if pooled else None
+            if pooled and conn is None:
+                continue
+            generation = worker.generation
+            if conn is None:
+                reader, writer = await asyncio.open_connection(worker.host, worker.port)
+            else:
+                reader, writer = conn
+            try:
+                writer.write(payload)
+                await writer.drain()
+                status, headers = await _read_head(reader)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError):
+                _close_writer(writer)
+                if conn is not None:
+                    continue
+                raise
+            chunked = headers.get("transfer-encoding", "").lower() == "chunked"
+            if status < 300 and chunked:
+                pieces = self._stream_pieces(worker, generation, reader, writer)
+                return status, headers, pieces
+            try:
+                reply_body = await _read_body(reader, headers)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, ValueError):
+                _close_writer(writer)
+                if conn is not None:
+                    continue
+                raise
+            if headers.get("connection", "").lower() == "close":
+                _close_writer(writer)
+            else:
+                self._checkin(worker, generation, reader, writer)
+            return status, headers, reply_body
+        raise ConnectionError("worker %s has no usable connection" % worker.label)
+
+    async def _stream_pieces(
+        self,
+        worker: WorkerProcess,
+        generation: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> AsyncIterator[bytes]:
+        """De-framed chunk payloads of one in-flight worker stream.
+
+        The connection returns to the pool only after the terminating
+        frame; an abandoned or failed iteration closes it instead, so a
+        half-read stream can never be mistaken for an idle socket.
+        """
+        completed = False
+        try:
+            while True:
+                piece = await asyncio.wait_for(
+                    _read_chunk(reader), self.request_timeout
+                )
+                if piece is None:
+                    completed = True
+                    return
+                yield piece
+        finally:
+            if completed:
+                self._checkin(worker, generation, reader, writer)
+            else:
+                _close_writer(writer)
+
+
+def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+    except (RuntimeError, OSError):  # pragma: no cover - loop already gone
+        pass
+
+
+def _merge_counters(target: Dict[str, object], source: Dict[str, object]) -> None:
+    """Recursively sum numeric counters of ``source`` into ``target``.
+
+    Dicts merge key-by-key, ints and floats add (bools are flags, not
+    counters — first writer wins), anything else keeps the first value
+    seen.  Used to aggregate worker ``/stats`` documents into one
+    fleet-wide view with the same shape.
+    """
+    for key, value in source.items():
+        if isinstance(value, dict):
+            node = target.setdefault(key, {})
+            if isinstance(node, dict):
+                _merge_counters(node, cast(Dict[str, object], value))
+        elif isinstance(value, bool):
+            target.setdefault(key, value)
+        elif isinstance(value, (int, float)):
+            current = target.get(key)
+            if isinstance(current, (int, float)) and not isinstance(current, bool):
+                target[key] = current + value
+            else:
+                target[key] = value
+        else:
+            target.setdefault(key, value)
+
+
+class ProxyService:
+    """The proxy-side counterpart of :class:`ImageService`.
+
+    Carries the exact attribute surface :class:`ReproServer` touches
+    (router, health, stats, admission, limiter, executor, timeouts) so
+    the inherited connection handling, admission control and dispatch
+    run unmodified — but the "stores" behind the router are
+    :class:`RemoteShard` handles, and the control-plane documents
+    (``/stats``, ``/catalog``) are aggregated from the worker fleet.
+    """
+
+    def __init__(
+        self,
+        supervisor: WorkerSupervisor,
+        replication: int = 1,
+        engine: str = "reference",
+        default_stripes: int = 4,
+        max_workers: Optional[int] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        shed_low: Optional[int] = None,
+        retry_after: float = 1.0,
+        max_connections_per_client: int = 0,
+        client_rate: float = 0.0,
+        client_burst: Optional[float] = None,
+        default_deadline: float = DEFAULT_DEADLINE_SECONDS,
+        read_timeout: Optional[float] = 30.0,
+        idle_timeout: Optional[float] = None,
+        drain_budget: float = 10.0,
+        health_down_after: int = 3,
+        health_up_after: int = 2,
+        worker_timeout: float = 30.0,
+    ) -> None:
+        self.supervisor = supervisor
+        self.remote_shards = [
+            RemoteShard(group, request_timeout=worker_timeout)
+            for group in supervisor.groups
+        ]
+        self.router = StoreRouter(
+            cast("List[ImageStore]", self.remote_shards),
+            supervisor.shard_names,
+            replication=replication,
+        )
+        self.health = HealthTracker(
+            names=self.router.names,
+            down_after=health_down_after,
+            up_after=health_up_after,
+        )
+        self.resharder = None
+        self.flight = SingleFlight()  # unused for data; kept for surface parity
+        self.stats = ServerStats()
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-proxy"
+        )
+        self.engine_name = engine
+        self.default_stripes = default_stripes
+        self.admission = AdmissionController(
+            high=max_inflight, low=shed_low, retry_after=retry_after
+        )
+        self.limiter = ClientLimiter(
+            max_connections=max_connections_per_client,
+            rate=client_rate,
+            burst=client_burst,
+        )
+        self.default_deadline = max(0.0, default_deadline)
+        self.read_timeout = read_timeout
+        self.idle_timeout = idle_timeout
+        self.drain_budget = drain_budget
+        self.worker_timeout = worker_timeout
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=True)
+        self.router.close()
+        self.supervisor.stop()
+
+    # -- the proxy's own blocking work (runs on its executor) ----------- #
+
+    def encode_body(
+        self, body: bytes, stripes: Optional[int], plane_delta: bool
+    ) -> Tuple[bytes, bool]:
+        """A PUT body as the container to fan out, plus whether we encoded.
+
+        Routing needs the content key before any worker is picked, and
+        the key is the hash of the *encoded* stream — so Netpbm bodies
+        are encoded here at the proxy, exactly as the in-process service
+        would, and only ready containers travel to the owners.
+        """
+        if not body:
+            raise ConfigError("PUT body is empty — expected a Netpbm image or container")
+        if body[:2] in _NETPBM_MAGICS:
+            image = read_image(io.BytesIO(body))
+            config = CodecConfig.hardware(bit_depth=image.bit_depth)
+            stream, _ = encode_grid(
+                image,
+                config,
+                engine=self.engine_name,
+                stripes=stripes if stripes is not None else self.default_stripes,
+                plane_delta=plane_delta,
+            )
+            return stream, True
+        return body, False
+
+    def version_payload(self) -> Dict[str, object]:
+        return version_payload()
+
+    def healthz(self) -> Dict[str, object]:
+        status = "draining" if self.stats.draining else "ok"
+        payload: Dict[str, object] = {"status": status, "shards": len(self.router)}
+        down = self.health.down_shards()
+        if down:
+            payload["shards_down"] = down
+        return payload
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The fleet-wide ``/stats``: proxy front-end + aggregated workers.
+
+        ``server``/``admission``/``clients`` are the proxy's own (they
+        describe the public socket); ``flight`` and ``shards`` are the
+        worker documents merged counter-by-counter, so coalescing and
+        cache behaviour stay observable per shard no matter how many
+        processes serve it; ``workers`` reports the process fleet (pids,
+        ports, restart counts) for operators and the chaos drill.
+        """
+        flight: Dict[str, object] = {}
+        sections: List[Dict[str, object]] = []
+        for group in self.supervisor.groups:
+            merged: Dict[str, object] = {}
+            for worker in group.workers:
+                document = self._scrape_worker(worker)
+                if document is None:
+                    continue
+                worker_flight = document.get("flight")
+                if isinstance(worker_flight, dict):
+                    _merge_counters(flight, worker_flight)
+                for shard_section in document.get("shards", ()):
+                    if isinstance(shard_section, dict):
+                        _merge_counters(merged, shard_section)
+            merged["name"] = group.shard_name
+            merged["joining"] = False
+            sections.append(merged)
+        return {
+            "server": self.stats.as_json(),
+            "flight": flight,
+            "admission": self.admission.stats(),
+            "clients": self.limiter.stats(),
+            "shards": sections,
+            "replication": {
+                "factor": self.router.replication,
+                "health": self.health.snapshot(),
+                "down": self.health.down_shards(),
+                "joining": None,
+                "reshard": None,
+            },
+            "workers": self.supervisor.snapshot(),
+        }
+
+    def _scrape_worker(self, worker: WorkerProcess) -> Optional[Dict[str, object]]:
+        if not worker.alive:
+            return None
+        try:
+            with ServeClient(worker.host, worker.port, timeout=5.0) as client:
+                return client.stats()
+        except (ServeError, OSError):
+            return None
+
+    def catalog_payload(
+        self,
+        filter: CatalogFilter,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> Dict[str, object]:
+        """The merged catalog across every shard's worker fleet.
+
+        Workers of one shard keep independent catalog views (each records
+        the puts it handled), so the group's listing is the union of its
+        workers', deduplicated per key newest-first.  Shards merge and
+        paginate exactly like the in-process service — same sort key,
+        same pushed-down ``offset + limit`` bound per worker, same
+        ``{"entries", "total", "offset"}`` document.
+        """
+        bound = None if limit is None else offset + limit
+        tag: Optional[str] = None
+        if filter.tags:
+            tag_key, tag_value = filter.tags[0]
+            tag = tag_key if tag_value is None else "%s=%s" % (tag_key, tag_value)
+        total = 0
+        merged_rows: List[Dict[str, object]] = []
+        for group in self.supervisor.groups:
+            by_key: Dict[str, Dict[str, object]] = {}
+            group_total = 0
+            duplicates = 0
+            answered = False
+            for worker in group.workers:
+                if not worker.alive:
+                    continue
+                try:
+                    with ServeClient(worker.host, worker.port, timeout=10.0) as client:
+                        document = client.catalog(
+                            limit=bound,
+                            offset=0,
+                            tag=tag,
+                            planes=filter.planes,
+                            engine=filter.engine,
+                            include_deleted=filter.include_deleted,
+                            deleted_only=filter.deleted_only,
+                        )
+                except (ServeError, OSError):
+                    continue
+                answered = True
+                group_total += int(cast(int, document.get("total", 0)))
+                for row in document.get("entries", ()):
+                    key = str(row["key"])
+                    known = by_key.get(key)
+                    if known is None:
+                        by_key[key] = row
+                    else:
+                        duplicates += 1
+                        if row.get("created_at", 0) > known.get("created_at", 0):
+                            by_key[key] = row
+            if not answered:
+                raise StoreError(
+                    "no worker of shard %s answered the catalog query"
+                    % group.shard_name
+                )
+            total += max(0, group_total - duplicates)
+            merged_rows.extend(by_key.values())
+        merged_rows.sort(
+            key=lambda row: (-cast(float, row.get("created_at", 0.0)), str(row["key"]))
+        )
+        end = None if limit is None else offset + limit
+        return {"entries": merged_rows[offset:end], "total": total, "offset": offset}
+
+
+class ReproProxy(ReproServer):
+    """The proxy front-end: :class:`ReproServer` with forwarding handlers.
+
+    Everything above the handlers — connection handling, the route
+    table, 404/405 derivation, admission, deadlines, the error envelope,
+    chunked streaming, drain — is inherited.  Control-plane routes
+    (``/healthz``, ``/stats``, ``/version``, ``/catalog``) are inherited
+    too: they call the service's blocking methods, which
+    :class:`ProxyService` implements by aggregation.
+    """
+
+    def __init__(
+        self, service: ProxyService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        super().__init__(cast(ImageService, service), host, port)
+        self.proxy_service = service
+
+    # -- shard-level forwarding with replica failover -------------------- #
+
+    async def _forward(
+        self,
+        context: RequestContext,
+        key: str,
+        method: str,
+        target: str,
+        body: bytes = b"",
+    ) -> WorkerReply:
+        """Forward one keyed read, failing over across owner shards.
+
+        Mirrors :meth:`ImageService._read_replicas`: owners in rendezvous
+        order reordered healthy-first, an unreachable or erroring shard
+        moves on to the next owner, a 404 only becomes the answer when
+        every owner missed, and a shard-level failure outranks a 404.
+        """
+        service = self.proxy_service
+        candidates = service.health.prefer_healthy(service.router.owners(key))
+        not_found: Optional[WorkerReply] = None
+        failure: Optional[WorkerReply] = None
+        unreachable: Optional[StoreError] = None
+        for position, (name, shard) in enumerate(candidates):
+            if position:
+                context.check("replica failover")
+            remote = cast(RemoteShard, shard)
+            try:
+                reply = await remote.request(
+                    method, target, body=body, context=context, key=key
+                )
+            except DeadlineExceededError:
+                raise
+            except StoreError as error:
+                service.health.record_failure(name)
+                service.stats.bump("failovers")
+                service.stats.bump_shard(name, "failovers")
+                unreachable = error
+                continue
+            if reply.status == 404:
+                service.health.record_success(name)
+                not_found = reply
+                continue
+            if reply.status >= 500:
+                service.health.record_failure(name)
+                service.stats.bump("failovers")
+                service.stats.bump_shard(name, "failovers")
+                failure = reply
+                continue
+            service.health.record_success(name)
+            return reply
+        if failure is not None:
+            return failure
+        if unreachable is not None:
+            raise unreachable
+        assert not_found is not None
+        return not_found
+
+    async def _forward_stream(
+        self,
+        context: RequestContext,
+        key: str,
+        method: str,
+        target: str,
+        body: bytes = b"",
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        """Forward a ``?stream=1`` request, passing chunks through as-is.
+
+        Failover happens *before* the first chunk: once a worker's 200
+        head is accepted the stream is committed, and a mid-stream worker
+        death aborts the client's stream (truncated chunked body) exactly
+        as an in-process decode failure would.
+        """
+        service = self.proxy_service
+        candidates = service.health.prefer_healthy(service.router.owners(key))
+        not_found: Optional[Tuple[int, bytes, str]] = None
+        failure: Optional[Tuple[int, bytes, str]] = None
+        unreachable: Optional[StoreError] = None
+        for position, (name, shard) in enumerate(candidates):
+            if position:
+                context.check("replica failover")
+            remote = cast(RemoteShard, shard)
+            try:
+                status, headers, payload = await remote.open_stream(
+                    method, target, body=body, context=context, key=key
+                )
+            except DeadlineExceededError:
+                raise
+            except StoreError as error:
+                service.health.record_failure(name)
+                service.stats.bump("failovers")
+                service.stats.bump_shard(name, "failovers")
+                unreachable = error
+                continue
+            content_type = headers.get("content-type", "application/octet-stream")
+            if isinstance(payload, bytes):
+                if status == 404:
+                    service.health.record_success(name)
+                    not_found = (status, payload, content_type)
+                    continue
+                if status >= 500:
+                    service.health.record_failure(name)
+                    service.stats.bump("failovers")
+                    service.stats.bump_shard(name, "failovers")
+                    failure = (status, payload, content_type)
+                    continue
+                service.health.record_success(name)
+                return status, payload, content_type
+            service.health.record_success(name)
+            streaming = StreamingBody(payload, self._stream_release(context))
+            return status, streaming, content_type
+        if failure is not None:
+            return failure
+        if unreachable is not None:
+            raise unreachable
+        assert not_found is not None
+        return not_found
+
+    # -- data-plane handlers (the only overrides) ------------------------ #
+
+    async def _handle_put_image(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        service = self.proxy_service
+        stream, encoded = await self._offload(
+            context,
+            service.encode_body,
+            request.body,
+            self._int_query(request, "stripes"),
+            self._flag_query(request, "plane_delta"),
+        )
+        key = hashlib.sha256(stream).hexdigest()
+        replicas: List[str] = []
+        failure: Optional[WorkerReply] = None
+        unreachable: Optional[StoreError] = None
+        for name, shard in service.router.owners(key):
+            remote = cast(RemoteShard, shard)
+            try:
+                reply = await remote.request(
+                    "PUT", "/images", body=stream, context=context, key=key
+                )
+            except DeadlineExceededError:
+                raise
+            except StoreError as error:
+                service.health.record_failure(name)
+                service.stats.bump("write_failovers")
+                service.stats.bump_shard(name, "write_failovers")
+                unreachable = error
+                continue
+            if reply.status == 201:
+                service.health.record_success(name)
+                replicas.append(name)
+                continue
+            if 400 <= reply.status < 500:
+                # The request itself is bad — equally bad on every owner;
+                # the worker's envelope forwards verbatim.
+                return reply.status, reply.body, reply.content_type
+            service.health.record_failure(name)
+            service.stats.bump("write_failovers")
+            service.stats.bump_shard(name, "write_failovers")
+            failure = reply
+        if not replicas:
+            if failure is not None:
+                return failure.status, failure.body, failure.content_type
+            raise StoreError(
+                "no worker of any owner shard accepted key %s (%s)"
+                % (key, unreachable)
+            )
+        outcome = {
+            "key": key,
+            "shard": service.router.shard_name(key),
+            "bytes": len(stream),
+            "encoded": encoded,
+            "replicas": replicas,
+        }
+        return 201, json_payload(outcome), "application/json"
+
+    async def _handle_delete_image(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        service = self.proxy_service
+        key = str(params["key"])
+        ttl = self._float_query(request, "ttl")
+        if ttl is not None and ttl < 0:
+            raise ConfigError("ttl must be >= 0 seconds, got %s" % ttl)
+        target = "/images/" + quote(key, safe="")
+        if ttl is not None:
+            target += "?ttl=%s" % ttl
+        deleted: List[str] = []
+        entry: Optional[Dict[str, object]] = None
+        not_found: Optional[WorkerReply] = None
+        failure: Optional[WorkerReply] = None
+        unreachable = False
+        for name, shard in service.router.owners(key):
+            remote = cast(RemoteShard, shard)
+            # Broadcast: every worker of the group keeps its own catalog,
+            # and the tombstone must land in all of them or a failover
+            # read through a sibling worker would resurrect the key.
+            replies = await remote.broadcast(
+                "DELETE", target, context=context, key=key
+            )
+            if not replies:
+                service.health.record_failure(name)
+                service.stats.bump("write_failovers")
+                service.stats.bump_shard(name, "write_failovers")
+                unreachable = True
+                continue
+            succeeded = [reply for reply in replies if reply.status == 200]
+            if succeeded:
+                service.health.record_success(name)
+                deleted.append(name)
+                if entry is None:
+                    try:
+                        entry = json.loads(succeeded[0].body.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        entry = None
+                continue
+            if all(reply.status == 404 for reply in replies):
+                service.health.record_success(name)
+                not_found = replies[0]
+                continue
+            service.health.record_failure(name)
+            service.stats.bump("write_failovers")
+            service.stats.bump_shard(name, "write_failovers")
+            failure = replies[0]
+        if not deleted:
+            if failure is not None:
+                return failure.status, failure.body, failure.content_type
+            if not_found is not None:
+                return not_found.status, not_found.body, not_found.content_type
+            assert unreachable
+            raise StoreError(
+                "no worker of any owner shard answered the delete of %s" % key
+            )
+        payload = {
+            "key": key,
+            "shard": service.router.shard_name(key),
+            "deleted_at": None if entry is None else entry.get("deleted_at"),
+            "purge_after": None if entry is None else entry.get("purge_after"),
+            "replicas": deleted,
+        }
+        return 200, json_payload(payload), "application/json"
+
+    async def _handle_get_image(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        key = str(params["key"])
+        reply = await self._forward(
+            context, key, "GET", "/images/" + quote(key, safe="")
+        )
+        return reply.status, reply.body, reply.content_type
+
+    async def _handle_get_plane(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        key = str(params["key"])
+        target = "/images/%s/plane/%d" % (quote(key, safe=""), cast(int, params["plane"]))
+        reply = await self._forward(context, key, "GET", target)
+        return reply.status, reply.body, reply.content_type
+
+    async def _handle_get_region(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        key = str(params["key"])
+        start, stop = cast(Tuple[int, int], params["range"])
+        target = "/images/%s/region/%d-%d" % (quote(key, safe=""), start, stop)
+        if self._flag_query(request, "stream"):
+            return await self._forward_stream(context, key, "GET", target + "?stream=1")
+        reply = await self._forward(context, key, "GET", target)
+        return reply.status, reply.body, reply.content_type
+
+    async def _handle_get_regions(
+        self, request: HttpRequest, context: RequestContext, params: Dict[str, object]
+    ) -> Tuple[int, Union[bytes, StreamingBody], str]:
+        key = str(params["key"])
+        target = "/images/%s/regions" % quote(key, safe="")
+        if self._flag_query(request, "stream"):
+            return await self._forward_stream(
+                context, key, "POST", target + "?stream=1", body=request.body
+            )
+        reply = await self._forward(context, key, "POST", target, body=request.body)
+        return reply.status, reply.body, reply.content_type
+
+
+def start_proxy_thread(
+    service: ProxyService, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+) -> ServerHandle:
+    """Boot a :class:`ReproProxy` on a daemon thread (tests, smokes)."""
+    return start_server_thread(
+        cast(ImageService, service),
+        host,
+        port,
+        timeout,
+        server_class=ReproProxy,
+    )

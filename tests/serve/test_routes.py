@@ -1,0 +1,135 @@
+"""Unit tests for the declarative route table and the error envelope."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    BlobNotFoundError,
+    ConfigError,
+    DeadlineExceededError,
+    ModelStateError,
+    OverloadedError,
+    StoreError,
+)
+from repro.serve.http import HttpProtocolError
+from repro.serve.routes import (
+    ERROR_CODES,
+    ROUTES,
+    classify_error,
+    error_payload,
+    match_route,
+    new_request_id,
+    route_templates,
+    split_path,
+    version_payload,
+)
+
+
+class TestMatcher:
+    def test_every_route_matches_its_own_template_shape(self):
+        for route in ROUTES:
+            parts = [
+                "7" if segment == "{plane}"
+                else "0-2" if segment == "{range}"
+                else "k" * 8 if segment.startswith("{")
+                else segment
+                for segment in route.pattern
+            ]
+            matched, params = match_route(route.method, parts)
+            assert matched is route
+
+    def test_catalog_and_images_routes_capture_parameters(self):
+        route, params = match_route("GET", split_path("/images/abc/region/3-9"))
+        assert route.endpoint == "get_region"
+        assert params == {"key": "abc", "range": (3, 9)}
+        route, params = match_route("GET", split_path("/images/abc/plane/2"))
+        assert params == {"key": "abc", "plane": 2}
+
+    def test_unknown_path_is_not_found(self):
+        with pytest.raises(BlobNotFoundError):
+            match_route("GET", split_path("/nope"))
+        with pytest.raises(BlobNotFoundError):
+            match_route("GET", split_path("/images/k/extra/deep/path"))
+
+    def test_known_shape_wrong_method_is_405(self):
+        with pytest.raises(HttpProtocolError) as caught:
+            match_route("POST", split_path("/healthz"))
+        assert caught.value.status == 405
+        with pytest.raises(HttpProtocolError) as caught:
+            match_route("PATCH", split_path("/images/somekey"))
+        assert caught.value.status == 405
+
+    def test_wrong_method_wins_over_bad_parameter(self):
+        # The path shape matches GET /images/{key}/plane/{plane}; under
+        # POST the answer must be 405 even though the plane is not an int.
+        with pytest.raises(HttpProtocolError) as caught:
+            match_route("POST", split_path("/images/k/plane/xyz"))
+        assert caught.value.status == 405
+
+    def test_bad_parameter_under_right_method_is_config_error(self):
+        with pytest.raises(ConfigError):
+            match_route("GET", split_path("/images/k/plane/xyz"))
+        with pytest.raises(ConfigError):
+            match_route("GET", split_path("/images/k/region/banana"))
+        with pytest.raises(ConfigError):
+            match_route("GET", split_path("/images/k/region/3"))
+
+    def test_templates_render_for_docs(self):
+        templates = route_templates()
+        assert "GET /healthz" in templates
+        assert "GET /images/{key}/region/{range}" in templates
+        assert len(templates) == len(ROUTES)
+
+    def test_admission_exempt_is_observability_only(self):
+        exempt = {route.template for route in ROUTES if route.admission_exempt}
+        assert exempt == {"GET /healthz", "GET /stats", "GET /version"}
+
+
+class TestEnvelope:
+    def test_every_code_has_a_status(self):
+        for code, status in ERROR_CODES.items():
+            assert 400 <= status < 600, code
+
+    def test_classify_prefers_exception_type_over_status(self):
+        assert classify_error(500, StoreError("backend gone")) == "upstream_unhealthy"
+        assert classify_error(400, OverloadedError("shed")) == "shed"
+        assert classify_error(200, DeadlineExceededError("late")) == "deadline"
+        assert classify_error(400, BlobNotFoundError("missing")) == "not_found"
+        assert classify_error(500, ConfigError("bad")) == "bad_request"
+        assert classify_error(200, ModelStateError("broken")) == "internal"
+
+    def test_classify_falls_back_on_status(self):
+        assert classify_error(404) == "not_found"
+        assert classify_error(405) == "method_not_allowed"
+        assert classify_error(429) == "shed"
+        assert classify_error(503) == "draining"
+        assert classify_error(504) == "deadline"
+        assert classify_error(418) == "internal"
+
+    def test_payload_shape(self):
+        body = json.loads(error_payload("TypeError: boom", "internal", "abc123"))
+        assert body == {
+            "error": "TypeError: boom",
+            "code": "internal",
+            "request_id": "abc123",
+        }
+
+    def test_request_ids_are_unique_hex(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        for request_id in ids:
+            int(request_id, 16)
+            assert len(request_id) == 12
+
+
+class TestVersion:
+    def test_version_payload_names_the_surface(self):
+        import repro
+
+        payload = version_payload()
+        assert payload["version"] == repro.__version__
+        assert payload["container_versions"]
+        assert "reference" in payload["engines"]
